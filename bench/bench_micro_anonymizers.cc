@@ -1,0 +1,85 @@
+// M3 — end-to-end micro benchmarks: one Run() per algorithm on fixed
+// workloads, so regressions in any phase (family build, cover, reduce,
+// suppression) show up in a single number.
+
+#include <algorithm>
+
+#include "algo/ball_cover.h"
+#include "algo/cluster_greedy.h"
+#include "algo/exact_dp.h"
+#include "algo/greedy_cover.h"
+#include "algo/mondrian.h"
+#include "benchmark/benchmark.h"
+#include "data/generators/census.h"
+#include "data/generators/clustered.h"
+#include "util/random.h"
+
+namespace kanon {
+namespace {
+
+Table ClusteredWorkload(uint32_t n, uint32_t m) {
+  Rng rng(5);
+  ClusteredTableOptions opt;
+  opt.num_rows = n;
+  opt.num_columns = m;
+  opt.alphabet = 6;
+  opt.num_clusters = std::max<uint32_t>(2, n / 8);
+  opt.noise_flips = 1;
+  return ClusteredTable(opt, &rng);
+}
+
+void BM_BallCover(benchmark::State& state) {
+  const Table t = ClusteredWorkload(static_cast<uint32_t>(state.range(0)),
+                                    8);
+  for (auto _ : state) {
+    BallCoverAnonymizer algo;
+    benchmark::DoNotOptimize(algo.Run(t, 3).cost);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_BallCover)->Arg(32)->Arg(64)->Arg(128)->Arg(256)
+    ->Complexity();
+
+void BM_GreedyCoverK2(benchmark::State& state) {
+  const Table t = ClusteredWorkload(static_cast<uint32_t>(state.range(0)),
+                                    8);
+  for (auto _ : state) {
+    GreedyCoverAnonymizer algo;
+    benchmark::DoNotOptimize(algo.Run(t, 2).cost);
+  }
+}
+BENCHMARK(BM_GreedyCoverK2)->Arg(12)->Arg(20)->Arg(28);
+
+void BM_ExactDp(benchmark::State& state) {
+  const Table t = ClusteredWorkload(static_cast<uint32_t>(state.range(0)),
+                                    6);
+  for (auto _ : state) {
+    ExactDpAnonymizer algo;
+    benchmark::DoNotOptimize(algo.Run(t, 2).cost);
+  }
+}
+BENCHMARK(BM_ExactDp)->Arg(10)->Arg(14)->Arg(16);
+
+void BM_Mondrian(benchmark::State& state) {
+  Rng rng(9);
+  const Table t = CensusTable(
+      {.num_rows = static_cast<uint32_t>(state.range(0))}, &rng);
+  for (auto _ : state) {
+    MondrianAnonymizer algo;
+    benchmark::DoNotOptimize(algo.Run(t, 5).cost);
+  }
+}
+BENCHMARK(BM_Mondrian)->Arg(128)->Arg(512)->Arg(2048);
+
+void BM_ClusterGreedy(benchmark::State& state) {
+  const Table t = ClusteredWorkload(static_cast<uint32_t>(state.range(0)),
+                                    8);
+  for (auto _ : state) {
+    ClusterGreedyAnonymizer algo;
+    benchmark::DoNotOptimize(algo.Run(t, 4).cost);
+  }
+}
+BENCHMARK(BM_ClusterGreedy)->Arg(32)->Arg(128);
+
+}  // namespace
+}  // namespace kanon

@@ -1,0 +1,80 @@
+// M1 — micro benchmarks for the distance/diameter kernels that dominate
+// the cover algorithms' inner loops (Definition 4.1 machinery).
+
+#include "benchmark/benchmark.h"
+#include "core/cost.h"
+#include "core/distance.h"
+#include "data/generators/uniform.h"
+#include "util/random.h"
+
+namespace kanon {
+namespace {
+
+Table MakeTable(int64_t n, int64_t m) {
+  Rng rng(42);
+  return UniformTable({.num_rows = static_cast<uint32_t>(n),
+                       .num_columns = static_cast<uint32_t>(m),
+                       .alphabet = 8},
+                      &rng);
+}
+
+void BM_RowDistance(benchmark::State& state) {
+  const Table t = MakeTable(64, state.range(0));
+  RowId a = 0, b = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RowDistance(t, a, b));
+    a = (a + 1) % t.num_rows();
+    b = (b + 3) % t.num_rows();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RowDistance)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_DistanceMatrixBuild(benchmark::State& state) {
+  const Table t = MakeTable(state.range(0), 16);
+  for (auto _ : state) {
+    DistanceMatrix dm(t);
+    benchmark::DoNotOptimize(dm.at(0, t.num_rows() - 1));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_DistanceMatrixBuild)->Arg(32)->Arg(64)->Arg(128)->Arg(256)
+    ->Complexity(benchmark::oNSquared);
+
+void BM_SetDiameter(benchmark::State& state) {
+  const Table t = MakeTable(64, 16);
+  Group g;
+  for (RowId r = 0; r < static_cast<RowId>(state.range(0)); ++r) {
+    g.push_back(r);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SetDiameter(t, g));
+  }
+}
+BENCHMARK(BM_SetDiameter)->Arg(3)->Arg(5)->Arg(9)->Arg(17);
+
+void BM_AnonCost(benchmark::State& state) {
+  const Table t = MakeTable(64, 16);
+  Group g;
+  for (RowId r = 0; r < static_cast<RowId>(state.range(0)); ++r) {
+    g.push_back(r * 2);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AnonCost(t, g));
+  }
+}
+BENCHMARK(BM_AnonCost)->Arg(3)->Arg(5)->Arg(9)->Arg(17);
+
+void BM_KthNearest(benchmark::State& state) {
+  const Table t = MakeTable(state.range(0), 16);
+  const DistanceMatrix dm(t);
+  RowId r = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dm.KthNearestDistance(r, 3));
+    r = (r + 1) % t.num_rows();
+  }
+}
+BENCHMARK(BM_KthNearest)->Arg(64)->Arg(256);
+
+}  // namespace
+}  // namespace kanon

@@ -1,0 +1,66 @@
+// M4 — micro benchmarks for the generalization substrate: label lookup,
+// feasibility checks (the lattice algorithms' inner loop), and the two
+// lattice searches end to end.
+
+#include "benchmark/benchmark.h"
+#include "data/generators/census.h"
+#include "generalize/apply.h"
+#include "generalize/optimal_lattice.h"
+#include "generalize/samarati.h"
+#include "util/random.h"
+
+namespace kanon {
+namespace {
+
+Table Census(int64_t n) {
+  Rng rng(3);
+  return CensusTable({.num_rows = static_cast<uint32_t>(n)}, &rng);
+}
+
+void BM_CheckGeneralization(benchmark::State& state) {
+  const Table t = Census(state.range(0));
+  const std::vector<Hierarchy> hs = DefaultHierarchies(t);
+  const GeneralizationVector mid(t.num_columns(), 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        CheckGeneralization(t, hs, mid, 3, 5).feasible);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CheckGeneralization)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_ApplyGeneralization(benchmark::State& state) {
+  const Table t = Census(state.range(0));
+  const std::vector<Hierarchy> hs = DefaultHierarchies(t);
+  GeneralizationVector top(t.num_columns());
+  for (ColId c = 0; c < t.num_columns(); ++c) {
+    top[c] = hs[c].max_level();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ApplyGeneralization(t, hs, top).num_rows());
+  }
+}
+BENCHMARK(BM_ApplyGeneralization)->Arg(64)->Arg(256);
+
+void BM_Samarati(benchmark::State& state) {
+  const Table t = Census(state.range(0));
+  const std::vector<Hierarchy> hs = DefaultHierarchies(t);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SamaratiAnonymize(t, hs, 3, {}).height);
+  }
+}
+BENCHMARK(BM_Samarati)->Arg(64)->Arg(128);
+
+void BM_OptimalLattice(benchmark::State& state) {
+  const Table t = Census(state.range(0));
+  const std::vector<Hierarchy> hs = DefaultHierarchies(t);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        OptimalLatticeAnonymize(t, hs, 3, {}).height);
+  }
+}
+BENCHMARK(BM_OptimalLattice)->Arg(64)->Arg(128);
+
+}  // namespace
+}  // namespace kanon

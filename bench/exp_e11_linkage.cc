@@ -1,0 +1,102 @@
+// E11 — extension: the §1 threat model, measured.
+//
+// The paper motivates k-anonymity by the linking attack: joining a
+// released table with external knowledge re-identifies individuals. We
+// quantify the protection curve: re-identification rate and minimum
+// candidate-set size of a full-knowledge adversary against the raw
+// release and against k-anonymized releases for growing k. The
+// guarantee to reproduce: min candidates >= k, re-identification rate 0
+// for every k >= 2, while the raw release re-identifies most of a
+// skewed census sample.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "algo/registry.h"
+#include "util/report.h"
+#include "data/generators/census.h"
+#include "privacy/linkage.h"
+#include "util/cli.h"
+#include "util/random.h"
+
+namespace kanon {
+namespace {
+
+int Main(int argc, char** argv) {
+  const CommandLine cl = CommandLine::Parse(argc, argv);
+  const uint32_t n = static_cast<uint32_t>(cl.GetInt("n", 120));
+  const uint32_t seed = static_cast<uint32_t>(cl.GetInt("seed", 2));
+
+  bench::PrintBanner(
+      "E11 (extension, §1 threat model): linking attack vs k",
+      "k-anonymity forces every victim into >= k candidates; raw "
+      "release re-identifies most individuals",
+      "census-like data, n = " + std::to_string(n) +
+          ", adversary knows all 8 quasi-identifiers; ball_cover+"
+          "local_search releases");
+
+  Rng rng(seed);
+  const Table t = CensusTable({.num_rows = n}, &rng);
+  std::vector<ColId> all_columns;
+  for (ColId c = 0; c < t.num_columns(); ++c) all_columns.push_back(c);
+
+  bench::ReportTable table({"release", "k", "re-id rate %",
+                            "min candidates", "mean candidates",
+                            "stars %"});
+
+  const AttackSummary raw = LinkageAttack(t, t, all_columns);
+  table.AddRow({"raw", "-",
+                bench::ReportTable::Num(raw.reidentification_rate * 100, 1),
+                bench::ReportTable::Int(
+                    static_cast<long long>(raw.min_candidates)),
+                bench::ReportTable::Num(raw.mean_candidates, 1), "0.0"});
+
+  bool guarantee = raw.reidentification_rate > 0.5;
+  for (const size_t k : {2u, 3u, 5u, 8u, 12u}) {
+    auto algo = MakeAnonymizer("ball_cover+local_search");
+    const auto result = algo->Run(t, k);
+    const Table published = result.MakeSuppressor(t).Apply(t);
+    const AttackSummary attack = LinkageAttack(t, published, all_columns);
+    guarantee &= attack.min_candidates >= k &&
+                 attack.unique_reidentifications == 0;
+    const double star_pct =
+        100.0 * static_cast<double>(result.cost) /
+        (static_cast<double>(n) * t.num_columns());
+    table.AddRow(
+        {"k-anonymized", bench::ReportTable::Int(static_cast<long long>(k)),
+         bench::ReportTable::Num(attack.reidentification_rate * 100, 1),
+         bench::ReportTable::Int(
+             static_cast<long long>(attack.min_candidates)),
+         bench::ReportTable::Num(attack.mean_candidates, 1),
+         bench::ReportTable::Num(star_pct, 1)});
+  }
+
+  // Partial-knowledge curve at k = 3: privacy also holds against weaker
+  // adversaries (their candidate sets only grow).
+  auto algo = MakeAnonymizer("ball_cover+local_search");
+  const auto result = algo->Run(t, 3);
+  const Table published = result.MakeSuppressor(t).Apply(t);
+  std::cout << "\npartial adversary knowledge at k=3 "
+            << "(columns known -> min candidates):\n";
+  for (size_t known = 1; known <= all_columns.size(); known += 2) {
+    const std::vector<ColId> subset(all_columns.begin(),
+                                    all_columns.begin() +
+                                        static_cast<ptrdiff_t>(known));
+    const AttackSummary attack = LinkageAttack(t, published, subset);
+    std::cout << "  " << known << " -> " << attack.min_candidates << "\n";
+    guarantee &= attack.min_candidates >= 3;
+  }
+  std::cout << "\n";
+
+  table.Print();
+  bench::PrintVerdict(guarantee,
+                      "linkage guarantee reproduced: min candidates >= k "
+                      "at every k, raw release mostly re-identifiable");
+  return guarantee ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace kanon
+
+int main(int argc, char** argv) { return kanon::Main(argc, argv); }

@@ -1,0 +1,119 @@
+// E13 — extension: beyond the paper's guarantee.
+//
+// k-anonymity (the paper's object of study) bounds re-identification,
+// not attribute disclosure: a k-group that is homogeneous on a
+// sensitive attribute still leaks it (the homogeneity attack that
+// motivated l-diversity). This experiment measures that residual risk
+// on k-anonymized census releases and the utility price of upgrading
+// the paper's algorithm output to distinct-l-diversity by group
+// merging. It also reports the full-domain solution-space size (the
+// antichain of minimal feasible generalizations) with up-set pruning
+// efficiency — the Incognito-style view of the same lattice the paper's
+// Section 3.1 variant suppresses over.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "algo/registry.h"
+#include "util/report.h"
+#include "core/cost.h"
+#include "data/generators/census.h"
+#include "generalize/apply.h"
+#include "generalize/minimal_vectors.h"
+#include "privacy/diversity.h"
+#include "util/cli.h"
+#include "util/random.h"
+
+namespace kanon {
+namespace {
+
+int Main(int argc, char** argv) {
+  const CommandLine cl = CommandLine::Parse(argc, argv);
+  const uint32_t n = static_cast<uint32_t>(cl.GetInt("n", 120));
+  const uint32_t seed = static_cast<uint32_t>(cl.GetInt("seed", 3));
+
+  bench::PrintBanner(
+      "E13 (extension): homogeneity attack and l-diversity upgrade",
+      "k-anonymity alone leaves sensitive-attribute exposure; merging "
+      "to distinct-l-diversity removes it at measurable star cost",
+      "census data, n = " + std::to_string(n) +
+          ", sensitive attribute = occupation, "
+          "ball_cover+local_search base releases");
+
+  Rng rng(seed);
+  const Table t = CensusTable({.num_rows = n}, &rng);
+  const ColId sensitive = t.schema().FindAttribute("occupation");
+  const double cells = static_cast<double>(n) * t.num_columns();
+
+  bench::ReportTable table({"k", "exposure before %", "stars before %",
+                            "l", "exposure after %", "stars after %",
+                            "groups before", "groups after"});
+  bool fixed_everywhere = true;
+  for (const size_t k : {2u, 3u, 5u}) {
+    auto algo = MakeAnonymizer("ball_cover+local_search");
+    auto result = algo->Run(t, k);
+    const double exposure_before =
+        HomogeneityExposure(t, result.partition, sensitive);
+    const double stars_before =
+        100.0 * static_cast<double>(result.cost) / cells;
+    const size_t groups_before = result.partition.num_groups();
+
+    const size_t l = 2;
+    Partition upgraded = result.partition;
+    const bool ok = MergeForDiversity(t, sensitive, l, &upgraded);
+    fixed_everywhere &= ok && IsLDiverse(t, upgraded, sensitive, l);
+    const double exposure_after =
+        HomogeneityExposure(t, upgraded, sensitive);
+    const double stars_after =
+        100.0 * static_cast<double>(PartitionCost(t, upgraded)) / cells;
+
+    table.AddRow({bench::ReportTable::Int(static_cast<long long>(k)),
+                  bench::ReportTable::Num(exposure_before * 100, 1),
+                  bench::ReportTable::Num(stars_before, 1),
+                  bench::ReportTable::Int(static_cast<long long>(l)),
+                  bench::ReportTable::Num(exposure_after * 100, 1),
+                  bench::ReportTable::Num(stars_after, 1),
+                  bench::ReportTable::Int(
+                      static_cast<long long>(groups_before)),
+                  bench::ReportTable::Int(
+                      static_cast<long long>(upgraded.num_groups()))});
+    fixed_everywhere &= exposure_after == 0.0;
+  }
+  table.Print();
+
+  // Solution-space audit: antichain of minimal feasible full-domain
+  // generalizations with pruning stats.
+  const std::vector<Hierarchy> hs = DefaultHierarchies(t);
+  std::cout << "\nfull-domain solution space (flat hierarchies, "
+            << "budget 5%):\n";
+  bench::ReportTable lattice_table(
+      {"k", "lattice", "checked", "pruned %", "minimal vectors"});
+  for (const size_t k : {2u, 5u}) {
+    const MinimalVectorsResult mv =
+        MinimalFeasibleVectors(t, hs, k, n / 20);
+    lattice_table.AddRow(
+        {bench::ReportTable::Int(static_cast<long long>(k)),
+         bench::ReportTable::Int(
+             static_cast<long long>(mv.lattice_size)),
+         bench::ReportTable::Int(
+             static_cast<long long>(mv.vectors_checked)),
+         bench::ReportTable::Num(
+             100.0 * (1.0 - static_cast<double>(mv.vectors_checked) /
+                                static_cast<double>(mv.lattice_size)),
+             1),
+         bench::ReportTable::Int(
+             static_cast<long long>(mv.minimal.size()))});
+  }
+  lattice_table.Print();
+
+  bench::PrintVerdict(fixed_everywhere,
+                      "homogeneity exposure eliminated by the diversity "
+                      "merge at bounded extra suppression");
+  return fixed_everywhere ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace kanon
+
+int main(int argc, char** argv) { return kanon::Main(argc, argv); }

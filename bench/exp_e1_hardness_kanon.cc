@@ -1,0 +1,115 @@
+// E1 — Theorem 3.1 reproduction.
+//
+// Claim: 3-DIMENSIONAL PERFECT MATCHING reduces to optimal 3-ANONYMITY:
+// the instance built from a simple 3-hypergraph H (n vertices, m edges)
+// has OPT = n(m-1) iff H has a perfect matching, and any anonymizer at
+// that cost encodes one. We regenerate the "table" of the theorem: for a
+// batch of planted-PM (YES) and matching-free (NO) hypergraphs, the exact
+// optimum sits exactly at / strictly above the threshold, and matchings
+// extract from optimal suppressors.
+
+#include <iostream>
+
+#include "algo/exact_dp.h"
+#include "util/report.h"
+#include "hypergraph/generators.h"
+#include "hypergraph/matching.h"
+#include "reductions/matching_to_kanon.h"
+#include "util/cli.h"
+#include "util/random.h"
+
+namespace kanon {
+namespace {
+
+int Main(int argc, char** argv) {
+  const CommandLine cl = CommandLine::Parse(argc, argv);
+  const uint32_t trials =
+      static_cast<uint32_t>(cl.GetInt("trials", 6));
+  const uint32_t n = static_cast<uint32_t>(cl.GetInt("n", 9));
+  const uint32_t extra = static_cast<uint32_t>(cl.GetInt("extra", 3));
+  const uint32_t k = 3;
+
+  bench::PrintBanner(
+      "E1 (Theorem 3.1): PERFECT MATCHING -> k-ANONYMITY",
+      "OPT(V_H) == n(m-1) iff H has a perfect matching (k = 3)",
+      "planted-PM (YES) and matching-free (NO) 3-hypergraphs, n = " +
+          std::to_string(n) + ", exact optimum via subset DP");
+
+  bench::ReportTable table({"seed", "instance", "n", "m", "threshold",
+                            "OPT", "PM exists", "claim"});
+  bool all_ok = true;
+
+  for (uint32_t seed = 1; seed <= trials; ++seed) {
+    Rng rng(seed);
+    const Hypergraph yes = PlantedMatchingHypergraph(
+        {.num_vertices = n, .k = k, .extra_edges = extra}, &rng);
+    const Table v = BuildKAnonInstance(yes);
+    ExactDpAnonymizer exact;
+    const auto result = exact.Run(v, k);
+    const size_t threshold = KAnonHardnessThreshold(yes);
+    const bool meets = result.cost == threshold;
+    // An optimal anonymizer at the threshold must encode a matching.
+    const auto extracted =
+        ExtractMatching(yes, v, result.MakeSuppressor(v));
+    const bool ok = meets && extracted.has_value() &&
+                    IsPerfectMatching(yes, *extracted);
+    all_ok &= ok;
+    table.AddRow({bench::ReportTable::Int(seed), "YES (planted PM)",
+                  bench::ReportTable::Int(n),
+                  bench::ReportTable::Int(yes.num_edges()),
+                  bench::ReportTable::Int(static_cast<long long>(threshold)),
+                  bench::ReportTable::Int(static_cast<long long>(result.cost)),
+                  "yes", ok ? "OPT==thr, matching extracted" : "VIOLATED"});
+  }
+
+  // The construction generalizes to any k >= 3 (the paper proves k = 3
+  // and notes "a straightforward generalization"); exercise k = 4 too.
+  for (uint32_t seed = 1; seed <= trials / 2 + 1; ++seed) {
+    Rng rng(seed + 500);
+    const Hypergraph yes4 = PlantedMatchingHypergraph(
+        {.num_vertices = 8, .k = 4, .extra_edges = 2}, &rng);
+    const Table v = BuildKAnonInstance(yes4);
+    ExactDpAnonymizer exact;
+    const auto result = exact.Run(v, 4);
+    const size_t threshold = KAnonHardnessThreshold(yes4);
+    const auto extracted =
+        ExtractMatching(yes4, v, result.MakeSuppressor(v));
+    const bool ok = result.cost == threshold && extracted.has_value();
+    all_ok &= ok;
+    table.AddRow({bench::ReportTable::Int(seed), "YES (k=4)",
+                  bench::ReportTable::Int(8),
+                  bench::ReportTable::Int(yes4.num_edges()),
+                  bench::ReportTable::Int(static_cast<long long>(threshold)),
+                  bench::ReportTable::Int(static_cast<long long>(result.cost)),
+                  "yes", ok ? "OPT==thr, matching extracted" : "VIOLATED"});
+  }
+
+  for (uint32_t seed = 1; seed <= trials; ++seed) {
+    Rng rng(seed + 1000);
+    const Hypergraph no = MatchingFreeHypergraph(n, k, extra + n / k, &rng);
+    const Table v = BuildKAnonInstance(no);
+    ExactDpAnonymizer exact;
+    const auto result = exact.Run(v, k);
+    const size_t threshold = KAnonHardnessThreshold(no);
+    const bool ok = result.cost > threshold && !HasPerfectMatching(no);
+    all_ok &= ok;
+    table.AddRow({bench::ReportTable::Int(seed), "NO (matching-free)",
+                  bench::ReportTable::Int(n),
+                  bench::ReportTable::Int(no.num_edges()),
+                  bench::ReportTable::Int(static_cast<long long>(threshold)),
+                  bench::ReportTable::Int(static_cast<long long>(result.cost)),
+                  "no", ok ? "OPT > thr" : "VIOLATED"});
+  }
+
+  table.Print();
+  bench::PrintVerdict(all_ok,
+                      all_ok ? "Theorem 3.1 equivalence reproduced on all "
+                               "instances"
+                             : "reduction equivalence violated");
+  return all_ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace kanon
+
+int main(int argc, char** argv) { return kanon::Main(argc, argv); }

@@ -1,0 +1,98 @@
+// E7 — Theorem 4.1 runtime reproduction.
+//
+// Claim: the greedy-cover algorithm runs in O(n^{2k}) — exponential in k
+// (its family C has sum_{s=k}^{2k-1} C(n, s) sets) — which is exactly why
+// Section 4.3 develops the strongly polynomial variant. We measure the
+// family size and wall-clock across k at fixed n and across n at fixed
+// k, alongside ball-cover on the same instances: the crossover the paper
+// predicts (greedy-cover unusable as k or n grow, ball-cover flat) must
+// be visible.
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+#include <iostream>
+#include <string>
+
+#include "algo/ball_cover.h"
+#include "algo/greedy_cover.h"
+#include "util/report.h"
+#include "data/generators/uniform.h"
+#include "util/cli.h"
+#include "util/random.h"
+#include "util/stats.h"
+
+namespace kanon {
+namespace {
+
+int Main(int argc, char** argv) {
+  const CommandLine cl = CommandLine::Parse(argc, argv);
+  const uint32_t repeats = static_cast<uint32_t>(cl.GetInt("repeats", 3));
+
+  bench::PrintBanner(
+      "E7 (Theorem 4.1 runtime): exponential-in-k family blowup",
+      "|C| = sum C(n, k..2k-1) explodes with k; ball-cover stays flat",
+      "uniform tables, median of " + std::to_string(repeats) +
+          " runs; '-' marks configurations beyond the family-size cap");
+
+  bench::ReportTable table({"n", "k", "|C| family", "greedy-cover (ms)",
+                            "ball-cover (ms)", "cost greedy", "cost ball"});
+
+  const size_t family_cap = 2'000'000;
+  for (const uint32_t n : {12u, 16u, 20u, 24u}) {
+    for (const size_t k : {2u, 3u, 4u}) {
+      const size_t family = GreedyCoverAnonymizer::FamilySize(n, k);
+      std::vector<double> greedy_times, ball_times;
+      size_t greedy_cost = 0, ball_cost = 0;
+      const bool feasible = family <= family_cap;
+      for (uint32_t rep = 0; rep < repeats; ++rep) {
+        Rng rng(rep * 31 + n + k);
+        const Table t = UniformTable(
+            {.num_rows = n, .num_columns = 6, .alphabet = 4}, &rng);
+        BallCoverAnonymizer ball;
+        const auto ball_result = ball.Run(t, k);
+        ball_times.push_back(ball_result.seconds);
+        ball_cost = ball_result.cost;
+        if (feasible) {
+          GreedyCoverAnonymizer greedy;
+          const auto greedy_result = greedy.Run(t, k);
+          greedy_times.push_back(greedy_result.seconds);
+          greedy_cost = greedy_result.cost;
+        }
+      }
+      table.AddRow(
+          {bench::ReportTable::Int(n),
+           bench::ReportTable::Int(static_cast<long long>(k)),
+           family == std::numeric_limits<size_t>::max()
+               ? "overflow"
+               : bench::ReportTable::Int(static_cast<long long>(family)),
+           feasible
+               ? bench::ReportTable::Num(Median(greedy_times) * 1e3, 3)
+               : "-",
+           bench::ReportTable::Num(Median(ball_times) * 1e3, 3),
+           feasible ? bench::ReportTable::Int(
+                          static_cast<long long>(greedy_cost))
+                    : "-",
+           bench::ReportTable::Int(static_cast<long long>(ball_cost))});
+    }
+  }
+  table.Print();
+
+  // Quantify the blowup: family size growth factor from k=2 to k=4 at
+  // n=24.
+  const double blowup =
+      static_cast<double>(GreedyCoverAnonymizer::FamilySize(24, 4)) /
+      static_cast<double>(GreedyCoverAnonymizer::FamilySize(24, 2));
+  std::cout << "\nfamily-size blowup at n=24 from k=2 to k=4: "
+            << bench::ReportTable::Num(blowup, 1) << "x\n";
+
+  bench::PrintVerdict(blowup > 100.0,
+                      "exponential-in-k blowup of Theorem 4.1 confirmed; "
+                      "ball-cover (Theorem 4.2) unaffected");
+  return 0;
+}
+
+}  // namespace
+}  // namespace kanon
+
+int main(int argc, char** argv) { return kanon::Main(argc, argv); }

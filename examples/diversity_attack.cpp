@@ -1,0 +1,68 @@
+// Scenario: the homogeneity attack, and the fix. A hospital publishes a
+// k-anonymous table of (age_band, zip-like quasi-identifiers, diagnosis).
+// An adversary who merely locates the victim's k-group learns the
+// diagnosis whenever the group is diagnosis-homogeneous — k-anonymity
+// (the paper's guarantee) does not forbid that. This example shows the
+// attack on a real release of the paper's algorithm and the
+// distinct-l-diversity merge that repairs it.
+//
+// Run:  ./example_diversity_attack [--rows=40] [--k=3] [--seed=5]
+
+#include <iostream>
+
+#include "algo/registry.h"
+#include "core/cost.h"
+#include "data/generators/medical.h"
+#include "privacy/diversity.h"
+#include "util/cli.h"
+#include "util/random.h"
+
+int main(int argc, char** argv) {
+  using namespace kanon;
+  const CommandLine cl = CommandLine::Parse(argc, argv);
+  const uint32_t rows = static_cast<uint32_t>(cl.GetInt("rows", 40));
+  const size_t k = static_cast<size_t>(cl.GetInt("k", 3));
+  Rng rng(static_cast<uint64_t>(cl.GetInt("seed", 5)));
+
+  const Table t = MedicalTable({.num_rows = rows, .name_pool = 5}, &rng);
+  const ColId sensitive = t.schema().FindAttribute("procedure");
+
+  auto algo = MakeAnonymizer("ball_cover+local_search");
+  auto result = algo->Run(t, k);
+  std::cout << k << "-anonymous release by '" << algo->name() << "': "
+            << result.cost << " stars, "
+            << result.partition.num_groups() << " groups\n";
+
+  const double exposure =
+      HomogeneityExposure(t, result.partition, sensitive);
+  std::cout << "homogeneity attack: " << exposure * 100.0
+            << "% of patients are in groups with a single distinct "
+            << "procedure\n";
+  for (const Group& g : result.partition.groups) {
+    if (GroupDiversity(t, g, sensitive) == 1) {
+      std::cout << "  leaked group " << "{";
+      for (size_t i = 0; i < g.size(); ++i) {
+        std::cout << (i ? "," : "") << g[i];
+      }
+      std::cout << "}: every member had '"
+                << t.schema().Decode(sensitive, t.at(g[0], sensitive))
+                << "'\n";
+    }
+  }
+
+  const size_t l = 2;
+  Partition upgraded = result.partition;
+  if (!MergeForDiversity(t, sensitive, l, &upgraded)) {
+    std::cout << "table lacks " << l
+              << " distinct sensitive values; cannot diversify\n";
+    return 1;
+  }
+  std::cout << "\nafter the distinct-" << l << "-diversity merge: "
+            << upgraded.num_groups() << " groups, "
+            << PartitionCost(t, upgraded) << " stars, exposure "
+            << HomogeneityExposure(t, upgraded, sensitive) * 100.0
+            << "%\n";
+  std::cout << "k-anonymity preserved: groups only grew (min size >= "
+            << k << ")\n";
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Reproduces the paper's Section 1 example output with real
+// generalization hierarchies: last names generalize to prefixes ("r*"),
+// ages to bands ("[20-39]"), and anything else to "*", then contrasts
+// full-domain generalization (Samarati) with the paper's entry-level
+// suppression model on the same table.
+//
+// Run:  ./example_generalization
+
+#include <iostream>
+
+#include "algo/registry.h"
+#include "data/generators/medical.h"
+#include "generalize/apply.h"
+#include "generalize/optimal_lattice.h"
+#include "generalize/samarati.h"
+#include "privacy/linkage.h"
+
+int main() {
+  using namespace kanon;
+  const Table t = PaperIntroTable();
+  std::cout << "The paper's Section 1 relation:\n\n"
+            << t.ToString() << "\n";
+
+  // Hierarchies mirroring the paper's example: names generalize by
+  // prefix, age by interval, race flat.
+  const std::vector<Hierarchy> hs = {
+      Hierarchy::Flat(t.schema().dictionary(0)),
+      Hierarchy::Prefix(t.schema().dictionary(1), {1}),
+      Hierarchy::Intervals(t.schema().dictionary(2), {10, 20}),
+      Hierarchy::Flat(t.schema().dictionary(3)),
+  };
+
+  std::cout << "hand-picked generalization (first=*, last=prefix, "
+            << "age=20-wide bands, race=*), the paper's '" << "John R*"
+            << " 0-40' shape:\n\n"
+            << ApplyGeneralization(t, hs, {1, 1, 2, 1}).ToString()
+            << "\n";
+
+  // Full-domain Samarati for k = 2.
+  const LatticeResult samarati = SamaratiAnonymize(t, hs, 2, {});
+  std::cout << "Samarati k=2 (minimal lattice height " << samarati.height
+            << ", precision " << samarati.precision << "):\n\n"
+            << ApplyGeneralization(t, hs, samarati.levels,
+                                   samarati.suppressed_rows)
+                   .ToString()
+            << "\n";
+
+  // The paper's entry-suppression model on the same table.
+  auto entry = MakeAnonymizer("exact_dp");
+  const auto result = entry->Run(t, 2);
+  std::cout << "optimal entry suppression k=2 (" << result.cost
+            << " stars) — strictly finer-grained than full-domain "
+            << "recoding:\n\n"
+            << result.MakeSuppressor(t).Apply(t).ToString() << "\n";
+
+  // Linking attack on each release.
+  const std::vector<ColId> qi = {0, 1, 2, 3};
+  std::cout << "linking attack (adversary knows all attributes):\n"
+            << "  raw release:         "
+            << LinkageAttack(t, t, qi).ToString() << "\n"
+            << "  generalized release: "
+            << LinkageAttackGeneralized(t, hs, samarati.levels,
+                                        samarati.suppressed_rows, qi)
+                   .ToString()
+            << "\n"
+            << "  suppressed release:  "
+            << LinkageAttack(t, result.MakeSuppressor(t).Apply(t), qi)
+                   .ToString()
+            << "\n";
+  return 0;
+}

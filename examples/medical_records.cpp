@@ -1,0 +1,62 @@
+// Scenario: a hospital wants to publish yesterday's imaging log for an
+// epidemiology study without identifying patients (the paper's
+// motivating example, at realistic size). Generates a synthetic log,
+// anonymizes it with the paper's strongly polynomial algorithm, and
+// shows what a curious reader of the published table actually learns.
+//
+// Run:  ./example_medical_records [--rows=24] [--k=3] [--seed=7]
+
+#include <iostream>
+#include <map>
+
+#include "algo/ball_cover.h"
+#include "algo/local_search.h"
+#include "core/anonymity.h"
+#include "core/metrics.h"
+#include "data/generators/medical.h"
+#include "util/cli.h"
+#include "util/random.h"
+
+int main(int argc, char** argv) {
+  using namespace kanon;
+  const CommandLine cl = CommandLine::Parse(argc, argv);
+  const uint32_t rows = static_cast<uint32_t>(cl.GetInt("rows", 24));
+  const size_t k = static_cast<size_t>(cl.GetInt("k", 3));
+  Rng rng(static_cast<uint64_t>(cl.GetInt("seed", 7)));
+
+  const Table log = MedicalTable({.num_rows = rows, .name_pool = 6}, &rng);
+  std::cout << "Imaging log (" << rows << " visits, PRIVATE):\n\n"
+            << log.ToString(10) << "\n";
+
+  // The paper's Theorem 4.2 algorithm with the local-search post-pass.
+  LocalSearchAnonymizer algo(std::make_unique<BallCoverAnonymizer>());
+  const AnonymizationResult result = algo.Run(log, k);
+  const Table published = result.MakeSuppressor(log).Apply(log);
+
+  std::cout << "Published " << k << "-anonymous view ("
+            << result.cost << " of "
+            << rows * log.num_columns() << " entries suppressed):\n\n"
+            << published.ToString(10) << "\n";
+
+  std::cout << "every published record matches at least " << k
+            << " patients: "
+            << (IsKAnonymous(published, k) ? "yes" : "NO") << "\n";
+
+  // What can an attacker who knows a patient's (age_band, race) learn?
+  // Count how many published rows are consistent with each
+  // quasi-identifier combination.
+  std::map<std::pair<std::string, std::string>, int> candidates;
+  for (RowId r = 0; r < published.num_rows(); ++r) {
+    const auto decoded = published.DecodeRow(r);
+    ++candidates[{decoded[2], decoded[3]}];
+  }
+  std::cout << "\nre-identification candidates per published "
+            << "(age_band, race) combination:\n";
+  for (const auto& [key, count] : candidates) {
+    std::cout << "  (" << key.first << ", " << key.second
+              << "): " << count << " rows\n";
+  }
+  std::cout << "\nmetrics: "
+            << ComputeMetrics(log, result.partition, k).ToString() << "\n";
+  return 0;
+}

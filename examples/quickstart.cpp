@@ -1,0 +1,50 @@
+// Quickstart: k-anonymize the paper's Section 1 hospital relation.
+//
+// Builds the 4-row table from the introduction ("Who had an X-ray at
+// this hospital yesterday?"), runs the exact optimal suppressor for
+// k = 2, and prints the before/after tables plus the objective value —
+// the smallest possible number of suppressed entries.
+//
+// Run:  ./example_quickstart [--k=2] [--algo=exact_dp]
+
+#include <iostream>
+
+#include "algo/registry.h"
+#include "core/anonymity.h"
+#include "core/metrics.h"
+#include "data/generators/medical.h"
+#include "util/cli.h"
+
+int main(int argc, char** argv) {
+  using namespace kanon;
+  const CommandLine cl = CommandLine::Parse(argc, argv);
+  const size_t k = static_cast<size_t>(cl.GetInt("k", 2));
+  const std::string algo_name = cl.GetString("algo", "exact_dp");
+
+  const Table table = PaperIntroTable();
+  std::cout << "Original relation (paper, Section 1):\n\n"
+            << table.ToString() << "\n";
+
+  auto algo = MakeAnonymizer(algo_name);
+  if (algo == nullptr) {
+    std::cerr << "unknown algorithm '" << algo_name << "'; options:";
+    for (const auto& name : KnownAnonymizers()) std::cerr << " " << name;
+    std::cerr << "\n";
+    return 1;
+  }
+
+  const AnonymizationResult result = algo->Run(table, k);
+  const Table anonymized = result.MakeSuppressor(table).Apply(table);
+
+  std::cout << k << "-anonymized with '" << algo->name() << "' ("
+            << result.cost << " entries suppressed):\n\n"
+            << anonymized.ToString() << "\n";
+
+  std::cout << "k-anonymity verified: "
+            << (IsKAnonymous(anonymized, k) ? "yes" : "NO") << "\n";
+  std::cout << "groups: " << result.partition.ToString() << "\n";
+  std::cout << "metrics: "
+            << ComputeMetrics(table, result.partition, k).ToString()
+            << "\n";
+  return 0;
+}

@@ -1,0 +1,280 @@
+#include "algo/annealing.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "core/cost.h"
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+namespace kanon {
+
+namespace {
+
+/// Mutable annealing state: groups plus cached per-group costs.
+class State {
+ public:
+  State(const Table& table, Partition partition, size_t k)
+      : table_(table), k_(k), groups_(std::move(partition.groups)) {
+    costs_.resize(groups_.size());
+    for (size_t g = 0; g < groups_.size(); ++g) {
+      costs_[g] = AnonCost(table_, groups_[g]);
+    }
+  }
+
+  size_t TotalCost() const {
+    size_t total = 0;
+    for (const size_t c : costs_) total += c;
+    return total;
+  }
+
+  Partition ToPartition() const {
+    Partition p;
+    p.groups = groups_;
+    return p;
+  }
+
+  /// Proposes one random perturbation; returns the cost delta it would
+  /// apply and fills `undo` state. Applies the move immediately; call
+  /// Revert() to roll back. Returns false if no applicable move was
+  /// found for this draw.
+  bool Propose(Rng* rng, long long* delta) {
+    const uint32_t kind = rng->Uniform(4);
+    switch (kind) {
+      case 0:
+        return ProposeMove(rng, delta);
+      case 1:
+        return ProposeSwap(rng, delta);
+      case 2:
+        return ProposeMerge(rng, delta);
+      default:
+        return ProposeSplit(rng, delta);
+    }
+  }
+
+  void Revert() {
+    switch (last_.kind) {
+      case LastMove::kNone:
+        break;
+      case LastMove::kTwoGroups:
+        groups_[last_.a] = std::move(last_.saved_a);
+        groups_[last_.b] = std::move(last_.saved_b);
+        costs_[last_.a] = last_.cost_a;
+        costs_[last_.b] = last_.cost_b;
+        break;
+      case LastMove::kMerge:
+        // groups_[a] became the merge; b was emptied (swap-with-back
+        // trick not used — we kept b in place but empty).
+        groups_[last_.a] = std::move(last_.saved_a);
+        groups_[last_.b] = std::move(last_.saved_b);
+        costs_[last_.a] = last_.cost_a;
+        costs_[last_.b] = last_.cost_b;
+        break;
+      case LastMove::kSplit:
+        groups_[last_.a] = std::move(last_.saved_a);
+        costs_[last_.a] = last_.cost_a;
+        groups_.pop_back();
+        costs_.pop_back();
+        break;
+    }
+    last_.kind = LastMove::kNone;
+  }
+
+  /// Drops empty groups left behind by accepted merges.
+  void Compact() {
+    for (size_t g = groups_.size(); g > 0; --g) {
+      if (groups_[g - 1].empty()) {
+        groups_.erase(groups_.begin() + static_cast<ptrdiff_t>(g - 1));
+        costs_.erase(costs_.begin() + static_cast<ptrdiff_t>(g - 1));
+      }
+    }
+  }
+
+ private:
+  struct LastMove {
+    enum Kind { kNone, kTwoGroups, kMerge, kSplit } kind = kNone;
+    size_t a = 0, b = 0;
+    Group saved_a, saved_b;
+    size_t cost_a = 0, cost_b = 0;
+  };
+
+  size_t NonEmptyGroupCount() const {
+    size_t count = 0;
+    for (const Group& g : groups_) {
+      if (!g.empty()) ++count;
+    }
+    return count;
+  }
+
+  bool PickTwoDistinctGroups(Rng* rng, size_t* a, size_t* b) {
+    if (NonEmptyGroupCount() < 2) return false;
+    for (int attempt = 0; attempt < 32; ++attempt) {
+      *a = rng->Uniform(static_cast<uint32_t>(groups_.size()));
+      *b = rng->Uniform(static_cast<uint32_t>(groups_.size()));
+      if (*a != *b && !groups_[*a].empty() && !groups_[*b].empty()) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void SaveTwo(size_t a, size_t b, LastMove::Kind kind) {
+    last_.kind = kind;
+    last_.a = a;
+    last_.b = b;
+    last_.saved_a = groups_[a];
+    last_.saved_b = groups_[b];
+    last_.cost_a = costs_[a];
+    last_.cost_b = costs_[b];
+  }
+
+  long long Recost(size_t a, size_t b) {
+    const size_t before = last_.cost_a + last_.cost_b;
+    costs_[a] = AnonCost(table_, groups_[a]);
+    costs_[b] = AnonCost(table_, groups_[b]);
+    return static_cast<long long>(costs_[a] + costs_[b]) -
+           static_cast<long long>(before);
+  }
+
+  bool ProposeMove(Rng* rng, long long* delta) {
+    size_t a = 0, b = 0;
+    if (!PickTwoDistinctGroups(rng, &a, &b)) return false;
+    if (groups_[a].size() <= k_) return false;
+    SaveTwo(a, b, LastMove::kTwoGroups);
+    const size_t i = rng->Uniform(static_cast<uint32_t>(groups_[a].size()));
+    groups_[b].push_back(groups_[a][i]);
+    groups_[a].erase(groups_[a].begin() + static_cast<ptrdiff_t>(i));
+    *delta = Recost(a, b);
+    return true;
+  }
+
+  bool ProposeSwap(Rng* rng, long long* delta) {
+    size_t a = 0, b = 0;
+    if (!PickTwoDistinctGroups(rng, &a, &b)) return false;
+    SaveTwo(a, b, LastMove::kTwoGroups);
+    const size_t i = rng->Uniform(static_cast<uint32_t>(groups_[a].size()));
+    const size_t j = rng->Uniform(static_cast<uint32_t>(groups_[b].size()));
+    std::swap(groups_[a][i], groups_[b][j]);
+    *delta = Recost(a, b);
+    return true;
+  }
+
+  bool ProposeMerge(Rng* rng, long long* delta) {
+    size_t a = 0, b = 0;
+    if (!PickTwoDistinctGroups(rng, &a, &b)) return false;
+    SaveTwo(a, b, LastMove::kMerge);
+    groups_[a].insert(groups_[a].end(), groups_[b].begin(),
+                      groups_[b].end());
+    groups_[b].clear();
+    *delta = Recost(a, b);
+    return true;
+  }
+
+  bool ProposeSplit(Rng* rng, long long* delta) {
+    // Pick a group with >= 2k members, shuffle, cut at a random point
+    // leaving >= k on both sides; the right part becomes a new group.
+    std::vector<size_t> eligible;
+    for (size_t g = 0; g < groups_.size(); ++g) {
+      if (groups_[g].size() >= 2 * k_) eligible.push_back(g);
+    }
+    if (eligible.empty()) return false;
+    const size_t a =
+        eligible[rng->Uniform(static_cast<uint32_t>(eligible.size()))];
+    last_.kind = LastMove::kSplit;
+    last_.a = a;
+    last_.saved_a = groups_[a];
+    last_.cost_a = costs_[a];
+
+    Group shuffled = groups_[a];
+    rng->Shuffle(&shuffled);
+    const size_t max_left = shuffled.size() - k_;
+    const size_t cut =
+        k_ + rng->Uniform(static_cast<uint32_t>(max_left - k_ + 1));
+    Group left(shuffled.begin(),
+               shuffled.begin() + static_cast<ptrdiff_t>(cut));
+    Group right(shuffled.begin() + static_cast<ptrdiff_t>(cut),
+                shuffled.end());
+    const size_t before = costs_[a];
+    groups_[a] = std::move(left);
+    costs_[a] = AnonCost(table_, groups_[a]);
+    groups_.push_back(std::move(right));
+    costs_.push_back(AnonCost(table_, groups_.back()));
+    *delta = static_cast<long long>(costs_[a] + costs_.back()) -
+             static_cast<long long>(before);
+    return true;
+  }
+
+  const Table& table_;
+  const size_t k_;
+  std::vector<Group> groups_;
+  std::vector<size_t> costs_;
+  LastMove last_;
+};
+
+}  // namespace
+
+AnnealingAnonymizer::AnnealingAnonymizer(std::unique_ptr<Anonymizer> base,
+                                         AnnealingOptions options)
+    : base_(std::move(base)), options_(options) {
+  KANON_CHECK(base_ != nullptr);
+}
+
+std::string AnnealingAnonymizer::name() const {
+  return base_->name() + "+annealing";
+}
+
+AnonymizationResult AnnealingAnonymizer::Run(const Table& table,
+                                             size_t k) {
+  WallTimer timer;
+  AnonymizationResult seed_result = base_->Run(table, k);
+  const size_t base_cost = seed_result.cost;
+
+  Rng rng(options_.seed);
+  State state(table, seed_result.partition, k);
+  size_t current = state.TotalCost();
+  size_t best = current;
+  Partition best_partition = state.ToPartition();
+
+  double temperature = options_.initial_temperature;
+  size_t accepted = 0;
+  for (size_t iter = 0; iter < options_.iterations; ++iter) {
+    long long delta = 0;
+    if (!state.Propose(&rng, &delta)) continue;
+    const bool accept =
+        delta <= 0 ||
+        rng.UniformDouble() <
+            std::exp(-static_cast<double>(delta) /
+                     std::max(temperature, 1e-9));
+    if (accept) {
+      ++accepted;
+      current = static_cast<size_t>(
+          static_cast<long long>(current) + delta);
+      state.Compact();
+      if (current < best) {
+        best = current;
+        best_partition = state.ToPartition();
+      }
+    } else {
+      state.Revert();
+    }
+    if ((iter + 1) % options_.cooling_interval == 0) {
+      temperature *= options_.cooling;
+    }
+  }
+
+  AnonymizationResult result;
+  result.partition = std::move(best_partition);
+  FinalizeResult(table, &result);
+  KANON_CHECK_LE(result.cost, base_cost);
+  KANON_CHECK_EQ(result.cost, best);
+  result.seconds = timer.Seconds();
+  std::ostringstream notes;
+  notes << "base_cost=" << base_cost << " accepted=" << accepted << "/"
+        << options_.iterations;
+  result.notes = notes.str();
+  return result;
+}
+
+}  // namespace kanon

@@ -1,0 +1,51 @@
+#ifndef KANON_ALGO_ANNEALING_H_
+#define KANON_ALGO_ANNEALING_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "algo/anonymizer.h"
+
+/// \file
+/// Simulated-annealing post-optimizer — a second answer to the paper's
+/// closing question ("can an approximation algorithm be found whose
+/// performance ratio is independent of k?"): unlike the greedy local
+/// search it can escape local optima by accepting uphill MOVE/SWAP/
+/// MERGE-SPLIT perturbations with temperature-controlled probability,
+/// at the price of losing the deterministic descent guarantee (the
+/// final answer is still clamped to never exceed the starting cost).
+
+namespace kanon {
+
+/// Annealing schedule parameters.
+struct AnnealingOptions {
+  /// Total proposal count.
+  size_t iterations = 20'000;
+  /// Initial temperature, in units of the objective (stars).
+  double initial_temperature = 4.0;
+  /// Geometric cooling factor applied every `cooling_interval` steps.
+  double cooling = 0.97;
+  size_t cooling_interval = 200;
+  /// PRNG seed (deterministic runs).
+  uint64_t seed = 1;
+};
+
+/// Anonymizer adapter: runs `base`, then anneals its partition. The
+/// returned partition is the best ever visited, so the result is never
+/// worse than the base algorithm's.
+class AnnealingAnonymizer : public Anonymizer {
+ public:
+  AnnealingAnonymizer(std::unique_ptr<Anonymizer> base,
+                      AnnealingOptions options = {});
+
+  std::string name() const override;
+  AnonymizationResult Run(const Table& table, size_t k) override;
+
+ private:
+  std::unique_ptr<Anonymizer> base_;
+  AnnealingOptions options_;
+};
+
+}  // namespace kanon
+
+#endif  // KANON_ALGO_ANNEALING_H_

@@ -1,0 +1,65 @@
+#ifndef KANON_ALGO_ANONYMIZER_H_
+#define KANON_ALGO_ANONYMIZER_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "core/partition.h"
+#include "core/suppressor.h"
+#include "data/table.h"
+
+/// \file
+/// Common interface of every k-anonymization algorithm in the library:
+/// the paper's two approximation algorithms, the exact solvers and the
+/// literature baselines. An algorithm produces a partition of the rows
+/// into groups of size >= k; the canonical suppressor for that partition
+/// (star each group's disagreeing columns) is the anonymization.
+
+namespace kanon {
+
+/// Output of one anonymization run.
+struct AnonymizationResult {
+  /// Row groups; every group has size >= k and each row appears once.
+  Partition partition;
+  /// Stars inserted by the canonical suppressor of `partition` (the
+  /// paper's objective value).
+  size_t cost = 0;
+  /// Diameter sum of the partition (the surrogate objective of §4.1).
+  size_t diameter_sum = 0;
+  /// Wall-clock seconds spent inside Run().
+  double seconds = 0.0;
+  /// Free-form counters (nodes explored, cover iterations, ...).
+  std::string notes;
+
+  /// Materializes the canonical suppressor.
+  Suppressor MakeSuppressor(const Table& table) const;
+};
+
+/// Abstract k-anonymizer.
+class Anonymizer {
+ public:
+  virtual ~Anonymizer() = default;
+
+  /// Stable machine-readable identifier ("greedy_cover", "exact_dp", ...).
+  virtual std::string name() const = 0;
+
+  /// Runs on `table` with privacy parameter k. Requires
+  /// 1 <= k <= table.num_rows() (a relation with n < k rows cannot be
+  /// k-anonymized at all, per Definition 2.2). Implementations must
+  /// return a valid partition with all groups >= k and must fill `cost`,
+  /// `diameter_sum` and `seconds`.
+  virtual AnonymizationResult Run(const Table& table, size_t k) = 0;
+};
+
+/// Validates a result against `table`/`k` and dies on violations; returns
+/// the result by value for chaining. Used by tests and the harness.
+AnonymizationResult ValidateResult(const Table& table, size_t k,
+                                   AnonymizationResult result);
+
+/// Fills cost/diameter_sum of `result` from its partition.
+void FinalizeResult(const Table& table, AnonymizationResult* result);
+
+}  // namespace kanon
+
+#endif  // KANON_ALGO_ANONYMIZER_H_

@@ -1,0 +1,44 @@
+#include "algo/attribute_adapter.h"
+
+#include <sstream>
+
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace kanon {
+
+AttributeAdapterAnonymizer::AttributeAdapterAnonymizer(
+    std::unique_ptr<AttributeAnonymizer> solver)
+    : solver_(std::move(solver)) {
+  KANON_CHECK(solver_ != nullptr);
+}
+
+std::string AttributeAdapterAnonymizer::name() const {
+  return solver_->name();
+}
+
+AnonymizationResult AttributeAdapterAnonymizer::Run(const Table& table,
+                                                    size_t k) {
+  WallTimer timer;
+  const AttributeResult attr = solver_->Solve(table, k);
+
+  AnonymizationResult result;
+  result.partition = attr.partition;
+  FinalizeResult(table, &result);
+  // The canonical suppressor of the kept-column grouping stars exactly
+  // the suppressed columns in every row (groups agree on kept columns
+  // by construction), so cost == n * |suppressed| unless two groups
+  // happen to agree on a suppressed column's values as well — the
+  // canonical suppressor can only do better.
+  KANON_CHECK_LE(result.cost,
+                 static_cast<size_t>(table.num_rows()) *
+                     attr.num_suppressed());
+  result.seconds = timer.Seconds();
+  std::ostringstream notes;
+  notes << "suppressed_attributes=" << attr.num_suppressed() << " ["
+        << attr.notes << "]";
+  result.notes = notes.str();
+  return result;
+}
+
+}  // namespace kanon

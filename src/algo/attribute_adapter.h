@@ -1,0 +1,34 @@
+#ifndef KANON_ALGO_ATTRIBUTE_ADAPTER_H_
+#define KANON_ALGO_ATTRIBUTE_ADAPTER_H_
+
+#include <memory>
+
+#include "algo/anonymizer.h"
+#include "algo/attribute_anonymity.h"
+
+/// \file
+/// Adapter exposing the Section 3.1 attribute-suppression solvers
+/// through the entry-suppression `Anonymizer` interface: a suppressed
+/// attribute is n starred entries, so the adapter's `cost` is directly
+/// comparable with the entry-level algorithms — which is exactly the
+/// comparison Theorem 3.2 motivates (whole-column suppression is the
+/// coarsest suppressor shape).
+
+namespace kanon {
+
+/// Wraps an AttributeAnonymizer as an Anonymizer.
+class AttributeAdapterAnonymizer : public Anonymizer {
+ public:
+  explicit AttributeAdapterAnonymizer(
+      std::unique_ptr<AttributeAnonymizer> solver);
+
+  std::string name() const override;
+  AnonymizationResult Run(const Table& table, size_t k) override;
+
+ private:
+  std::unique_ptr<AttributeAnonymizer> solver_;
+};
+
+}  // namespace kanon
+
+#endif  // KANON_ALGO_ATTRIBUTE_ADAPTER_H_

@@ -1,0 +1,61 @@
+#include "algo/attribute_anonymity.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/logging.h"
+
+namespace kanon {
+
+Suppressor AttributeResult::MakeSuppressor(const Table& table) const {
+  Suppressor t(table.num_rows(), table.num_columns());
+  for (const ColId c : suppressed) t.SuppressColumn(c);
+  return t;
+}
+
+Partition GroupByKeptColumns(const Table& table, uint64_t kept_mask) {
+  std::map<std::vector<ValueCode>, Group> buckets;
+  std::vector<ValueCode> key;
+  for (RowId r = 0; r < table.num_rows(); ++r) {
+    key.clear();
+    for (ColId c = 0; c < table.num_columns(); ++c) {
+      if (kept_mask & (uint64_t{1} << c)) key.push_back(table.at(r, c));
+    }
+    buckets[key].push_back(r);
+  }
+  Partition p;
+  p.groups.reserve(buckets.size());
+  for (auto& [unused, group] : buckets) p.groups.push_back(std::move(group));
+  return p;
+}
+
+size_t ProjectionAnonymityLevel(const Table& table, uint64_t kept_mask) {
+  if (table.num_rows() == 0) return 0;
+  const Partition p = GroupByKeptColumns(table, kept_mask);
+  size_t level = table.num_rows();
+  for (const Group& g : p.groups) level = std::min(level, g.size());
+  return level;
+}
+
+bool KeptSetFeasible(const Table& table, uint64_t kept_mask, size_t k) {
+  return ProjectionAnonymityLevel(table, kept_mask) >= k;
+}
+
+AttributeResult ValidateAttributeResult(const Table& table, size_t k,
+                                        AttributeResult result) {
+  KANON_CHECK_LE(table.num_columns(), 63u);
+  uint64_t kept = (uint64_t{1} << table.num_columns()) - 1;
+  for (const ColId c : result.suppressed) {
+    KANON_CHECK_LT(c, table.num_columns());
+    KANON_CHECK(kept & (uint64_t{1} << c)) << "duplicate suppressed column";
+    kept &= ~(uint64_t{1} << c);
+  }
+  KANON_CHECK(KeptSetFeasible(table, kept, k));
+  const Partition expected = GroupByKeptColumns(table, kept);
+  KANON_CHECK_EQ(expected.num_groups(), result.partition.num_groups());
+  KANON_CHECK(IsValidPartition(result.partition, table.num_rows(), k,
+                               table.num_rows()));
+  return result;
+}
+
+}  // namespace kanon

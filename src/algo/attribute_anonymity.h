@@ -1,0 +1,72 @@
+#ifndef KANON_ALGO_ATTRIBUTE_ANONYMITY_H_
+#define KANON_ALGO_ATTRIBUTE_ANONYMITY_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/partition.h"
+#include "core/suppressor.h"
+#include "data/table.h"
+
+/// \file
+/// k-ANONYMITY ON ATTRIBUTES (Section 3.1): instead of starring
+/// individual entries, whole attributes are suppressed; minimize the
+/// number of suppressed attributes subject to k-anonymity of the
+/// projection onto the kept attributes.
+///
+/// Key structural fact: suppressing MORE attributes only coarsens the
+/// induced row partition, so feasibility of a kept-attribute set is
+/// downward monotone. The exact solver searches kept sets by decreasing
+/// size; the greedy solver eliminates attributes backward.
+
+namespace kanon {
+
+/// Output of an attribute-suppression solver.
+struct AttributeResult {
+  /// Columns suppressed (the objective is its size).
+  std::vector<ColId> suppressed;
+  /// Groups of rows identical on the kept columns; all sizes >= k.
+  Partition partition;
+  /// seconds spent in Solve().
+  double seconds = 0.0;
+  /// Free-form counters.
+  std::string notes;
+
+  size_t num_suppressed() const { return suppressed.size(); }
+
+  /// Materializes the column suppressor.
+  Suppressor MakeSuppressor(const Table& table) const;
+};
+
+/// True iff keeping exactly the columns with kept_mask bit set yields a
+/// k-anonymous projection. `kept_mask` bit c corresponds to column c;
+/// requires m <= 63.
+bool KeptSetFeasible(const Table& table, uint64_t kept_mask, size_t k);
+
+/// Partition of rows by equality on the kept columns.
+Partition GroupByKeptColumns(const Table& table, uint64_t kept_mask);
+
+/// Minimum multiplicity of the projection onto kept columns (n for empty
+/// kept set on a nonempty table).
+size_t ProjectionAnonymityLevel(const Table& table, uint64_t kept_mask);
+
+/// Abstract solver interface.
+class AttributeAnonymizer {
+ public:
+  virtual ~AttributeAnonymizer() = default;
+  virtual std::string name() const = 0;
+  /// Requires 1 <= k <= n and m <= 63. The all-suppressed solution is
+  /// always feasible (every row becomes (*,...,*)), so Solve always
+  /// succeeds.
+  virtual AttributeResult Solve(const Table& table, size_t k) = 0;
+};
+
+/// Validates a result (partition matches the kept-column grouping, all
+/// groups >= k) and dies on violations; returns it for chaining.
+AttributeResult ValidateAttributeResult(const Table& table, size_t k,
+                                        AttributeResult result);
+
+}  // namespace kanon
+
+#endif  // KANON_ALGO_ATTRIBUTE_ANONYMITY_H_

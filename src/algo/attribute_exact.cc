@@ -1,0 +1,86 @@
+#include "algo/attribute_exact.h"
+
+#include <bit>
+#include <sstream>
+
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace kanon {
+
+namespace {
+
+/// Enumerates all `s`-subsets of [0, m) as bitmasks in lexicographic
+/// order of their member lists; returns false from `fn` to stop early.
+template <typename Fn>
+bool ForEachColumnSubset(ColId m, size_t s, Fn&& fn) {
+  if (s > m) return true;
+  if (s == 0) return fn(uint64_t{0});
+  std::vector<ColId> idx(s);
+  for (size_t i = 0; i < s; ++i) idx[i] = static_cast<ColId>(i);
+  for (;;) {
+    uint64_t mask = 0;
+    for (const ColId c : idx) mask |= uint64_t{1} << c;
+    if (!fn(mask)) return false;
+    size_t i = s;
+    bool advanced = false;
+    while (i > 0) {
+      --i;
+      if (idx[i] + (s - i) < m) {
+        ++idx[i];
+        for (size_t j = i + 1; j < s; ++j) idx[j] = idx[j - 1] + 1;
+        advanced = true;
+        break;
+      }
+    }
+    if (!advanced) return true;
+  }
+}
+
+}  // namespace
+
+ExactAttributeAnonymizer::ExactAttributeAnonymizer(
+    ExactAttributeOptions options)
+    : options_(options) {}
+
+AttributeResult ExactAttributeAnonymizer::Solve(const Table& table,
+                                                size_t k) {
+  const ColId m = table.num_columns();
+  KANON_CHECK_GE(k, 1u);
+  KANON_CHECK_GE(static_cast<size_t>(table.num_rows()), k);
+  KANON_CHECK_LE(static_cast<size_t>(m), options_.max_columns)
+      << "attribute_exact is exponential in m";
+
+  WallTimer timer;
+  size_t checked = 0;
+  uint64_t best_kept = 0;
+  bool found = false;
+  // Largest kept set first; the first feasible one is optimal by
+  // downward monotonicity of feasibility.
+  for (size_t kept_size = m; !found; --kept_size) {
+    ForEachColumnSubset(m, kept_size, [&](uint64_t kept) {
+      ++checked;
+      if (KeptSetFeasible(table, kept, k)) {
+        best_kept = kept;
+        found = true;
+        return false;  // stop enumeration at this size
+      }
+      return true;
+    });
+    if (kept_size == 0) break;
+  }
+  KANON_CHECK(found);  // kept_size == 0 is always feasible for n >= k
+
+  AttributeResult result;
+  for (ColId c = 0; c < m; ++c) {
+    if (!(best_kept & (uint64_t{1} << c))) result.suppressed.push_back(c);
+  }
+  result.partition = GroupByKeptColumns(table, best_kept);
+  result.seconds = timer.Seconds();
+  std::ostringstream notes;
+  notes << "kept_sets_checked=" << checked;
+  result.notes = notes.str();
+  return result;
+}
+
+}  // namespace kanon

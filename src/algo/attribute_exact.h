@@ -1,0 +1,35 @@
+#ifndef KANON_ALGO_ATTRIBUTE_EXACT_H_
+#define KANON_ALGO_ATTRIBUTE_EXACT_H_
+
+#include "algo/attribute_anonymity.h"
+
+/// \file
+/// Exact solver for k-ANONYMITY ON ATTRIBUTES. The problem is NP-hard
+/// (Theorem 3.2), so this is exponential in m: kept-attribute sets are
+/// enumerated by decreasing cardinality and the first feasible set wins
+/// (feasibility is downward monotone, so that set is optimal). The
+/// hardness experiment E2 uses this as its optimality oracle.
+
+namespace kanon {
+
+/// Configuration for ExactAttributeAnonymizer.
+struct ExactAttributeOptions {
+  /// Hard cap on the number of columns (2^m subsets in the worst case).
+  size_t max_columns = 24;
+};
+
+/// Exact exponential-in-m solver.
+class ExactAttributeAnonymizer : public AttributeAnonymizer {
+ public:
+  explicit ExactAttributeAnonymizer(ExactAttributeOptions options = {});
+
+  std::string name() const override { return "attribute_exact"; }
+  AttributeResult Solve(const Table& table, size_t k) override;
+
+ private:
+  ExactAttributeOptions options_;
+};
+
+}  // namespace kanon
+
+#endif  // KANON_ALGO_ATTRIBUTE_EXACT_H_

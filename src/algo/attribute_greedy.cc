@@ -1,0 +1,56 @@
+#include "algo/attribute_greedy.h"
+
+#include <sstream>
+
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace kanon {
+
+AttributeResult GreedyAttributeAnonymizer::Solve(const Table& table,
+                                                 size_t k) {
+  const ColId m = table.num_columns();
+  KANON_CHECK_GE(k, 1u);
+  KANON_CHECK_GE(static_cast<size_t>(table.num_rows()), k);
+  KANON_CHECK_LE(m, 63u);
+
+  WallTimer timer;
+  uint64_t kept = (m == 0) ? 0 : ((uint64_t{1} << m) - 1);
+  AttributeResult result;
+  size_t checks = 0;
+
+  while (true) {
+    ++checks;
+    if (KeptSetFeasible(table, kept, k)) break;
+    // Pick the kept attribute whose suppression maximizes the projection
+    // anonymity level.
+    ColId best_col = m;
+    size_t best_level = 0;
+    size_t best_alphabet = 0;
+    for (ColId c = 0; c < m; ++c) {
+      const uint64_t bit = uint64_t{1} << c;
+      if (!(kept & bit)) continue;
+      ++checks;
+      const size_t level = ProjectionAnonymityLevel(table, kept & ~bit);
+      const size_t alphabet = table.schema().dictionary(c).size();
+      if (best_col == m || level > best_level ||
+          (level == best_level && alphabet > best_alphabet)) {
+        best_col = c;
+        best_level = level;
+        best_alphabet = alphabet;
+      }
+    }
+    KANON_CHECK_LT(best_col, m);  // kept nonempty while infeasible
+    kept &= ~(uint64_t{1} << best_col);
+    result.suppressed.push_back(best_col);
+  }
+
+  result.partition = GroupByKeptColumns(table, kept);
+  result.seconds = timer.Seconds();
+  std::ostringstream notes;
+  notes << "feasibility_checks=" << checks;
+  result.notes = notes.str();
+  return result;
+}
+
+}  // namespace kanon

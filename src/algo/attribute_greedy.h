@@ -1,0 +1,27 @@
+#ifndef KANON_ALGO_ATTRIBUTE_GREEDY_H_
+#define KANON_ALGO_ATTRIBUTE_GREEDY_H_
+
+#include "algo/attribute_anonymity.h"
+
+/// \file
+/// Greedy backward-elimination heuristic for k-ANONYMITY ON ATTRIBUTES:
+/// starting from all attributes kept, repeatedly suppress the attribute
+/// whose removal raises the projection's anonymity level the most (ties:
+/// the attribute with the largest alphabet, then lowest index), until the
+/// projection is k-anonymous. Polynomial: O(m^2) feasibility checks.
+/// No approximation guarantee — Theorem 3.2's hardness suggests none is
+/// cheap to get — but it is the natural practical heuristic and E2
+/// measures its gap against the exact solver.
+
+namespace kanon {
+
+/// Greedy backward elimination.
+class GreedyAttributeAnonymizer : public AttributeAnonymizer {
+ public:
+  std::string name() const override { return "attribute_greedy"; }
+  AttributeResult Solve(const Table& table, size_t k) override;
+};
+
+}  // namespace kanon
+
+#endif  // KANON_ALGO_ATTRIBUTE_GREEDY_H_

@@ -1,0 +1,180 @@
+#include "algo/branch_bound.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/bounds.h"
+#include "core/cost.h"
+#include "core/distance.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace kanon {
+
+namespace {
+
+/// DFS state for the exact search.
+class Search {
+ public:
+  Search(const Table& table, const DistanceMatrix& dm, size_t k,
+         size_t max_nodes)
+      : table_(table), k_(k), max_nodes_(max_nodes) {
+    const RowId n = table.num_rows();
+    assigned_.assign(n, false);
+    row_lb_.resize(n);
+    for (RowId r = 0; r < n; ++r) {
+      row_lb_[r] = (k >= 2) ? dm.KthNearestDistance(
+                                  r, static_cast<RowId>(k - 1))
+                            : 0;
+      remaining_lb_ += row_lb_[r];
+    }
+  }
+
+  /// Runs the search starting from an incumbent partition/cost.
+  void Run(Partition incumbent, size_t incumbent_cost) {
+    best_partition_ = std::move(incumbent);
+    best_cost_ = incumbent_cost;
+    current_.groups.clear();
+    Assign(0);
+  }
+
+  const Partition& best_partition() const { return best_partition_; }
+  size_t best_cost() const { return best_cost_; }
+  size_t nodes() const { return nodes_; }
+  bool truncated() const { return truncated_; }
+
+ private:
+  bool NodeBudgetExceeded() {
+    if (max_nodes_ != 0 && nodes_ >= max_nodes_) {
+      truncated_ = true;
+      return true;
+    }
+    return false;
+  }
+
+  /// Outer recursion: all rows < `from_hint` are known-assigned.
+  void Assign(RowId from_hint) {
+    if (truncated_) return;
+    ++nodes_;
+    if (NodeBudgetExceeded()) return;
+    // Find the anchor: lowest unassigned row.
+    RowId anchor = from_hint;
+    const RowId n = table_.num_rows();
+    while (anchor < n && assigned_[anchor]) ++anchor;
+    if (anchor == n) {
+      if (current_cost_ < best_cost_) {
+        best_cost_ = current_cost_;
+        best_partition_ = current_;
+      }
+      return;
+    }
+    // Candidates for the anchor's group.
+    std::vector<RowId> candidates;
+    for (RowId r = anchor + 1; r < n; ++r) {
+      if (!assigned_[r]) candidates.push_back(r);
+    }
+    if (candidates.size() + 1 < k_) return;  // cannot form a group
+    Group group = {anchor};
+    Extend(&group, candidates, 0, anchor);
+  }
+
+  /// Inner recursion: grow `group` (which contains the anchor) with
+  /// candidates[pos..]; every subset of size in [k, 2k-1] is tried.
+  void Extend(Group* group, const std::vector<RowId>& candidates,
+              size_t pos, RowId anchor) {
+    if (truncated_) return;
+    if (group->size() >= k_) TryGroup(*group, anchor);
+    if (group->size() == 2 * k_ - 1) return;
+    for (size_t i = pos; i < candidates.size(); ++i) {
+      group->push_back(candidates[i]);
+      Extend(group, candidates, i + 1, anchor);
+      group->pop_back();
+      if (truncated_) return;
+    }
+  }
+
+  /// Commits `group`, recurses, rolls back.
+  void TryGroup(const Group& group, RowId anchor) {
+    const size_t group_cost = AnonCost(table_, group);
+    size_t group_lb = 0;
+    for (const RowId r : group) group_lb += row_lb_[r];
+    // Prune: committed cost + this group + LB of what remains.
+    const size_t projected =
+        current_cost_ + group_cost + (remaining_lb_ - group_lb);
+    if (projected >= best_cost_) return;
+
+    for (const RowId r : group) assigned_[r] = true;
+    current_cost_ += group_cost;
+    remaining_lb_ -= group_lb;
+    current_.groups.push_back(group);
+
+    Assign(anchor + 1);
+
+    current_.groups.pop_back();
+    remaining_lb_ += group_lb;
+    current_cost_ -= group_cost;
+    for (const RowId r : group) assigned_[r] = false;
+  }
+
+  const Table& table_;
+  const size_t k_;
+  const size_t max_nodes_;
+
+  std::vector<bool> assigned_;
+  std::vector<ColId> row_lb_;
+  size_t remaining_lb_ = 0;
+
+  Partition current_;
+  size_t current_cost_ = 0;
+
+  Partition best_partition_;
+  size_t best_cost_ = 0;
+  size_t nodes_ = 0;
+  bool truncated_ = false;
+};
+
+/// Quick incumbent: consecutive chunks of size k (remainder folded into
+/// the final chunk).
+Partition ChunkPartition(RowId n, size_t k) {
+  Partition p;
+  Group all(n);
+  for (RowId r = 0; r < n; ++r) all[r] = r;
+  p.groups.push_back(std::move(all));
+  return SplitLargeGroups(p, k);
+}
+
+}  // namespace
+
+BranchBoundAnonymizer::BranchBoundAnonymizer(BranchBoundOptions options)
+    : options_(options) {}
+
+AnonymizationResult BranchBoundAnonymizer::Run(const Table& table,
+                                               size_t k) {
+  const RowId n = table.num_rows();
+  KANON_CHECK_GE(k, 1u);
+  KANON_CHECK_GE(static_cast<size_t>(n), k);
+  KANON_CHECK_LE(static_cast<size_t>(n), options_.max_rows)
+      << "branch_bound is exponential in n";
+
+  WallTimer timer;
+  const DistanceMatrix dm(table);
+  Search search(table, dm, k, options_.max_nodes);
+  // The chunk partition seeds a finite incumbent; the search only
+  // replaces it on strict improvement, so its cost is an upper bound
+  // throughout and pruning with >= is safe.
+  const Partition incumbent = ChunkPartition(n, k);
+  search.Run(incumbent, PartitionCost(table, incumbent));
+
+  AnonymizationResult result;
+  result.partition = search.best_partition();
+  FinalizeResult(table, &result);
+  KANON_CHECK_EQ(result.cost, search.best_cost());
+  result.seconds = timer.Seconds();
+  std::ostringstream notes;
+  notes << "nodes=" << search.nodes()
+        << (search.truncated() ? " TRUNCATED" : "");
+  result.notes = notes.str();
+  return result;
+}
+
+}  // namespace kanon

@@ -1,0 +1,48 @@
+#ifndef KANON_ALGO_BRANCH_BOUND_H_
+#define KANON_ALGO_BRANCH_BOUND_H_
+
+#include <cstddef>
+
+#include "algo/anonymizer.h"
+
+/// \file
+/// Exact optimal k-anonymity by branch & bound over anchored groups.
+///
+/// Search: repeatedly take the lowest unassigned row as anchor and branch
+/// on every candidate group (anchor + a (k-1)..(2k-2)-subset of unassigned
+/// rows). Prune with
+///   current cost + sum_{r unassigned} d_{k-1}NN(r)  >=  incumbent,
+/// where the per-row term is the k-NN lower bound of core/bounds.h
+/// evaluated on the full table (a superset of candidates, hence valid).
+///
+/// Complements exact_dp: no 2^n memory, so it reaches slightly larger n
+/// when the instance has pruning-friendly structure (e.g. planted
+/// clusters), and it cross-checks the DP in tests.
+
+namespace kanon {
+
+/// Configuration for BranchBoundAnonymizer.
+struct BranchBoundOptions {
+  /// Hard instance-size cap.
+  size_t max_rows = 28;
+  /// Optional cap on explored search nodes; 0 = unlimited. When the cap
+  /// is hit the incumbent (a valid anonymization, possibly suboptimal)
+  /// is returned and `notes` records the truncation.
+  size_t max_nodes = 0;
+};
+
+/// Exact (or anytime, when max_nodes truncates) solver.
+class BranchBoundAnonymizer : public Anonymizer {
+ public:
+  explicit BranchBoundAnonymizer(BranchBoundOptions options = {});
+
+  std::string name() const override { return "branch_bound"; }
+  AnonymizationResult Run(const Table& table, size_t k) override;
+
+ private:
+  BranchBoundOptions options_;
+};
+
+}  // namespace kanon
+
+#endif  // KANON_ALGO_BRANCH_BOUND_H_

@@ -1,0 +1,106 @@
+#include "algo/cluster_greedy.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/cost.h"
+#include "core/distance.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace kanon {
+
+namespace {
+
+/// ANON cost of `group` with `extra` appended (without mutating group).
+size_t CostWith(const Table& table, const Group& group, RowId extra) {
+  Group tmp = group;
+  tmp.push_back(extra);
+  return AnonCost(table, tmp);
+}
+
+}  // namespace
+
+AnonymizationResult ClusterGreedyAnonymizer::Run(const Table& table,
+                                                 size_t k) {
+  const RowId n = table.num_rows();
+  KANON_CHECK_GE(k, 1u);
+  KANON_CHECK_GE(static_cast<size_t>(n), k);
+
+  WallTimer timer;
+  const DistanceMatrix dm(table);
+  std::vector<bool> assigned(n, false);
+  size_t unassigned = n;
+
+  AnonymizationResult result;
+  RowId seed = 0;
+  while (unassigned >= k) {
+    // Seed: the unassigned row farthest from the previous seed (first
+    // iteration: row 0).
+    RowId far = n;
+    ColId far_dist = 0;
+    for (RowId r = 0; r < n; ++r) {
+      if (assigned[r]) continue;
+      const ColId d = result.partition.groups.empty() && r == 0
+                          ? 0
+                          : dm.at(seed, r);
+      if (far == n || d > far_dist) {
+        far = r;
+        far_dist = d;
+      }
+    }
+    KANON_CHECK_LT(far, n);
+    seed = far;
+
+    Group group = {seed};
+    assigned[seed] = true;
+    --unassigned;
+    while (group.size() < k) {
+      RowId best = n;
+      size_t best_cost = 0;
+      for (RowId r = 0; r < n; ++r) {
+        if (assigned[r]) continue;
+        const size_t c = CostWith(table, group, r);
+        if (best == n || c < best_cost) {
+          best = r;
+          best_cost = c;
+        }
+      }
+      KANON_CHECK_LT(best, n);
+      group.push_back(best);
+      assigned[best] = true;
+      --unassigned;
+    }
+    result.partition.groups.push_back(std::move(group));
+  }
+
+  // Fold leftovers into the cheapest group.
+  for (RowId r = 0; r < n; ++r) {
+    if (assigned[r]) continue;
+    size_t best_group = 0;
+    size_t best_delta = 0;
+    bool first = true;
+    for (size_t g = 0; g < result.partition.groups.size(); ++g) {
+      const Group& group = result.partition.groups[g];
+      const size_t delta =
+          CostWith(table, group, r) - AnonCost(table, group);
+      if (first || delta < best_delta) {
+        first = false;
+        best_group = g;
+        best_delta = delta;
+      }
+    }
+    KANON_CHECK(!first);
+    result.partition.groups[best_group].push_back(r);
+    assigned[r] = true;
+  }
+
+  FinalizeResult(table, &result);
+  result.seconds = timer.Seconds();
+  std::ostringstream notes;
+  notes << "groups=" << result.partition.num_groups();
+  result.notes = notes.str();
+  return result;
+}
+
+}  // namespace kanon

@@ -1,0 +1,121 @@
+#include "algo/greedy_cover.h"
+
+#include <limits>
+#include <sstream>
+
+#include "algo/reduce.h"
+#include "core/cost.h"
+#include "core/distance.h"
+#include "setcover/set_cover.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace kanon {
+
+namespace {
+
+/// Saturating binomial coefficient.
+size_t Binomial(size_t n, size_t r) {
+  if (r > n) return 0;
+  r = std::min(r, n - r);
+  size_t result = 1;
+  for (size_t i = 1; i <= r; ++i) {
+    const size_t numer = n - r + i;
+    if (result > std::numeric_limits<size_t>::max() / numer) {
+      return std::numeric_limits<size_t>::max();
+    }
+    result = result * numer / i;
+  }
+  return result;
+}
+
+/// Enumerates all size-`s` subsets of [0, n) in lexicographic order,
+/// invoking `fn` with each subset.
+template <typename Fn>
+void ForEachCombination(RowId n, size_t s, Fn&& fn) {
+  if (s == 0 || s > n) return;
+  std::vector<RowId> combo(s);
+  for (size_t i = 0; i < s; ++i) combo[i] = static_cast<RowId>(i);
+  for (;;) {
+    fn(combo);
+    // Advance to the next combination.
+    size_t i = s;
+    while (i > 0) {
+      --i;
+      if (combo[i] + (s - i) < n) {
+        ++combo[i];
+        for (size_t j = i + 1; j < s; ++j) combo[j] = combo[j - 1] + 1;
+        break;
+      }
+      if (i == 0) return;
+    }
+  }
+}
+
+}  // namespace
+
+GreedyCoverAnonymizer::GreedyCoverAnonymizer(GreedyCoverOptions options)
+    : options_(options) {}
+
+size_t GreedyCoverAnonymizer::FamilySize(size_t n, size_t k) {
+  size_t total = 0;
+  for (size_t s = k; s <= 2 * k - 1; ++s) {
+    const size_t c = Binomial(n, s);
+    if (c == std::numeric_limits<size_t>::max() ||
+        total > std::numeric_limits<size_t>::max() - c) {
+      return std::numeric_limits<size_t>::max();
+    }
+    total += c;
+  }
+  return total;
+}
+
+AnonymizationResult GreedyCoverAnonymizer::Run(const Table& table,
+                                               size_t k) {
+  const RowId n = table.num_rows();
+  KANON_CHECK_GE(k, 1u);
+  KANON_CHECK_GE(static_cast<size_t>(n), k);
+  KANON_CHECK_LE(FamilySize(n, k), options_.max_family_size)
+      << "family C too large for greedy_cover; use ball_cover";
+
+  WallTimer timer;
+  const DistanceMatrix dm(table);
+
+  // Phase 0: materialize C, the family of all subsets with cardinality in
+  // [k, 2k-1], weighted by diameter.
+  std::vector<std::vector<uint32_t>> sets;
+  std::vector<double> weights;
+  for (size_t s = k; s <= 2 * k - 1 && s <= n; ++s) {
+    ForEachCombination(n, s, [&](const std::vector<RowId>& combo) {
+      sets.emplace_back(combo.begin(), combo.end());
+      weights.push_back(static_cast<double>(dm.Diameter(combo)));
+    });
+  }
+  const VectorSetFamily family(n, std::move(sets), std::move(weights));
+
+  // Phase 1: greedy cover.
+  const SetCoverResult cover_result = GreedySetCover(family);
+  KANON_CHECK(cover_result.complete);
+  Partition cover;
+  cover.groups.reserve(cover_result.chosen.size());
+  for (const size_t s : cover_result.chosen) {
+    const std::vector<uint32_t> members = family.Members(s);
+    cover.groups.emplace_back(members.begin(), members.end());
+  }
+
+  // Phase 2: cover -> partition (diameter sum does not increase).
+  AnonymizationResult result;
+  result.partition = ReduceCoverToPartition(table, cover, k);
+
+  // Phase 3: the canonical suppressor cost.
+  FinalizeResult(table, &result);
+  result.seconds = timer.Seconds();
+  std::ostringstream notes;
+  notes << "family=" << family.NumSets()
+        << " cover_sets=" << cover_result.chosen.size()
+        << " cover_weight=" << cover_result.total_weight;
+  result.notes = notes.str();
+  return result;
+}
+
+}  // namespace kanon

@@ -1,0 +1,54 @@
+#ifndef KANON_ALGO_GREEDY_COVER_H_
+#define KANON_ALGO_GREEDY_COVER_H_
+
+#include <cstddef>
+
+#include "algo/anonymizer.h"
+
+/// \file
+/// The paper's first approximation algorithm (Theorem 4.1):
+///
+///   1. Build the collection C of ALL subsets of rows with cardinality in
+///      [k, 2k-1], weighted by Hamming diameter.
+///   2. Greedy weighted set cover over C — a (1 + ln 2k)-approximation
+///      (the paper states 1 + ln k for subsets "of cardinality at most
+///      2k"; the constant is absorbed into the O(k log k) statement) to
+///      the k-minimum diameter sum, relaxed to covers.
+///   3. Reduce the cover to a (k, 2k-1)-partition (no diameter-sum
+///      increase).
+///   4. Star each group's disagreeing columns.
+///
+/// Total approximation ratio for k-anonymity: 3k(1 + ln 2k) via
+/// Lemma 4.1 / Corollary 4.1. Runtime O(n^{2k}) — exponential in k, so
+/// Run() refuses instances whose family C would exceed `max_family_size`.
+
+namespace kanon {
+
+/// Configuration for GreedyCoverAnonymizer.
+struct GreedyCoverOptions {
+  /// Hard cap on |C| = sum_{s=k}^{2k-1} C(n, s); Run() dies if exceeded
+  /// (the strongly-polynomial BallCoverAnonymizer is the right tool
+  /// there). 20M sets ~ a few GB of transient member lists; the default
+  /// keeps experiments laptop-friendly.
+  size_t max_family_size = 2'000'000;
+};
+
+/// Theorem 4.1 algorithm.
+class GreedyCoverAnonymizer : public Anonymizer {
+ public:
+  explicit GreedyCoverAnonymizer(GreedyCoverOptions options = {});
+
+  std::string name() const override { return "greedy_cover"; }
+  AnonymizationResult Run(const Table& table, size_t k) override;
+
+  /// Number of sets Run() would enumerate for (n, k); saturates at
+  /// SIZE_MAX on overflow. Exposed so callers can pre-check feasibility.
+  static size_t FamilySize(size_t n, size_t k);
+
+ private:
+  GreedyCoverOptions options_;
+};
+
+}  // namespace kanon
+
+#endif  // KANON_ALGO_GREEDY_COVER_H_

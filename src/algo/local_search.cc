@@ -1,0 +1,142 @@
+#include "algo/local_search.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/cost.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace kanon {
+
+namespace {
+
+/// Cost of `group` with member at `idx` removed.
+size_t CostWithout(const Table& table, const Group& group, size_t idx) {
+  Group tmp;
+  tmp.reserve(group.size() - 1);
+  for (size_t i = 0; i < group.size(); ++i) {
+    if (i != idx) tmp.push_back(group[i]);
+  }
+  return AnonCost(table, tmp);
+}
+
+/// Cost of `group` with `extra` appended.
+size_t CostWith(const Table& table, const Group& group, RowId extra) {
+  Group tmp = group;
+  tmp.push_back(extra);
+  return AnonCost(table, tmp);
+}
+
+/// Cost of `group` with member at `idx` replaced by `replacement`.
+size_t CostReplacing(const Table& table, const Group& group, size_t idx,
+                     RowId replacement) {
+  Group tmp = group;
+  tmp[idx] = replacement;
+  return AnonCost(table, tmp);
+}
+
+}  // namespace
+
+size_t ImprovePartition(const Table& table, size_t k,
+                        const LocalSearchOptions& options,
+                        Partition* partition) {
+  KANON_CHECK(IsValidPartition(*partition, table.num_rows(), k,
+                               table.num_rows()));
+  std::vector<Group>& groups = partition->groups;
+  std::vector<size_t> cost(groups.size());
+  for (size_t g = 0; g < groups.size(); ++g) {
+    cost[g] = AnonCost(table, groups[g]);
+  }
+
+  size_t applied = 0;
+  for (size_t pass = 0; pass < options.max_passes; ++pass) {
+    bool improved = false;
+    // MOVE: row out of an oversized group.
+    for (size_t a = 0; a < groups.size(); ++a) {
+      if (groups[a].size() <= k) continue;
+      for (size_t i = 0; i < groups[a].size(); ++i) {
+        const RowId row = groups[a][i];
+        const size_t a_without = CostWithout(table, groups[a], i);
+        size_t best_b = groups.size();
+        size_t best_delta_gain = 0;
+        for (size_t b = 0; b < groups.size(); ++b) {
+          if (b == a) continue;
+          const size_t b_with = CostWith(table, groups[b], row);
+          const size_t before = cost[a] + cost[b];
+          const size_t after = a_without + b_with;
+          if (after < before) {
+            const size_t gain = before - after;
+            if (best_b == groups.size() || gain > best_delta_gain) {
+              best_b = b;
+              best_delta_gain = gain;
+            }
+          }
+        }
+        if (best_b != groups.size()) {
+          groups[best_b].push_back(row);
+          groups[a].erase(groups[a].begin() + static_cast<ptrdiff_t>(i));
+          cost[a] = AnonCost(table, groups[a]);
+          cost[best_b] = AnonCost(table, groups[best_b]);
+          ++applied;
+          improved = true;
+          if (groups[a].size() <= k) break;
+          --i;  // re-examine this slot, now holding a different row
+        }
+      }
+    }
+    // SWAP: exchange rows between two groups.
+    for (size_t a = 0; a < groups.size(); ++a) {
+      for (size_t b = a + 1; b < groups.size(); ++b) {
+        for (size_t i = 0; i < groups[a].size(); ++i) {
+          for (size_t j = 0; j < groups[b].size(); ++j) {
+            const size_t a_new =
+                CostReplacing(table, groups[a], i, groups[b][j]);
+            const size_t b_new =
+                CostReplacing(table, groups[b], j, groups[a][i]);
+            if (a_new + b_new < cost[a] + cost[b]) {
+              std::swap(groups[a][i], groups[b][j]);
+              cost[a] = a_new;
+              cost[b] = b_new;
+              ++applied;
+              improved = true;
+            }
+          }
+        }
+      }
+    }
+    if (!improved) break;
+  }
+
+  KANON_CHECK(IsValidPartition(*partition, table.num_rows(), k,
+                               table.num_rows()));
+  return applied;
+}
+
+LocalSearchAnonymizer::LocalSearchAnonymizer(
+    std::unique_ptr<Anonymizer> base, LocalSearchOptions options)
+    : base_(std::move(base)), options_(options) {
+  KANON_CHECK(base_ != nullptr);
+}
+
+std::string LocalSearchAnonymizer::name() const {
+  return base_->name() + "+local_search";
+}
+
+AnonymizationResult LocalSearchAnonymizer::Run(const Table& table,
+                                               size_t k) {
+  WallTimer timer;
+  AnonymizationResult result = base_->Run(table, k);
+  const size_t base_cost = result.cost;
+  const size_t moves = ImprovePartition(table, k, options_, &result.partition);
+  FinalizeResult(table, &result);
+  KANON_CHECK_LE(result.cost, base_cost);
+  result.seconds = timer.Seconds();
+  std::ostringstream notes;
+  notes << "base_cost=" << base_cost << " moves=" << moves << " ["
+        << result.notes << "]";
+  result.notes = notes.str();
+  return result;
+}
+
+}  // namespace kanon

@@ -1,0 +1,54 @@
+#ifndef KANON_ALGO_LOCAL_SEARCH_H_
+#define KANON_ALGO_LOCAL_SEARCH_H_
+
+#include <memory>
+
+#include "algo/anonymizer.h"
+
+/// \file
+/// Local-search post-optimizer, implementing the improvement direction
+/// the paper leaves open ("we are confident this bound can be improved
+/// ... beyond the scope of this work"): take any valid partition and
+/// apply cost-decreasing moves until a local optimum:
+///
+///   * MOVE  — relocate a row from a group with > k members to another
+///     group;
+///   * SWAP  — exchange two rows between different groups.
+///
+/// Both preserve the >= k group-size invariant, so every intermediate
+/// state is a valid k-anonymization and the final cost is <= the input
+/// cost. Used standalone (wrapping a base algorithm) and as the
+/// `+local_search` ablation arm of E8.
+
+namespace kanon {
+
+/// Configuration for LocalSearchAnonymizer and ImprovePartition.
+struct LocalSearchOptions {
+  /// Max full passes over all (row, group) pairs; each pass is
+  /// O(n * groups * k * m). 0 disables improvement entirely.
+  size_t max_passes = 64;
+};
+
+/// Improves `partition` in place; returns the number of applied moves.
+/// Requires a valid partition with all groups >= k.
+size_t ImprovePartition(const Table& table, size_t k,
+                        const LocalSearchOptions& options,
+                        Partition* partition);
+
+/// Anonymizer adapter: runs `base`, then improves its partition.
+class LocalSearchAnonymizer : public Anonymizer {
+ public:
+  LocalSearchAnonymizer(std::unique_ptr<Anonymizer> base,
+                        LocalSearchOptions options = {});
+
+  std::string name() const override;
+  AnonymizationResult Run(const Table& table, size_t k) override;
+
+ private:
+  std::unique_ptr<Anonymizer> base_;
+  LocalSearchOptions options_;
+};
+
+}  // namespace kanon
+
+#endif  // KANON_ALGO_LOCAL_SEARCH_H_

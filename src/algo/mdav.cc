@@ -1,0 +1,132 @@
+#include "algo/mdav.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "core/cost.h"
+#include "core/distance.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace kanon {
+
+namespace {
+
+/// Per-column mode over the rows flagged unassigned.
+std::vector<ValueCode> ModeCentroid(const Table& table,
+                                    const std::vector<bool>& assigned) {
+  std::vector<ValueCode> centroid(table.num_columns(), 0);
+  for (ColId c = 0; c < table.num_columns(); ++c) {
+    std::map<ValueCode, size_t> counts;
+    for (RowId r = 0; r < table.num_rows(); ++r) {
+      if (!assigned[r]) ++counts[table.at(r, c)];
+    }
+    size_t best = 0;
+    for (const auto& [code, count] : counts) {
+      if (count > best) {
+        best = count;
+        centroid[c] = code;
+      }
+    }
+  }
+  return centroid;
+}
+
+/// Hamming distance of row r to an explicit centroid vector.
+ColId DistanceToCentroid(const Table& table, RowId r,
+                         const std::vector<ValueCode>& centroid) {
+  ColId d = 0;
+  for (ColId c = 0; c < table.num_columns(); ++c) {
+    if (table.at(r, c) != centroid[c]) ++d;
+  }
+  return d;
+}
+
+/// Farthest unassigned row from `centroid` (lowest id on ties).
+RowId FarthestFromCentroid(const Table& table,
+                           const std::vector<bool>& assigned,
+                           const std::vector<ValueCode>& centroid) {
+  RowId best = table.num_rows();
+  ColId best_d = 0;
+  for (RowId r = 0; r < table.num_rows(); ++r) {
+    if (assigned[r]) continue;
+    const ColId d = DistanceToCentroid(table, r, centroid);
+    if (best == table.num_rows() || d > best_d) {
+      best = r;
+      best_d = d;
+    }
+  }
+  return best;
+}
+
+/// Groups `seed` with its k-1 nearest unassigned rows; marks them
+/// assigned and returns the group.
+Group TakeGroupAround(const Table& table, const DistanceMatrix& dm,
+                      RowId seed, size_t k, std::vector<bool>* assigned,
+                      size_t* unassigned) {
+  Group group = {seed};
+  (*assigned)[seed] = true;
+  --*unassigned;
+  // k-1 nearest by (distance, id).
+  std::vector<std::pair<ColId, RowId>> near;
+  for (RowId r = 0; r < table.num_rows(); ++r) {
+    if (!(*assigned)[r]) near.emplace_back(dm.at(seed, r), r);
+  }
+  std::sort(near.begin(), near.end());
+  for (size_t i = 0; i < k - 1; ++i) {
+    group.push_back(near[i].second);
+    (*assigned)[near[i].second] = true;
+    --*unassigned;
+  }
+  return group;
+}
+
+}  // namespace
+
+AnonymizationResult MdavAnonymizer::Run(const Table& table, size_t k) {
+  const RowId n = table.num_rows();
+  KANON_CHECK_GE(k, 1u);
+  KANON_CHECK_GE(static_cast<size_t>(n), k);
+
+  WallTimer timer;
+  const DistanceMatrix dm(table);
+  std::vector<bool> assigned(n, false);
+  size_t unassigned = n;
+
+  AnonymizationResult result;
+  while (unassigned >= 3 * k) {
+    const std::vector<ValueCode> centroid = ModeCentroid(table, assigned);
+    const RowId r = FarthestFromCentroid(table, assigned, centroid);
+    result.partition.groups.push_back(
+        TakeGroupAround(table, dm, r, k, &assigned, &unassigned));
+    const RowId s = FarthestFromCentroid(
+        table, assigned, std::vector<ValueCode>(table.row(r).begin(),
+                                                table.row(r).end()));
+    result.partition.groups.push_back(
+        TakeGroupAround(table, dm, s, k, &assigned, &unassigned));
+  }
+  if (unassigned >= 2 * k) {
+    const std::vector<ValueCode> centroid = ModeCentroid(table, assigned);
+    const RowId r = FarthestFromCentroid(table, assigned, centroid);
+    result.partition.groups.push_back(
+        TakeGroupAround(table, dm, r, k, &assigned, &unassigned));
+  }
+  if (unassigned > 0) {
+    Group rest;
+    for (RowId r = 0; r < n; ++r) {
+      if (!assigned[r]) rest.push_back(r);
+    }
+    unassigned = 0;
+    result.partition.groups.push_back(std::move(rest));
+  }
+
+  FinalizeResult(table, &result);
+  result.seconds = timer.Seconds();
+  std::ostringstream notes;
+  notes << "groups=" << result.partition.num_groups();
+  result.notes = notes.str();
+  return result;
+}
+
+}  // namespace kanon

@@ -1,0 +1,101 @@
+#include "algo/mondrian.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/cost.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace kanon {
+
+namespace {
+
+/// Chooses the split attribute: widest code span with at least two
+/// distinct values in `rows`. Returns false when no attribute splits.
+bool ChooseSplitColumn(const Table& table, const Group& rows, ColId* col) {
+  bool found = false;
+  ValueCode best_span = 0;
+  for (ColId c = 0; c < table.num_columns(); ++c) {
+    ValueCode lo = table.at(rows[0], c);
+    ValueCode hi = lo;
+    for (const RowId r : rows) {
+      lo = std::min(lo, table.at(r, c));
+      hi = std::max(hi, table.at(r, c));
+    }
+    if (hi == lo) continue;
+    const ValueCode span = hi - lo;
+    if (!found || span > best_span) {
+      found = true;
+      best_span = span;
+      *col = c;
+    }
+  }
+  return found;
+}
+
+/// Recursively splits `rows`, appending finished leaves to `out`.
+void Split(const Table& table, Group rows, size_t k, size_t* leaves,
+           Partition* out) {
+  ColId col = 0;
+  if (rows.size() >= 2 * k && ChooseSplitColumn(table, rows, &col)) {
+    // Median split on the chosen attribute's codes.
+    std::sort(rows.begin(), rows.end(), [&](RowId a, RowId b) {
+      const ValueCode va = table.at(a, col), vb = table.at(b, col);
+      if (va != vb) return va < vb;
+      return a < b;
+    });
+    // Find a cut position that (a) keeps >= k rows on both sides and
+    // (b) falls on a value boundary (strict Mondrian: equal values stay
+    // together). Prefer the boundary closest to the median.
+    const size_t mid = rows.size() / 2;
+    size_t best_cut = 0;
+    bool have_cut = false;
+    for (size_t cut = k; cut + k <= rows.size(); ++cut) {
+      if (table.at(rows[cut - 1], col) == table.at(rows[cut], col)) {
+        continue;  // not a value boundary
+      }
+      if (!have_cut ||
+          (cut > mid ? cut - mid : mid - cut) <
+              (best_cut > mid ? best_cut - mid : mid - best_cut)) {
+        have_cut = true;
+        best_cut = cut;
+      }
+    }
+    if (have_cut) {
+      Group left(rows.begin(), rows.begin() + static_cast<ptrdiff_t>(best_cut));
+      Group right(rows.begin() + static_cast<ptrdiff_t>(best_cut),
+                  rows.end());
+      Split(table, std::move(left), k, leaves, out);
+      Split(table, std::move(right), k, leaves, out);
+      return;
+    }
+  }
+  ++*leaves;
+  out->groups.push_back(std::move(rows));
+}
+
+}  // namespace
+
+AnonymizationResult MondrianAnonymizer::Run(const Table& table, size_t k) {
+  const RowId n = table.num_rows();
+  KANON_CHECK_GE(k, 1u);
+  KANON_CHECK_GE(static_cast<size_t>(n), k);
+
+  WallTimer timer;
+  Group all(n);
+  for (RowId r = 0; r < n; ++r) all[r] = r;
+
+  AnonymizationResult result;
+  size_t leaves = 0;
+  Split(table, std::move(all), k, &leaves, &result.partition);
+
+  FinalizeResult(table, &result);
+  result.seconds = timer.Seconds();
+  std::ostringstream notes;
+  notes << "leaves=" << leaves;
+  result.notes = notes.str();
+  return result;
+}
+
+}  // namespace kanon

@@ -1,0 +1,28 @@
+#ifndef KANON_ALGO_MONDRIAN_H_
+#define KANON_ALGO_MONDRIAN_H_
+
+#include "algo/anonymizer.h"
+
+/// \file
+/// Mondrian-style multidimensional recursive partitioning baseline
+/// (LeFevre, DeWitt & Ramakrishnan, ICDE 2006), adapted from
+/// generalization to the paper's suppression model.
+///
+/// Recursively split the current row group on the attribute with the
+/// widest dictionary-code span inside the group, at the median code, as
+/// long as both sides keep >= k rows; leaves become the k-groups and are
+/// suppressed canonically. This is the standard practical competitor the
+/// paper's algorithms are benchmarked against in E8/E9.
+
+namespace kanon {
+
+/// Mondrian baseline.
+class MondrianAnonymizer : public Anonymizer {
+ public:
+  std::string name() const override { return "mondrian"; }
+  AnonymizationResult Run(const Table& table, size_t k) override;
+};
+
+}  // namespace kanon
+
+#endif  // KANON_ALGO_MONDRIAN_H_

@@ -1,0 +1,32 @@
+#include "algo/random_partition.h"
+
+#include "core/cost.h"
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+namespace kanon {
+
+AnonymizationResult RandomPartitionAnonymizer::Run(const Table& table,
+                                                   size_t k) {
+  const RowId n = table.num_rows();
+  KANON_CHECK_GE(k, 1u);
+  KANON_CHECK_GE(static_cast<size_t>(n), k);
+
+  WallTimer timer;
+  Rng rng(seed_);
+  Group all(n);
+  for (RowId r = 0; r < n; ++r) all[r] = r;
+  rng.Shuffle(&all);
+
+  Partition shuffled;
+  shuffled.groups.push_back(std::move(all));
+
+  AnonymizationResult result;
+  result.partition = SplitLargeGroups(shuffled, k);
+  FinalizeResult(table, &result);
+  result.seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace kanon

@@ -1,0 +1,31 @@
+#ifndef KANON_ALGO_RANDOM_PARTITION_H_
+#define KANON_ALGO_RANDOM_PARTITION_H_
+
+#include <cstdint>
+
+#include "algo/anonymizer.h"
+
+/// \file
+/// Sanity-floor baseline: shuffle the rows and chop them into consecutive
+/// groups of k (remainder folded into the last group). Any algorithm
+/// with a claim to intelligence must beat this on structured data; on
+/// fully uniform data it is near-unbeatable, which E8 demonstrates.
+
+namespace kanon {
+
+/// Random chop baseline. Deterministic for a fixed seed.
+class RandomPartitionAnonymizer : public Anonymizer {
+ public:
+  explicit RandomPartitionAnonymizer(uint64_t seed = 1)
+      : seed_(seed) {}
+
+  std::string name() const override { return "random_partition"; }
+  AnonymizationResult Run(const Table& table, size_t k) override;
+
+ private:
+  uint64_t seed_;
+};
+
+}  // namespace kanon
+
+#endif  // KANON_ALGO_RANDOM_PARTITION_H_

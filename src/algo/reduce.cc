@@ -1,0 +1,81 @@
+#include "algo/reduce.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace kanon {
+
+namespace {
+
+/// Locates some row present in two different groups. Returns true and
+/// fills (row, group_a, group_b) if found.
+bool FindOverlap(const Partition& p, RowId n, RowId* row, size_t* group_a,
+                 size_t* group_b) {
+  // first_seen[r] = index of the first group containing r, or npos.
+  constexpr size_t kNone = static_cast<size_t>(-1);
+  std::vector<size_t> first_seen(n, kNone);
+  for (size_t g = 0; g < p.groups.size(); ++g) {
+    for (const RowId r : p.groups[g]) {
+      if (first_seen[r] == kNone) {
+        first_seen[r] = g;
+      } else {
+        *row = r;
+        *group_a = first_seen[r];
+        *group_b = g;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+void EraseRow(Group* g, RowId row) {
+  const auto it = std::find(g->begin(), g->end(), row);
+  KANON_CHECK(it != g->end());
+  g->erase(it);
+}
+
+}  // namespace
+
+Partition ReduceCoverToPartition(const Table& table, const Partition& cover,
+                                 size_t k) {
+  const RowId n = table.num_rows();
+  KANON_CHECK(IsValidCover(cover, n, k, n));
+  Partition p = cover;
+
+  RowId row = 0;
+  size_t ga = 0, gb = 0;
+  while (FindOverlap(p, n, &row, &ga, &gb)) {
+    Group& a = p.groups[ga];
+    Group& b = p.groups[gb];
+    if (a.size() > k || b.size() > k) {
+      // Remove the shared row from the larger set (ties: from `a`).
+      if (a.size() >= b.size()) {
+        EraseRow(&a, row);
+      } else {
+        EraseRow(&b, row);
+      }
+    } else {
+      // Both have exactly k members; merge. |a ∪ b| <= 2k-1 because they
+      // share `row`.
+      Group merged = a;
+      for (const RowId r : b) {
+        if (std::find(merged.begin(), merged.end(), r) == merged.end()) {
+          merged.push_back(r);
+        }
+      }
+      KANON_CHECK_LE(merged.size(), 2 * k - 1);
+      // Replace group ga, delete group gb (order: erase the higher index
+      // first so `ga` stays valid).
+      KANON_CHECK_LT(ga, gb);
+      p.groups[ga] = std::move(merged);
+      p.groups.erase(p.groups.begin() + static_cast<ptrdiff_t>(gb));
+    }
+  }
+
+  KANON_CHECK(IsValidPartition(p, n, k, n));
+  return p;
+}
+
+}  // namespace kanon

@@ -1,0 +1,32 @@
+#ifndef KANON_ALGO_REDUCE_H_
+#define KANON_ALGO_REDUCE_H_
+
+#include <cstddef>
+
+#include "core/partition.h"
+#include "data/table.h"
+
+/// \file
+/// Phase 2 of both approximation algorithms (Section 4.2.2): convert a
+/// (k, 2k-1)-cover into a (k, 2k-1)-partition without increasing the
+/// diameter sum. Repeatedly find a row in two sets; if either set has
+/// more than k members remove the row from the larger one (diameter can
+/// only shrink), otherwise replace both size-k sets by their union (size
+/// <= 2k-1 since they share the row; d(S_i ∪ S_j) <= d(S_i) + d(S_j) by
+/// the triangle inequality, cf. the paper's Figure 1).
+
+namespace kanon {
+
+/// Applies the reduction until fixpoint. Requires `cover` to be a valid
+/// (k, n)-cover of table's rows; returns a valid (k, max(2k-1,
+/// max-input-group))-partition whose diameter sum is <= the cover's.
+/// When the input groups all have size <= 2k-1 (the Theorem 4.1 family)
+/// so does the output; ball covers (Theorem 4.2) may keep larger groups,
+/// which callers split afterwards via SplitLargeGroups. Terminates in at
+/// most n applications (each removes one row-occurrence or one set).
+Partition ReduceCoverToPartition(const Table& table, const Partition& cover,
+                                 size_t k);
+
+}  // namespace kanon
+
+#endif  // KANON_ALGO_REDUCE_H_

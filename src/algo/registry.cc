@@ -1,0 +1,95 @@
+#include "algo/registry.h"
+
+#include "algo/annealing.h"
+#include "algo/attribute_adapter.h"
+#include "algo/attribute_exact.h"
+#include "algo/attribute_greedy.h"
+#include "algo/ball_cover.h"
+#include "algo/branch_bound.h"
+#include "algo/cluster_greedy.h"
+#include "algo/exact_dp.h"
+#include "algo/greedy_cover.h"
+#include "algo/local_search.h"
+#include "algo/mdav.h"
+#include "algo/mondrian.h"
+#include "algo/random_partition.h"
+#include "algo/suppress_all.h"
+
+namespace kanon {
+
+std::vector<std::string> KnownAnonymizers() {
+  return {
+      "greedy_cover",     "ball_cover",    "ball_cover_radius",
+      "ball_cover_pairwise", "exact_dp",   "branch_bound",
+      "mondrian",         "cluster_greedy", "mdav",
+      "random_partition",
+      "suppress_all",     "attribute_greedy", "attribute_exact",
+  };
+}
+
+std::unique_ptr<Anonymizer> MakeAnonymizer(const std::string& name) {
+  constexpr std::string_view kLocalSearchSuffix = "+local_search";
+  if (name.size() > kLocalSearchSuffix.size() &&
+      name.ends_with(kLocalSearchSuffix)) {
+    auto base = MakeAnonymizer(
+        name.substr(0, name.size() - kLocalSearchSuffix.size()));
+    if (base == nullptr) return nullptr;
+    return std::make_unique<LocalSearchAnonymizer>(std::move(base));
+  }
+  constexpr std::string_view kAnnealingSuffix = "+annealing";
+  if (name.size() > kAnnealingSuffix.size() &&
+      name.ends_with(kAnnealingSuffix)) {
+    auto base = MakeAnonymizer(
+        name.substr(0, name.size() - kAnnealingSuffix.size()));
+    if (base == nullptr) return nullptr;
+    return std::make_unique<AnnealingAnonymizer>(std::move(base));
+  }
+  if (name == "greedy_cover") {
+    return std::make_unique<GreedyCoverAnonymizer>();
+  }
+  if (name == "ball_cover") {
+    return std::make_unique<BallCoverAnonymizer>();
+  }
+  if (name == "ball_cover_radius") {
+    BallCoverOptions options;
+    options.family_mode = BallFamilyMode::kRadius;
+    return std::make_unique<BallCoverAnonymizer>(options);
+  }
+  if (name == "ball_cover_pairwise") {
+    BallCoverOptions options;
+    options.family_mode = BallFamilyMode::kPairwise;
+    return std::make_unique<BallCoverAnonymizer>(options);
+  }
+  if (name == "exact_dp") {
+    return std::make_unique<ExactDpAnonymizer>();
+  }
+  if (name == "branch_bound") {
+    return std::make_unique<BranchBoundAnonymizer>();
+  }
+  if (name == "mondrian") {
+    return std::make_unique<MondrianAnonymizer>();
+  }
+  if (name == "cluster_greedy") {
+    return std::make_unique<ClusterGreedyAnonymizer>();
+  }
+  if (name == "mdav") {
+    return std::make_unique<MdavAnonymizer>();
+  }
+  if (name == "random_partition") {
+    return std::make_unique<RandomPartitionAnonymizer>();
+  }
+  if (name == "suppress_all") {
+    return std::make_unique<SuppressAllAnonymizer>();
+  }
+  if (name == "attribute_greedy") {
+    return std::make_unique<AttributeAdapterAnonymizer>(
+        std::make_unique<GreedyAttributeAnonymizer>());
+  }
+  if (name == "attribute_exact") {
+    return std::make_unique<AttributeAdapterAnonymizer>(
+        std::make_unique<ExactAttributeAnonymizer>());
+  }
+  return nullptr;
+}
+
+}  // namespace kanon

@@ -1,0 +1,27 @@
+#ifndef KANON_ALGO_REGISTRY_H_
+#define KANON_ALGO_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algo/anonymizer.h"
+
+/// \file
+/// Name -> algorithm factory, so example binaries and the experiment
+/// harness can select algorithms from the command line.
+
+namespace kanon {
+
+/// Known algorithm names, in presentation order.
+std::vector<std::string> KnownAnonymizers();
+
+/// Instantiates the algorithm registered under `name` (see
+/// KnownAnonymizers); returns nullptr for unknown names. Composite names
+/// of the form "<base>+local_search" wrap the base algorithm in the
+/// local-search post-optimizer.
+std::unique_ptr<Anonymizer> MakeAnonymizer(const std::string& name);
+
+}  // namespace kanon
+
+#endif  // KANON_ALGO_REGISTRY_H_

@@ -1,0 +1,69 @@
+#include "algo/streaming.h"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace kanon {
+
+StreamingAnonymizer::StreamingAnonymizer(std::unique_ptr<Anonymizer> base,
+                                         StreamingOptions options)
+    : base_(std::move(base)), options_(options) {
+  KANON_CHECK(base_ != nullptr);
+  KANON_CHECK_GE(options_.batch_size, 1u);
+}
+
+std::string StreamingAnonymizer::name() const {
+  return base_->name() + "@stream";
+}
+
+AnonymizationResult StreamingAnonymizer::Run(const Table& table,
+                                             size_t k) {
+  const RowId n = table.num_rows();
+  KANON_CHECK_GE(k, 1u);
+  KANON_CHECK_GE(static_cast<size_t>(n), k);
+  KANON_CHECK_GE(options_.batch_size, k)
+      << "batch_size must be at least k";
+
+  WallTimer timer;
+  // Batch boundaries: size batch_size each; if the final remainder is
+  // shorter than k it is folded into the previous batch.
+  std::vector<std::pair<RowId, RowId>> batches;
+  RowId begin = 0;
+  while (begin < n) {
+    RowId end = static_cast<RowId>(
+        std::min<size_t>(n, begin + options_.batch_size));
+    if (n - end < k && end < n) end = n;  // fold short tail
+    batches.emplace_back(begin, end);
+    begin = end;
+  }
+
+  AnonymizationResult result;
+  size_t batch_count = 0;
+  for (const auto& [lo, hi] : batches) {
+    std::vector<RowId> ids(hi - lo);
+    for (RowId r = lo; r < hi; ++r) ids[r - lo] = r;
+    const Table batch = table.SelectRows(ids);
+    const AnonymizationResult local = base_->Run(batch, k);
+    for (const Group& g : local.partition.groups) {
+      Group global;
+      global.reserve(g.size());
+      for (const RowId r : g) global.push_back(lo + r);
+      result.partition.groups.push_back(std::move(global));
+    }
+    ++batch_count;
+  }
+
+  FinalizeResult(table, &result);
+  result.seconds = timer.Seconds();
+  std::ostringstream notes;
+  notes << "batches=" << batch_count
+        << " batch_size=" << options_.batch_size;
+  result.notes = notes.str();
+  return result;
+}
+
+}  // namespace kanon

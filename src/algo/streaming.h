@@ -1,0 +1,47 @@
+#ifndef KANON_ALGO_STREAMING_H_
+#define KANON_ALGO_STREAMING_H_
+
+#include <cstddef>
+#include <memory>
+
+#include "algo/anonymizer.h"
+
+/// \file
+/// Batched ("streaming") anonymization: process the relation in
+/// consecutive batches of bounded size, running the wrapped algorithm
+/// on each batch independently and translating the per-batch partitions
+/// back to global row ids. This bounds peak memory and (for
+/// superlinear bases like ball_cover's O(n^3)) total time, at a
+/// measurable utility cost because groups can never span batches —
+/// the scalability lever a production deployment of the paper's
+/// algorithm would actually use (cf. CASTLE-style stream k-anonymity).
+///
+/// Correctness: each batch has >= k rows (a final short batch is folded
+/// into its predecessor), so the union of per-batch partitions is a
+/// valid global partition with all groups >= k.
+
+namespace kanon {
+
+/// Configuration for StreamingAnonymizer.
+struct StreamingOptions {
+  /// Target rows per batch; must be >= k at Run time.
+  size_t batch_size = 256;
+};
+
+/// Batched adapter around any base algorithm.
+class StreamingAnonymizer : public Anonymizer {
+ public:
+  StreamingAnonymizer(std::unique_ptr<Anonymizer> base,
+                      StreamingOptions options = {});
+
+  std::string name() const override;
+  AnonymizationResult Run(const Table& table, size_t k) override;
+
+ private:
+  std::unique_ptr<Anonymizer> base_;
+  StreamingOptions options_;
+};
+
+}  // namespace kanon
+
+#endif  // KANON_ALGO_STREAMING_H_

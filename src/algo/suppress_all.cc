@@ -1,0 +1,25 @@
+#include "algo/suppress_all.h"
+
+#include "core/cost.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace kanon {
+
+AnonymizationResult SuppressAllAnonymizer::Run(const Table& table,
+                                               size_t k) {
+  const RowId n = table.num_rows();
+  KANON_CHECK_GE(k, 1u);
+  KANON_CHECK_GE(static_cast<size_t>(n), k);
+
+  WallTimer timer;
+  AnonymizationResult result;
+  Group all(n);
+  for (RowId r = 0; r < n; ++r) all[r] = r;
+  result.partition.groups.push_back(std::move(all));
+  FinalizeResult(table, &result);
+  result.seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace kanon

@@ -1,0 +1,23 @@
+#ifndef KANON_ALGO_SUPPRESS_ALL_H_
+#define KANON_ALGO_SUPPRESS_ALL_H_
+
+#include "algo/anonymizer.h"
+
+/// \file
+/// The trivial k-anonymizer: one group containing every row, i.e. star
+/// every entry of every disagreeing column. Always feasible (for n >= k)
+/// and the worst-case ceiling n*m on the objective; appears in reports as
+/// the "suppress everything" upper reference line.
+
+namespace kanon {
+
+/// Trivial single-group anonymizer.
+class SuppressAllAnonymizer : public Anonymizer {
+ public:
+  std::string name() const override { return "suppress_all"; }
+  AnonymizationResult Run(const Table& table, size_t k) override;
+};
+
+}  // namespace kanon
+
+#endif  // KANON_ALGO_SUPPRESS_ALL_H_

@@ -1,0 +1,30 @@
+#include "core/anonymity.h"
+
+#include <algorithm>
+
+namespace kanon {
+
+bool IsKAnonymous(const Table& table, size_t k) {
+  if (table.num_rows() == 0) return true;
+  return AnonymityLevel(table) >= k;
+}
+
+bool IsKAnonymizer(const Suppressor& t, const Table& table, size_t k) {
+  return IsKAnonymous(t.Apply(table), k);
+}
+
+Partition InducedPartition(const Suppressor& t, const Table& table) {
+  return GroupIdenticalRows(t.Apply(table));
+}
+
+size_t AnonymityLevel(const Table& table) {
+  if (table.num_rows() == 0) return 0;
+  const Partition groups = GroupIdenticalRows(table);
+  size_t level = table.num_rows();
+  for (const Group& g : groups.groups) {
+    level = std::min(level, g.size());
+  }
+  return level;
+}
+
+}  // namespace kanon

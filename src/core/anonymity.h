@@ -1,0 +1,35 @@
+#ifndef KANON_CORE_ANONYMITY_H_
+#define KANON_CORE_ANONYMITY_H_
+
+#include <cstddef>
+
+#include "core/partition.h"
+#include "core/suppressor.h"
+#include "data/table.h"
+
+/// \file
+/// k-anonymity predicate (the paper's Definition 2.2) and helpers tying
+/// suppressors, anonymized tables and induced partitions together.
+
+namespace kanon {
+
+/// True iff every row of `table` is entry-for-entry identical to at least
+/// k-1 other rows (multiset semantics). A table with fewer than k rows is
+/// k-anonymous only if it is empty.
+bool IsKAnonymous(const Table& table, size_t k);
+
+/// True iff applying `t` to `table` yields a k-anonymous table, i.e. `t`
+/// is a k-anonymizer on V.
+bool IsKAnonymizer(const Suppressor& t, const Table& table, size_t k);
+
+/// The partition Π(t, V) induced by a k-anonymizer: groups of rows made
+/// identical by `t`.
+Partition InducedPartition(const Suppressor& t, const Table& table);
+
+/// Smallest k such that `table` is k-anonymous (the minimum multiplicity
+/// over its distinct rows). Returns 0 for an empty table.
+size_t AnonymityLevel(const Table& table);
+
+}  // namespace kanon
+
+#endif  // KANON_CORE_ANONYMITY_H_

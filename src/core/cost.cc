@@ -1,0 +1,66 @@
+#include "core/cost.h"
+
+#include "core/distance.h"
+#include "util/logging.h"
+
+namespace kanon {
+
+std::vector<bool> DisagreeingColumns(const Table& table,
+                                     std::span<const RowId> rows) {
+  std::vector<bool> disagree(table.num_columns(), false);
+  if (rows.empty()) return disagree;
+  const auto first = table.row(rows[0]);
+  for (size_t i = 1; i < rows.size(); ++i) {
+    const auto other = table.row(rows[i]);
+    for (ColId c = 0; c < table.num_columns(); ++c) {
+      if (other[c] != first[c]) disagree[c] = true;
+    }
+  }
+  // A pre-suppressed cell differs from every concrete value; if the group
+  // agrees on a star in some column that column needs no further stars.
+  return disagree;
+}
+
+ColId NumDisagreeingColumns(const Table& table,
+                            std::span<const RowId> rows) {
+  const std::vector<bool> disagree = DisagreeingColumns(table, rows);
+  ColId count = 0;
+  for (const bool b : disagree) {
+    if (b) ++count;
+  }
+  return count;
+}
+
+size_t AnonCost(const Table& table, std::span<const RowId> rows) {
+  return rows.size() *
+         static_cast<size_t>(NumDisagreeingColumns(table, rows));
+}
+
+size_t PartitionCost(const Table& table, const Partition& p) {
+  size_t cost = 0;
+  for (const Group& g : p.groups) cost += AnonCost(table, g);
+  return cost;
+}
+
+size_t DiameterSum(const Table& table, const Partition& p) {
+  size_t sum = 0;
+  for (const Group& g : p.groups) sum += SetDiameter(table, g);
+  return sum;
+}
+
+Suppressor SuppressorForPartition(const Table& table, const Partition& p) {
+  KANON_CHECK(IsValidPartition(p, table.num_rows(), 1,
+                               table.num_rows()));
+  Suppressor t(table.num_rows(), table.num_columns());
+  for (const Group& g : p.groups) {
+    const std::vector<bool> disagree = DisagreeingColumns(table, g);
+    for (const RowId r : g) {
+      for (ColId c = 0; c < table.num_columns(); ++c) {
+        if (disagree[c]) t.Suppress(r, c);
+      }
+    }
+  }
+  return t;
+}
+
+}  // namespace kanon

@@ -1,0 +1,49 @@
+#ifndef KANON_CORE_COST_H_
+#define KANON_CORE_COST_H_
+
+#include <cstddef>
+#include <span>
+
+#include "core/partition.h"
+#include "core/suppressor.h"
+#include "data/table.h"
+
+/// \file
+/// Cost model of Section 4: ANON(S) is the number of entries that must be
+/// starred so that all rows of S become identical — `|S|` times the number
+/// of columns on which S disagrees. The cost of a partition is the sum of
+/// its groups' ANON values, and OPT(V) = min over partitions with all
+/// groups >= k.
+
+namespace kanon {
+
+/// Set of columns on which the rows of `rows` disagree, as a bitmask
+/// vector. A cell already equal to kSuppressedCode counts as disagreeing
+/// with any concrete value (a star can only match another star).
+std::vector<bool> DisagreeingColumns(const Table& table,
+                                     std::span<const RowId> rows);
+
+/// Number of disagreeing columns of a group.
+ColId NumDisagreeingColumns(const Table& table, std::span<const RowId> rows);
+
+/// ANON(S) = |S| * NumDisagreeingColumns(S).
+size_t AnonCost(const Table& table, std::span<const RowId> rows);
+
+/// Sum of ANON over all groups; equals the number of stars inserted by
+/// SuppressorForPartition on a partition (on a cover it double-counts
+/// shared rows).
+size_t PartitionCost(const Table& table, const Partition& p);
+
+/// Sum of group diameters d(Π) (the k-minimum diameter sum objective).
+size_t DiameterSum(const Table& table, const Partition& p);
+
+/// The canonical suppressor for a partition: in each group, star exactly
+/// the disagreeing columns of that group, in every member row. Applying
+/// it makes each group's rows identical, so the result is k-anonymous
+/// whenever all groups have size >= k. Requires `p` to be a partition
+/// (each row in exactly one group).
+Suppressor SuppressorForPartition(const Table& table, const Partition& p);
+
+}  // namespace kanon
+
+#endif  // KANON_CORE_COST_H_

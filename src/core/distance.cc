@@ -1,0 +1,73 @@
+#include "core/distance.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/parallel.h"
+
+namespace kanon {
+
+ColId HammingDistance(std::span<const ValueCode> u,
+                      std::span<const ValueCode> v) {
+  KANON_CHECK_EQ(u.size(), v.size());
+  ColId d = 0;
+  for (size_t j = 0; j < u.size(); ++j) {
+    if (u[j] != v[j]) ++d;
+  }
+  return d;
+}
+
+ColId RowDistance(const Table& table, RowId a, RowId b) {
+  return HammingDistance(table.row(a), table.row(b));
+}
+
+ColId SetDiameter(const Table& table, std::span<const RowId> rows) {
+  ColId diameter = 0;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    for (size_t j = i + 1; j < rows.size(); ++j) {
+      diameter = std::max(diameter, RowDistance(table, rows[i], rows[j]));
+    }
+  }
+  return diameter;
+}
+
+DistanceMatrix::DistanceMatrix(const Table& table)
+    : n_(table.num_rows()),
+      dist_(static_cast<size_t>(n_) * n_, 0) {
+  // Cell (x, y) is written exactly once, by iteration a = min(x, y), so
+  // chunking the outer loop across threads is race-free and the result
+  // is identical to the serial fill.
+  ParallelFor(0, n_, /*min_chunk=*/64, [&](size_t lo, size_t hi) {
+    for (RowId a = static_cast<RowId>(lo); a < hi; ++a) {
+      for (RowId b = a + 1; b < n_; ++b) {
+        const ColId d = RowDistance(table, a, b);
+        dist_[static_cast<size_t>(a) * n_ + b] = d;
+        dist_[static_cast<size_t>(b) * n_ + a] = d;
+      }
+    }
+  });
+}
+
+ColId DistanceMatrix::Diameter(std::span<const RowId> rows) const {
+  ColId diameter = 0;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    for (size_t j = i + 1; j < rows.size(); ++j) {
+      diameter = std::max(diameter, at(rows[i], rows[j]));
+    }
+  }
+  return diameter;
+}
+
+ColId DistanceMatrix::KthNearestDistance(RowId row, RowId j) const {
+  KANON_CHECK_GE(j, 1u);
+  KANON_CHECK_LT(j, n_);
+  std::vector<ColId> others;
+  others.reserve(n_ - 1);
+  for (RowId x = 0; x < n_; ++x) {
+    if (x != row) others.push_back(at(row, x));
+  }
+  std::nth_element(others.begin(), others.begin() + (j - 1), others.end());
+  return others[j - 1];
+}
+
+}  // namespace kanon

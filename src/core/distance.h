@@ -1,0 +1,56 @@
+#ifndef KANON_CORE_DISTANCE_H_
+#define KANON_CORE_DISTANCE_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "data/table.h"
+#include "data/value.h"
+
+/// \file
+/// The paper's Definition 4.1: `d(u, v) = |{j : u[j] != v[j]}|` (Hamming
+/// distance over coded rows) and the diameter `d(S) = max_{u,v in S}
+/// d(u, v)`. The distance is a metric; `DistanceMatrix` precomputes all
+/// pairs for the cover algorithms.
+
+namespace kanon {
+
+/// Hamming distance between two coded vectors of equal length.
+ColId HammingDistance(std::span<const ValueCode> u,
+                      std::span<const ValueCode> v);
+
+/// Hamming distance between two rows of `table`.
+ColId RowDistance(const Table& table, RowId a, RowId b);
+
+/// Diameter of the row set `rows` (0 for empty or singleton sets).
+ColId SetDiameter(const Table& table, std::span<const RowId> rows);
+
+/// Dense symmetric n x n matrix of pairwise row distances.
+class DistanceMatrix {
+ public:
+  /// Precomputes all pairs in O(n^2 m).
+  explicit DistanceMatrix(const Table& table);
+
+  ColId at(RowId a, RowId b) const {
+    return dist_[static_cast<size_t>(a) * n_ + b];
+  }
+
+  RowId num_rows() const { return n_; }
+
+  /// Diameter of `rows` using the precomputed matrix (O(|rows|^2)).
+  ColId Diameter(std::span<const RowId> rows) const;
+
+  /// Distance from `row` to its j-th nearest *other* row (j >= 1), i.e.
+  /// the j-th order statistic of {at(row, x) : x != row}. Used by the
+  /// k-nearest-neighbor lower bound. Requires 1 <= j <= n-1.
+  ColId KthNearestDistance(RowId row, RowId j) const;
+
+ private:
+  RowId n_;
+  std::vector<ColId> dist_;
+};
+
+}  // namespace kanon
+
+#endif  // KANON_CORE_DISTANCE_H_

@@ -1,0 +1,44 @@
+#include "core/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/cost.h"
+#include "util/logging.h"
+
+namespace kanon {
+
+std::string AnonymizationMetrics::ToString() const {
+  std::ostringstream os;
+  os << "stars=" << stars << " (" << star_fraction * 100.0 << "%)"
+     << " discernibility=" << discernibility
+     << " avg_class_ratio=" << avg_class_ratio << " groups=[" << min_group
+     << ".." << max_group << "]";
+  return os.str();
+}
+
+AnonymizationMetrics ComputeMetrics(const Table& table, const Partition& p,
+                                    size_t k) {
+  KANON_CHECK_GE(k, 1u);
+  AnonymizationMetrics m;
+  m.stars = PartitionCost(table, p);
+  const size_t cells =
+      static_cast<size_t>(table.num_rows()) * table.num_columns();
+  m.star_fraction =
+      cells == 0 ? 0.0 : static_cast<double>(m.stars) / cells;
+  m.min_group = table.num_rows();
+  m.max_group = 0;
+  for (const Group& g : p.groups) {
+    m.discernibility += g.size() * g.size();
+    m.min_group = std::min(m.min_group, g.size());
+    m.max_group = std::max(m.max_group, g.size());
+  }
+  if (!p.groups.empty()) {
+    const double avg = static_cast<double>(table.num_rows()) /
+                       static_cast<double>(p.groups.size());
+    m.avg_class_ratio = avg / static_cast<double>(k);
+  }
+  return m;
+}
+
+}  // namespace kanon

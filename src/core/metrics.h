@@ -1,0 +1,46 @@
+#ifndef KANON_CORE_METRICS_H_
+#define KANON_CORE_METRICS_H_
+
+#include <cstddef>
+#include <string>
+
+#include "core/partition.h"
+#include "data/table.h"
+
+/// \file
+/// Information-loss metrics from the k-anonymity literature, computed on
+/// an anonymized table / its induced partition. The paper's objective is
+/// `stars` (suppressed entries); the others contextualize baseline
+/// comparisons in the benchmark harness.
+
+namespace kanon {
+
+/// Summary of one anonymization's quality.
+struct AnonymizationMetrics {
+  /// Suppressed entries (the paper's objective).
+  size_t stars = 0;
+  /// Fraction of cells suppressed in [0, 1].
+  double star_fraction = 0.0;
+  /// Discernibility metric: sum over groups of |S|^2 (each tuple is
+  /// "charged" the size of its equivalence class).
+  size_t discernibility = 0;
+  /// Normalized average equivalence class size:
+  ///   (n / #groups) / k  — 1.0 is ideal.
+  double avg_class_ratio = 0.0;
+  /// Smallest group size (must be >= k for a valid anonymization).
+  size_t min_group = 0;
+  /// Largest group size.
+  size_t max_group = 0;
+
+  std::string ToString() const;
+};
+
+/// Computes metrics for the anonymization whose k-groups are `p` over the
+/// original `table` (stars are derived from each group's disagreeing
+/// columns). `k` is the target anonymity level used for normalization.
+AnonymizationMetrics ComputeMetrics(const Table& table, const Partition& p,
+                                    size_t k);
+
+}  // namespace kanon
+
+#endif  // KANON_CORE_METRICS_H_

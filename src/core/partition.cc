@@ -1,0 +1,99 @@
+#include "core/partition.h"
+
+#include <map>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace kanon {
+
+size_t Partition::TotalMembers() const {
+  size_t total = 0;
+  for (const Group& g : groups) total += g.size();
+  return total;
+}
+
+std::string Partition::ToString() const {
+  std::ostringstream os;
+  for (size_t i = 0; i < groups.size(); ++i) {
+    if (i > 0) os << " ";
+    os << "{";
+    for (size_t j = 0; j < groups[i].size(); ++j) {
+      if (j > 0) os << ",";
+      os << groups[i][j];
+    }
+    os << "}";
+  }
+  return os.str();
+}
+
+bool IsValidCover(const Partition& p, RowId n, size_t min_size,
+                  size_t max_size) {
+  std::vector<bool> covered(n, false);
+  for (const Group& g : p.groups) {
+    if (g.size() < min_size || g.size() > max_size) return false;
+    for (const RowId r : g) {
+      if (r >= n) return false;
+      covered[r] = true;
+    }
+  }
+  for (RowId r = 0; r < n; ++r) {
+    if (!covered[r]) return false;
+  }
+  return true;
+}
+
+bool IsValidPartition(const Partition& p, RowId n, size_t min_size,
+                      size_t max_size) {
+  std::vector<int> times_covered(n, 0);
+  for (const Group& g : p.groups) {
+    if (g.size() < min_size || g.size() > max_size) return false;
+    for (const RowId r : g) {
+      if (r >= n) return false;
+      ++times_covered[r];
+    }
+  }
+  for (RowId r = 0; r < n; ++r) {
+    if (times_covered[r] != 1) return false;
+  }
+  return true;
+}
+
+Partition SplitLargeGroups(const Partition& p, size_t k) {
+  KANON_CHECK_GE(k, 1u);
+  Partition out;
+  for (const Group& g : p.groups) {
+    KANON_CHECK_GE(g.size(), k);
+    if (g.size() < 2 * k) {
+      out.groups.push_back(g);
+      continue;
+    }
+    // Cut into floor(|g|/k) chunks; the last chunk absorbs the remainder
+    // (size k .. 2k-1).
+    const size_t chunks = g.size() / k;
+    size_t begin = 0;
+    for (size_t i = 0; i < chunks; ++i) {
+      const bool last = (i + 1 == chunks);
+      const size_t end = last ? g.size() : begin + k;
+      out.groups.emplace_back(g.begin() + begin, g.begin() + end);
+      begin = end;
+    }
+  }
+  return out;
+}
+
+Partition GroupIdenticalRows(const Table& table) {
+  std::map<std::vector<ValueCode>, Group> buckets;
+  for (RowId r = 0; r < table.num_rows(); ++r) {
+    const auto row = table.row(r);
+    buckets[std::vector<ValueCode>(row.begin(), row.end())].push_back(r);
+  }
+  Partition p;
+  p.groups.reserve(buckets.size());
+  for (auto& [key, group] : buckets) {
+    p.groups.push_back(std::move(group));
+  }
+  return p;
+}
+
+}  // namespace kanon

@@ -1,0 +1,60 @@
+#ifndef KANON_CORE_PARTITION_H_
+#define KANON_CORE_PARTITION_H_
+
+#include <string>
+#include <vector>
+
+#include "data/table.h"
+#include "data/value.h"
+
+/// \file
+/// (k1, k2)-covers and partitions of the row set (Section 4 of the paper):
+/// a collection of row groups, each of size in [k1, k2], that together
+/// cover every row; a partition additionally has disjoint groups. Any
+/// k-anonymizer induces a (k, n)-partition, and wlog a (k, 2k-1)-partition
+/// (split any group of size >= 2k). `SplitLargeGroups` implements that
+/// wlog step.
+
+namespace kanon {
+
+/// One group of row ids. Order inside a group is not meaningful.
+using Group = std::vector<RowId>;
+
+/// A collection of groups. May be a cover (overlaps allowed) or a
+/// partition depending on context; validity helpers below distinguish.
+struct Partition {
+  std::vector<Group> groups;
+
+  size_t num_groups() const { return groups.size(); }
+
+  /// Sum of group sizes (= n for a partition; >= n for a cover).
+  size_t TotalMembers() const;
+
+  /// Human-readable "{0,3} {1,2,4}" rendering for diagnostics.
+  std::string ToString() const;
+};
+
+/// True iff `p` covers every row of [0, n) and every group size lies in
+/// [min_size, max_size].
+bool IsValidCover(const Partition& p, RowId n, size_t min_size,
+                  size_t max_size);
+
+/// True iff `p` is a cover whose groups are pairwise disjoint (every row
+/// appears exactly once).
+bool IsValidPartition(const Partition& p, RowId n, size_t min_size,
+                      size_t max_size);
+
+/// The paper's wlog transform: splits any group of size >= 2k into groups
+/// of size in [k, 2k-1]. Splitting is arbitrary (the paper's argument is
+/// order-independent); we split greedily into chunks of k with the
+/// remainder folded into the final chunk. Requires every group >= k.
+Partition SplitLargeGroups(const Partition& p, size_t k);
+
+/// Groups rows of `table` by exact equality of their (possibly
+/// anonymized) contents; the induced partition of a k-anonymous table has
+/// all groups of size >= k.
+Partition GroupIdenticalRows(const Table& table);
+
+}  // namespace kanon
+
+#endif  // KANON_CORE_PARTITION_H_

@@ -1,0 +1,69 @@
+#include "core/suppressor.h"
+
+#include "util/logging.h"
+
+namespace kanon {
+
+Suppressor::Suppressor(RowId num_rows, ColId num_cols)
+    : num_rows_(num_rows),
+      num_cols_(num_cols),
+      mask_(static_cast<size_t>(num_rows) * num_cols, false) {}
+
+void Suppressor::Suppress(RowId row, ColId col) {
+  KANON_CHECK_LT(row, num_rows_);
+  KANON_CHECK_LT(col, num_cols_);
+  mask_[static_cast<size_t>(row) * num_cols_ + col] = true;
+}
+
+void Suppressor::SuppressColumn(ColId col) {
+  for (RowId r = 0; r < num_rows_; ++r) Suppress(r, col);
+}
+
+bool Suppressor::IsSuppressed(RowId row, ColId col) const {
+  KANON_CHECK_LT(row, num_rows_);
+  KANON_CHECK_LT(col, num_cols_);
+  return mask_[static_cast<size_t>(row) * num_cols_ + col];
+}
+
+size_t Suppressor::Stars() const {
+  size_t stars = 0;
+  for (const bool b : mask_) {
+    if (b) ++stars;
+  }
+  return stars;
+}
+
+bool Suppressor::IsAttributeSuppressor() const {
+  if (num_rows_ == 0) return true;
+  for (ColId c = 0; c < num_cols_; ++c) {
+    const bool first = IsSuppressed(0, c);
+    for (RowId r = 1; r < num_rows_; ++r) {
+      if (IsSuppressed(r, c) != first) return false;
+    }
+  }
+  return true;
+}
+
+Table Suppressor::Apply(const Table& table) const {
+  KANON_CHECK_EQ(table.num_rows(), num_rows_);
+  KANON_CHECK_EQ(table.num_columns(), num_cols_);
+  Table out = table;
+  for (RowId r = 0; r < num_rows_; ++r) {
+    for (ColId c = 0; c < num_cols_; ++c) {
+      if (IsSuppressed(r, c)) out.set(r, c, kSuppressedCode);
+    }
+  }
+  return out;
+}
+
+Suppressor Suppressor::FromAnonymized(const Table& anonymized) {
+  Suppressor t(anonymized.num_rows(), anonymized.num_columns());
+  for (RowId r = 0; r < anonymized.num_rows(); ++r) {
+    for (ColId c = 0; c < anonymized.num_columns(); ++c) {
+      if (anonymized.at(r, c) == kSuppressedCode) t.Suppress(r, c);
+    }
+  }
+  return t;
+}
+
+}  // namespace kanon

@@ -1,0 +1,58 @@
+#ifndef KANON_CORE_SUPPRESSOR_H_
+#define KANON_CORE_SUPPRESSOR_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "data/table.h"
+#include "data/value.h"
+
+/// \file
+/// The paper's Definition 2.1: a suppressor t maps each entry v[j] to
+/// either v[j] or `*`. Represented as one boolean mask per row; applying
+/// a suppressor yields the anonymized table t(V).
+
+namespace kanon {
+
+/// Entry-suppression map over a fixed n x m shape.
+class Suppressor {
+ public:
+  /// Identity suppressor (nothing suppressed) for an n x m relation.
+  Suppressor(RowId num_rows, ColId num_cols);
+
+  RowId num_rows() const { return num_rows_; }
+  ColId num_cols() const { return num_cols_; }
+
+  /// Marks entry (row, col) suppressed. Idempotent.
+  void Suppress(RowId row, ColId col);
+
+  /// Marks `col` suppressed in every row (attribute suppression).
+  void SuppressColumn(ColId col);
+
+  bool IsSuppressed(RowId row, ColId col) const;
+
+  /// Number of suppressed entries — the objective the paper minimizes.
+  size_t Stars() const;
+
+  /// True iff every row suppresses exactly the same set of columns and
+  /// those columns are suppressed in all rows (i.e. the suppressor is an
+  /// attribute suppressor in the sense of Section 3.1).
+  bool IsAttributeSuppressor() const;
+
+  /// Applies the suppressor: returns a copy of `table` with suppressed
+  /// entries replaced by kSuppressedCode. Shape must match.
+  Table Apply(const Table& table) const;
+
+  /// Reconstructs the suppressor implied by an anonymized table: entry
+  /// (r, c) is suppressed iff anonymized.at(r, c) == kSuppressedCode.
+  static Suppressor FromAnonymized(const Table& anonymized);
+
+ private:
+  RowId num_rows_;
+  ColId num_cols_;
+  std::vector<bool> mask_;  // row-major
+};
+
+}  // namespace kanon
+
+#endif  // KANON_CORE_SUPPRESSOR_H_

@@ -1,0 +1,74 @@
+#include "data/csv_table.h"
+
+#include <sstream>
+
+#include "util/csv.h"
+
+namespace kanon {
+
+std::optional<Table> TableFromCsv(std::string_view text,
+                                  std::string* error) {
+  std::vector<CsvRow> rows;
+  std::string parse_error;
+  if (!ParseCsv(text, &rows, &parse_error)) {
+    if (error) *error = "CSV parse error: " + parse_error;
+    return std::nullopt;
+  }
+  if (rows.empty()) {
+    if (error) *error = "missing header row";
+    return std::nullopt;
+  }
+  Schema schema(rows[0]);
+  Table table(std::move(schema));
+  const size_t m = rows[0].size();
+  std::vector<ValueCode> codes(m);
+  for (size_t r = 1; r < rows.size(); ++r) {
+    if (rows[r].size() != m) {
+      if (error) {
+        std::ostringstream os;
+        os << "row " << r << " has " << rows[r].size()
+           << " fields, expected " << m;
+        *error = os.str();
+      }
+      return std::nullopt;
+    }
+    for (size_t c = 0; c < m; ++c) {
+      codes[c] = rows[r][c] == "*"
+                     ? kSuppressedCode
+                     : table.mutable_schema().Intern(
+                           static_cast<ColId>(c), rows[r][c]);
+    }
+    table.AppendRow(codes);
+  }
+  return table;
+}
+
+std::string TableToCsv(const Table& table) {
+  std::vector<CsvRow> rows;
+  rows.reserve(table.num_rows() + 1);
+  CsvRow header(table.num_columns());
+  for (ColId c = 0; c < table.num_columns(); ++c) {
+    header[c] = table.schema().attribute_name(c);
+  }
+  rows.push_back(std::move(header));
+  for (RowId r = 0; r < table.num_rows(); ++r) {
+    rows.push_back(table.DecodeRow(r));
+  }
+  return WriteCsv(rows);
+}
+
+std::optional<Table> LoadTableCsv(const std::string& path,
+                                  std::string* error) {
+  std::string contents;
+  if (!ReadFileToString(path, &contents)) {
+    if (error) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  return TableFromCsv(contents, error);
+}
+
+bool SaveTableCsv(const Table& table, const std::string& path) {
+  return WriteStringToFile(path, TableToCsv(table));
+}
+
+}  // namespace kanon

@@ -1,0 +1,34 @@
+#ifndef KANON_DATA_CSV_TABLE_H_
+#define KANON_DATA_CSV_TABLE_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "data/table.h"
+
+/// \file
+/// Table <-> CSV conversion. The first CSV record is the header (attribute
+/// names); each further record is one tuple. Suppressed cells round-trip
+/// as the literal "*" (matching the paper's presentation), so an
+/// anonymized table can be exported, inspected and re-imported.
+
+namespace kanon {
+
+/// Parses CSV text into a table. Returns std::nullopt and sets `error` on
+/// malformed CSV, missing header, or ragged rows. A cell equal to "*" is
+/// decoded as kSuppressedCode rather than interned.
+std::optional<Table> TableFromCsv(std::string_view text,
+                                  std::string* error);
+
+/// Serializes a table (header + rows) to CSV text.
+std::string TableToCsv(const Table& table);
+
+/// File convenience wrappers.
+std::optional<Table> LoadTableCsv(const std::string& path,
+                                  std::string* error);
+bool SaveTableCsv(const Table& table, const std::string& path);
+
+}  // namespace kanon
+
+#endif  // KANON_DATA_CSV_TABLE_H_

@@ -1,0 +1,36 @@
+#include "data/dictionary.h"
+
+#include "util/logging.h"
+
+namespace kanon {
+
+namespace {
+const std::string kStarString = "*";
+}  // namespace
+
+ValueCode Dictionary::Intern(std::string_view value) {
+  const auto it = index_.find(std::string(value));
+  if (it != index_.end()) return it->second;
+  const ValueCode code = static_cast<ValueCode>(values_.size());
+  KANON_CHECK_NE(code, kSuppressedCode);  // alphabet must not exhaust codes
+  values_.emplace_back(value);
+  index_.emplace(values_.back(), code);
+  return code;
+}
+
+ValueCode Dictionary::Lookup(std::string_view value) const {
+  const auto it = index_.find(std::string(value));
+  return it == index_.end() ? kSuppressedCode : it->second;
+}
+
+bool Dictionary::Contains(std::string_view value) const {
+  return index_.count(std::string(value)) > 0;
+}
+
+const std::string& Dictionary::Decode(ValueCode code) const {
+  if (code == kSuppressedCode) return kStarString;
+  KANON_CHECK_LT(code, values_.size());
+  return values_[code];
+}
+
+}  // namespace kanon

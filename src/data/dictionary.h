@@ -1,0 +1,49 @@
+#ifndef KANON_DATA_DICTIONARY_H_
+#define KANON_DATA_DICTIONARY_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "data/value.h"
+
+/// \file
+/// Per-attribute dictionary: bijection between attribute value strings and
+/// dense codes 0..card-1. The anonymization algorithms operate purely on
+/// codes; dictionaries are used at the I/O boundary.
+
+namespace kanon {
+
+/// Order-of-insertion dictionary encoding for one attribute.
+class Dictionary {
+ public:
+  Dictionary() = default;
+
+  /// Returns the code of `value`, interning it if new.
+  ValueCode Intern(std::string_view value);
+
+  /// Returns the code of `value`, or kSuppressedCode if absent.
+  ValueCode Lookup(std::string_view value) const;
+
+  /// True iff `value` has been interned.
+  bool Contains(std::string_view value) const;
+
+  /// Decodes a code. `kSuppressedCode` decodes to "*"; any other
+  /// out-of-range code is a fatal error.
+  const std::string& Decode(ValueCode code) const;
+
+  /// Number of distinct interned values (the attribute alphabet size |Σ_j|).
+  size_t size() const { return values_.size(); }
+
+  /// All interned values in code order.
+  const std::vector<std::string>& values() const { return values_; }
+
+ private:
+  std::vector<std::string> values_;
+  std::unordered_map<std::string, ValueCode> index_;
+};
+
+}  // namespace kanon
+
+#endif  // KANON_DATA_DICTIONARY_H_

@@ -1,0 +1,75 @@
+#include "data/generators/adversarial.h"
+
+#include <string>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace kanon {
+
+Table OneHotTable(uint32_t n) {
+  KANON_CHECK_GT(n, 0u);
+  Schema schema;
+  for (uint32_t c = 0; c < n; ++c) {
+    schema.AddAttribute("c" + std::to_string(c));
+  }
+  Table table(std::move(schema));
+  // Pre-intern "0" then "1" so codes are 0/1 in every column.
+  for (ColId c = 0; c < n; ++c) {
+    table.mutable_schema().Intern(c, "0");
+    table.mutable_schema().Intern(c, "1");
+  }
+  std::vector<ValueCode> codes(n, 0);
+  for (uint32_t r = 0; r < n; ++r) {
+    codes[r] = 1;
+    table.AppendRow(codes);
+    codes[r] = 0;
+  }
+  return table;
+}
+
+Table DecoyClusterTable(const DecoyClusterOptions& options, Rng* rng,
+                        std::vector<bool>* is_decoy) {
+  KANON_CHECK_GT(options.num_clusters, 0u);
+  KANON_CHECK_GT(options.cluster_size, 0u);
+  KANON_CHECK_LE(options.probe_columns, options.num_columns);
+  KANON_CHECK_GT(options.alphabet, 1u);
+
+  Schema schema;
+  for (uint32_t c = 0; c < options.num_columns; ++c) {
+    schema.AddAttribute("a" + std::to_string(c));
+  }
+  Table table(std::move(schema));
+  for (ColId c = 0; c < options.num_columns; ++c) {
+    for (uint32_t v = 0; v < options.alphabet; ++v) {
+      table.mutable_schema().Intern(c, "v" + std::to_string(v));
+    }
+  }
+
+  if (is_decoy != nullptr) is_decoy->clear();
+  std::vector<ValueCode> center(options.num_columns);
+  std::vector<ValueCode> row(options.num_columns);
+  for (uint32_t cluster = 0; cluster < options.num_clusters; ++cluster) {
+    for (uint32_t c = 0; c < options.num_columns; ++c) {
+      center[c] = rng->Uniform(options.alphabet);
+    }
+    for (uint32_t i = 0; i < options.cluster_size; ++i) {
+      table.AppendRow(center);
+      if (is_decoy != nullptr) is_decoy->push_back(false);
+    }
+    for (uint32_t d = 0; d < options.decoys_per_cluster; ++d) {
+      row = center;
+      // Diverge on every non-probe column (guaranteed different value).
+      for (uint32_t c = options.probe_columns; c < options.num_columns;
+           ++c) {
+        const ValueCode shift = 1 + rng->Uniform(options.alphabet - 1);
+        row[c] = (center[c] + shift) % options.alphabet;
+      }
+      table.AppendRow(row);
+      if (is_decoy != nullptr) is_decoy->push_back(true);
+    }
+  }
+  return table;
+}
+
+}  // namespace kanon

@@ -1,0 +1,50 @@
+#ifndef KANON_DATA_GENERATORS_ADVERSARIAL_H_
+#define KANON_DATA_GENERATORS_ADVERSARIAL_H_
+
+#include <cstdint>
+
+#include "data/table.h"
+#include "util/random.h"
+
+/// \file
+/// Adversarial instances exposing the analysis's pressure points.
+///
+/// * One-hot tables: n rows over n binary columns with row i carrying a
+///   single 1 at column i. Pairwise Hamming distance is uniformly 2,
+///   yet any group of s rows disagrees on s columns — the family that
+///   separates the diameter-sum surrogate from the true ANON cost
+///   (DESIGN.md "Lemma 4.1 constants") and stresses every algorithm's
+///   grouping logic equally.
+/// * Decoy-cluster tables: half the rows form genuine tight clusters,
+///   the other half form "decoys" that look close to a cluster center
+///   on a probe prefix of columns but diverge on the rest; greedy
+///   ball growth around decoy centers is systematically misled.
+
+namespace kanon {
+
+/// n rows, n binary columns, row i = e_i. OPT for k | n is k groups of
+/// size k costing k^2 columns... exactly n*k stars; any partition costs
+/// sum |S_i|^2 >= n*k, so OPT(V) = n*k when k divides n.
+Table OneHotTable(uint32_t n);
+
+/// Parameters for DecoyClusterTable.
+struct DecoyClusterOptions {
+  /// Number of genuine clusters; each has `cluster_size` identical rows.
+  uint32_t num_clusters = 3;
+  uint32_t cluster_size = 4;
+  /// Decoys per cluster: rows equal to the center on the first
+  /// `probe_columns` attributes and random elsewhere.
+  uint32_t decoys_per_cluster = 2;
+  uint32_t num_columns = 12;
+  uint32_t probe_columns = 4;
+  uint32_t alphabet = 8;
+};
+
+/// Generates the decoy instance; if `is_decoy` is non-null it receives
+/// one flag per row.
+Table DecoyClusterTable(const DecoyClusterOptions& options, Rng* rng,
+                        std::vector<bool>* is_decoy = nullptr);
+
+}  // namespace kanon
+
+#endif  // KANON_DATA_GENERATORS_ADVERSARIAL_H_

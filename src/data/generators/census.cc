@@ -1,0 +1,105 @@
+#include "data/generators/census.h"
+
+#include <string>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace kanon {
+
+namespace {
+
+/// One categorical attribute: value labels plus unnormalized weights.
+struct Attribute {
+  const char* name;
+  std::vector<const char*> labels;
+  std::vector<double> weights;
+};
+
+/// Draws an index from `weights` proportionally.
+uint32_t Weighted(const std::vector<double>& weights, Rng* rng) {
+  double total = 0.0;
+  for (const double w : weights) total += w;
+  double u = rng->UniformDouble() * total;
+  for (uint32_t i = 0; i < weights.size(); ++i) {
+    u -= weights[i];
+    if (u <= 0.0) return i;
+  }
+  return static_cast<uint32_t>(weights.size() - 1);
+}
+
+std::vector<Attribute> CensusAttributes() {
+  std::vector<Attribute> attrs;
+  attrs.push_back({"age_band",
+                   {"0-20", "21-30", "31-40", "41-50", "51-60", "61-70",
+                    "71+"},
+                   {8, 22, 25, 20, 14, 8, 3}});
+  attrs.push_back({"workclass",
+                   {"private", "self-emp", "federal", "state", "local",
+                    "unemployed"},
+                   {70, 10, 4, 5, 6, 5}});
+  attrs.push_back({"education",
+                   {"none", "primary", "hs-grad", "some-college",
+                    "bachelors", "masters", "doctorate"},
+                   {2, 10, 32, 22, 22, 9, 3}});
+  attrs.push_back({"marital",
+                   {"never", "married", "divorced", "separated",
+                    "widowed"},
+                   {33, 46, 14, 3, 4}});
+  attrs.push_back({"occupation",
+                   {"clerical", "craft", "exec", "prof", "sales",
+                    "service", "transport", "tech", "farming", "military"},
+                   {13, 13, 13, 13, 11, 16, 7, 9, 4, 1}});
+  attrs.push_back({"race",
+                   {"white", "black", "asian", "amer-indian", "other"},
+                   {73, 12, 8, 2, 5}});
+  attrs.push_back({"sex", {"male", "female"}, {52, 48}});
+  attrs.push_back({"country",
+                   {"us", "mexico", "philippines", "germany", "canada",
+                    "india", "uk", "china", "cuba", "other"},
+                   {83, 4, 1.5, 1, 1, 1, 0.8, 0.7, 0.7, 6.3}});
+  return attrs;
+}
+
+}  // namespace
+
+Table CensusTable(const CensusTableOptions& options, Rng* rng) {
+  KANON_CHECK_GE(options.correlation, 0.0);
+  KANON_CHECK_LE(options.correlation, 1.0);
+  const std::vector<Attribute> attrs = CensusAttributes();
+  Schema schema;
+  for (const Attribute& a : attrs) schema.AddAttribute(a.name);
+  Table table(std::move(schema));
+  for (ColId c = 0; c < attrs.size(); ++c) {
+    for (const char* label : attrs[c].labels) {
+      table.mutable_schema().Intern(c, label);
+    }
+  }
+  // Attribute column indices by role.
+  constexpr ColId kAge = 0, kEducation = 2, kMarital = 3, kOccupation = 4;
+
+  std::vector<ValueCode> codes(attrs.size());
+  for (uint32_t r = 0; r < options.num_rows; ++r) {
+    for (ColId c = 0; c < attrs.size(); ++c) {
+      codes[c] = Weighted(attrs[c].weights, rng);
+    }
+    // Correlations (applied with probability `correlation`): high
+    // education pulls occupation toward exec/prof/tech; young age band
+    // pulls marital status toward "never".
+    if (rng->Bernoulli(options.correlation)) {
+      if (codes[kEducation] >= 4) {  // bachelors or above
+        const ValueCode professional[] = {2, 3, 7};  // exec, prof, tech
+        codes[kOccupation] = professional[rng->Uniform(3)];
+      }
+    }
+    if (rng->Bernoulli(options.correlation)) {
+      if (codes[kAge] <= 1) {  // 0-20 or 21-30
+        codes[kMarital] = 0;  // never married
+      }
+    }
+    table.AppendRow(codes);
+  }
+  return table;
+}
+
+}  // namespace kanon

@@ -1,0 +1,37 @@
+#ifndef KANON_DATA_GENERATORS_CENSUS_H_
+#define KANON_DATA_GENERATORS_CENSUS_H_
+
+#include <cstdint>
+
+#include "data/table.h"
+#include "util/random.h"
+
+/// \file
+/// Synthetic census microdata generator.
+///
+/// Substitute for the UCI "Adult" census extract commonly used in the
+/// k-anonymity literature (the real extract is not available offline).
+/// The generator reproduces the properties the algorithms are sensitive
+/// to: 8 categorical quasi-identifier attributes with realistic
+/// cardinalities (2..41) and heavily skewed marginal distributions, plus
+/// mild attribute correlation (education <-> occupation, age band <->
+/// marital status). Absolute values are fictional.
+
+namespace kanon {
+
+/// Parameters for CensusTable.
+struct CensusTableOptions {
+  uint32_t num_rows = 200;
+  /// Correlation strength in [0,1]: probability that correlated attribute
+  /// pairs are drawn jointly rather than independently.
+  double correlation = 0.6;
+};
+
+/// Generates rows over the schema:
+///   age_band, workclass, education, marital, occupation, race, sex,
+///   country.
+Table CensusTable(const CensusTableOptions& options, Rng* rng);
+
+}  // namespace kanon
+
+#endif  // KANON_DATA_GENERATORS_CENSUS_H_

@@ -1,0 +1,52 @@
+#include "data/generators/clustered.h"
+
+#include <string>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace kanon {
+
+Table ClusteredTable(const ClusteredTableOptions& options, Rng* rng,
+                     std::vector<uint32_t>* center_of_row) {
+  KANON_CHECK_GT(options.alphabet, 0u);
+  KANON_CHECK_GT(options.num_clusters, 0u);
+  KANON_CHECK_LE(options.noise_flips, options.num_columns);
+  Schema schema;
+  for (uint32_t c = 0; c < options.num_columns; ++c) {
+    schema.AddAttribute("a" + std::to_string(c));
+  }
+  Table table(std::move(schema));
+  for (ColId c = 0; c < options.num_columns; ++c) {
+    for (uint32_t v = 0; v < options.alphabet; ++v) {
+      table.mutable_schema().Intern(c, "v" + std::to_string(v));
+    }
+  }
+
+  std::vector<std::vector<ValueCode>> centers(options.num_clusters);
+  for (auto& center : centers) {
+    center.resize(options.num_columns);
+    for (uint32_t c = 0; c < options.num_columns; ++c) {
+      center[c] = rng->Uniform(options.alphabet);
+    }
+  }
+
+  if (center_of_row != nullptr) center_of_row->clear();
+  std::vector<ValueCode> codes(options.num_columns);
+  for (uint32_t r = 0; r < options.num_rows; ++r) {
+    const uint32_t which = r % options.num_clusters;
+    codes = centers[which];
+    if (options.noise_flips > 0) {
+      const std::vector<uint32_t> cols = rng->SampleWithoutReplacement(
+          options.num_columns, options.noise_flips);
+      for (const uint32_t c : cols) {
+        codes[c] = rng->Uniform(options.alphabet);
+      }
+    }
+    table.AppendRow(codes);
+    if (center_of_row != nullptr) center_of_row->push_back(which);
+  }
+  return table;
+}
+
+}  // namespace kanon

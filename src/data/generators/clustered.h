@@ -1,0 +1,40 @@
+#ifndef KANON_DATA_GENERATORS_CLUSTERED_H_
+#define KANON_DATA_GENERATORS_CLUSTERED_H_
+
+#include <cstdint>
+
+#include "data/table.h"
+#include "util/random.h"
+
+/// \file
+/// Planted-cluster generator: rows are noisy copies of a few center
+/// vectors. This is the favourable workload for the paper's algorithms —
+/// groups of size >= k with small Hamming diameter exist by construction,
+/// so cheap k-anonymizations exist and approximation quality is visible.
+/// With noise_flips = 0 the exact optimum is known analytically (0 when
+/// every cluster has size >= k), which the tests exploit.
+
+namespace kanon {
+
+/// Parameters for ClusteredTable.
+struct ClusteredTableOptions {
+  uint32_t num_rows = 24;
+  uint32_t num_columns = 6;
+  uint32_t alphabet = 8;
+  /// Number of planted centers; rows are assigned round-robin so every
+  /// cluster has floor/ceil(n / clusters) members.
+  uint32_t num_clusters = 4;
+  /// Exactly this many coordinates of each row are re-drawn (possibly to
+  /// the same value) after copying its center.
+  uint32_t noise_flips = 1;
+};
+
+/// Generates the clustered table. Attribute/value naming matches
+/// UniformTable. If `center_of_row` is non-null it receives, per row, the
+/// index of the planted center the row was derived from.
+Table ClusteredTable(const ClusteredTableOptions& options, Rng* rng,
+                     std::vector<uint32_t>* center_of_row = nullptr);
+
+}  // namespace kanon
+
+#endif  // KANON_DATA_GENERATORS_CLUSTERED_H_

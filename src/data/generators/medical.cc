@@ -1,0 +1,52 @@
+#include "data/generators/medical.h"
+
+#include <string>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace kanon {
+
+namespace {
+
+const char* const kFirstNames[] = {"john",  "mary",  "harry", "beatrice",
+                                   "james", "linda", "robert", "susan",
+                                   "david", "karen", "paul",  "nancy"};
+const char* const kLastNames[] = {"stone",  "reyser", "ramos",  "smith",
+                                  "jones",  "brown",  "garcia", "miller",
+                                  "davis",  "wilson", "moore",  "taylor"};
+const char* const kAgeBands[] = {"0-20", "21-40", "41-60", "61+"};
+const char* const kRaces[] = {"afr-am", "cauc", "hisp", "asian"};
+const char* const kProcedures[] = {"x-ray", "mri", "ct-scan", "ultrasound"};
+
+}  // namespace
+
+Table MedicalTable(const MedicalTableOptions& options, Rng* rng) {
+  const uint32_t pool = std::min<uint32_t>(
+      options.name_pool, static_cast<uint32_t>(std::size(kFirstNames)));
+  KANON_CHECK_GT(pool, 0u);
+  Schema schema({"first", "last", "age_band", "race", "procedure"});
+  Table table(std::move(schema));
+  std::vector<std::string> row(5);
+  for (uint32_t r = 0; r < options.num_rows; ++r) {
+    row[0] = kFirstNames[rng->Uniform(pool)];
+    row[1] = kLastNames[rng->Uniform(pool)];
+    row[2] = kAgeBands[rng->Uniform(std::size(kAgeBands))];
+    row[3] = kRaces[rng->Uniform(std::size(kRaces))];
+    row[4] = kProcedures[rng->Uniform(std::size(kProcedures))];
+    table.AppendStringRow(row);
+  }
+  return table;
+}
+
+Table PaperIntroTable() {
+  Schema schema({"first", "last", "age", "race"});
+  Table table(std::move(schema));
+  table.AppendStringRow({"harry", "stone", "34", "afr-am"});
+  table.AppendStringRow({"john", "reyser", "36", "cauc"});
+  table.AppendStringRow({"beatrice", "stone", "47", "afr-am"});
+  table.AppendStringRow({"john", "ramos", "22", "hisp"});
+  return table;
+}
+
+}  // namespace kanon

@@ -1,0 +1,36 @@
+#ifndef KANON_DATA_GENERATORS_MEDICAL_H_
+#define KANON_DATA_GENERATORS_MEDICAL_H_
+
+#include <cstdint>
+
+#include "data/table.h"
+#include "util/random.h"
+
+/// \file
+/// Synthetic hospital-records generator, modeled on the paper's
+/// introductory example ("Who had an X-ray at this hospital yesterday?"):
+/// first name, last name, age band, race, procedure. Names are drawn from
+/// small pools with shared surnames so that textual near-matches (the
+/// "* Stone" / "John R*" pattern of the example) genuinely occur.
+
+namespace kanon {
+
+/// Parameters for MedicalTable.
+struct MedicalTableOptions {
+  uint32_t num_rows = 12;
+  /// Size of the first/last name pools; smaller pools create more
+  /// coincidental matches and hence cheaper anonymizations.
+  uint32_t name_pool = 8;
+};
+
+/// Generates rows over schema: first, last, age_band, race, procedure.
+Table MedicalTable(const MedicalTableOptions& options, Rng* rng);
+
+/// The literal 4-row relation from Section 1 of the paper (Harry Stone /
+/// John Reyser / Beatrice Stone / John Ramos). Used by the quickstart
+/// example and the documentation tests.
+Table PaperIntroTable();
+
+}  // namespace kanon
+
+#endif  // KANON_DATA_GENERATORS_MEDICAL_H_

@@ -1,0 +1,36 @@
+#include "data/generators/uniform.h"
+
+#include <string>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace kanon {
+
+Table UniformTable(const UniformTableOptions& options, Rng* rng) {
+  KANON_CHECK_GT(options.alphabet, 0u);
+  Schema schema;
+  for (uint32_t c = 0; c < options.num_columns; ++c) {
+    schema.AddAttribute("a" + std::to_string(c));
+  }
+  Table table(std::move(schema));
+  // Pre-intern the full alphabet so codes are stable regardless of draw
+  // order (code i <=> "vi" in every column).
+  for (ColId c = 0; c < options.num_columns; ++c) {
+    for (uint32_t v = 0; v < options.alphabet; ++v) {
+      table.mutable_schema().Intern(c, "v" + std::to_string(v));
+    }
+  }
+  std::vector<ValueCode> codes(options.num_columns);
+  for (uint32_t r = 0; r < options.num_rows; ++r) {
+    for (uint32_t c = 0; c < options.num_columns; ++c) {
+      codes[c] = options.zipf_s > 0.0
+                     ? rng->Zipf(options.alphabet, options.zipf_s)
+                     : rng->Uniform(options.alphabet);
+    }
+    table.AppendRow(codes);
+  }
+  return table;
+}
+
+}  // namespace kanon

@@ -1,0 +1,33 @@
+#ifndef KANON_DATA_GENERATORS_UNIFORM_H_
+#define KANON_DATA_GENERATORS_UNIFORM_H_
+
+#include <cstdint>
+
+#include "data/table.h"
+#include "util/random.h"
+
+/// \file
+/// Unstructured categorical table generator: n rows, m attributes, each
+/// cell drawn independently from an alphabet of the given cardinality,
+/// uniformly or Zipf-skewed. This is the adversarial "no structure"
+/// workload: optimal k-anonymizations must pay close to full suppression.
+
+namespace kanon {
+
+/// Parameters for UniformTable.
+struct UniformTableOptions {
+  uint32_t num_rows = 16;
+  uint32_t num_columns = 4;
+  /// Alphabet size |Σ_j| for every attribute.
+  uint32_t alphabet = 4;
+  /// Zipf exponent; 0 = uniform draws.
+  double zipf_s = 0.0;
+};
+
+/// Generates a table with attribute names "a0", "a1", ... and values
+/// "v0".."v{alphabet-1}" per attribute. Deterministic given `rng` state.
+Table UniformTable(const UniformTableOptions& options, Rng* rng);
+
+}  // namespace kanon
+
+#endif  // KANON_DATA_GENERATORS_UNIFORM_H_

@@ -1,0 +1,46 @@
+#include "data/schema.h"
+
+#include "util/logging.h"
+
+namespace kanon {
+
+Schema::Schema(std::vector<std::string> attribute_names)
+    : names_(std::move(attribute_names)), dicts_(names_.size()) {}
+
+ColId Schema::AddAttribute(std::string_view name) {
+  names_.emplace_back(name);
+  dicts_.emplace_back();
+  return static_cast<ColId>(names_.size() - 1);
+}
+
+const std::string& Schema::attribute_name(ColId col) const {
+  KANON_CHECK_LT(col, names_.size());
+  return names_[col];
+}
+
+ColId Schema::FindAttribute(std::string_view name) const {
+  for (ColId c = 0; c < names_.size(); ++c) {
+    if (names_[c] == name) return c;
+  }
+  return num_attributes();
+}
+
+Dictionary& Schema::dictionary(ColId col) {
+  KANON_CHECK_LT(col, dicts_.size());
+  return dicts_[col];
+}
+
+const Dictionary& Schema::dictionary(ColId col) const {
+  KANON_CHECK_LT(col, dicts_.size());
+  return dicts_[col];
+}
+
+ValueCode Schema::Intern(ColId col, std::string_view value) {
+  return dictionary(col).Intern(value);
+}
+
+const std::string& Schema::Decode(ColId col, ValueCode code) const {
+  return dictionary(col).Decode(code);
+}
+
+}  // namespace kanon

@@ -1,0 +1,53 @@
+#ifndef KANON_DATA_SCHEMA_H_
+#define KANON_DATA_SCHEMA_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "data/dictionary.h"
+#include "data/value.h"
+
+/// \file
+/// Relation schema: attribute names plus one dictionary per attribute.
+
+namespace kanon {
+
+/// Schema of a degree-m relation. Owns the per-attribute dictionaries.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Creates a schema with the given attribute names.
+  explicit Schema(std::vector<std::string> attribute_names);
+
+  /// Appends an attribute; returns its column id.
+  ColId AddAttribute(std::string_view name);
+
+  /// Degree m of the relation.
+  ColId num_attributes() const {
+    return static_cast<ColId>(names_.size());
+  }
+
+  const std::string& attribute_name(ColId col) const;
+
+  /// Index of the attribute named `name`, or num_attributes() if absent.
+  ColId FindAttribute(std::string_view name) const;
+
+  Dictionary& dictionary(ColId col);
+  const Dictionary& dictionary(ColId col) const;
+
+  /// Interns `value` into attribute `col`'s dictionary.
+  ValueCode Intern(ColId col, std::string_view value);
+
+  /// Decodes `code` via attribute `col`'s dictionary ("*" for suppressed).
+  const std::string& Decode(ColId col, ValueCode code) const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<Dictionary> dicts_;
+};
+
+}  // namespace kanon
+
+#endif  // KANON_DATA_SCHEMA_H_

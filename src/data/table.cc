@@ -1,0 +1,134 @@
+#include "data/table.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace kanon {
+
+Table::Table(Schema schema) : schema_(std::move(schema)) {}
+
+RowId Table::AppendRow(std::span<const ValueCode> codes) {
+  KANON_CHECK_EQ(codes.size(), static_cast<size_t>(num_columns()));
+  cells_.insert(cells_.end(), codes.begin(), codes.end());
+  return static_cast<RowId>(num_rows_++);
+}
+
+RowId Table::AppendStringRow(const std::vector<std::string>& values) {
+  KANON_CHECK_EQ(values.size(), static_cast<size_t>(num_columns()));
+  std::vector<ValueCode> codes(values.size());
+  for (ColId c = 0; c < values.size(); ++c) {
+    codes[c] = schema_.Intern(c, values[c]);
+  }
+  return AppendRow(codes);
+}
+
+ValueCode Table::at(RowId row, ColId col) const {
+  KANON_CHECK_LT(row, num_rows_);
+  KANON_CHECK_LT(col, num_columns());
+  return cells_[static_cast<size_t>(row) * num_columns() + col];
+}
+
+void Table::set(RowId row, ColId col, ValueCode code) {
+  KANON_CHECK_LT(row, num_rows_);
+  KANON_CHECK_LT(col, num_columns());
+  cells_[static_cast<size_t>(row) * num_columns() + col] = code;
+}
+
+std::span<const ValueCode> Table::row(RowId r) const {
+  KANON_CHECK_LT(r, num_rows_);
+  return {cells_.data() + static_cast<size_t>(r) * num_columns(),
+          num_columns()};
+}
+
+std::vector<std::string> Table::DecodeRow(RowId r) const {
+  std::vector<std::string> out(num_columns());
+  for (ColId c = 0; c < num_columns(); ++c) {
+    out[c] = schema_.Decode(c, at(r, c));
+  }
+  return out;
+}
+
+std::string Table::ToString(RowId max_rows) const {
+  const ColId m = num_columns();
+  std::vector<size_t> widths(m);
+  for (ColId c = 0; c < m; ++c) {
+    widths[c] = schema_.attribute_name(c).size();
+  }
+  const RowId shown = std::min(num_rows(), max_rows);
+  for (RowId r = 0; r < shown; ++r) {
+    for (ColId c = 0; c < m; ++c) {
+      widths[c] = std::max(widths[c], schema_.Decode(c, at(r, c)).size());
+    }
+  }
+  std::ostringstream os;
+  for (ColId c = 0; c < m; ++c) {
+    if (c > 0) os << "  ";
+    os << PadRight(schema_.attribute_name(c), widths[c]);
+  }
+  os << "\n";
+  for (RowId r = 0; r < shown; ++r) {
+    for (ColId c = 0; c < m; ++c) {
+      if (c > 0) os << "  ";
+      os << PadRight(schema_.Decode(c, at(r, c)), widths[c]);
+    }
+    os << "\n";
+  }
+  if (shown < num_rows()) {
+    os << "... (" << (num_rows() - shown) << " more rows)\n";
+  }
+  return os.str();
+}
+
+bool Table::RowsEqual(RowId a, RowId b) const {
+  const auto ra = row(a);
+  const auto rb = row(b);
+  return std::equal(ra.begin(), ra.end(), rb.begin());
+}
+
+Table Table::Project(const std::vector<ColId>& columns) const {
+  Schema schema;
+  for (const ColId c : columns) {
+    KANON_CHECK_LT(c, num_columns());
+    schema.AddAttribute(schema_.attribute_name(c));
+  }
+  Table out(std::move(schema));
+  for (size_t j = 0; j < columns.size(); ++j) {
+    // Copy the source dictionary so codes keep their meaning.
+    Dictionary& dict = out.mutable_schema().dictionary(
+        static_cast<ColId>(j));
+    for (const std::string& value :
+         schema_.dictionary(columns[j]).values()) {
+      dict.Intern(value);
+    }
+  }
+  std::vector<ValueCode> codes(columns.size());
+  for (RowId r = 0; r < num_rows(); ++r) {
+    for (size_t j = 0; j < columns.size(); ++j) {
+      codes[j] = at(r, columns[j]);
+    }
+    out.AppendRow(codes);
+  }
+  return out;
+}
+
+Table Table::SelectRows(const std::vector<RowId>& rows) const {
+  Table out(schema_);
+  for (const RowId r : rows) {
+    KANON_CHECK_LT(r, num_rows());
+    out.AppendRow(row(r));
+  }
+  return out;
+}
+
+size_t Table::CountSuppressedCells() const {
+  size_t count = 0;
+  for (const ValueCode code : cells_) {
+    if (code == kSuppressedCode) ++count;
+  }
+  return count;
+}
+
+}  // namespace kanon

@@ -1,0 +1,83 @@
+#ifndef KANON_DATA_TABLE_H_
+#define KANON_DATA_TABLE_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "data/schema.h"
+#include "data/value.h"
+
+/// \file
+/// `Table` is the library's relation type: the set V ⊆ Σ^m of the paper,
+/// stored row-major as dictionary codes. Duplicate rows are allowed
+/// (multiset semantics, as required by the k-anonymity definition).
+
+namespace kanon {
+
+/// A degree-m relation of n coded rows. Copyable; rows are appended via
+/// AppendRow/AppendStringRow and never mutated in place (anonymized copies
+/// are produced by Suppressor::Apply).
+class Table {
+ public:
+  /// An empty table with `schema`.
+  explicit Table(Schema schema);
+
+  Table(const Table&) = default;
+  Table& operator=(const Table&) = default;
+  Table(Table&&) = default;
+  Table& operator=(Table&&) = default;
+
+  RowId num_rows() const { return static_cast<RowId>(num_rows_); }
+  ColId num_columns() const { return schema_.num_attributes(); }
+
+  const Schema& schema() const { return schema_; }
+  Schema& mutable_schema() { return schema_; }
+
+  /// Appends a row of codes; size must equal num_columns(). Returns the
+  /// new row's id.
+  RowId AppendRow(std::span<const ValueCode> codes);
+
+  /// Interns strings through the schema dictionaries and appends.
+  RowId AppendStringRow(const std::vector<std::string>& values);
+
+  /// Cell accessors.
+  ValueCode at(RowId row, ColId col) const;
+  void set(RowId row, ColId col, ValueCode code);
+
+  /// Contiguous view of one row's m codes.
+  std::span<const ValueCode> row(RowId r) const;
+
+  /// Decoded row, with "*" for suppressed cells.
+  std::vector<std::string> DecodeRow(RowId r) const;
+
+  /// Pretty-prints up to `max_rows` rows with a header (for examples and
+  /// error messages).
+  std::string ToString(RowId max_rows = 32) const;
+
+  /// True iff rows a and b are entry-for-entry identical.
+  bool RowsEqual(RowId a, RowId b) const;
+
+  /// Total number of suppressed (`*`) cells — the objective value of the
+  /// paper's optimization problem when called on an anonymized table.
+  size_t CountSuppressedCells() const;
+
+  /// Projection onto a subset of columns (quasi-identifier selection):
+  /// returns a new table containing `columns` in the given order, with
+  /// copies of their dictionaries. Duplicate column ids are allowed.
+  Table Project(const std::vector<ColId>& columns) const;
+
+  /// Row selection: returns a new table containing `rows` in the given
+  /// order, sharing this table's schema (dictionaries copied). Duplicate
+  /// row ids are allowed (multiset semantics).
+  Table SelectRows(const std::vector<RowId>& rows) const;
+
+ private:
+  Schema schema_;
+  size_t num_rows_ = 0;
+  std::vector<ValueCode> cells_;  // row-major, num_rows_ * m
+};
+
+}  // namespace kanon
+
+#endif  // KANON_DATA_TABLE_H_

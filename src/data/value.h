@@ -1,0 +1,32 @@
+#ifndef KANON_DATA_VALUE_H_
+#define KANON_DATA_VALUE_H_
+
+#include <cstdint>
+#include <limits>
+
+/// \file
+/// Value representation shared across the library.
+///
+/// The paper models a relation as vectors over a finite alphabet Σ with a
+/// fresh suppression symbol `*` outside Σ. We dictionary-encode attribute
+/// values as dense 32-bit codes per attribute and reserve the maximum code
+/// as the suppression symbol.
+
+namespace kanon {
+
+/// Dictionary code of one attribute value.
+using ValueCode = uint32_t;
+
+/// The `*` symbol of the paper: a code outside every attribute alphabet.
+inline constexpr ValueCode kSuppressedCode =
+    std::numeric_limits<ValueCode>::max();
+
+/// Row index into a Table.
+using RowId = uint32_t;
+
+/// Column (attribute) index into a Table.
+using ColId = uint32_t;
+
+}  // namespace kanon
+
+#endif  // KANON_DATA_VALUE_H_

@@ -1,0 +1,94 @@
+#include "generalize/apply.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace kanon {
+
+Table ApplyGeneralization(const Table& table,
+                          const std::vector<Hierarchy>& hierarchies,
+                          const GeneralizationVector& levels,
+                          const std::vector<RowId>& suppressed_rows) {
+  const ColId m = table.num_columns();
+  KANON_CHECK_EQ(hierarchies.size(), static_cast<size_t>(m));
+  KANON_CHECK_EQ(levels.size(), static_cast<size_t>(m));
+  std::vector<bool> suppressed(table.num_rows(), false);
+  for (const RowId r : suppressed_rows) {
+    KANON_CHECK_LT(r, table.num_rows());
+    suppressed[r] = true;
+  }
+
+  Schema schema;
+  for (ColId c = 0; c < m; ++c) {
+    schema.AddAttribute(table.schema().attribute_name(c));
+  }
+  Table out(std::move(schema));
+  std::vector<std::string> row(m);
+  for (RowId r = 0; r < table.num_rows(); ++r) {
+    for (ColId c = 0; c < m; ++c) {
+      row[c] = suppressed[r]
+                   ? "*"
+                   : hierarchies[c].Label(table.at(r, c), levels[c]);
+    }
+    out.AppendStringRow(row);
+  }
+  return out;
+}
+
+GeneralizationCheck CheckGeneralization(
+    const Table& table, const std::vector<Hierarchy>& hierarchies,
+    const GeneralizationVector& levels, size_t k, size_t max_suppressed) {
+  const ColId m = table.num_columns();
+  KANON_CHECK_EQ(hierarchies.size(), static_cast<size_t>(m));
+  KANON_CHECK_EQ(levels.size(), static_cast<size_t>(m));
+  KANON_CHECK_GE(k, 1u);
+
+  // Bucket rows by their generalized label tuple.
+  std::map<std::vector<std::string>, Group> buckets;
+  std::vector<std::string> key(m);
+  for (RowId r = 0; r < table.num_rows(); ++r) {
+    for (ColId c = 0; c < m; ++c) {
+      key[c] = hierarchies[c].Label(table.at(r, c), levels[c]);
+    }
+    buckets[key].push_back(r);
+  }
+
+  GeneralizationCheck check;
+  for (auto& [unused, group] : buckets) {
+    if (group.size() >= k) {
+      check.groups.groups.push_back(std::move(group));
+    } else {
+      // Undersized: these rows are withheld from the release
+      // (Samarati's MaxSup semantics — suppression means removal).
+      check.outliers.insert(check.outliers.end(), group.begin(),
+                            group.end());
+    }
+  }
+  std::sort(check.outliers.begin(), check.outliers.end());
+  check.feasible = check.outliers.size() <= max_suppressed;
+  return check;
+}
+
+std::vector<Hierarchy> DefaultHierarchies(const Table& table) {
+  std::vector<Hierarchy> hierarchies;
+  hierarchies.reserve(table.num_columns());
+  for (ColId c = 0; c < table.num_columns(); ++c) {
+    const Dictionary& dict = table.schema().dictionary(c);
+    bool numeric = dict.size() > 0;
+    for (const std::string& value : dict.values()) {
+      long long unused = 0;
+      if (!ParseInt(value, &unused)) {
+        numeric = false;
+        break;
+      }
+    }
+    hierarchies.push_back(numeric ? Hierarchy::Intervals(dict, {10, 20})
+                                  : Hierarchy::Flat(dict));
+  }
+  return hierarchies;
+}
+
+}  // namespace kanon

@@ -1,0 +1,55 @@
+#ifndef KANON_GENERALIZE_APPLY_H_
+#define KANON_GENERALIZE_APPLY_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/partition.h"
+#include "data/table.h"
+#include "generalize/hierarchy.h"
+
+/// \file
+/// Applying a full-domain generalization to a relation and checking the
+/// resulting k-anonymity (with the standard outlier-suppression budget:
+/// rows whose generalized tuple occurs fewer than k times may be fully
+/// suppressed, up to `max_suppressed` of them).
+
+namespace kanon {
+
+/// Materializes the generalized relation: same attribute names, values
+/// replaced by their level labels. Rows listed in `suppressed_rows`
+/// (may be empty) come out as all-* rows.
+Table ApplyGeneralization(const Table& table,
+                          const std::vector<Hierarchy>& hierarchies,
+                          const GeneralizationVector& levels,
+                          const std::vector<RowId>& suppressed_rows = {});
+
+/// Result of a feasibility check.
+struct GeneralizationCheck {
+  /// True iff, after suppressing `outliers`, every remaining
+  /// generalized tuple occurs >= k times and |outliers| <=
+  /// max_suppressed. (All-suppressed rows count as mutually identical,
+  /// so they never violate k-anonymity as long as there are 0 or >= k
+  /// of them — the check accounts for that via the budget.)
+  bool feasible = false;
+  /// Rows that would be suppressed (members of undersized groups).
+  std::vector<RowId> outliers;
+  /// Groups of rows identical under the generalization (outliers
+  /// removed).
+  Partition groups;
+};
+
+/// Checks whether generalizing `table` by `levels` is k-anonymous after
+/// suppressing at most `max_suppressed` outlier rows.
+GeneralizationCheck CheckGeneralization(
+    const Table& table, const std::vector<Hierarchy>& hierarchies,
+    const GeneralizationVector& levels, size_t k, size_t max_suppressed);
+
+/// Builds the default hierarchy set for a table: Intervals for
+/// attributes whose every value parses as an integer (widths 10, 20),
+/// Flat otherwise. A pragmatic default for examples and experiments.
+std::vector<Hierarchy> DefaultHierarchies(const Table& table);
+
+}  // namespace kanon
+
+#endif  // KANON_GENERALIZE_APPLY_H_

@@ -1,0 +1,151 @@
+#include "generalize/hierarchy.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace kanon {
+
+Hierarchy::Hierarchy(std::vector<std::vector<std::string>> levels)
+    : levels_(std::move(levels)) {
+  KANON_CHECK_GE(levels_.size(), 1u);
+  for (const auto& level : levels_) {
+    KANON_CHECK_EQ(level.size(), levels_[0].size());
+  }
+  CheckRefinement();
+}
+
+void Hierarchy::CheckRefinement() const {
+  // If two codes share a label at level l, they must share labels at
+  // all levels above (labels partition values ever more coarsely).
+  const size_t n = levels_[0].size();
+  for (size_t l = 0; l + 1 < levels_.size(); ++l) {
+    std::unordered_map<std::string, std::string> lifted;
+    for (size_t code = 0; code < n; ++code) {
+      const std::string& here = levels_[l][code];
+      const std::string& above = levels_[l + 1][code];
+      const auto it = lifted.find(here);
+      if (it == lifted.end()) {
+        lifted.emplace(here, above);
+      } else {
+        KANON_CHECK(it->second == above)
+            << "hierarchy not refining at level " << l << " label '"
+            << here << "'";
+      }
+    }
+  }
+}
+
+const std::string& Hierarchy::Label(ValueCode code, size_t level) const {
+  KANON_CHECK_LT(level, levels_.size());
+  KANON_CHECK_LT(code, levels_[level].size());
+  return levels_[level][code];
+}
+
+Hierarchy Hierarchy::Flat(const Dictionary& dict) {
+  std::vector<std::vector<std::string>> levels(2);
+  levels[0] = dict.values();
+  levels[1].assign(dict.size(), "*");
+  return Hierarchy(std::move(levels));
+}
+
+Hierarchy Hierarchy::Intervals(const Dictionary& dict,
+                               const std::vector<uint32_t>& widths) {
+  for (size_t i = 0; i < widths.size(); ++i) {
+    KANON_CHECK_GT(widths[i], 0u);
+    if (i > 0) {
+      KANON_CHECK_GT(widths[i], widths[i - 1]);
+    }
+  }
+  std::vector<long long> parsed(dict.size());
+  for (size_t code = 0; code < dict.size(); ++code) {
+    KANON_CHECK(ParseInt(dict.values()[code], &parsed[code]))
+        << "non-numeric value '" << dict.values()[code]
+        << "' in interval hierarchy";
+  }
+  std::vector<std::vector<std::string>> levels;
+  levels.push_back(dict.values());
+  for (const uint32_t width : widths) {
+    std::vector<std::string> level(dict.size());
+    for (size_t code = 0; code < dict.size(); ++code) {
+      // Floor-divide toward -infinity so negatives bucket correctly.
+      long long lo = parsed[code] / width * width;
+      if (parsed[code] < 0 && parsed[code] % width != 0) lo -= width;
+      std::ostringstream os;
+      os << "[" << lo << "-" << lo + width - 1 << "]";
+      level[code] = os.str();
+    }
+    levels.push_back(std::move(level));
+  }
+  levels.emplace_back(dict.size(), "*");
+  return Hierarchy(std::move(levels));
+}
+
+Hierarchy Hierarchy::Prefix(const Dictionary& dict,
+                            const std::vector<uint32_t>& prefix_lengths) {
+  for (size_t i = 0; i < prefix_lengths.size(); ++i) {
+    KANON_CHECK_GT(prefix_lengths[i], 0u);
+    if (i > 0) {
+      KANON_CHECK_LT(prefix_lengths[i], prefix_lengths[i - 1]);
+    }
+  }
+  std::vector<std::vector<std::string>> levels;
+  levels.push_back(dict.values());
+  for (const uint32_t len : prefix_lengths) {
+    std::vector<std::string> level(dict.size());
+    for (size_t code = 0; code < dict.size(); ++code) {
+      const std::string& value = dict.values()[code];
+      level[code] = value.substr(0, len) + "*";
+    }
+    levels.push_back(std::move(level));
+  }
+  levels.emplace_back(dict.size(), "*");
+  return Hierarchy(std::move(levels));
+}
+
+Hierarchy Hierarchy::Taxonomy(
+    const Dictionary& dict,
+    const std::vector<std::map<std::string, std::string>>& parents) {
+  std::vector<std::vector<std::string>> levels;
+  levels.push_back(dict.values());
+  std::vector<std::string> current = dict.values();
+  for (const auto& parent_map : parents) {
+    std::vector<std::string> next(current.size());
+    for (size_t code = 0; code < current.size(); ++code) {
+      const auto it = parent_map.find(current[code]);
+      KANON_CHECK(it != parent_map.end())
+          << "taxonomy missing parent for '" << current[code] << "'";
+      next[code] = it->second;
+    }
+    levels.push_back(next);
+    current = std::move(next);
+  }
+  levels.emplace_back(dict.size(), "*");
+  return Hierarchy(std::move(levels));
+}
+
+size_t VectorHeight(const GeneralizationVector& v) {
+  size_t h = 0;
+  for (const size_t level : v) h += level;
+  return h;
+}
+
+double Precision(const GeneralizationVector& v,
+                 const std::vector<Hierarchy>& hierarchies) {
+  KANON_CHECK_EQ(v.size(), hierarchies.size());
+  if (v.empty()) return 1.0;
+  double loss = 0.0;
+  for (size_t j = 0; j < v.size(); ++j) {
+    const size_t max_level = hierarchies[j].max_level();
+    KANON_CHECK_LE(v[j], max_level);
+    if (max_level > 0) {
+      loss += static_cast<double>(v[j]) / static_cast<double>(max_level);
+    }
+  }
+  return 1.0 - loss / static_cast<double>(v.size());
+}
+
+}  // namespace kanon

@@ -1,0 +1,97 @@
+#ifndef KANON_GENERALIZE_HIERARCHY_H_
+#define KANON_GENERALIZE_HIERARCHY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "data/dictionary.h"
+#include "data/value.h"
+
+/// \file
+/// Domain generalization hierarchies (DGHs).
+///
+/// The paper's general model (Section 1) releases data by "suppression
+/// or generalization": the intro example publishes age "34" as "0-40"
+/// and last name "reyser" as "r*". Sections 2-4 analyze the suppression
+/// special case; this module implements the general machinery in the
+/// Samarati/Sweeney style the paper builds on — one value hierarchy per
+/// attribute, level 0 = the original values, the top level = "*" —
+/// enabling the full-domain generalization algorithms in
+/// generalize/samarati.h and generalize/optimal_lattice.h.
+
+namespace kanon {
+
+/// One attribute's generalization hierarchy: for each level l in
+/// [0, num_levels), a total map from base value codes to level-l labels.
+/// Level 0 is the identity; the last level maps everything to "*".
+/// Invariant (checked at construction): levels refine monotonically —
+/// if two codes share a label at level l they share one at every level
+/// above l.
+class Hierarchy {
+ public:
+  /// Number of levels, >= 1. A 1-level hierarchy is "identity only"
+  /// (the attribute cannot be generalized, only fully suppressed if a
+  /// top level is added).
+  size_t num_levels() const { return levels_.size(); }
+
+  /// Maximum level index (num_levels() - 1).
+  size_t max_level() const { return levels_.size() - 1; }
+
+  /// Label of `code` at `level`. Dies on out-of-range code/level.
+  const std::string& Label(ValueCode code, size_t level) const;
+
+  /// --- Factories -------------------------------------------------
+
+  /// Two levels: the value itself, then "*". The pure-suppression DGH;
+  /// with these hierarchies the lattice algorithms degrade exactly to
+  /// attribute suppression.
+  static Hierarchy Flat(const Dictionary& dict);
+
+  /// Numeric interval hierarchy: every dictionary value must parse as
+  /// an integer. `widths` lists strictly increasing bucket widths, one
+  /// per intermediate level; e.g. {10, 20} produces levels
+  /// {value, "[30-39]", "[20-39]", "*"}. Buckets align at multiples of
+  /// the width.
+  static Hierarchy Intervals(const Dictionary& dict,
+                             const std::vector<uint32_t>& widths);
+
+  /// String prefix hierarchy: `prefix_lengths` lists strictly
+  /// decreasing retained-prefix lengths for the intermediate levels;
+  /// e.g. {3, 1} produces {value, "rey*", "r*", "*"}. A value shorter
+  /// than the retained length keeps its full text plus "*".
+  static Hierarchy Prefix(const Dictionary& dict,
+                          const std::vector<uint32_t>& prefix_lengths);
+
+  /// Explicit taxonomy: `parents` maps every value string to its
+  /// level-1 category label; deeper levels can be stacked by passing
+  /// further maps (each mapping the previous level's labels onward).
+  /// A final "*" level is appended automatically.
+  static Hierarchy Taxonomy(
+      const Dictionary& dict,
+      const std::vector<std::map<std::string, std::string>>& parents);
+
+ private:
+  explicit Hierarchy(std::vector<std::vector<std::string>> levels);
+
+  void CheckRefinement() const;
+
+  // levels_[l][code] = label of base value `code` at level l.
+  std::vector<std::vector<std::string>> levels_;
+};
+
+/// A full-domain generalization: one level per attribute.
+using GeneralizationVector = std::vector<size_t>;
+
+/// Sum of levels — the lattice "height" Samarati's algorithm minimizes.
+size_t VectorHeight(const GeneralizationVector& v);
+
+/// Samarati's precision metric Prec in [0, 1]: 1 - mean over attributes
+/// of level_j / max_level_j (attributes with max_level 0 contribute 0
+/// loss). 1.0 = untouched data, 0.0 = everything at "*".
+double Precision(const GeneralizationVector& v,
+                 const std::vector<Hierarchy>& hierarchies);
+
+}  // namespace kanon
+
+#endif  // KANON_GENERALIZE_HIERARCHY_H_

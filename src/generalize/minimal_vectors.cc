@@ -1,0 +1,73 @@
+#include "generalize/minimal_vectors.h"
+
+#include <algorithm>
+
+#include "generalize/samarati.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace kanon {
+
+bool DominatedBy(const GeneralizationVector& a,
+                 const GeneralizationVector& b) {
+  KANON_CHECK_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] > b[i]) return false;
+  }
+  return true;
+}
+
+MinimalVectorsResult MinimalFeasibleVectors(
+    const Table& table, const std::vector<Hierarchy>& hierarchies,
+    size_t k, size_t max_suppressed, size_t max_lattice_size) {
+  KANON_CHECK_GE(k, 1u);
+  KANON_CHECK_GE(static_cast<size_t>(table.num_rows()), k);
+  KANON_CHECK_EQ(hierarchies.size(),
+                 static_cast<size_t>(table.num_columns()));
+
+  WallTimer timer;
+  MinimalVectorsResult result;
+  result.lattice_size = 1;
+  size_t max_height = 0;
+  for (const Hierarchy& h : hierarchies) {
+    result.lattice_size *= h.num_levels();
+    max_height += h.max_level();
+    KANON_CHECK_LE(result.lattice_size, max_lattice_size)
+        << "lattice too large";
+  }
+
+  // Bottom-up by height. A vector that dominates (is >=) any already
+  // found minimal feasible vector cannot be minimal and — by
+  // monotonicity — is known-feasible, so it is skipped unevaluated.
+  for (size_t height = 0; height <= max_height; ++height) {
+    for (const GeneralizationVector& v :
+         VectorsAtHeight(hierarchies, height)) {
+      bool dominated = false;
+      for (const GeneralizationVector& min_v : result.minimal) {
+        if (DominatedBy(min_v, v)) {
+          dominated = true;
+          break;
+        }
+      }
+      if (dominated) continue;
+      ++result.vectors_checked;
+      if (CheckGeneralization(table, hierarchies, v, k, max_suppressed)
+              .feasible) {
+        result.minimal.push_back(v);
+      }
+    }
+  }
+
+  // Sanity: the reported set is an antichain.
+  for (size_t i = 0; i < result.minimal.size(); ++i) {
+    for (size_t j = 0; j < result.minimal.size(); ++j) {
+      if (i != j) {
+        KANON_CHECK(!DominatedBy(result.minimal[i], result.minimal[j]));
+      }
+    }
+  }
+  result.seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace kanon

@@ -1,0 +1,95 @@
+#include "generalize/optimal_lattice.h"
+
+#include <limits>
+#include <sstream>
+
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace kanon {
+
+namespace {
+
+double Objective(const Table& table, const GeneralizationCheck& check,
+                 const GeneralizationVector& v,
+                 const std::vector<Hierarchy>& hierarchies,
+                 LatticeObjective objective) {
+  switch (objective) {
+    case LatticeObjective::kPrecision:
+      return 1.0 - Precision(v, hierarchies);
+    case LatticeObjective::kDiscernibility: {
+      double dm = 0.0;
+      for (const Group& g : check.groups.groups) {
+        dm += static_cast<double>(g.size()) *
+              static_cast<double>(g.size());
+      }
+      dm += static_cast<double>(table.num_rows()) *
+            static_cast<double>(check.outliers.size());
+      return dm;
+    }
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+}  // namespace
+
+LatticeResult OptimalLatticeAnonymize(
+    const Table& table, const std::vector<Hierarchy>& hierarchies,
+    size_t k, const OptimalLatticeOptions& options) {
+  KANON_CHECK_GE(k, 1u);
+  KANON_CHECK_GE(static_cast<size_t>(table.num_rows()), k);
+  KANON_CHECK_EQ(hierarchies.size(),
+                 static_cast<size_t>(table.num_columns()));
+
+  uint64_t lattice_size = 1;
+  for (const Hierarchy& h : hierarchies) {
+    lattice_size *= static_cast<uint64_t>(h.num_levels());
+    KANON_CHECK_LE(lattice_size, options.max_lattice_size)
+        << "lattice too large for exhaustive search";
+  }
+
+  WallTimer timer;
+  LatticeResult result;
+  double best_objective = std::numeric_limits<double>::infinity();
+  bool found = false;
+
+  // Odometer enumeration of the full lattice.
+  GeneralizationVector v(table.num_columns(), 0);
+  for (;;) {
+    ++result.vectors_checked;
+    const GeneralizationCheck check = CheckGeneralization(
+        table, hierarchies, v, k, options.max_suppressed);
+    if (check.feasible) {
+      const double objective =
+          Objective(table, check, v, hierarchies, options.objective);
+      if (!found || objective < best_objective) {
+        found = true;
+        best_objective = objective;
+        result.levels = v;
+        result.suppressed_rows = check.outliers;
+      }
+    }
+    // Advance the odometer.
+    ColId c = 0;
+    while (c < table.num_columns()) {
+      if (v[c] < hierarchies[c].max_level()) {
+        ++v[c];
+        break;
+      }
+      v[c] = 0;
+      ++c;
+    }
+    if (c == table.num_columns()) break;
+  }
+  KANON_CHECK(found);  // the all-top vector is always feasible
+
+  result.precision = Precision(result.levels, hierarchies);
+  result.height = VectorHeight(result.levels);
+  result.seconds = timer.Seconds();
+  std::ostringstream notes;
+  notes << "lattice=" << lattice_size << " objective=" << best_objective;
+  result.notes = notes.str();
+  return result;
+}
+
+}  // namespace kanon

@@ -1,0 +1,46 @@
+#ifndef KANON_GENERALIZE_OPTIMAL_LATTICE_H_
+#define KANON_GENERALIZE_OPTIMAL_LATTICE_H_
+
+#include <cstdint>
+
+#include "generalize/samarati.h"
+
+/// \file
+/// Exhaustive full-domain lattice search: evaluates every
+/// generalization vector and returns the feasible one minimizing a
+/// chosen information-loss objective. The ARX/OLA-style "optimal
+/// full-domain" comparator to Samarati's height heuristic — exponential
+/// in the number of attributes in the worst case (product of level
+/// counts), fine for the <= 4^10-ish lattices of real schemas.
+
+namespace kanon {
+
+/// Objective minimized by the exhaustive search.
+enum class LatticeObjective {
+  /// Maximize Samarati precision (minimize 1 - Prec).
+  kPrecision,
+  /// Minimize the discernibility metric sum |G|^2 over generalized
+  /// groups, + n * |outliers| for withheld rows (the standard DM
+  /// penalty).
+  kDiscernibility,
+};
+
+/// Configuration for OptimalLatticeAnonymize.
+struct OptimalLatticeOptions {
+  size_t max_suppressed = 0;
+  LatticeObjective objective = LatticeObjective::kPrecision;
+  /// Safety cap on lattice size (product of per-attribute level
+  /// counts); dies above it.
+  uint64_t max_lattice_size = 4'000'000;
+};
+
+/// Evaluates the entire lattice; returns the best feasible vector.
+/// Always succeeds (the all-top vector is feasible). `notes` records
+/// the lattice size and objective value.
+LatticeResult OptimalLatticeAnonymize(
+    const Table& table, const std::vector<Hierarchy>& hierarchies,
+    size_t k, const OptimalLatticeOptions& options);
+
+}  // namespace kanon
+
+#endif  // KANON_GENERALIZE_OPTIMAL_LATTICE_H_

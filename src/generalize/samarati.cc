@@ -1,0 +1,125 @@
+#include "generalize/samarati.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace kanon {
+
+namespace {
+
+/// Recursively enumerates vectors with the given remaining height.
+void Enumerate(const std::vector<Hierarchy>& hierarchies, size_t col,
+               size_t remaining, GeneralizationVector* current,
+               std::vector<GeneralizationVector>* out) {
+  if (col == hierarchies.size()) {
+    if (remaining == 0) out->push_back(*current);
+    return;
+  }
+  const size_t max_level = hierarchies[col].max_level();
+  for (size_t level = 0; level <= std::min(max_level, remaining);
+       ++level) {
+    (*current)[col] = level;
+    Enumerate(hierarchies, col + 1, remaining - level, current, out);
+  }
+  (*current)[col] = 0;
+}
+
+}  // namespace
+
+std::vector<GeneralizationVector> VectorsAtHeight(
+    const std::vector<Hierarchy>& hierarchies, size_t height) {
+  std::vector<GeneralizationVector> out;
+  GeneralizationVector current(hierarchies.size(), 0);
+  Enumerate(hierarchies, 0, height, &current, &out);
+  return out;
+}
+
+LatticeResult SamaratiAnonymize(const Table& table,
+                                const std::vector<Hierarchy>& hierarchies,
+                                size_t k,
+                                const SamaratiOptions& options) {
+  KANON_CHECK_GE(k, 1u);
+  KANON_CHECK_GE(static_cast<size_t>(table.num_rows()), k);
+  KANON_CHECK_EQ(hierarchies.size(),
+                 static_cast<size_t>(table.num_columns()));
+
+  WallTimer timer;
+  size_t max_height = 0;
+  for (const Hierarchy& h : hierarchies) max_height += h.max_level();
+
+  LatticeResult result;
+
+  // Feasibility at a height: any vector at that height passes the
+  // check. Records the best (max precision) feasible vector found.
+  auto feasible_at = [&](size_t height, GeneralizationVector* best,
+                         std::vector<RowId>* outliers) {
+    bool found = false;
+    double best_precision = -1.0;
+    for (const GeneralizationVector& v :
+         VectorsAtHeight(hierarchies, height)) {
+      ++result.vectors_checked;
+      const GeneralizationCheck check = CheckGeneralization(
+          table, hierarchies, v, k, options.max_suppressed);
+      if (!check.feasible) continue;
+      const double precision = Precision(v, hierarchies);
+      if (!found || precision > best_precision) {
+        found = true;
+        best_precision = precision;
+        *best = v;
+        *outliers = check.outliers;
+      }
+    }
+    return found;
+  };
+
+  // The top of the lattice is always feasible (every tuple becomes
+  // (*,...,*), one group of n >= k rows, no outliers), so the binary
+  // search is well-founded.
+  size_t lo = 0, hi = max_height;
+  GeneralizationVector best(table.num_columns(), 0);
+  std::vector<RowId> best_outliers;
+  {
+    GeneralizationVector top(table.num_columns());
+    for (ColId c = 0; c < table.num_columns(); ++c) {
+      top[c] = hierarchies[c].max_level();
+    }
+    best = top;
+  }
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    GeneralizationVector candidate;
+    std::vector<RowId> outliers;
+    if (feasible_at(mid, &candidate, &outliers)) {
+      hi = mid;
+      best = candidate;
+      best_outliers = outliers;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  // If the loop never found a feasible mid below max_height, evaluate
+  // the final height to populate the outlier set consistently.
+  if (VectorHeight(best) != lo) {
+    GeneralizationVector candidate;
+    std::vector<RowId> outliers;
+    KANON_CHECK(feasible_at(lo, &candidate, &outliers));
+    best = candidate;
+    best_outliers = outliers;
+  }
+
+  result.levels = best;
+  result.suppressed_rows = best_outliers;
+  result.precision = Precision(best, hierarchies);
+  result.height = VectorHeight(best);
+  result.seconds = timer.Seconds();
+  std::ostringstream notes;
+  notes << "max_height=" << max_height
+        << " vectors_checked=" << result.vectors_checked;
+  result.notes = notes.str();
+  return result;
+}
+
+}  // namespace kanon

@@ -1,0 +1,62 @@
+#ifndef KANON_GENERALIZE_SAMARATI_H_
+#define KANON_GENERALIZE_SAMARATI_H_
+
+#include <string>
+#include <vector>
+
+#include "data/table.h"
+#include "generalize/apply.h"
+#include "generalize/hierarchy.h"
+
+/// \file
+/// Samarati's full-domain generalization algorithm (the [10] of the
+/// paper's references, "Generalizing Data to Provide Anonymity when
+/// Disclosing Information"): binary search on lattice height for the
+/// minimum-height generalization vector that k-anonymizes the relation
+/// while suppressing at most `max_suppressed` outlier tuples.
+///
+/// Correctness rests on height-monotonicity: if some vector at height h
+/// is feasible then some vector at every height h' > h is feasible
+/// (raise any coordinate — coarsening merges groups, so outliers never
+/// increase past the budget... more precisely, the all-top vector is
+/// always feasible and feasibility is monotone along lattice edges), so
+/// the feasible heights form an up-closed set and binary search applies.
+
+namespace kanon {
+
+/// Result of a lattice-based generalization run.
+struct LatticeResult {
+  GeneralizationVector levels;
+  /// Withheld outlier rows (<= the budget).
+  std::vector<RowId> suppressed_rows;
+  /// Samarati precision of `levels` in [0, 1].
+  double precision = 0.0;
+  /// Lattice height of `levels`.
+  size_t height = 0;
+  /// Vectors whose feasibility was actually evaluated.
+  size_t vectors_checked = 0;
+  double seconds = 0.0;
+  std::string notes;
+};
+
+/// Configuration for the Samarati search.
+struct SamaratiOptions {
+  /// Outlier-suppression budget (absolute row count).
+  size_t max_suppressed = 0;
+};
+
+/// Runs Samarati's binary search. Among the feasible vectors at the
+/// minimal feasible height, returns the one with the best precision
+/// (ties: lexicographically smallest). Requires n >= k.
+LatticeResult SamaratiAnonymize(const Table& table,
+                                const std::vector<Hierarchy>& hierarchies,
+                                size_t k, const SamaratiOptions& options);
+
+/// Enumerates every vector of the lattice (product of per-attribute
+/// level counts) and returns all vectors at exactly `height`.
+std::vector<GeneralizationVector> VectorsAtHeight(
+    const std::vector<Hierarchy>& hierarchies, size_t height);
+
+}  // namespace kanon
+
+#endif  // KANON_GENERALIZE_SAMARATI_H_

@@ -1,0 +1,111 @@
+#include "hypergraph/generators.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/logging.h"
+
+namespace kanon {
+
+namespace {
+
+/// Draws one random sorted k-subset of [0, n) excluding vertices in
+/// `forbidden` (which may be empty).
+Edge RandomEdge(uint32_t n, uint32_t k, const std::vector<bool>& forbidden,
+                Rng* rng) {
+  std::vector<VertexId> pool;
+  pool.reserve(n);
+  for (VertexId v = 0; v < n; ++v) {
+    if (forbidden.empty() || !forbidden[v]) pool.push_back(v);
+  }
+  KANON_CHECK_GE(pool.size(), static_cast<size_t>(k));
+  const std::vector<uint32_t> picks =
+      rng->SampleWithoutReplacement(static_cast<uint32_t>(pool.size()), k);
+  Edge edge(k);
+  for (uint32_t i = 0; i < k; ++i) edge[i] = pool[picks[i]];
+  std::sort(edge.begin(), edge.end());
+  return edge;
+}
+
+/// Adds `count` random distinct edges (also distinct from those already in
+/// `existing`) to `h`.
+void AddDistinctRandomEdges(Hypergraph* h, uint32_t count,
+                            std::set<Edge>* existing,
+                            const std::vector<bool>& forbidden, Rng* rng) {
+  uint32_t added = 0;
+  uint32_t attempts = 0;
+  const uint32_t max_attempts = 1000 * (count + 1);
+  while (added < count) {
+    KANON_CHECK_LT(attempts++, max_attempts);  // family not exhausted
+    Edge e = RandomEdge(h->num_vertices(), h->uniformity(), forbidden, rng);
+    if (existing->insert(e).second) {
+      h->AddEdge(std::move(e));
+      ++added;
+    }
+  }
+}
+
+}  // namespace
+
+Hypergraph PlantedMatchingHypergraph(const PlantedHypergraphOptions& options,
+                                     Rng* rng) {
+  const uint32_t n = options.num_vertices;
+  const uint32_t k = options.k;
+  KANON_CHECK_GE(k, 2u);
+  KANON_CHECK_GT(n, 0u);
+  KANON_CHECK_EQ(n % k, 0u);
+
+  std::vector<VertexId> perm(n);
+  for (VertexId v = 0; v < n; ++v) perm[v] = v;
+  rng->Shuffle(&perm);
+
+  std::set<Edge> edges;
+  for (uint32_t i = 0; i < n / k; ++i) {
+    Edge e(perm.begin() + static_cast<size_t>(i) * k,
+           perm.begin() + static_cast<size_t>(i + 1) * k);
+    std::sort(e.begin(), e.end());
+    edges.insert(std::move(e));
+  }
+  std::vector<Edge> all(edges.begin(), edges.end());
+
+  Hypergraph h(n, k);
+  {
+    // Build a temporary graph to reuse the distinct-edge machinery, then
+    // shuffle edge order so the planted matching has no positional tell.
+    Hypergraph tmp(n, k);
+    for (Edge e : all) tmp.AddEdge(std::move(e));
+    AddDistinctRandomEdges(&tmp, options.extra_edges, &edges, {}, rng);
+    std::vector<Edge> final_edges = tmp.edges();
+    rng->Shuffle(&final_edges);
+    for (Edge e : final_edges) h.AddEdge(std::move(e));
+  }
+  KANON_CHECK(h.IsSimple());
+  return h;
+}
+
+Hypergraph RandomHypergraph(uint32_t num_vertices, uint32_t k,
+                            uint32_t num_edges, Rng* rng) {
+  KANON_CHECK_GE(k, 2u);
+  KANON_CHECK_GE(num_vertices, k);
+  Hypergraph h(num_vertices, k);
+  std::set<Edge> edges;
+  AddDistinctRandomEdges(&h, num_edges, &edges, {}, rng);
+  KANON_CHECK(h.IsSimple());
+  return h;
+}
+
+Hypergraph MatchingFreeHypergraph(uint32_t num_vertices, uint32_t k,
+                                  uint32_t num_edges, Rng* rng) {
+  KANON_CHECK_GE(k, 2u);
+  KANON_CHECK_EQ(num_vertices % k, 0u);
+  KANON_CHECK_GE(num_vertices, k + 1);
+  Hypergraph h(num_vertices, k);
+  std::vector<bool> forbidden(num_vertices, false);
+  forbidden[0] = true;  // vertex 0 never appears on an edge
+  std::set<Edge> edges;
+  AddDistinctRandomEdges(&h, num_edges, &edges, forbidden, rng);
+  KANON_CHECK(h.IsSimple());
+  return h;
+}
+
+}  // namespace kanon

@@ -1,0 +1,49 @@
+#ifndef KANON_HYPERGRAPH_GENERATORS_H_
+#define KANON_HYPERGRAPH_GENERATORS_H_
+
+#include <cstdint>
+
+#include "hypergraph/hypergraph.h"
+#include "util/random.h"
+
+/// \file
+/// Instance generators for the hardness experiments: simple k-uniform
+/// hypergraphs with a planted perfect matching (YES instances), fully
+/// random ones (mixed), and instances certified to have no perfect
+/// matching (NO instances).
+
+namespace kanon {
+
+/// Parameters for PlantedMatchingHypergraph.
+struct PlantedHypergraphOptions {
+  /// Number of vertices; must be a positive multiple of k.
+  uint32_t num_vertices = 9;
+  /// Uniformity k >= 2.
+  uint32_t k = 3;
+  /// Extra random (distinct, non-planted-duplicate) edges added on top of
+  /// the n/k planted matching edges.
+  uint32_t extra_edges = 4;
+};
+
+/// Simple k-uniform hypergraph that contains a perfect matching by
+/// construction: vertices are randomly permuted and chopped into n/k
+/// planted edges, then `extra_edges` random distinct edges are added.
+/// Edge ids are shuffled so the planted matching is not positional.
+Hypergraph PlantedMatchingHypergraph(const PlantedHypergraphOptions& options,
+                                     Rng* rng);
+
+/// Simple random k-uniform hypergraph with `num_edges` distinct edges.
+/// May or may not have a perfect matching. Requires num_edges to not
+/// exceed C(n, k).
+Hypergraph RandomHypergraph(uint32_t num_vertices, uint32_t k,
+                            uint32_t num_edges, Rng* rng);
+
+/// Random simple k-uniform hypergraph guaranteed to have NO perfect
+/// matching: vertex 0 is isolated (on no edge) while n is still a
+/// multiple of k, so no edge set can cover it.
+Hypergraph MatchingFreeHypergraph(uint32_t num_vertices, uint32_t k,
+                                  uint32_t num_edges, Rng* rng);
+
+}  // namespace kanon
+
+#endif  // KANON_HYPERGRAPH_GENERATORS_H_

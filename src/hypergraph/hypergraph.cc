@@ -1,0 +1,84 @@
+#include "hypergraph/hypergraph.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace kanon {
+
+Hypergraph::Hypergraph(uint32_t num_vertices, uint32_t k)
+    : num_vertices_(num_vertices), k_(k) {
+  KANON_CHECK_GE(k, 1u);
+}
+
+uint32_t Hypergraph::AddEdge(Edge edge) {
+  KANON_CHECK_EQ(edge.size(), static_cast<size_t>(k_));
+  std::sort(edge.begin(), edge.end());
+  for (size_t i = 0; i < edge.size(); ++i) {
+    KANON_CHECK_LT(edge[i], num_vertices_);
+    if (i > 0) {
+      KANON_CHECK_NE(edge[i], edge[i - 1]);
+    }
+  }
+  edges_.push_back(std::move(edge));
+  return static_cast<uint32_t>(edges_.size() - 1);
+}
+
+const Edge& Hypergraph::edge(uint32_t e) const {
+  KANON_CHECK_LT(e, edges_.size());
+  return edges_[e];
+}
+
+bool Hypergraph::IsSimple() const {
+  std::set<Edge> seen;
+  for (const Edge& e : edges_) {
+    if (!seen.insert(e).second) return false;
+  }
+  return true;
+}
+
+bool Hypergraph::Incident(VertexId v, uint32_t e) const {
+  const Edge& edge_vertices = edge(e);
+  return std::binary_search(edge_vertices.begin(), edge_vertices.end(), v);
+}
+
+std::vector<std::vector<uint32_t>> Hypergraph::IncidenceLists() const {
+  std::vector<std::vector<uint32_t>> incident(num_vertices_);
+  for (uint32_t e = 0; e < edges_.size(); ++e) {
+    for (const VertexId v : edges_[e]) incident[v].push_back(e);
+  }
+  return incident;
+}
+
+std::string Hypergraph::ToString() const {
+  std::ostringstream os;
+  os << "n=" << num_vertices_ << " k=" << k_ << " edges={";
+  for (uint32_t e = 0; e < edges_.size(); ++e) {
+    if (e > 0) os << " ";
+    os << "(";
+    for (size_t i = 0; i < edges_[e].size(); ++i) {
+      if (i > 0) os << ",";
+      os << edges_[e][i];
+    }
+    os << ")";
+  }
+  os << "}";
+  return os.str();
+}
+
+bool IsPerfectMatching(const Hypergraph& h,
+                       const std::vector<uint32_t>& matching) {
+  std::vector<int> times(h.num_vertices(), 0);
+  for (const uint32_t e : matching) {
+    if (e >= h.num_edges()) return false;
+    for (const VertexId v : h.edge(e)) ++times[v];
+  }
+  for (const int t : times) {
+    if (t != 1) return false;
+  }
+  return true;
+}
+
+}  // namespace kanon

@@ -1,0 +1,68 @@
+#ifndef KANON_HYPERGRAPH_HYPERGRAPH_H_
+#define KANON_HYPERGRAPH_HYPERGRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+/// \file
+/// k-uniform hypergraphs, the source problem of both NP-hardness
+/// reductions (Section 3). Vertices are 0..n-1; each edge is a sorted
+/// list of k distinct vertices. The reductions require *simple*
+/// hypergraphs (no repeated edges), which `IsSimple` checks and the
+/// generators guarantee.
+
+namespace kanon {
+
+/// Vertex id.
+using VertexId = uint32_t;
+
+/// One hyperedge: k distinct vertices, kept sorted.
+using Edge = std::vector<VertexId>;
+
+/// A k-uniform hypergraph H = (U, E).
+class Hypergraph {
+ public:
+  /// Empty hypergraph with `num_vertices` vertices and uniformity `k`.
+  Hypergraph(uint32_t num_vertices, uint32_t k);
+
+  uint32_t num_vertices() const { return num_vertices_; }
+  uint32_t uniformity() const { return k_; }
+  uint32_t num_edges() const {
+    return static_cast<uint32_t>(edges_.size());
+  }
+
+  /// Adds an edge; vertices are sorted internally. Dies if the edge does
+  /// not have exactly k distinct in-range vertices. Returns the edge id.
+  uint32_t AddEdge(Edge edge);
+
+  const Edge& edge(uint32_t e) const;
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// True iff no two edges are identical.
+  bool IsSimple() const;
+
+  /// True iff vertex v lies on edge e.
+  bool Incident(VertexId v, uint32_t e) const;
+
+  /// Edge ids incident to each vertex.
+  std::vector<std::vector<uint32_t>> IncidenceLists() const;
+
+  /// "n=.. k=.. edges={...}" rendering for diagnostics.
+  std::string ToString() const;
+
+ private:
+  uint32_t num_vertices_;
+  uint32_t k_;
+  std::vector<Edge> edges_;
+};
+
+/// True iff `matching` (a list of edge ids of H) is a perfect matching:
+/// the selected edges are disjoint and cover every vertex (so there are
+/// exactly n/k of them).
+bool IsPerfectMatching(const Hypergraph& h,
+                       const std::vector<uint32_t>& matching);
+
+}  // namespace kanon
+
+#endif  // KANON_HYPERGRAPH_HYPERGRAPH_H_

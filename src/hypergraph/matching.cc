@@ -1,0 +1,107 @@
+#include "hypergraph/matching.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace kanon {
+
+namespace {
+
+/// Backtracking state for the exact search.
+class Search {
+ public:
+  explicit Search(const Hypergraph& h)
+      : h_(h),
+        incident_(h.IncidenceLists()),
+        covered_(h.num_vertices(), false) {}
+
+  bool Run(std::vector<uint32_t>* matching, MatchingSearchStats* stats) {
+    return Extend(matching, stats);
+  }
+
+ private:
+  bool EdgeUsable(uint32_t e) const {
+    for (const VertexId v : h_.edge(e)) {
+      if (covered_[v]) return false;
+    }
+    return true;
+  }
+
+  /// Picks the uncovered vertex with the fewest usable incident edges.
+  /// Returns false via `found` when all vertices are covered.
+  bool PickBranchVertex(VertexId* pick) const {
+    bool found = false;
+    size_t best_count = 0;
+    for (VertexId v = 0; v < h_.num_vertices(); ++v) {
+      if (covered_[v]) continue;
+      size_t usable = 0;
+      for (const uint32_t e : incident_[v]) {
+        if (EdgeUsable(e)) ++usable;
+      }
+      if (!found || usable < best_count) {
+        found = true;
+        best_count = usable;
+        *pick = v;
+        if (usable == 0) break;  // dead end: fail fast
+      }
+    }
+    return found;
+  }
+
+  bool Extend(std::vector<uint32_t>* matching,
+              MatchingSearchStats* stats) {
+    if (stats != nullptr) ++stats->nodes_explored;
+    VertexId v = 0;
+    if (!PickBranchVertex(&v)) return true;  // everything covered
+    for (const uint32_t e : incident_[v]) {
+      if (!EdgeUsable(e)) continue;
+      for (const VertexId u : h_.edge(e)) covered_[u] = true;
+      matching->push_back(e);
+      if (Extend(matching, stats)) return true;
+      matching->pop_back();
+      for (const VertexId u : h_.edge(e)) covered_[u] = false;
+    }
+    return false;
+  }
+
+  const Hypergraph& h_;
+  std::vector<std::vector<uint32_t>> incident_;
+  std::vector<bool> covered_;
+};
+
+}  // namespace
+
+std::optional<std::vector<uint32_t>> FindPerfectMatching(
+    const Hypergraph& h, MatchingSearchStats* stats) {
+  if (h.num_vertices() % h.uniformity() != 0) return std::nullopt;
+  std::vector<uint32_t> matching;
+  Search search(h);
+  if (!search.Run(&matching, stats)) return std::nullopt;
+  KANON_CHECK(IsPerfectMatching(h, matching));
+  return matching;
+}
+
+bool HasPerfectMatching(const Hypergraph& h) {
+  return FindPerfectMatching(h).has_value();
+}
+
+std::vector<uint32_t> GreedyMaximalMatching(const Hypergraph& h) {
+  std::vector<bool> covered(h.num_vertices(), false);
+  std::vector<uint32_t> matching;
+  for (uint32_t e = 0; e < h.num_edges(); ++e) {
+    bool usable = true;
+    for (const VertexId v : h.edge(e)) {
+      if (covered[v]) {
+        usable = false;
+        break;
+      }
+    }
+    if (!usable) continue;
+    for (const VertexId v : h.edge(e)) covered[v] = true;
+    matching.push_back(e);
+  }
+  return matching;
+}
+
+}  // namespace kanon

@@ -1,0 +1,42 @@
+#ifndef KANON_HYPERGRAPH_MATCHING_H_
+#define KANON_HYPERGRAPH_MATCHING_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "hypergraph/hypergraph.h"
+
+/// \file
+/// Perfect matching in k-uniform hypergraphs. For k >= 3 the decision
+/// problem is NP-complete (k-DIMENSIONAL MATCHING), which is exactly why
+/// the paper reduces *from* it; the exact solver here is an exponential
+/// backtracking search adequate for the reduction-validation instance
+/// sizes, plus a linear-time greedy heuristic for contrast.
+
+namespace kanon {
+
+/// Statistics from an exact matching search.
+struct MatchingSearchStats {
+  uint64_t nodes_explored = 0;
+};
+
+/// Exhaustive search for a perfect matching. Returns the edge ids of one
+/// perfect matching, or std::nullopt if none exists. Branches on the
+/// uncovered vertex with the fewest usable incident edges (fail-first),
+/// which prunes aggressively. Returns nullopt immediately when n is not a
+/// multiple of k.
+std::optional<std::vector<uint32_t>> FindPerfectMatching(
+    const Hypergraph& h, MatchingSearchStats* stats = nullptr);
+
+/// Convenience wrapper.
+bool HasPerfectMatching(const Hypergraph& h);
+
+/// Greedy maximal matching: scans edges in id order, keeping each edge
+/// whose vertices are all still free. The result is maximal but not
+/// necessarily maximum (and usually not perfect).
+std::vector<uint32_t> GreedyMaximalMatching(const Hypergraph& h);
+
+}  // namespace kanon
+
+#endif  // KANON_HYPERGRAPH_MATCHING_H_

@@ -1,0 +1,125 @@
+#include "privacy/diversity.h"
+
+#include <algorithm>
+#include <set>
+
+#include "core/cost.h"
+#include "util/logging.h"
+
+namespace kanon {
+
+namespace {
+
+/// Distinct sensitive values of a group as a set.
+std::set<ValueCode> SensitiveValues(const Table& table, const Group& group,
+                                    ColId sensitive_col) {
+  std::set<ValueCode> values;
+  for (const RowId r : group) values.insert(table.at(r, sensitive_col));
+  return values;
+}
+
+/// ANON cost restricted to quasi-identifier columns (all but the
+/// sensitive one).
+size_t QiCost(const Table& table, const Group& group, ColId sensitive_col) {
+  const std::vector<bool> disagree = DisagreeingColumns(table, group);
+  size_t cols = 0;
+  for (ColId c = 0; c < table.num_columns(); ++c) {
+    if (c != sensitive_col && disagree[c]) ++cols;
+  }
+  return group.size() * cols;
+}
+
+}  // namespace
+
+size_t GroupDiversity(const Table& table, const Group& group,
+                      ColId sensitive_col) {
+  KANON_CHECK_LT(sensitive_col, table.num_columns());
+  return SensitiveValues(table, group, sensitive_col).size();
+}
+
+size_t DistinctDiversity(const Table& table, const Partition& p,
+                         ColId sensitive_col) {
+  if (p.groups.empty()) return 0;
+  size_t min_diversity = table.num_rows();
+  for (const Group& g : p.groups) {
+    min_diversity =
+        std::min(min_diversity, GroupDiversity(table, g, sensitive_col));
+  }
+  return min_diversity;
+}
+
+bool IsLDiverse(const Table& table, const Partition& p,
+                ColId sensitive_col, size_t l) {
+  return DistinctDiversity(table, p, sensitive_col) >= l;
+}
+
+bool MergeForDiversity(const Table& table, ColId sensitive_col, size_t l,
+                       Partition* p) {
+  KANON_CHECK_LT(sensitive_col, table.num_columns());
+  KANON_CHECK_GE(l, 1u);
+  std::vector<Group>& groups = p->groups;
+
+  while (true) {
+    // Find the least-diverse group below the target.
+    size_t worst = groups.size();
+    size_t worst_diversity = l;
+    for (size_t g = 0; g < groups.size(); ++g) {
+      const size_t diversity =
+          GroupDiversity(table, groups[g], sensitive_col);
+      if (diversity < worst_diversity) {
+        worst = g;
+        worst_diversity = diversity;
+      }
+    }
+    if (worst == groups.size()) return true;  // all groups >= l
+    if (groups.size() == 1) {
+      // Nothing left to merge with: the table itself lacks diversity.
+      return GroupDiversity(table, groups[0], sensitive_col) >= l;
+    }
+
+    // Pick the partner maximizing diversity gain, ties by smallest QI
+    // cost of the merged group.
+    const std::set<ValueCode> have =
+        SensitiveValues(table, groups[worst], sensitive_col);
+    size_t best_partner = groups.size();
+    size_t best_gain = 0;
+    size_t best_cost = 0;
+    for (size_t g = 0; g < groups.size(); ++g) {
+      if (g == worst) continue;
+      const std::set<ValueCode> theirs =
+          SensitiveValues(table, groups[g], sensitive_col);
+      size_t gain = 0;
+      for (const ValueCode v : theirs) {
+        if (!have.count(v)) ++gain;
+      }
+      Group merged = groups[worst];
+      merged.insert(merged.end(), groups[g].begin(), groups[g].end());
+      const size_t cost = QiCost(table, merged, sensitive_col);
+      if (best_partner == groups.size() || gain > best_gain ||
+          (gain == best_gain && cost < best_cost)) {
+        best_partner = g;
+        best_gain = gain;
+        best_cost = cost;
+      }
+    }
+    KANON_CHECK_LT(best_partner, groups.size());
+    Group& target = groups[worst];
+    Group& source = groups[best_partner];
+    target.insert(target.end(), source.begin(), source.end());
+    groups.erase(groups.begin() +
+                 static_cast<ptrdiff_t>(best_partner));
+  }
+}
+
+double HomogeneityExposure(const Table& table, const Partition& p,
+                           ColId sensitive_col) {
+  if (table.num_rows() == 0) return 0.0;
+  size_t exposed = 0;
+  for (const Group& g : p.groups) {
+    if (GroupDiversity(table, g, sensitive_col) == 1) exposed += g.size();
+  }
+  return static_cast<double>(exposed) /
+         static_cast<double>(table.num_rows());
+}
+
+}  // namespace kanon

@@ -1,0 +1,53 @@
+#ifndef KANON_PRIVACY_DIVERSITY_H_
+#define KANON_PRIVACY_DIVERSITY_H_
+
+#include <cstddef>
+
+#include "core/partition.h"
+#include "data/table.h"
+
+/// \file
+/// Distinct l-diversity (Machanavajjhala et al.), the classic follow-up
+/// to k-anonymity: even a k-anonymous release leaks a sensitive value
+/// when a whole k-group shares it (the homogeneity attack). A partition
+/// is distinct-l-diverse w.r.t. a sensitive attribute when every group
+/// contains at least l distinct sensitive values. This module measures
+/// diversity and upgrades a k-anonymous partition to an l-diverse one
+/// by cost-aware group merging (merging preserves the >= k group-size
+/// invariant, so k-anonymity survives).
+
+namespace kanon {
+
+/// Number of distinct values of `sensitive_col` inside `group`.
+size_t GroupDiversity(const Table& table, const Group& group,
+                      ColId sensitive_col);
+
+/// Minimum group diversity over the partition (0 for an empty
+/// partition).
+size_t DistinctDiversity(const Table& table, const Partition& p,
+                         ColId sensitive_col);
+
+/// True iff every group has >= l distinct sensitive values.
+bool IsLDiverse(const Table& table, const Partition& p,
+                ColId sensitive_col, size_t l);
+
+/// Greedily merges under-diverse groups into partners until the
+/// partition is distinct-l-diverse. The partner is chosen to maximize
+/// the diversity gain, ties broken by the smallest ANON-cost increase
+/// over the quasi-identifier columns (all columns except
+/// `sensitive_col`). Returns false — leaving `p` as a single merged
+/// group — when the table itself has fewer than l distinct sensitive
+/// values, in which case no partition can be l-diverse.
+bool MergeForDiversity(const Table& table, ColId sensitive_col, size_t l,
+                       Partition* p);
+
+/// Homogeneity-attack exposure: the fraction of rows whose group is
+/// sensitive-homogeneous (diversity == 1), i.e. rows whose sensitive
+/// value an adversary learns with certainty from group membership
+/// alone.
+double HomogeneityExposure(const Table& table, const Partition& p,
+                           ColId sensitive_col);
+
+}  // namespace kanon
+
+#endif  // KANON_PRIVACY_DIVERSITY_H_

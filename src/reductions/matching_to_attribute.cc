@@ -1,0 +1,80 @@
+#include "reductions/matching_to_attribute.h"
+
+#include <algorithm>
+#include <string>
+
+#include "algo/attribute_anonymity.h"
+#include "util/logging.h"
+
+namespace kanon {
+
+size_t AttributeHardnessThreshold(const Hypergraph& h) {
+  KANON_CHECK_EQ(h.num_vertices() % h.uniformity(), 0u);
+  const size_t pm_edges = h.num_vertices() / h.uniformity();
+  KANON_CHECK_GE(static_cast<size_t>(h.num_edges()), pm_edges);
+  return h.num_edges() - pm_edges;
+}
+
+Table BuildAttributeInstance(const Hypergraph& h) {
+  KANON_CHECK(h.IsSimple());
+  const uint32_t n = h.num_vertices();
+  const uint32_t m = h.num_edges();
+
+  Schema schema;
+  for (uint32_t j = 0; j < m; ++j) {
+    schema.AddAttribute("e" + std::to_string(j));
+  }
+  Table table(std::move(schema));
+  std::vector<std::string> row(m);
+  for (VertexId i = 0; i < n; ++i) {
+    for (uint32_t j = 0; j < m; ++j) {
+      row[j] = h.Incident(i, j) ? "1" : "0";
+    }
+    table.AppendStringRow(row);
+  }
+  return table;
+}
+
+std::vector<ColId> MatchingToSuppressedColumns(
+    const Hypergraph& h, const std::vector<uint32_t>& matching) {
+  KANON_CHECK(IsPerfectMatching(h, matching));
+  std::vector<bool> kept(h.num_edges(), false);
+  for (const uint32_t e : matching) kept[e] = true;
+  std::vector<ColId> suppressed;
+  for (uint32_t j = 0; j < h.num_edges(); ++j) {
+    if (!kept[j]) suppressed.push_back(j);
+  }
+  KANON_CHECK_EQ(suppressed.size(), AttributeHardnessThreshold(h));
+  return suppressed;
+}
+
+std::optional<std::vector<uint32_t>> ExtractMatchingFromColumns(
+    const Hypergraph& h, const Table& instance,
+    const std::vector<ColId>& suppressed) {
+  const uint32_t m = h.num_edges();
+  if (instance.num_columns() != m ||
+      instance.num_rows() != h.num_vertices()) {
+    return std::nullopt;
+  }
+  if (suppressed.size() > AttributeHardnessThreshold(h)) {
+    return std::nullopt;
+  }
+  uint64_t kept_mask = (m >= 64) ? 0 : ((uint64_t{1} << m) - 1);
+  KANON_CHECK_LT(m, 64u);
+  for (const ColId c : suppressed) {
+    if (c >= m) return std::nullopt;
+    kept_mask &= ~(uint64_t{1} << c);
+  }
+  if (!KeptSetFeasible(instance, kept_mask, h.uniformity())) {
+    return std::nullopt;
+  }
+  // The kept columns are the matching.
+  std::vector<uint32_t> matching;
+  for (uint32_t j = 0; j < m; ++j) {
+    if (kept_mask & (uint64_t{1} << j)) matching.push_back(j);
+  }
+  if (!IsPerfectMatching(h, matching)) return std::nullopt;
+  return matching;
+}
+
+}  // namespace kanon

@@ -1,0 +1,45 @@
+#ifndef KANON_REDUCTIONS_MATCHING_TO_ATTRIBUTE_H_
+#define KANON_REDUCTIONS_MATCHING_TO_ATTRIBUTE_H_
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "data/table.h"
+#include "hypergraph/hypergraph.h"
+
+/// \file
+/// Theorem 3.2 as executable code: the reduction from k-dimensional
+/// PERFECT MATCHING to k-ANONYMITY ON ATTRIBUTES with a binary alphabet.
+///
+/// Construction: v_i[j] = b1 if u_i ∈ e_j else b0. Suppressing attribute
+/// j removes hyperedge e_j. Exactly k rows carry b1 in each kept column,
+/// so two columns can both stay only if their edges are disjoint; hence a
+/// k-anonymization suppressing exactly m - n/k attributes exists iff H
+/// has a perfect matching (the kept columns ARE the matching).
+
+namespace kanon {
+
+/// Objective threshold of the reduction: m - n/k suppressed attributes.
+size_t AttributeHardnessThreshold(const Hypergraph& h);
+
+/// Builds the binary incidence table ("1" on-edge, "0" off-edge;
+/// attributes "e0".."e{m-1}"). Requires h.IsSimple().
+Table BuildAttributeInstance(const Hypergraph& h);
+
+/// Forward direction: the suppressed-column set encoding a perfect
+/// matching (all columns except the matching's edges).
+std::vector<ColId> MatchingToSuppressedColumns(
+    const Hypergraph& h, const std::vector<uint32_t>& matching);
+
+/// Converse direction: given a set of suppressed columns of size at most
+/// the threshold whose projection is k-anonymous, the kept columns form
+/// a perfect matching; extracts it. Returns std::nullopt when the
+/// premises fail.
+std::optional<std::vector<uint32_t>> ExtractMatchingFromColumns(
+    const Hypergraph& h, const Table& instance,
+    const std::vector<ColId>& suppressed);
+
+}  // namespace kanon
+
+#endif  // KANON_REDUCTIONS_MATCHING_TO_ATTRIBUTE_H_

@@ -1,0 +1,102 @@
+#include "reductions/matching_to_kanon.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "core/anonymity.h"
+#include "util/logging.h"
+
+namespace kanon {
+
+size_t KAnonHardnessThreshold(const Hypergraph& h) {
+  KANON_CHECK_GE(h.num_edges(), 1u);
+  return static_cast<size_t>(h.num_vertices()) * (h.num_edges() - 1);
+}
+
+Table BuildKAnonInstance(const Hypergraph& h) {
+  KANON_CHECK(h.IsSimple());
+  KANON_CHECK_GE(h.num_edges(), 1u);
+  const uint32_t n = h.num_vertices();
+  const uint32_t m = h.num_edges();
+
+  Schema schema;
+  for (uint32_t j = 0; j < m; ++j) {
+    schema.AddAttribute("e" + std::to_string(j));
+  }
+  Table table(std::move(schema));
+
+  std::vector<std::string> row(m);
+  for (VertexId i = 0; i < n; ++i) {
+    // Row-unique filler "<i+1>" off-edge, shared "0" on-edge: two rows can
+    // agree only on coordinates where both are on the edge.
+    const std::string filler = std::to_string(i + 1);
+    for (uint32_t j = 0; j < m; ++j) {
+      row[j] = h.Incident(i, j) ? "0" : filler;
+    }
+    table.AppendStringRow(row);
+  }
+  return table;
+}
+
+Suppressor MatchingToSuppressor(const Hypergraph& h,
+                                const std::vector<uint32_t>& matching) {
+  KANON_CHECK(IsPerfectMatching(h, matching));
+  const uint32_t n = h.num_vertices();
+  const uint32_t m = h.num_edges();
+
+  // matched_edge[i] = the unique matching edge containing vertex i.
+  std::vector<uint32_t> matched_edge(n, m);
+  for (const uint32_t e : matching) {
+    for (const VertexId v : h.edge(e)) {
+      KANON_CHECK_EQ(matched_edge[v], m);
+      matched_edge[v] = e;
+    }
+  }
+
+  Suppressor t(n, m);
+  for (VertexId i = 0; i < n; ++i) {
+    KANON_CHECK_LT(matched_edge[i], m);
+    for (uint32_t j = 0; j < m; ++j) {
+      if (j != matched_edge[i]) t.Suppress(i, j);
+    }
+  }
+  KANON_CHECK_EQ(t.Stars(), KAnonHardnessThreshold(h));
+  return t;
+}
+
+std::optional<std::vector<uint32_t>> ExtractMatching(
+    const Hypergraph& h, const Table& instance, const Suppressor& t) {
+  const uint32_t n = h.num_vertices();
+  const uint32_t m = h.num_edges();
+  if (instance.num_rows() != n || instance.num_columns() != m) {
+    return std::nullopt;
+  }
+  if (t.Stars() > KAnonHardnessThreshold(h)) return std::nullopt;
+  if (!IsKAnonymizer(t, instance, h.uniformity())) return std::nullopt;
+
+  // Theorem 3.1's converse: at this cost every row keeps exactly one
+  // coordinate, whose value must be the shared "0" of some edge.
+  std::set<uint32_t> edges;
+  for (RowId i = 0; i < n; ++i) {
+    uint32_t kept = m;
+    for (ColId j = 0; j < m; ++j) {
+      if (!t.IsSuppressed(i, j)) {
+        if (kept != m) return std::nullopt;  // two kept coordinates
+        kept = j;
+      }
+    }
+    if (kept == m) return std::nullopt;  // all-star row
+    // Dictionaries are per-column, so resolve "0" in the kept column.
+    const ValueCode zero_code =
+        instance.schema().dictionary(kept).Lookup("0");
+    if (instance.at(i, kept) != zero_code) return std::nullopt;
+    if (!h.Incident(i, kept)) return std::nullopt;
+    edges.insert(kept);
+  }
+  std::vector<uint32_t> matching(edges.begin(), edges.end());
+  if (!IsPerfectMatching(h, matching)) return std::nullopt;
+  return matching;
+}
+
+}  // namespace kanon

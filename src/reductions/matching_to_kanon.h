@@ -1,0 +1,53 @@
+#ifndef KANON_REDUCTIONS_MATCHING_TO_KANON_H_
+#define KANON_REDUCTIONS_MATCHING_TO_KANON_H_
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "core/suppressor.h"
+#include "data/table.h"
+#include "hypergraph/hypergraph.h"
+
+/// \file
+/// Theorem 3.1 as executable code: the reduction from k-DIMENSIONAL
+/// PERFECT MATCHING to k-ANONYMITY (entry suppression, |Σ| = n+1).
+///
+/// Construction (OCR-corrected; see DESIGN.md): for a simple k-uniform
+/// hypergraph H with n vertices and m edges, build one m-dimensional row
+/// per vertex u_i with
+///     v_i[j] = "0"          if u_i ∈ e_j,
+///     v_i[j] = "<i+1>"      otherwise (a row-unique filler symbol),
+/// over Σ = {0, 1, ..., n}. Two rows can then agree on a coordinate only
+/// where both are 0, i.e. only on shared edges; since H is simple, no two
+/// rows share two edges, so every nontrivial k-group must keep at most
+/// one coordinate. Consequently
+///     OPT_k-anonymity(V) <= n(m-1)   iff   H has a perfect matching,
+/// and equality holds exactly at that threshold.
+
+namespace kanon {
+
+/// Cost threshold of the reduction: n * (m - 1).
+size_t KAnonHardnessThreshold(const Hypergraph& h);
+
+/// Builds the Theorem 3.1 table from `h` (attributes "e0".."e{m-1}").
+/// Requires h.IsSimple() and m >= 1.
+Table BuildKAnonInstance(const Hypergraph& h);
+
+/// Forward direction: turns a perfect matching of `h` into a suppressor
+/// on the instance table with exactly n(m-1) stars whose application is
+/// k-anonymous (k = h.uniformity()).
+Suppressor MatchingToSuppressor(const Hypergraph& h,
+                                const std::vector<uint32_t>& matching);
+
+/// Converse direction: given any k-anonymizer with at most n(m-1) stars,
+/// extracts the perfect matching it encodes (the unique kept coordinate
+/// of each row). Returns std::nullopt if `t` has more than n(m-1) stars
+/// or is not a k-anonymizer of the instance — cases Theorem 3.1 proves
+/// impossible when OPT <= n(m-1); the experiments assert non-null.
+std::optional<std::vector<uint32_t>> ExtractMatching(
+    const Hypergraph& h, const Table& instance, const Suppressor& t);
+
+}  // namespace kanon
+
+#endif  // KANON_REDUCTIONS_MATCHING_TO_KANON_H_

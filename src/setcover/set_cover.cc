@@ -1,0 +1,111 @@
+#include "setcover/set_cover.h"
+
+#include <limits>
+#include <queue>
+
+#include "util/logging.h"
+
+namespace kanon {
+
+VectorSetFamily::VectorSetFamily(size_t num_elements,
+                                 std::vector<std::vector<uint32_t>> sets,
+                                 std::vector<double> weights)
+    : num_elements_(num_elements),
+      sets_(std::move(sets)),
+      weights_(std::move(weights)) {
+  KANON_CHECK_EQ(sets_.size(), weights_.size());
+  for (const auto& s : sets_) {
+    for (const uint32_t e : s) {
+      KANON_CHECK_LT(e, num_elements_);
+    }
+  }
+  for (const double w : weights_) {
+    KANON_CHECK_GE(w, 0.0);
+  }
+}
+
+std::vector<uint32_t> VectorSetFamily::Members(size_t s) const {
+  KANON_CHECK_LT(s, sets_.size());
+  return sets_[s];
+}
+
+double VectorSetFamily::Weight(size_t s) const {
+  KANON_CHECK_LT(s, weights_.size());
+  return weights_[s];
+}
+
+namespace {
+
+/// Heap entry: cached ratio for set `index` computed when `covered_count`
+/// elements were covered. Stale entries are lazily re-evaluated.
+struct HeapEntry {
+  double ratio;
+  size_t index;
+  size_t covered_when_computed;
+
+  bool operator>(const HeapEntry& other) const {
+    if (ratio != other.ratio) return ratio > other.ratio;
+    return index > other.index;  // deterministic tie-break: lower index
+  }
+};
+
+}  // namespace
+
+SetCoverResult GreedySetCover(const SetFamily& family) {
+  const size_t n = family.NumElements();
+  const size_t num_sets = family.NumSets();
+  SetCoverResult result;
+
+  std::vector<bool> covered(n, false);
+  size_t covered_count = 0;
+
+  auto new_coverage = [&](size_t s) {
+    size_t fresh = 0;
+    for (const uint32_t e : family.Members(s)) {
+      if (!covered[e]) ++fresh;
+    }
+    return fresh;
+  };
+  auto ratio_of = [&](size_t s, size_t fresh) {
+    if (fresh == 0) return std::numeric_limits<double>::infinity();
+    return family.Weight(s) / static_cast<double>(fresh);
+  };
+
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                      std::greater<HeapEntry>>
+      heap;
+  for (size_t s = 0; s < num_sets; ++s) {
+    const size_t fresh = new_coverage(s);
+    if (fresh > 0) heap.push({ratio_of(s, fresh), s, covered_count});
+  }
+
+  while (covered_count < n && !heap.empty()) {
+    HeapEntry top = heap.top();
+    heap.pop();
+    if (top.covered_when_computed != covered_count) {
+      // Stale: ratios only grow, so recompute and re-insert.
+      const size_t fresh = new_coverage(top.index);
+      if (fresh == 0) continue;
+      heap.push({ratio_of(top.index, fresh), top.index, covered_count});
+      continue;
+    }
+    // Fresh minimum: take it.
+    const size_t fresh = new_coverage(top.index);
+    KANON_CHECK_GT(fresh, 0u);
+    for (const uint32_t e : family.Members(top.index)) {
+      if (!covered[e]) {
+        covered[e] = true;
+        ++covered_count;
+      }
+    }
+    result.chosen.push_back(top.index);
+    result.total_weight += family.Weight(top.index);
+    result.pick_ratios.push_back(top.ratio);
+    ++result.iterations;
+  }
+
+  result.complete = (covered_count == n);
+  return result;
+}
+
+}  // namespace kanon

@@ -1,0 +1,84 @@
+#ifndef KANON_SETCOVER_SET_COVER_H_
+#define KANON_SETCOVER_SET_COVER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+/// \file
+/// Weighted greedy set cover (Johnson '74 / Chvátal '79), the engine of
+/// both Phase-1 constructions in Section 4 of the paper.
+///
+/// The family is abstract: algorithms provide the member lists and
+/// weights, either materialized (`VectorSetFamily`) or lazily. The greedy
+/// rule repeatedly picks a set minimizing weight / newly-covered and is an
+/// (1 + ln max|S|)-approximation to the min-weight cover.
+///
+/// Implementation note: with fixed weights, a set's ratio only increases
+/// as elements get covered, so the classic lazy-evaluation heap is exact
+/// (not a heuristic): pop the stale minimum, recompute, and re-push unless
+/// it is still minimal.
+
+namespace kanon {
+
+/// Abstract universe + weighted family interface.
+class SetFamily {
+ public:
+  virtual ~SetFamily() = default;
+
+  /// Number of elements in the universe [0, NumElements()).
+  virtual size_t NumElements() const = 0;
+
+  /// Number of sets in the family.
+  virtual size_t NumSets() const = 0;
+
+  /// Member elements of set `s` (may contain duplicates; they are
+  /// harmless but wasteful).
+  virtual std::vector<uint32_t> Members(size_t s) const = 0;
+
+  /// Non-negative weight of set `s`.
+  virtual double Weight(size_t s) const = 0;
+};
+
+/// Materialized family.
+class VectorSetFamily : public SetFamily {
+ public:
+  VectorSetFamily(size_t num_elements,
+                  std::vector<std::vector<uint32_t>> sets,
+                  std::vector<double> weights);
+
+  size_t NumElements() const override { return num_elements_; }
+  size_t NumSets() const override { return sets_.size(); }
+  std::vector<uint32_t> Members(size_t s) const override;
+  double Weight(size_t s) const override;
+
+ private:
+  size_t num_elements_;
+  std::vector<std::vector<uint32_t>> sets_;
+  std::vector<double> weights_;
+};
+
+/// Result of a greedy cover run.
+struct SetCoverResult {
+  /// Indices of chosen sets, in pick order.
+  std::vector<size_t> chosen;
+  /// Total weight of the chosen sets.
+  double total_weight = 0.0;
+  /// True iff every element ended up covered (false only when the family
+  /// itself does not cover the universe).
+  bool complete = false;
+  /// Greedy iterations executed (== chosen.size()).
+  size_t iterations = 0;
+  /// Ratio weight/new_covered of each pick, for the Johnson analysis
+  /// audit in the benches.
+  std::vector<double> pick_ratios;
+};
+
+/// Runs the weighted greedy cover over `family`. Ties are broken toward
+/// the lower set index, making runs deterministic.
+SetCoverResult GreedySetCover(const SetFamily& family);
+
+}  // namespace kanon
+
+#endif  // KANON_SETCOVER_SET_COVER_H_

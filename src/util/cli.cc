@@ -1,0 +1,63 @@
+#include "util/cli.h"
+
+#include "util/string_util.h"
+
+namespace kanon {
+
+CommandLine CommandLine::Parse(int argc, const char* const* argv) {
+  CommandLine cl;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (!StartsWith(arg, "--")) {
+      cl.positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    const size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      cl.flags_[body.substr(0, eq)] = body.substr(eq + 1);
+    } else if (i + 1 < argc && !StartsWith(argv[i + 1], "--")) {
+      cl.flags_[body] = argv[++i];
+    } else {
+      cl.flags_[body] = "true";
+    }
+  }
+  return cl;
+}
+
+bool CommandLine::HasFlag(const std::string& name) const {
+  return flags_.count(name) > 0;
+}
+
+std::string CommandLine::GetString(const std::string& name,
+                                   const std::string& fallback) const {
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? fallback : it->second;
+}
+
+long long CommandLine::GetInt(const std::string& name,
+                              long long fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  long long value = 0;
+  return ParseInt(it->second, &value) ? value : fallback;
+}
+
+double CommandLine::GetDouble(const std::string& name,
+                              double fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  double value = 0;
+  return ParseDouble(it->second, &value) ? value : fallback;
+}
+
+bool CommandLine::GetBool(const std::string& name, bool fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  return fallback;
+}
+
+}  // namespace kanon

@@ -1,0 +1,40 @@
+#ifndef KANON_UTIL_CLI_H_
+#define KANON_UTIL_CLI_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+/// \file
+/// A tiny `--flag=value` command-line parser used by the example binaries
+/// and the experiment harnesses. Not a general-purpose library: flags are
+/// string-keyed and typed accessors fall back to caller defaults.
+
+namespace kanon {
+
+/// Parsed command line: `--name=value` and `--name value` pairs plus bare
+/// positional arguments. `--flag` with no value is stored as "true".
+class CommandLine {
+ public:
+  /// Parses argv (excluding argv[0]). Later duplicates win.
+  static CommandLine Parse(int argc, const char* const* argv);
+
+  bool HasFlag(const std::string& name) const;
+
+  /// Typed accessors; return `fallback` when absent or unparsable.
+  std::string GetString(const std::string& name,
+                        const std::string& fallback) const;
+  long long GetInt(const std::string& name, long long fallback) const;
+  double GetDouble(const std::string& name, double fallback) const;
+  bool GetBool(const std::string& name, bool fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace kanon
+
+#endif  // KANON_UTIL_CLI_H_

@@ -1,0 +1,136 @@
+#include "util/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace kanon {
+
+bool ParseCsv(std::string_view text, std::vector<CsvRow>* rows,
+              std::string* error) {
+  rows->clear();
+  CsvRow row;
+  std::string field;
+  bool in_quotes = false;
+  bool field_was_quoted = false;
+  bool any_data_in_row = false;
+
+  auto end_field = [&]() {
+    row.push_back(std::move(field));
+    field.clear();
+    field_was_quoted = false;
+  };
+  auto end_row = [&]() {
+    end_field();
+    rows->push_back(std::move(row));
+    row.clear();
+    any_data_in_row = false;
+  };
+
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        if (!field.empty() || field_was_quoted) {
+          if (error) *error = "quote inside unquoted field";
+          return false;
+        }
+        in_quotes = true;
+        field_was_quoted = true;
+        any_data_in_row = true;
+        break;
+      case ',':
+        end_field();
+        any_data_in_row = true;
+        break;
+      case '\r':
+        // Accept CRLF; a bare CR is treated as a row terminator too.
+        if (i + 1 < text.size() && text[i + 1] == '\n') ++i;
+        end_row();
+        break;
+      case '\n':
+        end_row();
+        break;
+      default:
+        if (field_was_quoted) {
+          if (error) *error = "data after closing quote";
+          return false;
+        }
+        field.push_back(c);
+        any_data_in_row = true;
+        break;
+    }
+  }
+  if (in_quotes) {
+    if (error) *error = "unterminated quoted field";
+    return false;
+  }
+  // Flush a final record not terminated by a newline.
+  if (any_data_in_row || !row.empty() || !field.empty()) {
+    end_row();
+  }
+  return true;
+}
+
+std::string EscapeCsvField(std::string_view field) {
+  bool needs_quotes = false;
+  for (const char c : field) {
+    if (c == ',' || c == '"' || c == '\n' || c == '\r') {
+      needs_quotes = true;
+      break;
+    }
+  }
+  if (!needs_quotes) return std::string(field);
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (const char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string WriteCsv(const std::vector<CsvRow>& rows) {
+  std::string out;
+  for (const CsvRow& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      out.append(EscapeCsvField(row[i]));
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+bool ReadFileToString(const std::string& path, std::string* contents) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *contents = buf.str();
+  return true;
+}
+
+bool WriteStringToFile(const std::string& path, std::string_view contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out.write(contents.data(),
+            static_cast<std::streamsize>(contents.size()));
+  return static_cast<bool>(out);
+}
+
+}  // namespace kanon

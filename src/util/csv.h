@@ -1,0 +1,42 @@
+#ifndef KANON_UTIL_CSV_H_
+#define KANON_UTIL_CSV_H_
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file
+/// RFC-4180-style CSV reading and writing.
+///
+/// Supports quoted fields containing commas, doubled quotes and embedded
+/// newlines. This is the only on-disk interchange format the library uses
+/// (tables, experiment dumps).
+
+namespace kanon {
+
+/// One parsed record (row) of fields.
+using CsvRow = std::vector<std::string>;
+
+/// Parses a full CSV document. Returns false (and leaves `rows` in an
+/// unspecified state) on malformed input such as an unterminated quote or
+/// junk after a closing quote. A trailing final newline is optional; empty
+/// input parses to zero rows.
+bool ParseCsv(std::string_view text, std::vector<CsvRow>* rows,
+              std::string* error);
+
+/// Quotes a single field if (and only if) it needs quoting.
+std::string EscapeCsvField(std::string_view field);
+
+/// Serializes rows to CSV text with "\n" record separators.
+std::string WriteCsv(const std::vector<CsvRow>& rows);
+
+/// Reads an entire file; returns false if it cannot be opened.
+bool ReadFileToString(const std::string& path, std::string* contents);
+
+/// Writes (truncates) a file; returns false on I/O failure.
+bool WriteStringToFile(const std::string& path, std::string_view contents);
+
+}  // namespace kanon
+
+#endif  // KANON_UTIL_CSV_H_

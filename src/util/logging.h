@@ -1,0 +1,107 @@
+#ifndef KANON_UTIL_LOGGING_H_
+#define KANON_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+/// \file
+/// Minimal logging and invariant-checking facility.
+///
+/// The library does not throw exceptions across its API boundary; internal
+/// invariant violations terminate via `KANON_CHECK` with a source location,
+/// mirroring the CHECK idiom used by production database codebases.
+
+namespace kanon {
+
+/// Severity of a log record.
+enum class LogLevel {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+/// Returns a short human-readable tag ("DEBUG", "INFO", ...) for a level.
+const char* LogLevelName(LogLevel level);
+
+/// Process-wide minimum level that is actually emitted. Defaults to kInfo.
+void SetMinLogLevel(LogLevel level);
+LogLevel MinLogLevel();
+
+namespace internal_logging {
+
+/// Accumulates one log record and emits it to stderr on destruction.
+/// Fatal records abort the process after emission.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when the record is below the minimum
+/// level; keeps the macro expansion an expression.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal_logging
+
+}  // namespace kanon
+
+#define KANON_LOG(level)                                                  \
+  (static_cast<int>(::kanon::LogLevel::k##level) <                        \
+   static_cast<int>(::kanon::MinLogLevel()))                              \
+      ? void(0)                                                           \
+      : void(::kanon::internal_logging::LogMessage(                      \
+            ::kanon::LogLevel::k##level, __FILE__, __LINE__))
+
+// Streaming form: KANON_LOGS(Info) << "x=" << x;
+#define KANON_LOGS(level)                                    \
+  ::kanon::internal_logging::LogMessage(                     \
+      ::kanon::LogLevel::k##level, __FILE__, __LINE__)
+
+/// Aborts with a message when `condition` is false. Always on (also in
+/// release builds): these guard data-integrity invariants. Additional
+/// context can be streamed: KANON_CHECK(ok) << "while parsing " << path;
+#define KANON_CHECK(condition)                                  \
+  if (condition) {                                              \
+  } else /* NOLINT */                                           \
+    ::kanon::internal_logging::LogMessage(                      \
+        ::kanon::LogLevel::kFatal, __FILE__, __LINE__)          \
+        << "Check failed: " #condition " "
+
+#define KANON_CHECK_OP(lhs, op, rhs)                            \
+  if ((lhs)op(rhs)) {                                           \
+  } else /* NOLINT */                                           \
+    ::kanon::internal_logging::LogMessage(                      \
+        ::kanon::LogLevel::kFatal, __FILE__, __LINE__)          \
+        << "Check failed: " #lhs " " #op " " #rhs << " ("       \
+        << (lhs) << " vs " << (rhs) << ") "
+
+#define KANON_CHECK_EQ(a, b) KANON_CHECK_OP(a, ==, b)
+#define KANON_CHECK_NE(a, b) KANON_CHECK_OP(a, !=, b)
+#define KANON_CHECK_LT(a, b) KANON_CHECK_OP(a, <, b)
+#define KANON_CHECK_LE(a, b) KANON_CHECK_OP(a, <=, b)
+#define KANON_CHECK_GT(a, b) KANON_CHECK_OP(a, >, b)
+#define KANON_CHECK_GE(a, b) KANON_CHECK_OP(a, >=, b)
+
+#endif  // KANON_UTIL_LOGGING_H_

@@ -1,0 +1,62 @@
+#include "util/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace kanon {
+
+namespace {
+
+unsigned DefaultParallelism() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::clamp(hw, 1u, 8u);
+}
+
+std::atomic<unsigned> g_workers{0};  // 0 = uninitialized, use default
+
+}  // namespace
+
+void SetParallelism(unsigned workers) {
+  KANON_CHECK_GE(workers, 1u);
+  g_workers.store(workers, std::memory_order_relaxed);
+}
+
+unsigned GetParallelism() {
+  const unsigned configured = g_workers.load(std::memory_order_relaxed);
+  return configured == 0 ? DefaultParallelism() : configured;
+}
+
+void ParallelFor(size_t begin, size_t end, size_t min_chunk,
+                 const std::function<void(size_t, size_t)>& fn) {
+  if (begin >= end) return;
+  const size_t span = end - begin;
+  const unsigned workers = GetParallelism();
+  if (workers <= 1 || span < std::max<size_t>(min_chunk, 2)) {
+    fn(begin, end);
+    return;
+  }
+  const size_t chunks =
+      std::min<size_t>(workers, (span + min_chunk - 1) / min_chunk);
+  if (chunks <= 1) {
+    fn(begin, end);
+    return;
+  }
+  const size_t per_chunk = (span + chunks - 1) / chunks;
+  std::vector<std::thread> threads;
+  threads.reserve(chunks - 1);
+  for (size_t i = 1; i < chunks; ++i) {
+    const size_t lo = begin + i * per_chunk;
+    const size_t hi = std::min(end, lo + per_chunk);
+    if (lo >= hi) break;
+    threads.emplace_back([&fn, lo, hi] { fn(lo, hi); });
+  }
+  // The calling thread takes the first chunk.
+  fn(begin, std::min(end, begin + per_chunk));
+  for (std::thread& t : threads) t.join();
+}
+
+}  // namespace kanon

@@ -1,0 +1,33 @@
+#ifndef KANON_UTIL_PARALLEL_H_
+#define KANON_UTIL_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+
+/// \file
+/// Minimal data-parallel helper for the library's O(n^2)/O(n^3)
+/// precomputations (distance matrix, ball-family construction). Static
+/// range partitioning over std::thread; callers guarantee disjoint
+/// writes, so results are bit-identical to the serial execution and all
+/// algorithms remain deterministic.
+
+namespace kanon {
+
+/// Process-wide worker cap for ParallelFor. 1 = fully serial (the
+/// default in unit tests via --- nothing; the default here is the
+/// hardware concurrency clamped to 8). Thread-safe to read; set it once
+/// at startup.
+void SetParallelism(unsigned workers);
+unsigned GetParallelism();
+
+/// Invokes `fn(chunk_begin, chunk_end)` over a static partition of
+/// [begin, end) using up to GetParallelism() threads (the calling
+/// thread works too). Falls back to a single inline call when the range
+/// is shorter than `min_chunk` or parallelism is 1. `fn` must tolerate
+/// concurrent invocation on disjoint ranges.
+void ParallelFor(size_t begin, size_t end, size_t min_chunk,
+                 const std::function<void(size_t, size_t)>& fn);
+
+}  // namespace kanon
+
+#endif  // KANON_UTIL_PARALLEL_H_

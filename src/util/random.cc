@@ -1,0 +1,92 @@
+#include "util/random.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace kanon {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(uint64_t seed, uint64_t stream) {
+  uint64_t mix = seed;
+  state_ = SplitMix64(&mix);
+  inc_ = (stream << 1u) | 1u;
+  // Advance once so that the first output depends on both seed and stream.
+  Next();
+}
+
+uint32_t Rng::Next() {
+  const uint64_t old = state_;
+  state_ = old * 6364136223846793005ULL + inc_;
+  const uint32_t xorshifted =
+      static_cast<uint32_t>(((old >> 18u) ^ old) >> 27u);
+  const uint32_t rot = static_cast<uint32_t>(old >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((~rot + 1u) & 31));
+}
+
+uint32_t Rng::Uniform(uint32_t bound) {
+  KANON_CHECK_GT(bound, 0u);
+  // Lemire-style rejection to remove modulo bias.
+  const uint32_t threshold = (~bound + 1u) % bound;
+  for (;;) {
+    const uint32_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int Rng::UniformInt(int lo, int hi) {
+  KANON_CHECK_LE(lo, hi);
+  const uint32_t span = static_cast<uint32_t>(hi - lo) + 1u;
+  if (span == 0) return static_cast<int>(Next());  // full 32-bit range
+  return lo + static_cast<int>(Uniform(span));
+}
+
+double Rng::UniformDouble() {
+  // 53 random bits into [0, 1).
+  const uint64_t hi = Next();
+  const uint64_t lo = Next();
+  const uint64_t bits = ((hi << 21) ^ lo) & ((1ULL << 53) - 1);
+  return static_cast<double>(bits) / static_cast<double>(1ULL << 53);
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return UniformDouble() < p;
+}
+
+uint32_t Rng::Zipf(uint32_t n, double s) {
+  KANON_CHECK_GT(n, 0u);
+  if (s <= 0.0) return Uniform(n);
+  double norm = 0.0;
+  for (uint32_t i = 1; i <= n; ++i) norm += 1.0 / std::pow(i, s);
+  double u = UniformDouble() * norm;
+  for (uint32_t i = 1; i <= n; ++i) {
+    u -= 1.0 / std::pow(i, s);
+    if (u <= 0.0) return i - 1;
+  }
+  return n - 1;
+}
+
+std::vector<uint32_t> Rng::SampleWithoutReplacement(uint32_t n,
+                                                    uint32_t count) {
+  KANON_CHECK_LE(count, n);
+  // Partial Fisher-Yates over an index vector; O(n) memory, which is fine
+  // for the library's instance sizes.
+  std::vector<uint32_t> pool(n);
+  for (uint32_t i = 0; i < n; ++i) pool[i] = i;
+  for (uint32_t i = 0; i < count; ++i) {
+    const uint32_t j = i + Uniform(n - i);
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(count);
+  return pool;
+}
+
+}  // namespace kanon

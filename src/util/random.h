@@ -1,0 +1,71 @@
+#ifndef KANON_UTIL_RANDOM_H_
+#define KANON_UTIL_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+/// \file
+/// Deterministic pseudo-random number generation.
+///
+/// All stochastic components of the library (data generators, randomized
+/// baselines, property tests) draw from `Rng`, a PCG32 generator seeded via
+/// SplitMix64. Determinism for a fixed seed is part of the public contract:
+/// experiments in `bench/` are reproducible run to run.
+
+namespace kanon {
+
+/// SplitMix64 step; used for seeding and as a cheap stateless mixer.
+uint64_t SplitMix64(uint64_t* state);
+
+/// PCG32 (O'Neill) pseudo-random generator. Small, fast, statistically
+/// solid; 2^64 period, 2^63 streams.
+class Rng {
+ public:
+  /// Seeds the generator. Two Rngs with equal (seed, stream) produce
+  /// identical output sequences on every platform.
+  explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL, uint64_t stream = 1);
+
+  /// Uniform 32-bit value.
+  uint32_t Next();
+
+  /// Uniform value in [0, bound) without modulo bias. bound must be > 0.
+  uint32_t Uniform(uint32_t bound);
+
+  /// Uniform value in [lo, hi] inclusive. Requires lo <= hi.
+  int UniformInt(int lo, int hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Bernoulli draw with success probability p in [0, 1].
+  bool Bernoulli(double p);
+
+  /// Zipf-distributed rank in [0, n) with exponent s >= 0 (s = 0 reduces to
+  /// uniform). Linear-time inverse-CDF draw; suitable for the modest
+  /// alphabet sizes used by the data generators.
+  uint32_t Zipf(uint32_t n, double s);
+
+  /// Fisher-Yates shuffle of `items`.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    if (items->empty()) return;
+    for (size_t i = items->size() - 1; i > 0; --i) {
+      const size_t j = Uniform(static_cast<uint32_t>(i + 1));
+      std::swap((*items)[i], (*items)[j]);
+    }
+  }
+
+  /// Uniform sample of `count` distinct values from [0, n), in random
+  /// order. Requires count <= n.
+  std::vector<uint32_t> SampleWithoutReplacement(uint32_t n, uint32_t count);
+
+ private:
+  uint64_t state_;
+  uint64_t inc_;
+};
+
+}  // namespace kanon
+
+#endif  // KANON_UTIL_RANDOM_H_

@@ -1,0 +1,77 @@
+#include "util/report.h"
+
+#include <algorithm>
+#include <iostream>
+#include <sstream>
+
+#include "util/csv.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace kanon::bench {
+
+ReportTable::ReportTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void ReportTable::AddRow(std::vector<std::string> row) {
+  KANON_CHECK_EQ(row.size(), header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string ReportTable::Num(double value, int digits) {
+  return FormatDouble(value, digits);
+}
+
+std::string ReportTable::Int(long long value) {
+  return std::to_string(value);
+}
+
+std::string ReportTable::ToString() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) os << "  ";
+      os << PadLeft(row[c], widths[c]);
+    }
+    os << "\n";
+  };
+  emit_row(header_);
+  size_t total = header_.size() > 0 ? (header_.size() - 1) * 2 : 0;
+  for (const size_t w : widths) total += w;
+  os << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+void ReportTable::Print() const { std::cout << ToString() << std::flush; }
+
+bool ReportTable::WriteCsv(const std::string& path) const {
+  std::vector<CsvRow> all;
+  all.push_back(header_);
+  for (const auto& row : rows_) all.push_back(row);
+  return WriteStringToFile(path, kanon::WriteCsv(all));
+}
+
+void PrintBanner(const std::string& experiment_id, const std::string& claim,
+                 const std::string& setup) {
+  std::cout << "\n=== " << experiment_id << " ===\n"
+            << "claim: " << claim << "\n"
+            << "setup: " << setup << "\n\n"
+            << std::flush;
+}
+
+void PrintVerdict(bool ok, const std::string& message) {
+  std::cout << (ok ? "[PASS] " : "[INFO] ") << message << "\n"
+            << std::flush;
+}
+
+}  // namespace kanon::bench

@@ -1,0 +1,51 @@
+#ifndef KANON_UTIL_REPORT_H_
+#define KANON_UTIL_REPORT_H_
+
+#include <string>
+#include <vector>
+
+/// \file
+/// Shared reporting for the experiment binaries: aligned console tables
+/// (the "rows the paper reports"), experiment banners, and optional CSV
+/// dumps for downstream plotting.
+
+namespace kanon::bench {
+
+/// An aligned console table with a fixed header.
+class ReportTable {
+ public:
+  explicit ReportTable(std::vector<std::string> header);
+
+  /// Appends one row; must match the header arity.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with 3 digits, keeps strings.
+  static std::string Num(double value, int digits = 3);
+  static std::string Int(long long value);
+
+  /// Renders with column alignment.
+  std::string ToString() const;
+
+  /// Prints to stdout.
+  void Print() const;
+
+  /// Writes the table as CSV to `path`; returns false on I/O error.
+  bool WriteCsv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints the experiment banner: id, claim, and setup description.
+void PrintBanner(const std::string& experiment_id,
+                 const std::string& claim,
+                 const std::string& setup);
+
+/// Prints a one-line verdict ("[PASS] ..." / "[INFO] ...") used at the
+/// end of each experiment to state whether the paper's claim reproduced.
+void PrintVerdict(bool ok, const std::string& message);
+
+}  // namespace kanon::bench
+
+#endif  // KANON_UTIL_REPORT_H_

@@ -1,0 +1,115 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace kanon {
+
+void Accumulator::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double Accumulator::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+double Accumulator::min() const {
+  KANON_CHECK_GT(count_, 0u);
+  return min_;
+}
+
+double Accumulator::max() const {
+  KANON_CHECK_GT(count_, 0u);
+  return max_;
+}
+
+std::string Accumulator::ToString() const {
+  std::ostringstream os;
+  if (count_ == 0) {
+    os << "(empty)";
+    return os.str();
+  }
+  os << mean() << " ± " << stddev() << " [" << min() << ", " << max()
+     << "] (n=" << count_ << ")";
+  return os.str();
+}
+
+double Quantile(std::vector<double> values, double q) {
+  KANON_CHECK(!values.empty());
+  KANON_CHECK_GE(q, 0.0);
+  KANON_CHECK_LE(q, 1.0);
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) return values[0];
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double Median(std::vector<double> values) {
+  return Quantile(std::move(values), 0.5);
+}
+
+LinearFit FitLinear(const std::vector<double>& xs,
+                    const std::vector<double>& ys) {
+  KANON_CHECK_EQ(xs.size(), ys.size());
+  KANON_CHECK_GE(xs.size(), 2u);
+  const double n = static_cast<double>(xs.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+    syy += ys[i] * ys[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  KANON_CHECK_NE(denom, 0.0);
+  LinearFit fit;
+  fit.slope = (n * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / n;
+  const double ss_tot = syy - sy * sy / n;
+  if (ss_tot <= 0.0) {
+    fit.r_squared = 1.0;  // all ys identical: the fit is exact
+  } else {
+    double ss_res = 0.0;
+    for (size_t i = 0; i < xs.size(); ++i) {
+      const double e = ys[i] - (fit.slope * xs[i] + fit.intercept);
+      ss_res += e * e;
+    }
+    fit.r_squared = 1.0 - ss_res / ss_tot;
+  }
+  return fit;
+}
+
+LinearFit FitPowerLaw(const std::vector<double>& xs,
+                      const std::vector<double>& ys) {
+  KANON_CHECK_EQ(xs.size(), ys.size());
+  std::vector<double> lx(xs.size()), ly(ys.size());
+  for (size_t i = 0; i < xs.size(); ++i) {
+    KANON_CHECK_GT(xs[i], 0.0);
+    KANON_CHECK_GT(ys[i], 0.0);
+    lx[i] = std::log(xs[i]);
+    ly[i] = std::log(ys[i]);
+  }
+  return FitLinear(lx, ly);
+}
+
+}  // namespace kanon

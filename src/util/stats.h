@@ -1,0 +1,71 @@
+#ifndef KANON_UTIL_STATS_H_
+#define KANON_UTIL_STATS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+/// \file
+/// Descriptive statistics and least-squares fits used by the benchmark
+/// harness to summarize measured costs/runtimes and to estimate scaling
+/// exponents (e.g. the O(m n^2 + n^3) claim of Theorem 4.2).
+
+namespace kanon {
+
+/// Streaming accumulator: count / mean / variance (Welford) / min / max.
+class Accumulator {
+ public:
+  Accumulator() = default;
+
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return sum_; }
+
+  /// "mean ± stddev [min, max] (n)" rendering for report tables.
+  std::string ToString() const;
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Returns the q-th quantile (0 <= q <= 1) of `values` using linear
+/// interpolation between order statistics. `values` need not be sorted.
+/// Dies on an empty input.
+double Quantile(std::vector<double> values, double q);
+
+/// Median shorthand.
+double Median(std::vector<double> values);
+
+/// Simple linear regression y = slope * x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  /// Coefficient of determination in [0, 1].
+  double r_squared = 0.0;
+};
+
+/// Least-squares fit. Requires xs.size() == ys.size() >= 2 and at least two
+/// distinct x values.
+LinearFit FitLinear(const std::vector<double>& xs,
+                    const std::vector<double>& ys);
+
+/// Fits y = c * x^p via regression in log-log space and returns the
+/// exponent estimate p with its r^2. All inputs must be positive.
+LinearFit FitPowerLaw(const std::vector<double>& xs,
+                      const std::vector<double>& ys);
+
+}  // namespace kanon
+
+#endif  // KANON_UTIL_STATS_H_

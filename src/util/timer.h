@@ -1,0 +1,37 @@
+#ifndef KANON_UTIL_TIMER_H_
+#define KANON_UTIL_TIMER_H_
+
+#include <chrono>
+
+/// \file
+/// Wall-clock timing for the experiment harnesses.
+
+namespace kanon {
+
+/// Monotonic stopwatch. Starts running on construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Resets the epoch to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed.
+  double Millis() const { return Seconds() * 1e3; }
+
+  /// Microseconds elapsed.
+  double Micros() const { return Seconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace kanon
+
+#endif  // KANON_UTIL_TIMER_H_

@@ -1,0 +1,108 @@
+#include "algo/annealing.h"
+
+#include <memory>
+
+#include "algo/exact_dp.h"
+#include "algo/random_partition.h"
+#include "algo/registry.h"
+#include "data/generators/clustered.h"
+#include "data/generators/uniform.h"
+#include "gtest/gtest.h"
+#include "util/random.h"
+
+namespace kanon {
+namespace {
+
+TEST(AnnealingTest, NameComposition) {
+  AnnealingAnonymizer algo(std::make_unique<RandomPartitionAnonymizer>());
+  EXPECT_EQ(algo.name(), "random_partition+annealing");
+}
+
+TEST(AnnealingTest, NeverWorseThanBase) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    Rng rng(seed);
+    const Table t = UniformTable(
+        {.num_rows = 14, .num_columns = 6, .alphabet = 3}, &rng);
+    RandomPartitionAnonymizer base(seed);
+    const size_t base_cost = base.Run(t, 3).cost;
+    AnnealingAnonymizer algo(
+        std::make_unique<RandomPartitionAnonymizer>(seed));
+    const auto result = ValidateResult(t, 3, algo.Run(t, 3));
+    EXPECT_LE(result.cost, base_cost);
+  }
+}
+
+TEST(AnnealingTest, RecoversPlantedClustersFromRandomStart) {
+  Rng rng(7);
+  ClusteredTableOptions opt;
+  opt.num_rows = 12;
+  opt.num_clusters = 4;
+  opt.noise_flips = 0;
+  const Table t = ClusteredTable(opt, &rng);
+  // Random chop almost surely crosses clusters; annealing (with merges
+  // and splits) should find the zero-cost grouping.
+  AnnealingOptions aopt;
+  aopt.iterations = 30'000;
+  AnnealingAnonymizer algo(std::make_unique<RandomPartitionAnonymizer>(3),
+                           aopt);
+  const auto result = ValidateResult(t, 3, algo.Run(t, 3));
+  EXPECT_EQ(result.cost, 0u);
+}
+
+TEST(AnnealingTest, NeverBelowOptimum) {
+  Rng rng(9);
+  const Table t = UniformTable(
+      {.num_rows = 10, .num_columns = 5, .alphabet = 3}, &rng);
+  ExactDpAnonymizer exact;
+  const size_t opt = exact.Run(t, 2).cost;
+  AnnealingAnonymizer algo(std::make_unique<RandomPartitionAnonymizer>(1));
+  EXPECT_GE(ValidateResult(t, 2, algo.Run(t, 2)).cost, opt);
+}
+
+TEST(AnnealingTest, DeterministicForFixedSeeds) {
+  Rng rng(11);
+  const Table t = UniformTable(
+      {.num_rows = 12, .num_columns = 5, .alphabet = 4}, &rng);
+  AnnealingOptions aopt;
+  aopt.seed = 5;
+  AnnealingAnonymizer a(std::make_unique<RandomPartitionAnonymizer>(2),
+                        aopt);
+  AnnealingAnonymizer b(std::make_unique<RandomPartitionAnonymizer>(2),
+                        aopt);
+  EXPECT_EQ(a.Run(t, 3).cost, b.Run(t, 3).cost);
+}
+
+TEST(AnnealingTest, RegistryComposition) {
+  const auto algo = MakeAnonymizer("ball_cover+annealing");
+  ASSERT_NE(algo, nullptr);
+  EXPECT_EQ(algo->name(), "ball_cover+annealing");
+  Rng rng(13);
+  const Table t = UniformTable(
+      {.num_rows = 10, .num_columns = 4, .alphabet = 3}, &rng);
+  ValidateResult(t, 2, algo->Run(t, 2));
+}
+
+TEST(AnnealingTest, ZeroIterationsReturnsBaseResult) {
+  Rng rng(15);
+  const Table t = UniformTable(
+      {.num_rows = 10, .num_columns = 4, .alphabet = 3}, &rng);
+  AnnealingOptions aopt;
+  aopt.iterations = 0;
+  RandomPartitionAnonymizer base(4);
+  AnnealingAnonymizer algo(std::make_unique<RandomPartitionAnonymizer>(4),
+                           aopt);
+  EXPECT_EQ(algo.Run(t, 3).cost, base.Run(t, 3).cost);
+}
+
+TEST(AnnealingTest, NotesRecordAcceptance) {
+  Rng rng(17);
+  const Table t = UniformTable(
+      {.num_rows = 10, .num_columns = 4, .alphabet = 3}, &rng);
+  AnnealingAnonymizer algo(std::make_unique<RandomPartitionAnonymizer>(1));
+  const auto result = algo.Run(t, 2);
+  EXPECT_NE(result.notes.find("accepted="), std::string::npos);
+  EXPECT_NE(result.notes.find("base_cost="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace kanon

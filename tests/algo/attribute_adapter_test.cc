@@ -1,0 +1,83 @@
+#include "algo/attribute_adapter.h"
+
+#include <memory>
+
+#include "algo/attribute_exact.h"
+#include "algo/attribute_greedy.h"
+#include "algo/exact_dp.h"
+#include "algo/registry.h"
+#include "core/anonymity.h"
+#include "data/generators/uniform.h"
+#include "gtest/gtest.h"
+#include "util/random.h"
+
+namespace kanon {
+namespace {
+
+TEST(AttributeAdapterTest, NameForwardsToSolver) {
+  AttributeAdapterAnonymizer exact(
+      std::make_unique<ExactAttributeAnonymizer>());
+  EXPECT_EQ(exact.name(), "attribute_exact");
+  AttributeAdapterAnonymizer greedy(
+      std::make_unique<GreedyAttributeAnonymizer>());
+  EXPECT_EQ(greedy.name(), "attribute_greedy");
+}
+
+TEST(AttributeAdapterTest, ProducesValidEntryLevelResult) {
+  Rng rng(1);
+  const Table t = UniformTable(
+      {.num_rows = 12, .num_columns = 5, .alphabet = 2}, &rng);
+  AttributeAdapterAnonymizer algo(
+      std::make_unique<ExactAttributeAnonymizer>());
+  const auto result = ValidateResult(t, 3, algo.Run(t, 3));
+  EXPECT_TRUE(IsKAnonymizer(result.MakeSuppressor(t), t, 3));
+}
+
+TEST(AttributeAdapterTest, CostBoundedByColumnSuppression) {
+  Rng rng(2);
+  const Table t = UniformTable(
+      {.num_rows = 10, .num_columns = 4, .alphabet = 2}, &rng);
+  ExactAttributeAnonymizer solver;
+  const size_t suppressed = solver.Solve(t, 2).num_suppressed();
+  AttributeAdapterAnonymizer algo(
+      std::make_unique<ExactAttributeAnonymizer>());
+  EXPECT_LE(algo.Run(t, 2).cost, 10u * suppressed);
+}
+
+TEST(AttributeAdapterTest, EntryLevelAtLeastAsGoodAsAttributeLevel) {
+  // The paper's point: whole-attribute suppression is the coarsest
+  // suppressor, so the entry-level optimum is never worse.
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    Rng rng(seed);
+    const Table t = UniformTable(
+        {.num_rows = 10, .num_columns = 4, .alphabet = 2}, &rng);
+    ExactDpAnonymizer entry;
+    AttributeAdapterAnonymizer attr(
+        std::make_unique<ExactAttributeAnonymizer>());
+    EXPECT_LE(entry.Run(t, 2).cost, attr.Run(t, 2).cost) << seed;
+  }
+}
+
+TEST(AttributeAdapterTest, NotesMentionSuppressedAttributes) {
+  Rng rng(3);
+  const Table t = UniformTable(
+      {.num_rows = 8, .num_columns = 4, .alphabet = 2}, &rng);
+  AttributeAdapterAnonymizer algo(
+      std::make_unique<GreedyAttributeAnonymizer>());
+  EXPECT_NE(algo.Run(t, 2).notes.find("suppressed_attributes="),
+            std::string::npos);
+}
+
+TEST(AttributeAdapterTest, AvailableViaRegistry) {
+  Rng rng(4);
+  const Table t = UniformTable(
+      {.num_rows = 8, .num_columns = 4, .alphabet = 2}, &rng);
+  for (const char* name : {"attribute_greedy", "attribute_exact"}) {
+    auto algo = MakeAnonymizer(name);
+    ASSERT_NE(algo, nullptr) << name;
+    ValidateResult(t, 2, algo->Run(t, 2));
+  }
+}
+
+}  // namespace
+}  // namespace kanon

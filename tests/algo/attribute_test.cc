@@ -1,0 +1,146 @@
+#include "algo/attribute_exact.h"
+#include "algo/attribute_greedy.h"
+
+#include "core/anonymity.h"
+#include "data/generators/uniform.h"
+#include "gtest/gtest.h"
+#include "util/random.h"
+
+namespace kanon {
+namespace {
+
+Table Rows(const std::vector<std::vector<std::string>>& rows) {
+  Schema schema;
+  for (size_t c = 0; c < rows[0].size(); ++c) {
+    schema.AddAttribute("a" + std::to_string(c));
+  }
+  Table t(std::move(schema));
+  for (const auto& row : rows) t.AppendStringRow(row);
+  return t;
+}
+
+TEST(KeptSetFeasibleTest, FullAndEmpty) {
+  const Table t = Rows({{"a", "b"}, {"a", "b"}, {"a", "c"}});
+  // Full kept set: (a,b) x2, (a,c) x1 -> level 1.
+  EXPECT_TRUE(KeptSetFeasible(t, 0b11, 1));
+  EXPECT_FALSE(KeptSetFeasible(t, 0b11, 2));
+  // Empty kept set: all rows identical empty projection -> level 3.
+  EXPECT_TRUE(KeptSetFeasible(t, 0, 3));
+}
+
+TEST(KeptSetFeasibleTest, MonotoneDownward) {
+  Rng rng(1);
+  const Table t = UniformTable(
+      {.num_rows = 12, .num_columns = 5, .alphabet = 2}, &rng);
+  for (uint64_t mask = 0; mask < 32; ++mask) {
+    for (ColId c = 0; c < 5; ++c) {
+      const uint64_t sub = mask & ~(uint64_t{1} << c);
+      if (sub == mask) continue;
+      // Feasibility of mask implies feasibility of any subset.
+      if (KeptSetFeasible(t, mask, 3)) {
+        EXPECT_TRUE(KeptSetFeasible(t, sub, 3))
+            << "mask=" << mask << " sub=" << sub;
+      }
+    }
+  }
+}
+
+TEST(ProjectionAnonymityLevelTest, MatchesGroupBy) {
+  const Table t = Rows({{"a", "x"}, {"a", "y"}, {"b", "x"}, {"a", "x"}});
+  EXPECT_EQ(ProjectionAnonymityLevel(t, 0b01), 1u);  // a:3, b:1
+  EXPECT_EQ(ProjectionAnonymityLevel(t, 0b10), 1u);  // x:3, y:1
+  EXPECT_EQ(ProjectionAnonymityLevel(t, 0b00), 4u);
+}
+
+TEST(ExactAttributeTest, KeepsAllWhenAlreadyAnonymous) {
+  const Table t = Rows({{"a", "b"}, {"a", "b"}});
+  ExactAttributeAnonymizer algo;
+  const auto result = ValidateAttributeResult(t, 2, algo.Solve(t, 2));
+  EXPECT_TRUE(result.suppressed.empty());
+}
+
+TEST(ExactAttributeTest, SuppressesDistinguishingColumn) {
+  const Table t = Rows({{"a", "p"}, {"a", "q"}});
+  ExactAttributeAnonymizer algo;
+  const auto result = ValidateAttributeResult(t, 2, algo.Solve(t, 2));
+  EXPECT_EQ(result.suppressed, std::vector<ColId>{1});
+}
+
+TEST(ExactAttributeTest, MinimalityAgainstBruteForce) {
+  Rng rng(2);
+  const Table t = UniformTable(
+      {.num_rows = 10, .num_columns = 6, .alphabet = 2}, &rng);
+  ExactAttributeAnonymizer algo;
+  const auto result = ValidateAttributeResult(t, 2, algo.Solve(t, 2));
+  // Brute force: no kept set with fewer suppressions is feasible.
+  const size_t best = result.num_suppressed();
+  for (uint64_t kept = 0; kept < 64; ++kept) {
+    const size_t suppressed = 6 - static_cast<size_t>(
+        __builtin_popcountll(kept));
+    if (suppressed < best) {
+      EXPECT_FALSE(KeptSetFeasible(t, kept, 2));
+    }
+  }
+}
+
+TEST(ExactAttributeTest, SuppressorIsAttributeSuppressor) {
+  Rng rng(3);
+  const Table t = UniformTable(
+      {.num_rows = 8, .num_columns = 4, .alphabet = 2}, &rng);
+  ExactAttributeAnonymizer algo;
+  const auto result = algo.Solve(t, 3);
+  const Suppressor s = result.MakeSuppressor(t);
+  EXPECT_TRUE(s.IsAttributeSuppressor());
+  EXPECT_TRUE(IsKAnonymizer(s, t, 3));
+}
+
+TEST(GreedyAttributeTest, ValidAndFeasible) {
+  Rng rng(4);
+  const Table t = UniformTable(
+      {.num_rows = 12, .num_columns = 6, .alphabet = 2}, &rng);
+  GreedyAttributeAnonymizer algo;
+  const auto result = ValidateAttributeResult(t, 3, algo.Solve(t, 3));
+  const Suppressor s = result.MakeSuppressor(t);
+  EXPECT_TRUE(IsKAnonymizer(s, t, 3));
+}
+
+TEST(GreedyAttributeTest, NeverBeatsExact) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    Rng rng(seed);
+    const Table t = UniformTable(
+        {.num_rows = 10, .num_columns = 5, .alphabet = 2}, &rng);
+    ExactAttributeAnonymizer exact;
+    GreedyAttributeAnonymizer greedy;
+    EXPECT_GE(greedy.Solve(t, 2).num_suppressed(),
+              exact.Solve(t, 2).num_suppressed());
+  }
+}
+
+TEST(GreedyAttributeTest, AlreadyAnonymousSuppressesNothing) {
+  const Table t = Rows({{"a", "b"}, {"a", "b"}, {"a", "b"}});
+  GreedyAttributeAnonymizer algo;
+  EXPECT_TRUE(algo.Solve(t, 3).suppressed.empty());
+}
+
+TEST(AttributeResultTest, NotesPopulated) {
+  Rng rng(5);
+  const Table t = UniformTable(
+      {.num_rows = 8, .num_columns = 4, .alphabet = 2}, &rng);
+  ExactAttributeAnonymizer exact;
+  GreedyAttributeAnonymizer greedy;
+  EXPECT_NE(exact.Solve(t, 2).notes.find("kept_sets_checked="),
+            std::string::npos);
+  EXPECT_NE(greedy.Solve(t, 2).notes.find("feasibility_checks="),
+            std::string::npos);
+}
+
+TEST(ExactAttributeDeathTest, TooManyColumnsDies) {
+  Rng rng(6);
+  const Table t = UniformTable(
+      {.num_rows = 4, .num_columns = 30, .alphabet = 2}, &rng);
+  ExactAttributeAnonymizer algo;
+  EXPECT_DEATH(algo.Solve(t, 2), "exponential in m");
+}
+
+}  // namespace
+}  // namespace kanon

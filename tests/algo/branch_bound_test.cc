@@ -1,0 +1,93 @@
+#include "algo/branch_bound.h"
+
+#include "algo/exact_dp.h"
+#include "data/generators/clustered.h"
+#include "data/generators/uniform.h"
+#include "gtest/gtest.h"
+#include "util/random.h"
+
+namespace kanon {
+namespace {
+
+TEST(BranchBoundTest, ValidOnRandomTable) {
+  Rng rng(1);
+  const Table t = UniformTable(
+      {.num_rows = 10, .num_columns = 5, .alphabet = 3}, &rng);
+  BranchBoundAnonymizer algo;
+  ValidateResult(t, 2, algo.Run(t, 2));
+}
+
+// The central cross-check: branch & bound and the subset DP are
+// independent exact algorithms; they must agree on OPT everywhere.
+struct CrossCase {
+  uint64_t seed;
+  uint32_t n;
+  uint32_t m;
+  uint32_t alphabet;
+  size_t k;
+};
+
+class ExactCrossCheckTest : public ::testing::TestWithParam<CrossCase> {};
+
+TEST_P(ExactCrossCheckTest, AgreesWithExactDp) {
+  const CrossCase c = GetParam();
+  Rng rng(c.seed);
+  const Table t = UniformTable(
+      {.num_rows = c.n, .num_columns = c.m, .alphabet = c.alphabet}, &rng);
+  ExactDpAnonymizer dp;
+  BranchBoundAnonymizer bb;
+  const auto dp_result = ValidateResult(t, c.k, dp.Run(t, c.k));
+  const auto bb_result = ValidateResult(t, c.k, bb.Run(t, c.k));
+  EXPECT_EQ(dp_result.cost, bb_result.cost);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ExactCrossCheckTest,
+    ::testing::Values(CrossCase{1, 8, 4, 2, 2}, CrossCase{2, 8, 4, 3, 3},
+                      CrossCase{3, 9, 5, 4, 2}, CrossCase{4, 9, 3, 2, 4},
+                      CrossCase{5, 10, 5, 3, 2}, CrossCase{6, 10, 4, 4, 3},
+                      CrossCase{7, 11, 6, 3, 2}, CrossCase{8, 12, 4, 2, 3},
+                      CrossCase{9, 12, 5, 5, 2}, CrossCase{10, 7, 7, 3, 2},
+                      CrossCase{11, 13, 4, 3, 2},
+                      CrossCase{12, 10, 6, 2, 5}));
+
+TEST(BranchBoundTest, ClusteredInstancesFast) {
+  Rng rng(2);
+  ClusteredTableOptions opt;
+  opt.num_rows = 15;
+  opt.num_clusters = 5;
+  opt.noise_flips = 0;
+  const Table t = ClusteredTable(opt, &rng);
+  BranchBoundAnonymizer algo;
+  const auto result = ValidateResult(t, 3, algo.Run(t, 3));
+  EXPECT_EQ(result.cost, 0u);  // pure clusters of size 3
+}
+
+TEST(BranchBoundTest, NodeCapReturnsValidIncumbent) {
+  Rng rng(3);
+  const Table t = UniformTable(
+      {.num_rows = 14, .num_columns = 5, .alphabet = 4}, &rng);
+  BranchBoundOptions opt;
+  opt.max_nodes = 5;
+  BranchBoundAnonymizer algo(opt);
+  const auto result = ValidateResult(t, 2, algo.Run(t, 2));
+  EXPECT_NE(result.notes.find("TRUNCATED"), std::string::npos);
+}
+
+TEST(BranchBoundTest, NotesCountNodes) {
+  Rng rng(4);
+  const Table t = UniformTable({.num_rows = 8, .num_columns = 4}, &rng);
+  BranchBoundAnonymizer algo;
+  const auto result = algo.Run(t, 2);
+  EXPECT_NE(result.notes.find("nodes="), std::string::npos);
+}
+
+TEST(BranchBoundDeathTest, TooManyRowsDies) {
+  Rng rng(5);
+  const Table t = UniformTable({.num_rows = 40, .num_columns = 3}, &rng);
+  BranchBoundAnonymizer algo;
+  EXPECT_DEATH(algo.Run(t, 2), "exponential in n");
+}
+
+}  // namespace
+}  // namespace kanon

@@ -1,0 +1,98 @@
+#include "algo/registry.h"
+#include "core/anonymity.h"
+#include "data/generators/uniform.h"
+#include "gtest/gtest.h"
+#include "util/random.h"
+
+/// \file
+/// Degenerate-input suite run against every registry algorithm: constant
+/// tables, all-duplicate tables, single-column tables, n == k, k == 1,
+/// and duplicate-heavy multisets. Every algorithm must stay valid and,
+/// where the optimum is obvious (cost 0), achieve it.
+
+namespace kanon {
+namespace {
+
+Table ConstantTable(uint32_t n, uint32_t m) {
+  Schema schema;
+  for (uint32_t c = 0; c < m; ++c) {
+    schema.AddAttribute("a" + std::to_string(c));
+  }
+  Table t(std::move(schema));
+  const std::vector<std::string> row(m, "same");
+  for (uint32_t r = 0; r < n; ++r) t.AppendStringRow(row);
+  return t;
+}
+
+std::vector<std::string> EntryAlgorithms() {
+  // Every registry algorithm that can run on n <= 12 quickly.
+  return {"greedy_cover", "ball_cover",     "ball_cover_pairwise",
+          "exact_dp",     "branch_bound",   "mondrian",
+          "cluster_greedy", "mdav",         "random_partition",
+          "suppress_all", "attribute_greedy"};
+}
+
+class EdgeCaseTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(EdgeCaseTest, ConstantTableIsFree) {
+  const Table t = ConstantTable(9, 4);
+  auto algo = MakeAnonymizer(GetParam());
+  ASSERT_NE(algo, nullptr);
+  const auto result = ValidateResult(t, 3, algo->Run(t, 3));
+  EXPECT_EQ(result.cost, 0u);
+}
+
+TEST_P(EdgeCaseTest, SingleColumnTable) {
+  Schema schema({"only"});
+  Table t(std::move(schema));
+  for (int i = 0; i < 4; ++i) t.AppendStringRow({"x"});
+  for (int i = 0; i < 4; ++i) t.AppendStringRow({"y"});
+  auto algo = MakeAnonymizer(GetParam());
+  ASSERT_NE(algo, nullptr);
+  const auto result = ValidateResult(t, 2, algo->Run(t, 2));
+  EXPECT_LE(result.cost, 8u);  // worst case: star the single column
+}
+
+TEST_P(EdgeCaseTest, NEqualsK) {
+  Rng rng(1);
+  const Table t = UniformTable(
+      {.num_rows = 5, .num_columns = 4, .alphabet = 3}, &rng);
+  auto algo = MakeAnonymizer(GetParam());
+  ASSERT_NE(algo, nullptr);
+  const auto result = ValidateResult(t, 5, algo->Run(t, 5));
+  EXPECT_EQ(result.partition.num_groups(), 1u);
+}
+
+TEST_P(EdgeCaseTest, KOneIsAlwaysValid) {
+  Rng rng(2);
+  const Table t = UniformTable(
+      {.num_rows = 8, .num_columns = 4, .alphabet = 3}, &rng);
+  auto algo = MakeAnonymizer(GetParam());
+  ASSERT_NE(algo, nullptr);
+  ValidateResult(t, 1, algo->Run(t, 1));
+}
+
+TEST_P(EdgeCaseTest, DuplicateHeavyMultiset) {
+  // Three distinct tuples with multiplicities 6/3/3: plenty of free
+  // grouping available at k = 3.
+  Schema schema({"a", "b"});
+  Table t(std::move(schema));
+  for (int i = 0; i < 6; ++i) t.AppendStringRow({"p", "q"});
+  for (int i = 0; i < 3; ++i) t.AppendStringRow({"r", "s"});
+  for (int i = 0; i < 3; ++i) t.AppendStringRow({"t", "u"});
+  auto algo = MakeAnonymizer(GetParam());
+  ASSERT_NE(algo, nullptr);
+  const auto result = ValidateResult(t, 3, algo->Run(t, 3));
+  const std::string& name = GetParam();
+  // Structure-aware algorithms must find the zero-cost grouping; the
+  // random and suppress-all baselines are exempt by design.
+  if (name != "random_partition" && name != "suppress_all") {
+    EXPECT_EQ(result.cost, 0u) << name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, EdgeCaseTest,
+                         ::testing::ValuesIn(EntryAlgorithms()));
+
+}  // namespace
+}  // namespace kanon

@@ -1,0 +1,137 @@
+#include "algo/local_search.h"
+
+#include <memory>
+
+#include "algo/ball_cover.h"
+#include "algo/exact_dp.h"
+#include "algo/random_partition.h"
+#include "core/cost.h"
+#include "data/generators/clustered.h"
+#include "data/generators/uniform.h"
+#include "gtest/gtest.h"
+#include "util/random.h"
+
+namespace kanon {
+namespace {
+
+TEST(ImprovePartitionTest, LeavesOptimumAlone) {
+  // Two duplicate pairs optimally paired: no move can help.
+  Schema schema({"a", "b"});
+  Table t(std::move(schema));
+  t.AppendStringRow({"x", "y"});
+  t.AppendStringRow({"x", "y"});
+  t.AppendStringRow({"p", "q"});
+  t.AppendStringRow({"p", "q"});
+  Partition p;
+  p.groups = {{0, 1}, {2, 3}};
+  const size_t moves = ImprovePartition(t, 2, {}, &p);
+  EXPECT_EQ(moves, 0u);
+  EXPECT_EQ(PartitionCost(t, p), 0u);
+}
+
+TEST(ImprovePartitionTest, SwapFixesCrossedPairs) {
+  // Pairs deliberately crossed: swap should uncross them to cost 0.
+  Schema schema({"a", "b", "c"});
+  Table t(std::move(schema));
+  t.AppendStringRow({"x", "x", "x"});  // 0
+  t.AppendStringRow({"y", "y", "y"});  // 1
+  t.AppendStringRow({"x", "x", "x"});  // 2
+  t.AppendStringRow({"y", "y", "y"});  // 3
+  Partition p;
+  p.groups = {{0, 1}, {2, 3}};  // crossed: cost 3+3... all columns differ
+  const size_t before = PartitionCost(t, p);
+  ASSERT_GT(before, 0u);
+  ImprovePartition(t, 2, {}, &p);
+  EXPECT_EQ(PartitionCost(t, p), 0u);
+}
+
+TEST(ImprovePartitionTest, MoveShrinksOversizedGroup) {
+  // Group {0,1,2} where 2 really belongs with {3,4}: the move rule must
+  // relocate it.
+  Schema schema({"a", "b"});
+  Table t(std::move(schema));
+  t.AppendStringRow({"x", "x"});  // 0
+  t.AppendStringRow({"x", "x"});  // 1
+  t.AppendStringRow({"z", "z"});  // 2 (misplaced)
+  t.AppendStringRow({"z", "z"});  // 3
+  t.AppendStringRow({"z", "z"});  // 4
+  Partition p;
+  p.groups = {{0, 1, 2}, {3, 4}};
+  ImprovePartition(t, 2, {}, &p);
+  EXPECT_EQ(PartitionCost(t, p), 0u);
+  EXPECT_TRUE(IsValidPartition(p, 5, 2, 5));
+}
+
+TEST(ImprovePartitionTest, ZeroPassesIsNoop) {
+  Rng rng(1);
+  const Table t = UniformTable({.num_rows = 8, .num_columns = 4}, &rng);
+  Partition p;
+  p.groups = {{0, 1, 2, 3}, {4, 5, 6, 7}};
+  const size_t before = PartitionCost(t, p);
+  LocalSearchOptions opt;
+  opt.max_passes = 0;
+  EXPECT_EQ(ImprovePartition(t, 2, opt, &p), 0u);
+  EXPECT_EQ(PartitionCost(t, p), before);
+}
+
+// Property: local search never increases cost and preserves validity.
+class LocalSearchPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LocalSearchPropertyTest, NeverWorseAndValid) {
+  Rng rng(GetParam());
+  const uint32_t n = 12;
+  const size_t k = 2 + GetParam() % 3;
+  const Table t = UniformTable(
+      {.num_rows = n, .num_columns = 6, .alphabet = 3}, &rng);
+  Group all(n);
+  for (RowId r = 0; r < n; ++r) all[r] = r;
+  rng.Shuffle(&all);
+  Partition p;
+  p.groups = {all};
+  p = SplitLargeGroups(p, k);
+  const size_t before = PartitionCost(t, p);
+  ImprovePartition(t, k, {}, &p);
+  EXPECT_LE(PartitionCost(t, p), before);
+  EXPECT_TRUE(IsValidPartition(p, n, k, n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LocalSearchPropertyTest,
+                         ::testing::Range<uint64_t>(1, 13));
+
+TEST(LocalSearchAnonymizerTest, WrapsBaseAndImproves) {
+  Rng rng(2);
+  ClusteredTableOptions opt;
+  opt.num_rows = 12;
+  opt.num_clusters = 4;
+  opt.noise_flips = 0;
+  const Table t = ClusteredTable(opt, &rng);
+  LocalSearchAnonymizer algo(
+      std::make_unique<RandomPartitionAnonymizer>(7));
+  EXPECT_EQ(algo.name(), "random_partition+local_search");
+  RandomPartitionAnonymizer base(7);
+  const size_t base_cost = base.Run(t, 3).cost;
+  const auto improved = ValidateResult(t, 3, algo.Run(t, 3));
+  EXPECT_LE(improved.cost, base_cost);
+}
+
+TEST(LocalSearchAnonymizerTest, NeverBelowOptimum) {
+  Rng rng(3);
+  const Table t = UniformTable(
+      {.num_rows = 10, .num_columns = 5, .alphabet = 3}, &rng);
+  ExactDpAnonymizer exact;
+  const size_t opt = exact.Run(t, 2).cost;
+  LocalSearchAnonymizer algo(std::make_unique<BallCoverAnonymizer>());
+  const auto result = ValidateResult(t, 2, algo.Run(t, 2));
+  EXPECT_GE(result.cost, opt);
+}
+
+TEST(LocalSearchAnonymizerTest, NotesIncludeBaseCost) {
+  Rng rng(4);
+  const Table t = UniformTable({.num_rows = 8, .num_columns = 4}, &rng);
+  LocalSearchAnonymizer algo(std::make_unique<BallCoverAnonymizer>());
+  const auto result = algo.Run(t, 2);
+  EXPECT_NE(result.notes.find("base_cost="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace kanon

@@ -1,0 +1,87 @@
+#include "algo/mdav.h"
+
+#include "algo/exact_dp.h"
+#include "data/generators/census.h"
+#include "data/generators/clustered.h"
+#include "data/generators/uniform.h"
+#include "gtest/gtest.h"
+#include "util/random.h"
+
+namespace kanon {
+namespace {
+
+TEST(MdavTest, ValidOnRandomTable) {
+  Rng rng(1);
+  const Table t = UniformTable(
+      {.num_rows = 25, .num_columns = 6, .alphabet = 4}, &rng);
+  MdavAnonymizer algo;
+  const auto result = ValidateResult(t, 3, algo.Run(t, 3));
+  EXPECT_EQ(result.partition.TotalMembers(), 25u);
+}
+
+TEST(MdavTest, FixedSizeGroupsExceptLast) {
+  Rng rng(2);
+  const Table t = UniformTable(
+      {.num_rows = 23, .num_columns = 5, .alphabet = 3}, &rng);
+  MdavAnonymizer algo;
+  const auto result = algo.Run(t, 4);
+  size_t irregular = 0;
+  for (const Group& g : result.partition.groups) {
+    EXPECT_GE(g.size(), 4u);
+    EXPECT_LT(g.size(), 3 * 4u);
+    if (g.size() != 4u) ++irregular;
+  }
+  EXPECT_LE(irregular, 1u);  // only the final group may be irregular
+}
+
+TEST(MdavTest, ExactMultipleYieldsAllFixedGroups) {
+  Rng rng(3);
+  const Table t = UniformTable(
+      {.num_rows = 20, .num_columns = 5, .alphabet = 3}, &rng);
+  MdavAnonymizer algo;
+  const auto result = ValidateResult(t, 5, algo.Run(t, 5));
+  for (const Group& g : result.partition.groups) {
+    EXPECT_EQ(g.size(), 5u);
+  }
+}
+
+TEST(MdavTest, PureClustersAreFree) {
+  Rng rng(4);
+  ClusteredTableOptions opt;
+  opt.num_rows = 12;
+  opt.num_clusters = 4;
+  opt.noise_flips = 0;
+  const Table t = ClusteredTable(opt, &rng);
+  MdavAnonymizer algo;
+  EXPECT_EQ(ValidateResult(t, 3, algo.Run(t, 3)).cost, 0u);
+}
+
+TEST(MdavTest, NEqualsKSingleGroup) {
+  Rng rng(5);
+  const Table t = UniformTable({.num_rows = 4, .num_columns = 3}, &rng);
+  MdavAnonymizer algo;
+  const auto result = ValidateResult(t, 4, algo.Run(t, 4));
+  EXPECT_EQ(result.partition.num_groups(), 1u);
+}
+
+TEST(MdavTest, NeverBeatsExactOptimum) {
+  Rng rng(6);
+  const Table t = UniformTable(
+      {.num_rows = 10, .num_columns = 4, .alphabet = 3}, &rng);
+  ExactDpAnonymizer exact;
+  MdavAnonymizer mdav;
+  EXPECT_GE(mdav.Run(t, 2).cost, exact.Run(t, 2).cost);
+}
+
+TEST(MdavTest, ReasonableOnCensusData) {
+  Rng rng(7);
+  const Table t = CensusTable({.num_rows = 50}, &rng);
+  MdavAnonymizer algo;
+  const auto result = ValidateResult(t, 5, algo.Run(t, 5));
+  // Must beat the all-stars ceiling comfortably on skewed data.
+  EXPECT_LT(result.cost,
+            static_cast<size_t>(t.num_rows()) * t.num_columns());
+}
+
+}  // namespace
+}  // namespace kanon

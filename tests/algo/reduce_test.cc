@@ -1,0 +1,115 @@
+#include "algo/reduce.h"
+
+#include "core/cost.h"
+#include "data/generators/uniform.h"
+#include "gtest/gtest.h"
+#include "util/random.h"
+
+namespace kanon {
+namespace {
+
+TEST(ReduceTest, AlreadyPartitionUnchangedSemantically) {
+  Rng rng(1);
+  const Table t = UniformTable({.num_rows = 6, .num_columns = 4}, &rng);
+  Partition cover;
+  cover.groups = {{0, 1, 2}, {3, 4, 5}};
+  const Partition p = ReduceCoverToPartition(t, cover, 3);
+  EXPECT_TRUE(IsValidPartition(p, 6, 3, 5));
+  EXPECT_EQ(DiameterSum(t, p), DiameterSum(t, cover));
+}
+
+TEST(ReduceTest, RemovesFromLargerSet) {
+  Rng rng(2);
+  const Table t = UniformTable({.num_rows = 5, .num_columns = 4}, &rng);
+  Partition cover;
+  cover.groups = {{0, 1, 2}, {2, 3, 4}};  // row 2 shared; both size 3 > k=2
+  const Partition p = ReduceCoverToPartition(t, cover, 2);
+  EXPECT_TRUE(IsValidPartition(p, 5, 2, 3));
+  EXPECT_LE(DiameterSum(t, p), DiameterSum(t, cover));
+}
+
+TEST(ReduceTest, MergesTwoSizeKSets) {
+  Rng rng(3);
+  const Table t = UniformTable({.num_rows = 3, .num_columns = 4}, &rng);
+  Partition cover;
+  cover.groups = {{0, 1}, {1, 2}};  // both exactly k=2, share row 1
+  const Partition p = ReduceCoverToPartition(t, cover, 2);
+  EXPECT_TRUE(IsValidPartition(p, 3, 2, 3));
+  EXPECT_EQ(p.num_groups(), 1u);
+  EXPECT_EQ(p.groups[0].size(), 3u);
+}
+
+TEST(ReduceTest, TriangleInequalityBoundsMergedDiameter) {
+  // Figure 1 of the paper: d(S_i ∪ S_j) <= d(S_i) + d(S_j) when they
+  // intersect.
+  Schema schema({"a", "b", "c", "d"});
+  Table t(std::move(schema));
+  t.AppendStringRow({"0", "0", "0", "0"});
+  t.AppendStringRow({"0", "0", "1", "1"});
+  t.AppendStringRow({"1", "1", "1", "1"});
+  Partition cover;
+  cover.groups = {{0, 1}, {1, 2}};
+  const size_t before = DiameterSum(t, cover);  // 2 + 2
+  const Partition p = ReduceCoverToPartition(t, cover, 2);
+  EXPECT_EQ(p.num_groups(), 1u);
+  EXPECT_LE(DiameterSum(t, p), before);  // merged diameter 4 <= 2+2
+}
+
+// Property: on random covers, Reduce yields a valid partition and never
+// increases the diameter sum (the paper's Phase 2 guarantee).
+class ReducePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ReducePropertyTest, DiameterSumNeverIncreases) {
+  Rng rng(GetParam());
+  const uint32_t n = 14;
+  const size_t k = 2 + GetParam() % 2;  // k in {2, 3}
+  const Table t = UniformTable(
+      {.num_rows = n, .num_columns = 6, .alphabet = 3}, &rng);
+  // Build a random (k, 2k-1)-cover: keep adding random groups until all
+  // rows are covered.
+  Partition cover;
+  std::vector<bool> covered(n, false);
+  size_t covered_count = 0;
+  while (covered_count < n) {
+    const uint32_t size =
+        static_cast<uint32_t>(k) + rng.Uniform(static_cast<uint32_t>(k));
+    Group g;
+    // Bias toward uncovered rows so the loop terminates quickly.
+    std::vector<uint32_t> picks = rng.SampleWithoutReplacement(n, size);
+    for (const uint32_t r : picks) g.push_back(r);
+    for (const RowId r : g) {
+      if (!covered[r]) {
+        covered[r] = true;
+        ++covered_count;
+      }
+    }
+    cover.groups.push_back(std::move(g));
+  }
+  ASSERT_TRUE(IsValidCover(cover, n, k, 2 * k - 1));
+  const Partition p = ReduceCoverToPartition(t, cover, k);
+  EXPECT_TRUE(IsValidPartition(p, n, k, 2 * k - 1));
+  EXPECT_LE(DiameterSum(t, p), DiameterSum(t, cover));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReducePropertyTest,
+                         ::testing::Range<uint64_t>(1, 17));
+
+TEST(ReduceTest, LargeBallGroupsAccepted) {
+  Rng rng(5);
+  const Table t = UniformTable({.num_rows = 8, .num_columns = 4}, &rng);
+  Partition cover;
+  cover.groups = {{0, 1, 2, 3, 4, 5}, {4, 5, 6, 7}};  // sizes 6 and 4, k=2
+  const Partition p = ReduceCoverToPartition(t, cover, 2);
+  EXPECT_TRUE(IsValidPartition(p, 8, 2, 8));
+}
+
+TEST(ReduceDeathTest, RejectsNonCover) {
+  Rng rng(6);
+  const Table t = UniformTable({.num_rows = 4, .num_columns = 3}, &rng);
+  Partition not_cover;
+  not_cover.groups = {{0, 1}};
+  EXPECT_DEATH(ReduceCoverToPartition(t, not_cover, 2), "Check failed");
+}
+
+}  // namespace
+}  // namespace kanon

@@ -1,0 +1,55 @@
+#include "algo/registry.h"
+
+#include "data/generators/uniform.h"
+#include "gtest/gtest.h"
+#include "util/random.h"
+
+namespace kanon {
+namespace {
+
+TEST(RegistryTest, AllKnownNamesResolve) {
+  for (const std::string& name : KnownAnonymizers()) {
+    const auto algo = MakeAnonymizer(name);
+    ASSERT_NE(algo, nullptr) << name;
+    EXPECT_EQ(algo->name(), name);
+  }
+}
+
+TEST(RegistryTest, UnknownNameIsNull) {
+  EXPECT_EQ(MakeAnonymizer("definitely_not_an_algorithm"), nullptr);
+  EXPECT_EQ(MakeAnonymizer(""), nullptr);
+}
+
+TEST(RegistryTest, LocalSearchComposition) {
+  const auto algo = MakeAnonymizer("mondrian+local_search");
+  ASSERT_NE(algo, nullptr);
+  EXPECT_EQ(algo->name(), "mondrian+local_search");
+}
+
+TEST(RegistryTest, LocalSearchOnUnknownBaseIsNull) {
+  EXPECT_EQ(MakeAnonymizer("nope+local_search"), nullptr);
+}
+
+TEST(RegistryTest, BareLocalSearchSuffixIsNull) {
+  EXPECT_EQ(MakeAnonymizer("+local_search"), nullptr);
+}
+
+TEST(RegistryTest, EveryRegistryAlgorithmRunsOnSmallInstance) {
+  Rng rng(1);
+  const Table t = UniformTable(
+      {.num_rows = 8, .num_columns = 4, .alphabet = 3}, &rng);
+  for (const std::string& name : KnownAnonymizers()) {
+    auto algo = MakeAnonymizer(name);
+    ASSERT_NE(algo, nullptr);
+    ValidateResult(t, 2, algo->Run(t, 2));
+  }
+}
+
+TEST(RegistryTest, DoubleLocalSearchComposes) {
+  const auto algo = MakeAnonymizer("ball_cover+local_search+local_search");
+  ASSERT_NE(algo, nullptr);
+  EXPECT_EQ(algo->name(), "ball_cover+local_search+local_search");
+}
+
+}  // namespace
+}  // namespace kanon

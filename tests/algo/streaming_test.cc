@@ -1,0 +1,133 @@
+#include "algo/streaming.h"
+
+#include <memory>
+
+#include "algo/ball_cover.h"
+#include "algo/cluster_greedy.h"
+#include "algo/registry.h"
+#include "core/anonymity.h"
+#include "data/generators/clustered.h"
+#include "data/generators/uniform.h"
+#include "gtest/gtest.h"
+#include "util/random.h"
+
+namespace kanon {
+namespace {
+
+TEST(StreamingTest, NameComposition) {
+  StreamingAnonymizer algo(std::make_unique<BallCoverAnonymizer>());
+  EXPECT_EQ(algo.name(), "ball_cover@stream");
+}
+
+TEST(StreamingTest, SingleBatchMatchesBase) {
+  Rng rng(1);
+  const Table t = UniformTable(
+      {.num_rows = 30, .num_columns = 6, .alphabet = 3}, &rng);
+  StreamingOptions opt;
+  opt.batch_size = 100;  // one batch
+  StreamingAnonymizer streaming(std::make_unique<BallCoverAnonymizer>(),
+                                opt);
+  BallCoverAnonymizer base;
+  EXPECT_EQ(streaming.Run(t, 3).cost, base.Run(t, 3).cost);
+}
+
+TEST(StreamingTest, ValidAcrossBatchSizes) {
+  Rng rng(2);
+  const Table t = UniformTable(
+      {.num_rows = 53, .num_columns = 5, .alphabet = 4}, &rng);
+  for (const size_t batch : {7u, 10u, 16u, 53u}) {
+    StreamingOptions opt;
+    opt.batch_size = batch;
+    StreamingAnonymizer algo(std::make_unique<BallCoverAnonymizer>(),
+                             opt);
+    const auto result = ValidateResult(t, 3, algo.Run(t, 3));
+    EXPECT_EQ(result.partition.TotalMembers(), 53u) << batch;
+  }
+}
+
+TEST(StreamingTest, ShortTailFoldedIntoPreviousBatch) {
+  // 25 rows, batch 10, k=4: batches [0,10), [10,20), tail of 5 >= k
+  // stays. With k=7 the tail of 5 < 7 folds into [10,25).
+  Rng rng(3);
+  const Table t = UniformTable(
+      {.num_rows = 25, .num_columns = 4, .alphabet = 3}, &rng);
+  StreamingOptions opt;
+  opt.batch_size = 10;
+  StreamingAnonymizer algo(std::make_unique<BallCoverAnonymizer>(), opt);
+  const auto result = ValidateResult(t, 7, algo.Run(t, 7));
+  EXPECT_NE(result.notes.find("batches=2"), std::string::npos);
+}
+
+TEST(StreamingTest, GroupsNeverSpanBatches) {
+  Rng rng(4);
+  const Table t = UniformTable(
+      {.num_rows = 40, .num_columns = 5, .alphabet = 3}, &rng);
+  StreamingOptions opt;
+  opt.batch_size = 10;
+  StreamingAnonymizer algo(std::make_unique<BallCoverAnonymizer>(), opt);
+  const auto result = algo.Run(t, 2);
+  for (const Group& g : result.partition.groups) {
+    const RowId batch = *std::min_element(g.begin(), g.end()) / 10;
+    for (const RowId r : g) {
+      EXPECT_EQ(r / 10, batch);
+    }
+  }
+}
+
+TEST(StreamingTest, CostAtLeastWholeTableRun) {
+  // Batching restricts the partition space, so cost can only match or
+  // exceed the whole-table run of the same (deterministic) base.
+  Rng rng(5);
+  ClusteredTableOptions copt;
+  copt.num_rows = 48;
+  copt.num_columns = 6;
+  copt.num_clusters = 6;
+  copt.noise_flips = 0;
+  const Table t = ClusteredTable(copt, &rng);
+  ClusterGreedyAnonymizer whole;
+  const size_t whole_cost = whole.Run(t, 4).cost;
+  StreamingOptions opt;
+  opt.batch_size = 8;
+  StreamingAnonymizer streaming(
+      std::make_unique<ClusterGreedyAnonymizer>(), opt);
+  EXPECT_GE(streaming.Run(t, 4).cost, whole_cost);
+}
+
+TEST(StreamingTest, AnonymityGuaranteeHolds) {
+  Rng rng(6);
+  const Table t = UniformTable(
+      {.num_rows = 64, .num_columns = 5, .alphabet = 3}, &rng);
+  StreamingOptions opt;
+  opt.batch_size = 16;
+  StreamingAnonymizer algo(std::make_unique<BallCoverAnonymizer>(), opt);
+  const auto result = algo.Run(t, 4);
+  EXPECT_TRUE(IsKAnonymizer(result.MakeSuppressor(t), t, 4));
+}
+
+TEST(StreamingDeathTest, BatchSmallerThanKDies) {
+  Rng rng(7);
+  const Table t = UniformTable({.num_rows = 20, .num_columns = 4}, &rng);
+  StreamingOptions opt;
+  opt.batch_size = 2;
+  StreamingAnonymizer algo(std::make_unique<BallCoverAnonymizer>(), opt);
+  EXPECT_DEATH(algo.Run(t, 5), "batch_size must be at least k");
+}
+
+TEST(SelectRowsTest, OrderAndDuplicates) {
+  Rng rng(8);
+  const Table t = UniformTable({.num_rows = 10, .num_columns = 3}, &rng);
+  const Table s = t.SelectRows({4, 1, 4});
+  ASSERT_EQ(s.num_rows(), 3u);
+  EXPECT_EQ(s.DecodeRow(0), t.DecodeRow(4));
+  EXPECT_EQ(s.DecodeRow(1), t.DecodeRow(1));
+  EXPECT_EQ(s.DecodeRow(2), t.DecodeRow(4));
+}
+
+TEST(SelectRowsDeathTest, OutOfRangeDies) {
+  Rng rng(9);
+  const Table t = UniformTable({.num_rows = 5, .num_columns = 3}, &rng);
+  EXPECT_DEATH(t.SelectRows({7}), "Check failed");
+}
+
+}  // namespace
+}  // namespace kanon

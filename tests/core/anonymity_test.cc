@@ -1,0 +1,120 @@
+#include "core/anonymity.h"
+
+#include "data/generators/medical.h"
+#include "gtest/gtest.h"
+
+namespace kanon {
+namespace {
+
+Table Rows(const std::vector<std::vector<std::string>>& rows) {
+  Schema schema;
+  for (size_t c = 0; c < rows[0].size(); ++c) {
+    schema.AddAttribute("a" + std::to_string(c));
+  }
+  Table t(std::move(schema));
+  for (const auto& row : rows) t.AppendStringRow(row);
+  return t;
+}
+
+TEST(IsKAnonymousTest, DuplicatedRows) {
+  const Table t = Rows({{"a", "b"}, {"a", "b"}, {"a", "b"}});
+  EXPECT_TRUE(IsKAnonymous(t, 1));
+  EXPECT_TRUE(IsKAnonymous(t, 2));
+  EXPECT_TRUE(IsKAnonymous(t, 3));
+  EXPECT_FALSE(IsKAnonymous(t, 4));
+}
+
+TEST(IsKAnonymousTest, DistinctRowsOnlyOneAnonymous) {
+  const Table t = Rows({{"a"}, {"b"}});
+  EXPECT_TRUE(IsKAnonymous(t, 1));
+  EXPECT_FALSE(IsKAnonymous(t, 2));
+}
+
+TEST(IsKAnonymousTest, EmptyTableIsKAnonymous) {
+  Schema schema({"a"});
+  const Table t(std::move(schema));
+  EXPECT_TRUE(IsKAnonymous(t, 5));
+}
+
+TEST(IsKAnonymousTest, MultisetSemantics) {
+  // Two pairs: {a,b} twice and {c,d} twice -> 2-anonymous, not 3.
+  const Table t = Rows({{"a", "b"}, {"c", "d"}, {"a", "b"}, {"c", "d"}});
+  EXPECT_TRUE(IsKAnonymous(t, 2));
+  EXPECT_FALSE(IsKAnonymous(t, 3));
+}
+
+TEST(AnonymityLevelTest, MinimumMultiplicity) {
+  const Table t =
+      Rows({{"a"}, {"a"}, {"a"}, {"b"}, {"b"}});
+  EXPECT_EQ(AnonymityLevel(t), 2u);
+}
+
+TEST(AnonymityLevelTest, StarsMatchOnlyStars) {
+  // A starred cell matches only another starred cell, textual
+  // indistinguishability as in the paper's Section 1 example.
+  Table t = Rows({{"x", "y"}, {"x", "z"}});
+  EXPECT_EQ(AnonymityLevel(t), 1u);
+  t.set(0, 1, kSuppressedCode);
+  EXPECT_EQ(AnonymityLevel(t), 1u);  // ("x", *) vs ("x", z) still differ
+  t.set(1, 1, kSuppressedCode);
+  EXPECT_EQ(AnonymityLevel(t), 2u);  // both ("x", *)
+}
+
+TEST(IsKAnonymizerTest, PaperIntroExample) {
+  // The paper's Section 1 2-anonymization: suppress first name and age of
+  // the Stones; keep "john" and suppress last-name tail/race columns of
+  // the two Johns. In our pure-suppression model: rows 0,2 keep (last,
+  // race); rows 1,3 keep (first).
+  const Table t = PaperIntroTable();
+  Suppressor s(4, 4);
+  // Rows 0 and 2 (Stones): suppress first, age.
+  for (const RowId r : {0u, 2u}) {
+    s.Suppress(r, 0);
+    s.Suppress(r, 2);
+  }
+  // Rows 1 and 3 (Johns): suppress last, age, race.
+  for (const RowId r : {1u, 3u}) {
+    s.Suppress(r, 1);
+    s.Suppress(r, 2);
+    s.Suppress(r, 3);
+  }
+  EXPECT_TRUE(IsKAnonymizer(s, t, 2));
+  EXPECT_FALSE(IsKAnonymizer(s, t, 3));
+  EXPECT_EQ(s.Stars(), 10u);
+}
+
+TEST(InducedPartitionTest, GroupsMadeIdentical) {
+  const Table t = Rows({{"a", "p"}, {"a", "q"}, {"b", "p"}});
+  Suppressor s(3, 2);
+  s.Suppress(0, 1);
+  s.Suppress(1, 1);
+  const Partition p = InducedPartition(s, t);
+  // (a,*), (a,*), (b,p): two groups.
+  EXPECT_EQ(p.num_groups(), 2u);
+  EXPECT_EQ(p.TotalMembers(), 3u);
+}
+
+TEST(InducedPartitionTest, MergesGroupsWithIdenticalAnonymizedRows) {
+  // Two planned pairs whose anonymized forms coincide: the induced
+  // partition Π(t, V) merges them into one 4-row group, so the release
+  // is even more anonymous than the planner's partition suggests.
+  const Table t = Rows({{"a", "p"}, {"a", "q"}, {"a", "r"}, {"a", "s"}});
+  Suppressor s(4, 2);
+  for (RowId r = 0; r < 4; ++r) s.Suppress(r, 1);
+  // Planner's intent: pairs {0,1} and {2,3}; anonymized rows are all
+  // ("a", *), so the induced partition is a single group.
+  const Partition induced = InducedPartition(s, t);
+  EXPECT_EQ(induced.num_groups(), 1u);
+  EXPECT_EQ(induced.groups[0].size(), 4u);
+  EXPECT_TRUE(IsKAnonymizer(s, t, 4));
+}
+
+TEST(GroupIdenticalRowsTest, PartitionIsValid) {
+  const Table t = Rows({{"a"}, {"b"}, {"a"}, {"a"}});
+  const Partition p = GroupIdenticalRows(t);
+  EXPECT_TRUE(IsValidPartition(p, 4, 1, 4));
+  EXPECT_EQ(p.num_groups(), 2u);
+}
+
+}  // namespace
+}  // namespace kanon

@@ -1,0 +1,120 @@
+#include "core/cost.h"
+
+#include "core/anonymity.h"
+#include "data/generators/uniform.h"
+#include "gtest/gtest.h"
+#include "util/random.h"
+
+namespace kanon {
+namespace {
+
+Table Rows(const std::vector<std::vector<std::string>>& rows) {
+  Schema schema;
+  for (size_t c = 0; c < rows[0].size(); ++c) {
+    schema.AddAttribute("a" + std::to_string(c));
+  }
+  Table t(std::move(schema));
+  for (const auto& row : rows) t.AppendStringRow(row);
+  return t;
+}
+
+TEST(DisagreeingColumnsTest, Basic) {
+  const Table t = Rows({{"a", "b", "c"}, {"a", "x", "c"}, {"a", "b", "y"}});
+  const std::vector<bool> d =
+      DisagreeingColumns(t, std::vector<RowId>{0, 1, 2});
+  EXPECT_EQ(d, (std::vector<bool>{false, true, true}));
+  EXPECT_EQ(NumDisagreeingColumns(t, std::vector<RowId>{0, 1, 2}), 2u);
+}
+
+TEST(DisagreeingColumnsTest, SingletonHasNone) {
+  const Table t = Rows({{"a", "b"}});
+  EXPECT_EQ(NumDisagreeingColumns(t, std::vector<RowId>{0}), 0u);
+}
+
+TEST(AnonCostTest, PaperSectionFourExample) {
+  // V = {1010, 1110, 0110}; the 3-group suppression t(b1 b2 b3 b4) =
+  // (*, *, b3, b4) stars 2 columns in 3 rows: ANON = 6.
+  const Table t = Rows({{"1", "0", "1", "0"},
+                        {"1", "1", "1", "0"},
+                        {"0", "1", "1", "0"}});
+  EXPECT_EQ(AnonCost(t, std::vector<RowId>{0, 1, 2}), 6u);
+}
+
+TEST(AnonCostTest, IdenticalRowsCostZero) {
+  const Table t = Rows({{"a", "b"}, {"a", "b"}, {"a", "b"}});
+  EXPECT_EQ(AnonCost(t, std::vector<RowId>{0, 1, 2}), 0u);
+}
+
+TEST(PartitionCostTest, SumsGroups) {
+  const Table t = Rows({{"a", "b"}, {"a", "c"}, {"x", "y"}, {"x", "y"}});
+  Partition p;
+  p.groups = {{0, 1}, {2, 3}};
+  // Group {0,1}: 1 disagreeing col * 2 rows = 2; group {2,3}: 0.
+  EXPECT_EQ(PartitionCost(t, p), 2u);
+}
+
+TEST(DiameterSumTest, SumsGroupDiameters) {
+  const Table t = Rows({{"a", "b"}, {"a", "c"}, {"x", "y"}, {"p", "q"}});
+  Partition p;
+  p.groups = {{0, 1}, {2, 3}};
+  EXPECT_EQ(DiameterSum(t, p), 1u + 2u);
+}
+
+TEST(SuppressorForPartitionTest, MakesGroupsIdentical) {
+  Rng rng(1);
+  const Table t = UniformTable(
+      {.num_rows = 9, .num_columns = 5, .alphabet = 3}, &rng);
+  Partition p;
+  p.groups = {{0, 1, 2}, {3, 4, 5}, {6, 7, 8}};
+  const Suppressor s = SuppressorForPartition(t, p);
+  EXPECT_TRUE(IsKAnonymizer(s, t, 3));
+  EXPECT_EQ(s.Stars(), PartitionCost(t, p));
+}
+
+TEST(SuppressorForPartitionTest, StarCountMatchesAnonCost) {
+  const Table t = Rows({{"a", "b", "c"}, {"a", "x", "c"}, {"q", "b", "c"}});
+  Partition p;
+  p.groups = {{0, 1, 2}};
+  const Suppressor s = SuppressorForPartition(t, p);
+  // Columns 0 and 1 disagree; 2 columns * 3 rows = 6 stars.
+  EXPECT_EQ(s.Stars(), 6u);
+  EXPECT_EQ(AnonCost(t, p.groups[0]), 6u);
+}
+
+TEST(SuppressorForPartitionDeathTest, RejectsNonPartition) {
+  const Table t = Rows({{"a"}, {"b"}, {"c"}});
+  Partition overlap;
+  overlap.groups = {{0, 1}, {1, 2}};
+  EXPECT_DEATH(SuppressorForPartition(t, overlap), "Check failed");
+}
+
+// Property: cost of the induced anonymization equals PartitionCost and
+// the result is k-anonymous, for random partitions of random tables.
+class CostPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CostPropertyTest, SuppressorMatchesCost) {
+  Rng rng(GetParam());
+  const uint32_t n = 12;
+  const Table t = UniformTable(
+      {.num_rows = n, .num_columns = 6, .alphabet = 4}, &rng);
+  // Random partition into groups of size >= 2.
+  Group all(n);
+  for (RowId r = 0; r < n; ++r) all[r] = r;
+  rng.Shuffle(&all);
+  Partition p;
+  p.groups = {all};
+  p = SplitLargeGroups(p, 2 + rng.Uniform(3));
+  size_t min_group = n;
+  for (const Group& g : p.groups) min_group = std::min(min_group, g.size());
+  const Suppressor s = SuppressorForPartition(t, p);
+  EXPECT_EQ(s.Stars(), PartitionCost(t, p));
+  // Every group becomes identical, so the anonymity level is at least the
+  // smallest group size.
+  EXPECT_GE(AnonymityLevel(s.Apply(t)), min_group);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CostPropertyTest,
+                         ::testing::Range<uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace kanon

@@ -1,0 +1,61 @@
+#include "core/metrics.h"
+
+#include "gtest/gtest.h"
+
+namespace kanon {
+namespace {
+
+Table Rows(const std::vector<std::vector<std::string>>& rows) {
+  Schema schema;
+  for (size_t c = 0; c < rows[0].size(); ++c) {
+    schema.AddAttribute("a" + std::to_string(c));
+  }
+  Table t(std::move(schema));
+  for (const auto& row : rows) t.AppendStringRow(row);
+  return t;
+}
+
+TEST(ComputeMetricsTest, StarsAndFraction) {
+  const Table t = Rows({{"a", "b"}, {"a", "c"}, {"x", "y"}, {"x", "y"}});
+  Partition p;
+  p.groups = {{0, 1}, {2, 3}};
+  const AnonymizationMetrics m = ComputeMetrics(t, p, 2);
+  EXPECT_EQ(m.stars, 2u);
+  EXPECT_DOUBLE_EQ(m.star_fraction, 2.0 / 8.0);
+}
+
+TEST(ComputeMetricsTest, Discernibility) {
+  const Table t = Rows({{"a"}, {"a"}, {"a"}, {"b"}, {"b"}});
+  Partition p;
+  p.groups = {{0, 1, 2}, {3, 4}};
+  const AnonymizationMetrics m = ComputeMetrics(t, p, 2);
+  EXPECT_EQ(m.discernibility, 9u + 4u);
+}
+
+TEST(ComputeMetricsTest, GroupSizeRange) {
+  const Table t = Rows({{"a"}, {"a"}, {"a"}, {"b"}, {"b"}});
+  Partition p;
+  p.groups = {{0, 1, 2}, {3, 4}};
+  const AnonymizationMetrics m = ComputeMetrics(t, p, 2);
+  EXPECT_EQ(m.min_group, 2u);
+  EXPECT_EQ(m.max_group, 3u);
+}
+
+TEST(ComputeMetricsTest, AvgClassRatioIdealIsOne) {
+  const Table t = Rows({{"a"}, {"a"}, {"b"}, {"b"}});
+  Partition p;
+  p.groups = {{0, 1}, {2, 3}};
+  const AnonymizationMetrics m = ComputeMetrics(t, p, 2);
+  EXPECT_DOUBLE_EQ(m.avg_class_ratio, 1.0);  // (4/2)/2
+}
+
+TEST(ComputeMetricsTest, ToStringMentionsStars) {
+  const Table t = Rows({{"a"}, {"b"}});
+  Partition p;
+  p.groups = {{0, 1}};
+  const AnonymizationMetrics m = ComputeMetrics(t, p, 2);
+  EXPECT_NE(m.ToString().find("stars=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace kanon

@@ -1,0 +1,110 @@
+#include "core/partition.h"
+
+#include "gtest/gtest.h"
+
+namespace kanon {
+namespace {
+
+Table OneColumn(const std::vector<std::string>& values) {
+  Schema schema({"v"});
+  Table t(std::move(schema));
+  for (const auto& v : values) t.AppendStringRow({v});
+  return t;
+}
+
+TEST(PartitionTest, TotalMembersAndToString) {
+  Partition p;
+  p.groups = {{0, 3}, {1, 2, 4}};
+  EXPECT_EQ(p.num_groups(), 2u);
+  EXPECT_EQ(p.TotalMembers(), 5u);
+  EXPECT_EQ(p.ToString(), "{0,3} {1,2,4}");
+}
+
+TEST(IsValidCoverTest, AcceptsOverlaps) {
+  Partition p;
+  p.groups = {{0, 1}, {1, 2}};
+  EXPECT_TRUE(IsValidCover(p, 3, 2, 2));
+  EXPECT_FALSE(IsValidPartition(p, 3, 2, 2));  // row 1 covered twice
+}
+
+TEST(IsValidCoverTest, RejectsUncovered) {
+  Partition p;
+  p.groups = {{0, 1}};
+  EXPECT_FALSE(IsValidCover(p, 3, 2, 2));
+}
+
+TEST(IsValidCoverTest, RejectsSizeViolations) {
+  Partition p;
+  p.groups = {{0}, {1, 2}};
+  EXPECT_FALSE(IsValidCover(p, 3, 2, 3));  // {0} too small
+  EXPECT_TRUE(IsValidCover(p, 3, 1, 3));
+  Partition q;
+  q.groups = {{0, 1, 2}};
+  EXPECT_FALSE(IsValidCover(q, 3, 1, 2));  // too large
+}
+
+TEST(IsValidCoverTest, RejectsOutOfRangeRow) {
+  Partition p;
+  p.groups = {{0, 7}};
+  EXPECT_FALSE(IsValidCover(p, 3, 1, 5));
+}
+
+TEST(IsValidPartitionTest, Valid) {
+  Partition p;
+  p.groups = {{0, 2}, {1, 3}};
+  EXPECT_TRUE(IsValidPartition(p, 4, 2, 2));
+}
+
+TEST(IsValidPartitionTest, EmptyPartitionOfEmptyUniverse) {
+  Partition p;
+  EXPECT_TRUE(IsValidPartition(p, 0, 2, 5));
+  EXPECT_FALSE(IsValidPartition(p, 1, 1, 5));
+}
+
+TEST(SplitLargeGroupsTest, SmallGroupsUntouched) {
+  Partition p;
+  p.groups = {{0, 1, 2}, {3, 4}};
+  const Partition out = SplitLargeGroups(p, 2);
+  EXPECT_EQ(out.num_groups(), 2u);
+  EXPECT_EQ(out.groups[0], (Group{0, 1, 2}));
+}
+
+TEST(SplitLargeGroupsTest, SplitsToWlogRange) {
+  Partition p;
+  Group big;
+  for (RowId r = 0; r < 11; ++r) big.push_back(r);
+  p.groups = {big};
+  const size_t k = 2;
+  const Partition out = SplitLargeGroups(p, k);
+  EXPECT_TRUE(IsValidPartition(out, 11, k, 2 * k - 1));
+  // 11 = 2+2+2+2+3 -> 5 chunks.
+  EXPECT_EQ(out.num_groups(), 5u);
+}
+
+TEST(SplitLargeGroupsTest, ExactMultipleOfK) {
+  Partition p;
+  p.groups = {{0, 1, 2, 3, 4, 5}};
+  const Partition out = SplitLargeGroups(p, 3);
+  EXPECT_EQ(out.num_groups(), 2u);
+  EXPECT_TRUE(IsValidPartition(out, 6, 3, 5));
+}
+
+TEST(SplitLargeGroupsTest, ExactlyTwoKMinusOneKept) {
+  Partition p;
+  p.groups = {{0, 1, 2, 3, 4}};
+  const Partition out = SplitLargeGroups(p, 3);
+  EXPECT_EQ(out.num_groups(), 1u);  // 5 = 2*3-1 is already in range
+}
+
+TEST(GroupIdenticalRowsTest, Multiplicities) {
+  const Table t = OneColumn({"a", "b", "a", "c", "b", "a"});
+  const Partition p = GroupIdenticalRows(t);
+  EXPECT_EQ(p.num_groups(), 3u);
+  EXPECT_TRUE(IsValidPartition(p, 6, 1, 6));
+  size_t max_size = 0;
+  for (const Group& g : p.groups) max_size = std::max(max_size, g.size());
+  EXPECT_EQ(max_size, 3u);  // the "a" group
+}
+
+}  // namespace
+}  // namespace kanon

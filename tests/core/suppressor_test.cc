@@ -1,0 +1,102 @@
+#include "core/suppressor.h"
+
+#include "gtest/gtest.h"
+
+namespace kanon {
+namespace {
+
+Table TwoByThree() {
+  Schema schema({"a", "b", "c"});
+  Table t(std::move(schema));
+  t.AppendStringRow({"1", "2", "3"});
+  t.AppendStringRow({"4", "5", "6"});
+  return t;
+}
+
+TEST(SuppressorTest, IdentityHasNoStars) {
+  const Suppressor t(2, 3);
+  EXPECT_EQ(t.Stars(), 0u);
+  EXPECT_FALSE(t.IsSuppressed(0, 0));
+}
+
+TEST(SuppressorTest, SuppressIsIdempotent) {
+  Suppressor t(2, 3);
+  t.Suppress(1, 2);
+  t.Suppress(1, 2);
+  EXPECT_EQ(t.Stars(), 1u);
+  EXPECT_TRUE(t.IsSuppressed(1, 2));
+}
+
+TEST(SuppressorTest, SuppressColumn) {
+  Suppressor t(3, 2);
+  t.SuppressColumn(1);
+  EXPECT_EQ(t.Stars(), 3u);
+  for (RowId r = 0; r < 3; ++r) {
+    EXPECT_TRUE(t.IsSuppressed(r, 1));
+    EXPECT_FALSE(t.IsSuppressed(r, 0));
+  }
+}
+
+TEST(SuppressorTest, ApplyReplacesWithSuppressedCode) {
+  const Table table = TwoByThree();
+  Suppressor t(2, 3);
+  t.Suppress(0, 1);
+  const Table out = t.Apply(table);
+  EXPECT_EQ(out.at(0, 1), kSuppressedCode);
+  EXPECT_EQ(out.at(0, 0), table.at(0, 0));
+  EXPECT_EQ(out.at(1, 1), table.at(1, 1));
+  // Original untouched (Definition 2.1: t maps to a new anonymized set).
+  EXPECT_EQ(table.CountSuppressedCells(), 0u);
+  EXPECT_EQ(out.CountSuppressedCells(), 1u);
+}
+
+TEST(SuppressorTest, ApplyDecodesAsStar) {
+  const Table table = TwoByThree();
+  Suppressor t(2, 3);
+  t.Suppress(0, 0);
+  const Table out = t.Apply(table);
+  EXPECT_EQ(out.DecodeRow(0)[0], "*");
+}
+
+TEST(SuppressorTest, FromAnonymizedRoundTrip) {
+  const Table table = TwoByThree();
+  Suppressor t(2, 3);
+  t.Suppress(0, 2);
+  t.Suppress(1, 0);
+  const Suppressor back = Suppressor::FromAnonymized(t.Apply(table));
+  EXPECT_EQ(back.Stars(), 2u);
+  for (RowId r = 0; r < 2; ++r) {
+    for (ColId c = 0; c < 3; ++c) {
+      EXPECT_EQ(back.IsSuppressed(r, c), t.IsSuppressed(r, c));
+    }
+  }
+}
+
+TEST(SuppressorTest, IsAttributeSuppressorTrueCases) {
+  Suppressor none(3, 2);
+  EXPECT_TRUE(none.IsAttributeSuppressor());
+  Suppressor cols(3, 2);
+  cols.SuppressColumn(0);
+  EXPECT_TRUE(cols.IsAttributeSuppressor());
+}
+
+TEST(SuppressorTest, IsAttributeSuppressorFalseForCellLevel) {
+  Suppressor t(3, 2);
+  t.Suppress(1, 0);
+  EXPECT_FALSE(t.IsAttributeSuppressor());
+}
+
+TEST(SuppressorDeathTest, ShapeMismatchDies) {
+  const Table table = TwoByThree();
+  const Suppressor wrong(5, 3);
+  EXPECT_DEATH(wrong.Apply(table), "Check failed");
+}
+
+TEST(SuppressorDeathTest, OutOfRangeDies) {
+  Suppressor t(2, 3);
+  EXPECT_DEATH(t.Suppress(2, 0), "Check failed");
+  EXPECT_DEATH(t.Suppress(0, 3), "Check failed");
+}
+
+}  // namespace
+}  // namespace kanon

@@ -1,0 +1,121 @@
+#include "data/generators/adversarial.h"
+
+#include "algo/exact_dp.h"
+#include "algo/registry.h"
+#include "core/cost.h"
+#include "core/distance.h"
+#include "gtest/gtest.h"
+#include "util/random.h"
+
+namespace kanon {
+namespace {
+
+TEST(OneHotTableTest, Structure) {
+  const Table t = OneHotTable(6);
+  EXPECT_EQ(t.num_rows(), 6u);
+  EXPECT_EQ(t.num_columns(), 6u);
+  for (RowId a = 0; a < 6; ++a) {
+    for (RowId b = a + 1; b < 6; ++b) {
+      EXPECT_EQ(RowDistance(t, a, b), 2u);
+    }
+  }
+}
+
+TEST(OneHotTableTest, GroupCostEqualsSizeSquared) {
+  const Table t = OneHotTable(8);
+  const Group g = {0, 3, 5};
+  // 3 rows disagree on their 3 one-hot columns: cost 3*3.
+  EXPECT_EQ(AnonCost(t, g), 9u);
+  const Group pair = {1, 2};
+  EXPECT_EQ(AnonCost(t, pair), 4u);
+}
+
+TEST(OneHotTableTest, ExactOptimumIsNTimesK) {
+  // Any partition costs sum |S|^2 >= n*k with equality at all-|S|=k.
+  const Table t = OneHotTable(8);
+  ExactDpAnonymizer exact;
+  EXPECT_EQ(exact.Run(t, 2).cost, 16u);
+  EXPECT_EQ(exact.Run(t, 4).cost, 32u);
+}
+
+TEST(OneHotTableTest, AllAlgorithmsAchieveOptimumForK2) {
+  // With uniform pairwise distances every [k,k]-partition is optimal;
+  // all algorithms should land on n*k (groups may be up to 2k-1, which
+  // costs more — allow the documented slack).
+  const Table t = OneHotTable(8);
+  for (const std::string name :
+       {"ball_cover", "cluster_greedy", "greedy_cover"}) {
+    auto algo = MakeAnonymizer(name);
+    const auto result = ValidateResult(t, 2, algo->Run(t, 2));
+    // Worst valid grouping into [2,3] groups: 3 groups of sizes 3,3,2
+    // -> 9+9+4 = 22.
+    EXPECT_GE(result.cost, 16u) << name;
+    EXPECT_LE(result.cost, 22u) << name;
+  }
+}
+
+TEST(DecoyClusterTableTest, ShapeAndFlags) {
+  Rng rng(1);
+  DecoyClusterOptions opt;
+  std::vector<bool> is_decoy;
+  const Table t = DecoyClusterTable(opt, &rng, &is_decoy);
+  const uint32_t expected =
+      opt.num_clusters * (opt.cluster_size + opt.decoys_per_cluster);
+  EXPECT_EQ(t.num_rows(), expected);
+  ASSERT_EQ(is_decoy.size(), expected);
+  size_t decoys = 0;
+  for (const bool d : is_decoy) {
+    if (d) ++decoys;
+  }
+  EXPECT_EQ(decoys, opt.num_clusters * opt.decoys_per_cluster);
+}
+
+TEST(DecoyClusterTableTest, DecoysMatchProbeDivergeElsewhere) {
+  Rng rng(2);
+  DecoyClusterOptions opt;
+  opt.num_clusters = 1;
+  opt.cluster_size = 3;
+  opt.decoys_per_cluster = 2;
+  std::vector<bool> is_decoy;
+  const Table t = DecoyClusterTable(opt, &rng, &is_decoy);
+  // Row 0 is a genuine center copy; rows 3,4 are decoys.
+  for (RowId decoy = 3; decoy <= 4; ++decoy) {
+    for (ColId c = 0; c < opt.probe_columns; ++c) {
+      EXPECT_EQ(t.at(decoy, c), t.at(0, c));
+    }
+    for (ColId c = opt.probe_columns; c < opt.num_columns; ++c) {
+      EXPECT_NE(t.at(decoy, c), t.at(0, c));
+    }
+  }
+}
+
+TEST(DecoyClusterTableTest, GenuineClusterIsFree) {
+  Rng rng(3);
+  DecoyClusterOptions opt;
+  opt.num_clusters = 2;
+  opt.cluster_size = 4;
+  opt.decoys_per_cluster = 1;
+  std::vector<bool> is_decoy;
+  const Table t = DecoyClusterTable(opt, &rng, &is_decoy);
+  // Rows 0-3 are identical copies of center 0.
+  EXPECT_EQ(AnonCost(t, Group{0, 1, 2, 3}), 0u);
+}
+
+TEST(DecoyClusterTableTest, LocalSearchRecoversFromDecoys) {
+  Rng rng(4);
+  DecoyClusterOptions opt;
+  opt.num_clusters = 3;
+  opt.cluster_size = 4;
+  opt.decoys_per_cluster = 2;
+  std::vector<bool> is_decoy;
+  const Table t = DecoyClusterTable(opt, &rng, &is_decoy);
+  auto plain = MakeAnonymizer("ball_cover");
+  auto improved = MakeAnonymizer("ball_cover+local_search");
+  const size_t plain_cost = plain->Run(t, 4).cost;
+  const size_t improved_cost =
+      ValidateResult(t, 4, improved->Run(t, 4)).cost;
+  EXPECT_LE(improved_cost, plain_cost);
+}
+
+}  // namespace
+}  // namespace kanon

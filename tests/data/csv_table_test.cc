@@ -1,0 +1,95 @@
+#include "data/csv_table.h"
+
+#include <cstdio>
+
+#include "gtest/gtest.h"
+
+namespace kanon {
+namespace {
+
+TEST(TableFromCsvTest, Basic) {
+  std::string error;
+  const auto t = TableFromCsv("first,last\nharry,stone\njohn,reyser\n",
+                              &error);
+  ASSERT_TRUE(t.has_value()) << error;
+  EXPECT_EQ(t->num_rows(), 2u);
+  EXPECT_EQ(t->num_columns(), 2u);
+  EXPECT_EQ(t->schema().attribute_name(0), "first");
+  EXPECT_EQ(t->DecodeRow(1), (std::vector<std::string>{"john", "reyser"}));
+}
+
+TEST(TableFromCsvTest, StarDecodesAsSuppressed) {
+  std::string error;
+  const auto t = TableFromCsv("a,b\n*,x\n", &error);
+  ASSERT_TRUE(t.has_value()) << error;
+  EXPECT_EQ(t->at(0, 0), kSuppressedCode);
+  EXPECT_EQ(t->DecodeRow(0), (std::vector<std::string>{"*", "x"}));
+}
+
+TEST(TableFromCsvTest, HeaderOnlyIsEmptyTable) {
+  std::string error;
+  const auto t = TableFromCsv("a,b\n", &error);
+  ASSERT_TRUE(t.has_value()) << error;
+  EXPECT_EQ(t->num_rows(), 0u);
+  EXPECT_EQ(t->num_columns(), 2u);
+}
+
+TEST(TableFromCsvTest, EmptyInputFails) {
+  std::string error;
+  EXPECT_FALSE(TableFromCsv("", &error).has_value());
+  EXPECT_NE(error.find("header"), std::string::npos);
+}
+
+TEST(TableFromCsvTest, RaggedRowFails) {
+  std::string error;
+  EXPECT_FALSE(TableFromCsv("a,b\n1\n", &error).has_value());
+  EXPECT_NE(error.find("fields"), std::string::npos);
+}
+
+TEST(TableFromCsvTest, MalformedCsvFails) {
+  std::string error;
+  EXPECT_FALSE(TableFromCsv("a,b\n\"unterminated\n", &error).has_value());
+}
+
+TEST(TableToCsvTest, RoundTrip) {
+  std::string error;
+  const std::string csv = "first,last\nharry,stone\n*,*\n";
+  const auto t = TableFromCsv(csv, &error);
+  ASSERT_TRUE(t.has_value()) << error;
+  EXPECT_EQ(TableToCsv(*t), csv);
+}
+
+TEST(TableToCsvTest, QuotesSpecialValues) {
+  Schema schema({"note"});
+  Table t(std::move(schema));
+  t.AppendStringRow({"a,b"});
+  const std::string csv = TableToCsv(t);
+  EXPECT_EQ(csv, "note\n\"a,b\"\n");
+  std::string error;
+  const auto back = TableFromCsv(csv, &error);
+  ASSERT_TRUE(back.has_value()) << error;
+  EXPECT_EQ(back->DecodeRow(0)[0], "a,b");
+}
+
+TEST(CsvFileTest, SaveAndLoad) {
+  Schema schema({"x", "y"});
+  Table t(std::move(schema));
+  t.AppendStringRow({"1", "2"});
+  const std::string path = testing::TempDir() + "/kanon_table_test.csv";
+  ASSERT_TRUE(SaveTableCsv(t, path));
+  std::string error;
+  const auto loaded = LoadTableCsv(path, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(loaded->num_rows(), 1u);
+  EXPECT_EQ(loaded->DecodeRow(0), (std::vector<std::string>{"1", "2"}));
+  std::remove(path.c_str());
+}
+
+TEST(CsvFileTest, LoadMissingFails) {
+  std::string error;
+  EXPECT_FALSE(LoadTableCsv("/no/such/file.csv", &error).has_value());
+  EXPECT_NE(error.find("cannot open"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace kanon

@@ -1,0 +1,71 @@
+#include "data/dictionary.h"
+
+#include "gtest/gtest.h"
+
+namespace kanon {
+namespace {
+
+TEST(DictionaryTest, InternAssignsDenseCodes) {
+  Dictionary d;
+  EXPECT_EQ(d.Intern("a"), 0u);
+  EXPECT_EQ(d.Intern("b"), 1u);
+  EXPECT_EQ(d.Intern("c"), 2u);
+  EXPECT_EQ(d.size(), 3u);
+}
+
+TEST(DictionaryTest, InternIsIdempotent) {
+  Dictionary d;
+  const ValueCode a = d.Intern("x");
+  EXPECT_EQ(d.Intern("x"), a);
+  EXPECT_EQ(d.size(), 1u);
+}
+
+TEST(DictionaryTest, LookupMissingIsSuppressed) {
+  Dictionary d;
+  d.Intern("x");
+  EXPECT_EQ(d.Lookup("y"), kSuppressedCode);
+  EXPECT_EQ(d.Lookup("x"), 0u);
+}
+
+TEST(DictionaryTest, Contains) {
+  Dictionary d;
+  d.Intern("x");
+  EXPECT_TRUE(d.Contains("x"));
+  EXPECT_FALSE(d.Contains("y"));
+}
+
+TEST(DictionaryTest, DecodeRoundTrip) {
+  Dictionary d;
+  const ValueCode a = d.Intern("alpha");
+  const ValueCode b = d.Intern("beta");
+  EXPECT_EQ(d.Decode(a), "alpha");
+  EXPECT_EQ(d.Decode(b), "beta");
+}
+
+TEST(DictionaryTest, DecodeSuppressedIsStar) {
+  Dictionary d;
+  EXPECT_EQ(d.Decode(kSuppressedCode), "*");
+}
+
+TEST(DictionaryTest, ValuesInCodeOrder) {
+  Dictionary d;
+  d.Intern("z");
+  d.Intern("a");
+  EXPECT_EQ(d.values(), (std::vector<std::string>{"z", "a"}));
+}
+
+TEST(DictionaryTest, EmptyStringIsAValue) {
+  Dictionary d;
+  const ValueCode c = d.Intern("");
+  EXPECT_EQ(d.Decode(c), "");
+  EXPECT_TRUE(d.Contains(""));
+}
+
+TEST(SchemaDeathTest, DecodeOutOfRangeDies) {
+  Dictionary d;
+  d.Intern("x");
+  EXPECT_DEATH(d.Decode(5), "Check failed");
+}
+
+}  // namespace
+}  // namespace kanon

@@ -1,0 +1,181 @@
+#include "data/generators/census.h"
+#include "data/generators/clustered.h"
+#include "data/generators/medical.h"
+#include "data/generators/uniform.h"
+
+#include "core/distance.h"
+#include "gtest/gtest.h"
+#include "util/random.h"
+
+namespace kanon {
+namespace {
+
+TEST(UniformTableTest, ShapeAndAlphabet) {
+  Rng rng(1);
+  UniformTableOptions opt;
+  opt.num_rows = 20;
+  opt.num_columns = 5;
+  opt.alphabet = 3;
+  const Table t = UniformTable(opt, &rng);
+  EXPECT_EQ(t.num_rows(), 20u);
+  EXPECT_EQ(t.num_columns(), 5u);
+  for (RowId r = 0; r < t.num_rows(); ++r) {
+    for (ColId c = 0; c < t.num_columns(); ++c) {
+      EXPECT_LT(t.at(r, c), 3u);
+    }
+  }
+  for (ColId c = 0; c < t.num_columns(); ++c) {
+    EXPECT_EQ(t.schema().dictionary(c).size(), 3u);
+  }
+}
+
+TEST(UniformTableTest, DeterministicForSeed) {
+  Rng rng1(7), rng2(7);
+  UniformTableOptions opt;
+  const Table a = UniformTable(opt, &rng1);
+  const Table b = UniformTable(opt, &rng2);
+  ASSERT_EQ(a.num_rows(), b.num_rows());
+  for (RowId r = 0; r < a.num_rows(); ++r) {
+    EXPECT_EQ(std::vector<ValueCode>(a.row(r).begin(), a.row(r).end()),
+              std::vector<ValueCode>(b.row(r).begin(), b.row(r).end()));
+  }
+}
+
+TEST(UniformTableTest, ZipfSkewsFirstCode) {
+  Rng rng(3);
+  UniformTableOptions opt;
+  opt.num_rows = 300;
+  opt.num_columns = 2;
+  opt.alphabet = 10;
+  opt.zipf_s = 1.5;
+  const Table t = UniformTable(opt, &rng);
+  size_t zero = 0, last = 0;
+  for (RowId r = 0; r < t.num_rows(); ++r) {
+    if (t.at(r, 0) == 0) ++zero;
+    if (t.at(r, 0) == 9) ++last;
+  }
+  EXPECT_GT(zero, 3 * (last + 1));
+}
+
+TEST(ClusteredTableTest, NoNoiseMakesClusterRowsIdentical) {
+  Rng rng(5);
+  ClusteredTableOptions opt;
+  opt.num_rows = 12;
+  opt.num_clusters = 3;
+  opt.noise_flips = 0;
+  std::vector<uint32_t> center_of_row;
+  const Table t = ClusteredTable(opt, &rng, &center_of_row);
+  ASSERT_EQ(center_of_row.size(), 12u);
+  for (RowId a = 0; a < t.num_rows(); ++a) {
+    for (RowId b = 0; b < t.num_rows(); ++b) {
+      if (center_of_row[a] == center_of_row[b]) {
+        EXPECT_TRUE(t.RowsEqual(a, b));
+      }
+    }
+  }
+}
+
+TEST(ClusteredTableTest, NoiseBoundsDistanceToCenterMate) {
+  Rng rng(9);
+  ClusteredTableOptions opt;
+  opt.num_rows = 20;
+  opt.num_columns = 8;
+  opt.num_clusters = 4;
+  opt.noise_flips = 2;
+  std::vector<uint32_t> center_of_row;
+  const Table t = ClusteredTable(opt, &rng, &center_of_row);
+  // Two rows of the same cluster differ in at most 2 * noise_flips coords.
+  for (RowId a = 0; a < t.num_rows(); ++a) {
+    for (RowId b = a + 1; b < t.num_rows(); ++b) {
+      if (center_of_row[a] == center_of_row[b]) {
+        EXPECT_LE(RowDistance(t, a, b), 4u);
+      }
+    }
+  }
+}
+
+TEST(ClusteredTableTest, RoundRobinClusterSizes) {
+  Rng rng(11);
+  ClusteredTableOptions opt;
+  opt.num_rows = 10;
+  opt.num_clusters = 3;
+  std::vector<uint32_t> center_of_row;
+  ClusteredTable(opt, &rng, &center_of_row);
+  std::vector<int> sizes(3, 0);
+  for (const uint32_t c : center_of_row) ++sizes[c];
+  // 10 rows over 3 clusters round-robin: sizes 4,3,3.
+  EXPECT_EQ(sizes[0], 4);
+  EXPECT_EQ(sizes[1], 3);
+  EXPECT_EQ(sizes[2], 3);
+}
+
+TEST(CensusTableTest, SchemaShape) {
+  Rng rng(13);
+  CensusTableOptions opt;
+  opt.num_rows = 50;
+  const Table t = CensusTable(opt, &rng);
+  EXPECT_EQ(t.num_rows(), 50u);
+  EXPECT_EQ(t.num_columns(), 8u);
+  EXPECT_EQ(t.schema().attribute_name(0), "age_band");
+  EXPECT_EQ(t.schema().FindAttribute("sex"), 6u);
+  EXPECT_EQ(t.schema().dictionary(6).size(), 2u);  // male/female
+}
+
+TEST(CensusTableTest, SkewedCountryMarginal) {
+  Rng rng(17);
+  CensusTableOptions opt;
+  opt.num_rows = 500;
+  const Table t = CensusTable(opt, &rng);
+  const ColId country = t.schema().FindAttribute("country");
+  const ValueCode us = t.schema().dictionary(country).Lookup("us");
+  size_t us_count = 0;
+  for (RowId r = 0; r < t.num_rows(); ++r) {
+    if (t.at(r, country) == us) ++us_count;
+  }
+  EXPECT_GT(us_count, 300u);  // ~83% expected
+}
+
+TEST(CensusTableTest, CorrelationLinksEducationToOccupation) {
+  Rng rng(19);
+  CensusTableOptions opt;
+  opt.num_rows = 600;
+  opt.correlation = 1.0;
+  const Table t = CensusTable(opt, &rng);
+  const ColId edu = t.schema().FindAttribute("education");
+  const ColId occ = t.schema().FindAttribute("occupation");
+  const auto& occ_dict = t.schema().dictionary(occ);
+  const ValueCode exec = occ_dict.Lookup("exec");
+  const ValueCode prof = occ_dict.Lookup("prof");
+  const ValueCode tech = occ_dict.Lookup("tech");
+  for (RowId r = 0; r < t.num_rows(); ++r) {
+    if (t.at(r, edu) >= 4) {  // bachelors+
+      const ValueCode o = t.at(r, occ);
+      EXPECT_TRUE(o == exec || o == prof || o == tech);
+    }
+  }
+}
+
+TEST(MedicalTableTest, ShapeAndPools) {
+  Rng rng(23);
+  MedicalTableOptions opt;
+  opt.num_rows = 30;
+  opt.name_pool = 4;
+  const Table t = MedicalTable(opt, &rng);
+  EXPECT_EQ(t.num_rows(), 30u);
+  EXPECT_EQ(t.num_columns(), 5u);
+  EXPECT_LE(t.schema().dictionary(0).size(), 4u);
+  EXPECT_LE(t.schema().dictionary(1).size(), 4u);
+}
+
+TEST(PaperIntroTableTest, MatchesSectionOneExample) {
+  const Table t = PaperIntroTable();
+  ASSERT_EQ(t.num_rows(), 4u);
+  ASSERT_EQ(t.num_columns(), 4u);
+  EXPECT_EQ(t.DecodeRow(0),
+            (std::vector<std::string>{"harry", "stone", "34", "afr-am"}));
+  EXPECT_EQ(t.DecodeRow(3),
+            (std::vector<std::string>{"john", "ramos", "22", "hisp"}));
+}
+
+}  // namespace
+}  // namespace kanon

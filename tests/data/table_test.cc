@@ -1,0 +1,154 @@
+#include "data/table.h"
+
+#include "gtest/gtest.h"
+
+namespace kanon {
+namespace {
+
+Table SmallTable() {
+  Schema schema({"x", "y", "z"});
+  Table t(std::move(schema));
+  t.AppendStringRow({"a", "b", "c"});
+  t.AppendStringRow({"a", "q", "c"});
+  t.AppendStringRow({"a", "b", "c"});
+  return t;
+}
+
+TEST(SchemaTest, AttributeNamesAndLookup) {
+  Schema s({"age", "race"});
+  EXPECT_EQ(s.num_attributes(), 2u);
+  EXPECT_EQ(s.attribute_name(0), "age");
+  EXPECT_EQ(s.FindAttribute("race"), 1u);
+  EXPECT_EQ(s.FindAttribute("missing"), 2u);  // == num_attributes()
+}
+
+TEST(SchemaTest, AddAttribute) {
+  Schema s;
+  EXPECT_EQ(s.AddAttribute("a"), 0u);
+  EXPECT_EQ(s.AddAttribute("b"), 1u);
+  EXPECT_EQ(s.num_attributes(), 2u);
+}
+
+TEST(SchemaTest, PerColumnDictionariesAreIndependent) {
+  Schema s({"x", "y"});
+  const ValueCode cx = s.Intern(0, "v");
+  const ValueCode cy = s.Intern(1, "other");
+  EXPECT_EQ(cx, 0u);
+  EXPECT_EQ(cy, 0u);  // independent dictionaries both start at 0
+  EXPECT_EQ(s.Decode(0, 0), "v");
+  EXPECT_EQ(s.Decode(1, 0), "other");
+}
+
+TEST(TableTest, AppendAndAccess) {
+  const Table t = SmallTable();
+  EXPECT_EQ(t.num_rows(), 3u);
+  EXPECT_EQ(t.num_columns(), 3u);
+  EXPECT_EQ(t.schema().Decode(1, t.at(1, 1)), "q");
+}
+
+TEST(TableTest, RowsEqual) {
+  const Table t = SmallTable();
+  EXPECT_TRUE(t.RowsEqual(0, 2));
+  EXPECT_FALSE(t.RowsEqual(0, 1));
+}
+
+TEST(TableTest, RowSpanMatchesAt) {
+  const Table t = SmallTable();
+  const auto row = t.row(1);
+  ASSERT_EQ(row.size(), 3u);
+  for (ColId c = 0; c < 3; ++c) {
+    EXPECT_EQ(row[c], t.at(1, c));
+  }
+}
+
+TEST(TableTest, SetCell) {
+  Table t = SmallTable();
+  t.set(0, 0, kSuppressedCode);
+  EXPECT_EQ(t.at(0, 0), kSuppressedCode);
+  EXPECT_EQ(t.CountSuppressedCells(), 1u);
+}
+
+TEST(TableTest, DecodeRowWithStar) {
+  Table t = SmallTable();
+  t.set(0, 1, kSuppressedCode);
+  EXPECT_EQ(t.DecodeRow(0), (std::vector<std::string>{"a", "*", "c"}));
+}
+
+TEST(TableTest, CountSuppressedInitiallyZero) {
+  EXPECT_EQ(SmallTable().CountSuppressedCells(), 0u);
+}
+
+TEST(TableTest, ToStringContainsHeaderAndValues) {
+  const Table t = SmallTable();
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("x"), std::string::npos);
+  EXPECT_NE(s.find("q"), std::string::npos);
+}
+
+TEST(TableTest, ToStringTruncates) {
+  Table t = SmallTable();
+  const std::string s = t.ToString(1);
+  EXPECT_NE(s.find("more rows"), std::string::npos);
+}
+
+TEST(TableTest, CopySemanticsIndependent) {
+  Table a = SmallTable();
+  Table b = a;
+  b.set(0, 0, kSuppressedCode);
+  EXPECT_EQ(a.CountSuppressedCells(), 0u);
+  EXPECT_EQ(b.CountSuppressedCells(), 1u);
+}
+
+TEST(TableProjectTest, SelectsAndReordersColumns) {
+  const Table t = SmallTable();
+  const Table p = t.Project({2, 0});
+  EXPECT_EQ(p.num_columns(), 2u);
+  EXPECT_EQ(p.num_rows(), t.num_rows());
+  EXPECT_EQ(p.schema().attribute_name(0), "z");
+  EXPECT_EQ(p.schema().attribute_name(1), "x");
+  for (RowId r = 0; r < t.num_rows(); ++r) {
+    EXPECT_EQ(p.DecodeRow(r)[0], t.DecodeRow(r)[2]);
+    EXPECT_EQ(p.DecodeRow(r)[1], t.DecodeRow(r)[0]);
+  }
+}
+
+TEST(TableProjectTest, DuplicateColumnsAllowed) {
+  const Table t = SmallTable();
+  const Table p = t.Project({1, 1});
+  EXPECT_EQ(p.num_columns(), 2u);
+  EXPECT_EQ(p.DecodeRow(1), (std::vector<std::string>{"q", "q"}));
+}
+
+TEST(TableProjectTest, EmptyProjection) {
+  const Table t = SmallTable();
+  const Table p = t.Project({});
+  EXPECT_EQ(p.num_columns(), 0u);
+  EXPECT_EQ(p.num_rows(), 3u);
+}
+
+TEST(TableProjectTest, PreservesSuppressedCells) {
+  Table t = SmallTable();
+  t.set(0, 1, kSuppressedCode);
+  const Table p = t.Project({1});
+  EXPECT_EQ(p.at(0, 0), kSuppressedCode);
+  EXPECT_EQ(p.DecodeRow(0)[0], "*");
+}
+
+TEST(TableProjectDeathTest, OutOfRangeColumnDies) {
+  const Table t = SmallTable();
+  EXPECT_DEATH(t.Project({7}), "Check failed");
+}
+
+TEST(TableDeathTest, WrongArityDies) {
+  Table t = SmallTable();
+  EXPECT_DEATH(t.AppendStringRow({"only", "two"}), "Check failed");
+}
+
+TEST(TableDeathTest, OutOfRangeAccessDies) {
+  const Table t = SmallTable();
+  EXPECT_DEATH(t.at(99, 0), "Check failed");
+  EXPECT_DEATH(t.at(0, 99), "Check failed");
+}
+
+}  // namespace
+}  // namespace kanon

@@ -1,0 +1,112 @@
+#include "generalize/hierarchy.h"
+
+#include "gtest/gtest.h"
+
+namespace kanon {
+namespace {
+
+Dictionary MakeDict(const std::vector<std::string>& values) {
+  Dictionary d;
+  for (const auto& v : values) d.Intern(v);
+  return d;
+}
+
+TEST(FlatHierarchyTest, TwoLevels) {
+  const Dictionary d = MakeDict({"red", "green", "blue"});
+  const Hierarchy h = Hierarchy::Flat(d);
+  EXPECT_EQ(h.num_levels(), 2u);
+  EXPECT_EQ(h.Label(0, 0), "red");
+  EXPECT_EQ(h.Label(2, 0), "blue");
+  for (ValueCode c = 0; c < 3; ++c) {
+    EXPECT_EQ(h.Label(c, 1), "*");
+  }
+}
+
+TEST(IntervalHierarchyTest, BucketsAlignToWidth) {
+  const Dictionary d = MakeDict({"34", "36", "47", "22"});
+  const Hierarchy h = Hierarchy::Intervals(d, {10, 20});
+  EXPECT_EQ(h.num_levels(), 4u);  // value, 10, 20, *
+  EXPECT_EQ(h.Label(d.Lookup("34"), 1), "[30-39]");
+  EXPECT_EQ(h.Label(d.Lookup("36"), 1), "[30-39]");
+  EXPECT_EQ(h.Label(d.Lookup("47"), 1), "[40-49]");
+  EXPECT_EQ(h.Label(d.Lookup("22"), 1), "[20-29]");
+  EXPECT_EQ(h.Label(d.Lookup("34"), 2), "[20-39]");
+  EXPECT_EQ(h.Label(d.Lookup("22"), 2), "[20-39]");
+  EXPECT_EQ(h.Label(d.Lookup("47"), 2), "[40-59]");
+  EXPECT_EQ(h.Label(d.Lookup("34"), 3), "*");
+}
+
+TEST(IntervalHierarchyTest, NegativeValuesBucketCorrectly) {
+  const Dictionary d = MakeDict({"-5", "3"});
+  const Hierarchy h = Hierarchy::Intervals(d, {10});
+  EXPECT_EQ(h.Label(d.Lookup("-5"), 1), "[-10--1]");
+  EXPECT_EQ(h.Label(d.Lookup("3"), 1), "[0-9]");
+}
+
+TEST(IntervalHierarchyDeathTest, NonNumericDies) {
+  const Dictionary d = MakeDict({"12", "abc"});
+  EXPECT_DEATH(Hierarchy::Intervals(d, {10}), "non-numeric");
+}
+
+TEST(IntervalHierarchyDeathTest, NonIncreasingWidthsDie) {
+  const Dictionary d = MakeDict({"1"});
+  EXPECT_DEATH(Hierarchy::Intervals(d, {20, 10}), "Check failed");
+}
+
+TEST(PrefixHierarchyTest, PaperIntroLastNames) {
+  // The paper's Section 1 example generalizes "reyser"/"ramos" to "r*".
+  const Dictionary d = MakeDict({"stone", "reyser", "ramos"});
+  const Hierarchy h = Hierarchy::Prefix(d, {1});
+  EXPECT_EQ(h.num_levels(), 3u);
+  EXPECT_EQ(h.Label(d.Lookup("reyser"), 1), "r*");
+  EXPECT_EQ(h.Label(d.Lookup("ramos"), 1), "r*");
+  EXPECT_EQ(h.Label(d.Lookup("stone"), 1), "s*");
+  EXPECT_EQ(h.Label(d.Lookup("stone"), 2), "*");
+}
+
+TEST(PrefixHierarchyTest, MultiplePrefixLevels) {
+  const Dictionary d = MakeDict({"alpha", "alpine"});
+  const Hierarchy h = Hierarchy::Prefix(d, {3, 2});
+  EXPECT_EQ(h.Label(0, 1), "alp*");
+  EXPECT_EQ(h.Label(1, 1), "alp*");
+  EXPECT_EQ(h.Label(0, 2), "al*");
+}
+
+TEST(TaxonomyHierarchyTest, TwoLayerTaxonomy) {
+  const Dictionary d = MakeDict({"paris", "lyon", "berlin"});
+  const Hierarchy h = Hierarchy::Taxonomy(
+      d, {{{"paris", "france"}, {"lyon", "france"}, {"berlin", "germany"}},
+          {{"france", "europe"}, {"germany", "europe"}}});
+  EXPECT_EQ(h.num_levels(), 4u);
+  EXPECT_EQ(h.Label(d.Lookup("paris"), 1), "france");
+  EXPECT_EQ(h.Label(d.Lookup("lyon"), 1), "france");
+  EXPECT_EQ(h.Label(d.Lookup("berlin"), 1), "germany");
+  EXPECT_EQ(h.Label(d.Lookup("paris"), 2), "europe");
+  EXPECT_EQ(h.Label(d.Lookup("berlin"), 3), "*");
+}
+
+TEST(TaxonomyHierarchyDeathTest, MissingParentDies) {
+  const Dictionary d = MakeDict({"x", "y"});
+  EXPECT_DEATH(Hierarchy::Taxonomy(d, {{{"x", "letter"}}}),
+               "missing parent");
+}
+
+TEST(VectorHeightTest, SumsLevels) {
+  EXPECT_EQ(VectorHeight({0, 2, 1}), 3u);
+  EXPECT_EQ(VectorHeight({}), 0u);
+}
+
+TEST(PrecisionTest, EndpointsAndMiddle) {
+  const Dictionary d = MakeDict({"10", "20", "35"});
+  const std::vector<Hierarchy> hs = {Hierarchy::Intervals(d, {10, 20}),
+                                     Hierarchy::Flat(d)};
+  // Untouched.
+  EXPECT_DOUBLE_EQ(Precision({0, 0}, hs), 1.0);
+  // Everything at top: hierarchy 0 max level 3, hierarchy 1 max 1.
+  EXPECT_DOUBLE_EQ(Precision({3, 1}, hs), 0.0);
+  // Halfway on attribute 0 only: loss = (1/3)/2.
+  EXPECT_NEAR(Precision({1, 0}, hs), 1.0 - (1.0 / 3.0) / 2.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace kanon

@@ -1,0 +1,122 @@
+#include "generalize/minimal_vectors.h"
+
+#include "data/generators/medical.h"
+#include "data/generators/uniform.h"
+#include "generalize/samarati.h"
+#include "gtest/gtest.h"
+#include "util/random.h"
+
+namespace kanon {
+namespace {
+
+TEST(DominatedByTest, ComponentwiseOrder) {
+  EXPECT_TRUE(DominatedBy({0, 1}, {0, 1}));
+  EXPECT_TRUE(DominatedBy({0, 1}, {1, 1}));
+  EXPECT_FALSE(DominatedBy({2, 0}, {1, 1}));
+  EXPECT_FALSE(DominatedBy({0, 2}, {1, 1}));
+}
+
+/// Brute-force reference: minimal feasible vectors by definition.
+std::vector<GeneralizationVector> BruteForceMinimal(
+    const Table& t, const std::vector<Hierarchy>& hs, size_t k,
+    size_t budget) {
+  // Enumerate the full lattice.
+  std::vector<GeneralizationVector> feasible;
+  GeneralizationVector v(t.num_columns(), 0);
+  for (;;) {
+    if (CheckGeneralization(t, hs, v, k, budget).feasible) {
+      feasible.push_back(v);
+    }
+    ColId c = 0;
+    while (c < t.num_columns()) {
+      if (v[c] < hs[c].max_level()) {
+        ++v[c];
+        break;
+      }
+      v[c] = 0;
+      ++c;
+    }
+    if (c == t.num_columns()) break;
+  }
+  std::vector<GeneralizationVector> minimal;
+  for (const auto& a : feasible) {
+    bool is_minimal = true;
+    for (const auto& b : feasible) {
+      if (a != b && DominatedBy(b, a)) {
+        is_minimal = false;
+        break;
+      }
+    }
+    if (is_minimal) minimal.push_back(a);
+  }
+  return minimal;
+}
+
+class MinimalVectorsPropertyTest
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MinimalVectorsPropertyTest, MatchesBruteForce) {
+  Rng rng(GetParam());
+  const Table t = MedicalTable({.num_rows = 18, .name_pool = 4}, &rng);
+  const std::vector<Hierarchy> hs = {
+      Hierarchy::Flat(t.schema().dictionary(0)),
+      Hierarchy::Prefix(t.schema().dictionary(1), {1}),
+      Hierarchy::Flat(t.schema().dictionary(2)),
+      Hierarchy::Flat(t.schema().dictionary(3)),
+      Hierarchy::Flat(t.schema().dictionary(4))};
+  for (const size_t k : {2u, 4u}) {
+    const MinimalVectorsResult result =
+        MinimalFeasibleVectors(t, hs, k, /*max_suppressed=*/1);
+    std::vector<GeneralizationVector> expected =
+        BruteForceMinimal(t, hs, k, 1);
+    std::vector<GeneralizationVector> actual = result.minimal;
+    std::sort(expected.begin(), expected.end());
+    std::sort(actual.begin(), actual.end());
+    EXPECT_EQ(actual, expected) << "k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MinimalVectorsPropertyTest,
+                         ::testing::Range<uint64_t>(1, 7));
+
+TEST(MinimalVectorsTest, PruningSkipsDominatedVectors) {
+  Rng rng(9);
+  const Table t = MedicalTable({.num_rows = 20, .name_pool = 4}, &rng);
+  const std::vector<Hierarchy> hs = DefaultHierarchies(t);
+  const MinimalVectorsResult result =
+      MinimalFeasibleVectors(t, hs, 2, 0);
+  EXPECT_GT(result.lattice_size, result.vectors_checked);
+  EXPECT_FALSE(result.minimal.empty());
+}
+
+TEST(MinimalVectorsTest, SamaratiHeightAppearsInAntichain) {
+  Rng rng(11);
+  const Table t = MedicalTable({.num_rows = 20, .name_pool = 4}, &rng);
+  const std::vector<Hierarchy> hs = DefaultHierarchies(t);
+  const LatticeResult samarati = SamaratiAnonymize(t, hs, 3, {});
+  const MinimalVectorsResult antichain =
+      MinimalFeasibleVectors(t, hs, 3, 0);
+  // Samarati's minimum feasible height equals the smallest height in
+  // the antichain (its vector is minimal-height feasible, and every
+  // minimal vector is feasible).
+  size_t min_height = static_cast<size_t>(-1);
+  for (const auto& v : antichain.minimal) {
+    min_height = std::min(min_height, VectorHeight(v));
+  }
+  EXPECT_EQ(samarati.height, min_height);
+}
+
+TEST(MinimalVectorsTest, AlreadyAnonymousHasBottomOnly) {
+  Schema schema({"a"});
+  Table t(std::move(schema));
+  for (int i = 0; i < 4; ++i) t.AppendStringRow({"same"});
+  const std::vector<Hierarchy> hs = {
+      Hierarchy::Flat(t.schema().dictionary(0))};
+  const MinimalVectorsResult result =
+      MinimalFeasibleVectors(t, hs, 4, 0);
+  ASSERT_EQ(result.minimal.size(), 1u);
+  EXPECT_EQ(result.minimal[0], GeneralizationVector{0});
+}
+
+}  // namespace
+}  // namespace kanon

@@ -1,0 +1,98 @@
+#include "hypergraph/generators.h"
+
+#include <set>
+
+#include "gtest/gtest.h"
+#include "hypergraph/matching.h"
+#include "util/random.h"
+
+namespace kanon {
+namespace {
+
+TEST(PlantedMatchingHypergraphTest, ShapeAndSimplicity) {
+  Rng rng(1);
+  PlantedHypergraphOptions opt;
+  opt.num_vertices = 9;
+  opt.k = 3;
+  opt.extra_edges = 4;
+  const Hypergraph h = PlantedMatchingHypergraph(opt, &rng);
+  EXPECT_EQ(h.num_vertices(), 9u);
+  EXPECT_EQ(h.uniformity(), 3u);
+  EXPECT_EQ(h.num_edges(), 3u + 4u);
+  EXPECT_TRUE(h.IsSimple());
+}
+
+TEST(PlantedMatchingHypergraphTest, ContainsPerfectMatching) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed);
+    PlantedHypergraphOptions opt;
+    opt.num_vertices = 12;
+    opt.k = 4;
+    opt.extra_edges = 5;
+    const Hypergraph h = PlantedMatchingHypergraph(opt, &rng);
+    EXPECT_TRUE(HasPerfectMatching(h)) << "seed " << seed;
+  }
+}
+
+TEST(PlantedMatchingHypergraphTest, ZeroExtraEdgesIsExactlyMatching) {
+  Rng rng(2);
+  PlantedHypergraphOptions opt;
+  opt.num_vertices = 12;
+  opt.k = 3;
+  opt.extra_edges = 0;
+  const Hypergraph h = PlantedMatchingHypergraph(opt, &rng);
+  EXPECT_EQ(h.num_edges(), 4u);
+  std::vector<uint32_t> all_edges = {0, 1, 2, 3};
+  EXPECT_TRUE(IsPerfectMatching(h, all_edges));
+}
+
+TEST(PlantedMatchingHypergraphDeathTest, NonDivisibleDies) {
+  Rng rng(3);
+  PlantedHypergraphOptions opt;
+  opt.num_vertices = 10;
+  opt.k = 3;
+  EXPECT_DEATH(PlantedMatchingHypergraph(opt, &rng), "Check failed");
+}
+
+TEST(RandomHypergraphTest, DistinctEdges) {
+  Rng rng(4);
+  const Hypergraph h = RandomHypergraph(10, 3, 25, &rng);
+  EXPECT_EQ(h.num_edges(), 25u);
+  EXPECT_TRUE(h.IsSimple());
+}
+
+TEST(RandomHypergraphTest, EdgesInRange) {
+  Rng rng(5);
+  const Hypergraph h = RandomHypergraph(6, 2, 15, &rng);  // all C(6,2)
+  EXPECT_EQ(h.num_edges(), 15u);
+  std::set<Edge> edges(h.edges().begin(), h.edges().end());
+  EXPECT_EQ(edges.size(), 15u);
+}
+
+TEST(MatchingFreeHypergraphTest, VertexZeroIsolated) {
+  Rng rng(6);
+  const Hypergraph h = MatchingFreeHypergraph(12, 3, 20, &rng);
+  for (uint32_t e = 0; e < h.num_edges(); ++e) {
+    EXPECT_FALSE(h.Incident(0, e));
+  }
+  EXPECT_FALSE(HasPerfectMatching(h));
+}
+
+TEST(MatchingFreeHypergraphTest, StillSimpleAndUniform) {
+  Rng rng(7);
+  const Hypergraph h = MatchingFreeHypergraph(9, 3, 12, &rng);
+  EXPECT_TRUE(h.IsSimple());
+  for (const Edge& e : h.edges()) {
+    EXPECT_EQ(e.size(), 3u);
+  }
+}
+
+TEST(GeneratorDeterminismTest, SameSeedSameGraph) {
+  Rng a(11), b(11);
+  const Hypergraph ha = RandomHypergraph(10, 3, 12, &a);
+  const Hypergraph hb = RandomHypergraph(10, 3, 12, &b);
+  EXPECT_EQ(ha.edges(), hb.edges());
+}
+
+}  // namespace
+}  // namespace kanon

@@ -1,0 +1,97 @@
+#include "hypergraph/hypergraph.h"
+
+#include "gtest/gtest.h"
+
+namespace kanon {
+namespace {
+
+TEST(HypergraphTest, AddEdgeSortsVertices) {
+  Hypergraph h(5, 3);
+  h.AddEdge({4, 0, 2});
+  EXPECT_EQ(h.edge(0), (Edge{0, 2, 4}));
+  EXPECT_EQ(h.num_edges(), 1u);
+}
+
+TEST(HypergraphTest, Incident) {
+  Hypergraph h(5, 3);
+  h.AddEdge({0, 1, 2});
+  h.AddEdge({2, 3, 4});
+  EXPECT_TRUE(h.Incident(2, 0));
+  EXPECT_TRUE(h.Incident(2, 1));
+  EXPECT_FALSE(h.Incident(0, 1));
+}
+
+TEST(HypergraphTest, IncidenceLists) {
+  Hypergraph h(4, 2);
+  h.AddEdge({0, 1});
+  h.AddEdge({1, 2});
+  h.AddEdge({2, 3});
+  const auto lists = h.IncidenceLists();
+  EXPECT_EQ(lists[1], (std::vector<uint32_t>{0, 1}));
+  EXPECT_EQ(lists[3], (std::vector<uint32_t>{2}));
+}
+
+TEST(HypergraphTest, IsSimple) {
+  Hypergraph h(4, 2);
+  h.AddEdge({0, 1});
+  h.AddEdge({2, 3});
+  EXPECT_TRUE(h.IsSimple());
+  h.AddEdge({1, 0});  // same edge, different order
+  EXPECT_FALSE(h.IsSimple());
+}
+
+TEST(HypergraphTest, ToStringMentionsEdges) {
+  Hypergraph h(3, 3);
+  h.AddEdge({0, 1, 2});
+  EXPECT_NE(h.ToString().find("(0,1,2)"), std::string::npos);
+}
+
+TEST(HypergraphDeathTest, WrongUniformityDies) {
+  Hypergraph h(5, 3);
+  EXPECT_DEATH(h.AddEdge({0, 1}), "Check failed");
+}
+
+TEST(HypergraphDeathTest, RepeatedVertexDies) {
+  Hypergraph h(5, 3);
+  EXPECT_DEATH(h.AddEdge({0, 0, 1}), "Check failed");
+}
+
+TEST(HypergraphDeathTest, OutOfRangeVertexDies) {
+  Hypergraph h(3, 3);
+  EXPECT_DEATH(h.AddEdge({0, 1, 7}), "Check failed");
+}
+
+TEST(IsPerfectMatchingTest, Accepts) {
+  Hypergraph h(6, 3);
+  h.AddEdge({0, 1, 2});
+  h.AddEdge({3, 4, 5});
+  h.AddEdge({0, 3, 5});
+  EXPECT_TRUE(IsPerfectMatching(h, {0, 1}));
+}
+
+TEST(IsPerfectMatchingTest, RejectsOverlap) {
+  Hypergraph h(6, 3);
+  h.AddEdge({0, 1, 2});
+  h.AddEdge({2, 3, 4});
+  EXPECT_FALSE(IsPerfectMatching(h, {0, 1}));
+}
+
+TEST(IsPerfectMatchingTest, RejectsUncovered) {
+  Hypergraph h(6, 3);
+  h.AddEdge({0, 1, 2});
+  EXPECT_FALSE(IsPerfectMatching(h, {0}));
+}
+
+TEST(IsPerfectMatchingTest, RejectsBadEdgeId) {
+  Hypergraph h(3, 3);
+  h.AddEdge({0, 1, 2});
+  EXPECT_FALSE(IsPerfectMatching(h, {5}));
+}
+
+TEST(IsPerfectMatchingTest, EmptyMatchingOnEmptyGraph) {
+  Hypergraph h(0, 2);
+  EXPECT_TRUE(IsPerfectMatching(h, {}));
+}
+
+}  // namespace
+}  // namespace kanon

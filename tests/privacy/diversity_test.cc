@@ -1,0 +1,139 @@
+#include "privacy/diversity.h"
+
+#include "algo/registry.h"
+#include "core/cost.h"
+#include "data/generators/census.h"
+#include "gtest/gtest.h"
+#include "util/random.h"
+
+namespace kanon {
+namespace {
+
+/// Table with an explicit sensitive last column.
+Table Patients(const std::vector<std::vector<std::string>>& rows) {
+  Schema schema({"age", "zip", "disease"});
+  Table t(std::move(schema));
+  for (const auto& row : rows) t.AppendStringRow(row);
+  return t;
+}
+
+constexpr ColId kDisease = 2;
+
+TEST(GroupDiversityTest, CountsDistinctSensitiveValues) {
+  const Table t = Patients({{"30", "111", "flu"},
+                            {"30", "111", "flu"},
+                            {"30", "111", "cancer"},
+                            {"40", "222", "asthma"}});
+  EXPECT_EQ(GroupDiversity(t, {0, 1}, kDisease), 1u);
+  EXPECT_EQ(GroupDiversity(t, {0, 1, 2}, kDisease), 2u);
+  EXPECT_EQ(GroupDiversity(t, {0, 2, 3}, kDisease), 3u);
+}
+
+TEST(DistinctDiversityTest, MinimumOverGroups) {
+  const Table t = Patients({{"30", "111", "flu"},
+                            {"30", "111", "flu"},
+                            {"40", "222", "cancer"},
+                            {"40", "222", "asthma"}});
+  Partition p;
+  p.groups = {{0, 1}, {2, 3}};
+  EXPECT_EQ(DistinctDiversity(t, p, kDisease), 1u);  // group 0 homogeneous
+  EXPECT_FALSE(IsLDiverse(t, p, kDisease, 2));
+  Partition merged;
+  merged.groups = {{0, 1, 2, 3}};
+  EXPECT_TRUE(IsLDiverse(t, merged, kDisease, 3));
+}
+
+TEST(HomogeneityExposureTest, FractionOfExposedRows) {
+  const Table t = Patients({{"30", "111", "flu"},
+                            {"30", "111", "flu"},
+                            {"40", "222", "cancer"},
+                            {"40", "222", "asthma"}});
+  Partition p;
+  p.groups = {{0, 1}, {2, 3}};
+  // Group {0,1} is homogeneous: 2 of 4 rows exposed.
+  EXPECT_DOUBLE_EQ(HomogeneityExposure(t, p, kDisease), 0.5);
+  Partition merged;
+  merged.groups = {{0, 1, 2, 3}};
+  EXPECT_DOUBLE_EQ(HomogeneityExposure(t, merged, kDisease), 0.0);
+}
+
+TEST(MergeForDiversityTest, FixesHomogeneousGroup) {
+  const Table t = Patients({{"30", "111", "flu"},
+                            {"30", "111", "flu"},
+                            {"40", "222", "cancer"},
+                            {"40", "222", "asthma"}});
+  Partition p;
+  p.groups = {{0, 1}, {2, 3}};
+  ASSERT_TRUE(MergeForDiversity(t, kDisease, 2, &p));
+  EXPECT_TRUE(IsLDiverse(t, p, kDisease, 2));
+  EXPECT_TRUE(IsValidPartition(p, 4, 2, 4));
+}
+
+TEST(MergeForDiversityTest, AlreadyDiverseUntouched) {
+  const Table t = Patients({{"30", "111", "flu"},
+                            {"30", "111", "cancer"},
+                            {"40", "222", "asthma"},
+                            {"40", "222", "flu"}});
+  Partition p;
+  p.groups = {{0, 1}, {2, 3}};
+  const std::string before = p.ToString();
+  ASSERT_TRUE(MergeForDiversity(t, kDisease, 2, &p));
+  EXPECT_EQ(p.ToString(), before);
+}
+
+TEST(MergeForDiversityTest, ImpossibleTargetReturnsFalse) {
+  const Table t = Patients({{"30", "111", "flu"},
+                            {"30", "112", "flu"},
+                            {"40", "222", "flu"},
+                            {"40", "223", "flu"}});
+  Partition p;
+  p.groups = {{0, 1}, {2, 3}};
+  EXPECT_FALSE(MergeForDiversity(t, kDisease, 2, &p));
+  // Everything collapsed into a single (still insufficient) group.
+  EXPECT_EQ(p.num_groups(), 1u);
+}
+
+TEST(MergeForDiversityTest, PrefersCheapPartnerOnTies) {
+  // Groups: A={0,1} homogeneous flu; partners B={2,3} and C={4,5} both
+  // offer {cancer, asthma} (equal diversity gain 2), but B is identical
+  // to A on the QI columns while C is far away -> the tie-break must
+  // pick the cheaper merge (B), leaving C intact and diverse.
+  const Table t = Patients({{"30", "111", "flu"},
+                            {"30", "111", "flu"},
+                            {"30", "111", "cancer"},
+                            {"30", "111", "asthma"},
+                            {"99", "999", "cancer"},
+                            {"99", "999", "asthma"}});
+  Partition p;
+  p.groups = {{0, 1}, {2, 3}, {4, 5}};
+  ASSERT_TRUE(MergeForDiversity(t, kDisease, 2, &p));
+  EXPECT_TRUE(IsLDiverse(t, p, kDisease, 2));
+  // B merged into A (cost 0 on QI columns); C untouched.
+  bool c_intact = false;
+  for (const Group& g : p.groups) {
+    Group sorted = g;
+    std::sort(sorted.begin(), sorted.end());
+    if (sorted == Group{4, 5}) c_intact = true;
+  }
+  EXPECT_TRUE(c_intact);
+}
+
+TEST(MergeForDiversityTest, UpgradesRealAnonymization) {
+  Rng rng(5);
+  const Table t = CensusTable({.num_rows = 60}, &rng);
+  // Treat "occupation" as the sensitive attribute.
+  const ColId sensitive = t.schema().FindAttribute("occupation");
+  auto algo = MakeAnonymizer("ball_cover+local_search");
+  auto result = algo->Run(t, 3);
+  const size_t cost_before = PartitionCost(t, result.partition);
+  ASSERT_TRUE(MergeForDiversity(t, sensitive, 2, &result.partition));
+  EXPECT_TRUE(IsLDiverse(t, result.partition, sensitive, 2));
+  // Still a valid 3-anonymous partition (merging only grows groups).
+  EXPECT_TRUE(IsValidPartition(result.partition, t.num_rows(), 3,
+                               t.num_rows()));
+  // Diversity costs utility: cost can only grow or stay.
+  EXPECT_GE(PartitionCost(t, result.partition), cost_before);
+}
+
+}  // namespace
+}  // namespace kanon

@@ -1,0 +1,130 @@
+#include "privacy/linkage.h"
+
+#include "algo/registry.h"
+#include "core/anonymity.h"
+#include "data/generators/census.h"
+#include "data/generators/medical.h"
+#include "generalize/apply.h"
+#include "generalize/samarati.h"
+#include "gtest/gtest.h"
+#include "util/random.h"
+
+namespace kanon {
+namespace {
+
+TEST(LinkageAttackTest, RawReleaseIdentifiesDistinctRows) {
+  const Table t = PaperIntroTable();
+  // Publishing the table unmodified: every row is unique on all columns.
+  const AttackSummary summary =
+      LinkageAttack(t, t, {0, 1, 2, 3});
+  EXPECT_EQ(summary.unique_reidentifications, 4u);
+  EXPECT_DOUBLE_EQ(summary.reidentification_rate, 1.0);
+  EXPECT_EQ(summary.min_candidates, 1u);
+}
+
+TEST(LinkageAttackTest, KAnonymousReleaseGuaranteesKCandidates) {
+  const Table t = PaperIntroTable();
+  auto algo = MakeAnonymizer("exact_dp");
+  const auto result = algo->Run(t, 2);
+  const Table published = result.MakeSuppressor(t).Apply(t);
+  ASSERT_TRUE(IsKAnonymous(published, 2));
+  const AttackSummary summary =
+      LinkageAttack(t, published, {0, 1, 2, 3});
+  // Every victim matches at least its own k-group.
+  EXPECT_GE(summary.min_candidates, 2u);
+  EXPECT_EQ(summary.unique_reidentifications, 0u);
+}
+
+TEST(LinkageAttackTest, PartialKnowledgeWeakensAttack) {
+  Rng rng(1);
+  const Table t = CensusTable({.num_rows = 50}, &rng);
+  // Fewer known attributes -> candidate sets can only grow.
+  const AttackSummary all = LinkageAttack(t, t, {0, 1, 2, 3, 4, 5, 6, 7});
+  const AttackSummary some = LinkageAttack(t, t, {0, 5, 6});
+  EXPECT_GE(some.mean_candidates, all.mean_candidates);
+  EXPECT_LE(some.unique_reidentifications,
+            all.unique_reidentifications);
+}
+
+TEST(LinkageAttackTest, EmptyKnowledgeMatchesEverything) {
+  Rng rng(2);
+  const Table t = CensusTable({.num_rows = 20}, &rng);
+  const AttackSummary summary = LinkageAttack(t, t, {});
+  EXPECT_DOUBLE_EQ(summary.mean_candidates, 20.0);
+  EXPECT_EQ(summary.unique_reidentifications, 0u);
+}
+
+// Property: for any registry algorithm and any k, the linkage attack on
+// the published table never uniquely identifies anyone when the
+// adversary knows every attribute (the paper's privacy guarantee).
+class GuaranteePropertyTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(GuaranteePropertyTest, MinCandidatesAtLeastK) {
+  const size_t k = GetParam();
+  Rng rng(3);
+  const Table t = CensusTable({.num_rows = 40}, &rng);
+  std::vector<ColId> all_columns;
+  for (ColId c = 0; c < t.num_columns(); ++c) all_columns.push_back(c);
+  for (const std::string name :
+       {"ball_cover", "mondrian", "cluster_greedy"}) {
+    auto algo = MakeAnonymizer(name);
+    const auto result = algo->Run(t, k);
+    const Table published = result.MakeSuppressor(t).Apply(t);
+    const AttackSummary summary =
+        LinkageAttack(t, published, all_columns);
+    EXPECT_GE(summary.min_candidates, k) << name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, GuaranteePropertyTest,
+                         ::testing::Values(2, 3, 5));
+
+TEST(LinkageAttackGeneralizedTest, RawVsGeneralized) {
+  Rng rng(4);
+  const Table t = MedicalTable({.num_rows = 24, .name_pool = 4}, &rng);
+  const std::vector<Hierarchy> hs = DefaultHierarchies(t);
+  std::vector<ColId> all_columns;
+  for (ColId c = 0; c < t.num_columns(); ++c) all_columns.push_back(c);
+
+  // Identity release.
+  const GeneralizationVector identity(t.num_columns(), 0);
+  const AttackSummary raw =
+      LinkageAttackGeneralized(t, hs, identity, {}, all_columns);
+
+  // Samarati k=3 release.
+  const LatticeResult lattice = SamaratiAnonymize(t, hs, 3, {});
+  const AttackSummary anonymized = LinkageAttackGeneralized(
+      t, hs, lattice.levels, lattice.suppressed_rows, all_columns);
+
+  EXPECT_GE(anonymized.mean_candidates, raw.mean_candidates);
+  EXPECT_LE(anonymized.unique_reidentifications,
+            raw.unique_reidentifications);
+  // Released victims match their >= k group; withheld victims may match
+  // anything but never exactly one record by chance here.
+  EXPECT_EQ(anonymized.unique_reidentifications, 0u);
+}
+
+TEST(LinkageAttackGeneralizedTest, WithheldRowsNotInRelease) {
+  const Table t = PaperIntroTable();
+  const std::vector<Hierarchy> hs = {
+      Hierarchy::Flat(t.schema().dictionary(0)),
+      Hierarchy::Flat(t.schema().dictionary(1)),
+      Hierarchy::Flat(t.schema().dictionary(2)),
+      Hierarchy::Flat(t.schema().dictionary(3))};
+  // Identity levels, rows 0 and 2 withheld: victims 0/2 match nothing
+  // (their values are unique), victims 1/3 match their own rows.
+  const AttackSummary summary = LinkageAttackGeneralized(
+      t, hs, {0, 0, 0, 0}, {0, 2}, {0, 1, 2, 3});
+  EXPECT_EQ(summary.min_candidates, 0u);
+  EXPECT_EQ(summary.unique_reidentifications, 2u);
+}
+
+TEST(AttackSummaryTest, ToStringMentionsRate) {
+  AttackSummary s;
+  s.unique_reidentifications = 3;
+  s.reidentification_rate = 0.25;
+  EXPECT_NE(s.ToString().find("unique=3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace kanon

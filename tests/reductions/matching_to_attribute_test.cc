@@ -1,0 +1,137 @@
+#include "reductions/matching_to_attribute.h"
+
+#include "algo/attribute_exact.h"
+#include "core/anonymity.h"
+#include "gtest/gtest.h"
+#include "hypergraph/generators.h"
+#include "hypergraph/matching.h"
+#include "util/random.h"
+
+namespace kanon {
+namespace {
+
+TEST(BuildAttributeInstanceTest, BinaryIncidence) {
+  Hypergraph h(6, 3);
+  h.AddEdge({0, 1, 2});
+  h.AddEdge({3, 4, 5});
+  const Table t = BuildAttributeInstance(h);
+  EXPECT_EQ(t.num_rows(), 6u);
+  EXPECT_EQ(t.num_columns(), 2u);
+  EXPECT_EQ(t.DecodeRow(0), (std::vector<std::string>{"1", "0"}));
+  EXPECT_EQ(t.DecodeRow(4), (std::vector<std::string>{"0", "1"}));
+  for (ColId c = 0; c < t.num_columns(); ++c) {
+    EXPECT_LE(t.schema().dictionary(c).size(), 2u);  // binary alphabet
+  }
+}
+
+TEST(BuildAttributeInstanceTest, EachColumnHasExactlyKOnes) {
+  Rng rng(1);
+  const Hypergraph h = PlantedMatchingHypergraph(
+      {.num_vertices = 12, .k = 3, .extra_edges = 5}, &rng);
+  const Table t = BuildAttributeInstance(h);
+  for (ColId j = 0; j < t.num_columns(); ++j) {
+    const ValueCode one = t.schema().dictionary(j).Lookup("1");
+    size_t ones = 0;
+    for (RowId r = 0; r < t.num_rows(); ++r) {
+      if (t.at(r, j) == one) ++ones;
+    }
+    EXPECT_EQ(ones, 3u);
+  }
+}
+
+TEST(MatchingToSuppressedColumnsTest, ForwardDirection) {
+  Hypergraph h(6, 3);
+  h.AddEdge({0, 1, 2});
+  h.AddEdge({0, 1, 3});
+  h.AddEdge({3, 4, 5});
+  const Table t = BuildAttributeInstance(h);
+  const std::vector<ColId> suppressed =
+      MatchingToSuppressedColumns(h, {0, 2});
+  EXPECT_EQ(suppressed, std::vector<ColId>{1});
+  EXPECT_EQ(suppressed.size(), AttributeHardnessThreshold(h));
+  // Keeping columns {0, 2} must be 3-anonymous.
+  EXPECT_TRUE(KeptSetFeasible(t, 0b101, 3));
+}
+
+TEST(MatchingToSuppressedColumnsTest, RoundTrip) {
+  Rng rng(2);
+  const Hypergraph h = PlantedMatchingHypergraph(
+      {.num_vertices = 9, .k = 3, .extra_edges = 4}, &rng);
+  const Table t = BuildAttributeInstance(h);
+  const auto matching = FindPerfectMatching(h);
+  ASSERT_TRUE(matching.has_value());
+  const auto suppressed = MatchingToSuppressedColumns(h, *matching);
+  const auto extracted = ExtractMatchingFromColumns(h, t, suppressed);
+  ASSERT_TRUE(extracted.has_value());
+  EXPECT_TRUE(IsPerfectMatching(h, *extracted));
+}
+
+TEST(ExtractMatchingFromColumnsTest, RejectsTooManySuppressed) {
+  Hypergraph h(6, 3);
+  h.AddEdge({0, 1, 2});
+  h.AddEdge({3, 4, 5});
+  h.AddEdge({1, 2, 3});
+  const Table t = BuildAttributeInstance(h);
+  // Threshold is 3 - 2 = 1; suppressing two columns is over budget.
+  EXPECT_FALSE(
+      ExtractMatchingFromColumns(h, t, {0, 1}).has_value());
+}
+
+TEST(ExtractMatchingFromColumnsTest, RejectsInfeasibleKeptSet) {
+  Hypergraph h(6, 3);
+  h.AddEdge({0, 1, 2});
+  h.AddEdge({1, 2, 3});  // overlaps edge 0
+  h.AddEdge({3, 4, 5});
+  const Table t = BuildAttributeInstance(h);
+  // Suppressing only column 2 keeps overlapping edges 0,1 -> projection
+  // is not 3-anonymous.
+  EXPECT_FALSE(ExtractMatchingFromColumns(h, t, {2}).has_value());
+}
+
+// Theorem 3.2, both directions, via the exact attribute solver.
+class Theorem32Test : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(Theorem32Test, YesInstancesMeetThreshold) {
+  Rng rng(GetParam());
+  const Hypergraph h = PlantedMatchingHypergraph(
+      {.num_vertices = 9, .k = 3, .extra_edges = 4}, &rng);
+  const Table t = BuildAttributeInstance(h);
+  ExactAttributeAnonymizer exact;
+  const auto result = exact.Solve(t, 3);
+  EXPECT_EQ(result.num_suppressed(), AttributeHardnessThreshold(h));
+  const auto extracted =
+      ExtractMatchingFromColumns(h, t, result.suppressed);
+  ASSERT_TRUE(extracted.has_value());
+  EXPECT_TRUE(IsPerfectMatching(h, *extracted));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Theorem32Test,
+                         ::testing::Range<uint64_t>(1, 9));
+
+class Theorem32NoTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(Theorem32NoTest, NoInstancesExceedThreshold) {
+  Rng rng(GetParam());
+  const Hypergraph h = MatchingFreeHypergraph(9, 3, 7, &rng);
+  ASSERT_FALSE(HasPerfectMatching(h));
+  const Table t = BuildAttributeInstance(h);
+  ExactAttributeAnonymizer exact;
+  EXPECT_GT(exact.Solve(t, 3).num_suppressed(),
+            AttributeHardnessThreshold(h));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Theorem32NoTest,
+                         ::testing::Range<uint64_t>(1, 9));
+
+TEST(Theorem32Test, WorksForKFour) {
+  Rng rng(55);
+  const Hypergraph h = PlantedMatchingHypergraph(
+      {.num_vertices = 8, .k = 4, .extra_edges = 3}, &rng);
+  const Table t = BuildAttributeInstance(h);
+  ExactAttributeAnonymizer exact;
+  EXPECT_EQ(exact.Solve(t, 4).num_suppressed(),
+            AttributeHardnessThreshold(h));
+}
+
+}  // namespace
+}  // namespace kanon

@@ -1,0 +1,148 @@
+#include "reductions/matching_to_kanon.h"
+
+#include "algo/exact_dp.h"
+#include "core/anonymity.h"
+#include "gtest/gtest.h"
+#include "hypergraph/generators.h"
+#include "hypergraph/matching.h"
+#include "util/random.h"
+
+namespace kanon {
+namespace {
+
+TEST(BuildKAnonInstanceTest, ShapeAndAlphabet) {
+  Hypergraph h(6, 3);
+  h.AddEdge({0, 1, 2});
+  h.AddEdge({3, 4, 5});
+  h.AddEdge({0, 3, 4});
+  const Table t = BuildKAnonInstance(h);
+  EXPECT_EQ(t.num_rows(), 6u);
+  EXPECT_EQ(t.num_columns(), 3u);
+  // Row 0 is on edges 0 and 2: "0" there, filler "1" on edge 1.
+  EXPECT_EQ(t.DecodeRow(0), (std::vector<std::string>{"0", "1", "0"}));
+  // Row 5 (vertex 5) lies on edge 1 only; filler is "6" elsewhere.
+  EXPECT_EQ(t.DecodeRow(5), (std::vector<std::string>{"6", "0", "6"}));
+}
+
+TEST(BuildKAnonInstanceTest, RowsAgreeOnlyOnSharedEdges) {
+  Rng rng(1);
+  const Hypergraph h = PlantedMatchingHypergraph(
+      {.num_vertices = 9, .k = 3, .extra_edges = 4}, &rng);
+  const Table t = BuildKAnonInstance(h);
+  for (RowId a = 0; a < t.num_rows(); ++a) {
+    for (RowId b = a + 1; b < t.num_rows(); ++b) {
+      for (ColId j = 0; j < t.num_columns(); ++j) {
+        if (t.at(a, j) == t.at(b, j)) {
+          EXPECT_TRUE(h.Incident(a, j) && h.Incident(b, j));
+        }
+      }
+    }
+  }
+}
+
+TEST(MatchingToSuppressorTest, ForwardDirection) {
+  Hypergraph h(6, 3);
+  h.AddEdge({0, 1, 2});
+  h.AddEdge({3, 4, 5});
+  h.AddEdge({0, 3, 4});
+  const Table t = BuildKAnonInstance(h);
+  const Suppressor s = MatchingToSuppressor(h, {0, 1});
+  EXPECT_EQ(s.Stars(), KAnonHardnessThreshold(h));  // 6 * 2 = 12
+  EXPECT_TRUE(IsKAnonymizer(s, t, 3));
+}
+
+TEST(MatchingToSuppressorTest, RoundTripThroughExtraction) {
+  Rng rng(2);
+  const Hypergraph h = PlantedMatchingHypergraph(
+      {.num_vertices = 12, .k = 3, .extra_edges = 5}, &rng);
+  const Table t = BuildKAnonInstance(h);
+  const auto matching = FindPerfectMatching(h);
+  ASSERT_TRUE(matching.has_value());
+  const Suppressor s = MatchingToSuppressor(h, *matching);
+  const auto extracted = ExtractMatching(h, t, s);
+  ASSERT_TRUE(extracted.has_value());
+  EXPECT_TRUE(IsPerfectMatching(h, *extracted));
+}
+
+TEST(ExtractMatchingTest, RejectsOverBudgetSuppressor) {
+  Hypergraph h(6, 3);
+  h.AddEdge({0, 1, 2});
+  h.AddEdge({3, 4, 5});
+  const Table t = BuildKAnonInstance(h);
+  Suppressor all(t.num_rows(), t.num_columns());
+  for (RowId r = 0; r < t.num_rows(); ++r) {
+    for (ColId c = 0; c < t.num_columns(); ++c) all.Suppress(r, c);
+  }
+  // n*m = 12 stars > threshold n(m-1) = 6.
+  EXPECT_FALSE(ExtractMatching(h, t, all).has_value());
+}
+
+TEST(ExtractMatchingTest, RejectsNonAnonymizer) {
+  Hypergraph h(6, 3);
+  h.AddEdge({0, 1, 2});
+  h.AddEdge({3, 4, 5});
+  const Table t = BuildKAnonInstance(h);
+  const Suppressor identity(t.num_rows(), t.num_columns());
+  EXPECT_FALSE(ExtractMatching(h, t, identity).has_value());
+}
+
+// Theorem 3.1, both directions, via the exact solver:
+//   PM exists      => OPT == n(m-1)
+//   PM absent      => OPT >  n(m-1)
+class Theorem31Test : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(Theorem31Test, YesInstancesMeetThresholdExactly) {
+  Rng rng(GetParam());
+  const Hypergraph h = PlantedMatchingHypergraph(
+      {.num_vertices = 9, .k = 3, .extra_edges = 3}, &rng);
+  const Table t = BuildKAnonInstance(h);
+  ExactDpAnonymizer exact;
+  const auto result = exact.Run(t, 3);
+  EXPECT_EQ(result.cost, KAnonHardnessThreshold(h));
+  // And the optimal anonymizer encodes a perfect matching.
+  const auto extracted = ExtractMatching(h, t, result.MakeSuppressor(t));
+  ASSERT_TRUE(extracted.has_value());
+  EXPECT_TRUE(IsPerfectMatching(h, *extracted));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Theorem31Test,
+                         ::testing::Range<uint64_t>(1, 9));
+
+class Theorem31NoTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(Theorem31NoTest, NoInstancesExceedThreshold) {
+  Rng rng(GetParam());
+  const Hypergraph h = MatchingFreeHypergraph(9, 3, 6, &rng);
+  ASSERT_FALSE(HasPerfectMatching(h));
+  const Table t = BuildKAnonInstance(h);
+  ExactDpAnonymizer exact;
+  EXPECT_GT(exact.Run(t, 3).cost, KAnonHardnessThreshold(h));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Theorem31NoTest,
+                         ::testing::Range<uint64_t>(1, 9));
+
+TEST(Theorem31Test, WorksForKFive) {
+  Rng rng(88);
+  const Hypergraph h = PlantedMatchingHypergraph(
+      {.num_vertices = 10, .k = 5, .extra_edges = 2}, &rng);
+  const Table t = BuildKAnonInstance(h);
+  ExactDpAnonymizer exact;
+  const auto result = exact.Run(t, 5);
+  EXPECT_EQ(result.cost, KAnonHardnessThreshold(h));
+  const auto extracted = ExtractMatching(h, t, result.MakeSuppressor(t));
+  ASSERT_TRUE(extracted.has_value());
+  EXPECT_TRUE(IsPerfectMatching(h, *extracted));
+}
+
+TEST(Theorem31Test, WorksForKFour) {
+  Rng rng(77);
+  const Hypergraph h = PlantedMatchingHypergraph(
+      {.num_vertices = 8, .k = 4, .extra_edges = 2}, &rng);
+  const Table t = BuildKAnonInstance(h);
+  ExactDpAnonymizer exact;
+  EXPECT_EQ(exact.Run(t, 4).cost, KAnonHardnessThreshold(h));
+}
+
+}  // namespace
+}  // namespace kanon

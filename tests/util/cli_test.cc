@@ -1,0 +1,73 @@
+#include "util/cli.h"
+
+#include "gtest/gtest.h"
+
+namespace kanon {
+namespace {
+
+CommandLine ParseArgs(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "prog");
+  return CommandLine::Parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(CommandLineTest, EqualsForm) {
+  const CommandLine cl = ParseArgs({"--n=42", "--name=abc"});
+  EXPECT_EQ(cl.GetInt("n", 0), 42);
+  EXPECT_EQ(cl.GetString("name", ""), "abc");
+}
+
+TEST(CommandLineTest, SpaceForm) {
+  const CommandLine cl = ParseArgs({"--n", "7"});
+  EXPECT_EQ(cl.GetInt("n", 0), 7);
+}
+
+TEST(CommandLineTest, BareFlagIsTrue) {
+  const CommandLine cl = ParseArgs({"--verbose"});
+  EXPECT_TRUE(cl.HasFlag("verbose"));
+  EXPECT_TRUE(cl.GetBool("verbose", false));
+}
+
+TEST(CommandLineTest, MissingFlagFallsBack) {
+  const CommandLine cl = ParseArgs({});
+  EXPECT_FALSE(cl.HasFlag("x"));
+  EXPECT_EQ(cl.GetInt("x", -1), -1);
+  EXPECT_EQ(cl.GetString("x", "d"), "d");
+  EXPECT_DOUBLE_EQ(cl.GetDouble("x", 2.5), 2.5);
+  EXPECT_TRUE(cl.GetBool("x", true));
+}
+
+TEST(CommandLineTest, UnparsableFallsBack) {
+  const CommandLine cl = ParseArgs({"--n=abc"});
+  EXPECT_EQ(cl.GetInt("n", 5), 5);
+}
+
+TEST(CommandLineTest, LaterDuplicateWins) {
+  const CommandLine cl = ParseArgs({"--n=1", "--n=2"});
+  EXPECT_EQ(cl.GetInt("n", 0), 2);
+}
+
+TEST(CommandLineTest, Positional) {
+  const CommandLine cl = ParseArgs({"input.csv", "--k=3", "out.csv"});
+  ASSERT_EQ(cl.positional().size(), 2u);
+  EXPECT_EQ(cl.positional()[0], "input.csv");
+  EXPECT_EQ(cl.positional()[1], "out.csv");
+  EXPECT_EQ(cl.GetInt("k", 0), 3);
+}
+
+TEST(CommandLineTest, BoolSpellings) {
+  EXPECT_TRUE(ParseArgs({"--a=yes"}).GetBool("a", false));
+  EXPECT_TRUE(ParseArgs({"--a=1"}).GetBool("a", false));
+  EXPECT_TRUE(ParseArgs({"--a=on"}).GetBool("a", false));
+  EXPECT_FALSE(ParseArgs({"--a=no"}).GetBool("a", true));
+  EXPECT_FALSE(ParseArgs({"--a=0"}).GetBool("a", true));
+  EXPECT_FALSE(ParseArgs({"--a=off"}).GetBool("a", true));
+  EXPECT_TRUE(ParseArgs({"--a=bogus"}).GetBool("a", true));  // fallback
+}
+
+TEST(CommandLineTest, DoubleParsing) {
+  const CommandLine cl = ParseArgs({"--rate=0.25"});
+  EXPECT_DOUBLE_EQ(cl.GetDouble("rate", 0.0), 0.25);
+}
+
+}  // namespace
+}  // namespace kanon

@@ -1,0 +1,120 @@
+#include "util/csv.h"
+
+#include <cstdio>
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace kanon {
+namespace {
+
+std::vector<CsvRow> MustParse(std::string_view text) {
+  std::vector<CsvRow> rows;
+  std::string error;
+  EXPECT_TRUE(ParseCsv(text, &rows, &error)) << error;
+  return rows;
+}
+
+TEST(ParseCsvTest, Simple) {
+  const auto rows = MustParse("a,b\n1,2\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (CsvRow{"a", "b"}));
+  EXPECT_EQ(rows[1], (CsvRow{"1", "2"}));
+}
+
+TEST(ParseCsvTest, MissingFinalNewline) {
+  const auto rows = MustParse("a,b\n1,2");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1], (CsvRow{"1", "2"}));
+}
+
+TEST(ParseCsvTest, EmptyInput) {
+  EXPECT_TRUE(MustParse("").empty());
+}
+
+TEST(ParseCsvTest, EmptyFields) {
+  const auto rows = MustParse(",\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (CsvRow{"", ""}));
+}
+
+TEST(ParseCsvTest, QuotedComma) {
+  const auto rows = MustParse("\"a,b\",c\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (CsvRow{"a,b", "c"}));
+}
+
+TEST(ParseCsvTest, EscapedQuote) {
+  const auto rows = MustParse("\"he said \"\"hi\"\"\"\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "he said \"hi\"");
+}
+
+TEST(ParseCsvTest, QuotedNewline) {
+  const auto rows = MustParse("\"line1\nline2\",x\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "line1\nline2");
+}
+
+TEST(ParseCsvTest, CrlfLineEndings) {
+  const auto rows = MustParse("a,b\r\nc,d\r\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1], (CsvRow{"c", "d"}));
+}
+
+TEST(ParseCsvTest, UnterminatedQuoteFails) {
+  std::vector<CsvRow> rows;
+  std::string error;
+  EXPECT_FALSE(ParseCsv("\"abc", &rows, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(ParseCsvTest, JunkAfterQuoteFails) {
+  std::vector<CsvRow> rows;
+  std::string error;
+  EXPECT_FALSE(ParseCsv("\"abc\"x,y\n", &rows, &error));
+}
+
+TEST(ParseCsvTest, QuoteInsideUnquotedFieldFails) {
+  std::vector<CsvRow> rows;
+  std::string error;
+  EXPECT_FALSE(ParseCsv("ab\"c,d\n", &rows, &error));
+}
+
+TEST(EscapeCsvFieldTest, PlainUnchanged) {
+  EXPECT_EQ(EscapeCsvField("hello"), "hello");
+  EXPECT_EQ(EscapeCsvField(""), "");
+}
+
+TEST(EscapeCsvFieldTest, QuotesWhenNeeded) {
+  EXPECT_EQ(EscapeCsvField("a,b"), "\"a,b\"");
+  EXPECT_EQ(EscapeCsvField("a\"b"), "\"a\"\"b\"");
+  EXPECT_EQ(EscapeCsvField("a\nb"), "\"a\nb\"");
+}
+
+TEST(WriteCsvTest, RoundTrip) {
+  const std::vector<CsvRow> rows = {
+      {"name", "note"},
+      {"a,b", "he said \"hi\""},
+      {"", "line1\nline2"},
+  };
+  const auto parsed = MustParse(WriteCsv(rows));
+  EXPECT_EQ(parsed, rows);
+}
+
+TEST(FileIoTest, WriteThenRead) {
+  const std::string path = testing::TempDir() + "/kanon_csv_test.txt";
+  ASSERT_TRUE(WriteStringToFile(path, "hello\nworld"));
+  std::string contents;
+  ASSERT_TRUE(ReadFileToString(path, &contents));
+  EXPECT_EQ(contents, "hello\nworld");
+  std::remove(path.c_str());
+}
+
+TEST(FileIoTest, MissingFileFails) {
+  std::string contents;
+  EXPECT_FALSE(ReadFileToString("/nonexistent/kanon/file", &contents));
+}
+
+}  // namespace
+}  // namespace kanon

@@ -1,0 +1,181 @@
+#include "util/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace kanon {
+namespace {
+
+TEST(SplitMix64Test, DeterministicAndDistinct) {
+  uint64_t s1 = 42, s2 = 42;
+  EXPECT_EQ(SplitMix64(&s1), SplitMix64(&s2));
+  EXPECT_NE(SplitMix64(&s1), SplitMix64(&s2) + 1);  // states advanced alike
+  uint64_t s3 = 42;
+  const uint64_t a = SplitMix64(&s3);
+  const uint64_t b = SplitMix64(&s3);
+  EXPECT_NE(a, b);
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123, 7), b(123, 7);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, DifferentStreamsDiffer) {
+  Rng a(1, 1), b(1, 2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(99);
+  for (uint32_t bound : {1u, 2u, 3u, 17u, 1000u}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.Uniform(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, UniformOneIsAlwaysZero) {
+  Rng rng(5);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(rng.Uniform(1), 0u);
+  }
+}
+
+TEST(RngTest, UniformCoversAllValues) {
+  Rng rng(7);
+  std::set<uint32_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.Uniform(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformDoubleInHalfOpenUnit) {
+  Rng rng(13);
+  double sum = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const double v = rng.UniformDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 5000.0, 0.5, 0.05);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(17);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(19);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(RngTest, ZipfZeroExponentIsUniformRange) {
+  Rng rng(23);
+  std::set<uint32_t> seen;
+  for (int i = 0; i < 400; ++i) {
+    const uint32_t v = rng.Zipf(8, 0.0);
+    ASSERT_LT(v, 8u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, ZipfSkewsTowardSmallRanks) {
+  Rng rng(29);
+  int rank0 = 0, rank_last = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const uint32_t v = rng.Zipf(10, 1.2);
+    ASSERT_LT(v, 10u);
+    if (v == 0) ++rank0;
+    if (v == 9) ++rank_last;
+  }
+  EXPECT_GT(rank0, 4 * rank_last);
+}
+
+TEST(RngTest, ShufflePreservesMultiset) {
+  Rng rng(31);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8, 2};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  std::sort(orig.begin(), orig.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, ShuffleEmptyAndSingleton) {
+  Rng rng(37);
+  std::vector<int> empty;
+  rng.Shuffle(&empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one = {42};
+  rng.Shuffle(&one);
+  EXPECT_EQ(one, std::vector<int>{42});
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(41);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::vector<uint32_t> sample = rng.SampleWithoutReplacement(20, 7);
+    ASSERT_EQ(sample.size(), 7u);
+    std::set<uint32_t> s(sample.begin(), sample.end());
+    EXPECT_EQ(s.size(), 7u);
+    for (const uint32_t x : sample) EXPECT_LT(x, 20u);
+  }
+}
+
+TEST(RngTest, SampleFullRangeIsPermutation) {
+  Rng rng(43);
+  const std::vector<uint32_t> sample = rng.SampleWithoutReplacement(10, 10);
+  std::set<uint32_t> s(sample.begin(), sample.end());
+  EXPECT_EQ(s.size(), 10u);
+}
+
+TEST(RngTest, SampleZeroIsEmpty) {
+  Rng rng(47);
+  EXPECT_TRUE(rng.SampleWithoutReplacement(5, 0).empty());
+}
+
+}  // namespace
+}  // namespace kanon

@@ -1,0 +1,65 @@
+#include "util/report.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "gtest/gtest.h"
+#include "util/csv.h"
+
+namespace kanon::bench {
+namespace {
+
+TEST(ReportTableTest, AlignsColumns) {
+  ReportTable table({"name", "value"});
+  table.AddRow({"a", "1"});
+  table.AddRow({"longer", "22"});
+  const std::string s = table.ToString();
+  // Header, separator, two rows.
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 4);
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("longer"), std::string::npos);
+  // Right alignment pads the short name.
+  EXPECT_NE(s.find("     a"), std::string::npos);
+}
+
+TEST(ReportTableTest, NumAndIntFormatting) {
+  EXPECT_EQ(ReportTable::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(ReportTable::Num(2.0, 0), "2");
+  EXPECT_EQ(ReportTable::Int(-42), "-42");
+}
+
+TEST(ReportTableTest, WriteCsvRoundTrips) {
+  ReportTable table({"k", "cost"});
+  table.AddRow({"2", "10"});
+  table.AddRow({"3", "25"});
+  const std::string path = testing::TempDir() + "/kanon_report.csv";
+  ASSERT_TRUE(table.WriteCsv(path));
+  std::string contents;
+  ASSERT_TRUE(ReadFileToString(path, &contents));
+  std::vector<CsvRow> rows;
+  std::string error;
+  ASSERT_TRUE(ParseCsv(contents, &rows, &error)) << error;
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0], (CsvRow{"k", "cost"}));
+  EXPECT_EQ(rows[2], (CsvRow{"3", "25"}));
+  std::remove(path.c_str());
+}
+
+TEST(ReportTableDeathTest, ArityMismatchDies) {
+  ReportTable table({"a", "b"});
+  EXPECT_DEATH(table.AddRow({"only one"}), "Check failed");
+}
+
+TEST(ReportTableTest, CommasInCellsQuotedInCsv) {
+  ReportTable table({"note"});
+  table.AddRow({"a,b"});
+  const std::string path = testing::TempDir() + "/kanon_report2.csv";
+  ASSERT_TRUE(table.WriteCsv(path));
+  std::string contents;
+  ASSERT_TRUE(ReadFileToString(path, &contents));
+  EXPECT_NE(contents.find("\"a,b\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace kanon::bench

@@ -1,0 +1,120 @@
+#include "util/stats.h"
+
+#include <cmath>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "util/random.h"
+
+namespace kanon {
+namespace {
+
+TEST(AccumulatorTest, EmptyDefaults) {
+  Accumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+  EXPECT_EQ(acc.ToString(), "(empty)");
+}
+
+TEST(AccumulatorTest, SingleValue) {
+  Accumulator acc;
+  acc.Add(5.0);
+  EXPECT_EQ(acc.count(), 1u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.sum(), 5.0);
+}
+
+TEST(AccumulatorTest, KnownMoments) {
+  Accumulator acc;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    acc.Add(x);
+  }
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  // Sample variance with n-1 = 7: sum sq dev = 32.
+  EXPECT_NEAR(acc.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(acc.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+}
+
+TEST(AccumulatorTest, NegativeValues) {
+  Accumulator acc;
+  acc.Add(-10.0);
+  acc.Add(10.0);
+  EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.min(), -10.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 10.0);
+}
+
+TEST(QuantileTest, MedianOfOddCount) {
+  EXPECT_DOUBLE_EQ(Median({3.0, 1.0, 2.0}), 2.0);
+}
+
+TEST(QuantileTest, MedianOfEvenCountInterpolates) {
+  EXPECT_DOUBLE_EQ(Median({1.0, 2.0, 3.0, 4.0}), 2.5);
+}
+
+TEST(QuantileTest, Extremes) {
+  const std::vector<double> v = {5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 5.0);
+}
+
+TEST(QuantileTest, SingleElement) {
+  EXPECT_DOUBLE_EQ(Quantile({7.0}, 0.25), 7.0);
+}
+
+TEST(FitLinearTest, ExactLine) {
+  const std::vector<double> xs = {1, 2, 3, 4};
+  std::vector<double> ys;
+  for (const double x : xs) ys.push_back(3.0 * x - 1.0);
+  const LinearFit fit = FitLinear(xs, ys);
+  EXPECT_NEAR(fit.slope, 3.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, -1.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(FitLinearTest, ConstantYs) {
+  const LinearFit fit = FitLinear({1, 2, 3}, {4, 4, 4});
+  EXPECT_NEAR(fit.slope, 0.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 4.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(FitLinearTest, NoisyLineRecoversSlope) {
+  Rng rng(1);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 200; ++i) {
+    const double x = i * 0.1;
+    xs.push_back(x);
+    ys.push_back(2.0 * x + 5.0 + (rng.UniformDouble() - 0.5) * 0.01);
+  }
+  const LinearFit fit = FitLinear(xs, ys);
+  EXPECT_NEAR(fit.slope, 2.0, 0.01);
+  EXPECT_NEAR(fit.intercept, 5.0, 0.05);
+  EXPECT_GT(fit.r_squared, 0.999);
+}
+
+TEST(FitPowerLawTest, RecoversExponent) {
+  std::vector<double> xs, ys;
+  for (const double x : {10.0, 20.0, 40.0, 80.0, 160.0}) {
+    xs.push_back(x);
+    ys.push_back(0.5 * std::pow(x, 2.5));
+  }
+  const LinearFit fit = FitPowerLaw(xs, ys);
+  EXPECT_NEAR(fit.slope, 2.5, 1e-9);  // slope in log-log = exponent
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-9);
+}
+
+TEST(FitPowerLawTest, LinearDataHasExponentOne) {
+  const LinearFit fit =
+      FitPowerLaw({1.0, 2.0, 4.0, 8.0}, {3.0, 6.0, 12.0, 24.0});
+  EXPECT_NEAR(fit.slope, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace kanon
