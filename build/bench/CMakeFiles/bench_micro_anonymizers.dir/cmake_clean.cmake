@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_anonymizers.dir/bench_micro_anonymizers.cc.o"
+  "CMakeFiles/bench_micro_anonymizers.dir/bench_micro_anonymizers.cc.o.d"
+  "bench_micro_anonymizers"
+  "bench_micro_anonymizers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_anonymizers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_generalize.dir/bench_micro_generalize.cc.o"
+  "CMakeFiles/bench_micro_generalize.dir/bench_micro_generalize.cc.o.d"
+  "bench_micro_generalize"
+  "bench_micro_generalize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_generalize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_e11_linkage.dir/exp_e11_linkage.cc.o"
+  "CMakeFiles/exp_e11_linkage.dir/exp_e11_linkage.cc.o.d"
+  "exp_e11_linkage"
+  "exp_e11_linkage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_e11_linkage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_e12_postopt.dir/exp_e12_postopt.cc.o"
+  "CMakeFiles/exp_e12_postopt.dir/exp_e12_postopt.cc.o.d"
+  "exp_e12_postopt"
+  "exp_e12_postopt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_e12_postopt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_e13_diversity.dir/exp_e13_diversity.cc.o"
+  "CMakeFiles/exp_e13_diversity.dir/exp_e13_diversity.cc.o.d"
+  "exp_e13_diversity"
+  "exp_e13_diversity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_e13_diversity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_e14_streaming.dir/exp_e14_streaming.cc.o"
+  "CMakeFiles/exp_e14_streaming.dir/exp_e14_streaming.cc.o.d"
+  "exp_e14_streaming"
+  "exp_e14_streaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_e14_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_e15_alphabet.dir/exp_e15_alphabet.cc.o"
+  "CMakeFiles/exp_e15_alphabet.dir/exp_e15_alphabet.cc.o.d"
+  "exp_e15_alphabet"
+  "exp_e15_alphabet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_e15_alphabet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for exp_e15_alphabet.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_e15_alphabet.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_e1_hardness_kanon.dir/exp_e1_hardness_kanon.cc.o"
+  "CMakeFiles/exp_e1_hardness_kanon.dir/exp_e1_hardness_kanon.cc.o.d"
+  "exp_e1_hardness_kanon"
+  "exp_e1_hardness_kanon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_e1_hardness_kanon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_e1_hardness_kanon.
+# This may be replaced when dependencies are built.

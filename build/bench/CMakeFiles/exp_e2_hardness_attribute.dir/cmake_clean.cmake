@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_e2_hardness_attribute.dir/exp_e2_hardness_attribute.cc.o"
+  "CMakeFiles/exp_e2_hardness_attribute.dir/exp_e2_hardness_attribute.cc.o.d"
+  "exp_e2_hardness_attribute"
+  "exp_e2_hardness_attribute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_e2_hardness_attribute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for exp_e2_hardness_attribute.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for exp_e3_greedy_ratio.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_e4_ball_ratio.dir/exp_e4_ball_ratio.cc.o"
+  "CMakeFiles/exp_e4_ball_ratio.dir/exp_e4_ball_ratio.cc.o.d"
+  "exp_e4_ball_ratio"
+  "exp_e4_ball_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_e4_ball_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_e5_lemma41.dir/exp_e5_lemma41.cc.o"
+  "CMakeFiles/exp_e5_lemma41.dir/exp_e5_lemma41.cc.o.d"
+  "exp_e5_lemma41"
+  "exp_e5_lemma41.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_e5_lemma41.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_e7_k_blowup.dir/exp_e7_k_blowup.cc.o"
+  "CMakeFiles/exp_e7_k_blowup.dir/exp_e7_k_blowup.cc.o.d"
+  "exp_e7_k_blowup"
+  "exp_e7_k_blowup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_e7_k_blowup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

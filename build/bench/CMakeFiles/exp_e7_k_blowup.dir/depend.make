@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_e7_k_blowup.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_e9_highdim.dir/exp_e9_highdim.cc.o"
+  "CMakeFiles/exp_e9_highdim.dir/exp_e9_highdim.cc.o.d"
+  "exp_e9_highdim"
+  "exp_e9_highdim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_e9_highdim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

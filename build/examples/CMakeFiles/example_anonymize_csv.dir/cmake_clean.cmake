@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_anonymize_csv.dir/anonymize_csv.cpp.o"
+  "CMakeFiles/example_anonymize_csv.dir/anonymize_csv.cpp.o.d"
+  "example_anonymize_csv"
+  "example_anonymize_csv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_anonymize_csv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

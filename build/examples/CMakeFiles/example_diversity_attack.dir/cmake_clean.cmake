@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_diversity_attack.dir/diversity_attack.cpp.o"
+  "CMakeFiles/example_diversity_attack.dir/diversity_attack.cpp.o.d"
+  "example_diversity_attack"
+  "example_diversity_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_diversity_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

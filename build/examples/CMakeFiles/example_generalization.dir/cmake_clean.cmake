@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_generalization.dir/generalization.cpp.o"
+  "CMakeFiles/example_generalization.dir/generalization.cpp.o.d"
+  "example_generalization"
+  "example_generalization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_generalization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

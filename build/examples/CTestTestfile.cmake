@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart_runs "/root/repo/build/examples/example_quickstart")
+set_tests_properties(example_quickstart_runs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_medical_records_runs "/root/repo/build/examples/example_medical_records" "--rows=15" "--k=3")
+set_tests_properties(example_medical_records_runs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_census_comparison_runs "/root/repo/build/examples/example_census_comparison" "--rows=40" "--k=3")
+set_tests_properties(example_census_comparison_runs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_hardness_reduction_runs "/root/repo/build/examples/example_hardness_reduction")
+set_tests_properties(example_hardness_reduction_runs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_generalization_runs "/root/repo/build/examples/example_generalization")
+set_tests_properties(example_generalization_runs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;25;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_diversity_attack_runs "/root/repo/build/examples/example_diversity_attack" "--rows=24" "--k=3")
+set_tests_properties(example_diversity_attack_runs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;26;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_anonymize_csv_demo_runs "/root/repo/build/examples/example_anonymize_csv" "--demo" "--k=3")
+set_tests_properties(example_anonymize_csv_demo_runs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;28;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_anonymize_csv_file_runs "/root/repo/build/examples/example_anonymize_csv" "/root/repo/examples/data/paper_intro.csv" "/root/repo/build/examples/paper_intro_anon.csv" "--k=2" "--algo=exact_dp")
+set_tests_properties(example_anonymize_csv_file_runs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;30;add_test;/root/repo/examples/CMakeLists.txt;0;")

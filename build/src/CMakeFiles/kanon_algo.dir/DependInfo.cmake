@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algo/annealing.cc" "src/CMakeFiles/kanon_algo.dir/algo/annealing.cc.o" "gcc" "src/CMakeFiles/kanon_algo.dir/algo/annealing.cc.o.d"
+  "/root/repo/src/algo/anonymizer.cc" "src/CMakeFiles/kanon_algo.dir/algo/anonymizer.cc.o" "gcc" "src/CMakeFiles/kanon_algo.dir/algo/anonymizer.cc.o.d"
+  "/root/repo/src/algo/attribute_adapter.cc" "src/CMakeFiles/kanon_algo.dir/algo/attribute_adapter.cc.o" "gcc" "src/CMakeFiles/kanon_algo.dir/algo/attribute_adapter.cc.o.d"
+  "/root/repo/src/algo/attribute_anonymity.cc" "src/CMakeFiles/kanon_algo.dir/algo/attribute_anonymity.cc.o" "gcc" "src/CMakeFiles/kanon_algo.dir/algo/attribute_anonymity.cc.o.d"
+  "/root/repo/src/algo/attribute_exact.cc" "src/CMakeFiles/kanon_algo.dir/algo/attribute_exact.cc.o" "gcc" "src/CMakeFiles/kanon_algo.dir/algo/attribute_exact.cc.o.d"
+  "/root/repo/src/algo/attribute_greedy.cc" "src/CMakeFiles/kanon_algo.dir/algo/attribute_greedy.cc.o" "gcc" "src/CMakeFiles/kanon_algo.dir/algo/attribute_greedy.cc.o.d"
+  "/root/repo/src/algo/ball_cover.cc" "src/CMakeFiles/kanon_algo.dir/algo/ball_cover.cc.o" "gcc" "src/CMakeFiles/kanon_algo.dir/algo/ball_cover.cc.o.d"
+  "/root/repo/src/algo/branch_bound.cc" "src/CMakeFiles/kanon_algo.dir/algo/branch_bound.cc.o" "gcc" "src/CMakeFiles/kanon_algo.dir/algo/branch_bound.cc.o.d"
+  "/root/repo/src/algo/cluster_greedy.cc" "src/CMakeFiles/kanon_algo.dir/algo/cluster_greedy.cc.o" "gcc" "src/CMakeFiles/kanon_algo.dir/algo/cluster_greedy.cc.o.d"
+  "/root/repo/src/algo/exact_dp.cc" "src/CMakeFiles/kanon_algo.dir/algo/exact_dp.cc.o" "gcc" "src/CMakeFiles/kanon_algo.dir/algo/exact_dp.cc.o.d"
+  "/root/repo/src/algo/greedy_cover.cc" "src/CMakeFiles/kanon_algo.dir/algo/greedy_cover.cc.o" "gcc" "src/CMakeFiles/kanon_algo.dir/algo/greedy_cover.cc.o.d"
+  "/root/repo/src/algo/local_search.cc" "src/CMakeFiles/kanon_algo.dir/algo/local_search.cc.o" "gcc" "src/CMakeFiles/kanon_algo.dir/algo/local_search.cc.o.d"
+  "/root/repo/src/algo/mdav.cc" "src/CMakeFiles/kanon_algo.dir/algo/mdav.cc.o" "gcc" "src/CMakeFiles/kanon_algo.dir/algo/mdav.cc.o.d"
+  "/root/repo/src/algo/mondrian.cc" "src/CMakeFiles/kanon_algo.dir/algo/mondrian.cc.o" "gcc" "src/CMakeFiles/kanon_algo.dir/algo/mondrian.cc.o.d"
+  "/root/repo/src/algo/random_partition.cc" "src/CMakeFiles/kanon_algo.dir/algo/random_partition.cc.o" "gcc" "src/CMakeFiles/kanon_algo.dir/algo/random_partition.cc.o.d"
+  "/root/repo/src/algo/reduce.cc" "src/CMakeFiles/kanon_algo.dir/algo/reduce.cc.o" "gcc" "src/CMakeFiles/kanon_algo.dir/algo/reduce.cc.o.d"
+  "/root/repo/src/algo/registry.cc" "src/CMakeFiles/kanon_algo.dir/algo/registry.cc.o" "gcc" "src/CMakeFiles/kanon_algo.dir/algo/registry.cc.o.d"
+  "/root/repo/src/algo/streaming.cc" "src/CMakeFiles/kanon_algo.dir/algo/streaming.cc.o" "gcc" "src/CMakeFiles/kanon_algo.dir/algo/streaming.cc.o.d"
+  "/root/repo/src/algo/suppress_all.cc" "src/CMakeFiles/kanon_algo.dir/algo/suppress_all.cc.o" "gcc" "src/CMakeFiles/kanon_algo.dir/algo/suppress_all.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/kanon_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kanon_setcover.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kanon_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kanon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

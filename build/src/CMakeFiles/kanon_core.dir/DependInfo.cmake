@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/anonymity.cc" "src/CMakeFiles/kanon_core.dir/core/anonymity.cc.o" "gcc" "src/CMakeFiles/kanon_core.dir/core/anonymity.cc.o.d"
+  "/root/repo/src/core/bounds.cc" "src/CMakeFiles/kanon_core.dir/core/bounds.cc.o" "gcc" "src/CMakeFiles/kanon_core.dir/core/bounds.cc.o.d"
+  "/root/repo/src/core/cost.cc" "src/CMakeFiles/kanon_core.dir/core/cost.cc.o" "gcc" "src/CMakeFiles/kanon_core.dir/core/cost.cc.o.d"
+  "/root/repo/src/core/distance.cc" "src/CMakeFiles/kanon_core.dir/core/distance.cc.o" "gcc" "src/CMakeFiles/kanon_core.dir/core/distance.cc.o.d"
+  "/root/repo/src/core/metrics.cc" "src/CMakeFiles/kanon_core.dir/core/metrics.cc.o" "gcc" "src/CMakeFiles/kanon_core.dir/core/metrics.cc.o.d"
+  "/root/repo/src/core/partition.cc" "src/CMakeFiles/kanon_core.dir/core/partition.cc.o" "gcc" "src/CMakeFiles/kanon_core.dir/core/partition.cc.o.d"
+  "/root/repo/src/core/suppressor.cc" "src/CMakeFiles/kanon_core.dir/core/suppressor.cc.o" "gcc" "src/CMakeFiles/kanon_core.dir/core/suppressor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/kanon_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kanon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kanon_core.dir/core/anonymity.cc.o"
+  "CMakeFiles/kanon_core.dir/core/anonymity.cc.o.d"
+  "CMakeFiles/kanon_core.dir/core/bounds.cc.o"
+  "CMakeFiles/kanon_core.dir/core/bounds.cc.o.d"
+  "CMakeFiles/kanon_core.dir/core/cost.cc.o"
+  "CMakeFiles/kanon_core.dir/core/cost.cc.o.d"
+  "CMakeFiles/kanon_core.dir/core/distance.cc.o"
+  "CMakeFiles/kanon_core.dir/core/distance.cc.o.d"
+  "CMakeFiles/kanon_core.dir/core/metrics.cc.o"
+  "CMakeFiles/kanon_core.dir/core/metrics.cc.o.d"
+  "CMakeFiles/kanon_core.dir/core/partition.cc.o"
+  "CMakeFiles/kanon_core.dir/core/partition.cc.o.d"
+  "CMakeFiles/kanon_core.dir/core/suppressor.cc.o"
+  "CMakeFiles/kanon_core.dir/core/suppressor.cc.o.d"
+  "libkanon_core.a"
+  "libkanon_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kanon_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/csv_table.cc" "src/CMakeFiles/kanon_data.dir/data/csv_table.cc.o" "gcc" "src/CMakeFiles/kanon_data.dir/data/csv_table.cc.o.d"
+  "/root/repo/src/data/dictionary.cc" "src/CMakeFiles/kanon_data.dir/data/dictionary.cc.o" "gcc" "src/CMakeFiles/kanon_data.dir/data/dictionary.cc.o.d"
+  "/root/repo/src/data/generators/adversarial.cc" "src/CMakeFiles/kanon_data.dir/data/generators/adversarial.cc.o" "gcc" "src/CMakeFiles/kanon_data.dir/data/generators/adversarial.cc.o.d"
+  "/root/repo/src/data/generators/census.cc" "src/CMakeFiles/kanon_data.dir/data/generators/census.cc.o" "gcc" "src/CMakeFiles/kanon_data.dir/data/generators/census.cc.o.d"
+  "/root/repo/src/data/generators/clustered.cc" "src/CMakeFiles/kanon_data.dir/data/generators/clustered.cc.o" "gcc" "src/CMakeFiles/kanon_data.dir/data/generators/clustered.cc.o.d"
+  "/root/repo/src/data/generators/medical.cc" "src/CMakeFiles/kanon_data.dir/data/generators/medical.cc.o" "gcc" "src/CMakeFiles/kanon_data.dir/data/generators/medical.cc.o.d"
+  "/root/repo/src/data/generators/uniform.cc" "src/CMakeFiles/kanon_data.dir/data/generators/uniform.cc.o" "gcc" "src/CMakeFiles/kanon_data.dir/data/generators/uniform.cc.o.d"
+  "/root/repo/src/data/schema.cc" "src/CMakeFiles/kanon_data.dir/data/schema.cc.o" "gcc" "src/CMakeFiles/kanon_data.dir/data/schema.cc.o.d"
+  "/root/repo/src/data/table.cc" "src/CMakeFiles/kanon_data.dir/data/table.cc.o" "gcc" "src/CMakeFiles/kanon_data.dir/data/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/kanon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

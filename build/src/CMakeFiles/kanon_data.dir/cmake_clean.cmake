@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kanon_data.dir/data/csv_table.cc.o"
+  "CMakeFiles/kanon_data.dir/data/csv_table.cc.o.d"
+  "CMakeFiles/kanon_data.dir/data/dictionary.cc.o"
+  "CMakeFiles/kanon_data.dir/data/dictionary.cc.o.d"
+  "CMakeFiles/kanon_data.dir/data/generators/adversarial.cc.o"
+  "CMakeFiles/kanon_data.dir/data/generators/adversarial.cc.o.d"
+  "CMakeFiles/kanon_data.dir/data/generators/census.cc.o"
+  "CMakeFiles/kanon_data.dir/data/generators/census.cc.o.d"
+  "CMakeFiles/kanon_data.dir/data/generators/clustered.cc.o"
+  "CMakeFiles/kanon_data.dir/data/generators/clustered.cc.o.d"
+  "CMakeFiles/kanon_data.dir/data/generators/medical.cc.o"
+  "CMakeFiles/kanon_data.dir/data/generators/medical.cc.o.d"
+  "CMakeFiles/kanon_data.dir/data/generators/uniform.cc.o"
+  "CMakeFiles/kanon_data.dir/data/generators/uniform.cc.o.d"
+  "CMakeFiles/kanon_data.dir/data/schema.cc.o"
+  "CMakeFiles/kanon_data.dir/data/schema.cc.o.d"
+  "CMakeFiles/kanon_data.dir/data/table.cc.o"
+  "CMakeFiles/kanon_data.dir/data/table.cc.o.d"
+  "libkanon_data.a"
+  "libkanon_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kanon_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

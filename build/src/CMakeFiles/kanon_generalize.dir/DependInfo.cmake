@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/generalize/apply.cc" "src/CMakeFiles/kanon_generalize.dir/generalize/apply.cc.o" "gcc" "src/CMakeFiles/kanon_generalize.dir/generalize/apply.cc.o.d"
+  "/root/repo/src/generalize/hierarchy.cc" "src/CMakeFiles/kanon_generalize.dir/generalize/hierarchy.cc.o" "gcc" "src/CMakeFiles/kanon_generalize.dir/generalize/hierarchy.cc.o.d"
+  "/root/repo/src/generalize/minimal_vectors.cc" "src/CMakeFiles/kanon_generalize.dir/generalize/minimal_vectors.cc.o" "gcc" "src/CMakeFiles/kanon_generalize.dir/generalize/minimal_vectors.cc.o.d"
+  "/root/repo/src/generalize/optimal_lattice.cc" "src/CMakeFiles/kanon_generalize.dir/generalize/optimal_lattice.cc.o" "gcc" "src/CMakeFiles/kanon_generalize.dir/generalize/optimal_lattice.cc.o.d"
+  "/root/repo/src/generalize/samarati.cc" "src/CMakeFiles/kanon_generalize.dir/generalize/samarati.cc.o" "gcc" "src/CMakeFiles/kanon_generalize.dir/generalize/samarati.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/kanon_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kanon_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kanon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

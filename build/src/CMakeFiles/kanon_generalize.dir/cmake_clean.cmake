@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kanon_generalize.dir/generalize/apply.cc.o"
+  "CMakeFiles/kanon_generalize.dir/generalize/apply.cc.o.d"
+  "CMakeFiles/kanon_generalize.dir/generalize/hierarchy.cc.o"
+  "CMakeFiles/kanon_generalize.dir/generalize/hierarchy.cc.o.d"
+  "CMakeFiles/kanon_generalize.dir/generalize/minimal_vectors.cc.o"
+  "CMakeFiles/kanon_generalize.dir/generalize/minimal_vectors.cc.o.d"
+  "CMakeFiles/kanon_generalize.dir/generalize/optimal_lattice.cc.o"
+  "CMakeFiles/kanon_generalize.dir/generalize/optimal_lattice.cc.o.d"
+  "CMakeFiles/kanon_generalize.dir/generalize/samarati.cc.o"
+  "CMakeFiles/kanon_generalize.dir/generalize/samarati.cc.o.d"
+  "libkanon_generalize.a"
+  "libkanon_generalize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kanon_generalize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

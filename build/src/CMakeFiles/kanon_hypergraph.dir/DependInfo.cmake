@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hypergraph/generators.cc" "src/CMakeFiles/kanon_hypergraph.dir/hypergraph/generators.cc.o" "gcc" "src/CMakeFiles/kanon_hypergraph.dir/hypergraph/generators.cc.o.d"
+  "/root/repo/src/hypergraph/hypergraph.cc" "src/CMakeFiles/kanon_hypergraph.dir/hypergraph/hypergraph.cc.o" "gcc" "src/CMakeFiles/kanon_hypergraph.dir/hypergraph/hypergraph.cc.o.d"
+  "/root/repo/src/hypergraph/matching.cc" "src/CMakeFiles/kanon_hypergraph.dir/hypergraph/matching.cc.o" "gcc" "src/CMakeFiles/kanon_hypergraph.dir/hypergraph/matching.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/kanon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kanon_hypergraph.dir/hypergraph/generators.cc.o"
+  "CMakeFiles/kanon_hypergraph.dir/hypergraph/generators.cc.o.d"
+  "CMakeFiles/kanon_hypergraph.dir/hypergraph/hypergraph.cc.o"
+  "CMakeFiles/kanon_hypergraph.dir/hypergraph/hypergraph.cc.o.d"
+  "CMakeFiles/kanon_hypergraph.dir/hypergraph/matching.cc.o"
+  "CMakeFiles/kanon_hypergraph.dir/hypergraph/matching.cc.o.d"
+  "libkanon_hypergraph.a"
+  "libkanon_hypergraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kanon_hypergraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/privacy/diversity.cc" "src/CMakeFiles/kanon_privacy.dir/privacy/diversity.cc.o" "gcc" "src/CMakeFiles/kanon_privacy.dir/privacy/diversity.cc.o.d"
+  "/root/repo/src/privacy/linkage.cc" "src/CMakeFiles/kanon_privacy.dir/privacy/linkage.cc.o" "gcc" "src/CMakeFiles/kanon_privacy.dir/privacy/linkage.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/kanon_generalize.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kanon_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kanon_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kanon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

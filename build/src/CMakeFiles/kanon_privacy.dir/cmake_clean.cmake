@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kanon_privacy.dir/privacy/diversity.cc.o"
+  "CMakeFiles/kanon_privacy.dir/privacy/diversity.cc.o.d"
+  "CMakeFiles/kanon_privacy.dir/privacy/linkage.cc.o"
+  "CMakeFiles/kanon_privacy.dir/privacy/linkage.cc.o.d"
+  "libkanon_privacy.a"
+  "libkanon_privacy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kanon_privacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kanon_reductions.dir/reductions/matching_to_attribute.cc.o"
+  "CMakeFiles/kanon_reductions.dir/reductions/matching_to_attribute.cc.o.d"
+  "CMakeFiles/kanon_reductions.dir/reductions/matching_to_kanon.cc.o"
+  "CMakeFiles/kanon_reductions.dir/reductions/matching_to_kanon.cc.o.d"
+  "libkanon_reductions.a"
+  "libkanon_reductions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kanon_reductions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

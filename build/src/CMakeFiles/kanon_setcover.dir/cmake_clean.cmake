@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kanon_setcover.dir/setcover/set_cover.cc.o"
+  "CMakeFiles/kanon_setcover.dir/setcover/set_cover.cc.o.d"
+  "libkanon_setcover.a"
+  "libkanon_setcover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kanon_setcover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kanon_util.dir/util/cli.cc.o"
+  "CMakeFiles/kanon_util.dir/util/cli.cc.o.d"
+  "CMakeFiles/kanon_util.dir/util/csv.cc.o"
+  "CMakeFiles/kanon_util.dir/util/csv.cc.o.d"
+  "CMakeFiles/kanon_util.dir/util/logging.cc.o"
+  "CMakeFiles/kanon_util.dir/util/logging.cc.o.d"
+  "CMakeFiles/kanon_util.dir/util/parallel.cc.o"
+  "CMakeFiles/kanon_util.dir/util/parallel.cc.o.d"
+  "CMakeFiles/kanon_util.dir/util/random.cc.o"
+  "CMakeFiles/kanon_util.dir/util/random.cc.o.d"
+  "CMakeFiles/kanon_util.dir/util/report.cc.o"
+  "CMakeFiles/kanon_util.dir/util/report.cc.o.d"
+  "CMakeFiles/kanon_util.dir/util/stats.cc.o"
+  "CMakeFiles/kanon_util.dir/util/stats.cc.o.d"
+  "CMakeFiles/kanon_util.dir/util/string_util.cc.o"
+  "CMakeFiles/kanon_util.dir/util/string_util.cc.o.d"
+  "libkanon_util.a"
+  "libkanon_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kanon_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

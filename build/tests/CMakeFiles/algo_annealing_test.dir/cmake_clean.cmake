@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algo_annealing_test.dir/algo/annealing_test.cc.o"
+  "CMakeFiles/algo_annealing_test.dir/algo/annealing_test.cc.o.d"
+  "algo_annealing_test"
+  "algo_annealing_test.pdb"
+  "algo_annealing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algo_annealing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algo_approx_ratio_test.dir/algo/approx_ratio_test.cc.o"
+  "CMakeFiles/algo_approx_ratio_test.dir/algo/approx_ratio_test.cc.o.d"
+  "algo_approx_ratio_test"
+  "algo_approx_ratio_test.pdb"
+  "algo_approx_ratio_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algo_approx_ratio_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algo_attribute_test.dir/algo/attribute_test.cc.o"
+  "CMakeFiles/algo_attribute_test.dir/algo/attribute_test.cc.o.d"
+  "algo_attribute_test"
+  "algo_attribute_test.pdb"
+  "algo_attribute_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algo_attribute_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algo_baselines_test.dir/algo/baselines_test.cc.o"
+  "CMakeFiles/algo_baselines_test.dir/algo/baselines_test.cc.o.d"
+  "algo_baselines_test"
+  "algo_baselines_test.pdb"
+  "algo_baselines_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algo_baselines_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algo_branch_bound_test.dir/algo/branch_bound_test.cc.o"
+  "CMakeFiles/algo_branch_bound_test.dir/algo/branch_bound_test.cc.o.d"
+  "algo_branch_bound_test"
+  "algo_branch_bound_test.pdb"
+  "algo_branch_bound_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algo_branch_bound_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

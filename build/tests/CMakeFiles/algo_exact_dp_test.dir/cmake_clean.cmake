@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algo_exact_dp_test.dir/algo/exact_dp_test.cc.o"
+  "CMakeFiles/algo_exact_dp_test.dir/algo/exact_dp_test.cc.o.d"
+  "algo_exact_dp_test"
+  "algo_exact_dp_test.pdb"
+  "algo_exact_dp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algo_exact_dp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algo_greedy_cover_test.dir/algo/greedy_cover_test.cc.o"
+  "CMakeFiles/algo_greedy_cover_test.dir/algo/greedy_cover_test.cc.o.d"
+  "algo_greedy_cover_test"
+  "algo_greedy_cover_test.pdb"
+  "algo_greedy_cover_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algo_greedy_cover_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

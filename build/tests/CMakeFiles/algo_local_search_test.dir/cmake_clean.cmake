@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algo_local_search_test.dir/algo/local_search_test.cc.o"
+  "CMakeFiles/algo_local_search_test.dir/algo/local_search_test.cc.o.d"
+  "algo_local_search_test"
+  "algo_local_search_test.pdb"
+  "algo_local_search_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algo_local_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algo_mdav_test.dir/algo/mdav_test.cc.o"
+  "CMakeFiles/algo_mdav_test.dir/algo/mdav_test.cc.o.d"
+  "algo_mdav_test"
+  "algo_mdav_test.pdb"
+  "algo_mdav_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algo_mdav_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algo_reduce_test.dir/algo/reduce_test.cc.o"
+  "CMakeFiles/algo_reduce_test.dir/algo/reduce_test.cc.o.d"
+  "algo_reduce_test"
+  "algo_reduce_test.pdb"
+  "algo_reduce_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algo_reduce_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algo_registry_test.dir/algo/registry_test.cc.o"
+  "CMakeFiles/algo_registry_test.dir/algo/registry_test.cc.o.d"
+  "algo_registry_test"
+  "algo_registry_test.pdb"
+  "algo_registry_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algo_registry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

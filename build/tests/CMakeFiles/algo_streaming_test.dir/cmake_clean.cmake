@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algo_streaming_test.dir/algo/streaming_test.cc.o"
+  "CMakeFiles/algo_streaming_test.dir/algo/streaming_test.cc.o.d"
+  "algo_streaming_test"
+  "algo_streaming_test.pdb"
+  "algo_streaming_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algo_streaming_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_anonymity_test.dir/core/anonymity_test.cc.o"
+  "CMakeFiles/core_anonymity_test.dir/core/anonymity_test.cc.o.d"
+  "core_anonymity_test"
+  "core_anonymity_test.pdb"
+  "core_anonymity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_anonymity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

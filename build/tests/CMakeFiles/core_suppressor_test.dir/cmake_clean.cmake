@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_suppressor_test.dir/core/suppressor_test.cc.o"
+  "CMakeFiles/core_suppressor_test.dir/core/suppressor_test.cc.o.d"
+  "core_suppressor_test"
+  "core_suppressor_test.pdb"
+  "core_suppressor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_suppressor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_adversarial_test.dir/data/adversarial_test.cc.o"
+  "CMakeFiles/data_adversarial_test.dir/data/adversarial_test.cc.o.d"
+  "data_adversarial_test"
+  "data_adversarial_test.pdb"
+  "data_adversarial_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_adversarial_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

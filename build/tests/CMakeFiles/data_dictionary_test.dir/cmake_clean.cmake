@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_dictionary_test.dir/data/dictionary_test.cc.o"
+  "CMakeFiles/data_dictionary_test.dir/data/dictionary_test.cc.o.d"
+  "data_dictionary_test"
+  "data_dictionary_test.pdb"
+  "data_dictionary_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_dictionary_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

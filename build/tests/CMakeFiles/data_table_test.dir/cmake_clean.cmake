@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_table_test.dir/data/table_test.cc.o"
+  "CMakeFiles/data_table_test.dir/data/table_test.cc.o.d"
+  "data_table_test"
+  "data_table_test.pdb"
+  "data_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generalize_hierarchy_test.dir/generalize/hierarchy_test.cc.o"
+  "CMakeFiles/generalize_hierarchy_test.dir/generalize/hierarchy_test.cc.o.d"
+  "generalize_hierarchy_test"
+  "generalize_hierarchy_test.pdb"
+  "generalize_hierarchy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generalize_hierarchy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generalize_lattice_test.dir/generalize/lattice_test.cc.o"
+  "CMakeFiles/generalize_lattice_test.dir/generalize/lattice_test.cc.o.d"
+  "generalize_lattice_test"
+  "generalize_lattice_test.pdb"
+  "generalize_lattice_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generalize_lattice_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generalize_minimal_vectors_test.dir/generalize/minimal_vectors_test.cc.o"
+  "CMakeFiles/generalize_minimal_vectors_test.dir/generalize/minimal_vectors_test.cc.o.d"
+  "generalize_minimal_vectors_test"
+  "generalize_minimal_vectors_test.pdb"
+  "generalize_minimal_vectors_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generalize_minimal_vectors_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

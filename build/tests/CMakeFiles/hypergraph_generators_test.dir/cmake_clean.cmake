@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypergraph_generators_test.dir/hypergraph/generators_test.cc.o"
+  "CMakeFiles/hypergraph_generators_test.dir/hypergraph/generators_test.cc.o.d"
+  "hypergraph_generators_test"
+  "hypergraph_generators_test.pdb"
+  "hypergraph_generators_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypergraph_generators_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypergraph_matching_test.dir/hypergraph/matching_test.cc.o"
+  "CMakeFiles/hypergraph_matching_test.dir/hypergraph/matching_test.cc.o.d"
+  "hypergraph_matching_test"
+  "hypergraph_matching_test.pdb"
+  "hypergraph_matching_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypergraph_matching_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_lemma41_test.dir/integration/lemma41_test.cc.o"
+  "CMakeFiles/integration_lemma41_test.dir/integration/lemma41_test.cc.o.d"
+  "integration_lemma41_test"
+  "integration_lemma41_test.pdb"
+  "integration_lemma41_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_lemma41_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/privacy_diversity_test.dir/privacy/diversity_test.cc.o"
+  "CMakeFiles/privacy_diversity_test.dir/privacy/diversity_test.cc.o.d"
+  "privacy_diversity_test"
+  "privacy_diversity_test.pdb"
+  "privacy_diversity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/privacy_diversity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/privacy_linkage_test.dir/privacy/linkage_test.cc.o"
+  "CMakeFiles/privacy_linkage_test.dir/privacy/linkage_test.cc.o.d"
+  "privacy_linkage_test"
+  "privacy_linkage_test.pdb"
+  "privacy_linkage_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/privacy_linkage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

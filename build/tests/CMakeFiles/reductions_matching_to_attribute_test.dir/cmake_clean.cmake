@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reductions_matching_to_attribute_test.dir/reductions/matching_to_attribute_test.cc.o"
+  "CMakeFiles/reductions_matching_to_attribute_test.dir/reductions/matching_to_attribute_test.cc.o.d"
+  "reductions_matching_to_attribute_test"
+  "reductions_matching_to_attribute_test.pdb"
+  "reductions_matching_to_attribute_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reductions_matching_to_attribute_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

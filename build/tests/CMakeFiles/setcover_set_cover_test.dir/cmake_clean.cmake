@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/setcover_set_cover_test.dir/setcover/set_cover_test.cc.o"
+  "CMakeFiles/setcover_set_cover_test.dir/setcover/set_cover_test.cc.o.d"
+  "setcover_set_cover_test"
+  "setcover_set_cover_test.pdb"
+  "setcover_set_cover_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/setcover_set_cover_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

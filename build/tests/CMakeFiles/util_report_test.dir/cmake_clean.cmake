@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_report_test.dir/util/report_test.cc.o"
+  "CMakeFiles/util_report_test.dir/util/report_test.cc.o.d"
+  "util_report_test"
+  "util_report_test.pdb"
+  "util_report_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_report_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
