@@ -17,6 +17,7 @@
 #include "reductions/matching_to_kanon.h"
 #include "util/cli.h"
 #include "util/random.h"
+#include "util/run_context.h"
 
 namespace kanon {
 namespace {
@@ -27,7 +28,11 @@ int Main(int argc, char** argv) {
       static_cast<uint32_t>(cl.GetInt("trials", 6));
   const uint32_t n = static_cast<uint32_t>(cl.GetInt("n", 9));
   const uint32_t extra = static_cast<uint32_t>(cl.GetInt("extra", 3));
+  // Optional wall-clock bound per exact solve; interrupted instances are
+  // reported as "stopped" and skipped, not counted as violations.
+  const long long deadline_ms = cl.GetInt("deadline-ms", 0);
   const uint32_t k = 3;
+  size_t stopped_runs = 0;
 
   bench::PrintBanner(
       "E1 (Theorem 3.1): PERFECT MATCHING -> k-ANONYMITY",
@@ -45,8 +50,23 @@ int Main(int argc, char** argv) {
         {.num_vertices = n, .k = k, .extra_edges = extra}, &rng);
     const Table v = BuildKAnonInstance(yes);
     ExactDpAnonymizer exact;
-    const auto result = exact.Run(v, k);
+    RunContext ctx;
+    if (deadline_ms > 0) {
+      ctx.set_deadline_after_millis(static_cast<double>(deadline_ms));
+    }
+    const auto result = exact.Run(v, k, &ctx);
     const size_t threshold = KAnonHardnessThreshold(yes);
+    if (result.termination != StopReason::kNone) {
+      ++stopped_runs;
+      table.AddRow({bench::ReportTable::Int(seed), "YES (planted PM)",
+                    bench::ReportTable::Int(n),
+                    bench::ReportTable::Int(yes.num_edges()),
+                    bench::ReportTable::Int(static_cast<long long>(threshold)),
+                    "-", "yes",
+                    std::string("stopped: ") +
+                        StopReasonName(result.termination)});
+      continue;
+    }
     const bool meets = result.cost == threshold;
     // An optimal anonymizer at the threshold must encode a matching.
     const auto extracted =
@@ -70,8 +90,23 @@ int Main(int argc, char** argv) {
         {.num_vertices = 8, .k = 4, .extra_edges = 2}, &rng);
     const Table v = BuildKAnonInstance(yes4);
     ExactDpAnonymizer exact;
-    const auto result = exact.Run(v, 4);
+    RunContext ctx;
+    if (deadline_ms > 0) {
+      ctx.set_deadline_after_millis(static_cast<double>(deadline_ms));
+    }
+    const auto result = exact.Run(v, 4, &ctx);
     const size_t threshold = KAnonHardnessThreshold(yes4);
+    if (result.termination != StopReason::kNone) {
+      ++stopped_runs;
+      table.AddRow({bench::ReportTable::Int(seed), "YES (k=4)",
+                    bench::ReportTable::Int(8),
+                    bench::ReportTable::Int(yes4.num_edges()),
+                    bench::ReportTable::Int(static_cast<long long>(threshold)),
+                    "-", "yes",
+                    std::string("stopped: ") +
+                        StopReasonName(result.termination)});
+      continue;
+    }
     const auto extracted =
         ExtractMatching(yes4, v, result.MakeSuppressor(v));
     const bool ok = result.cost == threshold && extracted.has_value();
@@ -89,8 +124,23 @@ int Main(int argc, char** argv) {
     const Hypergraph no = MatchingFreeHypergraph(n, k, extra + n / k, &rng);
     const Table v = BuildKAnonInstance(no);
     ExactDpAnonymizer exact;
-    const auto result = exact.Run(v, k);
+    RunContext ctx;
+    if (deadline_ms > 0) {
+      ctx.set_deadline_after_millis(static_cast<double>(deadline_ms));
+    }
+    const auto result = exact.Run(v, k, &ctx);
     const size_t threshold = KAnonHardnessThreshold(no);
+    if (result.termination != StopReason::kNone) {
+      ++stopped_runs;
+      table.AddRow({bench::ReportTable::Int(seed), "NO (matching-free)",
+                    bench::ReportTable::Int(n),
+                    bench::ReportTable::Int(no.num_edges()),
+                    bench::ReportTable::Int(static_cast<long long>(threshold)),
+                    "-", "no",
+                    std::string("stopped: ") +
+                        StopReasonName(result.termination)});
+      continue;
+    }
     const bool ok = result.cost > threshold && !HasPerfectMatching(no);
     all_ok &= ok;
     table.AddRow({bench::ReportTable::Int(seed), "NO (matching-free)",
@@ -102,6 +152,11 @@ int Main(int argc, char** argv) {
   }
 
   table.Print();
+  if (stopped_runs > 0) {
+    std::cout << stopped_runs
+              << " run(s) stopped at the --deadline-ms bound and were "
+                 "skipped\n";
+  }
   bench::PrintVerdict(all_ok,
                       all_ok ? "Theorem 3.1 equivalence reproduced on all "
                                "instances"

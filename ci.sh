@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# CI entry point: tier-1 build + tests, then the same suite under
+# AddressSanitizer + UBSanitizer (-DKANON_SANITIZE=ON).
+#
+# Usage: ./ci.sh [--skip-sanitizers]
+set -euo pipefail
+cd "$(dirname "$0")"
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+echo "=== tier-1: default build ==="
+cmake -B build -S . >/dev/null
+cmake --build build -j"${JOBS}"
+ctest --test-dir build --output-on-failure -j"${JOBS}"
+
+if [[ "${1:-}" == "--skip-sanitizers" ]]; then
+  echo "=== sanitizer pass skipped ==="
+  exit 0
+fi
+
+echo "=== tier-1 under ASan+UBSan ==="
+cmake -B build-asan -S . -DKANON_SANITIZE=ON >/dev/null
+cmake --build build-asan -j"${JOBS}"
+# abort_on_error makes sanitizer findings fail the death tests' parent
+# process visibly instead of being swallowed by the fork.
+ASAN_OPTIONS="abort_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
+  ctest --test-dir build-asan --output-on-failure -j"${JOBS}"
+
+echo "=== ci.sh: all green ==="

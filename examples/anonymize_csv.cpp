@@ -5,12 +5,18 @@
 //
 // Usage:
 //   ./example_anonymize_csv <input.csv> <output.csv>
-//       [--k=3] [--algo=ball_cover] [--local_search]
+//       [--k=3] [--algo=ball_cover] [--local_search] [--deadline-ms=N]
 //   ./example_anonymize_csv --demo     # run on a built-in demo table
+//
+// --deadline-ms bounds the run's wall clock; pair it with
+// --algo=resilient to degrade across the fallback chain instead of
+// timing out empty-handed. The run's termination status and (for the
+// resilient chain) producing stage are reported on stderr.
 //
 // Exit codes: 0 ok, 1 usage error, 2 I/O or data error.
 
 #include <iostream>
+#include <limits>
 
 #include "algo/registry.h"
 #include "core/anonymity.h"
@@ -19,11 +25,27 @@
 #include "data/generators/census.h"
 #include "util/cli.h"
 #include "util/random.h"
+#include "util/run_context.h"
 
 int main(int argc, char** argv) {
   using namespace kanon;
   const CommandLine cl = CommandLine::Parse(argc, argv);
-  const size_t k = static_cast<size_t>(cl.GetInt("k", 3));
+
+  const StatusOr<long long> k_flag = cl.GetValidatedInt(
+      "k", 3, 1, std::numeric_limits<long long>::max());
+  if (!k_flag.ok()) {
+    std::cerr << "error: " << k_flag.status().message() << "\n";
+    return 1;
+  }
+  const size_t k = static_cast<size_t>(*k_flag);
+
+  const StatusOr<long long> deadline_flag = cl.GetValidatedInt(
+      "deadline-ms", 0, 0, std::numeric_limits<long long>::max());
+  if (!deadline_flag.ok()) {
+    std::cerr << "error: " << deadline_flag.status().message() << "\n";
+    return 1;
+  }
+
   std::string algo_name = cl.GetString("algo", "ball_cover");
   if (cl.GetBool("local_search", false)) algo_name += "+local_search";
 
@@ -32,10 +54,9 @@ int main(int argc, char** argv) {
       Rng rng(1);
       return CensusTable({.num_rows = 40}, &rng);
     }
-    std::string error;
-    auto loaded = LoadTableCsv(cl.positional()[0], &error);
-    if (!loaded.has_value()) {
-      std::cerr << "error: " << error << "\n";
+    StatusOr<Table> loaded = ReadTableCsv(cl.positional()[0]);
+    if (!loaded.ok()) {
+      std::cerr << "error: " << loaded.status().ToString() << "\n";
       std::exit(2);
     }
     return *std::move(loaded);
@@ -56,7 +77,19 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  const AnonymizationResult result = algo->Run(input, k);
+  RunContext ctx;
+  if (*deadline_flag > 0) {
+    ctx.set_deadline_after_millis(static_cast<double>(*deadline_flag));
+  }
+  const AnonymizationResult result = algo->Run(input, k, &ctx);
+  if (result.partition.groups.empty()) {
+    // A bare solver hit its deadline/budget before producing anything;
+    // --algo=resilient always degrades to a valid partition instead.
+    std::cerr << "error: run stopped ("
+              << StopReasonName(result.termination)
+              << ") before producing a partition; try --algo=resilient\n";
+    return 2;
+  }
   const Table anonymized = result.MakeSuppressor(input).Apply(input);
   if (!IsKAnonymous(anonymized, k)) {
     std::cerr << "internal error: output not k-anonymous\n";
@@ -69,11 +102,14 @@ int main(int argc, char** argv) {
             << "\n"
             << ComputeMetrics(input, result.partition, k).ToString()
             << "\n"
-            << "time: " << result.seconds * 1e3 << " ms\n";
+            << "termination: " << StopReasonName(result.termination);
+  if (!result.stage.empty()) std::cerr << ", stage: " << result.stage;
+  std::cerr << "\ntime: " << result.seconds * 1e3 << " ms\n";
 
   if (cl.positional().size() >= 2) {
-    if (!SaveTableCsv(anonymized, cl.positional()[1])) {
-      std::cerr << "error: cannot write " << cl.positional()[1] << "\n";
+    const Status written = WriteTableCsv(anonymized, cl.positional()[1]);
+    if (!written.ok()) {
+      std::cerr << "error: " << written.ToString() << "\n";
       return 2;
     }
     std::cerr << "wrote " << cl.positional()[1] << "\n";

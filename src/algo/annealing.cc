@@ -226,9 +226,14 @@ std::string AnnealingAnonymizer::name() const {
 }
 
 AnonymizationResult AnnealingAnonymizer::Run(const Table& table,
-                                             size_t k) {
+                                             size_t k, RunContext* ctx) {
   WallTimer timer;
-  AnonymizationResult seed_result = base_->Run(table, k);
+  AnonymizationResult seed_result = base_->Run(table, k, ctx);
+  if (seed_result.partition.groups.empty()) {
+    // Base declined or was stopped before producing a seed partition.
+    seed_result.seconds = timer.Seconds();
+    return seed_result;
+  }
   const size_t base_cost = seed_result.cost;
 
   Rng rng(options_.seed);
@@ -240,6 +245,7 @@ AnonymizationResult AnnealingAnonymizer::Run(const Table& table,
   double temperature = options_.initial_temperature;
   size_t accepted = 0;
   for (size_t iter = 0; iter < options_.iterations; ++iter) {
+    if ((iter & 63) == 0 && ctx->ShouldStop()) break;
     long long delta = 0;
     if (!state.Propose(&rng, &delta)) continue;
     const bool accept =
@@ -270,6 +276,7 @@ AnonymizationResult AnnealingAnonymizer::Run(const Table& table,
   KANON_CHECK_LE(result.cost, base_cost);
   KANON_CHECK_EQ(result.cost, best);
   result.seconds = timer.Seconds();
+  result.termination = ctx->stop_reason();
   std::ostringstream notes;
   notes << "base_cost=" << base_cost << " accepted=" << accepted << "/"
         << options_.iterations;

@@ -38,8 +38,10 @@ class AnnealingAnonymizer : public Anonymizer {
   AnnealingAnonymizer(std::unique_ptr<Anonymizer> base,
                       AnnealingOptions options = {});
 
+  using Anonymizer::Run;
   std::string name() const override;
-  AnonymizationResult Run(const Table& table, size_t k) override;
+  AnonymizationResult Run(const Table& table, size_t k,
+                          RunContext* ctx) override;
 
  private:
   std::unique_ptr<Anonymizer> base_;

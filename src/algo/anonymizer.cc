@@ -11,9 +11,25 @@ Suppressor AnonymizationResult::MakeSuppressor(const Table& table) const {
   return SuppressorForPartition(table, partition);
 }
 
+AnonymizationResult Anonymizer::Run(const Table& table, size_t k) {
+  RunContext unlimited;
+  return Run(table, k, &unlimited);
+}
+
 void FinalizeResult(const Table& table, AnonymizationResult* result) {
   result->cost = PartitionCost(table, result->partition);
   result->diameter_sum = DiameterSum(table, result->partition);
+}
+
+AnonymizationResult StoppedResult(const RunContext& ctx, double seconds,
+                                  std::string notes) {
+  AnonymizationResult result;
+  result.termination = ctx.stop_reason();
+  KANON_CHECK(result.termination != StopReason::kNone)
+      << "StoppedResult on a context that did not stop";
+  result.seconds = seconds;
+  result.notes = std::move(notes);
+  return result;
 }
 
 AnonymizationResult ValidateResult(const Table& table, size_t k,

@@ -18,9 +18,10 @@ std::string AttributeAdapterAnonymizer::name() const {
 }
 
 AnonymizationResult AttributeAdapterAnonymizer::Run(const Table& table,
-                                                    size_t k) {
+                                                    size_t k,
+                                                    RunContext* ctx) {
   WallTimer timer;
-  const AttributeResult attr = solver_->Solve(table, k);
+  const AttributeResult attr = solver_->Solve(table, k, ctx);
 
   AnonymizationResult result;
   result.partition = attr.partition;
@@ -34,6 +35,7 @@ AnonymizationResult AttributeAdapterAnonymizer::Run(const Table& table,
                  static_cast<size_t>(table.num_rows()) *
                      attr.num_suppressed());
   result.seconds = timer.Seconds();
+  result.termination = attr.termination;
   std::ostringstream notes;
   notes << "suppressed_attributes=" << attr.num_suppressed() << " ["
         << attr.notes << "]";

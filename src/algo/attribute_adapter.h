@@ -22,8 +22,10 @@ class AttributeAdapterAnonymizer : public Anonymizer {
   explicit AttributeAdapterAnonymizer(
       std::unique_ptr<AttributeAnonymizer> solver);
 
+  using Anonymizer::Run;
   std::string name() const override;
-  AnonymizationResult Run(const Table& table, size_t k) override;
+  AnonymizationResult Run(const Table& table, size_t k,
+                          RunContext* ctx) override;
 
  private:
   std::unique_ptr<AttributeAnonymizer> solver_;

@@ -7,6 +7,11 @@
 
 namespace kanon {
 
+AttributeResult AttributeAnonymizer::Solve(const Table& table, size_t k) {
+  RunContext unlimited;
+  return Solve(table, k, &unlimited);
+}
+
 Suppressor AttributeResult::MakeSuppressor(const Table& table) const {
   Suppressor t(table.num_rows(), table.num_columns());
   for (const ColId c : suppressed) t.SuppressColumn(c);

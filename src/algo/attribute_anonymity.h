@@ -8,6 +8,7 @@
 #include "core/partition.h"
 #include "core/suppressor.h"
 #include "data/table.h"
+#include "util/run_context.h"
 
 /// \file
 /// k-ANONYMITY ON ATTRIBUTES (Section 3.1): instead of starring
@@ -32,6 +33,11 @@ struct AttributeResult {
   double seconds = 0.0;
   /// Free-form counters.
   std::string notes;
+  /// StopReason::kNone when Solve ran to completion. A stopped solver
+  /// degrades to a coarser feasible answer (ultimately all-suppressed,
+  /// which is always k-anonymous for n >= k) rather than failing, so
+  /// `suppressed`/`partition` stay valid either way.
+  StopReason termination = StopReason::kNone;
 
   size_t num_suppressed() const { return suppressed.size(); }
 
@@ -58,8 +64,14 @@ class AttributeAnonymizer {
   virtual std::string name() const = 0;
   /// Requires 1 <= k <= n and m <= 63. The all-suppressed solution is
   /// always feasible (every row becomes (*,...,*)), so Solve always
-  /// succeeds.
-  virtual AttributeResult Solve(const Table& table, size_t k) = 0;
+  /// succeeds — a run stopped by `ctx` falls back to it and records the
+  /// stop reason in the result's `termination`.
+  virtual AttributeResult Solve(const Table& table, size_t k,
+                                RunContext* ctx) = 0;
+
+  /// Back-compat convenience: unlimited, strict context. (Subclasses
+  /// re-expose via `using AttributeAnonymizer::Solve;`.)
+  AttributeResult Solve(const Table& table, size_t k);
 };
 
 /// Validates a result (partition matches the kept-column grouping, all

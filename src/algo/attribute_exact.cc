@@ -44,22 +44,32 @@ ExactAttributeAnonymizer::ExactAttributeAnonymizer(
     : options_(options) {}
 
 AttributeResult ExactAttributeAnonymizer::Solve(const Table& table,
-                                                size_t k) {
+                                                size_t k, RunContext* ctx) {
   const ColId m = table.num_columns();
   KANON_CHECK_GE(k, 1u);
   KANON_CHECK_GE(static_cast<size_t>(table.num_rows()), k);
-  KANON_CHECK_LE(static_cast<size_t>(m), options_.max_columns)
-      << "attribute_exact is exponential in m";
-
   WallTimer timer;
+  if (static_cast<size_t>(m) > options_.max_columns) {
+    if (!ctx->lenient()) {
+      KANON_CHECK_LE(static_cast<size_t>(m), options_.max_columns)
+          << "attribute_exact is exponential in m";
+    }
+    ctx->MarkStopped(StopReason::kBudget);
+  }
+
   size_t checked = 0;
   uint64_t best_kept = 0;
   bool found = false;
+  bool stopped = ctx->ShouldStop();
   // Largest kept set first; the first feasible one is optimal by
   // downward monotonicity of feasibility.
-  for (size_t kept_size = m; !found; --kept_size) {
+  for (size_t kept_size = m; !found && !stopped; --kept_size) {
     ForEachColumnSubset(m, kept_size, [&](uint64_t kept) {
       ++checked;
+      if ((checked & 0x1ff) == 0 && ctx->ShouldStop()) {
+        stopped = true;
+        return false;
+      }
       if (KeptSetFeasible(table, kept, k)) {
         best_kept = kept;
         found = true;
@@ -69,6 +79,12 @@ AttributeResult ExactAttributeAnonymizer::Solve(const Table& table,
     });
     if (kept_size == 0) break;
   }
+  if (stopped) {
+    // Degrade to the all-suppressed solution, which is feasible for any
+    // n >= k (every projected row is the empty tuple).
+    best_kept = 0;
+    found = true;
+  }
   KANON_CHECK(found);  // kept_size == 0 is always feasible for n >= k
 
   AttributeResult result;
@@ -77,8 +93,10 @@ AttributeResult ExactAttributeAnonymizer::Solve(const Table& table,
   }
   result.partition = GroupByKeptColumns(table, best_kept);
   result.seconds = timer.Seconds();
+  result.termination = ctx->stop_reason();
   std::ostringstream notes;
   notes << "kept_sets_checked=" << checked;
+  if (stopped) notes << " degraded=all_suppressed";
   result.notes = notes.str();
   return result;
 }

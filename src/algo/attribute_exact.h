@@ -23,8 +23,10 @@ class ExactAttributeAnonymizer : public AttributeAnonymizer {
  public:
   explicit ExactAttributeAnonymizer(ExactAttributeOptions options = {});
 
+  using AttributeAnonymizer::Solve;
   std::string name() const override { return "attribute_exact"; }
-  AttributeResult Solve(const Table& table, size_t k) override;
+  AttributeResult Solve(const Table& table, size_t k,
+                        RunContext* ctx) override;
 
  private:
   ExactAttributeOptions options_;

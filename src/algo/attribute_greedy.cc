@@ -8,7 +8,7 @@
 namespace kanon {
 
 AttributeResult GreedyAttributeAnonymizer::Solve(const Table& table,
-                                                 size_t k) {
+                                                 size_t k, RunContext* ctx) {
   const ColId m = table.num_columns();
   KANON_CHECK_GE(k, 1u);
   KANON_CHECK_GE(static_cast<size_t>(table.num_rows()), k);
@@ -19,8 +19,19 @@ AttributeResult GreedyAttributeAnonymizer::Solve(const Table& table,
   AttributeResult result;
   size_t checks = 0;
 
+  bool stopped = false;
   while (true) {
     ++checks;
+    if (ctx->ShouldStop()) {
+      // Degrade: suppress every remaining kept column. The all-suppressed
+      // projection is k-anonymous for any n >= k.
+      stopped = true;
+      for (ColId c = 0; c < m; ++c) {
+        if (kept & (uint64_t{1} << c)) result.suppressed.push_back(c);
+      }
+      kept = 0;
+      break;
+    }
     if (KeptSetFeasible(table, kept, k)) break;
     // Pick the kept attribute whose suppression maximizes the projection
     // anonymity level.
@@ -47,8 +58,10 @@ AttributeResult GreedyAttributeAnonymizer::Solve(const Table& table,
 
   result.partition = GroupByKeptColumns(table, kept);
   result.seconds = timer.Seconds();
+  result.termination = ctx->stop_reason();
   std::ostringstream notes;
   notes << "feasibility_checks=" << checks;
+  if (stopped) notes << " degraded=all_suppressed";
   result.notes = notes.str();
   return result;
 }

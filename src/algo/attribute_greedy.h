@@ -18,8 +18,10 @@ namespace kanon {
 /// Greedy backward elimination.
 class GreedyAttributeAnonymizer : public AttributeAnonymizer {
  public:
+  using AttributeAnonymizer::Solve;
   std::string name() const override { return "attribute_greedy"; }
-  AttributeResult Solve(const Table& table, size_t k) override;
+  AttributeResult Solve(const Table& table, size_t k,
+                        RunContext* ctx) override;
 };
 
 }  // namespace kanon

@@ -23,7 +23,8 @@ namespace {
 class BallFamily : public SetFamily {
  public:
   BallFamily(const Table& table, const DistanceMatrix& dm, size_t k,
-             BallFamilyMode mode, BallWeightMode weight_mode)
+             BallFamilyMode mode, BallWeightMode weight_mode,
+             RunContext* ctx)
       : n_(table.num_rows()) {
     const ColId m = table.num_columns();
     // Resolve kAuto per the paper's advice: the radius family has
@@ -68,6 +69,8 @@ class BallFamily : public SetFamily {
       }
     });
 
+    if (ctx->ShouldStop()) return;  // partial per-center state discarded
+
     auto prefix_for_radius = [&](RowId c, ColId radius) {
       // Number of rows within `radius` of c.
       return static_cast<size_t>(
@@ -82,6 +85,7 @@ class BallFamily : public SetFamily {
 
     if (mode_ == BallFamilyMode::kRadius) {
       for (RowId c = 0; c < n_; ++c) {
+        if (ctx->ShouldStop()) return;
         for (ColId i = 0; i <= m; ++i) {
           const size_t len = prefix_for_radius(c, i);
           if (len < k) continue;
@@ -90,6 +94,7 @@ class BallFamily : public SetFamily {
       }
     } else {
       for (RowId c = 0; c < n_; ++c) {
+        if (ctx->ShouldStop()) return;
         for (RowId peer = 0; peer < n_; ++peer) {
           const ColId radius = dm.at(c, peer);
           const size_t len = prefix_for_radius(c, radius);
@@ -150,20 +155,40 @@ std::string BallCoverAnonymizer::name() const {
   return "ball_cover";
 }
 
-AnonymizationResult BallCoverAnonymizer::Run(const Table& table, size_t k) {
+AnonymizationResult BallCoverAnonymizer::Run(const Table& table, size_t k,
+                                             RunContext* ctx) {
   const RowId n = table.num_rows();
   KANON_CHECK_GE(k, 1u);
   KANON_CHECK_GE(static_cast<size_t>(n), k);
 
   WallTimer timer;
+  // The per-center sorted orders, distances and prefix diameters are the
+  // O(n^2) footprint; account them before building.
+  const size_t family_bytes =
+      static_cast<size_t>(n) * n * (sizeof(RowId) + 2 * sizeof(ColId));
+  if (!ctx->TryChargeMemory(family_bytes)) {
+    return StoppedResult(*ctx, timer.Seconds(),
+                         "declined: ball family exceeds memory limit");
+  }
   const DistanceMatrix dm(table);
   const BallFamily family(table, dm, k, options_.family_mode,
-                          options_.weight_mode);
+                          options_.weight_mode, ctx);
+  if (ctx->ShouldStop()) {
+    ctx->ReleaseMemory(family_bytes);
+    return StoppedResult(*ctx, timer.Seconds(),
+                         "stopped while building ball family");
+  }
 
   // Phase 1: greedy cover over the ball family. Coverage is guaranteed:
   // the radius-m ball around any center contains all n >= k rows.
-  const SetCoverResult cover_result = GreedySetCover(family);
-  KANON_CHECK(cover_result.complete);
+  const SetCoverResult cover_result = GreedySetCover(family, ctx);
+  if (!cover_result.complete) {
+    KANON_CHECK(ctx->stop_reason() != StopReason::kNone)
+        << "ball family always covers the universe";
+    ctx->ReleaseMemory(family_bytes);
+    return StoppedResult(*ctx, timer.Seconds(),
+                         "stopped during greedy cover");
+  }
 
   Partition cover;
   cover.groups.reserve(cover_result.chosen.size());
@@ -188,6 +213,7 @@ AnonymizationResult BallCoverAnonymizer::Run(const Table& table, size_t k) {
         << " cover_sets=" << cover_result.chosen.size()
         << " cover_weight=" << cover_result.total_weight;
   result.notes = notes.str();
+  ctx->ReleaseMemory(family_bytes);
   return result;
 }
 

@@ -60,8 +60,10 @@ class BallCoverAnonymizer : public Anonymizer {
  public:
   explicit BallCoverAnonymizer(BallCoverOptions options = {});
 
+  using Anonymizer::Run;
   std::string name() const override;
-  AnonymizationResult Run(const Table& table, size_t k) override;
+  AnonymizationResult Run(const Table& table, size_t k,
+                          RunContext* ctx) override;
 
  private:
   BallCoverOptions options_;

@@ -17,8 +17,8 @@ namespace {
 class Search {
  public:
   Search(const Table& table, const DistanceMatrix& dm, size_t k,
-         size_t max_nodes)
-      : table_(table), k_(k), max_nodes_(max_nodes) {
+         size_t max_nodes, RunContext* ctx)
+      : table_(table), k_(k), max_nodes_(max_nodes), ctx_(ctx) {
     const RowId n = table.num_rows();
     assigned_.assign(n, false);
     row_lb_.resize(n);
@@ -46,6 +46,13 @@ class Search {
  private:
   bool NodeBudgetExceeded() {
     if (max_nodes_ != 0 && nodes_ >= max_nodes_) {
+      truncated_ = true;
+      return true;
+    }
+    // Cooperative checkpoint: one per search node, with the clock read
+    // strided so pruning-heavy searches stay cheap.
+    ctx_->ChargeNodes();
+    if ((nodes_ & 0x3f) == 0 && ctx_->ShouldStop()) {
       truncated_ = true;
       return true;
     }
@@ -119,6 +126,7 @@ class Search {
   const Table& table_;
   const size_t k_;
   const size_t max_nodes_;
+  RunContext* const ctx_;
 
   std::vector<bool> assigned_;
   std::vector<ColId> row_lb_;
@@ -149,27 +157,39 @@ BranchBoundAnonymizer::BranchBoundAnonymizer(BranchBoundOptions options)
     : options_(options) {}
 
 AnonymizationResult BranchBoundAnonymizer::Run(const Table& table,
-                                               size_t k) {
+                                               size_t k,
+                                               RunContext* ctx) {
   const RowId n = table.num_rows();
   KANON_CHECK_GE(k, 1u);
   KANON_CHECK_GE(static_cast<size_t>(n), k);
-  KANON_CHECK_LE(static_cast<size_t>(n), options_.max_rows)
-      << "branch_bound is exponential in n";
-
   WallTimer timer;
+  if (static_cast<size_t>(n) > options_.max_rows) {
+    if (!ctx->lenient()) {
+      KANON_CHECK_LE(static_cast<size_t>(n), options_.max_rows)
+          << "branch_bound is exponential in n";
+    }
+    ctx->MarkStopped(StopReason::kBudget);
+    return StoppedResult(*ctx, timer.Seconds(),
+                         "declined: n exceeds branch_bound max_rows");
+  }
+
   const DistanceMatrix dm(table);
-  Search search(table, dm, k, options_.max_nodes);
+  Search search(table, dm, k, options_.max_nodes, ctx);
   // The chunk partition seeds a finite incumbent; the search only
   // replaces it on strict improvement, so its cost is an upper bound
   // throughout and pruning with >= is safe.
   const Partition incumbent = ChunkPartition(n, k);
   search.Run(incumbent, PartitionCost(table, incumbent));
 
+  // Even a truncated search holds a valid incumbent (seeded above), so
+  // a deadline/budget stop degrades to "best found so far" rather than
+  // nothing — branch & bound is the chain's anytime stage.
   AnonymizationResult result;
   result.partition = search.best_partition();
   FinalizeResult(table, &result);
   KANON_CHECK_EQ(result.cost, search.best_cost());
   result.seconds = timer.Seconds();
+  result.termination = ctx->stop_reason();
   std::ostringstream notes;
   notes << "nodes=" << search.nodes()
         << (search.truncated() ? " TRUNCATED" : "");

@@ -36,8 +36,10 @@ class BranchBoundAnonymizer : public Anonymizer {
  public:
   explicit BranchBoundAnonymizer(BranchBoundOptions options = {});
 
+  using Anonymizer::Run;
   std::string name() const override { return "branch_bound"; }
-  AnonymizationResult Run(const Table& table, size_t k) override;
+  AnonymizationResult Run(const Table& table, size_t k,
+                          RunContext* ctx) override;
 
  private:
   BranchBoundOptions options_;

@@ -21,8 +21,8 @@ size_t CostWith(const Table& table, const Group& group, RowId extra) {
 
 }  // namespace
 
-AnonymizationResult ClusterGreedyAnonymizer::Run(const Table& table,
-                                                 size_t k) {
+AnonymizationResult ClusterGreedyAnonymizer::Run(const Table& table, size_t k,
+                                                 RunContext* /*ctx*/) {
   const RowId n = table.num_rows();
   KANON_CHECK_GE(k, 1u);
   KANON_CHECK_GE(static_cast<size_t>(n), k);

@@ -16,8 +16,10 @@ namespace kanon {
 /// Greedy k-member clustering baseline.
 class ClusterGreedyAnonymizer : public Anonymizer {
  public:
+  using Anonymizer::Run;
   std::string name() const override { return "cluster_greedy"; }
-  AnonymizationResult Run(const Table& table, size_t k) override;
+  AnonymizationResult Run(const Table& table, size_t k,
+                          RunContext* ctx) override;
 };
 
 }  // namespace kanon

@@ -16,7 +16,8 @@ namespace {
 constexpr size_t kInf = std::numeric_limits<size_t>::max();
 
 /// Enumerates all size-`s` subsets of `items`, invoking `fn` with the
-/// OR-mask of each chosen subset.
+/// OR-mask of each chosen subset. `fn` returns false to abort the
+/// enumeration (cooperative cancellation).
 template <typename Fn>
 void ForEachSubsetMask(const std::vector<uint32_t>& item_bits, size_t s,
                        Fn&& fn) {
@@ -31,7 +32,7 @@ void ForEachSubsetMask(const std::vector<uint32_t>& item_bits, size_t s,
   for (;;) {
     uint32_t mask = 0;
     for (const size_t i : idx) mask |= item_bits[i];
-    fn(mask);
+    if (!fn(mask)) return;
     size_t i = s;
     bool advanced = false;
     while (i > 0) {
@@ -61,33 +62,69 @@ size_t GroupCost(const Table& table, uint32_t mask) {
 ExactDpAnonymizer::ExactDpAnonymizer(ExactDpOptions options)
     : options_(options) {}
 
-AnonymizationResult ExactDpAnonymizer::Run(const Table& table, size_t k) {
+AnonymizationResult ExactDpAnonymizer::Run(const Table& table, size_t k,
+                                           RunContext* ctx) {
   const RowId n = table.num_rows();
   KANON_CHECK_GE(k, 1u);
   KANON_CHECK_GE(static_cast<size_t>(n), k);
-  KANON_CHECK_LE(static_cast<size_t>(n), options_.max_rows)
-      << "exact_dp is exponential in n";
-
   WallTimer timer;
+  if (static_cast<size_t>(n) > options_.max_rows) {
+    if (!ctx->lenient()) {
+      KANON_CHECK_LE(static_cast<size_t>(n), options_.max_rows)
+          << "exact_dp is exponential in n";
+    }
+    ctx->MarkStopped(StopReason::kBudget);
+    return StoppedResult(*ctx, timer.Seconds(),
+                         "declined: n exceeds exact_dp max_rows");
+  }
+
   const size_t group_max = std::min<size_t>(2 * k - 1, n);
   const uint32_t full = (n == 32) ? 0xffffffffu : ((1u << n) - 1u);
 
+  // The dp/choice tables dominate the footprint; account them up front
+  // so a memory-limited context declines instead of thrashing.
+  const size_t table_bytes =
+      (static_cast<size_t>(full) + 1) * (sizeof(size_t) + sizeof(uint32_t));
+  if (!ctx->TryChargeMemory(table_bytes)) {
+    return StoppedResult(*ctx, timer.Seconds(),
+                         "declined: dp tables exceed memory limit");
+  }
+
   // Precompute ANON for every candidate group mask (|S| in [k, 2k-1]).
   std::unordered_map<uint32_t, size_t> group_cost;
+  bool stopped = false;
   {
     std::vector<uint32_t> all_bits(n);
     for (RowId r = 0; r < n; ++r) all_bits[r] = 1u << r;
-    for (size_t s = k; s <= group_max; ++s) {
+    size_t enumerated = 0;
+    for (size_t s = k; s <= group_max && !stopped; ++s) {
       ForEachSubsetMask(all_bits, s, [&](uint32_t mask) {
+        if ((++enumerated & 0x3ff) == 0 && ctx->ShouldStop()) {
+          stopped = true;
+          return false;
+        }
         group_cost.emplace(mask, GroupCost(table, mask));
+        return true;
       });
     }
+  }
+  if (stopped) {
+    ctx->ReleaseMemory(table_bytes);
+    return StoppedResult(*ctx, timer.Seconds(),
+                         "stopped during candidate-group precompute");
   }
 
   std::vector<size_t> dp(static_cast<size_t>(full) + 1, kInf);
   std::vector<uint32_t> choice(static_cast<size_t>(full) + 1, 0);
   dp[0] = 0;
   for (uint32_t mask = 1; mask <= full; ++mask) {
+    // One dp state per mask; the checkpoint stride keeps the clock off
+    // the inner subset enumeration.
+    ctx->ChargeNodes();
+    if ((mask & 0x3f) == 0 && ctx->ShouldStop()) {
+      stopped = true;
+      break;
+    }
     const int population = std::popcount(mask);
     if (static_cast<size_t>(population) < k) continue;
     const uint32_t low_bit = mask & (~mask + 1);
@@ -104,7 +141,7 @@ AnonymizationResult ExactDpAnonymizer::Run(const Table& table, size_t k) {
       ForEachSubsetMask(rest_bits, s, [&](uint32_t bits) {
         const uint32_t set_mask = low_bit | bits;
         const size_t rest_cost = dp[mask ^ set_mask];
-        if (rest_cost == kInf) return;
+        if (rest_cost == kInf) return true;
         const auto it = group_cost.find(set_mask);
         KANON_CHECK(it != group_cost.end());
         const size_t total = it->second + rest_cost;
@@ -112,11 +149,16 @@ AnonymizationResult ExactDpAnonymizer::Run(const Table& table, size_t k) {
           best = total;
           best_set = set_mask;
         }
+        return true;
       });
     }
     dp[mask] = best;
     choice[mask] = best_set;
     if (mask == full) break;
+  }
+  if (stopped) {
+    ctx->ReleaseMemory(table_bytes);
+    return StoppedResult(*ctx, timer.Seconds(), "stopped during dp sweep");
   }
   KANON_CHECK_NE(dp[full], kInf);
 
@@ -141,6 +183,7 @@ AnonymizationResult ExactDpAnonymizer::Run(const Table& table, size_t k) {
   notes << "states=" << (static_cast<size_t>(full) + 1)
         << " candidate_groups=" << group_cost.size();
   result.notes = notes.str();
+  ctx->ReleaseMemory(table_bytes);
   return result;
 }
 

@@ -33,8 +33,10 @@ class ExactDpAnonymizer : public Anonymizer {
  public:
   explicit ExactDpAnonymizer(ExactDpOptions options = {});
 
+  using Anonymizer::Run;
   std::string name() const override { return "exact_dp"; }
-  AnonymizationResult Run(const Table& table, size_t k) override;
+  AnonymizationResult Run(const Table& table, size_t k,
+                          RunContext* ctx) override;
 
  private:
   ExactDpOptions options_;

@@ -1,0 +1,99 @@
+#include "algo/fallback.h"
+
+#include <sstream>
+
+#include "algo/registry.h"
+#include "core/partition.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace kanon {
+
+FallbackAnonymizer::FallbackAnonymizer(FallbackOptions options)
+    : options_(std::move(options)) {
+  KANON_CHECK(!options_.stages.empty());
+  KANON_CHECK_GT(options_.non_final_deadline_fraction, 0.0);
+  KANON_CHECK_LE(options_.non_final_deadline_fraction, 1.0);
+  stages_.reserve(options_.stages.size());
+  for (const std::string& stage : options_.stages) {
+    KANON_CHECK(stage != "resilient") << "fallback chain cannot nest itself";
+    auto algo = MakeAnonymizer(stage);
+    KANON_CHECK(algo != nullptr) << "unknown chain stage: " << stage;
+    stages_.push_back(std::move(algo));
+  }
+}
+
+std::string FallbackAnonymizer::name() const { return "resilient"; }
+
+AnonymizationResult FallbackAnonymizer::Run(const Table& table, size_t k,
+                                            RunContext* ctx) {
+  const RowId n = table.num_rows();
+  KANON_CHECK_GE(k, 1u);
+  KANON_CHECK_GE(static_cast<size_t>(n), k);
+
+  WallTimer timer;
+  // First limit observed across the chain; kNone iff the accepted stage
+  // is the first one and it ran to completion.
+  StopReason first_stop = StopReason::kNone;
+  std::ostringstream chain;
+
+  for (size_t i = 0; i < stages_.size(); ++i) {
+    // If the caller's own limit has tripped, that — not a stage's
+    // structural decline — is why the chain degrades; record it first.
+    if (first_stop == StopReason::kNone && ctx->ShouldStop()) {
+      first_stop = ctx->stop_reason();
+    }
+    const bool last = (i + 1 == stages_.size());
+    RunContext child(ctx);  // observes ctx's cancellation
+    child.set_lenient(true);
+    if (ctx->has_deadline()) {
+      const double remaining = ctx->remaining_millis();
+      child.set_deadline_after_millis(
+          last ? remaining
+               : remaining * options_.non_final_deadline_fraction);
+    }
+    if (ctx->node_budget() > 0) {
+      const uint64_t used = ctx->nodes_charged();
+      child.set_node_budget(
+          ctx->node_budget() > used ? ctx->node_budget() - used : 1);
+    }
+    if (ctx->memory_limit_bytes() > 0) {
+      child.set_memory_limit_bytes(ctx->memory_limit_bytes());
+    }
+
+    AnonymizationResult attempt = stages_[i]->Run(table, k, &child);
+    ctx->ChargeNodes(child.nodes_charged());
+    if (first_stop == StopReason::kNone) {
+      first_stop = child.stop_reason();
+    }
+
+    const bool valid =
+        !attempt.partition.groups.empty() &&
+        IsValidPartition(attempt.partition, n, k, n);
+    if (i > 0) chain << "->";
+    chain << stages_[i]->name() << '(';
+    if (valid) {
+      chain << (child.stop_reason() == StopReason::kNone
+                    ? "ok"
+                    : StopReasonName(child.stop_reason()));
+    } else {
+      chain << "declined:" << StopReasonName(child.stop_reason());
+    }
+    chain << ')';
+
+    if (valid) {
+      attempt.stage = stages_[i]->name();
+      attempt.termination = first_stop;
+      attempt.seconds = timer.Seconds();
+      std::ostringstream notes;
+      notes << "chain=" << chain.str() << " [" << attempt.notes << "]";
+      attempt.notes = notes.str();
+      return attempt;
+    }
+  }
+  KANON_CHECK(false) << "fallback chain exhausted: " << chain.str()
+                     << " (terminal stage must be unconditionally feasible)";
+  return {};
+}
+
+}  // namespace kanon

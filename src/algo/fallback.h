@@ -1,0 +1,55 @@
+#ifndef KANON_ALGO_FALLBACK_H_
+#define KANON_ALGO_FALLBACK_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algo/anonymizer.h"
+
+/// \file
+/// Graceful-degradation chain ("resilient" in the registry).
+///
+/// The paper proves optimal k-anonymity NP-hard (Theorem 3.2), so the
+/// exact solvers can blow up on adversarial inputs — exactly the
+/// instances the Theorem 3.1 reduction generates. The fallback chain
+/// turns that into a quality/latency trade instead of a failure: it
+/// tries stages in decreasing quality order, each under a lenient child
+/// RunContext carrying a slice of the remaining deadline, and accepts
+/// the first stage that yields a *validated* k-anonymous partition.
+/// The terminal stage (suppress_all, O(n)) cannot fail for any
+/// 1 <= k <= n, so the chain ALWAYS returns a valid partition; the
+/// result's `termination` and `stage` record how far it degraded.
+
+namespace kanon {
+
+/// Configuration for FallbackAnonymizer.
+struct FallbackOptions {
+  /// Registry names tried in order; the last must be unconditionally
+  /// feasible (suppress_all). "resilient" itself is rejected.
+  std::vector<std::string> stages = {"exact_dp", "branch_bound",
+                                     "greedy_cover", "suppress_all"};
+  /// Share of the remaining deadline granted to each non-final stage;
+  /// the final stage gets everything left.
+  double non_final_deadline_fraction = 0.5;
+};
+
+/// Anonymizer that degrades across `options.stages` until one produces
+/// a valid partition. See the file comment for the contract.
+class FallbackAnonymizer : public Anonymizer {
+ public:
+  explicit FallbackAnonymizer(FallbackOptions options = {});
+
+  using Anonymizer::Run;
+  std::string name() const override;
+  AnonymizationResult Run(const Table& table, size_t k,
+                          RunContext* ctx) override;
+
+ private:
+  FallbackOptions options_;
+  std::vector<std::unique_ptr<Anonymizer>> stages_;
+};
+
+}  // namespace kanon
+
+#endif  // KANON_ALGO_FALLBACK_H_

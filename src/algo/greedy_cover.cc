@@ -31,13 +31,14 @@ size_t Binomial(size_t n, size_t r) {
 
 /// Enumerates all size-`s` subsets of [0, n) in lexicographic order,
 /// invoking `fn` with each subset.
+/// `fn` returns false to abort the enumeration early.
 template <typename Fn>
 void ForEachCombination(RowId n, size_t s, Fn&& fn) {
   if (s == 0 || s > n) return;
   std::vector<RowId> combo(s);
   for (size_t i = 0; i < s; ++i) combo[i] = static_cast<RowId>(i);
   for (;;) {
-    fn(combo);
+    if (!fn(combo)) return;
     // Advance to the next combination.
     size_t i = s;
     while (i > 0) {
@@ -71,31 +72,65 @@ size_t GreedyCoverAnonymizer::FamilySize(size_t n, size_t k) {
 }
 
 AnonymizationResult GreedyCoverAnonymizer::Run(const Table& table,
-                                               size_t k) {
+                                               size_t k,
+                                               RunContext* ctx) {
   const RowId n = table.num_rows();
   KANON_CHECK_GE(k, 1u);
   KANON_CHECK_GE(static_cast<size_t>(n), k);
-  KANON_CHECK_LE(FamilySize(n, k), options_.max_family_size)
-      << "family C too large for greedy_cover; use ball_cover";
-
   WallTimer timer;
+  const size_t family_size = FamilySize(n, k);
+  if (family_size > options_.max_family_size) {
+    if (!ctx->lenient()) {
+      KANON_CHECK_LE(family_size, options_.max_family_size)
+          << "family C too large for greedy_cover; use ball_cover";
+    }
+    ctx->MarkStopped(StopReason::kBudget);
+    return StoppedResult(*ctx, timer.Seconds(),
+                         "declined: family C exceeds max_family_size");
+  }
+  // Rough per-set footprint: the member list plus its weight.
+  const size_t family_bytes =
+      family_size * (2 * k * sizeof(uint32_t) + sizeof(double));
+  if (!ctx->TryChargeMemory(family_bytes)) {
+    return StoppedResult(*ctx, timer.Seconds(),
+                         "declined: family C exceeds memory limit");
+  }
+
   const DistanceMatrix dm(table);
 
   // Phase 0: materialize C, the family of all subsets with cardinality in
   // [k, 2k-1], weighted by diameter.
   std::vector<std::vector<uint32_t>> sets;
   std::vector<double> weights;
-  for (size_t s = k; s <= 2 * k - 1 && s <= n; ++s) {
+  bool stopped = false;
+  size_t enumerated = 0;
+  for (size_t s = k; s <= 2 * k - 1 && s <= n && !stopped; ++s) {
     ForEachCombination(n, s, [&](const std::vector<RowId>& combo) {
+      if ((++enumerated & 0xfff) == 0 && ctx->ShouldStop()) {
+        stopped = true;
+        return false;
+      }
       sets.emplace_back(combo.begin(), combo.end());
       weights.push_back(static_cast<double>(dm.Diameter(combo)));
+      return true;
     });
+  }
+  if (stopped) {
+    ctx->ReleaseMemory(family_bytes);
+    return StoppedResult(*ctx, timer.Seconds(),
+                         "stopped while materializing family C");
   }
   const VectorSetFamily family(n, std::move(sets), std::move(weights));
 
   // Phase 1: greedy cover.
-  const SetCoverResult cover_result = GreedySetCover(family);
-  KANON_CHECK(cover_result.complete);
+  const SetCoverResult cover_result = GreedySetCover(family, ctx);
+  if (!cover_result.complete) {
+    KANON_CHECK(ctx->stop_reason() != StopReason::kNone)
+        << "family C always covers the universe";
+    ctx->ReleaseMemory(family_bytes);
+    return StoppedResult(*ctx, timer.Seconds(),
+                         "stopped during greedy cover");
+  }
   Partition cover;
   cover.groups.reserve(cover_result.chosen.size());
   for (const size_t s : cover_result.chosen) {
@@ -115,6 +150,7 @@ AnonymizationResult GreedyCoverAnonymizer::Run(const Table& table,
         << " cover_sets=" << cover_result.chosen.size()
         << " cover_weight=" << cover_result.total_weight;
   result.notes = notes.str();
+  ctx->ReleaseMemory(family_bytes);
   return result;
 }
 

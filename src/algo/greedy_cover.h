@@ -38,8 +38,10 @@ class GreedyCoverAnonymizer : public Anonymizer {
  public:
   explicit GreedyCoverAnonymizer(GreedyCoverOptions options = {});
 
+  using Anonymizer::Run;
   std::string name() const override { return "greedy_cover"; }
-  AnonymizationResult Run(const Table& table, size_t k) override;
+  AnonymizationResult Run(const Table& table, size_t k,
+                          RunContext* ctx) override;
 
   /// Number of sets Run() would enumerate for (n, k); saturates at
   /// SIZE_MAX on overflow. Exposed so callers can pre-check feasibility.

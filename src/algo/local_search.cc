@@ -40,7 +40,7 @@ size_t CostReplacing(const Table& table, const Group& group, size_t idx,
 
 size_t ImprovePartition(const Table& table, size_t k,
                         const LocalSearchOptions& options,
-                        Partition* partition) {
+                        Partition* partition, RunContext* ctx) {
   KANON_CHECK(IsValidPartition(*partition, table.num_rows(), k,
                                table.num_rows()));
   std::vector<Group>& groups = partition->groups;
@@ -50,10 +50,11 @@ size_t ImprovePartition(const Table& table, size_t k,
   }
 
   size_t applied = 0;
-  for (size_t pass = 0; pass < options.max_passes; ++pass) {
+  const auto stop = [&] { return ctx != nullptr && ctx->ShouldStop(); };
+  for (size_t pass = 0; pass < options.max_passes && !stop(); ++pass) {
     bool improved = false;
     // MOVE: row out of an oversized group.
-    for (size_t a = 0; a < groups.size(); ++a) {
+    for (size_t a = 0; a < groups.size() && !stop(); ++a) {
       if (groups[a].size() <= k) continue;
       for (size_t i = 0; i < groups[a].size(); ++i) {
         const RowId row = groups[a][i];
@@ -86,7 +87,7 @@ size_t ImprovePartition(const Table& table, size_t k,
       }
     }
     // SWAP: exchange rows between two groups.
-    for (size_t a = 0; a < groups.size(); ++a) {
+    for (size_t a = 0; a < groups.size() && !stop(); ++a) {
       for (size_t b = a + 1; b < groups.size(); ++b) {
         for (size_t i = 0; i < groups[a].size(); ++i) {
           for (size_t j = 0; j < groups[b].size(); ++j) {
@@ -124,14 +125,22 @@ std::string LocalSearchAnonymizer::name() const {
 }
 
 AnonymizationResult LocalSearchAnonymizer::Run(const Table& table,
-                                               size_t k) {
+                                               size_t k, RunContext* ctx) {
   WallTimer timer;
-  AnonymizationResult result = base_->Run(table, k);
+  AnonymizationResult result = base_->Run(table, k, ctx);
+  if (result.partition.groups.empty()) {
+    // Base declined or was stopped before producing anything usable;
+    // there is nothing to improve.
+    result.seconds = timer.Seconds();
+    return result;
+  }
   const size_t base_cost = result.cost;
-  const size_t moves = ImprovePartition(table, k, options_, &result.partition);
+  const size_t moves =
+      ImprovePartition(table, k, options_, &result.partition, ctx);
   FinalizeResult(table, &result);
   KANON_CHECK_LE(result.cost, base_cost);
   result.seconds = timer.Seconds();
+  result.termination = ctx->stop_reason();
   std::ostringstream notes;
   notes << "base_cost=" << base_cost << " moves=" << moves << " ["
         << result.notes << "]";

@@ -30,10 +30,12 @@ struct LocalSearchOptions {
 };
 
 /// Improves `partition` in place; returns the number of applied moves.
-/// Requires a valid partition with all groups >= k.
+/// Requires a valid partition with all groups >= k. Every intermediate
+/// state is valid, so a stop via `ctx` (checked between improvement
+/// scans) simply keeps the best-so-far partition.
 size_t ImprovePartition(const Table& table, size_t k,
                         const LocalSearchOptions& options,
-                        Partition* partition);
+                        Partition* partition, RunContext* ctx = nullptr);
 
 /// Anonymizer adapter: runs `base`, then improves its partition.
 class LocalSearchAnonymizer : public Anonymizer {
@@ -41,8 +43,10 @@ class LocalSearchAnonymizer : public Anonymizer {
   LocalSearchAnonymizer(std::unique_ptr<Anonymizer> base,
                         LocalSearchOptions options = {});
 
+  using Anonymizer::Run;
   std::string name() const override;
-  AnonymizationResult Run(const Table& table, size_t k) override;
+  AnonymizationResult Run(const Table& table, size_t k,
+                          RunContext* ctx) override;
 
  private:
   std::unique_ptr<Anonymizer> base_;

@@ -84,7 +84,8 @@ Group TakeGroupAround(const Table& table, const DistanceMatrix& dm,
 
 }  // namespace
 
-AnonymizationResult MdavAnonymizer::Run(const Table& table, size_t k) {
+AnonymizationResult MdavAnonymizer::Run(const Table& table, size_t k,
+                                        RunContext* /*ctx*/) {
   const RowId n = table.num_rows();
   KANON_CHECK_GE(k, 1u);
   KANON_CHECK_GE(static_cast<size_t>(n), k);

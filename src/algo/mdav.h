@@ -26,8 +26,10 @@ namespace kanon {
 /// MDAV baseline.
 class MdavAnonymizer : public Anonymizer {
  public:
+  using Anonymizer::Run;
   std::string name() const override { return "mdav"; }
-  AnonymizationResult Run(const Table& table, size_t k) override;
+  AnonymizationResult Run(const Table& table, size_t k,
+                          RunContext* ctx) override;
 };
 
 }  // namespace kanon

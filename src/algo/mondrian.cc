@@ -77,7 +77,8 @@ void Split(const Table& table, Group rows, size_t k, size_t* leaves,
 
 }  // namespace
 
-AnonymizationResult MondrianAnonymizer::Run(const Table& table, size_t k) {
+AnonymizationResult MondrianAnonymizer::Run(const Table& table, size_t k,
+                                        RunContext* /*ctx*/) {
   const RowId n = table.num_rows();
   KANON_CHECK_GE(k, 1u);
   KANON_CHECK_GE(static_cast<size_t>(n), k);

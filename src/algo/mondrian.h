@@ -19,8 +19,10 @@ namespace kanon {
 /// Mondrian baseline.
 class MondrianAnonymizer : public Anonymizer {
  public:
+  using Anonymizer::Run;
   std::string name() const override { return "mondrian"; }
-  AnonymizationResult Run(const Table& table, size_t k) override;
+  AnonymizationResult Run(const Table& table, size_t k,
+                          RunContext* ctx) override;
 };
 
 }  // namespace kanon

@@ -7,8 +7,8 @@
 
 namespace kanon {
 
-AnonymizationResult RandomPartitionAnonymizer::Run(const Table& table,
-                                                   size_t k) {
+AnonymizationResult RandomPartitionAnonymizer::Run(const Table& table, size_t k,
+                                                   RunContext* /*ctx*/) {
   const RowId n = table.num_rows();
   KANON_CHECK_GE(k, 1u);
   KANON_CHECK_GE(static_cast<size_t>(n), k);

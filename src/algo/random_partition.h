@@ -19,8 +19,10 @@ class RandomPartitionAnonymizer : public Anonymizer {
   explicit RandomPartitionAnonymizer(uint64_t seed = 1)
       : seed_(seed) {}
 
+  using Anonymizer::Run;
   std::string name() const override { return "random_partition"; }
-  AnonymizationResult Run(const Table& table, size_t k) override;
+  AnonymizationResult Run(const Table& table, size_t k,
+                          RunContext* ctx) override;
 
  private:
   uint64_t seed_;

@@ -8,6 +8,7 @@
 #include "algo/branch_bound.h"
 #include "algo/cluster_greedy.h"
 #include "algo/exact_dp.h"
+#include "algo/fallback.h"
 #include "algo/greedy_cover.h"
 #include "algo/local_search.h"
 #include "algo/mdav.h"
@@ -24,6 +25,7 @@ std::vector<std::string> KnownAnonymizers() {
       "mondrian",         "cluster_greedy", "mdav",
       "random_partition",
       "suppress_all",     "attribute_greedy", "attribute_exact",
+      "resilient",
   };
 }
 
@@ -80,6 +82,9 @@ std::unique_ptr<Anonymizer> MakeAnonymizer(const std::string& name) {
   }
   if (name == "suppress_all") {
     return std::make_unique<SuppressAllAnonymizer>();
+  }
+  if (name == "resilient") {
+    return std::make_unique<FallbackAnonymizer>();
   }
   if (name == "attribute_greedy") {
     return std::make_unique<AttributeAdapterAnonymizer>(

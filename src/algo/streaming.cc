@@ -21,7 +21,7 @@ std::string StreamingAnonymizer::name() const {
 }
 
 AnonymizationResult StreamingAnonymizer::Run(const Table& table,
-                                             size_t k) {
+                                             size_t k, RunContext* ctx) {
   const RowId n = table.num_rows();
   KANON_CHECK_GE(k, 1u);
   KANON_CHECK_GE(static_cast<size_t>(n), k);
@@ -43,11 +43,30 @@ AnonymizationResult StreamingAnonymizer::Run(const Table& table,
 
   AnonymizationResult result;
   size_t batch_count = 0;
+  size_t lumped = 0;
   for (const auto& [lo, hi] : batches) {
-    std::vector<RowId> ids(hi - lo);
-    for (RowId r = lo; r < hi; ++r) ids[r - lo] = r;
-    const Table batch = table.SelectRows(ids);
-    const AnonymizationResult local = base_->Run(batch, k);
+    // Cooperative checkpoint between batches. Every remaining batch has
+    // >= k rows (construction folds short tails), so lumping all
+    // unprocessed rows into one group keeps the output k-anonymous.
+    bool lump_rest = ctx->ShouldStop();
+    AnonymizationResult local;
+    if (!lump_rest) {
+      std::vector<RowId> ids(hi - lo);
+      for (RowId r = lo; r < hi; ++r) ids[r - lo] = r;
+      const Table batch = table.SelectRows(ids);
+      local = base_->Run(batch, k, ctx);
+      // A stopped base may yield no partition for the batch; fold the
+      // batch (and everything after) into the terminal group instead.
+      lump_rest = local.partition.groups.empty();
+    }
+    if (lump_rest) {
+      Group rest;
+      rest.reserve(n - lo);
+      for (RowId r = lo; r < n; ++r) rest.push_back(r);
+      lumped = rest.size();
+      result.partition.groups.push_back(std::move(rest));
+      break;
+    }
     for (const Group& g : local.partition.groups) {
       Group global;
       global.reserve(g.size());
@@ -59,9 +78,11 @@ AnonymizationResult StreamingAnonymizer::Run(const Table& table,
 
   FinalizeResult(table, &result);
   result.seconds = timer.Seconds();
+  result.termination = ctx->stop_reason();
   std::ostringstream notes;
   notes << "batches=" << batch_count
         << " batch_size=" << options_.batch_size;
+  if (lumped > 0) notes << " lumped_rows=" << lumped;
   result.notes = notes.str();
   return result;
 }

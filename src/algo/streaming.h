@@ -34,8 +34,10 @@ class StreamingAnonymizer : public Anonymizer {
   StreamingAnonymizer(std::unique_ptr<Anonymizer> base,
                       StreamingOptions options = {});
 
+  using Anonymizer::Run;
   std::string name() const override;
-  AnonymizationResult Run(const Table& table, size_t k) override;
+  AnonymizationResult Run(const Table& table, size_t k,
+                          RunContext* ctx) override;
 
  private:
   std::unique_ptr<Anonymizer> base_;

@@ -6,8 +6,8 @@
 
 namespace kanon {
 
-AnonymizationResult SuppressAllAnonymizer::Run(const Table& table,
-                                               size_t k) {
+AnonymizationResult SuppressAllAnonymizer::Run(const Table& table, size_t k,
+                                               RunContext* /*ctx*/) {
   const RowId n = table.num_rows();
   KANON_CHECK_GE(k, 1u);
   KANON_CHECK_GE(static_cast<size_t>(n), k);

@@ -14,8 +14,10 @@ namespace kanon {
 /// Trivial single-group anonymizer.
 class SuppressAllAnonymizer : public Anonymizer {
  public:
+  using Anonymizer::Run;
   std::string name() const override { return "suppress_all"; }
-  AnonymizationResult Run(const Table& table, size_t k) override;
+  AnonymizationResult Run(const Table& table, size_t k,
+                          RunContext* ctx) override;
 };
 
 }  // namespace kanon

@@ -6,17 +6,14 @@
 
 namespace kanon {
 
-std::optional<Table> TableFromCsv(std::string_view text,
-                                  std::string* error) {
+StatusOr<Table> ParseTableCsv(std::string_view text) {
   std::vector<CsvRow> rows;
   std::string parse_error;
   if (!ParseCsv(text, &rows, &parse_error)) {
-    if (error) *error = "CSV parse error: " + parse_error;
-    return std::nullopt;
+    return Status::ParseError("CSV parse error: " + parse_error);
   }
   if (rows.empty()) {
-    if (error) *error = "missing header row";
-    return std::nullopt;
+    return Status::ParseError("missing header row");
   }
   Schema schema(rows[0]);
   Table table(std::move(schema));
@@ -24,13 +21,10 @@ std::optional<Table> TableFromCsv(std::string_view text,
   std::vector<ValueCode> codes(m);
   for (size_t r = 1; r < rows.size(); ++r) {
     if (rows[r].size() != m) {
-      if (error) {
-        std::ostringstream os;
-        os << "row " << r << " has " << rows[r].size()
-           << " fields, expected " << m;
-        *error = os.str();
-      }
-      return std::nullopt;
+      std::ostringstream os;
+      os << "row " << r << " has " << rows[r].size()
+         << " fields, expected " << m;
+      return Status::ParseError(os.str());
     }
     for (size_t c = 0; c < m; ++c) {
       codes[c] = rows[r][c] == "*"
@@ -41,6 +35,21 @@ std::optional<Table> TableFromCsv(std::string_view text,
     table.AppendRow(codes);
   }
   return table;
+}
+
+StatusOr<Table> ReadTableCsv(const std::string& path) {
+  std::string contents;
+  if (!ReadFileToString(path, &contents)) {
+    return Status::NotFound("cannot open " + path);
+  }
+  return ParseTableCsv(contents);
+}
+
+Status WriteTableCsv(const Table& table, const std::string& path) {
+  if (!WriteStringToFile(path, TableToCsv(table))) {
+    return Status::Internal("cannot write " + path);
+  }
+  return Status::Ok();
 }
 
 std::string TableToCsv(const Table& table) {
@@ -57,18 +66,28 @@ std::string TableToCsv(const Table& table) {
   return WriteCsv(rows);
 }
 
-std::optional<Table> LoadTableCsv(const std::string& path,
+std::optional<Table> TableFromCsv(std::string_view text,
                                   std::string* error) {
-  std::string contents;
-  if (!ReadFileToString(path, &contents)) {
-    if (error) *error = "cannot open " + path;
+  StatusOr<Table> parsed = ParseTableCsv(text);
+  if (!parsed.ok()) {
+    if (error) *error = parsed.status().message();
     return std::nullopt;
   }
-  return TableFromCsv(contents, error);
+  return *std::move(parsed);
+}
+
+std::optional<Table> LoadTableCsv(const std::string& path,
+                                  std::string* error) {
+  StatusOr<Table> loaded = ReadTableCsv(path);
+  if (!loaded.ok()) {
+    if (error) *error = loaded.status().message();
+    return std::nullopt;
+  }
+  return *std::move(loaded);
 }
 
 bool SaveTableCsv(const Table& table, const std::string& path) {
-  return WriteStringToFile(path, TableToCsv(table));
+  return WriteTableCsv(table, path).ok();
 }
 
 }  // namespace kanon

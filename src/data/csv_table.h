@@ -6,25 +6,39 @@
 #include <string_view>
 
 #include "data/table.h"
+#include "util/status.h"
 
 /// \file
 /// Table <-> CSV conversion. The first CSV record is the header (attribute
 /// names); each further record is one tuple. Suppressed cells round-trip
 /// as the literal "*" (matching the paper's presentation), so an
 /// anonymized table can be exported, inspected and re-imported.
+///
+/// The Status-returning functions are the library boundary: malformed
+/// input is reported as kParseError / kNotFound instead of aborting, so
+/// callers (CLI tools, services) can surface the message and exit
+/// cleanly. The std::optional variants are thin back-compat shims.
 
 namespace kanon {
 
-/// Parses CSV text into a table. Returns std::nullopt and sets `error` on
-/// malformed CSV, missing header, or ragged rows. A cell equal to "*" is
-/// decoded as kSuppressedCode rather than interned.
-std::optional<Table> TableFromCsv(std::string_view text,
-                                  std::string* error);
+/// Parses CSV text into a table. Fails with kParseError on malformed
+/// CSV, a missing header, or ragged rows. A cell equal to "*" is decoded
+/// as kSuppressedCode rather than interned.
+StatusOr<Table> ParseTableCsv(std::string_view text);
+
+/// Reads and parses a CSV file; kNotFound if it cannot be opened.
+StatusOr<Table> ReadTableCsv(const std::string& path);
+
+/// Serializes and writes a table; kInternal on I/O failure.
+Status WriteTableCsv(const Table& table, const std::string& path);
 
 /// Serializes a table (header + rows) to CSV text.
 std::string TableToCsv(const Table& table);
 
-/// File convenience wrappers.
+/// Back-compat shims over the Status API above: nullopt + `*error` on
+/// failure.
+std::optional<Table> TableFromCsv(std::string_view text,
+                                  std::string* error);
 std::optional<Table> LoadTableCsv(const std::string& path,
                                   std::string* error);
 bool SaveTableCsv(const Table& table, const std::string& path);

@@ -4,6 +4,7 @@
 #include <queue>
 
 #include "util/logging.h"
+#include "util/run_context.h"
 
 namespace kanon {
 
@@ -51,7 +52,7 @@ struct HeapEntry {
 
 }  // namespace
 
-SetCoverResult GreedySetCover(const SetFamily& family) {
+SetCoverResult GreedySetCover(const SetFamily& family, RunContext* ctx) {
   const size_t n = family.NumElements();
   const size_t num_sets = family.NumSets();
   SetCoverResult result;
@@ -74,12 +75,19 @@ SetCoverResult GreedySetCover(const SetFamily& family) {
   std::priority_queue<HeapEntry, std::vector<HeapEntry>,
                       std::greater<HeapEntry>>
       heap;
+  size_t polls = 0;
   for (size_t s = 0; s < num_sets; ++s) {
+    if ((++polls & 0xfff) == 0 && ctx != nullptr && ctx->ShouldStop()) {
+      return result;  // complete stays false
+    }
     const size_t fresh = new_coverage(s);
     if (fresh > 0) heap.push({ratio_of(s, fresh), s, covered_count});
   }
 
   while (covered_count < n && !heap.empty()) {
+    if ((++polls & 0xff) == 0 && ctx != nullptr && ctx->ShouldStop()) {
+      return result;  // partial cover; complete stays false
+    }
     HeapEntry top = heap.top();
     heap.pop();
     if (top.covered_when_computed != covered_count) {

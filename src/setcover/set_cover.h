@@ -22,6 +22,8 @@
 
 namespace kanon {
 
+class RunContext;
+
 /// Abstract universe + weighted family interface.
 class SetFamily {
  public:
@@ -76,8 +78,13 @@ struct SetCoverResult {
 };
 
 /// Runs the weighted greedy cover over `family`. Ties are broken toward
-/// the lower set index, making runs deterministic.
-SetCoverResult GreedySetCover(const SetFamily& family);
+/// the lower set index, making runs deterministic. A non-null `ctx` is
+/// polled between heap operations: when it stops the run, the partial
+/// result is returned with `complete == false` (callers must check
+/// `ctx->stop_reason()` to distinguish "family cannot cover" from "run
+/// was stopped").
+SetCoverResult GreedySetCover(const SetFamily& family,
+                              RunContext* ctx = nullptr);
 
 }  // namespace kanon
 

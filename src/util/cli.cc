@@ -43,6 +43,24 @@ long long CommandLine::GetInt(const std::string& name,
   return ParseInt(it->second, &value) ? value : fallback;
 }
 
+StatusOr<long long> CommandLine::GetValidatedInt(const std::string& name,
+                                                 long long fallback,
+                                                 long long min_value,
+                                                 long long max_value) const {
+  long long value = fallback;
+  const auto it = flags_.find(name);
+  if (it != flags_.end() && !ParseInt(it->second, &value)) {
+    return Status::InvalidArgument("--" + name + "=" + it->second +
+                                   " is not an integer");
+  }
+  if (value < min_value || value > max_value) {
+    return Status::InvalidArgument(
+        "--" + name + "=" + std::to_string(value) + " out of range [" +
+        std::to_string(min_value) + ", " + std::to_string(max_value) + "]");
+  }
+  return value;
+}
+
 double CommandLine::GetDouble(const std::string& name,
                               double fallback) const {
   const auto it = flags_.find(name);

@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "util/status.h"
+
 /// \file
 /// A tiny `--flag=value` command-line parser used by the example binaries
 /// and the experiment harnesses. Not a general-purpose library: flags are
@@ -25,6 +27,16 @@ class CommandLine {
   std::string GetString(const std::string& name,
                         const std::string& fallback) const;
   long long GetInt(const std::string& name, long long fallback) const;
+
+  /// Strict variant of GetInt for values the program cannot guess at:
+  /// returns kInvalidArgument when the flag is present but unparsable, or
+  /// when the value (parsed or fallback) lies outside
+  /// [min_value, max_value]. Lets a CLI reject bad input with a message
+  /// and a non-zero exit instead of silently using the fallback.
+  StatusOr<long long> GetValidatedInt(const std::string& name,
+                                      long long fallback,
+                                      long long min_value,
+                                      long long max_value) const;
   double GetDouble(const std::string& name, double fallback) const;
   bool GetBool(const std::string& name, bool fallback) const;
 

@@ -45,6 +45,7 @@ bool ParseCsv(std::string_view text, std::vector<CsvRow>* rows,
       case '"':
         if (!field.empty() || field_was_quoted) {
           if (error) *error = "quote inside unquoted field";
+          rows->clear();
           return false;
         }
         in_quotes = true;
@@ -66,6 +67,7 @@ bool ParseCsv(std::string_view text, std::vector<CsvRow>* rows,
       default:
         if (field_was_quoted) {
           if (error) *error = "data after closing quote";
+          rows->clear();
           return false;
         }
         field.push_back(c);
@@ -75,6 +77,7 @@ bool ParseCsv(std::string_view text, std::vector<CsvRow>* rows,
   }
   if (in_quotes) {
     if (error) *error = "unterminated quoted field";
+    rows->clear();
     return false;
   }
   // Flush a final record not terminated by a newline.

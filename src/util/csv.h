@@ -18,10 +18,11 @@ namespace kanon {
 /// One parsed record (row) of fields.
 using CsvRow = std::vector<std::string>;
 
-/// Parses a full CSV document. Returns false (and leaves `rows` in an
-/// unspecified state) on malformed input such as an unterminated quote or
-/// junk after a closing quote. A trailing final newline is optional; empty
-/// input parses to zero rows.
+/// Parses a full CSV document. Returns false on malformed input such as
+/// an unterminated quote or junk after a closing quote; on failure
+/// `*rows` is left EMPTY — callers never observe a partially parsed
+/// document. A trailing final newline is optional; empty input parses to
+/// zero rows.
 bool ParseCsv(std::string_view text, std::vector<CsvRow>* rows,
               std::string* error);
 

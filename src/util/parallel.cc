@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "util/logging.h"
+#include "util/run_context.h"
 
 namespace kanon {
 
@@ -18,11 +19,29 @@ unsigned DefaultParallelism() {
 
 std::atomic<unsigned> g_workers{0};  // 0 = uninitialized, use default
 
+/// Runs fn over [begin, end) in sub-chunks of `stride`, polling `ctx`
+/// between sub-chunks; used by each worker of the ctx-aware overload.
+void RunRangeCooperatively(size_t begin, size_t end, size_t stride,
+                           const std::function<void(size_t, size_t)>& fn,
+                           RunContext* ctx) {
+  if (ctx == nullptr) {
+    // No cancellation to poll: one contiguous call, exactly like the
+    // historical behavior (callers may count invocations).
+    if (begin < end) fn(begin, end);
+    return;
+  }
+  for (size_t lo = begin; lo < end; lo += stride) {
+    if (ctx->ShouldStop()) return;
+    fn(lo, std::min(end, lo + stride));
+  }
+}
+
 }  // namespace
 
 void SetParallelism(unsigned workers) {
-  KANON_CHECK_GE(workers, 1u);
-  g_workers.store(workers, std::memory_order_relaxed);
+  // Clamp 0 to 1: hardware_concurrency() is allowed to return 0, and a
+  // zero cap would otherwise mean "no one does the work".
+  g_workers.store(std::max(workers, 1u), std::memory_order_relaxed);
 }
 
 unsigned GetParallelism() {
@@ -32,17 +51,25 @@ unsigned GetParallelism() {
 
 void ParallelFor(size_t begin, size_t end, size_t min_chunk,
                  const std::function<void(size_t, size_t)>& fn) {
+  ParallelFor(begin, end, min_chunk, fn, nullptr);
+}
+
+void ParallelFor(size_t begin, size_t end, size_t min_chunk,
+                 const std::function<void(size_t, size_t)>& fn,
+                 RunContext* ctx) {
   if (begin >= end) return;
+  min_chunk = std::max<size_t>(min_chunk, 1);  // 0 would divide by zero
+  if (ctx != nullptr && ctx->ShouldStop()) return;
   const size_t span = end - begin;
   const unsigned workers = GetParallelism();
   if (workers <= 1 || span < std::max<size_t>(min_chunk, 2)) {
-    fn(begin, end);
+    RunRangeCooperatively(begin, end, min_chunk, fn, ctx);
     return;
   }
   const size_t chunks =
       std::min<size_t>(workers, (span + min_chunk - 1) / min_chunk);
   if (chunks <= 1) {
-    fn(begin, end);
+    RunRangeCooperatively(begin, end, min_chunk, fn, ctx);
     return;
   }
   const size_t per_chunk = (span + chunks - 1) / chunks;
@@ -52,10 +79,13 @@ void ParallelFor(size_t begin, size_t end, size_t min_chunk,
     const size_t lo = begin + i * per_chunk;
     const size_t hi = std::min(end, lo + per_chunk);
     if (lo >= hi) break;
-    threads.emplace_back([&fn, lo, hi] { fn(lo, hi); });
+    threads.emplace_back([&fn, lo, hi, min_chunk, ctx] {
+      RunRangeCooperatively(lo, hi, min_chunk, fn, ctx);
+    });
   }
   // The calling thread takes the first chunk.
-  fn(begin, std::min(end, begin + per_chunk));
+  RunRangeCooperatively(begin, std::min(end, begin + per_chunk), min_chunk,
+                        fn, ctx);
   for (std::thread& t : threads) t.join();
 }
 

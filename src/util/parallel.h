@@ -13,20 +13,35 @@
 
 namespace kanon {
 
-/// Process-wide worker cap for ParallelFor. 1 = fully serial (the
-/// default in unit tests via --- nothing; the default here is the
-/// hardware concurrency clamped to 8). Thread-safe to read; set it once
-/// at startup.
+class RunContext;
+
+/// Process-wide worker cap for ParallelFor. 1 = fully serial; 0 is
+/// clamped to 1 (callers may pass a computed value like
+/// hardware_concurrency(), which the standard allows to be 0). The
+/// default is the hardware concurrency clamped to 8. Thread-safe to
+/// read; set it once at startup.
 void SetParallelism(unsigned workers);
 unsigned GetParallelism();
 
 /// Invokes `fn(chunk_begin, chunk_end)` over a static partition of
 /// [begin, end) using up to GetParallelism() threads (the calling
 /// thread works too). Falls back to a single inline call when the range
-/// is shorter than `min_chunk` or parallelism is 1. `fn` must tolerate
-/// concurrent invocation on disjoint ranges.
+/// is shorter than `min_chunk` or parallelism is 1; `min_chunk` of 0 is
+/// treated as 1. `fn` must tolerate concurrent invocation on disjoint
+/// ranges.
 void ParallelFor(size_t begin, size_t end, size_t min_chunk,
                  const std::function<void(size_t, size_t)>& fn);
+
+/// Cancellation-aware variant: each worker processes its range in
+/// sub-chunks of `min_chunk` and polls `ctx->ShouldStop()` between
+/// them, so a deadline or cancellation is observed within one chunk's
+/// worth of work. When the context stops mid-flight, the tail of each
+/// worker's range is simply not visited — callers must check
+/// `ctx->ShouldStop()` afterwards and discard partial output. A null
+/// `ctx` behaves exactly like the three-argument overload.
+void ParallelFor(size_t begin, size_t end, size_t min_chunk,
+                 const std::function<void(size_t, size_t)>& fn,
+                 RunContext* ctx);
 
 }  // namespace kanon
 

@@ -1,0 +1,91 @@
+#include "util/run_context.h"
+
+#include <limits>
+
+namespace kanon {
+
+const char* StopReasonName(StopReason reason) {
+  switch (reason) {
+    case StopReason::kNone:
+      return "completed";
+    case StopReason::kDeadline:
+      return "deadline";
+    case StopReason::kBudget:
+      return "budget";
+    case StopReason::kCancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
+
+Status StopReasonToStatus(StopReason reason) {
+  switch (reason) {
+    case StopReason::kNone:
+      return Status::Ok();
+    case StopReason::kDeadline:
+      return Status::DeadlineExceeded("run deadline expired");
+    case StopReason::kBudget:
+      return Status::ResourceExhausted("run budget exhausted");
+    case StopReason::kCancelled:
+      return Status::Cancelled("run cancelled");
+  }
+  return Status::Internal("unknown stop reason");
+}
+
+void RunContext::set_deadline_after_millis(double millis) {
+  set_deadline(Clock::now() +
+               std::chrono::duration_cast<Clock::duration>(
+                   std::chrono::duration<double, std::milli>(millis)));
+}
+
+double RunContext::remaining_millis() const {
+  if (!has_deadline()) return std::numeric_limits<double>::max();
+  return std::chrono::duration<double, std::milli>(deadline_ -
+                                                   Clock::now())
+      .count();
+}
+
+void RunContext::Latch(StopReason reason) {
+  int expected = static_cast<int>(StopReason::kNone);
+  stop_reason_.compare_exchange_strong(expected,
+                                       static_cast<int>(reason),
+                                       std::memory_order_acq_rel);
+}
+
+bool RunContext::ShouldStop() {
+  if (stop_reason() != StopReason::kNone) return true;
+  if (cancel_requested()) {
+    Latch(StopReason::kCancelled);
+    return true;
+  }
+  if (node_budget_ != 0 &&
+      nodes_.load(std::memory_order_relaxed) >= node_budget_) {
+    Latch(StopReason::kBudget);
+    return true;
+  }
+  if (has_deadline() && Clock::now() >= deadline_) {
+    Latch(StopReason::kDeadline);
+    return true;
+  }
+  return false;
+}
+
+bool RunContext::TryChargeMemory(size_t bytes) {
+  const size_t now =
+      memory_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  if (memory_limit_ != 0 && now > memory_limit_) {
+    // Rejected charges are rolled back and do not count toward the
+    // high-water mark — nothing was ever allocated.
+    memory_.fetch_sub(bytes, std::memory_order_relaxed);
+    Latch(StopReason::kBudget);
+    return false;
+  }
+  // Track the high-water mark.
+  size_t peak = peak_memory_.load(std::memory_order_relaxed);
+  while (now > peak && !peak_memory_.compare_exchange_weak(
+                           peak, now, std::memory_order_relaxed)) {
+  }
+  return true;
+}
+
+}  // namespace kanon

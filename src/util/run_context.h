@@ -1,0 +1,183 @@
+#ifndef KANON_UTIL_RUN_CONTEXT_H_
+#define KANON_UTIL_RUN_CONTEXT_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+
+#include "util/status.h"
+
+/// \file
+/// Cooperative execution control for the anonymizers.
+///
+/// The paper's central result is that optimal k-anonymity is NP-hard
+/// (Theorems 3.1/3.2), so the exact solvers and the exponential set-cover
+/// family can blow up without warning — precisely on the adversarial
+/// instances the hardness reductions generate. A production deployment
+/// must therefore *bound* every run. `RunContext` carries those bounds:
+///
+///   * a wall-clock **deadline**,
+///   * a cooperative **cancellation token** (thread-safe; another thread
+///     may call RequestCancel() at any time),
+///   * a **node/iteration budget** charged by the solvers,
+///   * a transient **memory estimate** with an optional ceiling.
+///
+/// Solvers poll `ShouldStop()` at cooperative checkpoints in their hot
+/// loops (every few hundred iterations). The first limit to trip is
+/// *latched* as the context's `stop_reason()` and every later
+/// `ShouldStop()` returns true immediately, so a stop propagates through
+/// nested helpers without re-deriving the cause. A default-constructed
+/// context has no limits and its `ShouldStop()` is a couple of relaxed
+/// atomic loads — cheap enough for inner loops.
+///
+/// **Strict vs lenient.** Solvers with structural caps (exact_dp's
+/// max_rows, greedy_cover's max_family_size, ...) abort via KANON_CHECK
+/// when the cap is exceeded on a strict context (the historical
+/// behavior: exceeding the cap is a caller bug). On a context marked
+/// `set_lenient(true)` they instead *decline*: they return immediately
+/// with `StopReason::kBudget` and an empty partition, which the
+/// fallback chain (algo/fallback.h) turns into graceful degradation.
+
+namespace kanon {
+
+/// Why a run stopped early; kNone means it ran to completion.
+enum class StopReason {
+  kNone = 0,
+  kDeadline,
+  kBudget,
+  kCancelled,
+};
+
+/// Presentation name: "completed", "deadline", "budget", "cancelled".
+const char* StopReasonName(StopReason reason);
+
+/// Maps a stop reason onto the Status layer (kNone -> OK).
+Status StopReasonToStatus(StopReason reason);
+
+/// Execution-control state for one anonymization run. Not copyable;
+/// share by pointer. All methods are thread-safe, so one context can be
+/// observed from every ParallelFor worker at once.
+class RunContext {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// No limits, strict.
+  RunContext() = default;
+
+  /// Child context: cancellation of `parent` (or any of its ancestors)
+  /// is observed by this context too. Limits are NOT inherited — the
+  /// creator sets the child's own deadline/budget (the fallback chain
+  /// gives each stage a slice of the remaining time).
+  explicit RunContext(const RunContext* parent) : parent_(parent) {}
+
+  RunContext(const RunContext&) = delete;
+  RunContext& operator=(const RunContext&) = delete;
+
+  // --- Limit configuration (set before the run starts) ---------------
+
+  /// Absolute deadline.
+  void set_deadline(Clock::time_point deadline) {
+    deadline_ = deadline;
+    has_deadline_.store(true, std::memory_order_release);
+  }
+
+  /// Deadline `millis` from now. Negative or zero means "already
+  /// expired" (useful in tests).
+  void set_deadline_after_millis(double millis);
+
+  /// Node/iteration budget; 0 (default) = unlimited.
+  void set_node_budget(uint64_t max_nodes) { node_budget_ = max_nodes; }
+  uint64_t node_budget() const { return node_budget_; }
+
+  /// Ceiling for the solver-estimated transient memory; 0 = unlimited.
+  void set_memory_limit_bytes(size_t bytes) { memory_limit_ = bytes; }
+  size_t memory_limit_bytes() const { return memory_limit_; }
+
+  /// Lenient contexts make structural-cap violations decline instead of
+  /// abort; see the file comment.
+  void set_lenient(bool lenient) { lenient_ = lenient; }
+  bool lenient() const { return lenient_; }
+
+  bool has_deadline() const {
+    return has_deadline_.load(std::memory_order_acquire);
+  }
+
+  /// Milliseconds until the deadline (negative once past it); a very
+  /// large value when no deadline is set.
+  double remaining_millis() const;
+
+  // --- Cancellation ---------------------------------------------------
+
+  /// Requests cooperative cancellation; safe from any thread.
+  void RequestCancel() { cancelled_.store(true, std::memory_order_release); }
+
+  /// True if this context or any ancestor was cancelled.
+  bool cancel_requested() const {
+    if (cancelled_.load(std::memory_order_acquire)) return true;
+    return parent_ != nullptr && parent_->cancel_requested();
+  }
+
+  // --- Cooperative checkpoints ---------------------------------------
+
+  /// The checkpoint solvers poll in their hot loops. Latches and
+  /// returns true once any limit trips; returns false on the fast path.
+  bool ShouldStop();
+
+  /// Adds `n` to the consumed node/iteration count. Does not itself
+  /// stop the run — the next ShouldStop() observes the overrun.
+  void ChargeNodes(uint64_t n = 1) {
+    nodes_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t nodes_charged() const {
+    return nodes_.load(std::memory_order_relaxed);
+  }
+
+  /// Accounts `bytes` of planned transient memory. Returns false (and
+  /// latches kBudget) if the ceiling would be exceeded — callers must
+  /// then not allocate. Balance with ReleaseMemory().
+  bool TryChargeMemory(size_t bytes);
+  void ReleaseMemory(size_t bytes) {
+    memory_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+
+  /// High-water mark of the charged estimate over the context lifetime.
+  size_t peak_memory_bytes() const {
+    return peak_memory_.load(std::memory_order_relaxed);
+  }
+
+  // --- Outcome --------------------------------------------------------
+
+  /// First limit that tripped; kNone while running normally.
+  StopReason stop_reason() const {
+    return static_cast<StopReason>(
+        stop_reason_.load(std::memory_order_acquire));
+  }
+
+  /// Latches `reason` directly (used by solvers that decline a run
+  /// before starting it, e.g. a structural cap on a lenient context).
+  void MarkStopped(StopReason reason) { Latch(reason); }
+
+ private:
+  /// First writer wins; later latches keep the original reason.
+  void Latch(StopReason reason);
+
+  const RunContext* parent_ = nullptr;
+
+  std::atomic<bool> has_deadline_{false};
+  Clock::time_point deadline_{};
+
+  uint64_t node_budget_ = 0;
+  size_t memory_limit_ = 0;
+  bool lenient_ = false;
+
+  std::atomic<bool> cancelled_{false};
+  std::atomic<uint64_t> nodes_{0};
+  std::atomic<size_t> memory_{0};
+  std::atomic<size_t> peak_memory_{0};
+  std::atomic<int> stop_reason_{static_cast<int>(StopReason::kNone)};
+};
+
+}  // namespace kanon
+
+#endif  // KANON_UTIL_RUN_CONTEXT_H_

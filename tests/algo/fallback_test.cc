@@ -1,0 +1,154 @@
+#include "algo/fallback.h"
+
+#include "algo/exact_dp.h"
+#include "algo/registry.h"
+#include "core/partition.h"
+#include "data/generators/uniform.h"
+#include "gtest/gtest.h"
+#include "hypergraph/generators.h"
+#include "reductions/matching_to_kanon.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+/// \file
+/// The resilient chain's contract: it ALWAYS returns a valid k-anonymous
+/// partition, including on the adversarial instances the Theorem 3.1
+/// reduction generates — where the exact solver, given a tiny deadline,
+/// cannot finish and a later stage must take over.
+
+namespace kanon {
+namespace {
+
+/// Theorem 3.1 hard instance: k-ANONYMITY table built from a planted
+/// perfect-matching 3-hypergraph. `vertices` rows, one column per edge.
+Table HardInstance(uint32_t vertices, uint32_t extra_edges, uint64_t seed) {
+  Rng rng(seed);
+  const Hypergraph h = PlantedMatchingHypergraph(
+      {.num_vertices = vertices, .k = 3, .extra_edges = extra_edges}, &rng);
+  return BuildKAnonInstance(h);
+}
+
+TEST(FallbackTest, SmallInstanceReturnsExactOptimumCompleted) {
+  const Table v = HardInstance(/*vertices=*/9, /*extra_edges=*/3, /*seed=*/1);
+  const size_t k = 3;
+
+  FallbackAnonymizer resilient;
+  RunContext ctx;  // unlimited
+  const AnonymizationResult result = resilient.Run(v, k, &ctx);
+
+  EXPECT_EQ(result.termination, StopReason::kNone);
+  EXPECT_TRUE(result.completed());
+  EXPECT_EQ(result.stage, "exact_dp");
+  ASSERT_TRUE(IsValidPartition(result.partition, v.num_rows(), k,
+                               v.num_rows()));
+
+  ExactDpAnonymizer exact;
+  const AnonymizationResult optimum = exact.Run(v, k);
+  EXPECT_EQ(result.cost, optimum.cost);
+}
+
+TEST(FallbackTest, HardInstanceWithTinyDeadlineDegradesButStaysValid) {
+  // n = 21 rows: inside exact_dp's structural cap (so the chain really
+  // attempts the 2^21-state DP) but far beyond what 50 ms allows.
+  const Table v = HardInstance(/*vertices=*/21, /*extra_edges=*/6,
+                               /*seed=*/7);
+  const size_t k = 3;
+
+  FallbackAnonymizer resilient;
+  RunContext ctx;
+  ctx.set_deadline_after_millis(50.0);
+  WallTimer timer;
+  const AnonymizationResult result = resilient.Run(v, k, &ctx);
+  const double elapsed_ms = timer.Seconds() * 1e3;
+
+  // A later stage produced the answer; the stop reason is recorded.
+  EXPECT_NE(result.termination, StopReason::kNone);
+  EXPECT_FALSE(result.completed());
+  EXPECT_NE(result.stage, "exact_dp");
+  EXPECT_FALSE(result.stage.empty());
+  EXPECT_NE(result.notes.find("chain="), std::string::npos);
+
+  // ... and it is still a genuine k-anonymization.
+  ASSERT_TRUE(IsValidPartition(result.partition, v.num_rows(), k,
+                               v.num_rows()));
+
+  // Cooperative checkpoints bound the deadline overshoot: the whole
+  // chain must come in well under the seconds the DP would need.
+  EXPECT_LT(elapsed_ms, 2000.0);
+}
+
+TEST(FallbackTest, ExpiredDeadlineStillYieldsSuppressAll) {
+  Rng rng(3);
+  const Table t = UniformTable(
+      {.num_rows = 30, .num_columns = 5, .alphabet = 3}, &rng);
+  const size_t k = 4;
+
+  FallbackAnonymizer resilient;
+  RunContext ctx;
+  ctx.set_deadline_after_millis(-1.0);  // already expired
+  const AnonymizationResult result = resilient.Run(t, k, &ctx);
+
+  EXPECT_EQ(result.termination, StopReason::kDeadline);
+  // Terminal stage is unconditionally feasible even with no time left.
+  EXPECT_EQ(result.stage, "suppress_all");
+  EXPECT_TRUE(IsValidPartition(result.partition, t.num_rows(), k,
+                               t.num_rows()));
+}
+
+TEST(FallbackTest, CancellationPropagatesThroughChain) {
+  Rng rng(4);
+  const Table t = UniformTable(
+      {.num_rows = 40, .num_columns = 6, .alphabet = 4}, &rng);
+  const size_t k = 3;
+
+  FallbackAnonymizer resilient;
+  RunContext ctx;
+  ctx.RequestCancel();  // cancelled before the run even starts
+  const AnonymizationResult result = resilient.Run(t, k, &ctx);
+
+  EXPECT_EQ(result.termination, StopReason::kCancelled);
+  EXPECT_TRUE(IsValidPartition(result.partition, t.num_rows(), k,
+                               t.num_rows()));
+}
+
+TEST(FallbackTest, MediumInstanceFallsThroughToGreedyCover) {
+  // 40 rows exceeds exact_dp (22) and branch_bound (28) caps; on a
+  // lenient chain context both decline and greedy_cover answers.
+  Rng rng(5);
+  const Table t = UniformTable(
+      {.num_rows = 40, .num_columns = 6, .alphabet = 4}, &rng);
+  const size_t k = 3;
+
+  FallbackAnonymizer resilient;
+  RunContext ctx;
+  const AnonymizationResult result = resilient.Run(t, k, &ctx);
+
+  EXPECT_EQ(result.stage, "greedy_cover");
+  EXPECT_EQ(result.termination, StopReason::kBudget);  // declines latched
+  EXPECT_TRUE(IsValidPartition(result.partition, t.num_rows(), k,
+                               t.num_rows()));
+}
+
+TEST(FallbackTest, RegistryExposesResilient) {
+  auto algo = MakeAnonymizer("resilient");
+  ASSERT_NE(algo, nullptr);
+  EXPECT_EQ(algo->name(), "resilient");
+
+  Rng rng(6);
+  const Table t = UniformTable(
+      {.num_rows = 12, .num_columns = 4, .alphabet = 3}, &rng);
+  // Back-compat 2-arg Run works on the chain too.
+  const AnonymizationResult result = algo->Run(t, 3);
+  EXPECT_TRUE(IsValidPartition(result.partition, t.num_rows(), 3,
+                               t.num_rows()));
+}
+
+TEST(FallbackDeathTest, NestedResilientStageRejected) {
+  FallbackOptions options;
+  options.stages = {"resilient"};
+  EXPECT_DEATH((void)FallbackAnonymizer(options),
+               "fallback chain cannot nest itself");
+}
+
+}  // namespace
+}  // namespace kanon

@@ -77,5 +77,73 @@ TEST_P(CsvGarbageFuzz, ArbitraryBytesNeverCrash) {
 INSTANTIATE_TEST_SUITE_P(Seeds, CsvGarbageFuzz,
                          ::testing::Range<uint64_t>(1, 6));
 
+TEST(CsvPathologicalTest, DeeplyQuotedFieldRoundTrips) {
+  // A field that is nothing but thousands of literal quotes: the writer
+  // doubles each one, the parser must undouble them all back.
+  const std::string quotes(4096, '"');
+  const std::vector<CsvRow> table = {{quotes, "plain"}, {"", quotes}};
+  const std::string text = WriteCsv(table);
+  std::vector<CsvRow> parsed;
+  std::string error;
+  ASSERT_TRUE(ParseCsv(text, &parsed, &error)) << error;
+  EXPECT_EQ(parsed, table);
+}
+
+TEST(CsvPathologicalTest, NestedQuotingLayersRoundTrip) {
+  // Quotes wrapping commas wrapping quotes, several layers deep.
+  std::string field = "x";
+  for (int layer = 0; layer < 10; ++layer) {
+    field = "\"" + field + "\",\r\n'" + field + "'";
+  }
+  const std::vector<CsvRow> table = {{field, field}};
+  const std::string text = WriteCsv(table);
+  std::vector<CsvRow> parsed;
+  std::string error;
+  ASSERT_TRUE(ParseCsv(text, &parsed, &error)) << error;
+  EXPECT_EQ(parsed, table);
+}
+
+TEST(CsvPathologicalTest, MegabyteSingleRowFile) {
+  // One record, a few enormous fields — no quadratic blowup, no crash.
+  const std::string big_quoted(1 << 20, '"');
+  const std::string big_plain(1 << 20, 'a');
+  const std::vector<CsvRow> table = {{big_quoted, big_plain, ""}};
+  const std::string text = WriteCsv(table);
+  ASSERT_GT(text.size(), size_t{3} << 20);
+  std::vector<CsvRow> parsed;
+  std::string error;
+  ASSERT_TRUE(ParseCsv(text, &parsed, &error)) << error;
+  EXPECT_EQ(parsed, table);
+}
+
+TEST(CsvPathologicalTest, MegabyteUnterminatedQuoteRejectedCleanly) {
+  std::string text = "a,b\nc,\"";
+  text.append(1 << 20, 'x');  // quote never closes
+  std::vector<CsvRow> rows = {{"stale"}};
+  std::string error;
+  EXPECT_FALSE(ParseCsv(text, &rows, &error));
+  EXPECT_EQ(error, "unterminated quoted field");
+  // The error path must not leave the previously parsed rows visible.
+  EXPECT_TRUE(rows.empty());
+}
+
+TEST(CsvErrorStateTest, FailedParseAlwaysClearsRows) {
+  // Every rejection class leaves `rows` empty, even when valid rows
+  // preceded the defect and `rows` held stale data going in.
+  const std::string kBad[] = {
+      "ok1,ok2\nbad\"field,x",    // quote inside unquoted field
+      "ok1,ok2\n\"closed\"junk",  // data after closing quote
+      "ok1,ok2\n\"never closed",  // unterminated quote
+  };
+  for (const std::string& text : kBad) {
+    std::vector<CsvRow> rows = {{"stale", "row"}};
+    std::string error;
+    EXPECT_FALSE(ParseCsv(text, &rows, &error)) << text;
+    EXPECT_FALSE(error.empty());
+    EXPECT_TRUE(rows.empty())
+        << "partially parsed rows visible for: " << text;
+  }
+}
+
 }  // namespace
 }  // namespace kanon

@@ -8,6 +8,7 @@
 #include "data/generators/uniform.h"
 #include "gtest/gtest.h"
 #include "util/random.h"
+#include "util/run_context.h"
 
 namespace kanon {
 namespace {
@@ -81,9 +82,86 @@ TEST(ParallelForTest, SumMatchesSerial) {
   EXPECT_EQ(total, expected);
 }
 
+TEST(ParallelForTest, EmptyRangeWithZeroMinChunkIsNoop) {
+  ParallelismGuard guard(4);
+  bool called = false;
+  ParallelFor(0, 0, 0, [&](size_t, size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForTest, ZeroMinChunkCoversRange) {
+  // min_chunk = 0 is clamped to 1 rather than dividing by zero.
+  ParallelismGuard guard(4);
+  const size_t n = 257;
+  std::vector<std::atomic<int>> hits(n);
+  ParallelFor(0, n, 0, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(ParallelForTest, InvertedRangeIsNoop) {
+  ParallelismGuard guard(4);
+  bool called = false;
+  ParallelFor(10, 5, 1, [&](size_t, size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForTest, PreCancelledContextSkipsAllWork) {
+  ParallelismGuard guard(4);
+  RunContext ctx;
+  ctx.RequestCancel();
+  std::atomic<int> calls{0};
+  ParallelFor(0, 10000, 1,
+              [&](size_t, size_t) { calls.fetch_add(1); }, &ctx);
+  EXPECT_EQ(calls.load(), 0);
+  EXPECT_EQ(ctx.stop_reason(), StopReason::kCancelled);
+}
+
+TEST(ParallelForTest, MidRunCancellationStopsRemainingChunks) {
+  ParallelismGuard guard(1);  // deterministic serial sub-chunking
+  RunContext ctx;
+  std::atomic<size_t> visited{0};
+  ParallelFor(
+      0, 10000, 10,
+      [&](size_t lo, size_t hi) {
+        visited.fetch_add(hi - lo);
+        ctx.RequestCancel();  // first sub-chunk pulls the plug
+      },
+      &ctx);
+  // Only the sub-chunk in flight at cancellation time completed.
+  EXPECT_LE(visited.load(), 10u);
+  EXPECT_TRUE(ctx.ShouldStop());
+}
+
+TEST(ParallelForTest, NullContextMatchesHistoricalChunking) {
+  // With no context the serial path must stay one contiguous call.
+  ParallelismGuard guard(1);
+  int calls = 0;
+  ParallelFor(0, 10000, 1, [&](size_t, size_t) { ++calls; }, nullptr);
+  EXPECT_EQ(calls, 1);
+}
+
 TEST(SetParallelismTest, RoundTrips) {
   ParallelismGuard guard(3);
   EXPECT_EQ(GetParallelism(), 3u);
+}
+
+TEST(SetParallelismTest, ZeroWorkersClampsToOne) {
+  ParallelismGuard guard(0);
+  EXPECT_EQ(GetParallelism(), 1u);
+  // And the clamped configuration still executes work correctly.
+  int calls = 0;
+  ParallelFor(0, 100, 1, [&](size_t lo, size_t hi) {
+    ++calls;
+    EXPECT_EQ(lo, 0u);
+    EXPECT_EQ(hi, 100u);
+  });
+  EXPECT_EQ(calls, 1);
 }
 
 TEST(ParallelDistanceMatrixTest, IdenticalToSerial) {

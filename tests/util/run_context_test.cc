@@ -1,0 +1,140 @@
+#include "util/run_context.h"
+
+#include <thread>
+
+#include "gtest/gtest.h"
+
+namespace kanon {
+namespace {
+
+TEST(RunContextTest, DefaultContextNeverStops) {
+  RunContext ctx;
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(ctx.ShouldStop());
+  }
+  EXPECT_EQ(ctx.stop_reason(), StopReason::kNone);
+  EXPECT_FALSE(ctx.lenient());
+}
+
+TEST(RunContextTest, ExpiredDeadlineStopsAndLatches) {
+  RunContext ctx;
+  ctx.set_deadline_after_millis(-1.0);  // already expired
+  EXPECT_TRUE(ctx.ShouldStop());
+  EXPECT_EQ(ctx.stop_reason(), StopReason::kDeadline);
+  // Latched: later checks are cheap and stay stopped.
+  EXPECT_TRUE(ctx.ShouldStop());
+}
+
+TEST(RunContextTest, FutureDeadlineDoesNotStopYet) {
+  RunContext ctx;
+  ctx.set_deadline_after_millis(60'000.0);
+  EXPECT_FALSE(ctx.ShouldStop());
+  EXPECT_GT(ctx.remaining_millis(), 1000.0);
+}
+
+TEST(RunContextTest, CancellationStops) {
+  RunContext ctx;
+  EXPECT_FALSE(ctx.ShouldStop());
+  ctx.RequestCancel();
+  EXPECT_TRUE(ctx.ShouldStop());
+  EXPECT_EQ(ctx.stop_reason(), StopReason::kCancelled);
+}
+
+TEST(RunContextTest, CancellationPropagatesToChildren) {
+  RunContext parent;
+  RunContext child(&parent);
+  RunContext grandchild(&child);
+  EXPECT_FALSE(grandchild.ShouldStop());
+  parent.RequestCancel();
+  EXPECT_TRUE(grandchild.cancel_requested());
+  EXPECT_TRUE(grandchild.ShouldStop());
+  EXPECT_EQ(grandchild.stop_reason(), StopReason::kCancelled);
+  // Limits are NOT inherited: the parent's stop does not mark a fresh
+  // sibling that never observed it... but cancellation does.
+  RunContext sibling(&parent);
+  EXPECT_TRUE(sibling.ShouldStop());
+}
+
+TEST(RunContextTest, ChildDeadlineDoesNotAffectParent) {
+  RunContext parent;
+  RunContext child(&parent);
+  child.set_deadline_after_millis(-1.0);
+  EXPECT_TRUE(child.ShouldStop());
+  EXPECT_FALSE(parent.ShouldStop());
+  EXPECT_EQ(parent.stop_reason(), StopReason::kNone);
+}
+
+TEST(RunContextTest, NodeBudgetStopsAfterOverrun) {
+  RunContext ctx;
+  ctx.set_node_budget(10);
+  ctx.ChargeNodes(9);
+  EXPECT_FALSE(ctx.ShouldStop());
+  ctx.ChargeNodes(2);
+  EXPECT_TRUE(ctx.ShouldStop());
+  EXPECT_EQ(ctx.stop_reason(), StopReason::kBudget);
+  EXPECT_EQ(ctx.nodes_charged(), 11u);
+}
+
+TEST(RunContextTest, FirstStopReasonWins) {
+  RunContext ctx;
+  ctx.set_deadline_after_millis(-1.0);
+  EXPECT_TRUE(ctx.ShouldStop());
+  ctx.RequestCancel();
+  EXPECT_TRUE(ctx.ShouldStop());
+  EXPECT_EQ(ctx.stop_reason(), StopReason::kDeadline);
+}
+
+TEST(RunContextTest, MemoryChargingTracksPeakAndReleases) {
+  RunContext ctx;  // unlimited
+  EXPECT_TRUE(ctx.TryChargeMemory(1000));
+  EXPECT_TRUE(ctx.TryChargeMemory(500));
+  EXPECT_EQ(ctx.peak_memory_bytes(), 1500u);
+  ctx.ReleaseMemory(500);
+  EXPECT_TRUE(ctx.TryChargeMemory(200));
+  EXPECT_EQ(ctx.peak_memory_bytes(), 1500u);  // high-water mark
+  EXPECT_FALSE(ctx.ShouldStop());
+}
+
+TEST(RunContextTest, MemoryLimitDeclinesAndLatchesBudget) {
+  RunContext ctx;
+  ctx.set_memory_limit_bytes(1024);
+  EXPECT_TRUE(ctx.TryChargeMemory(1000));
+  EXPECT_FALSE(ctx.TryChargeMemory(100));  // would exceed the ceiling
+  EXPECT_TRUE(ctx.ShouldStop());
+  EXPECT_EQ(ctx.stop_reason(), StopReason::kBudget);
+  // The failed charge was rolled back.
+  EXPECT_EQ(ctx.peak_memory_bytes(), 1000u);
+}
+
+TEST(RunContextTest, MarkStoppedLatchesDirectly) {
+  RunContext ctx;
+  ctx.MarkStopped(StopReason::kBudget);
+  EXPECT_TRUE(ctx.ShouldStop());
+  EXPECT_EQ(ctx.stop_reason(), StopReason::kBudget);
+}
+
+TEST(RunContextTest, CancelFromAnotherThreadIsObserved) {
+  RunContext ctx;
+  std::thread canceller([&] { ctx.RequestCancel(); });
+  canceller.join();
+  EXPECT_TRUE(ctx.ShouldStop());
+  EXPECT_EQ(ctx.stop_reason(), StopReason::kCancelled);
+}
+
+TEST(StopReasonTest, NamesAndStatusMapping) {
+  EXPECT_STREQ(StopReasonName(StopReason::kNone), "completed");
+  EXPECT_STREQ(StopReasonName(StopReason::kDeadline), "deadline");
+  EXPECT_STREQ(StopReasonName(StopReason::kBudget), "budget");
+  EXPECT_STREQ(StopReasonName(StopReason::kCancelled), "cancelled");
+
+  EXPECT_TRUE(StopReasonToStatus(StopReason::kNone).ok());
+  EXPECT_EQ(StopReasonToStatus(StopReason::kDeadline).code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(StopReasonToStatus(StopReason::kBudget).code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(StopReasonToStatus(StopReason::kCancelled).code(),
+            StatusCode::kCancelled);
+}
+
+}  // namespace
+}  // namespace kanon

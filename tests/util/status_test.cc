@@ -1,0 +1,85 @@
+#include "util/status.h"
+
+#include <sstream>
+
+#include "gtest/gtest.h"
+
+namespace kanon {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_TRUE(s.message().empty());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ConstructorsCarryCodeAndMessage) {
+  const Status s = Status::InvalidArgument("k must be >= 1");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "k must be >= 1");
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: k must be >= 1");
+
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::ParseError("x").code(), StatusCode::kParseError);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::Cancelled("x").code(), StatusCode::kCancelled);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, StreamsToString) {
+  std::ostringstream os;
+  os << Status::NotFound("missing.csv");
+  EXPECT_EQ(os.str(), "NOT_FOUND: missing.csv");
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> s = 42;
+  ASSERT_TRUE(s.ok());
+  EXPECT_TRUE(s.status().ok());
+  EXPECT_EQ(s.value(), 42);
+  EXPECT_EQ(*s, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> s = Status::ParseError("bad row");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.status().code(), StatusCode::kParseError);
+  EXPECT_EQ(s.status().message(), "bad row");
+}
+
+TEST(StatusOrTest, WorksWithoutDefaultConstructibleType) {
+  struct NoDefault {
+    explicit NoDefault(int v) : value(v) {}
+    int value;
+  };
+  StatusOr<NoDefault> ok = NoDefault(7);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->value, 7);
+  StatusOr<NoDefault> err = Status::NotFound("nope");
+  EXPECT_FALSE(err.ok());
+}
+
+TEST(StatusOrTest, MoveOutValue) {
+  StatusOr<std::string> s = std::string("payload");
+  const std::string moved = *std::move(s);
+  EXPECT_EQ(moved, "payload");
+}
+
+TEST(StatusOrDeathTest, ValueOnErrorDies) {
+  StatusOr<int> s = Status::NotFound("gone");
+  EXPECT_DEATH((void)s.value(), "NOT_FOUND");
+}
+
+TEST(StatusOrDeathTest, ConstructingFromOkStatusDies) {
+  EXPECT_DEATH((void)StatusOr<int>(Status::Ok()),
+               "StatusOr constructed from OK status");
+}
+
+}  // namespace
+}  // namespace kanon
