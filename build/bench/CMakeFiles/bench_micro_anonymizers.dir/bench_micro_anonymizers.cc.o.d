@@ -215,14 +215,22 @@ bench/CMakeFiles/bench_micro_anonymizers.dir/bench_micro_anonymizers.cc.o: \
  /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/erase_if.h /root/repo/src/data/value.h \
  /usr/include/c++/12/limits /root/repo/src/core/suppressor.h \
- /root/repo/src/algo/cluster_greedy.h /root/repo/src/algo/exact_dp.h \
- /root/repo/src/algo/greedy_cover.h /root/repo/src/algo/mondrian.h \
- /usr/include/benchmark/benchmark.h /usr/include/c++/12/cassert \
- /usr/include/assert.h /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /root/repo/src/util/run_context.h /usr/include/c++/12/atomic \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/util/status.h \
+ /usr/include/c++/12/optional /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/util/logging.h \
+ /usr/include/c++/12/iostream /root/repo/src/algo/cluster_greedy.h \
+ /root/repo/src/algo/exact_dp.h /root/repo/src/algo/greedy_cover.h \
+ /root/repo/src/algo/mondrian.h /usr/include/benchmark/benchmark.h \
+ /usr/include/c++/12/cassert /usr/include/assert.h \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/set \
  /usr/include/c++/12/bits/stl_set.h \
- /usr/include/c++/12/bits/stl_multiset.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /usr/include/benchmark/export.h \
- /usr/include/c++/12/atomic /root/repo/src/data/generators/census.h \
- /root/repo/src/util/random.h /root/repo/src/data/generators/clustered.h
+ /usr/include/c++/12/bits/stl_multiset.h /usr/include/benchmark/export.h \
+ /root/repo/src/data/generators/census.h /root/repo/src/util/random.h \
+ /root/repo/src/data/generators/clustered.h

@@ -209,10 +209,16 @@ bench/CMakeFiles/exp_e14_streaming.dir/exp_e14_streaming.cc.o: \
  /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/erase_if.h /root/repo/src/data/value.h \
  /usr/include/c++/12/limits /root/repo/src/core/suppressor.h \
+ /root/repo/src/util/run_context.h /usr/include/c++/12/atomic \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/sstream \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/util/status.h \
+ /usr/include/c++/12/optional /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/util/logging.h \
  /root/repo/src/algo/local_search.h /root/repo/src/algo/streaming.h \
  /root/repo/src/util/report.h /root/repo/src/data/generators/clustered.h \
- /root/repo/src/util/random.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/util/cli.h \
+ /root/repo/src/util/random.h /root/repo/src/util/cli.h \
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h

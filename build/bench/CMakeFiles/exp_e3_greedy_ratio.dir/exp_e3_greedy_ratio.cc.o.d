@@ -231,11 +231,18 @@ bench/CMakeFiles/exp_e3_greedy_ratio.dir/exp_e3_greedy_ratio.cc.o: \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/erase_if.h /root/repo/src/data/value.h \
- /root/repo/src/core/suppressor.h /root/repo/src/algo/greedy_cover.h \
+ /root/repo/src/core/suppressor.h /root/repo/src/util/run_context.h \
+ /usr/include/c++/12/atomic /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/util/status.h \
+ /usr/include/c++/12/optional /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/util/logging.h \
+ /usr/include/c++/12/iostream /root/repo/src/algo/greedy_cover.h \
  /root/repo/src/util/report.h /root/repo/src/data/generators/clustered.h \
- /root/repo/src/util/random.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/data/generators/uniform.h /root/repo/src/util/cli.h \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/stl_map.h \
+ /root/repo/src/util/random.h /root/repo/src/data/generators/uniform.h \
+ /root/repo/src/util/cli.h /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/util/stats.h

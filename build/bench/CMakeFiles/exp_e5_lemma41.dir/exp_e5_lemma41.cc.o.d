@@ -215,9 +215,15 @@ bench/CMakeFiles/exp_e5_lemma41.dir/exp_e5_lemma41.cc.o: \
  /usr/include/c++/12/span /root/repo/src/data/schema.h \
  /root/repo/src/data/dictionary.h /root/repo/src/data/value.h \
  /usr/include/c++/12/limits /root/repo/src/core/suppressor.h \
+ /root/repo/src/util/run_context.h /usr/include/c++/12/atomic \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/sstream \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/util/status.h \
+ /usr/include/c++/12/optional /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/util/logging.h \
  /root/repo/src/util/report.h /root/repo/src/core/distance.h \
  /root/repo/src/data/generators/clustered.h /root/repo/src/util/random.h \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/data/generators/uniform.h /root/repo/src/util/cli.h \
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/stl_map.h \

@@ -153,8 +153,9 @@ examples/CMakeFiles/example_anonymize_csv.dir/anonymize_csv.cpp.o: \
  /usr/include/c++/12/bits/locale_facets.tcc \
  /usr/include/c++/12/bits/basic_ios.tcc \
  /usr/include/c++/12/bits/ostream.tcc /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc /root/repo/src/algo/registry.h \
- /usr/include/c++/12/memory /usr/include/c++/12/bits/stl_uninitialized.h \
+ /usr/include/c++/12/bits/istream.tcc /usr/include/c++/12/limits \
+ /root/repo/src/algo/registry.h /usr/include/c++/12/memory \
+ /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
@@ -208,11 +209,16 @@ examples/CMakeFiles/example_anonymize_csv.dir/anonymize_csv.cpp.o: \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/erase_if.h /root/repo/src/data/value.h \
- /usr/include/c++/12/limits /root/repo/src/core/suppressor.h \
- /root/repo/src/core/anonymity.h /root/repo/src/core/metrics.h \
- /root/repo/src/data/csv_table.h /usr/include/c++/12/optional \
- /root/repo/src/data/generators/census.h /root/repo/src/util/random.h \
+ /root/repo/src/core/suppressor.h /root/repo/src/util/run_context.h \
+ /usr/include/c++/12/atomic /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/sstream /usr/include/c++/12/bits/sstream.tcc \
+ /root/repo/src/util/status.h /usr/include/c++/12/optional \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/util/logging.h /root/repo/src/core/anonymity.h \
+ /root/repo/src/core/metrics.h /root/repo/src/data/csv_table.h \
+ /root/repo/src/data/generators/census.h /root/repo/src/util/random.h \
  /root/repo/src/util/cli.h /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h

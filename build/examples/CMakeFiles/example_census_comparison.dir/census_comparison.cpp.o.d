@@ -219,10 +219,14 @@ examples/CMakeFiles/example_census_comparison.dir/census_comparison.cpp.o: \
  /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/erase_if.h /root/repo/src/data/value.h \
  /usr/include/c++/12/limits /root/repo/src/core/suppressor.h \
- /root/repo/src/core/bounds.h /root/repo/src/core/distance.h \
- /root/repo/src/core/metrics.h /root/repo/src/data/generators/census.h \
- /root/repo/src/util/random.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/util/cli.h \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/stl_map.h \
+ /root/repo/src/util/run_context.h /usr/include/c++/12/atomic \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/parse_numbers.h \
+ /root/repo/src/util/status.h /usr/include/c++/12/optional \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/util/logging.h /root/repo/src/core/bounds.h \
+ /root/repo/src/core/distance.h /root/repo/src/core/metrics.h \
+ /root/repo/src/data/generators/census.h /root/repo/src/util/random.h \
+ /root/repo/src/util/cli.h /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h

@@ -18,6 +18,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/algo/branch_bound.cc" "src/CMakeFiles/kanon_algo.dir/algo/branch_bound.cc.o" "gcc" "src/CMakeFiles/kanon_algo.dir/algo/branch_bound.cc.o.d"
   "/root/repo/src/algo/cluster_greedy.cc" "src/CMakeFiles/kanon_algo.dir/algo/cluster_greedy.cc.o" "gcc" "src/CMakeFiles/kanon_algo.dir/algo/cluster_greedy.cc.o.d"
   "/root/repo/src/algo/exact_dp.cc" "src/CMakeFiles/kanon_algo.dir/algo/exact_dp.cc.o" "gcc" "src/CMakeFiles/kanon_algo.dir/algo/exact_dp.cc.o.d"
+  "/root/repo/src/algo/fallback.cc" "src/CMakeFiles/kanon_algo.dir/algo/fallback.cc.o" "gcc" "src/CMakeFiles/kanon_algo.dir/algo/fallback.cc.o.d"
   "/root/repo/src/algo/greedy_cover.cc" "src/CMakeFiles/kanon_algo.dir/algo/greedy_cover.cc.o" "gcc" "src/CMakeFiles/kanon_algo.dir/algo/greedy_cover.cc.o.d"
   "/root/repo/src/algo/local_search.cc" "src/CMakeFiles/kanon_algo.dir/algo/local_search.cc.o" "gcc" "src/CMakeFiles/kanon_algo.dir/algo/local_search.cc.o.d"
   "/root/repo/src/algo/mdav.cc" "src/CMakeFiles/kanon_algo.dir/algo/mdav.cc.o" "gcc" "src/CMakeFiles/kanon_algo.dir/algo/mdav.cc.o.d"

@@ -209,12 +209,22 @@ src/CMakeFiles/kanon_algo.dir/algo/registry.cc.o: \
  /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/erase_if.h /root/repo/src/data/value.h \
  /usr/include/c++/12/limits /root/repo/src/core/suppressor.h \
- /root/repo/src/algo/annealing.h /root/repo/src/algo/attribute_adapter.h \
+ /root/repo/src/util/run_context.h /usr/include/c++/12/atomic \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/util/status.h \
+ /usr/include/c++/12/optional /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/util/logging.h \
+ /usr/include/c++/12/iostream /root/repo/src/algo/annealing.h \
+ /root/repo/src/algo/attribute_adapter.h \
  /root/repo/src/algo/attribute_anonymity.h \
  /root/repo/src/algo/attribute_exact.h \
  /root/repo/src/algo/attribute_greedy.h /root/repo/src/algo/ball_cover.h \
  /root/repo/src/algo/branch_bound.h /root/repo/src/algo/cluster_greedy.h \
- /root/repo/src/algo/exact_dp.h /root/repo/src/algo/greedy_cover.h \
- /root/repo/src/algo/local_search.h /root/repo/src/algo/mdav.h \
- /root/repo/src/algo/mondrian.h /root/repo/src/algo/random_partition.h \
+ /root/repo/src/algo/exact_dp.h /root/repo/src/algo/fallback.h \
+ /root/repo/src/algo/greedy_cover.h /root/repo/src/algo/local_search.h \
+ /root/repo/src/algo/mdav.h /root/repo/src/algo/mondrian.h \
+ /root/repo/src/algo/random_partition.h \
  /root/repo/src/algo/suppress_all.h

@@ -14,7 +14,9 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/util/parallel.cc" "src/CMakeFiles/kanon_util.dir/util/parallel.cc.o" "gcc" "src/CMakeFiles/kanon_util.dir/util/parallel.cc.o.d"
   "/root/repo/src/util/random.cc" "src/CMakeFiles/kanon_util.dir/util/random.cc.o" "gcc" "src/CMakeFiles/kanon_util.dir/util/random.cc.o.d"
   "/root/repo/src/util/report.cc" "src/CMakeFiles/kanon_util.dir/util/report.cc.o" "gcc" "src/CMakeFiles/kanon_util.dir/util/report.cc.o.d"
+  "/root/repo/src/util/run_context.cc" "src/CMakeFiles/kanon_util.dir/util/run_context.cc.o" "gcc" "src/CMakeFiles/kanon_util.dir/util/run_context.cc.o.d"
   "/root/repo/src/util/stats.cc" "src/CMakeFiles/kanon_util.dir/util/stats.cc.o" "gcc" "src/CMakeFiles/kanon_util.dir/util/stats.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/kanon_util.dir/util/status.cc.o" "gcc" "src/CMakeFiles/kanon_util.dir/util/status.cc.o.d"
   "/root/repo/src/util/string_util.cc" "src/CMakeFiles/kanon_util.dir/util/string_util.cc.o" "gcc" "src/CMakeFiles/kanon_util.dir/util/string_util.cc.o.d"
   )
 

@@ -11,8 +11,12 @@ file(REMOVE_RECURSE
   "CMakeFiles/kanon_util.dir/util/random.cc.o.d"
   "CMakeFiles/kanon_util.dir/util/report.cc.o"
   "CMakeFiles/kanon_util.dir/util/report.cc.o.d"
+  "CMakeFiles/kanon_util.dir/util/run_context.cc.o"
+  "CMakeFiles/kanon_util.dir/util/run_context.cc.o.d"
   "CMakeFiles/kanon_util.dir/util/stats.cc.o"
   "CMakeFiles/kanon_util.dir/util/stats.cc.o.d"
+  "CMakeFiles/kanon_util.dir/util/status.cc.o"
+  "CMakeFiles/kanon_util.dir/util/status.cc.o.d"
   "CMakeFiles/kanon_util.dir/util/string_util.cc.o"
   "CMakeFiles/kanon_util.dir/util/string_util.cc.o.d"
   "libkanon_util.a"

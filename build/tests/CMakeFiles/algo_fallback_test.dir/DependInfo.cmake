@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/algo/fallback_test.cc" "tests/CMakeFiles/algo_fallback_test.dir/algo/fallback_test.cc.o" "gcc" "tests/CMakeFiles/algo_fallback_test.dir/algo/fallback_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/kanon_privacy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kanon_generalize.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kanon_reductions.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kanon_hypergraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kanon_algo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kanon_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kanon_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kanon_setcover.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kanon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algo_fallback_test.dir/algo/fallback_test.cc.o"
+  "CMakeFiles/algo_fallback_test.dir/algo/fallback_test.cc.o.d"
+  "algo_fallback_test"
+  "algo_fallback_test.pdb"
+  "algo_fallback_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algo_fallback_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

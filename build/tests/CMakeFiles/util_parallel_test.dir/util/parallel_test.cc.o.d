@@ -296,4 +296,7 @@ tests/CMakeFiles/util_parallel_test.dir/util/parallel_test.cc.o: \
  /root/miniconda/include/gtest/gtest-test-part.h \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
- /root/miniconda/include/gtest/gtest_pred_impl.h
+ /root/miniconda/include/gtest/gtest_pred_impl.h \
+ /root/repo/src/util/run_context.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /root/repo/src/util/status.h /root/repo/src/util/logging.h

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_run_context_test.dir/util/run_context_test.cc.o"
+  "CMakeFiles/util_run_context_test.dir/util/run_context_test.cc.o.d"
+  "util_run_context_test"
+  "util_run_context_test.pdb"
+  "util_run_context_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_run_context_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
