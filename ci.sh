@@ -13,6 +13,26 @@ cmake -B build -S . >/dev/null
 cmake --build build -j"${JOBS}"
 ctest --test-dir build --output-on-failure -j"${JOBS}"
 
+echo "=== service smoke: kanond --once ==="
+# A scripted session through the daemon binary itself: a cold solve, an
+# identical repeat that must be served from the cache, and a malformed
+# request that must produce a typed error without killing the loop.
+SMOKE_OUT="$(printf '%s\n' \
+  'anonymize algo=resilient k=2 csv=age;30;30;31;31' \
+  'anonymize algo=resilient k=2 csv=age;30;30;31;31' \
+  'anonymize algo=nope k=2 csv=a;1;2' \
+  'stats' \
+  | ./build/examples/kanond --once)"
+echo "${SMOKE_OUT}"
+echo "${SMOKE_OUT}" | sed -n 1p | grep -q 'ok verb=anonymize .*cache=miss' \
+  || { echo "smoke FAIL: cold request not served" >&2; exit 1; }
+echo "${SMOKE_OUT}" | sed -n 2p | grep -q 'ok verb=anonymize .*cache=hit' \
+  || { echo "smoke FAIL: repeat not served from cache" >&2; exit 1; }
+echo "${SMOKE_OUT}" | sed -n 3p | grep -q 'error .*error=unknown_algorithm' \
+  || { echo "smoke FAIL: malformed request not a typed error" >&2; exit 1; }
+echo "${SMOKE_OUT}" | sed -n 4p | grep -q 'ok verb=stats .*cache_hits=1' \
+  || { echo "smoke FAIL: daemon stopped serving after the error" >&2; exit 1; }
+
 if [[ "${1:-}" == "--skip-sanitizers" ]]; then
   echo "=== sanitizer pass skipped ==="
   exit 0
@@ -25,5 +45,13 @@ cmake --build build-asan -j"${JOBS}"
 # process visibly instead of being swallowed by the fork.
 ASAN_OPTIONS="abort_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
   ctest --test-dir build-asan --output-on-failure -j"${JOBS}"
+
+echo "=== service smoke under ASan ==="
+printf '%s\n' \
+  'anonymize algo=resilient k=2 csv=age;30;30;31;31' \
+  'anonymize algo=resilient k=2 csv=age;30;30;31;31' \
+  | ASAN_OPTIONS="abort_on_error=1" ./build-asan/examples/kanond --once \
+  | grep -q 'cache=hit' \
+  || { echo "smoke FAIL: ASan kanond session" >&2; exit 1; }
 
 echo "=== ci.sh: all green ==="

@@ -68,14 +68,13 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  auto algo = MakeAnonymizer(algo_name);
-  if (algo == nullptr) {
-    std::cerr << "error: unknown algorithm '" << algo_name
-              << "'. known algorithms:";
-    for (const auto& name : KnownAnonymizers()) std::cerr << " " << name;
-    std::cerr << " (append +local_search for the post-optimizer)\n";
+  StatusOr<std::unique_ptr<Anonymizer>> algo_or =
+      MakeAnonymizerOr(algo_name);
+  if (!algo_or.ok()) {
+    std::cerr << "error: " << algo_or.status().message() << "\n";
     return 1;
   }
+  const std::unique_ptr<Anonymizer> algo = *std::move(algo_or);
 
   RunContext ctx;
   if (*deadline_flag > 0) {

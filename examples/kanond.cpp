@@ -1,0 +1,76 @@
+// kanond — the k-anonymization daemon: a long-running service speaking
+// the newline-delimited line protocol (service/server.h) over
+// stdin/stdout. Each `anonymize` line is validated, admitted through
+// the bounded job queue, executed on the worker pool inside the
+// resilient fallback chain, and answered from the LRU result cache when
+// the same (table, algorithm, k) instance was already solved.
+//
+// Usage:
+//   ./kanond [--workers=N] [--queue-capacity=N] [--cache-capacity=N]
+//            [--once]
+//
+//   --once suppresses the interactive banner: batch mode for piped
+//   scripts (the serving loop itself is identical — read lines until
+//   EOF or `shutdown`).
+//
+// Protocol (one request per line, one response line per request):
+//   anonymize algo=<name> k=<int> [deadline_ms=<f>] [budget=<int>]
+//             [priority=<int>] [emit=0|1] csv=<inline>|file=<path>
+//   stats
+//   shutdown
+// Inline CSV uses ';' as the record separator:
+//   csv=age,zip;30,10001;30,10001
+// Responses are `ok ...` / `error code=<CODE> error=<taxonomy> ...`
+// key=value lines; errors never stop the serving loop.
+//
+// Exit codes: 0 clean shutdown/EOF, 1 usage error.
+
+#include <iostream>
+#include <limits>
+
+#include "service/server.h"
+#include "util/cli.h"
+
+int main(int argc, char** argv) {
+  using namespace kanon;
+  const CommandLine cl = CommandLine::Parse(argc, argv);
+
+  ServiceOptions options;
+  const struct {
+    const char* flag;
+    long long min;
+    long long fallback;
+  } int_flags[] = {
+      {"workers", 0, 0},
+      {"queue-capacity", 1, 64},
+      {"cache-capacity", 0, 64},
+  };
+  long long values[3];
+  for (int i = 0; i < 3; ++i) {
+    const StatusOr<long long> flag =
+        cl.GetValidatedInt(int_flags[i].flag, int_flags[i].fallback,
+                           int_flags[i].min,
+                           std::numeric_limits<int>::max());
+    if (!flag.ok()) {
+      std::cerr << "error: --" << int_flags[i].flag << ": "
+                << flag.status().message() << "\n";
+      return 1;
+    }
+    values[i] = *flag;
+  }
+  options.workers = static_cast<unsigned>(values[0]);
+  options.queue_capacity = static_cast<size_t>(values[1]);
+  options.cache_capacity = static_cast<size_t>(values[2]);
+
+  AnonymizationService service(options);
+  if (!cl.GetBool("once", false)) {
+    std::cerr << "kanond serving on stdin (workers="
+              << service.Stats().workers
+              << ", queue=" << options.queue_capacity
+              << ", cache=" << options.cache_capacity
+              << "); verbs: anonymize stats shutdown\n";
+  }
+  const size_t served = ServeLines(service, std::cin, std::cout);
+  std::cerr << "kanond: served " << served << " request(s)\n";
+  return 0;
+}

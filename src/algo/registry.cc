@@ -97,4 +97,17 @@ std::unique_ptr<Anonymizer> MakeAnonymizer(const std::string& name) {
   return nullptr;
 }
 
+StatusOr<std::unique_ptr<Anonymizer>> MakeAnonymizerOr(
+    const std::string& name) {
+  auto algo = MakeAnonymizer(name);
+  if (algo != nullptr) return algo;
+  std::string message = "unknown algorithm '" + name + "'; known:";
+  for (const std::string& known : KnownAnonymizers()) {
+    message += " " + known;
+  }
+  message +=
+      " (composition suffixes: +local_search, +annealing)";
+  return Status::NotFound(std::move(message));
+}
+
 }  // namespace kanon

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "algo/anonymizer.h"
+#include "util/status.h"
 
 /// \file
 /// Name -> algorithm factory, so example binaries and the experiment
@@ -21,6 +22,13 @@ std::vector<std::string> KnownAnonymizers();
 /// of the form "<base>+local_search" wrap the base algorithm in the
 /// local-search post-optimizer.
 std::unique_ptr<Anonymizer> MakeAnonymizer(const std::string& name);
+
+/// Diagnosing variant for input boundaries (CLIs, the service layer):
+/// unknown names come back as kNotFound with a message that lists every
+/// registered name and the composition suffixes, so the caller can print
+/// it verbatim instead of reconstructing the list.
+StatusOr<std::unique_ptr<Anonymizer>> MakeAnonymizerOr(
+    const std::string& name);
 
 }  // namespace kanon
 

@@ -1,0 +1,63 @@
+#include "service/cache.h"
+
+namespace kanon {
+
+uint64_t TableFingerprint(const Table& table) {
+  const RowId n = table.num_rows();
+  const ColId m = table.num_columns();
+  uint64_t fp = kFingerprintSeed;
+  fp = FingerprintInt(fp, n);
+  fp = FingerprintInt(fp, m);
+  for (ColId j = 0; j < m; ++j) {
+    fp = FingerprintPiece(fp, table.schema().attribute_name(j));
+  }
+  for (RowId r = 0; r < n; ++r) {
+    for (const std::string& cell : table.DecodeRow(r)) {
+      fp = FingerprintPiece(fp, cell);
+    }
+  }
+  return fp;
+}
+
+std::optional<CachedResult> ResultCache::Lookup(const CacheKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  return it->second->second;
+}
+
+void ResultCache::Insert(const CacheKey& key, CachedResult result) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->second = std::move(result);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, std::move(result));
+  index_.emplace(key, lru_.begin());
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+CacheStats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  CacheStats stats;
+  stats.hits = hits_;
+  stats.misses = misses_;
+  stats.evictions = evictions_;
+  stats.size = lru_.size();
+  stats.capacity = capacity_;
+  return stats;
+}
+
+}  // namespace kanon

@@ -1,0 +1,125 @@
+#ifndef KANON_SERVICE_CACHE_H_
+#define KANON_SERVICE_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "core/partition.h"
+#include "util/fingerprint.h"
+#include "util/run_context.h"
+
+/// \file
+/// LRU result cache of the service layer.
+///
+/// The common production pattern is repeated identical releases: the
+/// same relation anonymized with the same algorithm and k, over and
+/// over (nightly exports, retried jobs, fan-out to mirrors). Since
+/// optimal k-anonymity is NP-hard (Theorem 3.2), re-solving an instance
+/// we already solved is the single most wasteful thing a server can do —
+/// the cache turns those repeats into O(1) lookups.
+///
+/// **Key semantics.** A key is (table content fingerprint, algorithm
+/// name, k, knobs fingerprint). Execution *hints* — deadline, budget,
+/// priority — are deliberately NOT part of the key: they change how long
+/// a run may take, not what the right answer is. To keep that sound,
+/// callers must only Insert *deterministic* outcomes: runs that
+/// completed, or chains degraded purely by structural caps (which
+/// replay identically for this instance). A result degraded by one
+/// request's deadline, cancellation or budget is that request's
+/// artifact and must not be replayed to a request that could have
+/// afforded the full computation. The worker pool enforces this.
+
+namespace kanon {
+
+/// Content fingerprint of a relation: shape, attribute names, and every
+/// decoded cell (suppressed cells as "*"), row-major. Two tables with
+/// identical decoded content fingerprint identically regardless of the
+/// dictionary-code assignment order, so a table parsed from CSV and the
+/// same table built programmatically collide as intended.
+uint64_t TableFingerprint(const Table& table);
+
+/// Identity of a solved instance. `knobs_fp` fingerprints any
+/// result-affecting algorithm options beyond the registry name (none
+/// today; the field future-proofs the key).
+struct CacheKey {
+  uint64_t table_fp = 0;
+  std::string algorithm;
+  size_t k = 0;
+  uint64_t knobs_fp = kFingerprintSeed;
+
+  bool operator==(const CacheKey&) const = default;
+};
+
+struct CacheKeyHash {
+  size_t operator()(const CacheKey& key) const {
+    uint64_t fp = FingerprintInt(kFingerprintSeed, key.table_fp);
+    fp = FingerprintPiece(fp, key.algorithm);
+    fp = FingerprintInt(fp, key.k);
+    fp = FingerprintInt(fp, key.knobs_fp);
+    return static_cast<size_t>(fp);
+  }
+};
+
+/// The cached portion of an answer (everything a repeat request needs
+/// without re-running the solver).
+struct CachedResult {
+  Partition partition;
+  size_t cost = 0;
+  std::string stage;
+  std::string chain;
+  /// kNone for full completions; kBudget when the entry came from a
+  /// structural-cap degradation (replayed verbatim to repeats).
+  StopReason termination = StopReason::kNone;
+  std::string anonymized_csv;
+};
+
+/// Counter snapshot; `size` <= `capacity` always.
+struct CacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  size_t size = 0;
+  size_t capacity = 0;
+};
+
+/// Thread-safe LRU map from CacheKey to CachedResult. Capacity 0
+/// disables caching (every Lookup is a miss, Insert is a no-op).
+class ResultCache {
+ public:
+  explicit ResultCache(size_t capacity) : capacity_(capacity) {}
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// Returns the entry and refreshes its recency, counting a hit; counts
+  /// a miss and returns nullopt when absent.
+  std::optional<CachedResult> Lookup(const CacheKey& key);
+
+  /// Inserts (or refreshes) an entry, evicting the least-recently-used
+  /// entries down to capacity.
+  void Insert(const CacheKey& key, CachedResult result);
+
+  CacheStats stats() const;
+
+ private:
+  using Entry = std::pair<CacheKey, CachedResult>;
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<CacheKey, std::list<Entry>::iterator, CacheKeyHash>
+      index_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace kanon
+
+#endif  // KANON_SERVICE_CACHE_H_

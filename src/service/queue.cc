@@ -1,0 +1,115 @@
+#include "service/queue.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace kanon {
+
+namespace {
+
+/// True iff `a` should be dispatched before `b`: higher priority first,
+/// then earlier deadline, then lower id (FIFO).
+bool DispatchBefore(const Job& a, const Job& b) {
+  if (a.priority != b.priority) return a.priority > b.priority;
+  if (a.deadline != b.deadline) return a.deadline < b.deadline;
+  return a.id < b.id;
+}
+
+}  // namespace
+
+JobQueue::JobQueue(size_t capacity) : capacity_(capacity) {
+  KANON_CHECK_GE(capacity, 1u) << "a zero-capacity queue admits nothing";
+}
+
+StatusOr<JobQueue::Ticket> JobQueue::Submit(AnonymizeRequest request,
+                                            ServiceError* error) {
+  KANON_CHECK(error != nullptr);
+  *error = ServiceError::kNone;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (closed_) {
+    ++counters_.rejected;
+    *error = ServiceError::kShuttingDown;
+    return MakeServiceStatus(*error, "service is shutting down");
+  }
+  if (jobs_.size() >= capacity_) {
+    ++counters_.rejected;
+    *error = ServiceError::kQueueFull;
+    return MakeServiceStatus(
+        *error, "job queue at capacity (" + std::to_string(capacity_) +
+                    " queued); retry with backoff");
+  }
+
+  Job job;
+  job.id = next_id_++;
+  job.priority = request.priority;
+  job.enqueue_time = RunContext::Clock::now();
+  job.ctx = std::make_shared<RunContext>();
+  if (request.deadline_ms > 0.0) {
+    job.ctx->set_deadline_after_millis(request.deadline_ms);
+    job.deadline =
+        job.enqueue_time +
+        std::chrono::duration_cast<RunContext::Clock::duration>(
+            std::chrono::duration<double, std::milli>(request.deadline_ms));
+  } else {
+    job.deadline = RunContext::Clock::time_point::max();
+  }
+  if (request.node_budget > 0) {
+    job.ctx->set_node_budget(request.node_budget);
+  }
+  job.request = std::move(request);
+
+  Ticket ticket;
+  ticket.id = job.id;
+  ticket.result = job.promise.get_future();
+  live_.emplace(job.id, job.ctx);
+  jobs_.push_back(std::move(job));
+  ++counters_.accepted;
+  ready_.notify_one();
+  return ticket;
+}
+
+std::optional<Job> JobQueue::Pop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  ready_.wait(lock, [this] { return closed_ || !jobs_.empty(); });
+  if (jobs_.empty()) return std::nullopt;  // closed and drained
+  auto best = jobs_.begin();
+  for (auto it = std::next(best); it != jobs_.end(); ++it) {
+    if (DispatchBefore(*it, *best)) best = it;
+  }
+  Job job = std::move(*best);
+  jobs_.erase(best);
+  return job;
+}
+
+bool JobQueue::Cancel(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = live_.find(id);
+  if (it == live_.end()) return false;
+  it->second->RequestCancel();
+  return true;
+}
+
+void JobQueue::Forget(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  live_.erase(id);
+}
+
+void JobQueue::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  closed_ = true;
+  ready_.notify_all();
+}
+
+size_t JobQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return jobs_.size();
+}
+
+JobQueue::Counters JobQueue::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+}  // namespace kanon

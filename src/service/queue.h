@@ -1,0 +1,111 @@
+#ifndef KANON_SERVICE_QUEUE_H_
+#define KANON_SERVICE_QUEUE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "service/request.h"
+#include "util/run_context.h"
+
+/// \file
+/// Bounded priority job queue with admission control.
+///
+/// Backpressure is the first line of defense of an NP-hard-workload
+/// server: once the queue is at capacity, new work is *rejected at the
+/// door* with kResourceExhausted instead of being buffered into an
+/// unbounded backlog whose deadlines are already lost. Dispatch order is
+/// priority first (higher runs sooner), then oldest-deadline-first
+/// (the request with the least slack goes next; no-deadline requests
+/// sort last), then FIFO.
+///
+/// Every admitted job owns a RunContext created at admission: the
+/// request's deadline starts ticking *then* (queue wait counts — an
+/// expired job degrades to the terminal fallback stage rather than
+/// occupying a worker at full cost), and Cancel(id) works uniformly
+/// whether the job is still queued or already running on a worker.
+
+namespace kanon {
+
+/// One admitted unit of work, handed from JobQueue::Submit to a worker.
+struct Job {
+  uint64_t id = 0;
+  AnonymizeRequest request;
+  /// Execution-control context: deadline/budget armed at admission;
+  /// JobQueue::Cancel(id) requests cancellation through it.
+  std::shared_ptr<RunContext> ctx;
+  RunContext::Clock::time_point enqueue_time{};
+  /// Absolute deadline (time_point::max() when the request had none).
+  RunContext::Clock::time_point deadline{};
+  int priority = 0;
+  /// Fulfilled by the worker with the job's AnonymizeResponse.
+  std::promise<AnonymizeResponse> promise;
+};
+
+/// Thread-safe bounded queue; producers Submit, workers Pop.
+class JobQueue {
+ public:
+  struct Counters {
+    uint64_t accepted = 0;
+    uint64_t rejected = 0;
+  };
+
+  /// `capacity` >= 1 bounds the number of *queued* (not yet popped) jobs.
+  explicit JobQueue(size_t capacity);
+
+  JobQueue(const JobQueue&) = delete;
+  JobQueue& operator=(const JobQueue&) = delete;
+
+  /// Admission control. On acceptance assigns an id, arms the job's
+  /// RunContext from the request's deadline/budget, stores the job and
+  /// returns {id, future-for-the-response}. Rejects with
+  /// kResourceExhausted (taxonomy kQueueFull) when full and kCancelled
+  /// (kShuttingDown) after Close(); *error is set accordingly.
+  struct Ticket {
+    uint64_t id = 0;
+    std::future<AnonymizeResponse> result;
+  };
+  StatusOr<Ticket> Submit(AnonymizeRequest request, ServiceError* error);
+
+  /// Blocks for the best queued job (see file comment for the order);
+  /// returns nullopt once the queue is closed and drained. The popped
+  /// job stays registered for Cancel(id) until Forget(id).
+  std::optional<Job> Pop();
+
+  /// Requests cooperative cancellation of a queued or running job.
+  /// Returns false when the id is unknown (never admitted, or already
+  /// completed and forgotten).
+  bool Cancel(uint64_t id);
+
+  /// Drops the id -> RunContext registration of a completed job (called
+  /// by the worker after fulfilling the promise).
+  void Forget(uint64_t id);
+
+  /// Stops admission and wakes blocked Pop() calls once drained.
+  void Close();
+
+  /// Jobs admitted but not yet popped.
+  size_t depth() const;
+
+  Counters counters() const;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable ready_;
+  std::vector<Job> jobs_;
+  /// Cancellation registry: every admitted, unforgotten job.
+  std::unordered_map<uint64_t, std::shared_ptr<RunContext>> live_;
+  uint64_t next_id_ = 1;
+  bool closed_ = false;
+  Counters counters_;
+};
+
+}  // namespace kanon
+
+#endif  // KANON_SERVICE_QUEUE_H_

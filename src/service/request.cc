@@ -1,0 +1,101 @@
+#include "service/request.h"
+
+#include <utility>
+
+#include "algo/registry.h"
+#include "data/csv_table.h"
+#include "util/logging.h"
+
+namespace kanon {
+
+const char* ServiceErrorName(ServiceError error) {
+  switch (error) {
+    case ServiceError::kNone:
+      return "none";
+    case ServiceError::kMalformedLine:
+      return "malformed_line";
+    case ServiceError::kUnknownVerb:
+      return "unknown_verb";
+    case ServiceError::kBadParameter:
+      return "bad_parameter";
+    case ServiceError::kUnknownAlgorithm:
+      return "unknown_algorithm";
+    case ServiceError::kTableNotFound:
+      return "table_not_found";
+    case ServiceError::kTableParseError:
+      return "table_parse_error";
+    case ServiceError::kQueueFull:
+      return "queue_full";
+    case ServiceError::kShuttingDown:
+      return "shutting_down";
+    case ServiceError::kCancelled:
+      return "cancelled";
+  }
+  KANON_CHECK(false) << "bad ServiceError " << static_cast<int>(error);
+  return "";
+}
+
+StatusCode ServiceErrorCode(ServiceError error) {
+  switch (error) {
+    case ServiceError::kNone:
+      return StatusCode::kOk;
+    case ServiceError::kMalformedLine:
+    case ServiceError::kUnknownVerb:
+    case ServiceError::kBadParameter:
+      return StatusCode::kInvalidArgument;
+    case ServiceError::kUnknownAlgorithm:
+    case ServiceError::kTableNotFound:
+      return StatusCode::kNotFound;
+    case ServiceError::kTableParseError:
+      return StatusCode::kParseError;
+    case ServiceError::kQueueFull:
+      return StatusCode::kResourceExhausted;
+    case ServiceError::kShuttingDown:
+    case ServiceError::kCancelled:
+      return StatusCode::kCancelled;
+  }
+  KANON_CHECK(false) << "bad ServiceError " << static_cast<int>(error);
+  return StatusCode::kInternal;
+}
+
+Status MakeServiceStatus(ServiceError error, std::string message) {
+  return Status(ServiceErrorCode(error), std::move(message));
+}
+
+Status ValidateAndPrepare(AnonymizeRequest& request, ServiceError* error) {
+  KANON_CHECK(error != nullptr);
+  *error = ServiceError::kNone;
+
+  if (!request.table.has_value()) {
+    if (request.csv_text.empty()) {
+      *error = ServiceError::kBadParameter;
+      return MakeServiceStatus(*error,
+                               "request carries neither a table nor CSV");
+    }
+    StatusOr<Table> parsed = ParseTableCsv(request.csv_text);
+    if (!parsed.ok()) {
+      *error = ServiceError::kTableParseError;
+      return MakeServiceStatus(*error, parsed.status().message());
+    }
+    request.table.emplace(*std::move(parsed));
+    request.csv_text.clear();
+  }
+
+  StatusOr<std::unique_ptr<Anonymizer>> algo =
+      MakeAnonymizerOr(request.algorithm);
+  if (!algo.ok()) {
+    *error = ServiceError::kUnknownAlgorithm;
+    return MakeServiceStatus(*error, algo.status().message());
+  }
+
+  const size_t n = request.table->num_rows();
+  if (request.k < 1 || request.k > n) {
+    *error = ServiceError::kBadParameter;
+    return MakeServiceStatus(
+        *error, "k=" + std::to_string(request.k) +
+                    " outside [1, rows=" + std::to_string(n) + "]");
+  }
+  return Status::Ok();
+}
+
+}  // namespace kanon

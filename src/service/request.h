@@ -1,0 +1,132 @@
+#ifndef KANON_SERVICE_REQUEST_H_
+#define KANON_SERVICE_REQUEST_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "data/table.h"
+#include "util/run_context.h"
+#include "util/status.h"
+
+/// \file
+/// Request/response types of the `kanon::service` layer and the typed
+/// error taxonomy every service surface (embedded API, line protocol,
+/// `kanond`) reports failures through.
+///
+/// The paper's NP-hardness results (Theorems 3.1/3.2) mean a server
+/// cannot promise to solve a request optimally within its deadline — but
+/// it can promise to *answer* every request: with a (possibly degraded)
+/// valid k-anonymization, or with a typed rejection. `AnonymizeRequest`
+/// carries everything needed to make that call — the relation (inline
+/// CSV or a pre-parsed table), the registry algorithm name, k, and the
+/// execution-control knobs that seed the job's RunContext.
+
+namespace kanon {
+
+/// Failure buckets of the service layer. Each maps onto exactly one
+/// StatusCode (ServiceErrorCode) so embedded callers can switch on the
+/// generic code while protocol clients see the finer-grained name.
+enum class ServiceError {
+  kNone = 0,
+  /// A protocol line could not be tokenized (bad key=value syntax).
+  kMalformedLine,
+  /// The protocol verb is not one of anonymize / stats / shutdown.
+  kUnknownVerb,
+  /// A request field is outside its domain (k < 1, k > n, bad number).
+  kBadParameter,
+  /// The algorithm name is not in the registry.
+  kUnknownAlgorithm,
+  /// The request referenced a table file that does not exist.
+  kTableNotFound,
+  /// The inline/referenced CSV failed to parse.
+  kTableParseError,
+  /// Admission control: the job queue is at capacity.
+  kQueueFull,
+  /// The service is shutting down and no longer accepts work.
+  kShuttingDown,
+  /// The request was cancelled before its job ran.
+  kCancelled,
+};
+
+/// Protocol-facing name: "queue_full", "unknown_algorithm", ...
+const char* ServiceErrorName(ServiceError error);
+
+/// The StatusCode bucket each taxonomy entry maps onto (kNone -> kOk).
+StatusCode ServiceErrorCode(ServiceError error);
+
+/// Builds the Status carrying `error`'s code and `message`.
+Status MakeServiceStatus(ServiceError error, std::string message);
+
+/// One anonymization job. The relation travels either pre-parsed in
+/// `table` or as CSV text in `csv_text` (header record first; `table`
+/// wins when both are set). ValidateAndPrepare parses/validates in
+/// place before the request is admitted.
+struct AnonymizeRequest {
+  /// Registry name (see KnownAnonymizers), run inside the resilient
+  /// fallback chain so a too-hard instance degrades instead of failing.
+  std::string algorithm = "resilient";
+  /// Privacy parameter; must satisfy 1 <= k <= rows.
+  size_t k = 3;
+  /// End-to-end deadline in milliseconds, measured from admission (queue
+  /// wait counts against it). <= 0 means no deadline.
+  double deadline_ms = 0.0;
+  /// Node/iteration budget forwarded to the RunContext; 0 = unlimited.
+  uint64_t node_budget = 0;
+  /// Dispatch priority: higher runs first (ties: oldest deadline first,
+  /// then FIFO).
+  int priority = 0;
+  /// When false the response omits the anonymized CSV payload (the
+  /// cost/stage summary is still filled) — for callers that only probe.
+  bool emit_csv = true;
+  /// Inline CSV text (ignored once `table` is set).
+  std::string csv_text;
+  /// The parsed relation; set by ValidateAndPrepare from `csv_text`.
+  std::optional<Table> table;
+};
+
+/// Outcome of one request. `status.ok()` distinguishes answers from
+/// rejections; an answer always carries a *valid* k-anonymous partition
+/// summary (the resilient chain guarantees it), with `termination` and
+/// `stage`/`chain` recording how far it had to degrade.
+struct AnonymizeResponse {
+  /// Service-assigned job id (0 for requests rejected at admission).
+  uint64_t id = 0;
+  /// OK for answers; the taxonomy-mapped code for rejections.
+  Status status;
+  /// Taxonomy bucket behind `status` (kNone for answers).
+  ServiceError error = ServiceError::kNone;
+  std::string algorithm;
+  size_t k = 0;
+  /// Rows in the input relation.
+  size_t rows = 0;
+  /// Suppressed-entry count of the answer (the paper's objective).
+  size_t cost = 0;
+  /// Chain stage that produced the answer ("exact_dp", "suppress_all"...).
+  std::string stage;
+  /// Per-stage outcomes, e.g. "exact_dp(declined:budget)->greedy_cover(ok)".
+  std::string chain;
+  /// Why the run ended (kNone = full-quality completion).
+  StopReason termination = StopReason::kNone;
+  /// True when the answer came from the result cache.
+  bool cache_hit = false;
+  /// Milliseconds spent queued before a worker picked the job up.
+  double queue_ms = 0.0;
+  /// Milliseconds spent producing the answer (near zero on cache hits).
+  double run_ms = 0.0;
+  /// The anonymized relation as CSV (empty when emit_csv was false or
+  /// the request was rejected).
+  std::string anonymized_csv;
+
+  bool ok() const { return status.ok(); }
+};
+
+/// Validates `request` in place: parses `csv_text` into `table` when
+/// needed, resolves the algorithm against the registry, and checks
+/// 1 <= k <= rows. On failure returns the non-OK status and stores the
+/// taxonomy bucket in *error (which must be non-null).
+Status ValidateAndPrepare(AnonymizeRequest& request, ServiceError* error);
+
+}  // namespace kanon
+
+#endif  // KANON_SERVICE_REQUEST_H_

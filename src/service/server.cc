@@ -1,0 +1,248 @@
+#include "service/server.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "data/csv_table.h"
+#include "util/string_util.h"
+
+namespace kanon {
+
+namespace {
+
+/// Inline-CSV transport encoding: ';' stands for the record separator.
+std::string InlineToCsv(std::string text) {
+  for (char& c : text) {
+    if (c == ';') c = '\n';
+  }
+  return text;
+}
+
+std::string CsvToInline(std::string text) {
+  while (!text.empty() && text.back() == '\n') text.pop_back();
+  for (char& c : text) {
+    if (c == '\n') c = ';';
+  }
+  return text;
+}
+
+/// Error messages travel as the final quoted token; keep them one line
+/// and quote-free so the response stays trivially tokenizable.
+std::string QuoteMessage(std::string message) {
+  for (char& c : message) {
+    if (c == '"') c = '\'';
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  return "\"" + message + "\"";
+}
+
+std::string FormatErrorLine(const std::string& verb, uint64_t id,
+                            ServiceError error, const Status& status) {
+  std::ostringstream out;
+  out << "error verb=" << verb;
+  if (id != 0) out << " id=" << id;
+  out << " code=" << StatusCodeName(status.code())
+      << " error=" << ServiceErrorName(error)
+      << " message=" << QuoteMessage(status.message());
+  return out.str();
+}
+
+std::string FormatAnonymizeResponse(const AnonymizeResponse& response) {
+  if (!response.ok()) {
+    return FormatErrorLine("anonymize", response.id, response.error,
+                           response.status);
+  }
+  std::ostringstream out;
+  out << "ok verb=anonymize id=" << response.id
+      << " algo=" << response.algorithm << " k=" << response.k
+      << " rows=" << response.rows << " cost=" << response.cost
+      << " stage=" << response.stage
+      << " termination=" << StopReasonName(response.termination)
+      << " chain=" << (response.chain.empty() ? "-" : response.chain)
+      << " cache=" << (response.cache_hit ? "hit" : "miss")
+      << " queue_ms=" << FormatDouble(response.queue_ms, 3)
+      << " run_ms=" << FormatDouble(response.run_ms, 3);
+  if (!response.anonymized_csv.empty()) {
+    out << " csv=" << CsvToInline(response.anonymized_csv);
+  }
+  return out.str();
+}
+
+std::string FormatStats(const ServiceStats& stats) {
+  std::ostringstream out;
+  out << "ok verb=stats workers=" << stats.workers
+      << " queue_depth=" << stats.queue_depth
+      << " accepted=" << stats.accepted << " rejected=" << stats.rejected
+      << " completed=" << stats.completed
+      << " cache_served=" << stats.cache_served
+      << " cancelled=" << stats.cancelled
+      << " cache_hits=" << stats.cache.hits
+      << " cache_misses=" << stats.cache.misses
+      << " cache_evictions=" << stats.cache.evictions
+      << " cache_size=" << stats.cache.size
+      << " cache_capacity=" << stats.cache.capacity;
+  return out.str();
+}
+
+}  // namespace
+
+AnonymizationService::AnonymizationService(ServiceOptions options)
+    : cache_(options.cache_capacity),
+      queue_(options.queue_capacity),
+      pool_(&queue_, &cache_, {.workers = options.workers}) {}
+
+AnonymizationService::~AnonymizationService() { Shutdown(); }
+
+StatusOr<JobQueue::Ticket> AnonymizationService::Submit(
+    AnonymizeRequest request, ServiceError* error) {
+  const Status prepared = ValidateAndPrepare(request, error);
+  if (!prepared.ok()) return prepared;
+  return queue_.Submit(std::move(request), error);
+}
+
+AnonymizeResponse AnonymizationService::Handle(AnonymizeRequest request) {
+  AnonymizeResponse rejection;
+  rejection.algorithm = request.algorithm;
+  rejection.k = request.k;
+
+  ServiceError error = ServiceError::kNone;
+  StatusOr<JobQueue::Ticket> ticket = Submit(std::move(request), &error);
+  if (!ticket.ok()) {
+    rejection.status = ticket.status();
+    rejection.error = error;
+    return rejection;
+  }
+  return ticket->result.get();
+}
+
+ServiceStats AnonymizationService::Stats() const {
+  ServiceStats stats;
+  stats.workers = pool_.num_workers();
+  stats.queue_depth = queue_.depth();
+  const JobQueue::Counters queue = queue_.counters();
+  stats.accepted = queue.accepted;
+  stats.rejected = queue.rejected;
+  const WorkerPool::Counters pool = pool_.counters();
+  stats.completed = pool.completed;
+  stats.cache_served = pool.cache_served;
+  stats.cancelled = pool.cancelled;
+  stats.cache = cache_.stats();
+  return stats;
+}
+
+void AnonymizationService::Shutdown() { pool_.Join(); }
+
+StatusOr<AnonymizeRequest> ParseRequestLine(const std::string& tail,
+                                            ServiceError* error) {
+  *error = ServiceError::kNone;
+  AnonymizeRequest request;
+  std::istringstream tokens(tail);
+  std::string token;
+  while (tokens >> token) {
+    const size_t eq = token.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      *error = ServiceError::kMalformedLine;
+      return MakeServiceStatus(*error,
+                               "expected key=value, got '" + token + "'");
+    }
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    long long parsed = 0;
+    if (key == "algo") {
+      request.algorithm = value;
+    } else if (key == "k") {
+      if (!ParseInt(value, &parsed) || parsed < 0) {
+        *error = ServiceError::kBadParameter;
+        return MakeServiceStatus(*error, "bad k '" + value + "'");
+      }
+      request.k = static_cast<size_t>(parsed);
+    } else if (key == "deadline_ms") {
+      double ms = 0.0;
+      if (!ParseDouble(value, &ms)) {
+        *error = ServiceError::kBadParameter;
+        return MakeServiceStatus(*error,
+                                 "bad deadline_ms '" + value + "'");
+      }
+      request.deadline_ms = ms;
+    } else if (key == "budget") {
+      if (!ParseInt(value, &parsed) || parsed < 0) {
+        *error = ServiceError::kBadParameter;
+        return MakeServiceStatus(*error, "bad budget '" + value + "'");
+      }
+      request.node_budget = static_cast<uint64_t>(parsed);
+    } else if (key == "priority") {
+      if (!ParseInt(value, &parsed)) {
+        *error = ServiceError::kBadParameter;
+        return MakeServiceStatus(*error, "bad priority '" + value + "'");
+      }
+      request.priority = static_cast<int>(parsed);
+    } else if (key == "emit") {
+      request.emit_csv = value != "0" && value != "false";
+    } else if (key == "csv") {
+      request.csv_text = InlineToCsv(value);
+    } else if (key == "file") {
+      StatusOr<Table> loaded = ReadTableCsv(value);
+      if (!loaded.ok()) {
+        *error = loaded.status().code() == StatusCode::kNotFound
+                     ? ServiceError::kTableNotFound
+                     : ServiceError::kTableParseError;
+        return MakeServiceStatus(*error, loaded.status().message());
+      }
+      request.table.emplace(*std::move(loaded));
+    } else {
+      *error = ServiceError::kMalformedLine;
+      return MakeServiceStatus(*error, "unknown key '" + key + "'");
+    }
+  }
+  return request;
+}
+
+std::string HandleLine(AnonymizationService& service,
+                       const std::string& line, bool* shutdown) {
+  *shutdown = false;
+  const std::string_view trimmed = Trim(line);
+  const size_t space = trimmed.find(' ');
+  const std::string verb(trimmed.substr(0, space));
+  const std::string tail(
+      space == std::string_view::npos ? "" : trimmed.substr(space + 1));
+
+  if (verb == "anonymize") {
+    ServiceError error = ServiceError::kNone;
+    StatusOr<AnonymizeRequest> request = ParseRequestLine(tail, &error);
+    if (!request.ok()) {
+      return FormatErrorLine("anonymize", 0, error, request.status());
+    }
+    return FormatAnonymizeResponse(service.Handle(*std::move(request)));
+  }
+  if (verb == "stats") {
+    return FormatStats(service.Stats());
+  }
+  if (verb == "shutdown") {
+    *shutdown = true;
+    return "ok verb=shutdown";
+  }
+  const ServiceError error = ServiceError::kUnknownVerb;
+  return FormatErrorLine(
+      verb.empty() ? "-" : verb, 0, error,
+      MakeServiceStatus(error, "unknown verb '" + verb +
+                                   "'; expected anonymize|stats|shutdown"));
+}
+
+size_t ServeLines(AnonymizationService& service, std::istream& in,
+                  std::ostream& out) {
+  size_t served = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    bool shutdown = false;
+    out << HandleLine(service, line, &shutdown) << '\n' << std::flush;
+    ++served;
+    if (shutdown) break;
+  }
+  return served;
+}
+
+}  // namespace kanon

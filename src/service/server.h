@@ -1,0 +1,123 @@
+#ifndef KANON_SERVICE_SERVER_H_
+#define KANON_SERVICE_SERVER_H_
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "service/cache.h"
+#include "service/queue.h"
+#include "service/worker_pool.h"
+
+/// \file
+/// The embeddable anonymization service and its line protocol.
+///
+/// `AnonymizationService` wires queue -> workers -> cache -> resilient
+/// chain into one long-running engine: admit, execute, answer. It is the
+/// multiplexing layer the per-request RunContext machinery plugs into.
+///
+/// `ServeLines` speaks a dependency-free newline-delimited protocol over
+/// any iostream pair (kanond binds it to stdin/stdout). One request per
+/// line, one response line per request:
+///
+///   > anonymize algo=resilient k=2 csv=age,zip;30,10001;30,10001
+///   ok id=1 verb=anonymize algo=resilient k=2 rows=2 cost=0
+///     stage=exact_dp termination=completed chain=exact_dp(ok)
+///     cache=miss queue_ms=0.05 run_ms=0.41 csv=age,zip;30,10001;30,10001
+///   > stats
+///   ok verb=stats workers=4 queue_depth=0 accepted=1 rejected=0
+///     completed=1 cache_served=0 cancelled=0 cache_hits=0
+///     cache_misses=1 cache_evictions=0 cache_size=1 cache_capacity=64
+///   > shutdown
+///   ok verb=shutdown served=2
+///
+/// (Responses are single lines; they are wrapped here for readability.)
+/// Inline CSV encodes rows with ';' in place of newlines, so values must
+/// not contain spaces, ';' or unbalanced quotes. Failures are single
+/// `error ...` lines carrying the taxonomy name and the mapped
+/// StatusCode, and never terminate the serving loop:
+///
+///   > anonymize algo=nope k=2 csv=a;1;2
+///   error verb=anonymize code=NOT_FOUND error=unknown_algorithm
+///     message="unknown algorithm 'nope'; known: ..."
+
+namespace kanon {
+
+struct ServiceOptions {
+  /// Worker threads; 0 means GetParallelism().
+  unsigned workers = 0;
+  /// Job-queue capacity (admission control bound).
+  size_t queue_capacity = 64;
+  /// Result-cache capacity in entries; 0 disables caching.
+  size_t cache_capacity = 64;
+};
+
+/// Counter snapshot across queue, pool and cache.
+struct ServiceStats {
+  unsigned workers = 0;
+  size_t queue_depth = 0;
+  uint64_t accepted = 0;
+  uint64_t rejected = 0;
+  uint64_t completed = 0;
+  uint64_t cache_served = 0;
+  uint64_t cancelled = 0;
+  CacheStats cache;
+};
+
+/// Long-running multi-request engine. Thread-safe: any number of
+/// threads may Submit/Handle concurrently.
+class AnonymizationService {
+ public:
+  explicit AnonymizationService(ServiceOptions options = {});
+  ~AnonymizationService();
+
+  AnonymizationService(const AnonymizationService&) = delete;
+  AnonymizationService& operator=(const AnonymizationService&) = delete;
+
+  /// Validates and admits `request`. On success returns the job id and
+  /// the future carrying its response; on failure (validation or
+  /// admission control) returns the typed status and sets *error.
+  StatusOr<JobQueue::Ticket> Submit(AnonymizeRequest request,
+                                    ServiceError* error);
+
+  /// Synchronous convenience: Submit + wait. Rejections come back as a
+  /// response with the non-OK status filled in, so callers always get
+  /// one AnonymizeResponse per request.
+  AnonymizeResponse Handle(AnonymizeRequest request);
+
+  /// Requests cooperative cancellation of an in-flight job.
+  bool Cancel(uint64_t id) { return queue_.Cancel(id); }
+
+  ServiceStats Stats() const;
+
+  /// Stops admission, drains in-flight jobs and joins the workers.
+  /// Called by the destructor; safe to call early and repeatedly.
+  void Shutdown();
+
+ private:
+  ResultCache cache_;
+  JobQueue queue_;
+  WorkerPool pool_;
+};
+
+/// Serves the line protocol from `in` to `out` until EOF or a
+/// `shutdown` line; returns the number of request lines served. Blank
+/// lines and `#` comment lines are skipped. Every response is flushed
+/// immediately, so the loop works interactively and piped alike.
+size_t ServeLines(AnonymizationService& service, std::istream& in,
+                  std::ostream& out);
+
+/// Protocol building blocks, exposed for tests and custom transports.
+/// ParseRequestLine parses the key=value tail of an `anonymize` line
+/// (inline `csv=` rows ';'-separated); HandleLine dispatches one full
+/// protocol line ("anonymize ...", "stats", "shutdown") and returns the
+/// response line (no trailing newline). *shutdown is set when the line
+/// asked the serving loop to stop.
+StatusOr<AnonymizeRequest> ParseRequestLine(const std::string& tail,
+                                            ServiceError* error);
+std::string HandleLine(AnonymizationService& service,
+                       const std::string& line, bool* shutdown);
+
+}  // namespace kanon
+
+#endif  // KANON_SERVICE_SERVER_H_

@@ -1,0 +1,175 @@
+#include "service/worker_pool.h"
+
+#include <chrono>
+#include <string>
+#include <utility>
+
+#include "algo/fallback.h"
+#include "data/csv_table.h"
+#include "util/fingerprint.h"
+#include "util/logging.h"
+#include "util/parallel.h"
+#include "util/timer.h"
+
+namespace kanon {
+
+namespace {
+
+/// Wraps the requested algorithm in a degradation chain ending in the
+/// unconditionally-feasible suppress_all, so *every* job yields a valid
+/// partition. "resilient" keeps its own (already terminal) chain.
+FallbackOptions ChainFor(const std::string& algorithm) {
+  FallbackOptions options;
+  if (algorithm == "resilient") return options;
+  std::vector<std::string> stages = {algorithm};
+  if (algorithm != "greedy_cover" && algorithm != "suppress_all") {
+    stages.push_back("greedy_cover");
+  }
+  if (algorithm != "suppress_all") stages.push_back("suppress_all");
+  options.stages = std::move(stages);
+  return options;
+}
+
+/// FallbackAnonymizer notes look like "chain=a(ok)->b(...) [inner]";
+/// extract the machine-readable chain token.
+std::string ExtractChain(const std::string& notes) {
+  constexpr std::string_view kPrefix = "chain=";
+  const size_t start = notes.find(kPrefix);
+  if (start == std::string::npos) return "";
+  const size_t begin = start + kPrefix.size();
+  const size_t end = notes.find(' ', begin);
+  return notes.substr(begin, end == std::string::npos ? end : end - begin);
+}
+
+}  // namespace
+
+AnonymizeResponse WorkerPool::Execute(const AnonymizeRequest& request,
+                                      RunContext* ctx, ResultCache* cache) {
+  KANON_CHECK(request.table.has_value())
+      << "Execute requires a prepared request (ValidateAndPrepare)";
+  WallTimer timer;
+  const Table& table = *request.table;
+
+  AnonymizeResponse response;
+  response.algorithm = request.algorithm;
+  response.k = request.k;
+  response.rows = table.num_rows();
+
+  CacheKey key;
+  key.table_fp = TableFingerprint(table);
+  key.algorithm = request.algorithm;
+  key.k = request.k;
+  if (cache != nullptr) {
+    if (std::optional<CachedResult> cached = cache->Lookup(key)) {
+      response.cache_hit = true;
+      response.cost = cached->cost;
+      response.stage = cached->stage;
+      response.chain = cached->chain;
+      response.termination = cached->termination;
+      if (request.emit_csv) {
+        response.anonymized_csv = std::move(cached->anonymized_csv);
+      }
+      response.run_ms = timer.Millis();
+      return response;
+    }
+  }
+
+  if (ctx->cancel_requested()) {
+    response.error = ServiceError::kCancelled;
+    response.status =
+        MakeServiceStatus(response.error, "cancelled before execution");
+    response.run_ms = timer.Millis();
+    return response;
+  }
+
+  FallbackAnonymizer chain(ChainFor(request.algorithm));
+  AnonymizationResult result = chain.Run(table, request.k, ctx);
+  response.cost = result.cost;
+  response.stage = result.stage;
+  response.termination = result.termination;
+  response.chain = ExtractChain(result.notes);
+
+  // Cache only deterministic outcomes: full completions, and chains
+  // degraded purely by *structural* caps (latched as kBudget when the
+  // request set no budget and the job's own context never tripped) —
+  // those replay identically for every future request on this instance.
+  // Deadline, cancellation and request-budget artifacts do not.
+  const bool deterministic_outcome =
+      result.completed() ||
+      (result.termination == StopReason::kBudget &&
+       request.node_budget == 0 &&
+       ctx->stop_reason() == StopReason::kNone);
+  // The CSV payload is also what the cache stores, so materialize it
+  // whenever either consumer needs it.
+  const bool cacheable = cache != nullptr && deterministic_outcome;
+  std::string csv;
+  if (request.emit_csv || cacheable) {
+    csv = TableToCsv(result.MakeSuppressor(table).Apply(table));
+  }
+  if (cacheable) {
+    CachedResult entry;
+    entry.partition = result.partition;
+    entry.cost = result.cost;
+    entry.stage = result.stage;
+    entry.chain = response.chain;
+    entry.termination = result.termination;
+    entry.anonymized_csv = csv;
+    cache->Insert(key, std::move(entry));
+  }
+  if (request.emit_csv) response.anonymized_csv = std::move(csv);
+  response.run_ms = timer.Millis();
+  return response;
+}
+
+WorkerPool::WorkerPool(JobQueue* queue, ResultCache* cache,
+                       WorkerPoolOptions options)
+    : queue_(queue), cache_(cache) {
+  KANON_CHECK(queue != nullptr);
+  const unsigned n =
+      options.workers > 0 ? options.workers : GetParallelism();
+  threads_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() { Join(); }
+
+void WorkerPool::Join() {
+  queue_->Close();
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+WorkerPool::Counters WorkerPool::counters() const {
+  Counters counters;
+  counters.completed = completed_.load(std::memory_order_relaxed);
+  counters.cache_served = cache_served_.load(std::memory_order_relaxed);
+  counters.cancelled = cancelled_.load(std::memory_order_relaxed);
+  return counters;
+}
+
+void WorkerPool::WorkerLoop() {
+  while (std::optional<Job> job = queue_->Pop()) {
+    const double queue_ms =
+        std::chrono::duration<double, std::milli>(
+            RunContext::Clock::now() - job->enqueue_time)
+            .count();
+    AnonymizeResponse response =
+        Execute(job->request, job->ctx.get(), cache_);
+    response.id = job->id;
+    response.queue_ms = queue_ms;
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    if (response.cache_hit) {
+      cache_served_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (response.error == ServiceError::kCancelled) {
+      cancelled_.fetch_add(1, std::memory_order_relaxed);
+    }
+    queue_->Forget(job->id);
+    job->promise.set_value(std::move(response));
+  }
+}
+
+}  // namespace kanon

@@ -1,0 +1,80 @@
+#ifndef KANON_SERVICE_WORKER_POOL_H_
+#define KANON_SERVICE_WORKER_POOL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "service/cache.h"
+#include "service/queue.h"
+
+/// \file
+/// Worker pool draining the job queue.
+///
+/// Each of the N workers loops: pop the best job, serve it from the
+/// result cache if the instance was already solved, otherwise run the
+/// registry-selected algorithm *inside the resilient fallback chain*
+/// (algo/fallback.h) under the job's RunContext. The chain is what lets
+/// a multi-tenant server make a hard promise despite NP-hard workloads:
+/// every admitted job gets a valid k-anonymous answer — degraded to a
+/// cheaper stage when its deadline/budget runs out — and the response
+/// records the per-stage outcomes (`chain`) and the producing `stage`.
+
+namespace kanon {
+
+struct WorkerPoolOptions {
+  /// Worker-thread count; 0 means GetParallelism() (util/parallel.h).
+  unsigned workers = 0;
+};
+
+/// N threads executing jobs from a JobQueue. The pool does not own the
+/// queue or cache; both must outlive it. Destruction closes the queue
+/// (idempotent) and joins the workers.
+class WorkerPool {
+ public:
+  struct Counters {
+    uint64_t completed = 0;
+    uint64_t cache_served = 0;
+    uint64_t cancelled = 0;
+  };
+
+  /// Spawns the workers immediately. `cache` may be null (no caching).
+  WorkerPool(JobQueue* queue, ResultCache* cache,
+             WorkerPoolOptions options = {});
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Closes the queue and blocks until every worker has exited (all
+  /// popped jobs fulfilled). Idempotent.
+  void Join();
+
+  unsigned num_workers() const {
+    return static_cast<unsigned>(threads_.size());
+  }
+
+  Counters counters() const;
+
+  /// The per-job execution core (cache lookup -> chain run -> cache
+  /// fill), exposed for direct use in tests and single-threaded tools.
+  /// `request` must have been through ValidateAndPrepare; `ctx` carries
+  /// the job's deadline/budget/cancellation; `cache` may be null.
+  static AnonymizeResponse Execute(const AnonymizeRequest& request,
+                                   RunContext* ctx, ResultCache* cache);
+
+ private:
+  void WorkerLoop();
+
+  JobQueue* const queue_;
+  ResultCache* const cache_;
+  std::vector<std::thread> threads_;
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> cache_served_{0};
+  std::atomic<uint64_t> cancelled_{0};
+};
+
+}  // namespace kanon
+
+#endif  // KANON_SERVICE_WORKER_POOL_H_

@@ -1,0 +1,34 @@
+#include "util/fingerprint.h"
+
+namespace kanon {
+
+namespace {
+constexpr uint64_t kFnvPrime = 0x100000001b3ull;
+}  // namespace
+
+uint64_t FingerprintBytes(uint64_t fp, std::string_view data) {
+  for (const char c : data) {
+    fp ^= static_cast<unsigned char>(c);
+    fp *= kFnvPrime;
+  }
+  return fp;
+}
+
+uint64_t FingerprintInt(uint64_t fp, uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    fp ^= (value >> (8 * i)) & 0xffu;
+    fp *= kFnvPrime;
+  }
+  return fp;
+}
+
+uint64_t FingerprintPiece(uint64_t fp, std::string_view piece) {
+  fp = FingerprintInt(fp, piece.size());
+  return FingerprintBytes(fp, piece);
+}
+
+uint64_t Fingerprint(std::string_view data) {
+  return FingerprintBytes(kFingerprintSeed, data);
+}
+
+}  // namespace kanon

@@ -1,0 +1,41 @@
+#ifndef KANON_UTIL_FINGERPRINT_H_
+#define KANON_UTIL_FINGERPRINT_H_
+
+#include <cstdint>
+#include <string_view>
+
+/// \file
+/// Stable 64-bit content fingerprints (FNV-1a) for cache keys.
+///
+/// The service layer (src/service/) caches anonymization results keyed by
+/// the *content* of the input relation, not its address: two requests
+/// carrying byte-identical CSV must collide on the same cache entry even
+/// though they were parsed into distinct Table objects. These helpers
+/// provide the hash. FNV-1a is not cryptographic — a cache collision
+/// serves a wrong-but-valid cached answer, which is acceptable for the
+/// 2^-64 odds at play and keeps the repo dependency-free.
+
+namespace kanon {
+
+/// FNV-1a offset basis; the seed for a fresh fingerprint chain.
+inline constexpr uint64_t kFingerprintSeed = 0xcbf29ce484222325ull;
+
+/// Folds `data` into `fp` byte-by-byte (FNV-1a step). Chaining calls is
+/// order-sensitive: Fingerprint("ab") != Fingerprint("a") then ("b")
+/// composed via FingerprintPiece, because FingerprintPiece adds a length
+/// delimiter (see below).
+uint64_t FingerprintBytes(uint64_t fp, std::string_view data);
+
+/// Folds `piece` plus its length into `fp`, so adjacent pieces cannot
+/// alias across their boundary ("ab","c" vs "a","bc").
+uint64_t FingerprintPiece(uint64_t fp, std::string_view piece);
+
+/// Folds an integer (its 8 little-endian bytes) into `fp`.
+uint64_t FingerprintInt(uint64_t fp, uint64_t value);
+
+/// One-shot convenience over FingerprintBytes from the seed.
+uint64_t Fingerprint(std::string_view data);
+
+}  // namespace kanon
+
+#endif  // KANON_UTIL_FINGERPRINT_H_

@@ -1,5 +1,8 @@
 #include "algo/fallback.h"
 
+#include <chrono>
+#include <thread>
+
 #include "algo/exact_dp.h"
 #include "algo/registry.h"
 #include "core/partition.h"
@@ -90,6 +93,60 @@ TEST(FallbackTest, ExpiredDeadlineStillYieldsSuppressAll) {
 
   EXPECT_EQ(result.termination, StopReason::kDeadline);
   // Terminal stage is unconditionally feasible even with no time left.
+  EXPECT_EQ(result.stage, "suppress_all");
+  EXPECT_TRUE(IsValidPartition(result.partition, t.num_rows(), k,
+                               t.num_rows()));
+}
+
+TEST(FallbackTest, ZeroDeadlineStillYieldsValidPartitionViaSuppressAll) {
+  // Deadline of exactly zero: every stage's slice of the remaining time
+  // is already spent, so only the unconditionally-feasible terminal
+  // stage can answer — and it must. (35 rows keeps the anytime
+  // branch_bound above its structural cap; below it, its bootstrap
+  // incumbent would answer even with no time left.)
+  Rng rng(11);
+  const Table t = UniformTable(
+      {.num_rows = 35, .num_columns = 4, .alphabet = 3}, &rng);
+  const size_t k = 5;
+
+  FallbackAnonymizer resilient;
+  RunContext ctx;
+  ctx.set_deadline_after_millis(0.0);
+  const AnonymizationResult result = resilient.Run(t, k, &ctx);
+
+  EXPECT_EQ(result.termination, StopReason::kDeadline);
+  EXPECT_EQ(result.stage, "suppress_all");
+  EXPECT_NE(result.notes.find("chain="), std::string::npos);
+  EXPECT_TRUE(IsValidPartition(result.partition, t.num_rows(), k,
+                               t.num_rows()));
+  // Full suppression: every cell starred.
+  EXPECT_EQ(result.cost,
+            static_cast<size_t>(t.num_rows()) * t.num_columns());
+}
+
+TEST(FallbackTest, CancellationMidRunUnwindsParallelForCleanly) {
+  // A ball_cover stage on 400 rows spends tens of milliseconds in its
+  // ParallelFor-backed distance/family precomputations; cancelling from
+  // another thread a few ms in lands mid-flight. The chain must unwind
+  // without leaks or races (this is exercised under KANON_SANITIZE in
+  // CI) and still answer through the terminal stage.
+  Rng rng(12);
+  const Table t = UniformTable(
+      {.num_rows = 400, .num_columns = 6, .alphabet = 4}, &rng);
+  const size_t k = 3;
+
+  FallbackOptions options;
+  options.stages = {"ball_cover", "suppress_all"};
+  FallbackAnonymizer resilient(options);
+  RunContext ctx;
+  std::thread canceller([&ctx] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    ctx.RequestCancel();
+  });
+  const AnonymizationResult result = resilient.Run(t, k, &ctx);
+  canceller.join();
+
+  EXPECT_EQ(result.termination, StopReason::kCancelled);
   EXPECT_EQ(result.stage, "suppress_all");
   EXPECT_TRUE(IsValidPartition(result.partition, t.num_rows(), k,
                                t.num_rows()));

@@ -20,6 +20,32 @@ TEST(RegistryTest, UnknownNameIsNull) {
   EXPECT_EQ(MakeAnonymizer(""), nullptr);
 }
 
+TEST(RegistryTest, MakeAnonymizerOrResolvesKnownNames) {
+  for (const std::string& name : KnownAnonymizers()) {
+    const StatusOr<std::unique_ptr<Anonymizer>> algo =
+        MakeAnonymizerOr(name);
+    ASSERT_TRUE(algo.ok()) << name;
+    EXPECT_EQ((*algo)->name(), name);
+  }
+}
+
+TEST(RegistryTest, MakeAnonymizerOrDiagnosesUnknownNames) {
+  const StatusOr<std::unique_ptr<Anonymizer>> algo =
+      MakeAnonymizerOr("definitely_not_an_algorithm");
+  ASSERT_FALSE(algo.ok());
+  EXPECT_EQ(algo.status().code(), StatusCode::kNotFound);
+  // The message carries the full menu: every registry name plus the
+  // composition suffixes, so a CLI can print it verbatim.
+  for (const std::string& name : KnownAnonymizers()) {
+    EXPECT_NE(algo.status().message().find(name), std::string::npos)
+        << name;
+  }
+  EXPECT_NE(algo.status().message().find("+local_search"),
+            std::string::npos);
+  EXPECT_NE(algo.status().message().find("definitely_not_an_algorithm"),
+            std::string::npos);
+}
+
 TEST(RegistryTest, LocalSearchComposition) {
   const auto algo = MakeAnonymizer("mondrian+local_search");
   ASSERT_NE(algo, nullptr);

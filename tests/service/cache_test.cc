@@ -1,0 +1,129 @@
+#include "service/cache.h"
+
+#include "data/csv_table.h"
+#include "gtest/gtest.h"
+
+/// \file
+/// The LRU result cache: key semantics (content identity, not object
+/// identity), hit/miss/eviction accounting, and recency order.
+
+namespace kanon {
+namespace {
+
+CacheKey KeyFor(uint64_t table_fp, const std::string& algo, size_t k) {
+  CacheKey key;
+  key.table_fp = table_fp;
+  key.algorithm = algo;
+  key.k = k;
+  return key;
+}
+
+CachedResult ResultWithCost(size_t cost) {
+  CachedResult result;
+  result.cost = cost;
+  result.stage = "exact_dp";
+  return result;
+}
+
+TEST(CacheTest, MissThenHit) {
+  ResultCache cache(4);
+  const CacheKey key = KeyFor(1, "resilient", 3);
+
+  EXPECT_FALSE(cache.Lookup(key).has_value());
+  cache.Insert(key, ResultWithCost(7));
+  const auto hit = cache.Lookup(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->cost, 7u);
+
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_EQ(stats.size, 1u);
+}
+
+TEST(CacheTest, KeyDistinguishesAlgorithmKAndTable) {
+  ResultCache cache(8);
+  cache.Insert(KeyFor(1, "resilient", 3), ResultWithCost(1));
+
+  EXPECT_FALSE(cache.Lookup(KeyFor(1, "resilient", 4)).has_value());
+  EXPECT_FALSE(cache.Lookup(KeyFor(1, "mondrian", 3)).has_value());
+  EXPECT_FALSE(cache.Lookup(KeyFor(2, "resilient", 3)).has_value());
+  EXPECT_TRUE(cache.Lookup(KeyFor(1, "resilient", 3)).has_value());
+}
+
+TEST(CacheTest, EvictsLeastRecentlyUsed) {
+  ResultCache cache(2);
+  const CacheKey a = KeyFor(1, "a", 3);
+  const CacheKey b = KeyFor(2, "b", 3);
+  const CacheKey c = KeyFor(3, "c", 3);
+
+  cache.Insert(a, ResultWithCost(1));
+  cache.Insert(b, ResultWithCost(2));
+  ASSERT_TRUE(cache.Lookup(a).has_value());  // refresh a; b is now LRU
+  cache.Insert(c, ResultWithCost(3));        // evicts b
+
+  EXPECT_TRUE(cache.Lookup(a).has_value());
+  EXPECT_FALSE(cache.Lookup(b).has_value());
+  EXPECT_TRUE(cache.Lookup(c).has_value());
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.stats().size, 2u);
+}
+
+TEST(CacheTest, ReinsertRefreshesInsteadOfDuplicating) {
+  ResultCache cache(2);
+  const CacheKey a = KeyFor(1, "a", 3);
+  cache.Insert(a, ResultWithCost(1));
+  cache.Insert(a, ResultWithCost(9));
+  EXPECT_EQ(cache.stats().size, 1u);
+  EXPECT_EQ(cache.Lookup(a)->cost, 9u);
+}
+
+TEST(CacheTest, ZeroCapacityDisablesCaching) {
+  ResultCache cache(0);
+  const CacheKey a = KeyFor(1, "a", 3);
+  cache.Insert(a, ResultWithCost(1));
+  EXPECT_FALSE(cache.Lookup(a).has_value());
+  EXPECT_EQ(cache.stats().size, 0u);
+  EXPECT_EQ(cache.stats().capacity, 0u);
+}
+
+TEST(CacheTest, TableFingerprintIsContentIdentity) {
+  const StatusOr<Table> a = ParseTableCsv("age,zip\n30,10001\n31,10002\n");
+  const StatusOr<Table> b = ParseTableCsv("age,zip\n30,10001\n31,10002\n");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // Distinct objects, identical content.
+  EXPECT_EQ(TableFingerprint(*a), TableFingerprint(*b));
+
+  // Any content difference moves the fingerprint: a cell, an attribute
+  // name, or row order.
+  const StatusOr<Table> cell = ParseTableCsv("age,zip\n30,10001\n31,10003\n");
+  const StatusOr<Table> header =
+      ParseTableCsv("age,postal\n30,10001\n31,10002\n");
+  const StatusOr<Table> order = ParseTableCsv("age,zip\n31,10002\n30,10001\n");
+  EXPECT_NE(TableFingerprint(*a), TableFingerprint(*cell));
+  EXPECT_NE(TableFingerprint(*a), TableFingerprint(*header));
+  EXPECT_NE(TableFingerprint(*a), TableFingerprint(*order));
+}
+
+TEST(CacheTest, TableFingerprintIgnoresDictionaryCodeOrder) {
+  // Same decoded content, but the dictionaries intern values in a
+  // different order, so the underlying codes differ.
+  const StatusOr<Table> a = ParseTableCsv("c\nx\ny\nx\n");
+  const StatusOr<Table> b = ParseTableCsv("c\ny\nx\ny\n");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(TableFingerprint(*a), TableFingerprint(*b));
+
+  // Rebuilding a's decoded content through fresh interning fingerprints
+  // identically even though the code assignment could differ.
+  Table same(Schema({"c"}));
+  same.AppendStringRow({"x"});
+  same.AppendStringRow({"y"});
+  same.AppendStringRow({"x"});
+  EXPECT_EQ(TableFingerprint(*a), TableFingerprint(same));
+}
+
+}  // namespace
+}  // namespace kanon

@@ -1,0 +1,126 @@
+#include "service/queue.h"
+
+#include <thread>
+
+#include "data/csv_table.h"
+#include "gtest/gtest.h"
+
+/// \file
+/// Admission control and dispatch order of the bounded job queue:
+/// reject-with-kResourceExhausted when full, priority then
+/// oldest-deadline-first then FIFO dispatch, cancellation through the
+/// job's RunContext, and clean close/drain.
+
+namespace kanon {
+namespace {
+
+AnonymizeRequest SmallRequest(double deadline_ms = 0.0, int priority = 0) {
+  AnonymizeRequest request;
+  request.algorithm = "resilient";
+  request.k = 2;
+  request.deadline_ms = deadline_ms;
+  request.priority = priority;
+  StatusOr<Table> table = ParseTableCsv("a\n1\n1\n");
+  EXPECT_TRUE(table.ok());
+  request.table.emplace(*std::move(table));
+  return request;
+}
+
+TEST(QueueTest, RejectsWhenFullWithResourceExhausted) {
+  JobQueue queue(2);
+  ServiceError error = ServiceError::kNone;
+  ASSERT_TRUE(queue.Submit(SmallRequest(), &error).ok());
+  ASSERT_TRUE(queue.Submit(SmallRequest(), &error).ok());
+
+  const StatusOr<JobQueue::Ticket> overflow =
+      queue.Submit(SmallRequest(), &error);
+  ASSERT_FALSE(overflow.ok());
+  EXPECT_EQ(overflow.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(error, ServiceError::kQueueFull);
+
+  const JobQueue::Counters counters = queue.counters();
+  EXPECT_EQ(counters.accepted, 2u);
+  EXPECT_EQ(counters.rejected, 1u);
+  EXPECT_EQ(queue.depth(), 2u);
+}
+
+TEST(QueueTest, PopDrainsAdmittedJobsThenBlocksUntilClose) {
+  JobQueue queue(4);
+  ServiceError error = ServiceError::kNone;
+  ASSERT_TRUE(queue.Submit(SmallRequest(), &error).ok());
+  EXPECT_TRUE(queue.Pop().has_value());
+
+  queue.Close();
+  EXPECT_FALSE(queue.Pop().has_value());  // closed and drained
+
+  // Admission after Close is a typed rejection.
+  const StatusOr<JobQueue::Ticket> late =
+      queue.Submit(SmallRequest(), &error);
+  ASSERT_FALSE(late.ok());
+  EXPECT_EQ(late.status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(error, ServiceError::kShuttingDown);
+}
+
+TEST(QueueTest, DispatchOrderPriorityThenDeadlineThenFifo) {
+  JobQueue queue(8);
+  ServiceError error = ServiceError::kNone;
+  // Admitted in scrambled order; ids are 1..5 in submission order.
+  const uint64_t plain_a = queue.Submit(SmallRequest(), &error)->id;
+  const uint64_t slack =
+      queue.Submit(SmallRequest(/*deadline_ms=*/60000.0), &error)->id;
+  const uint64_t urgent =
+      queue.Submit(SmallRequest(/*deadline_ms=*/5000.0), &error)->id;
+  const uint64_t vip =
+      queue.Submit(SmallRequest(/*deadline_ms=*/0.0, /*priority=*/2), &error)
+          ->id;
+  const uint64_t plain_b = queue.Submit(SmallRequest(), &error)->id;
+
+  // Highest priority first; then oldest (earliest) deadline; jobs with
+  // no deadline sort last among equals, FIFO between themselves.
+  EXPECT_EQ(queue.Pop()->id, vip);
+  EXPECT_EQ(queue.Pop()->id, urgent);
+  EXPECT_EQ(queue.Pop()->id, slack);
+  EXPECT_EQ(queue.Pop()->id, plain_a);
+  EXPECT_EQ(queue.Pop()->id, plain_b);
+}
+
+TEST(QueueTest, CancelReachesQueuedJobContext) {
+  JobQueue queue(4);
+  ServiceError error = ServiceError::kNone;
+  const uint64_t id = queue.Submit(SmallRequest(), &error)->id;
+
+  EXPECT_TRUE(queue.Cancel(id));
+  EXPECT_FALSE(queue.Cancel(id + 100));  // unknown id
+
+  std::optional<Job> job = queue.Pop();
+  ASSERT_TRUE(job.has_value());
+  EXPECT_TRUE(job->ctx->cancel_requested());
+
+  // After the worker forgets the job, its id no longer resolves.
+  queue.Forget(id);
+  EXPECT_FALSE(queue.Cancel(id));
+}
+
+TEST(QueueTest, DeadlineArmsTheRunContextAtAdmission) {
+  JobQueue queue(4);
+  ServiceError error = ServiceError::kNone;
+  ASSERT_TRUE(queue.Submit(SmallRequest(/*deadline_ms=*/60000.0), &error)
+                  .ok());
+  std::optional<Job> job = queue.Pop();
+  ASSERT_TRUE(job.has_value());
+  EXPECT_TRUE(job->ctx->has_deadline());
+  EXPECT_GT(job->ctx->remaining_millis(), 0.0);
+  EXPECT_LE(job->ctx->remaining_millis(), 60000.0);
+}
+
+TEST(QueueTest, CloseWakesBlockedConsumer) {
+  JobQueue queue(4);
+  std::thread consumer([&queue] {
+    EXPECT_FALSE(queue.Pop().has_value());  // wakes empty on Close
+  });
+  queue.Close();
+  consumer.join();
+}
+
+}  // namespace
+}  // namespace kanon

@@ -1,0 +1,218 @@
+#include "service/server.h"
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/anonymity.h"
+#include "data/csv_table.h"
+#include "gtest/gtest.h"
+#include "util/string_util.h"
+
+/// \file
+/// End-to-end service tests over the line protocol: a scripted session
+/// with a cold solve, a cache-served repeat at lower latency, typed
+/// rejections that do not stop the serving loop, and shutdown.
+
+namespace kanon {
+namespace {
+
+/// Distinct rows, inline-encoded. 14 rows: the exact_dp stage completes
+/// in tens of milliseconds (2^n DP), so a cold solve does measurable
+/// work while staying fast enough for the sanitizer suite. 30+ rows:
+/// above every exact stage's structural cap.
+std::string BigInline(int rows = 14) {
+  std::string csv = "age,zip";
+  for (int i = 0; i < rows; ++i) {
+    csv += ";" + std::to_string(30 + i / 2) + ",1000" + std::to_string(i);
+  }
+  return csv;
+}
+
+/// Extracts the value of `key` from a "k1=v1 k2=v2 ..." response line.
+std::string Field(const std::string& line, const std::string& key) {
+  for (const std::string& token : Split(line, ' ')) {
+    if (StartsWith(token, key + "=")) {
+      return token.substr(key.size() + 1);
+    }
+  }
+  return "";
+}
+
+Table TableFromInline(std::string inline_csv) {
+  for (char& c : inline_csv) {
+    if (c == ';') c = '\n';
+  }
+  StatusOr<Table> table = ParseTableCsv(inline_csv);
+  EXPECT_TRUE(table.ok());
+  return *std::move(table);
+}
+
+TEST(ServerTest, ScriptedSessionColdHitErrorStatsShutdown) {
+  AnonymizationService service(
+      {.workers = 2, .queue_capacity = 8, .cache_capacity = 8});
+
+  const std::string anonymize =
+      "anonymize algo=resilient k=4 csv=" + BigInline();
+  std::istringstream in(anonymize + "\n" +        // cold
+                        anonymize + "\n" +        // repeat -> cache
+                        "stats\n" +               //
+                        "anonymize algo=nope k=2 csv=a;1;2\n" +  // typed error
+                        anonymize + "\n" +        // still serving
+                        "shutdown\n" +            //
+                        "anonymize algo=resilient k=2 csv=a;1;2\n");
+  std::ostringstream out;
+  const size_t served = ServeLines(service, in, out);
+  EXPECT_EQ(served, 6u);  // the post-shutdown line is never read
+
+  const std::vector<std::string> lines = [&] {
+    std::vector<std::string> all = Split(out.str(), '\n');
+    all.pop_back();  // trailing newline -> empty tail
+    return all;
+  }();
+  ASSERT_EQ(lines.size(), 6u);
+
+  // Cold solve: a verified k-anonymous answer.
+  EXPECT_TRUE(StartsWith(lines[0], "ok verb=anonymize"));
+  EXPECT_EQ(Field(lines[0], "cache"), "miss");
+  EXPECT_EQ(Field(lines[0], "termination"), "completed");
+  const Table anonymized = TableFromInline(Field(lines[0], "csv"));
+  EXPECT_TRUE(IsKAnonymous(anonymized, 4));
+
+  // Identical repeat: answered from cache, same answer, lower latency.
+  EXPECT_EQ(Field(lines[1], "cache"), "hit");
+  EXPECT_EQ(Field(lines[1], "csv"), Field(lines[0], "csv"));
+  EXPECT_EQ(Field(lines[1], "cost"), Field(lines[0], "cost"));
+  double cold_ms = 0.0, hit_ms = 0.0;
+  ASSERT_TRUE(ParseDouble(Field(lines[0], "run_ms"), &cold_ms));
+  ASSERT_TRUE(ParseDouble(Field(lines[1], "run_ms"), &hit_ms));
+  EXPECT_LT(hit_ms, cold_ms);
+
+  // stats reflects exactly one hit and one miss.
+  EXPECT_TRUE(StartsWith(lines[2], "ok verb=stats"));
+  EXPECT_EQ(Field(lines[2], "cache_hits"), "1");
+  EXPECT_EQ(Field(lines[2], "cache_misses"), "1");
+  EXPECT_EQ(Field(lines[2], "accepted"), "2");
+
+  // The malformed request is a typed rejection...
+  EXPECT_TRUE(StartsWith(lines[3], "error verb=anonymize"));
+  EXPECT_EQ(Field(lines[3], "code"), "NOT_FOUND");
+  EXPECT_EQ(Field(lines[3], "error"), "unknown_algorithm");
+
+  // ... and the daemon keeps serving: the next request hits the cache.
+  EXPECT_TRUE(StartsWith(lines[4], "ok verb=anonymize"));
+  EXPECT_EQ(Field(lines[4], "cache"), "hit");
+
+  EXPECT_EQ(lines[5], "ok verb=shutdown");
+}
+
+TEST(ServerTest, HandleRejectsOversizedKWithTypedError) {
+  AnonymizationService service({.workers = 1});
+  AnonymizeRequest request;
+  request.algorithm = "resilient";
+  request.k = 10;
+  request.csv_text = "a\n1\n2\n";
+  const AnonymizeResponse response = service.Handle(std::move(request));
+  EXPECT_FALSE(response.ok());
+  EXPECT_EQ(response.error, ServiceError::kBadParameter);
+  EXPECT_EQ(response.status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ServerTest, HandleParsesInlineCsvAndAnswers) {
+  AnonymizationService service({.workers = 1});
+  AnonymizeRequest request;
+  request.algorithm = "resilient";
+  request.k = 2;
+  request.csv_text = "age\n30\n30\n31\n31\n";
+  const AnonymizeResponse response = service.Handle(std::move(request));
+  ASSERT_TRUE(response.ok()) << response.status;
+  EXPECT_EQ(response.rows, 4u);
+  EXPECT_EQ(response.cost, 0u);  // already 2-anonymous
+}
+
+TEST(ServerTest, MalformedProtocolLinesAreTypedAndNonFatal) {
+  AnonymizationService service({.workers = 1});
+  bool shutdown = false;
+
+  std::string line = HandleLine(service, "anonymize k=abc csv=a;1", &shutdown);
+  EXPECT_TRUE(StartsWith(line, "error "));
+  EXPECT_EQ(Field(line, "error"), "bad_parameter");
+
+  line = HandleLine(service, "anonymize wat", &shutdown);
+  EXPECT_EQ(Field(line, "error"), "malformed_line");
+  EXPECT_EQ(Field(line, "code"), "INVALID_ARGUMENT");
+
+  line = HandleLine(service, "anonymize bad_key=1 csv=a;1", &shutdown);
+  EXPECT_EQ(Field(line, "error"), "malformed_line");
+
+  line = HandleLine(service, "anonymize algo=resilient k=2 csv=a;1;\"2",
+                    &shutdown);
+  EXPECT_EQ(Field(line, "error"), "table_parse_error");
+  EXPECT_EQ(Field(line, "code"), "PARSE_ERROR");
+
+  line = HandleLine(service, "anonymize algo=resilient k=2 file=/nope.csv",
+                    &shutdown);
+  EXPECT_EQ(Field(line, "error"), "table_not_found");
+  EXPECT_EQ(Field(line, "code"), "NOT_FOUND");
+
+  EXPECT_FALSE(shutdown);
+  // The service survived all of the above.
+  line = HandleLine(service, "anonymize algo=resilient k=2 csv=a;1;1",
+                    &shutdown);
+  EXPECT_TRUE(StartsWith(line, "ok "));
+}
+
+TEST(ServerTest, NearZeroDeadlineDegradesToSuppressAllNotError) {
+  AnonymizationService service({.workers = 1});
+  bool shutdown = false;
+  const std::string line = HandleLine(
+      service,
+      "anonymize algo=resilient k=2 deadline_ms=0.001 csv=" +
+          BigInline(/*rows=*/30),
+      &shutdown);
+  EXPECT_TRUE(StartsWith(line, "ok "));
+  EXPECT_EQ(Field(line, "stage"), "suppress_all");
+  EXPECT_EQ(Field(line, "termination"), "deadline");
+  const Table anonymized = TableFromInline(Field(line, "csv"));
+  EXPECT_TRUE(IsKAnonymous(anonymized, 2));
+}
+
+TEST(ServerTest, EmitZeroOmitsThePayload) {
+  AnonymizationService service({.workers = 1});
+  bool shutdown = false;
+  const std::string line = HandleLine(
+      service, "anonymize algo=resilient k=2 emit=0 csv=a;1;1", &shutdown);
+  EXPECT_TRUE(StartsWith(line, "ok "));
+  EXPECT_EQ(Field(line, "csv"), "");
+  EXPECT_EQ(Field(line, "cost"), "0");
+}
+
+TEST(ServerTest, StatsCountsRejections) {
+  AnonymizationService service({.workers = 1});
+  AnonymizeRequest request;
+  request.k = 99;
+  request.csv_text = "a\n1\n";
+  (void)service.Handle(std::move(request));  // invalid k; never admitted
+
+  // Validation failures are not queue rejections; both counters exist.
+  const ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.accepted, 0u);
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_EQ(stats.workers, 1u);
+}
+
+TEST(ServerTest, ShutdownStopsAdmission) {
+  AnonymizationService service({.workers = 1});
+  service.Shutdown();
+  AnonymizeRequest request;
+  request.algorithm = "resilient";
+  request.k = 1;
+  request.csv_text = "a\n1\n";
+  const AnonymizeResponse response = service.Handle(std::move(request));
+  EXPECT_FALSE(response.ok());
+  EXPECT_EQ(response.error, ServiceError::kShuttingDown);
+  EXPECT_EQ(response.status.code(), StatusCode::kCancelled);
+}
+
+}  // namespace
+}  // namespace kanon

@@ -1,0 +1,239 @@
+#include "service/worker_pool.h"
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "core/anonymity.h"
+#include "data/csv_table.h"
+#include "data/generators/uniform.h"
+#include "gtest/gtest.h"
+#include "hypergraph/generators.h"
+#include "reductions/matching_to_kanon.h"
+#include "util/random.h"
+
+/// \file
+/// The worker pool's contract: every admitted job is answered with a
+/// valid k-anonymization (or a typed error), repeats are served from
+/// the cache, >= 4 requests run in flight on a 4-worker pool, and
+/// concurrent execution does not change any per-request answer.
+
+namespace kanon {
+namespace {
+
+AnonymizeRequest RequestFor(Table table, size_t k,
+                            const std::string& algorithm = "resilient") {
+  AnonymizeRequest request;
+  request.algorithm = algorithm;
+  request.k = k;
+  request.table.emplace(std::move(table));
+  return request;
+}
+
+Table SmallTable(uint64_t seed, uint32_t rows = 12) {
+  Rng rng(seed);
+  return UniformTable({.num_rows = rows, .num_columns = 4, .alphabet = 3},
+                      &rng);
+}
+
+/// Theorem 3.1 hard instance: far too big for exact_dp to finish soon,
+/// so a job running it stays busy until cancelled.
+Table HardTable(uint64_t seed) {
+  Rng rng(seed);
+  const Hypergraph h = PlantedMatchingHypergraph(
+      {.num_vertices = 21, .k = 3, .extra_edges = 6}, &rng);
+  return BuildKAnonInstance(h);
+}
+
+TEST(WorkerPoolTest, ExecutesJobToValidKAnonymousAnswer) {
+  JobQueue queue(8);
+  ResultCache cache(8);
+  WorkerPool pool(&queue, &cache, {.workers = 2});
+
+  ServiceError error = ServiceError::kNone;
+  StatusOr<JobQueue::Ticket> ticket =
+      queue.Submit(RequestFor(SmallTable(1), 3), &error);
+  ASSERT_TRUE(ticket.ok());
+  const AnonymizeResponse response = ticket->result.get();
+
+  ASSERT_TRUE(response.ok()) << response.status;
+  EXPECT_EQ(response.id, ticket->id);
+  EXPECT_EQ(response.rows, 12u);
+  EXPECT_FALSE(response.stage.empty());
+  EXPECT_FALSE(response.chain.empty());
+  EXPECT_FALSE(response.cache_hit);
+
+  const StatusOr<Table> anonymized = ParseTableCsv(response.anonymized_csv);
+  ASSERT_TRUE(anonymized.ok());
+  EXPECT_TRUE(IsKAnonymous(*anonymized, 3));
+  EXPECT_EQ(anonymized->CountSuppressedCells(), response.cost);
+}
+
+TEST(WorkerPoolTest, RepeatRequestServedFromCache) {
+  JobQueue queue(8);
+  ResultCache cache(8);
+  WorkerPool pool(&queue, &cache, {.workers = 2});
+
+  ServiceError error = ServiceError::kNone;
+  const AnonymizeResponse cold =
+      queue.Submit(RequestFor(SmallTable(2), 3), &error)->result.get();
+  const AnonymizeResponse warm =
+      queue.Submit(RequestFor(SmallTable(2), 3), &error)->result.get();
+
+  ASSERT_TRUE(cold.ok());
+  ASSERT_TRUE(warm.ok());
+  EXPECT_FALSE(cold.cache_hit);
+  EXPECT_TRUE(warm.cache_hit);
+  // The cached answer is byte-identical to the cold one.
+  EXPECT_EQ(warm.cost, cold.cost);
+  EXPECT_EQ(warm.stage, cold.stage);
+  EXPECT_EQ(warm.anonymized_csv, cold.anonymized_csv);
+
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(pool.counters().cache_served, 1u);
+  EXPECT_EQ(pool.counters().completed, 2u);
+
+  // A different k is a different instance: miss.
+  const AnonymizeResponse other_k =
+      queue.Submit(RequestFor(SmallTable(2), 4), &error)->result.get();
+  EXPECT_FALSE(other_k.cache_hit);
+}
+
+TEST(WorkerPoolTest, DeadlineArtifactsAreNotCachedStructuralOnesAre) {
+  JobQueue queue(8);
+  ResultCache cache(8);
+  WorkerPool pool(&queue, &cache, {.workers = 1});
+
+  // 35 rows: above the exact_dp (22) and branch_bound (28) structural
+  // caps, so an unlimited run deterministically degrades to
+  // greedy_cover while an expired one degrades to suppress_all.
+  AnonymizeRequest request = RequestFor(SmallTable(3, 35), 3);
+  request.deadline_ms = 0.001;  // expired on arrival
+  ServiceError error = ServiceError::kNone;
+  const AnonymizeResponse degraded =
+      queue.Submit(std::move(request), &error)->result.get();
+  ASSERT_TRUE(degraded.ok());
+  EXPECT_EQ(degraded.stage, "suppress_all");
+  EXPECT_EQ(degraded.termination, StopReason::kDeadline);
+  // The deadline artifact was not cached...
+  EXPECT_EQ(cache.stats().size, 0u);
+
+  // ... so an unlimited repeat re-solves (miss) and gets the better
+  // greedy_cover answer; its structural degradation IS deterministic
+  // for this instance and is cached.
+  const AnonymizeResponse fresh =
+      queue.Submit(RequestFor(SmallTable(3, 35), 3), &error)->result.get();
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_FALSE(fresh.cache_hit);
+  EXPECT_EQ(fresh.stage, "greedy_cover");
+  EXPECT_EQ(fresh.termination, StopReason::kBudget);  // declines latched
+  EXPECT_LE(fresh.cost, degraded.cost);
+  EXPECT_EQ(cache.stats().size, 1u);
+
+  const AnonymizeResponse replay =
+      queue.Submit(RequestFor(SmallTable(3, 35), 3), &error)->result.get();
+  ASSERT_TRUE(replay.ok());
+  EXPECT_TRUE(replay.cache_hit);
+  EXPECT_EQ(replay.stage, "greedy_cover");
+  EXPECT_EQ(replay.termination, StopReason::kBudget);
+  EXPECT_EQ(replay.cost, fresh.cost);
+}
+
+TEST(WorkerPoolTest, FourRequestsInFlightOnFourWorkers) {
+  JobQueue queue(8);
+  ResultCache cache(8);
+  WorkerPool pool(&queue, &cache, {.workers = 4});
+
+  // Four Theorem 3.1 instances with no deadline: each occupies its
+  // worker in the exact_dp stage until cancelled.
+  ServiceError error = ServiceError::kNone;
+  std::vector<JobQueue::Ticket> tickets;
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    StatusOr<JobQueue::Ticket> ticket =
+        queue.Submit(RequestFor(HardTable(seed), 3), &error);
+    ASSERT_TRUE(ticket.ok());
+    tickets.push_back(*std::move(ticket));
+  }
+
+  // All four jobs get popped (queue drains) while none has completed:
+  // that is only possible with four simultaneously in-flight requests.
+  for (int spin = 0; queue.depth() > 0 && spin < 2000; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(queue.depth(), 0u);
+  EXPECT_EQ(pool.counters().completed, 0u);
+
+  // Per-request cancellation reaches the running jobs' RunContexts; the
+  // resilient chain still answers each with a valid partition.
+  for (const JobQueue::Ticket& ticket : tickets) {
+    EXPECT_TRUE(queue.Cancel(ticket.id));
+  }
+  for (JobQueue::Ticket& ticket : tickets) {
+    const AnonymizeResponse response = ticket.result.get();
+    ASSERT_TRUE(response.ok()) << response.status;
+    EXPECT_EQ(response.termination, StopReason::kCancelled);
+    // The 21-row instance is under branch_bound's cap, so the anytime
+    // stage may still answer with its incumbent; either way the chain
+    // produced something valid.
+    EXPECT_FALSE(response.stage.empty());
+    const StatusOr<Table> anonymized =
+        ParseTableCsv(response.anonymized_csv);
+    ASSERT_TRUE(anonymized.ok());
+    EXPECT_TRUE(IsKAnonymous(*anonymized, 3));
+  }
+  EXPECT_EQ(pool.counters().completed, 4u);
+}
+
+TEST(WorkerPoolTest, ConcurrentExecutionIsDeterministicPerRequest) {
+  // Reference answers computed serially, no cache.
+  std::vector<AnonymizeRequest> requests;
+  for (uint64_t seed = 10; seed < 18; ++seed) {
+    requests.push_back(RequestFor(SmallTable(seed, 10 + seed % 4), 3,
+                                  seed % 2 == 0 ? "resilient" : "mondrian"));
+  }
+  std::vector<AnonymizeResponse> expected;
+  for (const AnonymizeRequest& request : requests) {
+    RunContext ctx;
+    expected.push_back(WorkerPool::Execute(request, &ctx, nullptr));
+  }
+
+  // The same 8 requests dispatched at once onto 4 workers.
+  JobQueue queue(16);
+  WorkerPool pool(&queue, /*cache=*/nullptr, {.workers = 4});
+  ServiceError error = ServiceError::kNone;
+  std::vector<JobQueue::Ticket> tickets;
+  for (const AnonymizeRequest& request : requests) {
+    StatusOr<JobQueue::Ticket> ticket = queue.Submit(request, &error);
+    ASSERT_TRUE(ticket.ok());
+    tickets.push_back(*std::move(ticket));
+  }
+  for (size_t i = 0; i < tickets.size(); ++i) {
+    const AnonymizeResponse response = tickets[i].result.get();
+    ASSERT_TRUE(response.ok()) << response.status;
+    EXPECT_EQ(response.cost, expected[i].cost) << i;
+    EXPECT_EQ(response.stage, expected[i].stage) << i;
+    EXPECT_EQ(response.chain, expected[i].chain) << i;
+    EXPECT_EQ(response.anonymized_csv, expected[i].anonymized_csv) << i;
+  }
+}
+
+TEST(WorkerPoolTest, CancelledBeforeRunIsATypedError) {
+  JobQueue queue(4);
+  ServiceError error = ServiceError::kNone;
+  // No pool yet: the job sits queued while we cancel it.
+  StatusOr<JobQueue::Ticket> ticket =
+      queue.Submit(RequestFor(SmallTable(5), 3), &error);
+  ASSERT_TRUE(ticket.ok());
+  ASSERT_TRUE(queue.Cancel(ticket->id));
+
+  WorkerPool pool(&queue, /*cache=*/nullptr, {.workers = 1});
+  const AnonymizeResponse response = ticket->result.get();
+  EXPECT_FALSE(response.ok());
+  EXPECT_EQ(response.error, ServiceError::kCancelled);
+  EXPECT_EQ(response.status.code(), StatusCode::kCancelled);
+  EXPECT_EQ(pool.counters().cancelled, 1u);
+}
+
+}  // namespace
+}  // namespace kanon

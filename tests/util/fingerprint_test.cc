@@ -1,0 +1,38 @@
+#include "util/fingerprint.h"
+
+#include "gtest/gtest.h"
+
+namespace kanon {
+namespace {
+
+TEST(FingerprintTest, DeterministicAndContentSensitive) {
+  EXPECT_EQ(Fingerprint("abc"), Fingerprint("abc"));
+  EXPECT_NE(Fingerprint("abc"), Fingerprint("abd"));
+  EXPECT_NE(Fingerprint("abc"), Fingerprint("ab"));
+  EXPECT_NE(Fingerprint(""), 0u);  // seed, not zero
+}
+
+TEST(FingerprintTest, PieceChainingIsBoundaryProof) {
+  // Without length delimiting, ("ab","c") and ("a","bc") would collide.
+  uint64_t a = FingerprintPiece(kFingerprintSeed, "ab");
+  a = FingerprintPiece(a, "c");
+  uint64_t b = FingerprintPiece(kFingerprintSeed, "a");
+  b = FingerprintPiece(b, "bc");
+  EXPECT_NE(a, b);
+}
+
+TEST(FingerprintTest, IntFoldsAllEightBytes) {
+  const uint64_t base = kFingerprintSeed;
+  EXPECT_NE(FingerprintInt(base, 1), FingerprintInt(base, 2));
+  EXPECT_NE(FingerprintInt(base, 1),
+            FingerprintInt(base, 1ull << 56));  // high byte matters
+}
+
+TEST(FingerprintTest, BytesChainMatchesOneShot) {
+  uint64_t chained = FingerprintBytes(kFingerprintSeed, "hel");
+  chained = FingerprintBytes(chained, "lo");
+  EXPECT_EQ(chained, Fingerprint("hello"));
+}
+
+}  // namespace
+}  // namespace kanon
