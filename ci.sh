@@ -1,12 +1,26 @@
 #!/usr/bin/env bash
-# CI entry point: tier-1 build + tests, then the same suite under
-# AddressSanitizer + UBSanitizer (-DKANON_SANITIZE=ON).
+# CI entry point: tier-1 build + tests, chaos schedules and the crash/
+# replay drill, then the same suites under ASan+UBSan
+# (-DKANON_SANITIZE=address) and the concurrency tests under TSan
+# (-DKANON_SANITIZE=thread).
 #
 # Usage: ./ci.sh [--skip-sanitizers]
 set -euo pipefail
 cd "$(dirname "$0")"
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
+
+# Chaos sweep: seeded fault-injection schedules against the live
+# queue/pool/cache/journal stack (examples/chaos_service.cpp). Each
+# invocation also proves seed-reproducibility by running its first seed
+# twice. $1 = binary, $2 = base seed, $3 = schedule count.
+run_chaos() {
+  local scratch
+  scratch="$(mktemp -d)"
+  "$1" --chaos-seed="$2" --schedules="$3" --jobs=16 --scratch="${scratch}" \
+    | tail -3
+  rm -rf "${scratch}"
+}
 
 echo "=== tier-1: default build ==="
 cmake -B build -S . >/dev/null
@@ -33,13 +47,74 @@ echo "${SMOKE_OUT}" | sed -n 3p | grep -q 'error .*error=unknown_algorithm' \
 echo "${SMOKE_OUT}" | sed -n 4p | grep -q 'ok verb=stats .*cache_hits=1' \
   || { echo "smoke FAIL: daemon stopped serving after the error" >&2; exit 1; }
 
+echo "=== robustness smoke: injected worker fault + stats counters ==="
+# A deterministic first:1 dispatch fault kills the worker on its first
+# attempt; the retry must answer the request anyway, and the stats line
+# must surface every robustness counter.
+FAULT_OUT="$(printf '%s\n' \
+  'anonymize algo=resilient k=2 csv=age;30;30;31;31' \
+  'stats' \
+  | ./build/examples/kanond --once --workers=1 \
+      --faults='seed=7 worker.dispatch=first:1')"
+echo "${FAULT_OUT}"
+echo "${FAULT_OUT}" | sed -n 1p | grep -q 'ok verb=anonymize' \
+  || { echo "smoke FAIL: faulted request not answered" >&2; exit 1; }
+echo "${FAULT_OUT}" | sed -n 2p | grep -q ' retries=1 ' \
+  || { echo "smoke FAIL: retry not counted in stats" >&2; exit 1; }
+for key in shed= retries_exhausted= journal_replays= breakers= \
+           cache_rejected=; do
+  echo "${FAULT_OUT}" | sed -n 2p | grep -q " ${key}" \
+    || { echo "smoke FAIL: stats missing ${key}" >&2; exit 1; }
+done
+
+echo "=== crash drill: SIGKILL mid-job, replay from --journal ==="
+# Two fire-and-forget jobs on a single worker: a hard exact_dp instance
+# (22 distinct rows — minutes of DP) that the worker starts, and an easy
+# one that stays queued. SIGKILL the daemon once the journal shows the
+# hard job started; the restarted daemon must answer the queued job from
+# the journal and mark the started one with the typed interrupted error.
+CRASH_DIR="$(mktemp -d)"
+CRASH_JOURNAL="${CRASH_DIR}/kanond.journal"
+HARD_CSV="a$(for i in $(seq 0 21); do printf ';r%d' "${i}"; done)"
+( printf '%s\n' \
+    "anonymize algo=exact_dp k=2 wait=0 csv=${HARD_CSV}" \
+    'anonymize algo=resilient k=2 wait=0 csv=b;1;1;2;2'; \
+  sleep 15 ) \
+  | ./build/examples/kanond --once --workers=1 \
+      --journal="${CRASH_JOURNAL}" \
+      >"${CRASH_DIR}/first.out" 2>"${CRASH_DIR}/first.err" &
+KANOND_PID=$!
+for _ in $(seq 1 200); do
+  grep -q ' start ' "${CRASH_JOURNAL}" 2>/dev/null && break
+  sleep 0.05
+done
+grep -q ' start ' "${CRASH_JOURNAL}" \
+  || { echo "crash drill FAIL: hard job never started" >&2; exit 1; }
+kill -9 "${KANOND_PID}"
+wait "${KANOND_PID}" 2>/dev/null || true
+REPLAY_OUT="$(printf 'stats\nshutdown\n' \
+  | ./build/examples/kanond --once --workers=1 \
+      --journal="${CRASH_JOURNAL}")"
+echo "${REPLAY_OUT}"
+echo "${REPLAY_OUT}" | grep -q 'error verb=replay .*error=interrupted' \
+  || { echo "crash drill FAIL: started job not marked interrupted" >&2
+       exit 1; }
+echo "${REPLAY_OUT}" | grep -q 'ok verb=replay old_id=' \
+  || { echo "crash drill FAIL: queued job not replayed" >&2; exit 1; }
+echo "${REPLAY_OUT}" | grep -q ' journal_replays=2 ' \
+  || { echo "crash drill FAIL: replays not counted in stats" >&2; exit 1; }
+rm -rf "${CRASH_DIR}"
+
+echo "=== chaos: 100 seeded schedules (default build) ==="
+run_chaos ./build/examples/chaos_service 1000 100
+
 if [[ "${1:-}" == "--skip-sanitizers" ]]; then
   echo "=== sanitizer pass skipped ==="
   exit 0
 fi
 
 echo "=== tier-1 under ASan+UBSan ==="
-cmake -B build-asan -S . -DKANON_SANITIZE=ON >/dev/null
+cmake -B build-asan -S . -DKANON_SANITIZE=address >/dev/null
 cmake --build build-asan -j"${JOBS}"
 # abort_on_error makes sanitizer findings fail the death tests' parent
 # process visibly instead of being swallowed by the fork.
@@ -53,5 +128,23 @@ printf '%s\n' \
   | ASAN_OPTIONS="abort_on_error=1" ./build-asan/examples/kanond --once \
   | grep -q 'cache=hit' \
   || { echo "smoke FAIL: ASan kanond session" >&2; exit 1; }
+
+echo "=== chaos: 100 seeded schedules under ASan ==="
+ASAN_OPTIONS="abort_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
+  run_chaos ./build-asan/examples/chaos_service 2000 100
+
+echo "=== concurrency tests under TSan ==="
+# The service stack is where threads actually interleave (queue, worker
+# pool, breakers, journal, cancellation) — run those suites plus the
+# parallel-utility tests under -fsanitize=thread.
+cmake -B build-tsan -S . -DKANON_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j"${JOBS}"
+TSAN_OPTIONS="halt_on_error=1" \
+  ctest --test-dir build-tsan --output-on-failure -j"${JOBS}" \
+    -R 'QueueTest|WorkerPoolTest|CancelRaceTest|ServerTest|ServerFuzzTest|BreakerTest|StageBreakerTest|JournalTest|FaultRegistryTest|ChaosTest|Parallel'
+
+echo "=== chaos: 100 seeded schedules under TSan ==="
+TSAN_OPTIONS="halt_on_error=1" \
+  run_chaos ./build-tsan/examples/chaos_service 3000 100
 
 echo "=== ci.sh: all green ==="

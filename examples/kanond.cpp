@@ -7,11 +7,23 @@
 //
 // Usage:
 //   ./kanond [--workers=N] [--queue-capacity=N] [--cache-capacity=N]
-//            [--once]
+//            [--journal=PATH] [--faults=SPEC] [--once]
 //
 //   --once suppresses the interactive banner: batch mode for piped
 //   scripts (the serving loop itself is identical — read lines until
 //   EOF or `shutdown`).
+//
+//   --journal=PATH arms the crash-consistent job journal: every
+//   admitted job is recorded (fsync'd) before it can run, and at
+//   startup an existing journal is replayed — jobs that never started
+//   are re-run and answered as `ok verb=replay old_id=...` lines on
+//   stdout; a job that was on a worker when the previous incarnation
+//   died is answered `error verb=replay ... error=interrupted`. A
+//   journal corrupt beyond a torn tail aborts startup (exit 2).
+//
+//   --faults=SPEC arms deterministic fault injection (fault/fault.h),
+//   e.g. --faults="seed=42 p=0.01 worker.dispatch=0.5" — for chaos
+//   drills against a live daemon.
 //
 // Protocol (one request per line, one response line per request):
 //   anonymize algo=<name> k=<int> [deadline_ms=<f>] [budget=<int>]
@@ -23,11 +35,15 @@
 // Responses are `ok ...` / `error code=<CODE> error=<taxonomy> ...`
 // key=value lines; errors never stop the serving loop.
 //
-// Exit codes: 0 clean shutdown/EOF, 1 usage error.
+// Exit codes: 0 clean shutdown/EOF, 1 usage error, 2 unreplayable
+// journal.
 
 #include <iostream>
 #include <limits>
+#include <memory>
 
+#include "fault/fault.h"
+#include "service/journal.h"
 #include "service/server.h"
 #include "util/cli.h"
 
@@ -62,12 +78,65 @@ int main(int argc, char** argv) {
   options.queue_capacity = static_cast<size_t>(values[1]);
   options.cache_capacity = static_cast<size_t>(values[2]);
 
+  const std::string fault_spec = cl.GetString("faults", "");
+  if (!fault_spec.empty()) {
+    const StatusOr<FaultPlan> plan = ParseFaultPlan(fault_spec);
+    if (!plan.ok()) {
+      std::cerr << "error: --faults: " << plan.status().message() << "\n";
+      return 1;
+    }
+    FaultRegistry::Instance().Arm(*plan);
+  }
+
+  // Journal bring-up: read the previous incarnation's records, wipe the
+  // file, and only then arm a fresh journal — replayed jobs are
+  // re-journaled under this incarnation's ids, so old and new records
+  // must never share a file.
+  const std::string journal_path = cl.GetString("journal", "");
+  StatusOr<JournalReplay> replayed = JournalReplay{};
+  std::unique_ptr<JobJournal> journal;
+  if (!journal_path.empty()) {
+    replayed = JobJournal::ReplayFile(journal_path);
+    if (!replayed.ok()) {
+      std::cerr << "kanond: cannot replay journal: "
+                << replayed.status().message() << "\n";
+      return 2;
+    }
+    const Status reset = JobJournal::Reset(journal_path);
+    if (!reset.ok()) {
+      std::cerr << "kanond: " << reset.message() << "\n";
+      return 2;
+    }
+    journal = std::make_unique<JobJournal>(journal_path);
+    const Status open = journal->Open();
+    if (!open.ok()) {
+      std::cerr << "kanond: " << open.message() << "\n";
+      return 2;
+    }
+    options.observer = journal.get();
+  }
+
   AnonymizationService service(options);
+  if (!journal_path.empty()) {
+    const JournalReplayReport report =
+        ApplyReplayToService(*std::move(replayed), service);
+    for (const std::string& line : report.lines) {
+      std::cout << line << "\n";
+    }
+    std::cout.flush();
+    std::cerr << "kanond: journal replay: resubmitted="
+              << report.resubmitted
+              << " interrupted=" << report.interrupted
+              << " completed=" << report.completed
+              << " torn=" << report.torn_records << "\n";
+  }
   if (!cl.GetBool("once", false)) {
     std::cerr << "kanond serving on stdin (workers="
               << service.Stats().workers
               << ", queue=" << options.queue_capacity
               << ", cache=" << options.cache_capacity
+              << (journal_path.empty() ? ""
+                                       : ", journal=" + journal_path)
               << "); verbs: anonymize stats shutdown\n";
   }
   const size_t served = ServeLines(service, std::cin, std::cout);

@@ -6,6 +6,7 @@
 #include "core/bounds.h"
 #include "core/cost.h"
 #include "core/distance.h"
+#include "fault/fault.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
@@ -50,11 +51,17 @@ class Search {
       return true;
     }
     // Cooperative checkpoint: one per search node, with the clock read
-    // strided so pruning-heavy searches stay cheap.
+    // strided so pruning-heavy searches stay cheap. An injected fault
+    // expires the deadline: the anytime incumbent is still returned.
     ctx_->ChargeNodes();
-    if ((nodes_ & 0x3f) == 0 && ctx_->ShouldStop()) {
-      truncated_ = true;
-      return true;
+    if ((nodes_ & 0x3f) == 0) {
+      if (KANON_FAULT_POINT("branch_bound.node")) {
+        ctx_->MarkStopped(StopReason::kDeadline);
+      }
+      if (ctx_->ShouldStop()) {
+        truncated_ = true;
+        return true;
+      }
     }
     return false;
   }

@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "core/cost.h"
+#include "fault/fault.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
@@ -82,9 +83,15 @@ AnonymizationResult ExactDpAnonymizer::Run(const Table& table, size_t k,
   const uint32_t full = (n == 32) ? 0xffffffffu : ((1u << n) - 1u);
 
   // The dp/choice tables dominate the footprint; account them up front
-  // so a memory-limited context declines instead of thrashing.
+  // so a memory-limited context declines instead of thrashing. An
+  // injected allocation failure takes the same decline path.
   const size_t table_bytes =
       (static_cast<size_t>(full) + 1) * (sizeof(size_t) + sizeof(uint32_t));
+  if (KANON_FAULT_POINT("exact_dp.alloc")) {
+    ctx->MarkStopped(StopReason::kBudget);
+    return StoppedResult(*ctx, timer.Seconds(),
+                         "declined: injected allocation failure");
+  }
   if (!ctx->TryChargeMemory(table_bytes)) {
     return StoppedResult(*ctx, timer.Seconds(),
                          "declined: dp tables exceed memory limit");
@@ -99,9 +106,14 @@ AnonymizationResult ExactDpAnonymizer::Run(const Table& table, size_t k,
     size_t enumerated = 0;
     for (size_t s = k; s <= group_max && !stopped; ++s) {
       ForEachSubsetMask(all_bits, s, [&](uint32_t mask) {
-        if ((++enumerated & 0x3ff) == 0 && ctx->ShouldStop()) {
-          stopped = true;
-          return false;
+        if ((++enumerated & 0x3ff) == 0) {
+          if (KANON_FAULT_POINT("exact_dp.precompute")) {
+            ctx->MarkStopped(StopReason::kDeadline);
+          }
+          if (ctx->ShouldStop()) {
+            stopped = true;
+            return false;
+          }
         }
         group_cost.emplace(mask, GroupCost(table, mask));
         return true;
@@ -121,9 +133,14 @@ AnonymizationResult ExactDpAnonymizer::Run(const Table& table, size_t k,
     // One dp state per mask; the checkpoint stride keeps the clock off
     // the inner subset enumeration.
     ctx->ChargeNodes();
-    if ((mask & 0x3f) == 0 && ctx->ShouldStop()) {
-      stopped = true;
-      break;
+    if ((mask & 0x3f) == 0) {
+      if (KANON_FAULT_POINT("exact_dp.sweep")) {
+        ctx->MarkStopped(StopReason::kDeadline);
+      }
+      if (ctx->ShouldStop()) {
+        stopped = true;
+        break;
+      }
     }
     const int population = std::popcount(mask);
     if (static_cast<size_t>(population) < k) continue;

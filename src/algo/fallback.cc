@@ -44,6 +44,16 @@ AnonymizationResult FallbackAnonymizer::Run(const Table& table, size_t k,
       first_stop = ctx->stop_reason();
     }
     const bool last = (i + 1 == stages_.size());
+    // A tripped breaker skips the stage outright: when a stage has been
+    // failing for everyone, burning a deadline slice on it again only
+    // steals time from the stages that still work. Never the terminal
+    // stage — the always-answers contract outranks the breaker.
+    if (!last && options_.gate != nullptr &&
+        !options_.gate->Allow(stages_[i]->name())) {
+      if (i > 0) chain << "->";
+      chain << stages_[i]->name() << "(skipped:breaker)";
+      continue;
+    }
     RunContext child(ctx);  // observes ctx's cancellation
     child.set_lenient(true);
     if (ctx->has_deadline()) {
@@ -61,6 +71,10 @@ AnonymizationResult FallbackAnonymizer::Run(const Table& table, size_t k,
       child.set_memory_limit_bytes(ctx->memory_limit_bytes());
     }
 
+    // Whether the caller's own limit already tripped going in: such an
+    // attempt is doomed for reasons that say nothing about the stage, so
+    // its outcome must not move the breaker.
+    const bool caller_stopped = ctx->ShouldStop();
     AnonymizationResult attempt = stages_[i]->Run(table, k, &child);
     ctx->ChargeNodes(child.nodes_charged());
     if (first_stop == StopReason::kNone) {
@@ -70,6 +84,9 @@ AnonymizationResult FallbackAnonymizer::Run(const Table& table, size_t k,
     const bool valid =
         !attempt.partition.groups.empty() &&
         IsValidPartition(attempt.partition, n, k, n);
+    if (!last && options_.gate != nullptr && !caller_stopped) {
+      options_.gate->Record(stages_[i]->name(), valid);
+    }
     if (i > 0) chain << "->";
     chain << stages_[i]->name() << '(';
     if (valid) {

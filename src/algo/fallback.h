@@ -23,6 +23,20 @@
 
 namespace kanon {
 
+/// Admission gate consulted per chain stage — the seam the service
+/// layer's circuit breakers plug into. Allow() is asked before a
+/// non-final stage runs (false = skip it, recorded as
+/// `name(skipped:breaker)` in the chain); Record() reports whether the
+/// stage produced a valid partition. The terminal stage is never gated.
+/// Implementations must be thread-safe: one gate is shared by all
+/// workers.
+class StageGate {
+ public:
+  virtual ~StageGate() = default;
+  virtual bool Allow(const std::string& stage) = 0;
+  virtual void Record(const std::string& stage, bool success) = 0;
+};
+
 /// Configuration for FallbackAnonymizer.
 struct FallbackOptions {
   /// Registry names tried in order; the last must be unconditionally
@@ -32,6 +46,8 @@ struct FallbackOptions {
   /// Share of the remaining deadline granted to each non-final stage;
   /// the final stage gets everything left.
   double non_final_deadline_fraction = 0.5;
+  /// Optional per-stage admission gate (not owned; may be null).
+  StageGate* gate = nullptr;
 };
 
 /// Anonymizer that degrades across `options.stages` until one produces

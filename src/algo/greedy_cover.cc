@@ -6,6 +6,7 @@
 #include "algo/reduce.h"
 #include "core/cost.h"
 #include "core/distance.h"
+#include "fault/fault.h"
 #include "setcover/set_cover.h"
 #include "util/logging.h"
 #include "util/timer.h"
@@ -88,9 +89,15 @@ AnonymizationResult GreedyCoverAnonymizer::Run(const Table& table,
     return StoppedResult(*ctx, timer.Seconds(),
                          "declined: family C exceeds max_family_size");
   }
-  // Rough per-set footprint: the member list plus its weight.
+  // Rough per-set footprint: the member list plus its weight. An
+  // injected allocation failure declines exactly like a memory cap.
   const size_t family_bytes =
       family_size * (2 * k * sizeof(uint32_t) + sizeof(double));
+  if (KANON_FAULT_POINT("greedy_cover.alloc")) {
+    ctx->MarkStopped(StopReason::kBudget);
+    return StoppedResult(*ctx, timer.Seconds(),
+                         "declined: injected allocation failure");
+  }
   if (!ctx->TryChargeMemory(family_bytes)) {
     return StoppedResult(*ctx, timer.Seconds(),
                          "declined: family C exceeds memory limit");
@@ -106,9 +113,14 @@ AnonymizationResult GreedyCoverAnonymizer::Run(const Table& table,
   size_t enumerated = 0;
   for (size_t s = k; s <= 2 * k - 1 && s <= n && !stopped; ++s) {
     ForEachCombination(n, s, [&](const std::vector<RowId>& combo) {
-      if ((++enumerated & 0xfff) == 0 && ctx->ShouldStop()) {
-        stopped = true;
-        return false;
+      if ((++enumerated & 0xfff) == 0) {
+        if (KANON_FAULT_POINT("greedy_cover.family")) {
+          ctx->MarkStopped(StopReason::kDeadline);
+        }
+        if (ctx->ShouldStop()) {
+          stopped = true;
+          return false;
+        }
       }
       sets.emplace_back(combo.begin(), combo.end());
       weights.push_back(static_cast<double>(dm.Diameter(combo)));

@@ -1,0 +1,183 @@
+#include "fault/fault.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/fingerprint.h"
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace kanon {
+
+std::atomic<bool> FaultRegistry::armed_{false};
+
+FaultRegistry& FaultRegistry::Instance() {
+  static FaultRegistry* instance = new FaultRegistry();  // never destroyed
+  return *instance;
+}
+
+FaultSite& FaultRegistry::Register(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& site : sites_) {
+    if (site->name == name) return *site;
+  }
+  auto site = std::make_unique<FaultSite>();
+  site->name = name;
+  site->name_fp = Fingerprint(name);
+  if (armed_.load(std::memory_order_relaxed)) ApplyPlanLocked(*site);
+  sites_.push_back(std::move(site));
+  return *sites_.back();
+}
+
+void FaultRegistry::ApplyPlanLocked(FaultSite& site) const {
+  double p = plan_.default_probability;
+  uint64_t first_n = 0;
+  for (const FaultSiteSpec& spec : plan_.sites) {
+    if (spec.site == site.name) {
+      p = spec.probability;
+      first_n = spec.first_n;
+      break;
+    }
+  }
+  site.probability_bits.store(p > 0.0 ? std::bit_cast<uint64_t>(p) : 0,
+                              std::memory_order_relaxed);
+  site.first_n.store(first_n, std::memory_order_relaxed);
+}
+
+void FaultRegistry::Arm(const FaultPlan& plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  plan_ = plan;
+  seed_.store(plan.seed, std::memory_order_relaxed);
+  for (const auto& site : sites_) {
+    site->hits.store(0, std::memory_order_relaxed);
+    site->fires.store(0, std::memory_order_relaxed);
+    ApplyPlanLocked(*site);
+  }
+  armed_.store(true, std::memory_order_release);
+}
+
+void FaultRegistry::Disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_.store(false, std::memory_order_release);
+  for (const auto& site : sites_) {
+    site->probability_bits.store(0, std::memory_order_relaxed);
+    site->first_n.store(0, std::memory_order_relaxed);
+  }
+}
+
+bool FaultRegistry::FireDecision(uint64_t seed, uint64_t site_name_fp,
+                                 uint64_t hit, double probability) {
+  if (probability <= 0.0) return false;
+  if (probability >= 1.0) return true;
+  // One SplitMix64 mix of (seed, site, hit) -> uniform in [0, 1). Pure
+  // and platform-independent, so a schedule replays bit-identically.
+  uint64_t x = seed ^ site_name_fp ^ (hit * 0x9e3779b97f4a7c15ull);
+  const uint64_t mixed = SplitMix64(&x);
+  const double u =
+      static_cast<double>(mixed >> 11) * 0x1.0p-53;  // 53-bit mantissa
+  return u < probability;
+}
+
+bool FaultRegistry::Fire(FaultSite& site) {
+  const uint64_t hit = site.hits.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t first_n = site.first_n.load(std::memory_order_relaxed);
+  bool fire;
+  if (first_n > 0) {
+    fire = hit < first_n;
+  } else {
+    const uint64_t p_bits =
+        site.probability_bits.load(std::memory_order_relaxed);
+    if (p_bits == 0) return false;
+    fire = FireDecision(seed_.load(std::memory_order_relaxed),
+                        site.name_fp, hit, std::bit_cast<double>(p_bits));
+  }
+  if (fire) site.fires.fetch_add(1, std::memory_order_relaxed);
+  return fire;
+}
+
+std::vector<FaultSiteSnapshot> FaultRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<FaultSiteSnapshot> out;
+  out.reserve(sites_.size());
+  for (const auto& site : sites_) {
+    FaultSiteSnapshot snap;
+    snap.name = site->name;
+    snap.hits = site->hits.load(std::memory_order_relaxed);
+    snap.fires = site->fires.load(std::memory_order_relaxed);
+    const uint64_t p_bits =
+        site->probability_bits.load(std::memory_order_relaxed);
+    snap.probability = p_bits == 0 ? 0.0 : std::bit_cast<double>(p_bits);
+    snap.first_n = site->first_n.load(std::memory_order_relaxed);
+    out.push_back(std::move(snap));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FaultSiteSnapshot& a, const FaultSiteSnapshot& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+uint64_t FaultRegistry::TotalFires() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& site : sites_) {
+    total += site->fires.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+StatusOr<FaultPlan> ParseFaultPlan(const std::string& spec) {
+  FaultPlan plan;
+  for (const std::string& raw : Split(spec, ' ')) {
+    const std::string_view token = Trim(raw);
+    if (token.empty()) continue;
+    const size_t eq = token.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      return Status::InvalidArgument("fault plan: expected key=value, got '" +
+                                     std::string(token) + "'");
+    }
+    const std::string key(token.substr(0, eq));
+    const std::string value(token.substr(eq + 1));
+    if (key == "seed") {
+      long long seed = 0;
+      if (!ParseInt(value, &seed) || seed < 0) {
+        return Status::InvalidArgument("fault plan: bad seed '" + value +
+                                       "'");
+      }
+      plan.seed = static_cast<uint64_t>(seed);
+      continue;
+    }
+    if (key == "p") {
+      double p = 0.0;
+      if (!ParseDouble(value, &p) || p < 0.0 || p > 1.0) {
+        return Status::InvalidArgument(
+            "fault plan: default probability must be in [0,1], got '" +
+            value + "'");
+      }
+      plan.default_probability = p;
+      continue;
+    }
+    FaultSiteSpec site_spec;
+    site_spec.site = key;
+    if (StartsWith(value, "first:")) {
+      long long n = 0;
+      if (!ParseInt(value.substr(6), &n) || n < 1) {
+        return Status::InvalidArgument("fault plan: bad first:<n> in '" +
+                                       value + "'");
+      }
+      site_spec.first_n = static_cast<uint64_t>(n);
+    } else {
+      double p = 0.0;
+      if (!ParseDouble(value, &p) || p < 0.0 || p > 1.0) {
+        return Status::InvalidArgument("fault plan: site probability for '" +
+                                       key + "' must be in [0,1]");
+      }
+      site_spec.probability = p;
+    }
+    plan.sites.push_back(std::move(site_spec));
+  }
+  return plan;
+}
+
+}  // namespace kanon

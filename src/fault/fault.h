@@ -1,0 +1,172 @@
+#ifndef KANON_FAULT_FAULT_H_
+#define KANON_FAULT_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+/// \file
+/// Deterministic, seedable fault injection.
+///
+/// PRs 1-2 built the happy-path resilience machinery (RunContext limits,
+/// the fallback chain, the service queue/pool/cache) — this subsystem is
+/// what *proves* those layers survive induced failure. Code declares
+/// named injection sites with `KANON_FAULT_POINT("site.name")`; a chaos
+/// harness arms the process-wide `FaultRegistry` with a seeded
+/// `FaultPlan`, and each site then fires deterministically as a pure
+/// function of (seed, site name, per-site hit index). Same seed, same
+/// site, same hit index ⇒ same decision, on every platform and thread
+/// interleaving — which is what makes a chaos schedule replayable.
+///
+/// **Disarmed cost.** `KANON_FAULT_POINT` compiles to a function-local
+/// static (one guard check after first use) plus a single relaxed atomic
+/// load and a predictable branch — cheap enough for solver hot loops
+/// (bench_micro_service pins the overhead). No site state is touched
+/// while disarmed; hit counters only accumulate under an armed plan.
+///
+/// **What a fire means** is decided locally by the site: a solver treats
+/// it as an induced deadline or allocation failure (latching its
+/// RunContext), the worker pool treats it as a worker death (retry with
+/// backoff), the cache treats it as a poisoning attempt (rejected by the
+/// insert guard), the journal as a torn write (dropped at replay). The
+/// registry only answers "does hit #h of site s fire under this plan?".
+
+namespace kanon {
+
+/// One registered injection site. Stable address for the process
+/// lifetime; all fields are internally synchronized.
+struct FaultSite {
+  std::string name;
+  /// Seed-independent fingerprint of `name`, folded into the decision.
+  uint64_t name_fp = 0;
+  /// Hits observed while armed (the decision index).
+  std::atomic<uint64_t> hits{0};
+  /// Hits that fired.
+  std::atomic<uint64_t> fires{0};
+  /// Armed firing probability as raw double bits (0 bits = never).
+  std::atomic<uint64_t> probability_bits{0};
+  /// When > 0, the first `first_n` armed hits fire and later ones never
+  /// do (deterministic trigger for targeted tests); overrides
+  /// probability.
+  std::atomic<uint64_t> first_n{0};
+};
+
+/// Read-only snapshot of one site for stats/reporting.
+struct FaultSiteSnapshot {
+  std::string name;
+  uint64_t hits = 0;
+  uint64_t fires = 0;
+  double probability = 0.0;
+  uint64_t first_n = 0;
+};
+
+/// How one armed site should fire. `first_n > 0` wins over probability.
+struct FaultSiteSpec {
+  std::string site;  // exact site name
+  double probability = 0.0;
+  uint64_t first_n = 0;
+};
+
+/// A full injection schedule: the seed plus per-site firing rules.
+struct FaultPlan {
+  uint64_t seed = 0;
+  /// Probability applied to every site without an explicit spec.
+  double default_probability = 0.0;
+  std::vector<FaultSiteSpec> sites;
+};
+
+/// Parses a compact plan spec, e.g.
+///   "seed=42 p=0.01 worker.dispatch=0.5 exact_dp.alloc=first:2"
+/// Tokens are whitespace-separated key=value pairs; `seed` and `p`
+/// (default probability) are reserved keys, anything else names a site
+/// whose value is either a probability in [0,1] or "first:<n>".
+StatusOr<FaultPlan> ParseFaultPlan(const std::string& spec);
+
+/// Process-wide site registry. Arm/Disarm are cheap and thread-safe;
+/// they are meant to bracket a chaos schedule, not to toggle per-call.
+class FaultRegistry {
+ public:
+  static FaultRegistry& Instance();
+
+  FaultRegistry(const FaultRegistry&) = delete;
+  FaultRegistry& operator=(const FaultRegistry&) = delete;
+
+  /// Idempotent by name; the returned site outlives every caller.
+  /// Sites registered after Arm() pick up the active plan.
+  FaultSite& Register(const std::string& name);
+
+  /// Installs `plan` and starts firing. Also resets hit/fire counters so
+  /// consecutive schedules with the same seed replay identically.
+  void Arm(const FaultPlan& plan);
+
+  /// Stops all firing (sites keep their counters until the next Arm).
+  void Disarm();
+
+  /// True while a plan is armed. Relaxed read — THE fast-path check.
+  static bool Armed() {
+    return armed_.load(std::memory_order_relaxed);
+  }
+
+  /// Decides hit #(site.hits++) of `site` under the armed plan. Slow
+  /// path — only reached while armed.
+  bool Fire(FaultSite& site);
+
+  /// Pure decision function, exposed so tests can assert that a
+  /// schedule is a deterministic function of (seed, site, hit index).
+  static bool FireDecision(uint64_t seed, uint64_t site_name_fp,
+                           uint64_t hit, double probability);
+
+  /// Catalog snapshot (every site ever registered, in name order).
+  std::vector<FaultSiteSnapshot> Snapshot() const;
+
+  /// Sum of fires across all sites since the last Arm().
+  uint64_t TotalFires() const;
+
+ private:
+  FaultRegistry() = default;
+
+  void ApplyPlanLocked(FaultSite& site) const;
+
+  static std::atomic<bool> armed_;
+
+  mutable std::mutex mu_;
+  /// Node-stable storage: sites are never destroyed or moved.
+  std::vector<std::unique_ptr<FaultSite>> sites_;
+  /// Written under mu_ by Arm(), read lock-free by Fire().
+  std::atomic<uint64_t> seed_{0};
+  FaultPlan plan_;
+};
+
+/// RAII plan for tests: arms in the constructor, disarms in the
+/// destructor (exceptions cannot leave a schedule armed).
+class ScopedFaultInjection {
+ public:
+  explicit ScopedFaultInjection(const FaultPlan& plan) {
+    FaultRegistry::Instance().Arm(plan);
+  }
+  ~ScopedFaultInjection() { FaultRegistry::Instance().Disarm(); }
+
+  ScopedFaultInjection(const ScopedFaultInjection&) = delete;
+  ScopedFaultInjection& operator=(const ScopedFaultInjection&) = delete;
+};
+
+}  // namespace kanon
+
+/// Declares a named injection site and evaluates to true when the
+/// armed schedule fires this hit. `site_name` must be a string literal
+/// (or otherwise live forever). Disarmed cost: a static-local guard plus
+/// one relaxed atomic load.
+#define KANON_FAULT_POINT(site_name)                                     \
+  ([]() -> bool {                                                        \
+    static ::kanon::FaultSite& kanon_fault_site =                        \
+        ::kanon::FaultRegistry::Instance().Register(site_name);          \
+    return ::kanon::FaultRegistry::Armed() &&                            \
+           ::kanon::FaultRegistry::Instance().Fire(kanon_fault_site);    \
+  }())
+
+#endif  // KANON_FAULT_FAULT_H_

@@ -1,0 +1,111 @@
+#include "service/breaker.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace kanon {
+
+StageBreaker::StageBreaker(BreakerOptions options) : options_(options) {
+  KANON_CHECK_GE(options.failure_threshold, 1);
+  KANON_CHECK_GE(options.open_ms, 0.0);
+}
+
+bool StageBreaker::Allow() {
+  const auto cooldown = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double, std::milli>(options_.open_ms));
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kHalfOpen:
+      // One probe is in flight; hold everyone else back until its
+      // outcome is recorded — but a probe whose caller died before
+      // recording must not wedge the stage, so after a further cooldown
+      // another probe is admitted.
+      if (Clock::now() - opened_at_ < cooldown) return false;
+      opened_at_ = Clock::now();
+      return true;
+    case State::kOpen: {
+      if (Clock::now() - opened_at_ < cooldown) return false;
+      state_ = State::kHalfOpen;
+      opened_at_ = Clock::now();
+      return true;  // this caller is the probe
+    }
+  }
+  KANON_CHECK(false) << "bad breaker state";
+  return true;
+}
+
+void StageBreaker::RecordSuccess() {
+  consecutive_failures_ = 0;
+  state_ = State::kClosed;
+}
+
+void StageBreaker::RecordFailure() {
+  ++consecutive_failures_;
+  if (state_ == State::kHalfOpen ||
+      consecutive_failures_ >= options_.failure_threshold) {
+    state_ = State::kOpen;
+    opened_at_ = Clock::now();
+  }
+}
+
+const char* BreakerStateName(StageBreaker::State state) {
+  switch (state) {
+    case StageBreaker::State::kClosed:
+      return "closed";
+    case StageBreaker::State::kOpen:
+      return "open";
+    case StageBreaker::State::kHalfOpen:
+      return "half_open";
+  }
+  KANON_CHECK(false) << "bad breaker state";
+  return "";
+}
+
+BreakerBoard::BreakerBoard(BreakerOptions options) : options_(options) {}
+
+StageBreaker& BreakerBoard::Touch(const std::string& stage) {
+  const auto it = breakers_.find(stage);
+  if (it != breakers_.end()) return it->second;
+  return breakers_.emplace(stage, StageBreaker(options_)).first->second;
+}
+
+bool BreakerBoard::Allow(const std::string& stage) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return Touch(stage).Allow();
+}
+
+void BreakerBoard::Record(const std::string& stage, bool success) {
+  std::lock_guard<std::mutex> lock(mu_);
+  StageBreaker& breaker = Touch(stage);
+  if (success) {
+    breaker.RecordSuccess();
+  } else {
+    breaker.RecordFailure();
+  }
+}
+
+std::vector<std::pair<std::string, StageBreaker::State>>
+BreakerBoard::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, StageBreaker::State>> out;
+  out.reserve(breakers_.size());
+  for (const auto& [name, breaker] : breakers_) {
+    out.emplace_back(name, breaker.state());
+  }
+  return out;
+}
+
+std::string BreakerBoard::Describe() const {
+  std::string out;
+  for (const auto& [name, state] : Snapshot()) {
+    if (!out.empty()) out += ',';
+    out += name;
+    out += ':';
+    out += BreakerStateName(state);
+  }
+  return out;
+}
+
+}  // namespace kanon

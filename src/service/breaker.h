@@ -1,0 +1,93 @@
+#ifndef KANON_SERVICE_BREAKER_H_
+#define KANON_SERVICE_BREAKER_H_
+
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "algo/fallback.h"
+
+/// \file
+/// Per-algorithm-stage circuit breakers for the fallback chain.
+///
+/// A stage that keeps failing (declining, timing out, or producing
+/// invalid partitions under injected faults) burns a slice of every
+/// request's deadline before the chain moves on. The breaker converts
+/// that repeated cost into a one-time cost: after `failure_threshold`
+/// consecutive failures the stage's breaker opens and the chain skips
+/// the stage outright (recorded as `stage(skipped:breaker)`); after
+/// `open_ms` of cooldown the breaker goes half-open and admits exactly
+/// one probe — success closes it, failure re-opens it for another
+/// cooldown. The chain's terminal stage is never gated, so the
+/// always-answers contract is unaffected.
+
+namespace kanon {
+
+/// Breaker tuning, shared by every stage on a BreakerBoard.
+struct BreakerOptions {
+  /// Consecutive failures that open the breaker.
+  int failure_threshold = 3;
+  /// Cooldown before a half-open probe is admitted.
+  double open_ms = 100.0;
+};
+
+/// State machine for one chain stage. Thread-compatible; synchronized
+/// externally by BreakerBoard.
+class StageBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  explicit StageBreaker(BreakerOptions options = {});
+
+  /// True when a run may proceed. In kOpen, flips to kHalfOpen once the
+  /// cooldown elapsed and admits that caller as the probe.
+  bool Allow();
+
+  void RecordSuccess();
+  void RecordFailure();
+
+  State state() const { return state_; }
+  int consecutive_failures() const { return consecutive_failures_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  const BreakerOptions options_;
+  State state_ = State::kClosed;
+  int consecutive_failures_ = 0;
+  Clock::time_point opened_at_{};
+};
+
+const char* BreakerStateName(StageBreaker::State state);
+
+/// One breaker per stage name, created on first touch. Implements the
+/// chain's StageGate seam; a single board is shared by all workers of a
+/// pool, so one worker's failures protect every other worker's deadline
+/// budget.
+class BreakerBoard : public StageGate {
+ public:
+  explicit BreakerBoard(BreakerOptions options = {});
+
+  bool Allow(const std::string& stage) override;
+  void Record(const std::string& stage, bool success) override;
+
+  /// Stage name -> current state, sorted by name.
+  std::vector<std::pair<std::string, StageBreaker::State>> Snapshot() const;
+
+  /// Stats-line rendering: "exact_dp:open,greedy_cover:closed"; empty
+  /// string when no stage has been touched yet.
+  std::string Describe() const;
+
+ private:
+  StageBreaker& Touch(const std::string& stage);
+
+  const BreakerOptions options_;
+  mutable std::mutex mu_;
+  std::map<std::string, StageBreaker> breakers_;
+};
+
+}  // namespace kanon
+
+#endif  // KANON_SERVICE_BREAKER_H_

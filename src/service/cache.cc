@@ -34,6 +34,11 @@ std::optional<CachedResult> ResultCache::Lookup(const CacheKey& key) {
 void ResultCache::Insert(const CacheKey& key, CachedResult result) {
   if (capacity_ == 0) return;
   std::lock_guard<std::mutex> lock(mu_);
+  if (result.termination != StopReason::kNone &&
+      result.termination != StopReason::kBudget) {
+    ++rejected_;  // tainted: per-request artifact, not a solved instance
+    return;
+  }
   const auto it = index_.find(key);
   if (it != index_.end()) {
     it->second->second = std::move(result);
@@ -55,6 +60,7 @@ CacheStats ResultCache::stats() const {
   stats.hits = hits_;
   stats.misses = misses_;
   stats.evictions = evictions_;
+  stats.rejected = rejected_;
   stats.size = lru_.size();
   stats.capacity = capacity_;
   return stats;

@@ -84,6 +84,8 @@ struct CacheStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
   uint64_t evictions = 0;
+  /// Inserts refused by the taint guard (see Insert).
+  uint64_t rejected = 0;
   size_t size = 0;
   size_t capacity = 0;
 };
@@ -102,7 +104,11 @@ class ResultCache {
   std::optional<CachedResult> Lookup(const CacheKey& key);
 
   /// Inserts (or refreshes) an entry, evicting the least-recently-used
-  /// entries down to capacity.
+  /// entries down to capacity. Last line of the taint defense: an entry
+  /// whose termination is not kNone/kBudget is a per-request artifact
+  /// (deadline, cancel) that must never be replayed to other requests —
+  /// such inserts are refused and counted, even if a buggy or
+  /// fault-injected caller slipped one past the worker-pool check.
   void Insert(const CacheKey& key, CachedResult result);
 
   CacheStats stats() const;
@@ -118,6 +124,7 @@ class ResultCache {
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
   uint64_t evictions_ = 0;
+  uint64_t rejected_ = 0;
 };
 
 }  // namespace kanon

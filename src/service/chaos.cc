@@ -1,0 +1,311 @@
+#include "service/chaos.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <unordered_map>
+#include <utility>
+
+#include "data/csv_table.h"
+#include "data/generators/uniform.h"
+#include "fault/fault.h"
+#include "service/journal.h"
+#include "service/queue.h"
+#include "service/worker_pool.h"
+#include "util/fingerprint.h"
+#include "util/parallel.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace kanon {
+
+namespace {
+
+/// Sites eligible for a schedule-specific probability override.
+const char* const kOverridableSites[] = {
+    "exact_dp.alloc",   "exact_dp.precompute", "exact_dp.sweep",
+    "branch_bound.node", "greedy_cover.alloc", "greedy_cover.family",
+    "parallel.worker",  "queue.admit",         "worker.dispatch",
+    "worker.deliver",   "cache.lookup",        "cache.poison",
+    "journal.append",
+};
+
+/// Derives the schedule's fault plan from the seed stream.
+FaultPlan DrawFaultPlan(uint64_t seed, Rng* rng) {
+  FaultPlan plan;
+  plan.seed = seed;
+  // Every 4th schedule runs fault-free as a control.
+  if (rng->Uniform(4) == 0) return plan;
+  static const double kBackgrounds[] = {0.0, 0.01, 0.05};
+  plan.default_probability = kBackgrounds[rng->Uniform(3)];
+  const int overrides = rng->UniformInt(1, 4);
+  for (int i = 0; i < overrides; ++i) {
+    FaultSiteSpec spec;
+    spec.site = kOverridableSites[rng->Uniform(
+        sizeof(kOverridableSites) / sizeof(kOverridableSites[0]))];
+    if (rng->Bernoulli(0.3)) {
+      spec.first_n = static_cast<uint64_t>(rng->UniformInt(1, 3));
+    } else {
+      spec.probability = 0.05 + 0.45 * rng->UniformDouble();
+    }
+    plan.sites.push_back(std::move(spec));
+  }
+  return plan;
+}
+
+/// One generated request (algorithms weighted toward the chains that
+/// exercise the most fault sites).
+AnonymizeRequest DrawRequest(Rng* rng) {
+  static const char* const kAlgos[] = {
+      "resilient", "resilient", "exact_dp", "branch_bound",
+      "greedy_cover", "mondrian", "suppress_all",
+  };
+  AnonymizeRequest request;
+  request.algorithm =
+      kAlgos[rng->Uniform(sizeof(kAlgos) / sizeof(kAlgos[0]))];
+  UniformTableOptions table;
+  table.num_rows = static_cast<uint32_t>(rng->UniformInt(6, 14));
+  table.num_columns = static_cast<uint32_t>(rng->UniformInt(2, 4));
+  table.alphabet = static_cast<uint32_t>(rng->UniformInt(2, 4));
+  request.csv_text = TableToCsv(UniformTable(table, rng));
+  request.k = static_cast<size_t>(rng->UniformInt(2, 4));
+  request.priority = rng->UniformInt(-2, 2);
+  // Node budgets stand in for wall-clock deadlines: they trip at the
+  // same node for every run, where a deadline would not. Some jobs get
+  // one tight enough to force degradation.
+  if (rng->Bernoulli(0.3)) {
+    request.node_budget = static_cast<uint64_t>(rng->UniformInt(50, 5000));
+  }
+  request.emit_csv = true;
+  return request;
+}
+
+/// Invariant 1 predicate: every distinct row of the anonymized output
+/// appears at least k times (identical within-group rows after
+/// suppression make this exactly the k-anonymity condition).
+bool OutputIsKAnonymous(const std::string& csv, size_t k,
+                        std::string* why) {
+  std::istringstream in(csv);
+  std::string line;
+  if (!std::getline(in, line)) {
+    *why = "empty output CSV";
+    return false;
+  }
+  std::unordered_map<std::string, size_t> counts;
+  while (std::getline(in, line)) {
+    if (!Trim(line).empty()) ++counts[line];
+  }
+  for (const auto& [row, count] : counts) {
+    if (count < k) {
+      *why = "output row '" + row + "' appears " + std::to_string(count) +
+             " < k=" + std::to_string(k) + " times";
+      return false;
+    }
+  }
+  return true;
+}
+
+uint64_t FoldOutcome(uint64_t fp, const AnonymizeResponse& response) {
+  fp = FingerprintInt(fp, response.id);
+  fp = FingerprintInt(fp, response.ok() ? 1 : 0);
+  fp = FingerprintPiece(fp, ServiceErrorName(response.error));
+  fp = FingerprintInt(fp, response.cost);
+  fp = FingerprintPiece(fp, response.stage);
+  fp = FingerprintPiece(fp, response.chain);
+  fp = FingerprintPiece(fp, StopReasonName(response.termination));
+  fp = FingerprintInt(fp, response.cache_hit ? 1 : 0);
+  return fp;
+}
+
+/// Invariant 3: any byte prefix of the journal must replay cleanly
+/// (intact records plus at most one torn tail).
+void CheckCrashPrefixes(const std::string& path, Rng* rng,
+                        std::vector<std::string>* violations) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string bytes = buffer.str();
+  if (bytes.empty()) return;
+
+  const std::string cut_path = path + ".cut";
+  for (int i = 0; i < 4; ++i) {
+    const size_t cut =
+        1 + static_cast<size_t>(
+                rng->Uniform(static_cast<uint32_t>(bytes.size())));
+    {
+      std::ofstream out(cut_path, std::ios::binary | std::ios::trunc);
+      out.write(bytes.data(), static_cast<std::streamsize>(cut));
+    }
+    const StatusOr<JournalReplay> replay = JobJournal::ReplayFile(cut_path);
+    if (!replay.ok()) {
+      violations->push_back(
+          "journal prefix of " + std::to_string(cut) +
+          " bytes does not replay: " + replay.status().message());
+    }
+  }
+  ::unlink(cut_path.c_str());
+}
+
+}  // namespace
+
+ChaosReport RunChaosSchedule(const ChaosScheduleOptions& options) {
+  ChaosReport report;
+  report.seed = options.seed;
+  Rng rng(options.seed, /*stream=*/0x6368616f73ull);  // "chaos"
+
+  // Pin every source of schedule nondeterminism: one pool worker, one
+  // solver thread, submissions and cancels all issued before the worker
+  // exists, breakers that never half-open mid-schedule.
+  const unsigned prev_parallelism = GetParallelism();
+  SetParallelism(1);
+
+  const FaultPlan plan = DrawFaultPlan(options.seed, &rng);
+  ScopedFaultInjection injection(plan);
+
+  const std::string journal_path =
+      options.scratch_dir + "/kanon_chaos_" +
+      std::to_string(static_cast<unsigned long>(::getpid())) + "_" +
+      std::to_string(options.seed) + ".journal";
+  std::unique_ptr<JobJournal> journal;
+  if (options.with_journal) {
+    ::unlink(journal_path.c_str());
+    journal = std::make_unique<JobJournal>(journal_path);
+  }
+
+  QueueOptions queue_options;
+  queue_options.capacity = std::max<size_t>(4, options.jobs * 3 / 4);
+  queue_options.observer = journal.get();
+  JobQueue queue(queue_options);
+  ResultCache cache(16);
+
+  uint64_t fp = kFingerprintSeed;
+  std::vector<JobQueue::Ticket> tickets;
+  std::vector<size_t> expected_k;
+  for (size_t i = 0; i < options.jobs; ++i) {
+    AnonymizeRequest request = DrawRequest(&rng);
+    const size_t k = request.k;
+    ServiceError error = ServiceError::kNone;
+    const Status prepared = ValidateAndPrepare(request, &error);
+    if (!prepared.ok()) {
+      report.violations.push_back("generated request failed validation: " +
+                                  prepared.message());
+      continue;
+    }
+    StatusOr<JobQueue::Ticket> ticket =
+        queue.Submit(std::move(request), &error);
+    ++report.submitted;
+    if (!ticket.ok()) {
+      ++report.rejected;
+      if (error == ServiceError::kNone) {
+        report.violations.push_back(
+            "admission rejection without a taxonomy bucket: " +
+            ticket.status().message());
+      }
+      fp = FingerprintPiece(fp, "rejected");
+      fp = FingerprintPiece(fp, ServiceErrorName(error));
+      continue;
+    }
+    fp = FingerprintInt(fp, ticket->id);
+    tickets.push_back(*std::move(ticket));
+    expected_k.push_back(k);
+  }
+
+  // Cancels land before the worker starts, so the race they model is
+  // queue-level (cancel vs dispatch), replayed identically every run.
+  for (const JobQueue::Ticket& ticket : tickets) {
+    if (rng.Bernoulli(0.15)) queue.Cancel(ticket.id);
+  }
+
+  WorkerPoolOptions pool_options;
+  pool_options.workers = 1;
+  pool_options.retry = RetryPolicy{.max_attempts = 3,
+                                   .base_ms = 0.01,
+                                   .cap_ms = 0.1};
+  pool_options.breaker =
+      BreakerOptions{.failure_threshold = 3, .open_ms = 1e12};
+  {
+    WorkerPool pool(&queue, &cache, pool_options);
+    queue.Close();
+    for (size_t i = 0; i < tickets.size(); ++i) {
+      AnonymizeResponse response = tickets[i].result.get();
+      const size_t k = expected_k[i];
+      if (response.ok()) {
+        ++report.answered_ok;
+        std::string why;
+        if (response.error != ServiceError::kNone) {
+          report.violations.push_back(
+              "job " + std::to_string(response.id) +
+              ": ok response carries error bucket " +
+              ServiceErrorName(response.error));
+        }
+        if (!OutputIsKAnonymous(response.anonymized_csv, k, &why)) {
+          report.violations.push_back(
+              "job " + std::to_string(response.id) + ": " + why);
+        }
+        if (response.cache_hit &&
+            response.termination != StopReason::kNone &&
+            response.termination != StopReason::kBudget) {
+          report.violations.push_back(
+              "job " + std::to_string(response.id) +
+              ": cache served a tainted result (termination=" +
+              StopReasonName(response.termination) + ")");
+        }
+      } else {
+        ++report.answered_error;
+        if (response.error == ServiceError::kNone) {
+          report.violations.push_back(
+              "job " + std::to_string(response.id) +
+              ": failed without a taxonomy bucket: " +
+              response.status.message());
+        }
+      }
+      if (options.verbose) {
+        std::cerr << "chaos seed=" << options.seed << " job="
+                  << response.id << " ok=" << response.ok()
+                  << " error=" << ServiceErrorName(response.error)
+                  << " stage=" << response.stage << "\n";
+      }
+      fp = FoldOutcome(fp, response);
+    }
+    pool.Join();
+
+    const WorkerPool::Counters workers = pool.counters();
+    report.retries = workers.retries_attempted;
+    report.retries_exhausted = workers.retries_exhausted;
+  }
+  report.shed = queue.counters().shed;
+  report.cache_rejected = cache.stats().rejected;
+
+  // The fault ledger is part of the fingerprint: a schedule that fired
+  // differently is a different schedule, even if outcomes matched.
+  for (const FaultSiteSnapshot& site :
+       FaultRegistry::Instance().Snapshot()) {
+    fp = FingerprintPiece(fp, site.name);
+    fp = FingerprintInt(fp, site.hits);
+    fp = FingerprintInt(fp, site.fires);
+    report.fires += site.fires;
+  }
+  report.outcome_fingerprint = fp;
+
+  if (options.with_journal) {
+    journal.reset();  // close the fd before reading
+    const StatusOr<JournalReplay> replay =
+        JobJournal::ReplayFile(journal_path);
+    if (!replay.ok()) {
+      report.violations.push_back("journal does not replay: " +
+                                  replay.status().message());
+    }
+    CheckCrashPrefixes(journal_path, &rng, &report.violations);
+    ::unlink(journal_path.c_str());
+  }
+
+  SetParallelism(prev_parallelism);
+  return report;
+}
+
+}  // namespace kanon

@@ -1,0 +1,79 @@
+#ifndef KANON_SERVICE_CHAOS_H_
+#define KANON_SERVICE_CHAOS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+/// \file
+/// Seeded chaos schedules against a live queue/pool/cache stack.
+///
+/// One schedule = one seed. From the seed the harness derives a fault
+/// plan (which sites misbehave, how often), a mixed workload (tables,
+/// algorithms, k, priorities, budgets, cancellations), and runs it
+/// end-to-end on a real JobQueue + WorkerPool + ResultCache (+ JobJournal),
+/// then checks the service layer's three robustness invariants:
+///
+///   1. every admitted job terminates — with a *valid* k-anonymous
+///      answer (every distinct output row appears >= k times) or a
+///      typed error; no hangs, no untyped failures;
+///   2. the cache never serves a fault-tainted result (a cache hit's
+///      termination is always kNone or kBudget);
+///   3. the job journal replays to a consistent state from *any* crash
+///      prefix (intact records + at most one torn tail line).
+///
+/// Determinism: all jobs are submitted (and cancels issued) before the
+/// single worker starts, solver parallelism is pinned to 1, jobs carry
+/// node budgets instead of wall-clock deadlines, and breaker cooldowns
+/// are effectively infinite — so the entire schedule, including every
+/// fault decision, is a pure function of the seed. Same seed ⇒ same
+/// `outcome_fingerprint`, same violations, on any machine.
+
+namespace kanon {
+
+struct ChaosScheduleOptions {
+  uint64_t seed = 0;
+  /// Requests generated per schedule.
+  size_t jobs = 24;
+  /// Journal the schedule and check invariant 3. Requires `scratch_dir`
+  /// to be writable.
+  bool with_journal = true;
+  /// Directory for the schedule's journal file.
+  std::string scratch_dir = "/tmp";
+  /// Echo per-job outcomes to stderr.
+  bool verbose = false;
+};
+
+struct ChaosReport {
+  uint64_t seed = 0;
+  size_t submitted = 0;
+  /// Admission-time typed rejections (queue full, shed, injected).
+  size_t rejected = 0;
+  size_t answered_ok = 0;
+  size_t answered_error = 0;
+  /// Fault-site fires across the schedule.
+  uint64_t fires = 0;
+  /// Worker retries attempted / exhausted.
+  uint64_t retries = 0;
+  uint64_t retries_exhausted = 0;
+  /// Jobs shed at admission.
+  uint64_t shed = 0;
+  /// Tainted cache inserts refused by the guard.
+  uint64_t cache_rejected = 0;
+  /// Invariant violations; empty means the schedule passed.
+  std::vector<std::string> violations;
+  /// Deterministic digest of every per-job outcome plus the fault-site
+  /// hit/fire ledger; equal across runs with the same seed.
+  uint64_t outcome_fingerprint = 0;
+
+  bool passed() const { return violations.empty(); }
+};
+
+/// Runs one seeded schedule. Arms the process-wide FaultRegistry for
+/// its duration (disarmed on return), so do not run schedules
+/// concurrently in one process.
+ChaosReport RunChaosSchedule(const ChaosScheduleOptions& options);
+
+}  // namespace kanon
+
+#endif  // KANON_SERVICE_CHAOS_H_

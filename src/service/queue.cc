@@ -1,8 +1,10 @@
 #include "service/queue.h"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
+#include "fault/fault.h"
 #include "util/logging.h"
 
 namespace kanon {
@@ -17,11 +19,25 @@ bool DispatchBefore(const Job& a, const Job& b) {
   return a.id < b.id;
 }
 
+/// The priority bar at occupancy `fraction` (depth / capacity before
+/// insert): linear ramp from 1 at shed_start to shed_levels - 1 at 1.0.
+int RequiredPriority(double fraction, const QueueOptions& options) {
+  const double start = options.shed_start_fraction;
+  if (fraction < start || start >= 1.0) return 0;
+  const double ramp = (fraction - start) / (1.0 - start);
+  const int levels = std::max(options.shed_levels, 2);
+  return 1 + static_cast<int>(std::floor(ramp * (levels - 1)));
+}
+
 }  // namespace
 
-JobQueue::JobQueue(size_t capacity) : capacity_(capacity) {
-  KANON_CHECK_GE(capacity, 1u) << "a zero-capacity queue admits nothing";
+JobQueue::JobQueue(QueueOptions options) : options_(options) {
+  KANON_CHECK_GE(options.capacity, 1u)
+      << "a zero-capacity queue admits nothing";
 }
+
+JobQueue::JobQueue(size_t capacity)
+    : JobQueue(QueueOptions{.capacity = capacity}) {}
 
 StatusOr<JobQueue::Ticket> JobQueue::Submit(AnonymizeRequest request,
                                             ServiceError* error) {
@@ -33,12 +49,34 @@ StatusOr<JobQueue::Ticket> JobQueue::Submit(AnonymizeRequest request,
     *error = ServiceError::kShuttingDown;
     return MakeServiceStatus(*error, "service is shutting down");
   }
-  if (jobs_.size() >= capacity_) {
+  if (KANON_FAULT_POINT("queue.admit")) {
+    ++counters_.rejected;
+    *error = ServiceError::kQueueFull;
+    return MakeServiceStatus(*error, "injected admission failure");
+  }
+  if (jobs_.size() >= options_.capacity) {
     ++counters_.rejected;
     *error = ServiceError::kQueueFull;
     return MakeServiceStatus(
-        *error, "job queue at capacity (" + std::to_string(capacity_) +
-                    " queued); retry with backoff");
+        *error,
+        "job queue at capacity (" + std::to_string(options_.capacity) +
+            " queued); retry with backoff");
+  }
+  const double occupancy = static_cast<double>(jobs_.size()) /
+                           static_cast<double>(options_.capacity);
+  const int required = RequiredPriority(occupancy, options_);
+  // required == 0 means the queue is calm: no bar at all, so even
+  // negative-priority work is admitted.
+  if (required > 0 && request.priority < required) {
+    ++counters_.rejected;
+    ++counters_.shed;
+    *error = ServiceError::kShedLowPriority;
+    return MakeServiceStatus(
+        *error, "queue under pressure (occupancy " +
+                    std::to_string(jobs_.size()) + "/" +
+                    std::to_string(options_.capacity) +
+                    "); priority >= " + std::to_string(required) +
+                    " required");
   }
 
   Job job;
@@ -64,6 +102,10 @@ StatusOr<JobQueue::Ticket> JobQueue::Submit(AnonymizeRequest request,
   ticket.id = job.id;
   ticket.result = job.promise.get_future();
   live_.emplace(job.id, job.ctx);
+  // Journal the admission *before* the job becomes poppable: a crash
+  // after this point finds the job in the journal, never a worker
+  // running a job the journal has no record of.
+  if (options_.observer != nullptr) options_.observer->OnAdmit(job);
   jobs_.push_back(std::move(job));
   ++counters_.accepted;
   ready_.notify_one();
@@ -83,11 +125,14 @@ std::optional<Job> JobQueue::Pop() {
   return job;
 }
 
+JobObserver* JobQueue::observer() const { return options_.observer; }
+
 bool JobQueue::Cancel(uint64_t id) {
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = live_.find(id);
   if (it == live_.end()) return false;
   it->second->RequestCancel();
+  if (options_.observer != nullptr) options_.observer->OnCancel(id);
   return true;
 }
 

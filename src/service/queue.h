@@ -47,13 +47,52 @@ struct Job {
   std::promise<AnonymizeResponse> promise;
 };
 
+/// Lifecycle hooks for admitted jobs. The queue invokes OnAdmit under
+/// its lock *before* the job becomes poppable and OnCancel on a
+/// successful Cancel(); the worker pool invokes OnStart/OnDone around
+/// execution. Implementations (the crash journal) must be fast and must
+/// not call back into the queue.
+class JobObserver {
+ public:
+  virtual ~JobObserver() = default;
+  virtual void OnAdmit(const Job& job) { (void)job; }
+  virtual void OnStart(uint64_t id) { (void)id; }
+  virtual void OnDone(uint64_t id, const AnonymizeResponse& response) {
+    (void)id;
+    (void)response;
+  }
+  virtual void OnCancel(uint64_t id) { (void)id; }
+};
+
+/// Admission-control knobs. Shedding starts before the hard capacity
+/// wall: once occupancy reaches `shed_start_fraction`, low-priority
+/// requests are rejected early (kShedLowPriority) so the remaining slots
+/// go to work someone deemed urgent. The bar rises with occupancy in
+/// `shed_levels` steps: at the start fraction priority >= 1 is required,
+/// at a full queue priority >= shed_levels - 1.
+struct QueueOptions {
+  size_t capacity = 64;
+  /// Occupancy (depth / capacity, measured before insert) at which
+  /// shedding kicks in; >= 1.0 disables shedding.
+  double shed_start_fraction = 0.75;
+  /// Number of distinct priority bars between shed start and full.
+  int shed_levels = 4;
+  /// Optional lifecycle observer (not owned; may be null).
+  JobObserver* observer = nullptr;
+};
+
 /// Thread-safe bounded queue; producers Submit, workers Pop.
 class JobQueue {
  public:
   struct Counters {
     uint64_t accepted = 0;
     uint64_t rejected = 0;
+    /// Rejections attributable to adaptive load shedding (also counted
+    /// in `rejected`).
+    uint64_t shed = 0;
   };
+
+  explicit JobQueue(QueueOptions options);
 
   /// `capacity` >= 1 bounds the number of *queued* (not yet popped) jobs.
   explicit JobQueue(size_t capacity);
@@ -94,8 +133,12 @@ class JobQueue {
 
   Counters counters() const;
 
+  /// The lifecycle observer wired at construction (null when none); the
+  /// worker pool uses it to report OnStart/OnDone.
+  JobObserver* observer() const;
+
  private:
-  const size_t capacity_;
+  const QueueOptions options_;
   mutable std::mutex mu_;
   std::condition_variable ready_;
   std::vector<Job> jobs_;

@@ -30,6 +30,12 @@ const char* ServiceErrorName(ServiceError error) {
       return "shutting_down";
     case ServiceError::kCancelled:
       return "cancelled";
+    case ServiceError::kShedLowPriority:
+      return "shed_low_priority";
+    case ServiceError::kWorkerFailure:
+      return "worker_failure";
+    case ServiceError::kInterrupted:
+      return "interrupted";
   }
   KANON_CHECK(false) << "bad ServiceError " << static_cast<int>(error);
   return "";
@@ -49,10 +55,14 @@ StatusCode ServiceErrorCode(ServiceError error) {
     case ServiceError::kTableParseError:
       return StatusCode::kParseError;
     case ServiceError::kQueueFull:
+    case ServiceError::kShedLowPriority:
       return StatusCode::kResourceExhausted;
     case ServiceError::kShuttingDown:
     case ServiceError::kCancelled:
       return StatusCode::kCancelled;
+    case ServiceError::kWorkerFailure:
+    case ServiceError::kInterrupted:
+      return StatusCode::kInternal;
   }
   KANON_CHECK(false) << "bad ServiceError " << static_cast<int>(error);
   return StatusCode::kInternal;
@@ -60,6 +70,21 @@ StatusCode ServiceErrorCode(ServiceError error) {
 
 Status MakeServiceStatus(ServiceError error, std::string message) {
   return Status(ServiceErrorCode(error), std::move(message));
+}
+
+std::string InlineToCsv(std::string text) {
+  for (char& c : text) {
+    if (c == ';') c = '\n';
+  }
+  return text;
+}
+
+std::string CsvToInline(std::string text) {
+  while (!text.empty() && text.back() == '\n') text.pop_back();
+  for (char& c : text) {
+    if (c == '\n') c = ';';
+  }
+  return text;
 }
 
 Status ValidateAndPrepare(AnonymizeRequest& request, ServiceError* error) {

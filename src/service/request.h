@@ -47,6 +47,14 @@ enum class ServiceError {
   kShuttingDown,
   /// The request was cancelled before its job ran.
   kCancelled,
+  /// Load shedding: the queue is under pressure and the request's
+  /// priority did not clear the admission bar.
+  kShedLowPriority,
+  /// A worker failed while holding the job and the retry budget ran out.
+  kWorkerFailure,
+  /// The job was running when the daemon died; found in the journal at
+  /// restart with no recorded outcome.
+  kInterrupted,
 };
 
 /// Protocol-facing name: "queue_full", "unknown_algorithm", ...
@@ -79,6 +87,10 @@ struct AnonymizeRequest {
   /// When false the response omits the anonymized CSV payload (the
   /// cost/stage summary is still filled) — for callers that only probe.
   bool emit_csv = true;
+  /// Protocol-only knob (`wait=0`): when false the line handler answers
+  /// as soon as the job is admitted instead of blocking on the result.
+  /// Embedded callers pick blocking vs. not by calling Handle vs Submit.
+  bool wait = true;
   /// Inline CSV text (ignored once `table` is set).
   std::string csv_text;
   /// The parsed relation; set by ValidateAndPrepare from `csv_text`.
@@ -126,6 +138,12 @@ struct AnonymizeResponse {
 /// 1 <= k <= rows. On failure returns the non-OK status and stores the
 /// taxonomy bucket in *error (which must be non-null).
 Status ValidateAndPrepare(AnonymizeRequest& request, ServiceError* error);
+
+/// Inline-CSV transport encoding, shared by the line protocol and the
+/// job journal: ';' stands for the record separator, so values must not
+/// themselves contain ';'.
+std::string InlineToCsv(std::string text);
+std::string CsvToInline(std::string text);
 
 }  // namespace kanon
 

@@ -1,0 +1,21 @@
+#include "service/retry.h"
+
+#include <algorithm>
+
+#include "util/fingerprint.h"
+
+namespace kanon {
+
+double NextBackoffMillis(const RetryPolicy& policy, double prev_ms,
+                         Rng& rng) {
+  const double lo = policy.base_ms;
+  const double hi = std::max(lo, prev_ms * 3.0);
+  const double drawn = lo + (hi - lo) * rng.UniformDouble();
+  return std::min(policy.cap_ms, drawn);
+}
+
+uint64_t RetrySeedForJob(uint64_t job_id) {
+  return FingerprintInt(kFingerprintSeed, job_id) ^ 0x7265747279ull;
+}
+
+}  // namespace kanon

@@ -1,0 +1,43 @@
+#ifndef KANON_SERVICE_RETRY_H_
+#define KANON_SERVICE_RETRY_H_
+
+#include <cstdint>
+
+#include "util/random.h"
+
+/// \file
+/// Retry budget with decorrelated-jitter backoff.
+///
+/// Transient worker faults (an injected dispatch crash, a poisoned
+/// result discarded before delivery) are retried in place by the worker
+/// that holds the job, up to `max_attempts` total attempts. The backoff
+/// between attempts uses decorrelated jitter — each wait is drawn
+/// uniformly from [base, 3 * previous] and capped — which avoids the
+/// synchronized retry storms fixed exponential schedules produce, while
+/// still growing geometrically in expectation. Seeding the Rng from the
+/// job id keeps every schedule reproducible under a chaos seed.
+
+namespace kanon {
+
+/// Per-job retry tuning.
+struct RetryPolicy {
+  /// Total attempts including the first (1 = no retries).
+  int max_attempts = 3;
+  /// Lower bound and first wait, in milliseconds.
+  double base_ms = 1.0;
+  /// Upper cap on any single wait, in milliseconds.
+  double cap_ms = 50.0;
+};
+
+/// Draws the next backoff wait: min(cap, uniform(base, prev * 3)),
+/// where `prev_ms` is the previous wait (pass 0 before the first
+/// retry). Mutates `rng`.
+double NextBackoffMillis(const RetryPolicy& policy, double prev_ms,
+                         Rng& rng);
+
+/// Deterministic per-job retry Rng seed.
+uint64_t RetrySeedForJob(uint64_t job_id);
+
+}  // namespace kanon
+
+#endif  // KANON_SERVICE_RETRY_H_

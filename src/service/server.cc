@@ -6,27 +6,12 @@
 #include <utility>
 
 #include "data/csv_table.h"
+#include "fault/fault.h"
 #include "util/string_util.h"
 
 namespace kanon {
 
 namespace {
-
-/// Inline-CSV transport encoding: ';' stands for the record separator.
-std::string InlineToCsv(std::string text) {
-  for (char& c : text) {
-    if (c == ';') c = '\n';
-  }
-  return text;
-}
-
-std::string CsvToInline(std::string text) {
-  while (!text.empty() && text.back() == '\n') text.pop_back();
-  for (char& c : text) {
-    if (c == '\n') c = ';';
-  }
-  return text;
-}
 
 /// Error messages travel as the final quoted token; keep them one line
 /// and quote-free so the response stays trivially tokenizable.
@@ -75,12 +60,17 @@ std::string FormatStats(const ServiceStats& stats) {
   out << "ok verb=stats workers=" << stats.workers
       << " queue_depth=" << stats.queue_depth
       << " accepted=" << stats.accepted << " rejected=" << stats.rejected
-      << " completed=" << stats.completed
+      << " shed=" << stats.shed << " completed=" << stats.completed
       << " cache_served=" << stats.cache_served
       << " cancelled=" << stats.cancelled
+      << " retries=" << stats.retries_attempted
+      << " retries_exhausted=" << stats.retries_exhausted
+      << " journal_replays=" << stats.journal_replays
+      << " breakers=" << (stats.breakers.empty() ? "-" : stats.breakers)
       << " cache_hits=" << stats.cache.hits
       << " cache_misses=" << stats.cache.misses
       << " cache_evictions=" << stats.cache.evictions
+      << " cache_rejected=" << stats.cache.rejected
       << " cache_size=" << stats.cache.size
       << " cache_capacity=" << stats.cache.capacity;
   return out.str();
@@ -90,8 +80,14 @@ std::string FormatStats(const ServiceStats& stats) {
 
 AnonymizationService::AnonymizationService(ServiceOptions options)
     : cache_(options.cache_capacity),
-      queue_(options.queue_capacity),
-      pool_(&queue_, &cache_, {.workers = options.workers}) {}
+      queue_(QueueOptions{.capacity = options.queue_capacity,
+                          .shed_start_fraction = options.shed_start_fraction,
+                          .shed_levels = options.shed_levels,
+                          .observer = options.observer}),
+      pool_(&queue_, &cache_,
+            {.workers = options.workers,
+             .retry = options.retry,
+             .breaker = options.breaker}) {}
 
 AnonymizationService::~AnonymizationService() { Shutdown(); }
 
@@ -124,12 +120,21 @@ ServiceStats AnonymizationService::Stats() const {
   const JobQueue::Counters queue = queue_.counters();
   stats.accepted = queue.accepted;
   stats.rejected = queue.rejected;
+  stats.shed = queue.shed;
   const WorkerPool::Counters pool = pool_.counters();
   stats.completed = pool.completed;
   stats.cache_served = pool.cache_served;
   stats.cancelled = pool.cancelled;
+  stats.retries_attempted = pool.retries_attempted;
+  stats.retries_exhausted = pool.retries_exhausted;
+  stats.journal_replays = journal_replays_.load(std::memory_order_relaxed);
+  stats.breakers = pool_.breakers().Describe();
   stats.cache = cache_.stats();
   return stats;
+}
+
+void AnonymizationService::NoteJournalReplay(uint64_t jobs) {
+  journal_replays_.fetch_add(jobs, std::memory_order_relaxed);
 }
 
 void AnonymizationService::Shutdown() { pool_.Join(); }
@@ -180,6 +185,8 @@ StatusOr<AnonymizeRequest> ParseRequestLine(const std::string& tail,
       request.priority = static_cast<int>(parsed);
     } else if (key == "emit") {
       request.emit_csv = value != "0" && value != "false";
+    } else if (key == "wait") {
+      request.wait = value != "0" && value != "false";
     } else if (key == "csv") {
       request.csv_text = InlineToCsv(value);
     } else if (key == "file") {
@@ -214,6 +221,25 @@ std::string HandleLine(AnonymizationService& service,
     if (!request.ok()) {
       return FormatErrorLine("anonymize", 0, error, request.status());
     }
+    // An injected transport fault drops the request at the handler
+    // boundary; the client gets a typed error line, the loop survives.
+    if (KANON_FAULT_POINT("server.io")) {
+      const ServiceError fault = ServiceError::kWorkerFailure;
+      return FormatErrorLine(
+          "anonymize", 0, fault,
+          MakeServiceStatus(fault, "injected I/O fault; retry"));
+    }
+    if (!request->wait) {
+      // Fire-and-forget: answer at admission; the result is delivered
+      // to no one, but the job still runs (and lands in the journal).
+      StatusOr<JobQueue::Ticket> ticket =
+          service.Submit(*std::move(request), &error);
+      if (!ticket.ok()) {
+        return FormatErrorLine("anonymize", 0, error, ticket.status());
+      }
+      return "ok verb=anonymize id=" + std::to_string(ticket->id) +
+             " queued=1";
+    }
     return FormatAnonymizeResponse(service.Handle(*std::move(request)));
   }
   if (verb == "stats") {
@@ -228,6 +254,54 @@ std::string HandleLine(AnonymizationService& service,
       verb.empty() ? "-" : verb, 0, error,
       MakeServiceStatus(error, "unknown verb '" + verb +
                                    "'; expected anonymize|stats|shutdown"));
+}
+
+JournalReplayReport ApplyReplayToService(JournalReplay replay,
+                                         AnonymizationService& service) {
+  JournalReplayReport report;
+  report.completed = replay.completed;
+  report.torn_records = replay.torn_records;
+  for (ReplayedJob& job : replay.pending) {
+    if (job.started || job.cancelled) {
+      // Re-running a job that was on a worker when the process died is
+      // unsafe — the input may be what killed it. Typed error instead.
+      ++report.interrupted;
+      const ServiceError error = job.cancelled ? ServiceError::kCancelled
+                                               : ServiceError::kInterrupted;
+      const Status status = MakeServiceStatus(
+          error, job.cancelled
+                     ? "cancelled before the crash; not re-run"
+                     : "was running when the daemon died; not re-run");
+      std::ostringstream line;
+      line << "error verb=replay old_id=" << job.old_id
+           << " code=" << StatusCodeName(status.code())
+           << " error=" << ServiceErrorName(error)
+           << " message=" << QuoteMessage(status.message());
+      report.lines.push_back(line.str());
+      continue;
+    }
+    ++report.resubmitted;
+    AnonymizeResponse response = service.Handle(std::move(job.request));
+    // Same shape as a live response, re-verbed so clients can tell a
+    // recovered answer from one they asked this incarnation for.
+    std::string line = FormatAnonymizeResponse(response);
+    const std::string needle = "verb=anonymize";
+    const size_t at = line.find(needle);
+    if (at != std::string::npos) {
+      line.replace(at, needle.size(),
+                   "verb=replay old_id=" + std::to_string(job.old_id));
+    }
+    report.lines.push_back(std::move(line));
+  }
+  service.NoteJournalReplay(report.resubmitted + report.interrupted);
+  return report;
+}
+
+StatusOr<JournalReplayReport> ReplayJournalIntoService(
+    const std::string& path, AnonymizationService& service) {
+  StatusOr<JournalReplay> replay = JobJournal::ReplayFile(path);
+  if (!replay.ok()) return replay.status();
+  return ApplyReplayToService(*std::move(replay), service);
 }
 
 size_t ServeLines(AnonymizationService& service, std::istream& in,

@@ -1,11 +1,14 @@
 #ifndef KANON_SERVICE_SERVER_H_
 #define KANON_SERVICE_SERVER_H_
 
+#include <atomic>
 #include <iosfwd>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "service/cache.h"
+#include "service/journal.h"
 #include "service/queue.h"
 #include "service/worker_pool.h"
 
@@ -50,6 +53,16 @@ struct ServiceOptions {
   size_t queue_capacity = 64;
   /// Result-cache capacity in entries; 0 disables caching.
   size_t cache_capacity = 64;
+  /// Load-shedding knobs forwarded to the queue (see QueueOptions).
+  double shed_start_fraction = 0.75;
+  int shed_levels = 4;
+  /// Per-job retry budget and backoff (see service/retry.h).
+  RetryPolicy retry;
+  /// Per-stage circuit-breaker tuning (see service/breaker.h).
+  BreakerOptions breaker;
+  /// Optional job-lifecycle observer, typically the crash journal (not
+  /// owned; must outlive the service).
+  JobObserver* observer = nullptr;
 };
 
 /// Counter snapshot across queue, pool and cache.
@@ -58,9 +71,17 @@ struct ServiceStats {
   size_t queue_depth = 0;
   uint64_t accepted = 0;
   uint64_t rejected = 0;
+  uint64_t shed = 0;
   uint64_t completed = 0;
   uint64_t cache_served = 0;
   uint64_t cancelled = 0;
+  uint64_t retries_attempted = 0;
+  uint64_t retries_exhausted = 0;
+  /// Jobs recovered from a crash journal at startup.
+  uint64_t journal_replays = 0;
+  /// "stage:state,..." rendering of the breaker board ("-" when no
+  /// stage has run yet).
+  std::string breakers;
   CacheStats cache;
 };
 
@@ -90,6 +111,9 @@ class AnonymizationService {
 
   ServiceStats Stats() const;
 
+  /// Records `jobs` recovered from a crash journal (stats reporting).
+  void NoteJournalReplay(uint64_t jobs);
+
   /// Stops admission, drains in-flight jobs and joins the workers.
   /// Called by the destructor; safe to call early and repeatedly.
   void Shutdown();
@@ -98,7 +122,40 @@ class AnonymizationService {
   ResultCache cache_;
   JobQueue queue_;
   WorkerPool pool_;
+  std::atomic<uint64_t> journal_replays_{0};
 };
+
+/// Summary of a crash-journal replay performed at daemon startup.
+struct JournalReplayReport {
+  /// Pending jobs resubmitted and answered (they had not started).
+  uint64_t resubmitted = 0;
+  /// Jobs that were running (or cancelled) at the crash; answered with
+  /// the typed `interrupted` / `cancelled` error instead of re-running.
+  uint64_t interrupted = 0;
+  /// Jobs the journal proves finished before the crash.
+  uint64_t completed = 0;
+  /// Torn trailing records dropped by the parser (0 or 1).
+  uint64_t torn_records = 0;
+  /// One protocol-style line per recovered job (`ok verb=replay ...` /
+  /// `error verb=replay ...`), for the daemon to print on its transport.
+  std::vector<std::string> lines;
+};
+
+/// Applies an already-parsed replay: not-yet-started jobs are
+/// resubmitted (synchronously) and answered; started-but-unfinished
+/// ones are reported `interrupted`. When the service's observer is a
+/// fresh journal, resubmissions are re-journaled under new ids — which
+/// is why the daemon reads the old file, Reset()s it, and only then
+/// applies (old ids must not collide with the new incarnation's).
+JournalReplayReport ApplyReplayToService(JournalReplay replay,
+                                         AnonymizationService& service);
+
+/// Convenience for tests and embedders whose service has no journal
+/// observer on `path`: ReplayFile + ApplyReplayToService. Fails with
+/// kParseError when the journal is corrupt beyond a torn tail. Does not
+/// modify the file.
+StatusOr<JournalReplayReport> ReplayJournalIntoService(
+    const std::string& path, AnonymizationService& service);
 
 /// Serves the line protocol from `in` to `out` until EOF or a
 /// `shutdown` line; returns the number of request lines served. Blank

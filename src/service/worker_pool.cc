@@ -1,11 +1,14 @@
 #include "service/worker_pool.h"
 
+#include <algorithm>
 #include <chrono>
 #include <string>
+#include <thread>
 #include <utility>
 
 #include "algo/fallback.h"
 #include "data/csv_table.h"
+#include "fault/fault.h"
 #include "util/fingerprint.h"
 #include "util/logging.h"
 #include "util/parallel.h"
@@ -18,8 +21,9 @@ namespace {
 /// Wraps the requested algorithm in a degradation chain ending in the
 /// unconditionally-feasible suppress_all, so *every* job yields a valid
 /// partition. "resilient" keeps its own (already terminal) chain.
-FallbackOptions ChainFor(const std::string& algorithm) {
+FallbackOptions ChainFor(const std::string& algorithm, StageGate* gate) {
   FallbackOptions options;
+  options.gate = gate;
   if (algorithm == "resilient") return options;
   std::vector<std::string> stages = {algorithm};
   if (algorithm != "greedy_cover" && algorithm != "suppress_all") {
@@ -44,7 +48,8 @@ std::string ExtractChain(const std::string& notes) {
 }  // namespace
 
 AnonymizeResponse WorkerPool::Execute(const AnonymizeRequest& request,
-                                      RunContext* ctx, ResultCache* cache) {
+                                      RunContext* ctx, ResultCache* cache,
+                                      StageGate* gate) {
   KANON_CHECK(request.table.has_value())
       << "Execute requires a prepared request (ValidateAndPrepare)";
   WallTimer timer;
@@ -59,7 +64,9 @@ AnonymizeResponse WorkerPool::Execute(const AnonymizeRequest& request,
   key.table_fp = TableFingerprint(table);
   key.algorithm = request.algorithm;
   key.k = request.k;
-  if (cache != nullptr) {
+  // An injected lookup fault forces a miss: the answer is recomputed,
+  // which is always safe (degraded performance, never a wrong result).
+  if (cache != nullptr && !KANON_FAULT_POINT("cache.lookup")) {
     if (std::optional<CachedResult> cached = cache->Lookup(key)) {
       response.cache_hit = true;
       response.cost = cached->cost;
@@ -82,7 +89,7 @@ AnonymizeResponse WorkerPool::Execute(const AnonymizeRequest& request,
     return response;
   }
 
-  FallbackAnonymizer chain(ChainFor(request.algorithm));
+  FallbackAnonymizer chain(ChainFor(request.algorithm, gate));
   AnonymizationResult result = chain.Run(table, request.k, ctx);
   response.cost = result.cost;
   response.stage = result.stage;
@@ -114,6 +121,11 @@ AnonymizeResponse WorkerPool::Execute(const AnonymizeRequest& request,
     entry.chain = response.chain;
     entry.termination = result.termination;
     entry.anonymized_csv = csv;
+    // An injected poison flips the entry to a deadline artifact right at
+    // the insert boundary — the cache's own taint guard must catch it.
+    if (KANON_FAULT_POINT("cache.poison")) {
+      entry.termination = StopReason::kDeadline;
+    }
     cache->Insert(key, std::move(entry));
   }
   if (request.emit_csv) response.anonymized_csv = std::move(csv);
@@ -123,7 +135,10 @@ AnonymizeResponse WorkerPool::Execute(const AnonymizeRequest& request,
 
 WorkerPool::WorkerPool(JobQueue* queue, ResultCache* cache,
                        WorkerPoolOptions options)
-    : queue_(queue), cache_(cache) {
+    : queue_(queue),
+      cache_(cache),
+      retry_(options.retry),
+      breakers_(options.breaker) {
   KANON_CHECK(queue != nullptr);
   const unsigned n =
       options.workers > 0 ? options.workers : GetParallelism();
@@ -147,17 +162,57 @@ WorkerPool::Counters WorkerPool::counters() const {
   counters.completed = completed_.load(std::memory_order_relaxed);
   counters.cache_served = cache_served_.load(std::memory_order_relaxed);
   counters.cancelled = cancelled_.load(std::memory_order_relaxed);
+  counters.retries_attempted =
+      retries_attempted_.load(std::memory_order_relaxed);
+  counters.retries_exhausted =
+      retries_exhausted_.load(std::memory_order_relaxed);
   return counters;
 }
 
+AnonymizeResponse WorkerPool::ExecuteWithRetry(const Job& job) {
+  // Deterministic per-job backoff schedule: the Rng is seeded from the
+  // job id, so a chaos seed replays identical waits.
+  Rng rng(RetrySeedForJob(job.id));
+  double prev_backoff_ms = 0.0;
+  const int attempts = std::max(retry_.max_attempts, 1);
+  for (int attempt = 1;; ++attempt) {
+    // An injected dispatch fault is a worker dying *before* it ran the
+    // job; an injected delivery fault is one dying *after*, result lost.
+    // Both void the attempt and land in the same retry path.
+    bool faulted = KANON_FAULT_POINT("worker.dispatch");
+    AnonymizeResponse response;
+    if (!faulted) {
+      response = Execute(job.request, job.ctx.get(), cache_, &breakers_);
+      faulted = KANON_FAULT_POINT("worker.deliver");
+    }
+    if (!faulted) return response;
+    if (attempt >= attempts) {
+      retries_exhausted_.fetch_add(1, std::memory_order_relaxed);
+      AnonymizeResponse failure;
+      failure.algorithm = job.request.algorithm;
+      failure.k = job.request.k;
+      failure.error = ServiceError::kWorkerFailure;
+      failure.status = MakeServiceStatus(
+          failure.error, "worker failed " + std::to_string(attempts) +
+                             " times; retry budget exhausted");
+      return failure;
+    }
+    retries_attempted_.fetch_add(1, std::memory_order_relaxed);
+    prev_backoff_ms = NextBackoffMillis(retry_, prev_backoff_ms, rng);
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(prev_backoff_ms));
+  }
+}
+
 void WorkerPool::WorkerLoop() {
+  JobObserver* const observer = queue_->observer();
   while (std::optional<Job> job = queue_->Pop()) {
     const double queue_ms =
         std::chrono::duration<double, std::milli>(
             RunContext::Clock::now() - job->enqueue_time)
             .count();
-    AnonymizeResponse response =
-        Execute(job->request, job->ctx.get(), cache_);
+    if (observer != nullptr) observer->OnStart(job->id);
+    AnonymizeResponse response = ExecuteWithRetry(*job);
     response.id = job->id;
     response.queue_ms = queue_ms;
     completed_.fetch_add(1, std::memory_order_relaxed);
@@ -167,6 +222,11 @@ void WorkerPool::WorkerLoop() {
     if (response.error == ServiceError::kCancelled) {
       cancelled_.fetch_add(1, std::memory_order_relaxed);
     }
+    // Journal the outcome before the caller can observe it: a crash
+    // after set_value but before the append would leave a job the
+    // client saw answered marked interrupted at replay — the safe
+    // direction is the reverse.
+    if (observer != nullptr) observer->OnDone(job->id, response);
     queue_->Forget(job->id);
     job->promise.set_value(std::move(response));
   }

@@ -6,8 +6,10 @@
 #include <thread>
 #include <vector>
 
+#include "service/breaker.h"
 #include "service/cache.h"
 #include "service/queue.h"
+#include "service/retry.h"
 
 /// \file
 /// Worker pool draining the job queue.
@@ -26,6 +28,10 @@ namespace kanon {
 struct WorkerPoolOptions {
   /// Worker-thread count; 0 means GetParallelism() (util/parallel.h).
   unsigned workers = 0;
+  /// In-place retry budget for transient worker faults.
+  RetryPolicy retry;
+  /// Tuning for the per-stage circuit breakers (see service/breaker.h).
+  BreakerOptions breaker;
 };
 
 /// N threads executing jobs from a JobQueue. The pool does not own the
@@ -37,6 +43,10 @@ class WorkerPool {
     uint64_t completed = 0;
     uint64_t cache_served = 0;
     uint64_t cancelled = 0;
+    /// Re-executions after a transient worker fault.
+    uint64_t retries_attempted = 0;
+    /// Jobs answered with worker_failure after the retry budget ran out.
+    uint64_t retries_exhausted = 0;
   };
 
   /// Spawns the workers immediately. `cache` may be null (no caching).
@@ -57,22 +67,37 @@ class WorkerPool {
 
   Counters counters() const;
 
+  /// The shared per-stage circuit breakers (for stats reporting).
+  const BreakerBoard& breakers() const { return breakers_; }
+
   /// The per-job execution core (cache lookup -> chain run -> cache
   /// fill), exposed for direct use in tests and single-threaded tools.
   /// `request` must have been through ValidateAndPrepare; `ctx` carries
-  /// the job's deadline/budget/cancellation; `cache` may be null.
+  /// the job's deadline/budget/cancellation; `cache` may be null;
+  /// `gate` optionally gates non-final chain stages (breakers).
   static AnonymizeResponse Execute(const AnonymizeRequest& request,
-                                   RunContext* ctx, ResultCache* cache);
+                                   RunContext* ctx, ResultCache* cache,
+                                   StageGate* gate = nullptr);
 
  private:
   void WorkerLoop();
 
+  /// Execute under the retry policy: an injected dispatch or delivery
+  /// fault voids the attempt, and the worker retries in place after a
+  /// decorrelated-jitter backoff; an exhausted budget yields a typed
+  /// worker_failure response.
+  AnonymizeResponse ExecuteWithRetry(const Job& job);
+
   JobQueue* const queue_;
   ResultCache* const cache_;
+  const RetryPolicy retry_;
+  BreakerBoard breakers_;
   std::vector<std::thread> threads_;
   std::atomic<uint64_t> completed_{0};
   std::atomic<uint64_t> cache_served_{0};
   std::atomic<uint64_t> cancelled_{0};
+  std::atomic<uint64_t> retries_attempted_{0};
+  std::atomic<uint64_t> retries_exhausted_{0};
 };
 
 }  // namespace kanon

@@ -5,6 +5,7 @@
 #include <thread>
 #include <vector>
 
+#include "fault/fault.h"
 #include "util/logging.h"
 #include "util/run_context.h"
 
@@ -31,6 +32,10 @@ void RunRangeCooperatively(size_t begin, size_t end, size_t stride,
     return;
   }
   for (size_t lo = begin; lo < end; lo += stride) {
+    // An injected fault kills this worker mid-range. Cancellation is the
+    // recovery path: every sibling stops within one sub-chunk and the
+    // caller discards the partial output (the documented contract).
+    if (KANON_FAULT_POINT("parallel.worker")) ctx->RequestCancel();
     if (ctx->ShouldStop()) return;
     fn(lo, std::min(end, lo + stride));
   }

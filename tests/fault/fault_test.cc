@@ -1,0 +1,199 @@
+#include "fault/fault.h"
+
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "util/fingerprint.h"
+
+/// \file
+/// The fault-injection registry's contract: FireDecision is a pure
+/// function of (seed, site, hit index); disarmed sites are inert and
+/// count nothing; armed sites honor probability / first:n overrides;
+/// re-arming the same plan replays the identical fire sequence; and
+/// ParseFaultPlan round-trips the compact spec syntax with typed errors.
+
+namespace kanon {
+namespace {
+
+TEST(FaultDecisionTest, PureFunctionOfSeedSiteAndHit) {
+  const uint64_t site_fp = Fingerprint("some.site");
+  for (uint64_t hit = 0; hit < 64; ++hit) {
+    EXPECT_EQ(FaultRegistry::FireDecision(42, site_fp, hit, 0.3),
+              FaultRegistry::FireDecision(42, site_fp, hit, 0.3));
+  }
+  // Degenerate probabilities short-circuit.
+  EXPECT_FALSE(FaultRegistry::FireDecision(42, site_fp, 0, 0.0));
+  EXPECT_TRUE(FaultRegistry::FireDecision(42, site_fp, 0, 1.0));
+}
+
+TEST(FaultDecisionTest, SeedAndSiteChangeTheSequence) {
+  const uint64_t fp_a = Fingerprint("site.a");
+  const uint64_t fp_b = Fingerprint("site.b");
+  int seed_diffs = 0;
+  int site_diffs = 0;
+  for (uint64_t hit = 0; hit < 256; ++hit) {
+    if (FaultRegistry::FireDecision(1, fp_a, hit, 0.5) !=
+        FaultRegistry::FireDecision(2, fp_a, hit, 0.5)) {
+      ++seed_diffs;
+    }
+    if (FaultRegistry::FireDecision(1, fp_a, hit, 0.5) !=
+        FaultRegistry::FireDecision(1, fp_b, hit, 0.5)) {
+      ++site_diffs;
+    }
+  }
+  EXPECT_GT(seed_diffs, 0);
+  EXPECT_GT(site_diffs, 0);
+}
+
+TEST(FaultDecisionTest, FiresAtRoughlyTheRequestedRate) {
+  const uint64_t site_fp = Fingerprint("rate.site");
+  int fires = 0;
+  const int trials = 4000;
+  for (uint64_t hit = 0; hit < trials; ++hit) {
+    if (FaultRegistry::FireDecision(7, site_fp, hit, 0.25)) ++fires;
+  }
+  EXPECT_GT(fires, trials / 8);      // > 12.5%
+  EXPECT_LT(fires, trials * 3 / 8);  // < 37.5%
+}
+
+TEST(FaultRegistryTest, DisarmedPointIsInertAndCountsNothing) {
+  FaultRegistry::Instance().Disarm();
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(KANON_FAULT_POINT("test.inert"));
+  }
+  for (const FaultSiteSnapshot& site :
+       FaultRegistry::Instance().Snapshot()) {
+    if (site.name == "test.inert") {
+      EXPECT_EQ(site.fires, 0u);
+      return;  // registered (the macro's static ran) but never armed
+    }
+  }
+  FAIL() << "site test.inert was not registered";
+}
+
+TEST(FaultRegistryTest, ProbabilityOneAlwaysFiresProbabilityZeroNever) {
+  FaultPlan plan;
+  plan.seed = 3;
+  plan.sites.push_back({.site = "test.always", .probability = 1.0});
+  plan.sites.push_back({.site = "test.never", .probability = 0.0});
+  ScopedFaultInjection injection(plan);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(KANON_FAULT_POINT("test.always"));
+    EXPECT_FALSE(KANON_FAULT_POINT("test.never"));
+  }
+}
+
+TEST(FaultRegistryTest, FirstNFiresExactlyTheFirstNHits) {
+  FaultPlan plan;
+  plan.seed = 4;
+  plan.sites.push_back({.site = "test.first", .first_n = 3});
+  ScopedFaultInjection injection(plan);
+  int fires = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (KANON_FAULT_POINT("test.first")) ++fires;
+    // The first three hits fire, later ones never do.
+    EXPECT_EQ(fires, i < 3 ? i + 1 : 3);
+  }
+}
+
+TEST(FaultRegistryTest, ReArmingTheSamePlanReplaysTheSameSequence) {
+  FaultPlan plan;
+  plan.seed = 99;
+  plan.sites.push_back({.site = "test.replay", .probability = 0.5});
+
+  std::vector<bool> first_run;
+  {
+    ScopedFaultInjection injection(plan);
+    for (int i = 0; i < 200; ++i) {
+      first_run.push_back(KANON_FAULT_POINT("test.replay"));
+    }
+  }
+  std::vector<bool> second_run;
+  {
+    ScopedFaultInjection injection(plan);  // Arm resets hit counters
+    for (int i = 0; i < 200; ++i) {
+      second_run.push_back(KANON_FAULT_POINT("test.replay"));
+    }
+  }
+  EXPECT_EQ(first_run, second_run);
+
+  plan.seed = 100;
+  std::vector<bool> other_seed;
+  {
+    ScopedFaultInjection injection(plan);
+    for (int i = 0; i < 200; ++i) {
+      other_seed.push_back(KANON_FAULT_POINT("test.replay"));
+    }
+  }
+  EXPECT_NE(first_run, other_seed);
+}
+
+TEST(FaultRegistryTest, ScopedInjectionDisarmsOnScopeExit) {
+  EXPECT_FALSE(FaultRegistry::Armed());
+  {
+    FaultPlan plan;
+    plan.default_probability = 1.0;
+    ScopedFaultInjection injection(plan);
+    EXPECT_TRUE(FaultRegistry::Armed());
+    EXPECT_TRUE(KANON_FAULT_POINT("test.scoped"));
+  }
+  EXPECT_FALSE(FaultRegistry::Armed());
+  EXPECT_FALSE(KANON_FAULT_POINT("test.scoped"));
+}
+
+TEST(FaultRegistryTest, SnapshotTracksHitsAndFires) {
+  FaultPlan plan;
+  plan.seed = 5;
+  plan.sites.push_back({.site = "test.counted", .first_n = 2});
+  ScopedFaultInjection injection(plan);
+  for (int i = 0; i < 10; ++i) (void)KANON_FAULT_POINT("test.counted");
+
+  bool found = false;
+  for (const FaultSiteSnapshot& site :
+       FaultRegistry::Instance().Snapshot()) {
+    if (site.name != "test.counted") continue;
+    found = true;
+    EXPECT_EQ(site.hits, 10u);
+    EXPECT_EQ(site.fires, 2u);
+    EXPECT_EQ(site.first_n, 2u);
+  }
+  EXPECT_TRUE(found);
+  EXPECT_GE(FaultRegistry::Instance().TotalFires(), 2u);
+}
+
+TEST(FaultPlanTest, ParsesSeedDefaultAndSiteOverrides) {
+  const StatusOr<FaultPlan> plan = ParseFaultPlan(
+      "seed=42 p=0.01 worker.dispatch=0.5 exact_dp.alloc=first:2");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_EQ(plan->seed, 42u);
+  EXPECT_DOUBLE_EQ(plan->default_probability, 0.01);
+  ASSERT_EQ(plan->sites.size(), 2u);
+  EXPECT_EQ(plan->sites[0].site, "worker.dispatch");
+  EXPECT_DOUBLE_EQ(plan->sites[0].probability, 0.5);
+  EXPECT_EQ(plan->sites[0].first_n, 0u);
+  EXPECT_EQ(plan->sites[1].site, "exact_dp.alloc");
+  EXPECT_EQ(plan->sites[1].first_n, 2u);
+}
+
+TEST(FaultPlanTest, EmptySpecIsAnEmptyPlan) {
+  const StatusOr<FaultPlan> plan = ParseFaultPlan("   ");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->seed, 0u);
+  EXPECT_DOUBLE_EQ(plan->default_probability, 0.0);
+  EXPECT_TRUE(plan->sites.empty());
+}
+
+TEST(FaultPlanTest, RejectsMalformedSpecsWithInvalidArgument) {
+  for (const char* bad :
+       {"novalue", "=0.5", "seed=-1", "seed=abc", "p=1.5", "p=x",
+        "site.a=2.0", "site.a=first:0", "site.a=first:x"}) {
+    const StatusOr<FaultPlan> plan = ParseFaultPlan(bad);
+    EXPECT_FALSE(plan.ok()) << "spec '" << bad << "' should not parse";
+    if (!plan.ok()) {
+      EXPECT_EQ(plan.status().code(), StatusCode::kInvalidArgument) << bad;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kanon

@@ -1,0 +1,126 @@
+#include "service/breaker.h"
+
+#include <chrono>
+#include <thread>
+
+#include "gtest/gtest.h"
+
+/// \file
+/// Circuit-breaker state machine: closed -> open after threshold
+/// consecutive failures, half-open probe after the cooldown, probe
+/// outcome closes or re-opens, and the BreakerBoard renders its state
+/// for the stats line. The chain-integration side (skipped stages, the
+/// ungated terminal stage) is covered in fallback_test.cc and the
+/// worker-pool retry tests.
+
+namespace kanon {
+namespace {
+
+TEST(StageBreakerTest, OpensAfterThresholdConsecutiveFailures) {
+  StageBreaker breaker({.failure_threshold = 3, .open_ms = 1e9});
+  EXPECT_EQ(breaker.state(), StageBreaker::State::kClosed);
+  EXPECT_TRUE(breaker.Allow());
+
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), StageBreaker::State::kClosed);
+  EXPECT_TRUE(breaker.Allow());  // still under threshold
+
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), StageBreaker::State::kOpen);
+  EXPECT_FALSE(breaker.Allow());  // cooldown far from elapsed
+}
+
+TEST(StageBreakerTest, SuccessResetsTheFailureStreak) {
+  StageBreaker breaker({.failure_threshold = 3, .open_ms = 1e9});
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.consecutive_failures(), 0);
+  // The streak restarts: two more failures do not open it.
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), StageBreaker::State::kClosed);
+}
+
+TEST(StageBreakerTest, CooldownAdmitsOneProbeThenHoldsOthers) {
+  StageBreaker breaker({.failure_threshold = 1, .open_ms = 50.0});
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), StageBreaker::State::kOpen);
+  EXPECT_FALSE(breaker.Allow());
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  EXPECT_TRUE(breaker.Allow());  // this caller is the probe
+  EXPECT_EQ(breaker.state(), StageBreaker::State::kHalfOpen);
+  // Probe outstanding: the next caller is held back (the probe
+  // admission refreshed the cooldown clock).
+  EXPECT_FALSE(breaker.Allow());
+}
+
+TEST(StageBreakerTest, ProbeSuccessClosesProbeFailureReopens) {
+  StageBreaker breaker({.failure_threshold = 1, .open_ms = 0.0});
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), StageBreaker::State::kOpen);
+
+  // Zero cooldown: the next Allow is immediately the half-open probe.
+  EXPECT_TRUE(breaker.Allow());
+  EXPECT_EQ(breaker.state(), StageBreaker::State::kHalfOpen);
+  breaker.RecordFailure();  // probe failed
+  EXPECT_EQ(breaker.state(), StageBreaker::State::kOpen);
+
+  EXPECT_TRUE(breaker.Allow());  // next probe
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), StageBreaker::State::kClosed);
+  EXPECT_TRUE(breaker.Allow());
+}
+
+TEST(StageBreakerTest, StaleProbeDoesNotWedgeTheStage) {
+  StageBreaker breaker({.failure_threshold = 1, .open_ms = 20.0});
+  breaker.RecordFailure();
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_TRUE(breaker.Allow());  // probe admitted...
+  // ...but its caller dies before recording an outcome. After another
+  // cooldown a replacement probe must be admitted.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_TRUE(breaker.Allow());
+  EXPECT_EQ(breaker.state(), StageBreaker::State::kHalfOpen);
+}
+
+TEST(BreakerBoardTest, GatesStagesIndependently) {
+  BreakerBoard board({.failure_threshold = 2, .open_ms = 1e9});
+  EXPECT_TRUE(board.Allow("exact_dp"));
+  EXPECT_TRUE(board.Allow("greedy_cover"));
+
+  board.Record("exact_dp", false);
+  board.Record("exact_dp", false);
+  EXPECT_FALSE(board.Allow("exact_dp"));
+  EXPECT_TRUE(board.Allow("greedy_cover"));  // unaffected
+
+  board.Record("greedy_cover", true);
+  EXPECT_TRUE(board.Allow("greedy_cover"));
+}
+
+TEST(BreakerBoardTest, DescribeRendersSortedStageStates) {
+  BreakerBoard board({.failure_threshold = 1, .open_ms = 1e9});
+  EXPECT_EQ(board.Describe(), "");  // nothing touched yet
+
+  board.Record("greedy_cover", true);
+  board.Record("exact_dp", false);
+  // std::map keys render in name order.
+  EXPECT_EQ(board.Describe(), "exact_dp:open,greedy_cover:closed");
+
+  const auto snapshot = board.Snapshot();
+  ASSERT_EQ(snapshot.size(), 2u);
+  EXPECT_EQ(snapshot[0].first, "exact_dp");
+  EXPECT_EQ(snapshot[0].second, StageBreaker::State::kOpen);
+}
+
+TEST(BreakerBoardTest, StateNamesAreStable) {
+  EXPECT_STREQ(BreakerStateName(StageBreaker::State::kClosed), "closed");
+  EXPECT_STREQ(BreakerStateName(StageBreaker::State::kOpen), "open");
+  EXPECT_STREQ(BreakerStateName(StageBreaker::State::kHalfOpen),
+               "half_open");
+}
+
+}  // namespace
+}  // namespace kanon

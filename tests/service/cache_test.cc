@@ -52,6 +52,32 @@ TEST(CacheTest, KeyDistinguishesAlgorithmKAndTable) {
   EXPECT_TRUE(cache.Lookup(KeyFor(1, "resilient", 3)).has_value());
 }
 
+TEST(CacheTest, TaintGuardRejectsNonDeterministicOutcomes) {
+  ResultCache cache(4);
+  const CacheKey key = KeyFor(1, "resilient", 3);
+
+  // Deadline / cancellation artifacts depend on wall-clock luck (or on
+  // an injected fault); serving one to a later caller would violate the
+  // no-tainted-hits invariant, so the insert boundary refuses them.
+  for (const StopReason tainted :
+       {StopReason::kDeadline, StopReason::kCancelled}) {
+    CachedResult result = ResultWithCost(9);
+    result.termination = tainted;
+    cache.Insert(key, std::move(result));
+    EXPECT_FALSE(cache.Lookup(key).has_value());
+  }
+  EXPECT_EQ(cache.stats().rejected, 2u);
+  EXPECT_EQ(cache.stats().size, 0u);
+
+  // Structural-budget degradations and full completions are
+  // deterministic for the instance: both cacheable.
+  CachedResult budget = ResultWithCost(5);
+  budget.termination = StopReason::kBudget;
+  cache.Insert(key, std::move(budget));
+  EXPECT_TRUE(cache.Lookup(key).has_value());
+  EXPECT_EQ(cache.stats().rejected, 2u);
+}
+
 TEST(CacheTest, EvictsLeastRecentlyUsed) {
   ResultCache cache(2);
   const CacheKey a = KeyFor(1, "a", 3);

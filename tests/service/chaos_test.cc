@@ -1,0 +1,76 @@
+#include "service/chaos.h"
+
+#include "gtest/gtest.h"
+
+/// \file
+/// Chaos schedules as unit tests: a batch of seeded schedules must
+/// uphold all three robustness invariants (every admitted job answered
+/// validly or typed-failed, no tainted cache hits, journal replays from
+/// any crash prefix), the same seed must replay to the identical
+/// outcome fingerprint, and different seeds must actually explore
+/// different schedules. The CI script runs the bigger sweep (100+
+/// schedules per sanitizer config) via the chaos_service binary; these
+/// tests keep the harness itself honest in every plain ctest run.
+
+namespace kanon {
+namespace {
+
+ChaosScheduleOptions SmallSchedule(uint64_t seed) {
+  ChaosScheduleOptions options;
+  options.seed = seed;
+  options.jobs = 10;
+  options.scratch_dir = ::testing::TempDir();
+  return options;
+}
+
+TEST(ChaosTest, SchedulesUpholdTheInvariants) {
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    const ChaosReport report = RunChaosSchedule(SmallSchedule(seed));
+    EXPECT_TRUE(report.passed())
+        << "seed " << seed << ": " << report.violations.front();
+    // Accounting closes: every submission was admitted or rejected, and
+    // every admitted job was answered.
+    EXPECT_EQ(report.submitted,
+              report.rejected + report.answered_ok + report.answered_error)
+        << "seed " << seed;
+  }
+}
+
+TEST(ChaosTest, SameSeedReplaysToTheSameFingerprint) {
+  for (uint64_t seed : {3u, 17u, 101u}) {
+    const ChaosReport first = RunChaosSchedule(SmallSchedule(seed));
+    const ChaosReport again = RunChaosSchedule(SmallSchedule(seed));
+    EXPECT_EQ(first.outcome_fingerprint, again.outcome_fingerprint)
+        << "seed " << seed;
+    EXPECT_EQ(first.fires, again.fires) << "seed " << seed;
+    EXPECT_EQ(first.answered_ok, again.answered_ok) << "seed " << seed;
+    EXPECT_EQ(first.rejected, again.rejected) << "seed " << seed;
+  }
+}
+
+TEST(ChaosTest, DifferentSeedsExploreDifferentSchedules) {
+  const ChaosReport a = RunChaosSchedule(SmallSchedule(1));
+  const ChaosReport b = RunChaosSchedule(SmallSchedule(2));
+  EXPECT_NE(a.outcome_fingerprint, b.outcome_fingerprint);
+}
+
+TEST(ChaosTest, SchedulesActuallyInjectFaults) {
+  // Across a dozen seeds, some schedules must have armed sites that
+  // fired — a sweep where nothing ever fires tests nothing.
+  uint64_t total_fires = 0;
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    total_fires += RunChaosSchedule(SmallSchedule(seed)).fires;
+  }
+  EXPECT_GT(total_fires, 0u);
+}
+
+TEST(ChaosTest, JournalFreeSchedulesAlsoPass) {
+  ChaosScheduleOptions options = SmallSchedule(5);
+  options.with_journal = false;
+  const ChaosReport report = RunChaosSchedule(options);
+  EXPECT_TRUE(report.passed())
+      << report.violations.front();
+}
+
+}  // namespace
+}  // namespace kanon

@@ -1,6 +1,8 @@
 #include "service/queue.h"
 
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "data/csv_table.h"
 #include "gtest/gtest.h"
@@ -111,6 +113,90 @@ TEST(QueueTest, DeadlineArmsTheRunContextAtAdmission) {
   EXPECT_TRUE(job->ctx->has_deadline());
   EXPECT_GT(job->ctx->remaining_millis(), 0.0);
   EXPECT_LE(job->ctx->remaining_millis(), 60000.0);
+}
+
+TEST(QueueTest, LoadSheddingRaisesThePriorityBarWithOccupancy) {
+  QueueOptions options;
+  options.capacity = 8;
+  options.shed_start_fraction = 0.5;
+  options.shed_levels = 4;
+  JobQueue queue(options);
+  ServiceError error = ServiceError::kNone;
+
+  // Calm queue (occupancy < 0.5): no bar, even negative priority enters.
+  ASSERT_TRUE(queue.Submit(SmallRequest(0.0, /*priority=*/-3), &error).ok());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(queue.Submit(SmallRequest(), &error).ok());
+  }
+
+  // depth 4/8 = shed start: priority >= 1 required.
+  const StatusOr<JobQueue::Ticket> shed_a =
+      queue.Submit(SmallRequest(), &error);
+  ASSERT_FALSE(shed_a.ok());
+  EXPECT_EQ(shed_a.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(error, ServiceError::kShedLowPriority);
+  ASSERT_TRUE(queue.Submit(SmallRequest(0.0, /*priority=*/1), &error).ok());
+
+  // depth 5/8: the bar is still 1.
+  ASSERT_TRUE(queue.Submit(SmallRequest(0.0, /*priority=*/1), &error).ok());
+
+  // depth 6/8 (ramp 0.5 of the way): priority >= 2 required.
+  EXPECT_FALSE(queue.Submit(SmallRequest(0.0, /*priority=*/1), &error).ok());
+  EXPECT_EQ(error, ServiceError::kShedLowPriority);
+  ASSERT_TRUE(queue.Submit(SmallRequest(0.0, /*priority=*/2), &error).ok());
+
+  // depth 7/8: priority >= 3 required.
+  EXPECT_FALSE(queue.Submit(SmallRequest(0.0, /*priority=*/2), &error).ok());
+  EXPECT_EQ(error, ServiceError::kShedLowPriority);
+  ASSERT_TRUE(queue.Submit(SmallRequest(0.0, /*priority=*/3), &error).ok());
+
+  // Full is full, whatever the priority: kQueueFull, not a shed.
+  EXPECT_FALSE(
+      queue.Submit(SmallRequest(0.0, /*priority=*/99), &error).ok());
+  EXPECT_EQ(error, ServiceError::kQueueFull);
+
+  const JobQueue::Counters counters = queue.counters();
+  EXPECT_EQ(counters.accepted, 8u);
+  EXPECT_EQ(counters.shed, 3u);
+  EXPECT_EQ(counters.rejected, 4u);  // 3 shed + 1 hard-full
+}
+
+TEST(QueueTest, SheddingDisabledWhenStartFractionIsOne) {
+  QueueOptions options;
+  options.capacity = 2;
+  options.shed_start_fraction = 1.0;
+  JobQueue queue(options);
+  ServiceError error = ServiceError::kNone;
+  ASSERT_TRUE(queue.Submit(SmallRequest(0.0, /*priority=*/-5), &error).ok());
+  ASSERT_TRUE(queue.Submit(SmallRequest(0.0, /*priority=*/-5), &error).ok());
+  EXPECT_FALSE(queue.Submit(SmallRequest(), &error).ok());
+  EXPECT_EQ(error, ServiceError::kQueueFull);
+  EXPECT_EQ(queue.counters().shed, 0u);
+}
+
+TEST(QueueTest, ObserverSeesAdmitBeforePopAndCancel) {
+  struct Recorder : JobObserver {
+    std::vector<std::string> events;
+    void OnAdmit(const Job& job) override {
+      events.push_back("admit:" + std::to_string(job.id));
+    }
+    void OnCancel(uint64_t id) override {
+      events.push_back("cancel:" + std::to_string(id));
+    }
+  };
+  Recorder recorder;
+  QueueOptions options;
+  options.capacity = 4;
+  options.observer = &recorder;
+  JobQueue queue(options);
+  EXPECT_EQ(queue.observer(), &recorder);
+
+  ServiceError error = ServiceError::kNone;
+  const uint64_t id = queue.Submit(SmallRequest(), &error)->id;
+  ASSERT_TRUE(queue.Cancel(id));
+  EXPECT_EQ(recorder.events,
+            (std::vector<std::string>{"admit:" + std::to_string(id),
+                                      "cancel:" + std::to_string(id)}));
 }
 
 TEST(QueueTest, CloseWakesBlockedConsumer) {

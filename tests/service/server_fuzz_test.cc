@@ -1,0 +1,163 @@
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "service/server.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+/// \file
+/// Fuzz-style exercise of the line protocol: hundreds of mutated
+/// request lines — truncations, duplicated keys, injected non-UTF8
+/// bytes, out-of-domain parameters, oversized CSV payloads — must each
+/// produce exactly one typed response line ("ok ..." or "error ...",
+/// never a crash, never a multi-line reply), and the serving loop must
+/// stay healthy enough to answer a known-good request afterwards.
+
+namespace kanon {
+namespace {
+
+const char kBaseLine[] =
+    "anonymize algo=resilient k=2 deadline_ms=200 "
+    "csv=a,b;1,2;1,2;3,4;3,4";
+
+/// One random mutation of the base line. Mutations never contain '\n'
+/// (the protocol's framing byte) — everything else is fair game.
+std::string Mutate(Rng* rng) {
+  std::string line = kBaseLine;
+  switch (rng->Uniform(7)) {
+    case 0:  // truncation (models a dropped connection mid-line)
+      line.resize(rng->Uniform(static_cast<uint32_t>(line.size())));
+      break;
+    case 1: {  // random bytes spliced in, including non-UTF8
+      const size_t pos = rng->Uniform(static_cast<uint32_t>(line.size()));
+      std::string noise;
+      const int count = rng->UniformInt(1, 8);
+      for (int i = 0; i < count; ++i) {
+        char byte = static_cast<char>(rng->UniformInt(1, 255));
+        if (byte == '\n' || byte == '\r') byte = '\xff';
+        noise.push_back(byte);
+      }
+      line.insert(pos, noise);
+      break;
+    }
+    case 2: {  // duplicated key=value token
+      const std::vector<std::string> tokens = Split(line, ' ');
+      line += ' ';
+      line += tokens[rng->Uniform(static_cast<uint32_t>(tokens.size()))];
+      break;
+    }
+    case 3: {  // out-of-domain parameter values
+      static const char* const kBad[] = {
+          "k=0", "k=999999999999999999999", "k=-3", "k=abc", "k=",
+          "deadline_ms=nope", "priority=+-1", "wait=maybe",
+      };
+      line += ' ';
+      line += kBad[rng->Uniform(sizeof(kBad) / sizeof(kBad[0]))];
+      break;
+    }
+    case 4: {  // oversized CSV: one huge cell, or a huge row count
+      if (rng->Bernoulli(0.5)) {
+        line = "anonymize algo=resilient k=2 csv=a;";
+        line.append(8192, 'x');
+      } else {
+        line = "anonymize algo=resilient k=3 deadline_ms=5 csv=a";
+        for (int i = 0; i < 400; ++i) {
+          line += ';';
+          line += std::to_string(rng->Uniform(4));
+        }
+      }
+      break;
+    }
+    case 5: {  // dropped token
+      std::vector<std::string> tokens = Split(line, ' ');
+      tokens.erase(tokens.begin() +
+                   rng->Uniform(static_cast<uint32_t>(tokens.size())));
+      line = Join(tokens, " ");
+      break;
+    }
+    default:  // corrupted verb
+      line[rng->Uniform(9)] = static_cast<char>(rng->UniformInt(33, 126));
+      break;
+  }
+  return line;
+}
+
+TEST(ServerFuzzTest, EveryMutatedLineGetsExactlyOneTypedResponse) {
+  AnonymizationService service(
+      {.workers = 2, .queue_capacity = 16, .cache_capacity = 8});
+  Rng rng(20260806);
+
+  size_t ok_lines = 0;
+  size_t error_lines = 0;
+  for (int i = 0; i < 500; ++i) {
+    const std::string line = Mutate(&rng);
+    bool shutdown = false;
+    const std::string response = HandleLine(service, line, &shutdown);
+    ASSERT_FALSE(shutdown) << "mutation must not shut the loop down: '"
+                           << line << "'";
+    ASSERT_FALSE(response.empty()) << "no response for '" << line << "'";
+    const bool ok = StartsWith(response, "ok ");
+    const bool error = StartsWith(response, "error ");
+    ASSERT_TRUE(ok || error)
+        << "untyped response '" << response << "' for '" << line << "'";
+    EXPECT_EQ(response.find('\n'), std::string::npos)
+        << "multi-line response for '" << line << "'";
+    if (error) {
+      // Typed means typed: the line carries a taxonomy bucket and code.
+      EXPECT_NE(response.find("error="), std::string::npos) << response;
+      EXPECT_NE(response.find("code="), std::string::npos) << response;
+      ++error_lines;
+    } else {
+      ++ok_lines;
+    }
+  }
+  // The mutation mix must actually produce both outcomes, or the fuzz
+  // is testing only one path.
+  EXPECT_GT(ok_lines, 0u);
+  EXPECT_GT(error_lines, 0u);
+
+  // The service survived 500 hostile lines: a well-formed request still
+  // gets a full answer.
+  bool shutdown = false;
+  const std::string healthy = HandleLine(service, kBaseLine, &shutdown);
+  EXPECT_TRUE(StartsWith(healthy, "ok ")) << healthy;
+  EXPECT_NE(healthy.find("cost="), std::string::npos) << healthy;
+}
+
+TEST(ServerFuzzTest, ServeLinesAnswersEachHostileLineInOrder) {
+  AnonymizationService service(
+      {.workers = 2, .queue_capacity = 16, .cache_capacity = 8});
+  Rng rng(7);
+
+  std::ostringstream input;
+  const int lines = 60;
+  for (int i = 0; i < lines; ++i) {
+    std::string line = Mutate(&rng);
+    // ServeLines skips blank and comment lines silently; keep the 1:1
+    // line accounting by pinning those mutations to a non-blank form.
+    if (Trim(line).empty() || Trim(line).front() == '#') line = "?";
+    input << line << '\n';
+  }
+  input << "shutdown\n";
+
+  std::istringstream in(input.str());
+  std::ostringstream out;
+  const size_t served = ServeLines(service, in, out);
+  EXPECT_EQ(served, static_cast<size_t>(lines) + 1);
+
+  size_t responses = 0;
+  std::istringstream check(out.str());
+  std::string response;
+  while (std::getline(check, response)) {
+    EXPECT_TRUE(StartsWith(response, "ok ") ||
+                StartsWith(response, "error ") || response == "ok verb=shutdown")
+        << response;
+    ++responses;
+  }
+  EXPECT_EQ(responses, served);
+}
+
+}  // namespace
+}  // namespace kanon

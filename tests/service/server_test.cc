@@ -1,5 +1,8 @@
 #include "service/server.h"
 
+#include <unistd.h>
+
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -199,6 +202,94 @@ TEST(ServerTest, StatsCountsRejections) {
   EXPECT_EQ(stats.accepted, 0u);
   EXPECT_EQ(stats.rejected, 0u);
   EXPECT_EQ(stats.workers, 1u);
+}
+
+TEST(ServerTest, WaitZeroAnswersAtAdmission) {
+  AnonymizationService service(
+      {.workers = 1, .queue_capacity = 8, .cache_capacity = 8});
+  bool shutdown = false;
+  const std::string response = HandleLine(
+      service,
+      "anonymize algo=resilient k=2 wait=0 csv=" + BigInline(6),
+      &shutdown);
+  EXPECT_TRUE(StartsWith(response, "ok verb=anonymize id=")) << response;
+  EXPECT_NE(response.find("queued=1"), std::string::npos) << response;
+  // The fire-and-forget job still runs to completion in the background.
+  service.Shutdown();
+  EXPECT_EQ(service.Stats().completed, 1u);
+}
+
+TEST(ServerTest, StatsLineCarriesRobustnessCounters) {
+  AnonymizationService service({.workers = 1});
+  bool shutdown = false;
+  const std::string stats = HandleLine(service, "stats", &shutdown);
+  for (const char* key : {"shed=", "retries=", "retries_exhausted=",
+                          "journal_replays=", "breakers=",
+                          "cache_rejected="}) {
+    EXPECT_NE(stats.find(key), std::string::npos)
+        << "missing " << key << " in: " << stats;
+  }
+  EXPECT_EQ(Field(stats, "breakers"), "-");  // no stage has run yet
+}
+
+TEST(ServerTest, JournalReplayResubmitsPendingAndMarksInterrupted) {
+  const std::string path = ::testing::TempDir() + "kanon_server_replay_" +
+                           std::to_string(::getpid()) + ".journal";
+  ::unlink(path.c_str());
+  {
+    // Journal of a previous "incarnation": job 1 never started, job 2
+    // was on a worker at the crash, job 3 finished cleanly.
+    JobJournal journal(path);
+    for (uint64_t id = 1; id <= 3; ++id) {
+      Job job;
+      job.id = id;
+      job.request.algorithm = "resilient";
+      job.request.k = 2;
+      job.request.csv_text = "a,b\n1,2\n1,2\n3,4\n3,4\n";
+      journal.OnAdmit(job);
+    }
+    journal.OnStart(2);
+    journal.OnStart(3);
+    AnonymizeResponse done;
+    journal.OnDone(3, done);
+  }
+
+  AnonymizationService service({.workers = 1});
+  const StatusOr<JournalReplayReport> report =
+      ReplayJournalIntoService(path, service);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->resubmitted, 1u);
+  EXPECT_EQ(report->interrupted, 1u);
+  EXPECT_EQ(report->completed, 1u);
+  EXPECT_EQ(report->torn_records, 0u);
+
+  ASSERT_EQ(report->lines.size(), 2u);
+  EXPECT_TRUE(StartsWith(report->lines[0], "ok verb=replay old_id=1"))
+      << report->lines[0];
+  EXPECT_NE(report->lines[0].find("cost="), std::string::npos);
+  EXPECT_TRUE(StartsWith(report->lines[1], "error verb=replay old_id=2"))
+      << report->lines[1];
+  EXPECT_NE(report->lines[1].find("error=interrupted"), std::string::npos)
+      << report->lines[1];
+
+  EXPECT_EQ(service.Stats().journal_replays, 2u);
+  ::unlink(path.c_str());
+}
+
+TEST(ServerTest, CorruptJournalIsATypedReplayRefusal) {
+  const std::string path = ::testing::TempDir() + "kanon_server_corrupt_" +
+                           std::to_string(::getpid()) + ".journal";
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "deadbeefdeadbeef admit 1 algo=resilient k=2 csv=a;1;1\n"
+        << "0000000000000000 done 1 ok\n";
+  }
+  AnonymizationService service({.workers = 1});
+  const StatusOr<JournalReplayReport> report =
+      ReplayJournalIntoService(path, service);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kParseError);
+  ::unlink(path.c_str());
 }
 
 TEST(ServerTest, ShutdownStopsAdmission) {

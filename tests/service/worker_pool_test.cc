@@ -6,6 +6,7 @@
 
 #include "core/anonymity.h"
 #include "data/csv_table.h"
+#include "fault/fault.h"
 #include "data/generators/uniform.h"
 #include "gtest/gtest.h"
 #include "hypergraph/generators.h"
@@ -165,13 +166,18 @@ TEST(WorkerPoolTest, FourRequestsInFlightOnFourWorkers) {
   EXPECT_EQ(pool.counters().completed, 0u);
 
   // Per-request cancellation reaches the running jobs' RunContexts; the
-  // resilient chain still answers each with a valid partition.
+  // resilient chain still answers each with a valid partition — unless
+  // the cancel won the pop-to-run-start race, where the worker answers
+  // with the typed cancellation instead (see cancel_race_test).
   for (const JobQueue::Ticket& ticket : tickets) {
     EXPECT_TRUE(queue.Cancel(ticket.id));
   }
   for (JobQueue::Ticket& ticket : tickets) {
     const AnonymizeResponse response = ticket.result.get();
-    ASSERT_TRUE(response.ok()) << response.status;
+    if (!response.ok()) {
+      EXPECT_EQ(response.error, ServiceError::kCancelled);
+      continue;
+    }
     EXPECT_EQ(response.termination, StopReason::kCancelled);
     // The 21-row instance is under branch_bound's cap, so the anytime
     // stage may still answer with its incumbent; either way the chain
@@ -215,6 +221,112 @@ TEST(WorkerPoolTest, ConcurrentExecutionIsDeterministicPerRequest) {
     EXPECT_EQ(response.stage, expected[i].stage) << i;
     EXPECT_EQ(response.chain, expected[i].chain) << i;
     EXPECT_EQ(response.anonymized_csv, expected[i].anonymized_csv) << i;
+  }
+}
+
+TEST(WorkerPoolTest, TransientDispatchFaultsAreRetriedInPlace) {
+  FaultPlan plan;
+  // The worker dies before running the job twice; the third attempt
+  // (the last of the budget) goes through.
+  plan.sites.push_back({.site = "worker.dispatch", .first_n = 2});
+  ScopedFaultInjection injection(plan);
+
+  JobQueue queue(4);
+  ResultCache cache(4);
+  WorkerPool pool(&queue, &cache,
+                  {.workers = 1,
+                   .retry = {.max_attempts = 3,
+                             .base_ms = 0.01,
+                             .cap_ms = 0.1}});
+  ServiceError error = ServiceError::kNone;
+  const AnonymizeResponse response =
+      queue.Submit(RequestFor(SmallTable(30), 3), &error)->result.get();
+
+  ASSERT_TRUE(response.ok()) << response.status;
+  EXPECT_EQ(pool.counters().retries_attempted, 2u);
+  EXPECT_EQ(pool.counters().retries_exhausted, 0u);
+
+  const StatusOr<Table> anonymized = ParseTableCsv(response.anonymized_csv);
+  ASSERT_TRUE(anonymized.ok());
+  EXPECT_TRUE(IsKAnonymous(*anonymized, 3));
+}
+
+TEST(WorkerPoolTest, ExhaustedRetryBudgetIsATypedWorkerFailure) {
+  FaultPlan plan;
+  plan.sites.push_back({.site = "worker.dispatch", .probability = 1.0});
+  ScopedFaultInjection injection(plan);
+
+  JobQueue queue(4);
+  WorkerPool pool(&queue, /*cache=*/nullptr,
+                  {.workers = 1,
+                   .retry = {.max_attempts = 2,
+                             .base_ms = 0.01,
+                             .cap_ms = 0.1}});
+  ServiceError error = ServiceError::kNone;
+  const AnonymizeResponse response =
+      queue.Submit(RequestFor(SmallTable(31), 3), &error)->result.get();
+
+  EXPECT_FALSE(response.ok());
+  EXPECT_EQ(response.error, ServiceError::kWorkerFailure);
+  EXPECT_EQ(response.status.code(), StatusCode::kInternal);
+  EXPECT_EQ(pool.counters().retries_attempted, 1u);
+  EXPECT_EQ(pool.counters().retries_exhausted, 1u);
+}
+
+TEST(WorkerPoolTest, LostDeliveryDiscardsTheResultAndRetries) {
+  FaultPlan plan;
+  // The worker computes an answer, then dies before delivering it: the
+  // result must be discarded and the job re-run, not half-delivered.
+  plan.sites.push_back({.site = "worker.deliver", .first_n = 1});
+  ScopedFaultInjection injection(plan);
+
+  JobQueue queue(4);
+  ResultCache cache(4);
+  WorkerPool pool(&queue, &cache,
+                  {.workers = 1,
+                   .retry = {.max_attempts = 3,
+                             .base_ms = 0.01,
+                             .cap_ms = 0.1}});
+  ServiceError error = ServiceError::kNone;
+  const AnonymizeResponse response =
+      queue.Submit(RequestFor(SmallTable(32), 3), &error)->result.get();
+
+  ASSERT_TRUE(response.ok()) << response.status;
+  EXPECT_EQ(pool.counters().retries_attempted, 1u);
+  EXPECT_EQ(pool.counters().completed, 1u);
+}
+
+TEST(RetryPolicyTest, BackoffStartsAtBaseAndStaysWithinBounds) {
+  const RetryPolicy policy{.max_attempts = 5,
+                           .base_ms = 1.0,
+                           .cap_ms = 50.0};
+  Rng rng(11);
+  // First wait is exactly the base (prev = 0 pins the window to [base,
+  // base]); later waits are decorrelated but always in [base, cap].
+  double prev = NextBackoffMillis(policy, 0.0, rng);
+  EXPECT_DOUBLE_EQ(prev, 1.0);
+  for (int i = 0; i < 64; ++i) {
+    prev = NextBackoffMillis(policy, prev, rng);
+    EXPECT_GE(prev, policy.base_ms);
+    EXPECT_LE(prev, policy.cap_ms);
+  }
+}
+
+TEST(RetryPolicyTest, ScheduleIsDeterministicPerJob) {
+  const RetryPolicy policy{.max_attempts = 5,
+                           .base_ms = 1.0,
+                           .cap_ms = 50.0};
+  EXPECT_EQ(RetrySeedForJob(7), RetrySeedForJob(7));
+  EXPECT_NE(RetrySeedForJob(7), RetrySeedForJob(8));
+
+  Rng a(RetrySeedForJob(7));
+  Rng b(RetrySeedForJob(7));
+  double prev_a = 0.0;
+  double prev_b = 0.0;
+  for (int i = 0; i < 16; ++i) {
+    prev_a = NextBackoffMillis(policy, prev_a, a);
+    prev_b = NextBackoffMillis(policy, prev_b, b);
+    EXPECT_DOUBLE_EQ(prev_a, prev_b);
   }
 }
 
