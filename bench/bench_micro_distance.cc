@@ -1,11 +1,15 @@
 // M1 — micro benchmarks for the distance/diameter kernels that dominate
 // the cover algorithms' inner loops (Definition 4.1 machinery).
 
+#include <vector>
+
 #include "benchmark/benchmark.h"
 #include "core/cost.h"
 #include "core/distance.h"
+#include "core/distance_oracle.h"
 #include "data/generators/uniform.h"
 #include "util/random.h"
+#include "util/run_context.h"
 
 namespace kanon {
 namespace {
@@ -30,7 +34,34 @@ void BM_RowDistance(benchmark::State& state) {
 }
 BENCHMARK(BM_RowDistance)->Arg(8)->Arg(32)->Arg(128);
 
-void BM_DistanceMatrixBuild(benchmark::State& state) {
+// The seed implementation before the data-plane refactor: a serial
+// row-major double loop. Kept inline as the baseline the tiled parallel
+// fill is measured against (ci.sh asserts tiled < scalar at n = 2048).
+void BM_DistanceMatrixBuildScalarSeed(benchmark::State& state) {
+  const Table t = MakeTable(state.range(0), 16);
+  const RowId n = t.num_rows();
+  std::vector<ColId> dist(static_cast<size_t>(n) * n);
+  for (auto _ : state) {
+    for (RowId a = 0; a < n; ++a) {
+      dist[static_cast<size_t>(a) * n + a] = 0;
+      for (RowId b = a + 1; b < n; ++b) {
+        const ColId d = RowDistance(t, a, b);
+        dist[static_cast<size_t>(a) * n + b] = d;
+        dist[static_cast<size_t>(b) * n + a] = d;
+      }
+    }
+    benchmark::DoNotOptimize(dist[static_cast<size_t>(n) * n - 1]);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_DistanceMatrixBuildScalarSeed)
+    ->Arg(256)->Arg(512)->Arg(1024)->Arg(2048)
+    ->Unit(benchmark::kMillisecond)
+    ->Complexity(benchmark::oNSquared);
+
+// The production path: cache-blocked tile fill distributed over the
+// worker pool (core/distance.cc).
+void BM_DistanceMatrixBuildTiled(benchmark::State& state) {
   const Table t = MakeTable(state.range(0), 16);
   for (auto _ : state) {
     DistanceMatrix dm(t);
@@ -38,8 +69,44 @@ void BM_DistanceMatrixBuild(benchmark::State& state) {
   }
   state.SetComplexityN(state.range(0));
 }
-BENCHMARK(BM_DistanceMatrixBuild)->Arg(32)->Arg(64)->Arg(128)->Arg(256)
+BENCHMARK(BM_DistanceMatrixBuildTiled)
+    ->Arg(256)->Arg(512)->Arg(1024)->Arg(2048)
+    ->Unit(benchmark::kMillisecond)
     ->Complexity(benchmark::oNSquared);
+
+void BM_OracleLookupDense(benchmark::State& state) {
+  const Table t = MakeTable(state.range(0), 16);
+  RunContext ctx;
+  const auto oracle =
+      DistanceOracle::Create(t, DistanceOracleOptions{}, &ctx);
+  RowId a = 0, b = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize((*oracle)->at(a, b));
+    a = (a + 1) % t.num_rows();
+    b = (b + 3) % t.num_rows();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_OracleLookupDense)->Arg(256)->Arg(1024);
+
+// On-demand path with a warm strip cache: the access pattern sweeps b
+// while a stays in a small working set, which is how the cover loops
+// actually probe distances.
+void BM_OracleLookupOnDemand(benchmark::State& state) {
+  const Table t = MakeTable(state.range(0), 16);
+  RunContext ctx;
+  const auto oracle = DistanceOracle::Create(
+      t, DistanceOracleOptions{.dense_threshold = 0, .max_cached_strips = 16},
+      &ctx);
+  RowId a = 0, b = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize((*oracle)->at(a % 8, b));
+    a = (a + 1) % t.num_rows();
+    b = (b + 3) % t.num_rows();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_OracleLookupOnDemand)->Arg(256)->Arg(1024);
 
 void BM_SetDiameter(benchmark::State& state) {
   const Table t = MakeTable(64, 16);

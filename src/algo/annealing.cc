@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <sstream>
 
 #include "core/cost.h"
+#include "core/group_stats.h"
 #include "util/logging.h"
 #include "util/random.h"
 #include "util/timer.h"
@@ -13,14 +15,20 @@ namespace kanon {
 
 namespace {
 
-/// Mutable annealing state: groups plus cached per-group costs.
+/// Mutable annealing state: groups plus incrementally-maintained
+/// per-group statistics. Every proposal recosts the touched groups in
+/// O(m) (or O(edit * m) for merge/split) via GroupStats instead of
+/// rescanning them, and the recost yields the exact AnonCost integers,
+/// so the accept/reject trajectory is unchanged move-for-move.
 class State {
  public:
   State(const Table& table, Partition partition, size_t k)
       : table_(table), k_(k), groups_(std::move(partition.groups)) {
     costs_.resize(groups_.size());
+    stats_.reserve(groups_.size());
     for (size_t g = 0; g < groups_.size(); ++g) {
-      costs_[g] = AnonCost(table_, groups_[g]);
+      stats_.emplace_back(table_, groups_[g]);
+      costs_[g] = stats_[g].anon_cost();
     }
   }
 
@@ -61,6 +69,8 @@ class State {
       case LastMove::kTwoGroups:
         groups_[last_.a] = std::move(last_.saved_a);
         groups_[last_.b] = std::move(last_.saved_b);
+        stats_[last_.a] = std::move(*last_.saved_stats_a);
+        stats_[last_.b] = std::move(*last_.saved_stats_b);
         costs_[last_.a] = last_.cost_a;
         costs_[last_.b] = last_.cost_b;
         break;
@@ -69,13 +79,17 @@ class State {
         // trick not used — we kept b in place but empty).
         groups_[last_.a] = std::move(last_.saved_a);
         groups_[last_.b] = std::move(last_.saved_b);
+        stats_[last_.a] = std::move(*last_.saved_stats_a);
+        stats_[last_.b] = std::move(*last_.saved_stats_b);
         costs_[last_.a] = last_.cost_a;
         costs_[last_.b] = last_.cost_b;
         break;
       case LastMove::kSplit:
         groups_[last_.a] = std::move(last_.saved_a);
+        stats_[last_.a] = std::move(*last_.saved_stats_a);
         costs_[last_.a] = last_.cost_a;
         groups_.pop_back();
+        stats_.pop_back();
         costs_.pop_back();
         break;
     }
@@ -87,6 +101,7 @@ class State {
     for (size_t g = groups_.size(); g > 0; --g) {
       if (groups_[g - 1].empty()) {
         groups_.erase(groups_.begin() + static_cast<ptrdiff_t>(g - 1));
+        stats_.erase(stats_.begin() + static_cast<ptrdiff_t>(g - 1));
         costs_.erase(costs_.begin() + static_cast<ptrdiff_t>(g - 1));
       }
     }
@@ -97,6 +112,7 @@ class State {
     enum Kind { kNone, kTwoGroups, kMerge, kSplit } kind = kNone;
     size_t a = 0, b = 0;
     Group saved_a, saved_b;
+    std::optional<GroupStats> saved_stats_a, saved_stats_b;
     size_t cost_a = 0, cost_b = 0;
   };
 
@@ -126,14 +142,16 @@ class State {
     last_.b = b;
     last_.saved_a = groups_[a];
     last_.saved_b = groups_[b];
+    last_.saved_stats_a = stats_[a];
+    last_.saved_stats_b = stats_[b];
     last_.cost_a = costs_[a];
     last_.cost_b = costs_[b];
   }
 
   long long Recost(size_t a, size_t b) {
     const size_t before = last_.cost_a + last_.cost_b;
-    costs_[a] = AnonCost(table_, groups_[a]);
-    costs_[b] = AnonCost(table_, groups_[b]);
+    costs_[a] = stats_[a].anon_cost();
+    costs_[b] = stats_[b].anon_cost();
     return static_cast<long long>(costs_[a] + costs_[b]) -
            static_cast<long long>(before);
   }
@@ -144,8 +162,11 @@ class State {
     if (groups_[a].size() <= k_) return false;
     SaveTwo(a, b, LastMove::kTwoGroups);
     const size_t i = rng->Uniform(static_cast<uint32_t>(groups_[a].size()));
-    groups_[b].push_back(groups_[a][i]);
+    const RowId row = groups_[a][i];
+    groups_[b].push_back(row);
     groups_[a].erase(groups_[a].begin() + static_cast<ptrdiff_t>(i));
+    stats_[b].Add(row);
+    stats_[a].Remove(row);
     *delta = Recost(a, b);
     return true;
   }
@@ -156,7 +177,13 @@ class State {
     SaveTwo(a, b, LastMove::kTwoGroups);
     const size_t i = rng->Uniform(static_cast<uint32_t>(groups_[a].size()));
     const size_t j = rng->Uniform(static_cast<uint32_t>(groups_[b].size()));
+    const RowId row_a = groups_[a][i];
+    const RowId row_b = groups_[b][j];
     std::swap(groups_[a][i], groups_[b][j]);
+    stats_[a].Remove(row_a);
+    stats_[a].Add(row_b);
+    stats_[b].Remove(row_b);
+    stats_[b].Add(row_a);
     *delta = Recost(a, b);
     return true;
   }
@@ -165,6 +192,8 @@ class State {
     size_t a = 0, b = 0;
     if (!PickTwoDistinctGroups(rng, &a, &b)) return false;
     SaveTwo(a, b, LastMove::kMerge);
+    for (const RowId r : groups_[b]) stats_[a].Add(r);
+    stats_[b].Clear();
     groups_[a].insert(groups_[a].end(), groups_[b].begin(),
                       groups_[b].end());
     groups_[b].clear();
@@ -185,6 +214,7 @@ class State {
     last_.kind = LastMove::kSplit;
     last_.a = a;
     last_.saved_a = groups_[a];
+    last_.saved_stats_a = stats_[a];
     last_.cost_a = costs_[a];
 
     Group shuffled = groups_[a];
@@ -198,9 +228,11 @@ class State {
                 shuffled.end());
     const size_t before = costs_[a];
     groups_[a] = std::move(left);
-    costs_[a] = AnonCost(table_, groups_[a]);
+    stats_[a] = GroupStats(table_, groups_[a]);
+    costs_[a] = stats_[a].anon_cost();
     groups_.push_back(std::move(right));
-    costs_.push_back(AnonCost(table_, groups_.back()));
+    stats_.emplace_back(table_, groups_.back());
+    costs_.push_back(stats_.back().anon_cost());
     *delta = static_cast<long long>(costs_[a] + costs_.back()) -
              static_cast<long long>(before);
     return true;
@@ -209,6 +241,7 @@ class State {
   const Table& table_;
   const size_t k_;
   std::vector<Group> groups_;
+  std::vector<GroupStats> stats_;
   std::vector<size_t> costs_;
   LastMove last_;
 };

@@ -6,7 +6,7 @@
 
 #include "algo/reduce.h"
 #include "core/cost.h"
-#include "core/distance.h"
+#include "core/distance_oracle.h"
 #include "setcover/set_cover.h"
 #include "util/logging.h"
 #include "util/parallel.h"
@@ -22,7 +22,7 @@ namespace {
 /// (center, prefix_len, weight) triple per set.
 class BallFamily : public SetFamily {
  public:
-  BallFamily(const Table& table, const DistanceMatrix& dm, size_t k,
+  BallFamily(const Table& table, const DistanceOracle& dm, size_t k,
              BallFamilyMode mode, BallWeightMode weight_mode,
              RunContext* ctx)
       : n_(table.num_rows()) {
@@ -170,7 +170,14 @@ AnonymizationResult BallCoverAnonymizer::Run(const Table& table, size_t k,
     return StoppedResult(*ctx, timer.Seconds(),
                          "declined: ball family exceeds memory limit");
   }
-  const DistanceMatrix dm(table);
+  const StatusOr<std::shared_ptr<const DistanceOracle>> oracle =
+      SharedDistanceOracle(table, ctx);
+  if (!oracle.ok()) {
+    ctx->ReleaseMemory(family_bytes);
+    return StoppedResult(*ctx, timer.Seconds(),
+                         "declined: " + oracle.status().message());
+  }
+  const DistanceOracle& dm = **oracle;
   const BallFamily family(table, dm, k, options_.family_mode,
                           options_.weight_mode, ctx);
   if (ctx->ShouldStop()) {

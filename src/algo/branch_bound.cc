@@ -5,7 +5,7 @@
 
 #include "core/bounds.h"
 #include "core/cost.h"
-#include "core/distance.h"
+#include "core/distance_oracle.h"
 #include "fault/fault.h"
 #include "util/logging.h"
 #include "util/timer.h"
@@ -17,7 +17,7 @@ namespace {
 /// DFS state for the exact search.
 class Search {
  public:
-  Search(const Table& table, const DistanceMatrix& dm, size_t k,
+  Search(const Table& table, const DistanceOracle& dm, size_t k,
          size_t max_nodes, RunContext* ctx)
       : table_(table), k_(k), max_nodes_(max_nodes), ctx_(ctx) {
     const RowId n = table.num_rows();
@@ -180,8 +180,13 @@ AnonymizationResult BranchBoundAnonymizer::Run(const Table& table,
                          "declined: n exceeds branch_bound max_rows");
   }
 
-  const DistanceMatrix dm(table);
-  Search search(table, dm, k, options_.max_nodes, ctx);
+  const StatusOr<std::shared_ptr<const DistanceOracle>> oracle =
+      SharedDistanceOracle(table, ctx);
+  if (!oracle.ok()) {
+    return StoppedResult(*ctx, timer.Seconds(),
+                         "declined: " + oracle.status().message());
+  }
+  Search search(table, **oracle, k, options_.max_nodes, ctx);
   // The chunk partition seeds a finite incumbent; the search only
   // replaces it on strict improvement, so its cost is an upper bound
   // throughout and pruning with >= is safe.

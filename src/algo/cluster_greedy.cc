@@ -4,35 +4,34 @@
 #include <sstream>
 
 #include "core/cost.h"
-#include "core/distance.h"
+#include "core/distance_oracle.h"
+#include "core/group_stats.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
 namespace kanon {
 
-namespace {
-
-/// ANON cost of `group` with `extra` appended (without mutating group).
-size_t CostWith(const Table& table, const Group& group, RowId extra) {
-  Group tmp = group;
-  tmp.push_back(extra);
-  return AnonCost(table, tmp);
-}
-
-}  // namespace
-
 AnonymizationResult ClusterGreedyAnonymizer::Run(const Table& table, size_t k,
-                                                 RunContext* /*ctx*/) {
+                                                 RunContext* ctx) {
   const RowId n = table.num_rows();
   KANON_CHECK_GE(k, 1u);
   KANON_CHECK_GE(static_cast<size_t>(n), k);
 
   WallTimer timer;
-  const DistanceMatrix dm(table);
+  const StatusOr<std::shared_ptr<const DistanceOracle>> oracle =
+      SharedDistanceOracle(table, ctx);
+  if (!oracle.ok()) {
+    return StoppedResult(*ctx, timer.Seconds(),
+                         "declined: " + oracle.status().message());
+  }
+  const DistanceOracle& dm = **oracle;
   std::vector<bool> assigned(n, false);
   size_t unassigned = n;
 
   AnonymizationResult result;
+  // Incremental stats of each finished group, kept in step with
+  // result.partition.groups for the leftover fold below.
+  std::vector<GroupStats> stats;
   RowId seed = 0;
   while (unassigned >= k) {
     // Seed: the unassigned row farthest from the previous seed (first
@@ -53,14 +52,18 @@ AnonymizationResult ClusterGreedyAnonymizer::Run(const Table& table, size_t k,
     seed = far;
 
     Group group = {seed};
+    GroupStats group_stats(table);
+    group_stats.Add(seed);
     assigned[seed] = true;
     --unassigned;
     while (group.size() < k) {
+      // O(m) what-if probe per candidate instead of rescanning the
+      // whole group; same integers, so ties resolve identically.
       RowId best = n;
       size_t best_cost = 0;
       for (RowId r = 0; r < n; ++r) {
         if (assigned[r]) continue;
-        const size_t c = CostWith(table, group, r);
+        const size_t c = group_stats.CostWith(r);
         if (best == n || c < best_cost) {
           best = r;
           best_cost = c;
@@ -68,10 +71,12 @@ AnonymizationResult ClusterGreedyAnonymizer::Run(const Table& table, size_t k,
       }
       KANON_CHECK_LT(best, n);
       group.push_back(best);
+      group_stats.Add(best);
       assigned[best] = true;
       --unassigned;
     }
     result.partition.groups.push_back(std::move(group));
+    stats.push_back(std::move(group_stats));
   }
 
   // Fold leftovers into the cheapest group.
@@ -80,10 +85,8 @@ AnonymizationResult ClusterGreedyAnonymizer::Run(const Table& table, size_t k,
     size_t best_group = 0;
     size_t best_delta = 0;
     bool first = true;
-    for (size_t g = 0; g < result.partition.groups.size(); ++g) {
-      const Group& group = result.partition.groups[g];
-      const size_t delta =
-          CostWith(table, group, r) - AnonCost(table, group);
+    for (size_t g = 0; g < stats.size(); ++g) {
+      const size_t delta = stats[g].CostWith(r) - stats[g].anon_cost();
       if (first || delta < best_delta) {
         first = false;
         best_group = g;
@@ -92,6 +95,7 @@ AnonymizationResult ClusterGreedyAnonymizer::Run(const Table& table, size_t k,
     }
     KANON_CHECK(!first);
     result.partition.groups[best_group].push_back(r);
+    stats[best_group].Add(r);
     assigned[r] = true;
   }
 

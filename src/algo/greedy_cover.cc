@@ -5,7 +5,7 @@
 
 #include "algo/reduce.h"
 #include "core/cost.h"
-#include "core/distance.h"
+#include "core/distance_oracle.h"
 #include "fault/fault.h"
 #include "setcover/set_cover.h"
 #include "util/logging.h"
@@ -103,7 +103,14 @@ AnonymizationResult GreedyCoverAnonymizer::Run(const Table& table,
                          "declined: family C exceeds memory limit");
   }
 
-  const DistanceMatrix dm(table);
+  const StatusOr<std::shared_ptr<const DistanceOracle>> oracle =
+      SharedDistanceOracle(table, ctx);
+  if (!oracle.ok()) {
+    ctx->ReleaseMemory(family_bytes);
+    return StoppedResult(*ctx, timer.Seconds(),
+                         "declined: " + oracle.status().message());
+  }
+  const DistanceOracle& dm = **oracle;
 
   // Phase 0: materialize C, the family of all subsets with cardinality in
   // [k, 2k-1], weighted by diameter.

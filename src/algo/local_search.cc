@@ -4,39 +4,11 @@
 #include <sstream>
 
 #include "core/cost.h"
+#include "core/group_stats.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
 namespace kanon {
-
-namespace {
-
-/// Cost of `group` with member at `idx` removed.
-size_t CostWithout(const Table& table, const Group& group, size_t idx) {
-  Group tmp;
-  tmp.reserve(group.size() - 1);
-  for (size_t i = 0; i < group.size(); ++i) {
-    if (i != idx) tmp.push_back(group[i]);
-  }
-  return AnonCost(table, tmp);
-}
-
-/// Cost of `group` with `extra` appended.
-size_t CostWith(const Table& table, const Group& group, RowId extra) {
-  Group tmp = group;
-  tmp.push_back(extra);
-  return AnonCost(table, tmp);
-}
-
-/// Cost of `group` with member at `idx` replaced by `replacement`.
-size_t CostReplacing(const Table& table, const Group& group, size_t idx,
-                     RowId replacement) {
-  Group tmp = group;
-  tmp[idx] = replacement;
-  return AnonCost(table, tmp);
-}
-
-}  // namespace
 
 size_t ImprovePartition(const Table& table, size_t k,
                         const LocalSearchOptions& options,
@@ -44,9 +16,17 @@ size_t ImprovePartition(const Table& table, size_t k,
   KANON_CHECK(IsValidPartition(*partition, table.num_rows(), k,
                                table.num_rows()));
   std::vector<Group>& groups = partition->groups;
+  // Incremental per-group statistics: every candidate probe below is an
+  // O(m) GroupStats what-if instead of an O(|group| m) rescan, and the
+  // probes return the exact AnonCost integers, so accept/reject
+  // decisions and tie-breaks match the rescanning implementation
+  // move-for-move.
+  std::vector<GroupStats> stats;
+  stats.reserve(groups.size());
   std::vector<size_t> cost(groups.size());
   for (size_t g = 0; g < groups.size(); ++g) {
-    cost[g] = AnonCost(table, groups[g]);
+    stats.emplace_back(table, groups[g]);
+    cost[g] = stats[g].anon_cost();
   }
 
   size_t applied = 0;
@@ -58,12 +38,12 @@ size_t ImprovePartition(const Table& table, size_t k,
       if (groups[a].size() <= k) continue;
       for (size_t i = 0; i < groups[a].size(); ++i) {
         const RowId row = groups[a][i];
-        const size_t a_without = CostWithout(table, groups[a], i);
+        const size_t a_without = stats[a].CostWithout(row);
         size_t best_b = groups.size();
         size_t best_delta_gain = 0;
         for (size_t b = 0; b < groups.size(); ++b) {
           if (b == a) continue;
-          const size_t b_with = CostWith(table, groups[b], row);
+          const size_t b_with = stats[b].CostWith(row);
           const size_t before = cost[a] + cost[b];
           const size_t after = a_without + b_with;
           if (after < before) {
@@ -77,8 +57,10 @@ size_t ImprovePartition(const Table& table, size_t k,
         if (best_b != groups.size()) {
           groups[best_b].push_back(row);
           groups[a].erase(groups[a].begin() + static_cast<ptrdiff_t>(i));
-          cost[a] = AnonCost(table, groups[a]);
-          cost[best_b] = AnonCost(table, groups[best_b]);
+          stats[best_b].Add(row);
+          stats[a].Remove(row);
+          cost[a] = stats[a].anon_cost();
+          cost[best_b] = stats[best_b].anon_cost();
           ++applied;
           improved = true;
           if (groups[a].size() <= k) break;
@@ -91,12 +73,16 @@ size_t ImprovePartition(const Table& table, size_t k,
       for (size_t b = a + 1; b < groups.size(); ++b) {
         for (size_t i = 0; i < groups[a].size(); ++i) {
           for (size_t j = 0; j < groups[b].size(); ++j) {
-            const size_t a_new =
-                CostReplacing(table, groups[a], i, groups[b][j]);
-            const size_t b_new =
-                CostReplacing(table, groups[b], j, groups[a][i]);
+            const RowId row_a = groups[a][i];
+            const RowId row_b = groups[b][j];
+            const size_t a_new = stats[a].CostReplacing(row_a, row_b);
+            const size_t b_new = stats[b].CostReplacing(row_b, row_a);
             if (a_new + b_new < cost[a] + cost[b]) {
               std::swap(groups[a][i], groups[b][j]);
+              stats[a].Remove(row_a);
+              stats[a].Add(row_b);
+              stats[b].Remove(row_b);
+              stats[b].Add(row_a);
               cost[a] = a_new;
               cost[b] = b_new;
               ++applied;

@@ -5,7 +5,8 @@
 #include <sstream>
 
 #include "core/cost.h"
-#include "core/distance.h"
+#include "core/distance_oracle.h"
+#include "data/packed_table.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
@@ -13,14 +14,18 @@ namespace kanon {
 
 namespace {
 
-/// Per-column mode over the rows flagged unassigned.
-std::vector<ValueCode> ModeCentroid(const Table& table,
+/// Per-column mode over the rows flagged unassigned, computed off the
+/// columnar mirror (one contiguous scan per attribute). Ties break to
+/// the lowest code: the map iterates codes ascending and the comparison
+/// is strict.
+std::vector<ValueCode> ModeCentroid(const PackedTable& packed,
                                     const std::vector<bool>& assigned) {
-  std::vector<ValueCode> centroid(table.num_columns(), 0);
-  for (ColId c = 0; c < table.num_columns(); ++c) {
+  std::vector<ValueCode> centroid(packed.num_columns(), 0);
+  for (ColId c = 0; c < packed.num_columns(); ++c) {
+    const std::span<const ValueCode> column = packed.column(c);
     std::map<ValueCode, size_t> counts;
-    for (RowId r = 0; r < table.num_rows(); ++r) {
-      if (!assigned[r]) ++counts[table.at(r, c)];
+    for (RowId r = 0; r < packed.num_rows(); ++r) {
+      if (!assigned[r]) ++counts[column[r]];
     }
     size_t best = 0;
     for (const auto& [code, count] : counts) {
@@ -62,7 +67,7 @@ RowId FarthestFromCentroid(const Table& table,
 
 /// Groups `seed` with its k-1 nearest unassigned rows; marks them
 /// assigned and returns the group.
-Group TakeGroupAround(const Table& table, const DistanceMatrix& dm,
+Group TakeGroupAround(const Table& table, const DistanceOracle& dm,
                       RowId seed, size_t k, std::vector<bool>* assigned,
                       size_t* unassigned) {
   Group group = {seed};
@@ -85,19 +90,26 @@ Group TakeGroupAround(const Table& table, const DistanceMatrix& dm,
 }  // namespace
 
 AnonymizationResult MdavAnonymizer::Run(const Table& table, size_t k,
-                                        RunContext* /*ctx*/) {
+                                        RunContext* ctx) {
   const RowId n = table.num_rows();
   KANON_CHECK_GE(k, 1u);
   KANON_CHECK_GE(static_cast<size_t>(n), k);
 
   WallTimer timer;
-  const DistanceMatrix dm(table);
+  const StatusOr<std::shared_ptr<const DistanceOracle>> oracle =
+      SharedDistanceOracle(table, ctx);
+  if (!oracle.ok()) {
+    return StoppedResult(*ctx, timer.Seconds(),
+                         "declined: " + oracle.status().message());
+  }
+  const DistanceOracle& dm = **oracle;
+  const PackedTable packed(table);
   std::vector<bool> assigned(n, false);
   size_t unassigned = n;
 
   AnonymizationResult result;
   while (unassigned >= 3 * k) {
-    const std::vector<ValueCode> centroid = ModeCentroid(table, assigned);
+    const std::vector<ValueCode> centroid = ModeCentroid(packed, assigned);
     const RowId r = FarthestFromCentroid(table, assigned, centroid);
     result.partition.groups.push_back(
         TakeGroupAround(table, dm, r, k, &assigned, &unassigned));
@@ -108,7 +120,7 @@ AnonymizationResult MdavAnonymizer::Run(const Table& table, size_t k,
         TakeGroupAround(table, dm, s, k, &assigned, &unassigned));
   }
   if (unassigned >= 2 * k) {
-    const std::vector<ValueCode> centroid = ModeCentroid(table, assigned);
+    const std::vector<ValueCode> centroid = ModeCentroid(packed, assigned);
     const RowId r = FarthestFromCentroid(table, assigned, centroid);
     result.partition.groups.push_back(
         TakeGroupAround(table, dm, r, k, &assigned, &unassigned));

@@ -18,6 +18,18 @@ size_t KnnLowerBound(const Table& table, const DistanceMatrix& dm,
   return bound;
 }
 
+size_t KnnLowerBound(const Table& table, const DistanceOracle& oracle,
+                     size_t k) {
+  const RowId n = table.num_rows();
+  if (n == 0 || k <= 1) return 0;
+  KANON_CHECK_LE(k, n);
+  size_t bound = 0;
+  for (RowId r = 0; r < n; ++r) {
+    bound += oracle.KthNearestDistance(r, static_cast<RowId>(k - 1));
+  }
+  return bound;
+}
+
 size_t HalfDiameterVolumeBound(const Table& table, const Partition& p) {
   size_t twice = 0;
   for (const Group& g : p.groups) {

@@ -4,6 +4,7 @@
 #include <cstddef>
 
 #include "core/distance.h"
+#include "core/distance_oracle.h"
 #include "core/partition.h"
 #include "data/table.h"
 
@@ -28,6 +29,11 @@ namespace kanon {
 /// are exactly S's disagreeing columns, which number >= max_{u in S}
 /// d(u,v) >= d_{k-1}NN(v).
 size_t KnnLowerBound(const Table& table, const DistanceMatrix& dm,
+                     size_t k);
+
+/// Same bound computed through the shared DistanceOracle seam (works on
+/// instances too large for the dense matrix).
+size_t KnnLowerBound(const Table& table, const DistanceOracle& oracle,
                      size_t k);
 
 /// Lemma 4.1 left inequality specialized to a concrete partition:

@@ -1,0 +1,139 @@
+#include "core/distance_oracle.h"
+
+#include <algorithm>
+#include <new>
+
+#include "util/logging.h"
+
+namespace kanon {
+
+StatusOr<std::unique_ptr<DistanceOracle>> DistanceOracle::Create(
+    const Table& table, const DistanceOracleOptions& options,
+    RunContext* ctx) {
+  const RowId n = table.num_rows();
+  std::unique_ptr<DistanceOracle> oracle(new DistanceOracle(table, n));
+  if (n <= options.dense_threshold) {
+    StatusOr<DistanceMatrix> matrix = DistanceMatrix::Create(table, ctx);
+    if (!matrix.ok()) return matrix.status();
+    oracle->matrix_.emplace(std::move(matrix).value());
+    return oracle;
+  }
+  // Blocked on-demand path: charge the bounded strip cache up front so
+  // the footprint is visible to the budget before any strip exists.
+  oracle->max_strips_ =
+      std::min<size_t>(std::max<size_t>(options.max_cached_strips, 1), n);
+  const size_t bytes = oracle->max_strips_ * n * sizeof(ColId);
+  if (ctx != nullptr && !ctx->TryChargeMemory(bytes)) {
+    return Status::ResourceExhausted(
+        "distance oracle strip cache exceeds the run's memory budget");
+  }
+  oracle->lease_ctx_ = ctx;
+  oracle->lease_bytes_ = bytes;
+  return oracle;
+}
+
+DistanceOracle::~DistanceOracle() {
+  if (lease_ctx_ != nullptr) lease_ctx_->ReleaseMemory(lease_bytes_);
+}
+
+const std::vector<ColId>& DistanceOracle::StripLocked(RowId row) const {
+  const auto it = strip_index_.find(row);
+  if (it != strip_index_.end()) {
+    strips_.splice(strips_.begin(), strips_, it->second);
+    return it->second->second;
+  }
+  std::vector<ColId> strip(n_);
+  const std::span<const ValueCode> r = table_.row(row);
+  for (RowId x = 0; x < n_; ++x) {
+    strip[x] = HammingDistance(r, table_.row(x));
+  }
+  strips_.emplace_front(row, std::move(strip));
+  strip_index_[row] = strips_.begin();
+  while (strips_.size() > max_strips_) {
+    strip_index_.erase(strips_.back().first);
+    strips_.pop_back();
+  }
+  return strips_.front().second;
+}
+
+ColId DistanceOracle::at(RowId a, RowId b) const {
+  if (matrix_.has_value()) return matrix_->at(a, b);
+  if (a == b) return 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  // Symmetric: a strip for either endpoint answers the query.
+  const auto hit_b = strip_index_.find(b);
+  if (hit_b != strip_index_.end()) return hit_b->second->second[a];
+  return StripLocked(a)[b];
+}
+
+ColId DistanceOracle::Diameter(std::span<const RowId> rows) const {
+  if (matrix_.has_value()) return matrix_->Diameter(rows);
+  // Group diameters touch |rows|^2 pairs of a small set; computing them
+  // straight from the rows avoids churning the strip cache.
+  ColId diameter = 0;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    for (size_t j = i + 1; j < rows.size(); ++j) {
+      diameter = std::max(diameter, RowDistance(table_, rows[i], rows[j]));
+    }
+  }
+  return diameter;
+}
+
+ColId DistanceOracle::KthNearestDistance(RowId row, RowId j) const {
+  if (matrix_.has_value()) return matrix_->KthNearestDistance(row, j);
+  KANON_CHECK_GE(j, 1u);
+  KANON_CHECK_LT(j, n_);
+  // One-shot scan per caller: bypass the strip cache (these sweeps
+  // visit every row once and would evict the useful strips).
+  std::vector<ColId> others;
+  others.reserve(n_ - 1);
+  const std::span<const ValueCode> r = table_.row(row);
+  for (RowId x = 0; x < n_; ++x) {
+    if (x != row) others.push_back(HammingDistance(r, table_.row(x)));
+  }
+  std::nth_element(others.begin(), others.begin() + (j - 1), others.end());
+  return others[j - 1];
+}
+
+namespace {
+
+/// What SharedDistanceOracle stores in the RunContext scratch slot: the
+/// oracle plus the table shape it was built for, so a stale entry (the
+/// keyed address reused by a different or mutated table) is detected
+/// and rebuilt instead of served.
+struct OracleSlot {
+  RowId n = 0;
+  ColId m = 0;
+  std::shared_ptr<const DistanceOracle> oracle;
+};
+
+}  // namespace
+
+StatusOr<std::shared_ptr<const DistanceOracle>> SharedDistanceOracle(
+    const Table& table, RunContext* ctx,
+    const DistanceOracleOptions& options) {
+  KANON_CHECK(ctx != nullptr);
+  if (std::shared_ptr<void> held = ctx->GetScratch(&table)) {
+    auto* slot = static_cast<OracleSlot*>(held.get());
+    if (slot->n == table.num_rows() && slot->m == table.num_columns()) {
+      return slot->oracle;
+    }
+  }
+  StatusOr<std::unique_ptr<DistanceOracle>> created =
+      DistanceOracle::Create(table, options, ctx);
+  if (!created.ok()) {
+    // Guarantee the latch so callers can uniformly StoppedResult.
+    ctx->MarkStopped(StopReason::kBudget);
+    return created.status();
+  }
+  auto slot = std::make_shared<OracleSlot>();
+  slot->n = table.num_rows();
+  slot->m = table.num_columns();
+  slot->oracle = std::shared_ptr<const DistanceOracle>(
+      std::move(created).value());
+  std::shared_ptr<const DistanceOracle> oracle = slot->oracle;
+  ctx->PutScratch(&table, std::move(slot));
+  return oracle;
+}
+
+}  // namespace kanon

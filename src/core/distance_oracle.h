@@ -1,0 +1,125 @@
+#ifndef KANON_CORE_DISTANCE_ORACLE_H_
+#define KANON_CORE_DISTANCE_ORACLE_H_
+
+#include <cstddef>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/distance.h"
+#include "data/table.h"
+#include "data/value.h"
+#include "util/run_context.h"
+#include "util/status.h"
+
+/// \file
+/// The library's single authoritative source of pairwise row distances.
+///
+/// Before this seam existed every cover/cluster solver constructed its
+/// own dense `DistanceMatrix` — five unguarded n^2 allocations per
+/// pipeline for the exact same numbers. `DistanceOracle` replaces those
+/// with one component that picks its representation by instance size:
+///
+///   * **dense** (n <= options.dense_threshold): the tiled,
+///     ParallelFor-built all-pairs matrix, O(1) lookups;
+///   * **blocked on-demand** (above the threshold): no n^2 allocation;
+///     lookups compute one row *strip* (all n distances from one row) at
+///     a time and keep the most recent strips in a bounded LRU cache, so
+///     center-scan access patterns (mdav, cluster_greedy) stay O(1)
+///     amortized while the footprint is max_cached_strips * n.
+///
+/// Either way construction accounts its footprint against the
+/// RunContext memory budget and surfaces failure as a typed StatusOr —
+/// never bad_alloc — and the dense build is cancellation-aware and
+/// fault-point-probed like every other long kernel.
+///
+/// Both representations return exactly the same distances, so solver
+/// outputs are bit-identical whichever path is active (the data-plane
+/// equivalence suite asserts this).
+
+namespace kanon {
+
+struct DistanceOracleOptions {
+  /// Largest n for which the dense n^2 matrix is materialized.
+  RowId dense_threshold = 4096;
+  /// Row strips kept by the on-demand path (clamped to n).
+  size_t max_cached_strips = 64;
+};
+
+/// Shared pairwise-distance component. Thread-safe: dense lookups are
+/// lock-free reads; on-demand lookups serialize on an internal mutex.
+/// Holds a reference to the source table, which must outlive it.
+class DistanceOracle {
+ public:
+  /// Builds an oracle for `table`. `ctx` may be null (no accounting or
+  /// cancellation). Failure modes mirror DistanceMatrix::Create:
+  /// kResourceExhausted on budget/allocation failure (ctx latches
+  /// kBudget), or the stop status when the build was interrupted.
+  static StatusOr<std::unique_ptr<DistanceOracle>> Create(
+      const Table& table, const DistanceOracleOptions& options,
+      RunContext* ctx);
+
+  DistanceOracle(const DistanceOracle&) = delete;
+  DistanceOracle& operator=(const DistanceOracle&) = delete;
+  ~DistanceOracle();
+
+  RowId num_rows() const { return n_; }
+
+  /// True when the dense matrix is materialized.
+  bool dense() const { return matrix_.has_value(); }
+
+  /// d(a, b). O(1) dense; O(1) amortized on-demand for strip-local
+  /// access patterns, O(nm) on a strip miss.
+  ColId at(RowId a, RowId b) const;
+
+  /// Diameter of `rows`: max pairwise distance (0 for |rows| < 2).
+  ColId Diameter(std::span<const RowId> rows) const;
+
+  /// Distance from `row` to its j-th nearest other row, 1 <= j <= n-1.
+  ColId KthNearestDistance(RowId row, RowId j) const;
+
+ private:
+  DistanceOracle(const Table& table, RowId n)
+      : table_(table), n_(n) {}
+
+  /// Returns the strip of all n distances from `row`, computing and
+  /// caching it if absent. Caller must hold mu_.
+  const std::vector<ColId>& StripLocked(RowId row) const;
+
+  const Table& table_;
+  const RowId n_;
+
+  // Dense representation (owns the memory lease on the ctx).
+  std::optional<DistanceMatrix> matrix_;
+
+  // On-demand representation: LRU of (row, strip).
+  size_t max_strips_ = 0;
+  mutable std::mutex mu_;
+  mutable std::list<std::pair<RowId, std::vector<ColId>>> strips_;
+  mutable std::unordered_map<
+      RowId, std::list<std::pair<RowId, std::vector<ColId>>>::iterator>
+      strip_index_;
+  RunContext* lease_ctx_ = nullptr;
+  size_t lease_bytes_ = 0;
+};
+
+/// The caller/RunContext-owned seam the solvers use. Returns the oracle
+/// cached on `ctx` (or an ancestor) for this table if one exists,
+/// otherwise builds one and caches it on `ctx`, so every solver stage
+/// handed the same context shares one oracle instead of rebuilding the
+/// matrix. On failure the ctx is latched (kBudget, or the stop reason)
+/// and the status is returned, so callers can uniformly decline with
+/// StoppedResult. `ctx` must be non-null and must outlive all uses of
+/// the returned pointer.
+StatusOr<std::shared_ptr<const DistanceOracle>> SharedDistanceOracle(
+    const Table& table, RunContext* ctx,
+    const DistanceOracleOptions& options = {});
+
+}  // namespace kanon
+
+#endif  // KANON_CORE_DISTANCE_ORACLE_H_

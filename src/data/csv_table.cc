@@ -66,28 +66,4 @@ std::string TableToCsv(const Table& table) {
   return WriteCsv(rows);
 }
 
-std::optional<Table> TableFromCsv(std::string_view text,
-                                  std::string* error) {
-  StatusOr<Table> parsed = ParseTableCsv(text);
-  if (!parsed.ok()) {
-    if (error) *error = parsed.status().message();
-    return std::nullopt;
-  }
-  return *std::move(parsed);
-}
-
-std::optional<Table> LoadTableCsv(const std::string& path,
-                                  std::string* error) {
-  StatusOr<Table> loaded = ReadTableCsv(path);
-  if (!loaded.ok()) {
-    if (error) *error = loaded.status().message();
-    return std::nullopt;
-  }
-  return *std::move(loaded);
-}
-
-bool SaveTableCsv(const Table& table, const std::string& path) {
-  return WriteTableCsv(table, path).ok();
-}
-
 }  // namespace kanon

@@ -1,7 +1,6 @@
 #ifndef KANON_DATA_CSV_TABLE_H_
 #define KANON_DATA_CSV_TABLE_H_
 
-#include <optional>
 #include <string>
 #include <string_view>
 
@@ -17,7 +16,7 @@
 /// The Status-returning functions are the library boundary: malformed
 /// input is reported as kParseError / kNotFound instead of aborting, so
 /// callers (CLI tools, services) can surface the message and exit
-/// cleanly. The std::optional variants are thin back-compat shims.
+/// cleanly.
 
 namespace kanon {
 
@@ -34,14 +33,6 @@ Status WriteTableCsv(const Table& table, const std::string& path);
 
 /// Serializes a table (header + rows) to CSV text.
 std::string TableToCsv(const Table& table);
-
-/// Back-compat shims over the Status API above: nullopt + `*error` on
-/// failure.
-std::optional<Table> TableFromCsv(std::string_view text,
-                                  std::string* error);
-std::optional<Table> LoadTableCsv(const std::string& path,
-                                  std::string* error);
-bool SaveTableCsv(const Table& table, const std::string& path);
 
 }  // namespace kanon
 

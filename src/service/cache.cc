@@ -1,5 +1,9 @@
 #include "service/cache.h"
 
+#include <vector>
+
+#include "data/packed_table.h"
+
 namespace kanon {
 
 uint64_t TableFingerprint(const Table& table) {
@@ -11,9 +15,24 @@ uint64_t TableFingerprint(const Table& table) {
   for (ColId j = 0; j < m; ++j) {
     fp = FingerprintPiece(fp, table.schema().attribute_name(j));
   }
-  for (RowId r = 0; r < n; ++r) {
-    for (const std::string& cell : table.DecodeRow(r)) {
-      fp = FingerprintPiece(fp, cell);
+  // Column-major over the packed mirror: hash each attribute's decoded
+  // alphabet once (O(|Σ_j|) string work), then fold the precomputed
+  // hashes over the contiguous code array. Folding the *decoded* value
+  // hashes keeps the fingerprint independent of dictionary-code
+  // assignment order; the fixed (column, row) fold order keeps it
+  // sensitive to row order.
+  const PackedTable packed(table);
+  for (ColId j = 0; j < m; ++j) {
+    const Dictionary& dict = table.schema().dictionary(j);
+    std::vector<uint64_t> code_hash(dict.size() + 1);
+    for (size_t code = 0; code < dict.size(); ++code) {
+      code_hash[code] = Fingerprint(dict.values()[code]);
+    }
+    code_hash[dict.size()] = Fingerprint("*");  // suppressed slot
+    for (const ValueCode code : packed.column(j)) {
+      fp = FingerprintInt(fp, code == kSuppressedCode
+                                  ? code_hash[dict.size()]
+                                  : code_hash[code]);
     }
   }
   return fp;

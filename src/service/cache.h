@@ -38,10 +38,12 @@
 namespace kanon {
 
 /// Content fingerprint of a relation: shape, attribute names, and every
-/// decoded cell (suppressed cells as "*"), row-major. Two tables with
-/// identical decoded content fingerprint identically regardless of the
-/// dictionary-code assignment order, so a table parsed from CSV and the
-/// same table built programmatically collide as intended.
+/// decoded cell (suppressed cells as "*"), folded column-major over the
+/// packed columnar mirror with one precomputed hash per dictionary code.
+/// Two tables with identical decoded content fingerprint identically
+/// regardless of the dictionary-code assignment order, so a table parsed
+/// from CSV and the same table built programmatically collide as
+/// intended; row order and any cell/name difference change the value.
 uint64_t TableFingerprint(const Table& table);
 
 /// Identity of a solved instance. `knobs_fp` fingerprints any

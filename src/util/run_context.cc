@@ -70,6 +70,20 @@ bool RunContext::ShouldStop() {
   return false;
 }
 
+void RunContext::PutScratch(const void* key, std::shared_ptr<void> value) {
+  std::lock_guard<std::mutex> lock(scratch_mu_);
+  scratch_[key] = std::move(value);
+}
+
+std::shared_ptr<void> RunContext::GetScratch(const void* key) const {
+  {
+    std::lock_guard<std::mutex> lock(scratch_mu_);
+    const auto it = scratch_.find(key);
+    if (it != scratch_.end()) return it->second;
+  }
+  return parent_ != nullptr ? parent_->GetScratch(key) : nullptr;
+}
+
 bool RunContext::TryChargeMemory(size_t bytes) {
   const size_t now =
       memory_.fetch_add(bytes, std::memory_order_relaxed) + bytes;

@@ -5,6 +5,9 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
 
 #include "util/status.h"
 
@@ -146,6 +149,26 @@ class RunContext {
     return peak_memory_.load(std::memory_order_relaxed);
   }
 
+  // --- Per-run scratch cache ------------------------------------------
+  //
+  // Expensive derived structures (the DistanceOracle of core/, built
+  // from one table) are shared across every consumer that receives the
+  // same context instead of being rebuilt per solver. The context only
+  // sees opaque shared_ptrs; the owning layer defines the key (an
+  // object address) and validates what it gets back. Entries die with
+  // the context; a value whose destructor calls ReleaseMemory() on this
+  // context is safe because the scratch map is destroyed first (it is
+  // the last declared member).
+
+  /// Stores `value` under `key` on this context, replacing any previous
+  /// entry. Thread-safe.
+  void PutScratch(const void* key, std::shared_ptr<void> value);
+
+  /// Looks `key` up on this context, then on its ancestors (so work
+  /// cached on a parent is visible to child stage contexts). Returns
+  /// nullptr when absent. Thread-safe.
+  std::shared_ptr<void> GetScratch(const void* key) const;
+
   // --- Outcome --------------------------------------------------------
 
   /// First limit that tripped; kNone while running normally.
@@ -176,6 +199,11 @@ class RunContext {
   std::atomic<size_t> memory_{0};
   std::atomic<size_t> peak_memory_{0};
   std::atomic<int> stop_reason_{static_cast<int>(StopReason::kNone)};
+
+  // Declared last so it is destroyed first: scratch values may release
+  // charged memory on this context from their destructors.
+  mutable std::mutex scratch_mu_;
+  std::unordered_map<const void*, std::shared_ptr<void>> scratch_;
 };
 
 }  // namespace kanon

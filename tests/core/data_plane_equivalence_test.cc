@@ -1,0 +1,253 @@
+/// Equivalence suite for the columnar data plane: the packed mirror,
+/// the DistanceOracle (both representations), and the incremental
+/// GroupStats must agree *exactly* — same integers, not approximately —
+/// with the scalar row-major reference implementations, and every
+/// registered anonymizer must still produce the partition the seed
+/// (pre-refactor) build produced. The golden costs/hashes below were
+/// captured from the seed build on the same fixed seeded instances.
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "algo/registry.h"
+#include "core/cost.h"
+#include "core/distance.h"
+#include "core/distance_oracle.h"
+#include "core/group_stats.h"
+#include "data/generators/clustered.h"
+#include "data/generators/uniform.h"
+#include "data/packed_table.h"
+#include "gtest/gtest.h"
+#include "util/fingerprint.h"
+#include "util/random.h"
+
+namespace kanon {
+namespace {
+
+Table MakeTable(RowId n, ColId m, uint64_t seed) {
+  Rng rng(seed);
+  Table t = UniformTable({.num_rows = n, .num_columns = m, .alphabet = 4},
+                         &rng);
+  for (RowId r = 0; r < n; ++r) {
+    for (ColId c = 0; c < m; ++c) {
+      if (rng.Uniform(9) == 0) t.set(r, c, kSuppressedCode);
+    }
+  }
+  return t;
+}
+
+std::vector<RowId> RandomRowSet(const Table& t, Rng* rng) {
+  std::vector<RowId> rows;
+  for (RowId r = 0; r < t.num_rows(); ++r) {
+    if (rng->Uniform(3) == 0) rows.push_back(r);
+  }
+  return rows;
+}
+
+TEST(DataPlaneEquivalenceTest, PackedHammingMatchesScalar) {
+  for (const uint64_t seed : {1u, 2u, 3u}) {
+    const Table t = MakeTable(21, 6, seed);
+    const PackedTable packed(t);
+    for (RowId a = 0; a < t.num_rows(); ++a) {
+      for (RowId b = a; b < t.num_rows(); ++b) {
+        EXPECT_EQ(packed.RowHamming(a, b), RowDistance(t, a, b));
+      }
+    }
+  }
+}
+
+TEST(DataPlaneEquivalenceTest, OracleDiameterMatchesScalarSetDiameter) {
+  const Table t = MakeTable(32, 5, 4);
+  RunContext ctx;
+  // Exercise both representations against the scalar reference.
+  const auto dense =
+      DistanceOracle::Create(t, DistanceOracleOptions{}, &ctx);
+  const auto blocked = DistanceOracle::Create(
+      t, DistanceOracleOptions{.dense_threshold = 0, .max_cached_strips = 4},
+      &ctx);
+  ASSERT_TRUE(dense.ok());
+  ASSERT_TRUE(blocked.ok());
+  Rng rng(5);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::vector<RowId> rows = RandomRowSet(t, &rng);
+    const ColId want = SetDiameter(t, rows);
+    EXPECT_EQ((*dense)->Diameter(rows), want);
+    EXPECT_EQ((*blocked)->Diameter(rows), want);
+  }
+}
+
+TEST(DataPlaneEquivalenceTest, IncrementalAnonMatchesScalar) {
+  const Table t = MakeTable(24, 6, 6);
+  Rng rng(7);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::vector<RowId> rows = RandomRowSet(t, &rng);
+    EXPECT_EQ(GroupStats(t, rows).anon_cost(), AnonCost(t, rows));
+  }
+}
+
+// ---------------------------------------------------------------------
+// Golden-cost/partition checks: every registered anonymizer (plus the
+// post-optimizer compositions) on two fixed seeded instances must
+// reproduce the seed build's cost AND the exact partition (order-
+// insensitive hash). A cost match with a hash mismatch means a solver
+// found a same-cost partition via a different tie-break — that is a
+// behavior change and fails here by design.
+// ---------------------------------------------------------------------
+
+uint64_t PartitionHash(Partition p) {
+  for (auto& g : p.groups) std::sort(g.begin(), g.end());
+  std::sort(p.groups.begin(), p.groups.end());
+  uint64_t fp = kFingerprintSeed;
+  for (const auto& g : p.groups) {
+    fp = FingerprintInt(fp, g.size());
+    for (RowId r : g) fp = FingerprintInt(fp, r);
+  }
+  return fp;
+}
+
+struct GoldenCase {
+  int table;
+  const char* name;
+  size_t k;
+  size_t cost;
+  uint64_t hash;
+};
+
+// Captured from the seed build (pre data-plane refactor) by running the
+// registry on UniformTable({12,5,alphabet=4}, Rng(7)) and
+// ClusteredTable({12,6,5,3,1}, Rng(11)).
+constexpr GoldenCase kGolden[] = {
+    {0, "greedy_cover", 2, 34, 0x1b25f771f0828087ull},
+    {0, "greedy_cover", 3, 51, 0xfda66066cc6ea307ull},
+    {0, "ball_cover", 2, 44, 0x0c97a3b33aba3ce5ull},
+    {0, "ball_cover", 3, 48, 0xb8b5ecefe40cd025ull},
+    {0, "ball_cover_radius", 2, 44, 0x0c97a3b33aba3ce5ull},
+    {0, "ball_cover_radius", 3, 48, 0xb8b5ecefe40cd025ull},
+    {0, "ball_cover_pairwise", 2, 44, 0x0c97a3b33aba3ce5ull},
+    {0, "ball_cover_pairwise", 3, 48, 0xb8b5ecefe40cd025ull},
+    {0, "exact_dp", 2, 28, 0x8c4a6709f6137a85ull},
+    {0, "exact_dp", 3, 39, 0x0cfae9b733d77f65ull},
+    {0, "branch_bound", 2, 28, 0x8c4a6709f6137a85ull},
+    {0, "branch_bound", 3, 39, 0x0cfae9b733d77f65ull},
+    {0, "mondrian", 2, 46, 0x54baa78cbc89e7c3ull},
+    {0, "mondrian", 3, 54, 0x9856fe3df3cb5807ull},
+    {0, "cluster_greedy", 2, 28, 0x4347083a363bf765ull},
+    {0, "cluster_greedy", 3, 39, 0x0cfae9b733d77f65ull},
+    {0, "mdav", 2, 30, 0xb2680e8946fbae45ull},
+    {0, "mdav", 3, 54, 0xc0df28226f5dbc85ull},
+    {0, "random_partition", 2, 50, 0xa5f9ae31d8437b85ull},
+    {0, "random_partition", 3, 60, 0x33c13d77e2684e45ull},
+    {0, "suppress_all", 2, 60, 0xf406d978d75732c9ull},
+    {0, "suppress_all", 3, 60, 0xf406d978d75732c9ull},
+    {0, "attribute_greedy", 2, 41, 0x480df7b0458b3f23ull},
+    {0, "attribute_greedy", 3, 60, 0xf406d978d75732c9ull},
+    {0, "attribute_exact", 2, 42, 0xfdfc8f95e1d09643ull},
+    {0, "attribute_exact", 3, 60, 0xf406d978d75732c9ull},
+    {0, "resilient", 2, 28, 0x8c4a6709f6137a85ull},
+    {0, "resilient", 3, 39, 0x0cfae9b733d77f65ull},
+    {0, "mdav+local_search", 2, 30, 0xb2680e8946fbae45ull},
+    {0, "mdav+local_search", 3, 45, 0x3d606ebb69e99165ull},
+    {0, "mdav+annealing", 2, 28, 0x9906fc7837c15fe5ull},
+    {0, "mdav+annealing", 3, 39, 0x0cfae9b733d77f65ull},
+    {0, "cluster_greedy+local_search", 2, 28, 0x4347083a363bf765ull},
+    {0, "cluster_greedy+local_search", 3, 39, 0x0cfae9b733d77f65ull},
+    {1, "greedy_cover", 2, 16, 0x0b24fe8e431409a5ull},
+    {1, "greedy_cover", 3, 32, 0x2daf45f30ab18001ull},
+    {1, "ball_cover", 2, 18, 0x8435662d4919c2a5ull},
+    {1, "ball_cover", 3, 32, 0x2daf45f30ab18001ull},
+    {1, "ball_cover_radius", 2, 18, 0x8435662d4919c2a5ull},
+    {1, "ball_cover_radius", 3, 32, 0x2daf45f30ab18001ull},
+    {1, "ball_cover_pairwise", 2, 18, 0x8435662d4919c2a5ull},
+    {1, "ball_cover_pairwise", 3, 32, 0x2daf45f30ab18001ull},
+    {1, "exact_dp", 2, 16, 0xf8b307bbde2f4285ull},
+    {1, "exact_dp", 3, 32, 0x2daf45f30ab18001ull},
+    {1, "branch_bound", 2, 16, 0xf8b307bbde2f4285ull},
+    {1, "branch_bound", 3, 32, 0x2daf45f30ab18001ull},
+    {1, "mondrian", 2, 35, 0xdd5c309ec75bfbc3ull},
+    {1, "mondrian", 3, 51, 0x5e975159eefe9b83ull},
+    {1, "cluster_greedy", 2, 20, 0xd513f467d2eaa345ull},
+    {1, "cluster_greedy", 3, 39, 0x13264845a7546485ull},
+    {1, "mdav", 2, 18, 0x8e3acac597cf2e25ull},
+    {1, "mdav", 3, 45, 0xa7a6d7164f295dc5ull},
+    {1, "random_partition", 2, 40, 0xa5f9ae31d8437b85ull},
+    {1, "random_partition", 3, 63, 0x33c13d77e2684e45ull},
+    {1, "suppress_all", 2, 72, 0xf406d978d75732c9ull},
+    {1, "suppress_all", 3, 72, 0xf406d978d75732c9ull},
+    {1, "attribute_greedy", 2, 33, 0xb74ae373cd38af27ull},
+    {1, "attribute_greedy", 3, 33, 0xb74ae373cd38af27ull},
+    {1, "attribute_exact", 2, 33, 0xb74ae373cd38af27ull},
+    {1, "attribute_exact", 3, 33, 0xb74ae373cd38af27ull},
+    {1, "resilient", 2, 16, 0xf8b307bbde2f4285ull},
+    {1, "resilient", 3, 32, 0x2daf45f30ab18001ull},
+    {1, "mdav+local_search", 2, 16, 0x6fb4dfa031ba6185ull},
+    {1, "mdav+local_search", 3, 33, 0xfc9ee102f8825c25ull},
+    {1, "mdav+annealing", 2, 16, 0x6fb4dfa031ba6185ull},
+    {1, "mdav+annealing", 3, 32, 0x2daf45f30ab18001ull},
+    {1, "cluster_greedy+local_search", 2, 16, 0xf8b307bbde2f4285ull},
+    {1, "cluster_greedy+local_search", 3, 33, 0xfc9ee102f8825c25ull},
+};
+
+std::vector<Table> GoldenTables() {
+  std::vector<Table> tables;
+  {
+    Rng rng(7);
+    tables.push_back(UniformTable(
+        {.num_rows = 12, .num_columns = 5, .alphabet = 4}, &rng));
+  }
+  {
+    Rng rng(11);
+    tables.push_back(ClusteredTable({.num_rows = 12,
+                                     .num_columns = 6,
+                                     .alphabet = 5,
+                                     .num_clusters = 3,
+                                     .noise_flips = 1},
+                                    &rng));
+  }
+  return tables;
+}
+
+TEST(DataPlaneEquivalenceTest, GoldenCoversWholeRegistry) {
+  // If a new anonymizer is registered, it must be added to kGolden (and
+  // captured), or this guard will point at the gap.
+  std::vector<std::string> covered;
+  for (const GoldenCase& g : kGolden) {
+    if (g.table == 0) covered.emplace_back(g.name);
+  }
+  for (const std::string& name : KnownAnonymizers()) {
+    EXPECT_NE(std::find(covered.begin(), covered.end(), name),
+              covered.end())
+        << "anonymizer '" << name << "' has no golden entry";
+  }
+}
+
+TEST(DataPlaneEquivalenceTest, EveryAnonymizerReproducesSeedPartition) {
+  const std::vector<Table> tables = GoldenTables();
+  for (const GoldenCase& g : kGolden) {
+    const auto algo = MakeAnonymizer(g.name);
+    ASSERT_NE(algo, nullptr) << g.name;
+    const AnonymizationResult r =
+        algo->Run(tables[static_cast<size_t>(g.table)], g.k);
+    EXPECT_EQ(r.cost, g.cost)
+        << g.name << " k=" << g.k << " table=" << g.table;
+    EXPECT_EQ(PartitionHash(r.partition), g.hash)
+        << g.name << " k=" << g.k << " table=" << g.table
+        << ": cost matches but the partition differs (tie-break drift)";
+  }
+}
+
+TEST(DataPlaneEquivalenceTest, RepeatRunsAreDeterministic) {
+  const std::vector<Table> tables = GoldenTables();
+  for (const char* name :
+       {"mdav", "cluster_greedy+local_search", "mdav+annealing"}) {
+    for (const Table& t : tables) {
+      const auto a = MakeAnonymizer(name)->Run(t, 2);
+      const auto b = MakeAnonymizer(name)->Run(t, 2);
+      EXPECT_EQ(a.cost, b.cost) << name;
+      EXPECT_EQ(PartitionHash(a.partition), PartitionHash(b.partition))
+          << name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kanon

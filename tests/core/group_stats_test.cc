@@ -1,0 +1,112 @@
+#include "core/group_stats.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/cost.h"
+#include "data/generators/uniform.h"
+#include "gtest/gtest.h"
+#include "util/random.h"
+
+namespace kanon {
+namespace {
+
+Table MakeTable(RowId n, ColId m, uint64_t seed) {
+  Rng rng(seed);
+  Table t = UniformTable({.num_rows = n, .num_columns = m, .alphabet = 3},
+                         &rng);
+  for (RowId r = 0; r < n; ++r) {
+    for (ColId c = 0; c < m; ++c) {
+      if (rng.Uniform(8) == 0) t.set(r, c, kSuppressedCode);
+    }
+  }
+  return t;
+}
+
+TEST(GroupStatsTest, MatchesScalarAnonCostOnRandomGroups) {
+  const Table t = MakeTable(20, 6, 1);
+  Rng rng(2);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<RowId> group;
+    for (RowId r = 0; r < t.num_rows(); ++r) {
+      if (rng.Uniform(3) == 0) group.push_back(r);
+    }
+    const GroupStats stats(t, group);
+    EXPECT_EQ(stats.size(), group.size());
+    EXPECT_EQ(stats.num_disagreeing(), NumDisagreeingColumns(t, group));
+    EXPECT_EQ(stats.anon_cost(), AnonCost(t, group));
+  }
+}
+
+TEST(GroupStatsTest, WhatIfProbesMatchScalarRecompute) {
+  const Table t = MakeTable(18, 5, 3);
+  Rng rng(4);
+  for (int trial = 0; trial < 50; ++trial) {
+    // A group of at least 1 member plus one outside row.
+    std::vector<RowId> group;
+    std::vector<RowId> outside;
+    for (RowId r = 0; r < t.num_rows(); ++r) {
+      (rng.Uniform(2) == 0 ? group : outside).push_back(r);
+    }
+    if (group.empty() || outside.empty()) continue;
+    const GroupStats stats(t, group);
+    const RowId in = outside[rng.Uniform(
+        static_cast<uint32_t>(outside.size()))];
+    const size_t out_idx = rng.Uniform(
+        static_cast<uint32_t>(group.size()));
+    const RowId out = group[out_idx];
+
+    // CostWith == AnonCost(group + in).
+    std::vector<RowId> with = group;
+    with.push_back(in);
+    EXPECT_EQ(stats.CostWith(in), AnonCost(t, with));
+
+    // CostWithout == AnonCost(group - out).
+    std::vector<RowId> without = group;
+    without.erase(without.begin() + static_cast<ptrdiff_t>(out_idx));
+    EXPECT_EQ(stats.CostWithout(out), AnonCost(t, without));
+
+    // CostReplacing == AnonCost(group with out -> in).
+    std::vector<RowId> replaced = group;
+    replaced[out_idx] = in;
+    EXPECT_EQ(stats.CostReplacing(out, in), AnonCost(t, replaced));
+  }
+}
+
+TEST(GroupStatsTest, RandomEditSequenceStaysExact) {
+  const Table t = MakeTable(16, 4, 5);
+  Rng rng(6);
+  GroupStats stats(t);
+  std::vector<RowId> members;
+  for (int step = 0; step < 400; ++step) {
+    const bool add = members.empty() || rng.Uniform(2) == 0;
+    if (add) {
+      // Duplicates are fine: groups are multisets of row ids as far as
+      // the counts are concerned.
+      const RowId r = rng.Uniform(t.num_rows());
+      stats.Add(r);
+      members.push_back(r);
+    } else {
+      const size_t i = rng.Uniform(
+          static_cast<uint32_t>(members.size()));
+      stats.Remove(members[i]);
+      members.erase(members.begin() + static_cast<ptrdiff_t>(i));
+    }
+    ASSERT_EQ(stats.anon_cost(), AnonCost(t, members)) << "step " << step;
+  }
+  stats.Clear();
+  EXPECT_EQ(stats.size(), 0u);
+  EXPECT_EQ(stats.anon_cost(), 0u);
+}
+
+TEST(GroupStatsTest, EmptyAndSingletonGroupsCostZero) {
+  const Table t = MakeTable(5, 3, 7);
+  GroupStats stats(t);
+  EXPECT_EQ(stats.anon_cost(), 0u);
+  stats.Add(0);
+  EXPECT_EQ(stats.anon_cost(), 0u) << "one row disagrees with nothing";
+  EXPECT_EQ(stats.num_disagreeing(), 0u);
+}
+
+}  // namespace
+}  // namespace kanon

@@ -7,55 +7,54 @@
 namespace kanon {
 namespace {
 
-TEST(TableFromCsvTest, Basic) {
-  std::string error;
-  const auto t = TableFromCsv("first,last\nharry,stone\njohn,reyser\n",
-                              &error);
-  ASSERT_TRUE(t.has_value()) << error;
+TEST(ParseTableCsvTest, Basic) {
+  const StatusOr<Table> t =
+      ParseTableCsv("first,last\nharry,stone\njohn,reyser\n");
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
   EXPECT_EQ(t->num_rows(), 2u);
   EXPECT_EQ(t->num_columns(), 2u);
   EXPECT_EQ(t->schema().attribute_name(0), "first");
   EXPECT_EQ(t->DecodeRow(1), (std::vector<std::string>{"john", "reyser"}));
 }
 
-TEST(TableFromCsvTest, StarDecodesAsSuppressed) {
-  std::string error;
-  const auto t = TableFromCsv("a,b\n*,x\n", &error);
-  ASSERT_TRUE(t.has_value()) << error;
+TEST(ParseTableCsvTest, StarDecodesAsSuppressed) {
+  const StatusOr<Table> t = ParseTableCsv("a,b\n*,x\n");
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
   EXPECT_EQ(t->at(0, 0), kSuppressedCode);
   EXPECT_EQ(t->DecodeRow(0), (std::vector<std::string>{"*", "x"}));
 }
 
-TEST(TableFromCsvTest, HeaderOnlyIsEmptyTable) {
-  std::string error;
-  const auto t = TableFromCsv("a,b\n", &error);
-  ASSERT_TRUE(t.has_value()) << error;
+TEST(ParseTableCsvTest, HeaderOnlyIsEmptyTable) {
+  const StatusOr<Table> t = ParseTableCsv("a,b\n");
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
   EXPECT_EQ(t->num_rows(), 0u);
   EXPECT_EQ(t->num_columns(), 2u);
 }
 
-TEST(TableFromCsvTest, EmptyInputFails) {
-  std::string error;
-  EXPECT_FALSE(TableFromCsv("", &error).has_value());
-  EXPECT_NE(error.find("header"), std::string::npos);
+TEST(ParseTableCsvTest, EmptyInputFails) {
+  const StatusOr<Table> t = ParseTableCsv("");
+  ASSERT_FALSE(t.ok());
+  EXPECT_EQ(t.status().code(), StatusCode::kParseError);
+  EXPECT_NE(t.status().message().find("header"), std::string::npos);
 }
 
-TEST(TableFromCsvTest, RaggedRowFails) {
-  std::string error;
-  EXPECT_FALSE(TableFromCsv("a,b\n1\n", &error).has_value());
-  EXPECT_NE(error.find("fields"), std::string::npos);
+TEST(ParseTableCsvTest, RaggedRowFails) {
+  const StatusOr<Table> t = ParseTableCsv("a,b\n1\n");
+  ASSERT_FALSE(t.ok());
+  EXPECT_EQ(t.status().code(), StatusCode::kParseError);
+  EXPECT_NE(t.status().message().find("fields"), std::string::npos);
 }
 
-TEST(TableFromCsvTest, MalformedCsvFails) {
-  std::string error;
-  EXPECT_FALSE(TableFromCsv("a,b\n\"unterminated\n", &error).has_value());
+TEST(ParseTableCsvTest, MalformedCsvFails) {
+  const StatusOr<Table> t = ParseTableCsv("a,b\n\"unterminated\n");
+  ASSERT_FALSE(t.ok());
+  EXPECT_EQ(t.status().code(), StatusCode::kParseError);
 }
 
 TEST(TableToCsvTest, RoundTrip) {
-  std::string error;
   const std::string csv = "first,last\nharry,stone\n*,*\n";
-  const auto t = TableFromCsv(csv, &error);
-  ASSERT_TRUE(t.has_value()) << error;
+  const StatusOr<Table> t = ParseTableCsv(csv);
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
   EXPECT_EQ(TableToCsv(*t), csv);
 }
 
@@ -65,30 +64,29 @@ TEST(TableToCsvTest, QuotesSpecialValues) {
   t.AppendStringRow({"a,b"});
   const std::string csv = TableToCsv(t);
   EXPECT_EQ(csv, "note\n\"a,b\"\n");
-  std::string error;
-  const auto back = TableFromCsv(csv, &error);
-  ASSERT_TRUE(back.has_value()) << error;
+  const StatusOr<Table> back = ParseTableCsv(csv);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
   EXPECT_EQ(back->DecodeRow(0)[0], "a,b");
 }
 
-TEST(CsvFileTest, SaveAndLoad) {
+TEST(CsvFileTest, WriteAndRead) {
   Schema schema({"x", "y"});
   Table t(std::move(schema));
   t.AppendStringRow({"1", "2"});
   const std::string path = testing::TempDir() + "/kanon_table_test.csv";
-  ASSERT_TRUE(SaveTableCsv(t, path));
-  std::string error;
-  const auto loaded = LoadTableCsv(path, &error);
-  ASSERT_TRUE(loaded.has_value()) << error;
+  ASSERT_TRUE(WriteTableCsv(t, path).ok());
+  const StatusOr<Table> loaded = ReadTableCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
   EXPECT_EQ(loaded->num_rows(), 1u);
   EXPECT_EQ(loaded->DecodeRow(0), (std::vector<std::string>{"1", "2"}));
   std::remove(path.c_str());
 }
 
-TEST(CsvFileTest, LoadMissingFails) {
-  std::string error;
-  EXPECT_FALSE(LoadTableCsv("/no/such/file.csv", &error).has_value());
-  EXPECT_NE(error.find("cannot open"), std::string::npos);
+TEST(CsvFileTest, ReadMissingFails) {
+  const StatusOr<Table> t = ReadTableCsv("/no/such/file.csv");
+  ASSERT_FALSE(t.ok());
+  EXPECT_EQ(t.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(t.status().message().find("cannot open"), std::string::npos);
 }
 
 }  // namespace

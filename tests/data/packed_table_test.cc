@@ -1,0 +1,93 @@
+#include "data/packed_table.h"
+
+#include <set>
+
+#include "core/distance.h"
+#include "data/generators/uniform.h"
+#include "gtest/gtest.h"
+#include "util/random.h"
+
+namespace kanon {
+namespace {
+
+/// Random table with a sprinkling of pre-suppressed cells, so the
+/// suppressed code path is exercised too.
+Table MakeTable(RowId n, ColId m, uint64_t seed) {
+  Rng rng(seed);
+  Table t = UniformTable({.num_rows = n, .num_columns = m, .alphabet = 5},
+                         &rng);
+  for (RowId r = 0; r < n; ++r) {
+    for (ColId c = 0; c < m; ++c) {
+      if (rng.Uniform(10) == 0) t.set(r, c, kSuppressedCode);
+    }
+  }
+  return t;
+}
+
+TEST(PackedTableTest, MirrorsEveryCell) {
+  const Table t = MakeTable(17, 6, 1);
+  const PackedTable packed(t);
+  ASSERT_EQ(packed.num_rows(), t.num_rows());
+  ASSERT_EQ(packed.num_columns(), t.num_columns());
+  for (ColId c = 0; c < t.num_columns(); ++c) {
+    const std::span<const ValueCode> column = packed.column(c);
+    ASSERT_EQ(column.size(), t.num_rows());
+    for (RowId r = 0; r < t.num_rows(); ++r) {
+      EXPECT_EQ(column[r], t.at(r, c));
+      EXPECT_EQ(packed.at(r, c), t.at(r, c));
+    }
+  }
+}
+
+TEST(PackedTableTest, DistinctCountsMatchBruteForce) {
+  const Table t = MakeTable(23, 5, 2);
+  const PackedTable packed(t);
+  for (ColId c = 0; c < t.num_columns(); ++c) {
+    std::set<ValueCode> seen;
+    for (RowId r = 0; r < t.num_rows(); ++r) seen.insert(t.at(r, c));
+    EXPECT_EQ(packed.distinct_count(c), seen.size()) << "column " << c;
+    const ColumnView view = packed.view(c);
+    EXPECT_EQ(view.distinct, seen.size());
+    EXPECT_EQ(view.codes.size(), t.num_rows());
+  }
+}
+
+TEST(PackedTableTest, AppendRowKeepsMirrorInSync) {
+  const Table t = MakeTable(19, 4, 3);
+  const PackedTable whole(t);
+  PackedTable grown(t.num_columns());
+  EXPECT_EQ(grown.num_rows(), 0u);
+  for (RowId r = 0; r < t.num_rows(); ++r) {
+    grown.AppendRow(t.row(r));
+    EXPECT_EQ(grown.num_rows(), r + 1);
+  }
+  for (ColId c = 0; c < t.num_columns(); ++c) {
+    EXPECT_EQ(grown.distinct_count(c), whole.distinct_count(c));
+    for (RowId r = 0; r < t.num_rows(); ++r) {
+      EXPECT_EQ(grown.at(r, c), whole.at(r, c));
+    }
+  }
+}
+
+TEST(PackedTableTest, RowHammingMatchesRowMajorKernel) {
+  const Table t = MakeTable(15, 7, 4);
+  const PackedTable packed(t);
+  for (RowId a = 0; a < t.num_rows(); ++a) {
+    for (RowId b = 0; b < t.num_rows(); ++b) {
+      EXPECT_EQ(packed.RowHamming(a, b), RowDistance(t, a, b))
+          << "rows " << a << "," << b;
+    }
+  }
+}
+
+TEST(PackedTableTest, EmptyTable) {
+  const Table t(Schema({"a", "b"}));
+  const PackedTable packed(t);
+  EXPECT_EQ(packed.num_rows(), 0u);
+  EXPECT_EQ(packed.num_columns(), 2u);
+  EXPECT_EQ(packed.distinct_count(0), 0u);
+  EXPECT_TRUE(packed.column(1).empty());
+}
+
+}  // namespace
+}  // namespace kanon

@@ -24,9 +24,8 @@ TEST(EndToEndTest, CsvInAnonymizeCsvOut) {
       "john,reyser,36,cauc\n"
       "beatrice,stone,47,afr-am\n"
       "john,ramos,22,hisp\n";
-  std::string error;
-  const auto table = TableFromCsv(csv, &error);
-  ASSERT_TRUE(table.has_value()) << error;
+  const StatusOr<Table> table = ParseTableCsv(csv);
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
 
   auto algo = MakeAnonymizer("exact_dp");
   ASSERT_NE(algo, nullptr);
@@ -36,8 +35,8 @@ TEST(EndToEndTest, CsvInAnonymizeCsvOut) {
 
   // Round-trip the anonymized table through CSV.
   const std::string out_csv = TableToCsv(anonymized);
-  const auto back = TableFromCsv(out_csv, &error);
-  ASSERT_TRUE(back.has_value()) << error;
+  const StatusOr<Table> back = ParseTableCsv(out_csv);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
   EXPECT_TRUE(IsKAnonymous(*back, 2));
   EXPECT_EQ(back->CountSuppressedCells(), result.cost);
 }
@@ -97,10 +96,9 @@ TEST(EndToEndTest, SavedFileLoadsAndStaysAnonymous) {
   const auto result = algo->Run(t, 5);
   const Table anonymized = result.MakeSuppressor(t).Apply(t);
   const std::string path = testing::TempDir() + "/kanon_e2e.csv";
-  ASSERT_TRUE(SaveTableCsv(anonymized, path));
-  std::string error;
-  const auto loaded = LoadTableCsv(path, &error);
-  ASSERT_TRUE(loaded.has_value()) << error;
+  ASSERT_TRUE(WriteTableCsv(anonymized, path).ok());
+  const StatusOr<Table> loaded = ReadTableCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
   EXPECT_TRUE(IsKAnonymous(*loaded, 5));
   std::remove(path.c_str());
 }
