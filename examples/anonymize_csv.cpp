@@ -7,6 +7,7 @@
 //   ./example_anonymize_csv <input.csv> <output.csv>
 //       [--k=3] [--algo=ball_cover] [--local_search] [--deadline-ms=N]
 //   ./example_anonymize_csv --demo     # run on a built-in demo table
+//   ./example_anonymize_csv --version  # print build provenance, exit
 //
 // --deadline-ms bounds the run's wall clock; pair it with
 // --algo=resilient to degrade across the fallback chain instead of
@@ -23,6 +24,7 @@
 #include "core/metrics.h"
 #include "data/csv_table.h"
 #include "data/generators/census.h"
+#include "util/build_info.h"
 #include "util/cli.h"
 #include "util/random.h"
 #include "util/run_context.h"
@@ -30,6 +32,11 @@
 int main(int argc, char** argv) {
   using namespace kanon;
   const CommandLine cl = CommandLine::Parse(argc, argv);
+
+  if (cl.HasFlag("version")) {
+    std::cout << "anonymize_csv " << BuildInfoString() << "\n";
+    return 0;
+  }
 
   const StatusOr<long long> k_flag = cl.GetValidatedInt(
       "k", 3, 1, std::numeric_limits<long long>::max());

@@ -1,13 +1,16 @@
 // chaos_service — seeded fault-injection drills against the service
 // stack (service/chaos.h). Each schedule derives a fault plan and a
 // mixed workload from one seed, runs it on a live queue + worker pool +
-// cache + journal, and checks the three robustness invariants (every
-// job answered or typed-failed; no tainted cache hits; journal replays
-// from any crash prefix).
+// cache + journal + checkpoint store + watchdog, and checks the six
+// robustness invariants (every job answered or typed-failed; no
+// tainted cache hits; journal replays from any crash prefix; snapshots
+// never silently corrupt; resume is deterministic; the watchdog
+// preempts exactly the stalled).
 //
 // Usage:
 //   ./chaos_service [--chaos-seed=N] [--schedules=N] [--jobs=N]
-//                   [--scratch=DIR] [--no-journal] [--verbose]
+//                   [--scratch=DIR] [--no-journal] [--no-checkpoints]
+//                   [--no-watchdog] [--verbose] [--version]
 //
 //   Runs schedules with seeds chaos-seed, chaos-seed+1, ... and exits
 //   nonzero if any schedule reports a violation. Schedule 0 of the run
@@ -22,11 +25,17 @@
 #include <limits>
 
 #include "service/chaos.h"
+#include "util/build_info.h"
 #include "util/cli.h"
 
 int main(int argc, char** argv) {
   using namespace kanon;
   const CommandLine cl = CommandLine::Parse(argc, argv);
+
+  if (cl.GetBool("version", false)) {
+    std::cout << "chaos_service " << BuildInfoString() << "\n";
+    return 0;
+  }
 
   const StatusOr<long long> seed =
       cl.GetValidatedInt("chaos-seed", 1, 0,
@@ -44,6 +53,8 @@ int main(int argc, char** argv) {
   ChaosScheduleOptions options;
   options.jobs = static_cast<size_t>(*jobs);
   options.with_journal = !cl.GetBool("no-journal", false);
+  options.with_checkpoints = !cl.GetBool("no-checkpoints", false);
+  options.with_watchdog = !cl.GetBool("no-watchdog", false);
   options.scratch_dir = cl.GetString("scratch", "/tmp");
   options.verbose = cl.GetBool("verbose", false);
 
@@ -68,6 +79,7 @@ int main(int argc, char** argv) {
     std::printf(
         "seed=%llu submitted=%zu ok=%zu error=%zu rejected=%zu "
         "fires=%llu retries=%llu shed=%llu cache_rejected=%llu "
+        "ckpts=%llu snapshots=%llu resumes=%llu preempted=%llu "
         "fingerprint=%016llx %s\n",
         static_cast<unsigned long long>(report.seed), report.submitted,
         report.answered_ok, report.answered_error, report.rejected,
@@ -75,6 +87,10 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(report.retries),
         static_cast<unsigned long long>(report.shed),
         static_cast<unsigned long long>(report.cache_rejected),
+        static_cast<unsigned long long>(report.checkpoints_written),
+        static_cast<unsigned long long>(report.snapshots_checked),
+        static_cast<unsigned long long>(report.resumes_verified),
+        static_cast<unsigned long long>(report.watchdog_preempted),
         static_cast<unsigned long long>(report.outcome_fingerprint),
         report.passed() ? "PASS" : "FAIL");
     if (!report.passed()) {

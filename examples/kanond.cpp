@@ -7,7 +7,9 @@
 //
 // Usage:
 //   ./kanond [--workers=N] [--queue-capacity=N] [--cache-capacity=N]
-//            [--journal=PATH] [--faults=SPEC] [--once]
+//            [--journal=PATH] [--checkpoint-dir=PATH]
+//            [--checkpoint-every=N] [--checkpoint-ms=F]
+//            [--watchdog-ms=F] [--faults=SPEC] [--once] [--version]
 //
 //   --once suppresses the interactive banner: batch mode for piped
 //   scripts (the serving loop itself is identical — read lines until
@@ -20,6 +22,21 @@
 //   stdout; a job that was on a worker when the previous incarnation
 //   died is answered `error verb=replay ... error=interrupted`. A
 //   journal corrupt beyond a torn tail aborts startup (exit 2).
+//
+//   --checkpoint-dir=PATH arms durable solver checkpoints: running jobs
+//   periodically snapshot their state there (every --checkpoint-every
+//   cadence polls, default 256, and/or every --checkpoint-ms
+//   milliseconds), and a journal replay *continues* a started job from
+//   its snapshot (`ok verb=replay old_id=... resumed=1`) instead of
+//   degrading it to the interrupted error — which remains the typed
+//   fallback when the snapshot is missing, stale or corrupt.
+//
+//   --watchdog-ms=F arms the stall watchdog: a job whose progress
+//   counters flat-line for F milliseconds is preempted and answered
+//   with the typed watchdog_preempted error.
+//
+//   --version prints build provenance (git hash, build type,
+//   sanitizer) and exits; the same token rides in every stats reply.
 //
 //   --faults=SPEC arms deterministic fault injection (fault/fault.h),
 //   e.g. --faults="seed=42 p=0.01 worker.dispatch=0.5" — for chaos
@@ -42,14 +59,21 @@
 #include <limits>
 #include <memory>
 
+#include "ckpt/checkpoint.h"
 #include "fault/fault.h"
 #include "service/journal.h"
 #include "service/server.h"
+#include "util/build_info.h"
 #include "util/cli.h"
 
 int main(int argc, char** argv) {
   using namespace kanon;
   const CommandLine cl = CommandLine::Parse(argc, argv);
+
+  if (cl.GetBool("version", false)) {
+    std::cout << "kanond " << BuildInfoString() << "\n";
+    return 0;
+  }
 
   ServiceOptions options;
   const struct {
@@ -60,9 +84,10 @@ int main(int argc, char** argv) {
       {"workers", 0, 0},
       {"queue-capacity", 1, 64},
       {"cache-capacity", 0, 64},
+      {"checkpoint-every", 1, 256},
   };
-  long long values[3];
-  for (int i = 0; i < 3; ++i) {
+  long long values[4];
+  for (int i = 0; i < 4; ++i) {
     const StatusOr<long long> flag =
         cl.GetValidatedInt(int_flags[i].flag, int_flags[i].fallback,
                            int_flags[i].min,
@@ -77,6 +102,14 @@ int main(int argc, char** argv) {
   options.workers = static_cast<unsigned>(values[0]);
   options.queue_capacity = static_cast<size_t>(values[1]);
   options.cache_capacity = static_cast<size_t>(values[2]);
+  options.checkpoint_every_polls = static_cast<uint64_t>(values[3]);
+  options.checkpoint_every_ms = cl.GetDouble("checkpoint-ms", 0.0);
+  options.watchdog_stall_ms = cl.GetDouble("watchdog-ms", 0.0);
+  if (options.checkpoint_every_ms < 0.0 || options.watchdog_stall_ms < 0.0) {
+    std::cerr << "error: --checkpoint-ms and --watchdog-ms must be >= 0 "
+                 "(0 disarms)\n";
+    return 1;
+  }
 
   const std::string fault_spec = cl.GetString("faults", "");
   if (!fault_spec.empty()) {
@@ -86,6 +119,17 @@ int main(int argc, char** argv) {
       return 1;
     }
     FaultRegistry::Instance().Arm(*plan);
+  }
+
+  // Checkpoint store bring-up happens before the journal replay is
+  // applied: the replay needs the *previous* incarnation's snapshots,
+  // and ApplyReplayToService clears the store before resubmitting so
+  // this incarnation's ids (restarting at 1) never collide with them.
+  std::unique_ptr<CheckpointStore> checkpoints;
+  const std::string checkpoint_dir = cl.GetString("checkpoint-dir", "");
+  if (!checkpoint_dir.empty()) {
+    checkpoints = std::make_unique<CheckpointStore>(checkpoint_dir);
+    options.checkpoints = checkpoints.get();
   }
 
   // Journal bring-up: read the previous incarnation's records, wipe the
@@ -117,15 +161,19 @@ int main(int argc, char** argv) {
   }
 
   AnonymizationService service(options);
+  std::cerr << "kanond: " << BuildInfoString() << "\n";
   if (!journal_path.empty()) {
-    const JournalReplayReport report =
-        ApplyReplayToService(*std::move(replayed), service);
+    ReplayOptions replay_options;
+    replay_options.checkpoints = checkpoints.get();
+    const JournalReplayReport report = ApplyReplayToService(
+        *std::move(replayed), service, replay_options);
     for (const std::string& line : report.lines) {
       std::cout << line << "\n";
     }
     std::cout.flush();
     std::cerr << "kanond: journal replay: resubmitted="
-              << report.resubmitted
+              << report.resubmitted << " resumed=" << report.resumed
+              << " resume_degraded=" << report.resume_degraded
               << " interrupted=" << report.interrupted
               << " completed=" << report.completed
               << " torn=" << report.torn_records << "\n";
@@ -137,6 +185,10 @@ int main(int argc, char** argv) {
               << ", cache=" << options.cache_capacity
               << (journal_path.empty() ? ""
                                        : ", journal=" + journal_path)
+              << (checkpoint_dir.empty()
+                      ? ""
+                      : ", checkpoints=" + checkpoint_dir)
+              << (options.watchdog_stall_ms > 0.0 ? ", watchdog=on" : "")
               << "); verbs: anonymize stats shutdown\n";
   }
   const size_t served = ServeLines(service, std::cin, std::cout);

@@ -5,6 +5,7 @@
 #include <optional>
 #include <sstream>
 
+#include "ckpt/checkpoint.h"
 #include "core/cost.h"
 #include "core/group_stats.h"
 #include "util/logging.h"
@@ -270,15 +271,75 @@ AnonymizationResult AnnealingAnonymizer::Run(const Table& table,
   const size_t base_cost = seed_result.cost;
 
   Rng rng(options_.seed);
-  State state(table, seed_result.partition, k);
-  size_t current = state.TotalCost();
-  size_t best = current;
-  Partition best_partition = state.ToPartition();
-
-  double temperature = options_.initial_temperature;
+  Partition start_partition = seed_result.partition;
+  size_t start_iter = 0;
   size_t accepted = 0;
-  for (size_t iter = 0; iter < options_.iterations; ++iter) {
-    if ((iter & 63) == 0 && ctx->ShouldStop()) break;
+  double temperature = options_.initial_temperature;
+  std::optional<Partition> resumed_best;
+  size_t resumed_best_cost = 0;
+
+  if (const std::optional<std::string> ck =
+          ctx->resume_payload("annealing")) {
+    // Snapshots are taken at the (iter & 63) == 0 poll boundary, where
+    // no proposal is in flight. Restoring the current groups (in saved
+    // order), the incumbent, the temperature's exact bit pattern, and
+    // the raw PCG32 state replays the identical stochastic trajectory.
+    // The snapshot crossed a crash: every claim is re-verified, and any
+    // mismatch falls back to a cold start from the base partition.
+    CheckpointReader r(*ck);
+    const size_t iter = r.GetU64();
+    const size_t saved_accepted = r.GetU64();
+    const double saved_temp = r.GetDouble();
+    const uint64_t rng_state = r.GetU64();
+    const uint64_t rng_inc = r.GetU64();
+    const size_t saved_current = r.GetU64();
+    const size_t saved_best = r.GetU64();
+    Partition cur_p = r.GetPartition();
+    Partition best_p = r.GetPartition();
+    const RowId n = table.num_rows();
+    if (!r.failed() && r.AtEnd() && iter <= options_.iterations &&
+        std::isfinite(saved_temp) && saved_temp >= 0.0 &&
+        IsValidPartition(cur_p, n, k, static_cast<size_t>(n)) &&
+        IsValidPartition(best_p, n, k, static_cast<size_t>(n)) &&
+        saved_best <= saved_current && saved_best <= base_cost &&
+        PartitionCost(table, cur_p) == saved_current &&
+        PartitionCost(table, best_p) == saved_best) {
+      start_partition = std::move(cur_p);
+      start_iter = iter;
+      accepted = saved_accepted;
+      temperature = saved_temp;
+      rng.Restore(rng_state, rng_inc);
+      resumed_best = std::move(best_p);
+      resumed_best_cost = saved_best;
+    }
+  }
+
+  State state(table, std::move(start_partition), k);
+  size_t current = state.TotalCost();
+  size_t best = resumed_best ? resumed_best_cost : current;
+  Partition best_partition =
+      resumed_best ? *std::move(resumed_best) : state.ToPartition();
+
+  for (size_t iter = start_iter; iter < options_.iterations; ++iter) {
+    if ((iter & 63) == 0) {
+      // Each 64-iteration stride charges its iterations so node budgets
+      // can interrupt the walk deterministically.
+      ctx->ChargeNodes(64);
+      if (ctx->ShouldStop()) break;
+      if (ctx->CheckpointDue()) {
+        CheckpointWriter w;
+        w.PutU64(iter);
+        w.PutU64(accepted);
+        w.PutDouble(temperature);
+        w.PutU64(rng.state());
+        w.PutU64(rng.stream_inc());
+        w.PutU64(current);
+        w.PutU64(best);
+        w.PutPartition(state.ToPartition());
+        w.PutPartition(best_partition);
+        (void)ctx->EmitCheckpoint("annealing", w.bytes());
+      }
+    }
     long long delta = 0;
     if (!state.Propose(&rng, &delta)) continue;
     const bool accept =

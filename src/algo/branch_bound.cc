@@ -1,8 +1,10 @@
 #include "algo/branch_bound.h"
 
 #include <algorithm>
+#include <optional>
 #include <sstream>
 
+#include "ckpt/checkpoint.h"
 #include "core/bounds.h"
 #include "core/cost.h"
 #include "core/distance_oracle.h"
@@ -61,6 +63,19 @@ class Search {
       if (ctx_->ShouldStop()) {
         truncated_ = true;
         return true;
+      }
+      if (ctx_->CheckpointDue()) {
+        // The incumbent is the whole resumable state: restarting the
+        // DFS from the root with this incumbent prunes (>=) everything
+        // the original run pruned plus everything it already improved
+        // past, and incumbent updates are strict improvements visited
+        // in the same deterministic order — so a resumed run lands on
+        // the bit-identical final partition.
+        CheckpointWriter w;
+        w.PutU64(best_cost_);
+        w.PutU64(nodes_);
+        w.PutPartition(best_partition_);
+        (void)ctx_->EmitCheckpoint("branch_bound", w.bytes());
       }
     }
     return false;
@@ -190,8 +205,28 @@ AnonymizationResult BranchBoundAnonymizer::Run(const Table& table,
   // The chunk partition seeds a finite incumbent; the search only
   // replaces it on strict improvement, so its cost is an upper bound
   // throughout and pruning with >= is safe.
-  const Partition incumbent = ChunkPartition(n, k);
-  search.Run(incumbent, PartitionCost(table, incumbent));
+  Partition incumbent = ChunkPartition(n, k);
+  size_t incumbent_cost = PartitionCost(table, incumbent);
+  bool resumed = false;
+  if (const std::optional<std::string> state =
+          ctx->resume_payload("branch_bound")) {
+    // A checkpointed incumbent replaces the chunk seed. It is hostile
+    // input (it crossed a crash): every claim is re-verified and a bad
+    // snapshot falls back to the cold seed.
+    CheckpointReader r(*state);
+    const size_t saved_cost = r.GetU64();
+    r.GetU64();  // nodes at save time; informational only
+    Partition saved = r.GetPartition();
+    if (!r.failed() && r.AtEnd() &&
+        IsValidPartition(saved, n, k, static_cast<size_t>(n)) &&
+        PartitionCost(table, saved) == saved_cost &&
+        saved_cost <= incumbent_cost) {
+      incumbent = std::move(saved);
+      incumbent_cost = saved_cost;
+      resumed = true;
+    }
+  }
+  search.Run(incumbent, incumbent_cost);
 
   // Even a truncated search holds a valid incumbent (seeded above), so
   // a deadline/budget stop degrades to "best found so far" rather than
@@ -203,7 +238,7 @@ AnonymizationResult BranchBoundAnonymizer::Run(const Table& table,
   result.seconds = timer.Seconds();
   result.termination = ctx->stop_reason();
   std::ostringstream notes;
-  notes << "nodes=" << search.nodes()
+  notes << "nodes=" << search.nodes() << (resumed ? " RESUMED" : "")
         << (search.truncated() ? " TRUNCATED" : "");
   result.notes = notes.str();
   return result;

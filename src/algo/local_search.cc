@@ -1,8 +1,11 @@
 #include "algo/local_search.h"
 
 #include <algorithm>
+#include <numeric>
+#include <optional>
 #include <sstream>
 
+#include "ckpt/checkpoint.h"
 #include "core/cost.h"
 #include "core/group_stats.h"
 #include "util/logging.h"
@@ -13,6 +16,30 @@ namespace kanon {
 size_t ImprovePartition(const Table& table, size_t k,
                         const LocalSearchOptions& options,
                         Partition* partition, RunContext* ctx) {
+  size_t start_pass = 0;
+  size_t applied = 0;
+  if (ctx != nullptr) {
+    if (const std::optional<std::string> state =
+            ctx->resume_payload("local_search")) {
+      // Snapshots are taken only at pass boundaries, so restoring the
+      // partition and re-entering the loop at the saved pass replays
+      // the identical deterministic pass sequence. The snapshot crossed
+      // a crash: re-verify everything and ignore it on any mismatch.
+      CheckpointReader r(*state);
+      const size_t pass = r.GetU64();
+      const size_t saved_applied = r.GetU64();
+      const size_t saved_cost = r.GetU64();
+      Partition saved = r.GetPartition();
+      if (!r.failed() && r.AtEnd() && pass <= options.max_passes &&
+          IsValidPartition(saved, table.num_rows(), k, table.num_rows()) &&
+          PartitionCost(table, saved) == saved_cost &&
+          saved_cost <= PartitionCost(table, *partition)) {
+        *partition = std::move(saved);
+        start_pass = pass;
+        applied = saved_applied;
+      }
+    }
+  }
   KANON_CHECK(IsValidPartition(*partition, table.num_rows(), k,
                                table.num_rows()));
   std::vector<Group>& groups = partition->groups;
@@ -29,9 +56,23 @@ size_t ImprovePartition(const Table& table, size_t k,
     cost[g] = stats[g].anon_cost();
   }
 
-  size_t applied = 0;
-  const auto stop = [&] { return ctx != nullptr && ctx->ShouldStop(); };
-  for (size_t pass = 0; pass < options.max_passes && !stop(); ++pass) {
+  const auto stop = [&] {
+    if (ctx == nullptr) return false;
+    // Each stop probe charges one node so iteration budgets can
+    // interrupt a pass mid-scan, deterministically.
+    ctx->ChargeNodes();
+    return ctx->ShouldStop();
+  };
+  for (size_t pass = start_pass; pass < options.max_passes && !stop();
+       ++pass) {
+    if (ctx != nullptr && ctx->CheckpointDue()) {
+      CheckpointWriter w;
+      w.PutU64(pass);
+      w.PutU64(applied);
+      w.PutU64(std::accumulate(cost.begin(), cost.end(), size_t{0}));
+      w.PutPartition(*partition);
+      (void)ctx->EmitCheckpoint("local_search", w.bytes());
+    }
     bool improved = false;
     // MOVE: row out of an oversized group.
     for (size_t a = 0; a < groups.size() && !stop(); ++a) {

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <map>
+#include <optional>
 #include <sstream>
 
+#include "ckpt/checkpoint.h"
 #include "core/cost.h"
 #include "core/distance_oracle.h"
 #include "data/packed_table.h"
@@ -106,9 +108,71 @@ AnonymizationResult MdavAnonymizer::Run(const Table& table, size_t k,
   const PackedTable packed(table);
   std::vector<bool> assigned(n, false);
   size_t unassigned = n;
+  bool resumed = false;
 
   AnonymizationResult result;
+  if (const std::optional<std::string> state = ctx->resume_payload("mdav")) {
+    // Snapshots are taken at the top of the main loop, where the whole
+    // phase state is (assigned bitmap, groups so far). Both halves must
+    // agree exactly — the bitmap rows are precisely the grouped rows,
+    // every group has size k — or the snapshot is ignored (it crossed a
+    // crash and is not trusted).
+    CheckpointReader r(*state);
+    const uint64_t saved_n = r.GetU64();
+    const std::string_view bitmap = r.GetBytes();
+    Partition saved = r.GetPartition();
+    bool usable = !r.failed() && r.AtEnd() && saved_n == n &&
+                  bitmap.size() == n;
+    if (usable) {
+      std::vector<bool> saved_assigned(n, false);
+      size_t saved_count = 0;
+      for (RowId row = 0; row < n && usable; ++row) {
+        const char bit = bitmap[row];
+        if (bit != 0 && bit != 1) usable = false;
+        saved_assigned[row] = bit == 1;
+        saved_count += bit == 1 ? 1u : 0u;
+      }
+      size_t grouped = 0;
+      std::vector<bool> seen(n, false);
+      for (const Group& group : saved.groups) {
+        if (group.size() != k) usable = false;
+        for (const RowId row : group) {
+          if (!usable) break;
+          if (row >= n || seen[row] || !saved_assigned[row]) usable = false;
+          if (row < n) seen[row] = true;
+          ++grouped;
+        }
+      }
+      if (usable && grouped == saved_count) {
+        assigned = std::move(saved_assigned);
+        unassigned = n - saved_count;
+        result.partition = std::move(saved);
+        resumed = true;
+      }
+    }
+  }
   while (unassigned >= 3 * k) {
+    ctx->ChargeNodes();
+    if (ctx->ShouldStop()) {
+      // The partial grouping is not a valid partition (unassigned rows
+      // remain), so an interrupted MDAV declines like the other anytime
+      // stages; its checkpoint carries the progress forward instead.
+      return StoppedResult(*ctx, timer.Seconds(),
+                           "stopped mid-phase with " +
+                               std::to_string(unassigned) +
+                               " rows unassigned");
+    }
+    if (ctx->CheckpointDue()) {
+      CheckpointWriter w;
+      w.PutU64(n);
+      std::string bitmap(n, '\0');
+      for (RowId row = 0; row < n; ++row) {
+        bitmap[row] = assigned[row] ? 1 : 0;
+      }
+      w.PutBytes(bitmap);
+      w.PutPartition(result.partition);
+      (void)ctx->EmitCheckpoint("mdav", w.bytes());
+    }
     const std::vector<ValueCode> centroid = ModeCentroid(packed, assigned);
     const RowId r = FarthestFromCentroid(table, assigned, centroid);
     result.partition.groups.push_back(
@@ -137,7 +201,8 @@ AnonymizationResult MdavAnonymizer::Run(const Table& table, size_t k,
   FinalizeResult(table, &result);
   result.seconds = timer.Seconds();
   std::ostringstream notes;
-  notes << "groups=" << result.partition.num_groups();
+  notes << "groups=" << result.partition.num_groups()
+        << (resumed ? " RESUMED" : "");
   result.notes = notes.str();
   return result;
 }

@@ -1,0 +1,354 @@
+#include "ckpt/checkpoint.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "fault/fault.h"
+#include "util/fingerprint.h"
+
+namespace kanon {
+namespace {
+
+constexpr char kMagic[4] = {'K', 'C', 'K', 'P'};
+constexpr uint32_t kVersion = 1;
+
+void AppendLE(std::string* out, uint64_t v, size_t width) {
+  for (size_t i = 0; i < width; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+uint64_t ReadLE(const char* p, size_t width) {
+  uint64_t v = 0;
+  for (size_t i = 0; i < width; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+// --- Writer -----------------------------------------------------------
+
+void CheckpointWriter::PutU32(uint32_t v) { AppendLE(&bytes_, v, 4); }
+
+void CheckpointWriter::PutU64(uint64_t v) { AppendLE(&bytes_, v, 8); }
+
+void CheckpointWriter::PutDouble(double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v), "double is not 64-bit");
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits);
+}
+
+void CheckpointWriter::PutBytes(std::string_view bytes) {
+  PutU64(bytes.size());
+  bytes_.append(bytes.data(), bytes.size());
+}
+
+void CheckpointWriter::PutPartition(const Partition& partition) {
+  PutU64(partition.groups.size());
+  for (const Group& group : partition.groups) {
+    PutU64(group.size());
+    for (const RowId row : group) PutU32(row);
+  }
+}
+
+// --- Reader -----------------------------------------------------------
+
+bool CheckpointReader::Need(size_t n) {
+  if (failed_ || bytes_.size() - pos_ < n) {
+    failed_ = true;
+    return false;
+  }
+  return true;
+}
+
+uint32_t CheckpointReader::GetU32() {
+  if (!Need(4)) return 0;
+  const uint64_t v = ReadLE(bytes_.data() + pos_, 4);
+  pos_ += 4;
+  return static_cast<uint32_t>(v);
+}
+
+uint64_t CheckpointReader::GetU64() {
+  if (!Need(8)) return 0;
+  const uint64_t v = ReadLE(bytes_.data() + pos_, 8);
+  pos_ += 8;
+  return v;
+}
+
+double CheckpointReader::GetDouble() {
+  const uint64_t bits = GetU64();
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string_view CheckpointReader::GetBytes() {
+  const uint64_t len = GetU64();
+  // The length came off the wire: cap it by what is actually left so a
+  // hostile value cannot index past the buffer.
+  if (failed_ || len > bytes_.size() - pos_) {
+    failed_ = true;
+    return std::string_view();
+  }
+  const std::string_view out = bytes_.substr(pos_, len);
+  pos_ += len;
+  return out;
+}
+
+Partition CheckpointReader::GetPartition() {
+  Partition partition;
+  const uint64_t num_groups = GetU64();
+  // Every group costs at least its 8-byte length prefix, so a count
+  // larger than remaining()/8 is provably corrupt — reject before
+  // reserving anything.
+  if (failed_ || num_groups > remaining() / 8) {
+    failed_ = true;
+    return partition;
+  }
+  partition.groups.reserve(num_groups);
+  for (uint64_t g = 0; g < num_groups; ++g) {
+    const uint64_t size = GetU64();
+    if (failed_ || size > remaining() / 4) {
+      failed_ = true;
+      return partition;
+    }
+    Group group;
+    group.reserve(size);
+    for (uint64_t i = 0; i < size; ++i) group.push_back(GetU32());
+    if (failed_) return partition;
+    partition.groups.push_back(std::move(group));
+  }
+  return partition;
+}
+
+// --- Envelope ---------------------------------------------------------
+
+std::string EncodeSnapshot(const SolverSnapshot& snapshot) {
+  CheckpointWriter body;
+  body.PutBytes(snapshot.solver);
+  body.PutU64(snapshot.table_fp);
+  body.PutU64(snapshot.k);
+  body.PutU64(snapshot.seq);
+  body.PutBytes(snapshot.payload);
+
+  std::string out(kMagic, sizeof(kMagic));
+  AppendLE(&out, kVersion, 4);
+  AppendLE(&out, body.bytes().size(), 8);
+  out += body.bytes();
+  AppendLE(&out, Fingerprint(out), 8);
+  return out;
+}
+
+StatusOr<SolverSnapshot> DecodeSnapshot(std::string_view bytes) {
+  // Header (magic + version + length) plus trailing checksum is the
+  // minimum a complete envelope can occupy.
+  constexpr size_t kHeader = 4 + 4 + 8;
+  if (bytes.size() < kHeader + 8) {
+    return Status::DataLoss("checkpoint truncated: " +
+                            std::to_string(bytes.size()) + " bytes");
+  }
+  if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::ParseError("checkpoint has wrong magic");
+  }
+  const uint32_t version =
+      static_cast<uint32_t>(ReadLE(bytes.data() + 4, 4));
+  const uint64_t body_len = ReadLE(bytes.data() + 8, 8);
+  if (body_len != bytes.size() - kHeader - 8) {
+    // A short file is torn (data loss); a long one is malformed.
+    if (body_len > bytes.size() - kHeader - 8) {
+      return Status::DataLoss("checkpoint body truncated: have " +
+                              std::to_string(bytes.size() - kHeader - 8) +
+                              " of " + std::to_string(body_len) + " bytes");
+    }
+    return Status::ParseError("checkpoint has trailing bytes");
+  }
+  const uint64_t stored_check =
+      ReadLE(bytes.data() + bytes.size() - 8, 8);
+  const uint64_t computed_check =
+      Fingerprint(bytes.substr(0, bytes.size() - 8));
+  if (stored_check != computed_check) {
+    return Status::DataLoss("checkpoint checksum mismatch");
+  }
+  // Checksum verified: the bytes survived. Anything wrong from here on
+  // is a format problem, not a storage problem.
+  if (version != kVersion) {
+    return Status::ParseError("unsupported checkpoint version " +
+                              std::to_string(version));
+  }
+
+  CheckpointReader body(bytes.substr(kHeader, body_len));
+  SolverSnapshot snapshot;
+  snapshot.solver = std::string(body.GetBytes());
+  snapshot.table_fp = body.GetU64();
+  snapshot.k = body.GetU64();
+  snapshot.seq = body.GetU64();
+  snapshot.payload = std::string(body.GetBytes());
+  if (body.failed() || !body.AtEnd()) {
+    return Status::ParseError("checkpoint body failed to decode");
+  }
+  return snapshot;
+}
+
+// --- Store ------------------------------------------------------------
+
+CheckpointStore::CheckpointStore(std::string dir) : dir_(std::move(dir)) {
+  ::mkdir(dir_.c_str(), 0755);  // EEXIST is fine; other errors surface
+                                // on the first Save.
+}
+
+std::string CheckpointStore::PathFor(uint64_t id) const {
+  return dir_ + "/job_" + std::to_string(id) + ".ckpt";
+}
+
+Status CheckpointStore::Save(uint64_t id, const SolverSnapshot& snapshot) {
+  const std::string encoded = EncodeSnapshot(snapshot);
+  const std::string path = PathFor(id);
+
+  if (KANON_FAULT_POINT("ckpt.save")) {
+    return Status::Internal("injected fault: ckpt.save");
+  }
+  if (KANON_FAULT_POINT("ckpt.torn")) {
+    // A lying disk: half the bytes land in the *final* path and the
+    // write reports success. The decoder's checksum must catch this on
+    // the next Load.
+    const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd >= 0) {
+      const size_t half = encoded.size() / 2;
+      (void)!::write(fd, encoded.data(), half);
+      ::close(fd);
+    }
+    return Status::Ok();
+  }
+
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::Internal("open(" + tmp + "): " +
+                            std::string(std::strerror(errno)));
+  }
+  size_t written = 0;
+  while (written < encoded.size()) {
+    const ssize_t n =
+        ::write(fd, encoded.data() + written, encoded.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int saved = errno;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return Status::Internal("write(" + tmp + "): " +
+                              std::string(std::strerror(saved)));
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return Status::Internal("fsync(" + tmp + "): " +
+                            std::string(std::strerror(saved)));
+  }
+  if (::close(fd) != 0) {
+    const int saved = errno;
+    ::unlink(tmp.c_str());
+    return Status::Internal("close(" + tmp + "): " +
+                            std::string(std::strerror(saved)));
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int saved = errno;
+    ::unlink(tmp.c_str());
+    return Status::Internal("rename(" + tmp + "): " +
+                            std::string(std::strerror(saved)));
+  }
+  // Durability of the rename itself needs the directory entry flushed;
+  // best-effort (some filesystems reject O_RDONLY dir fsync).
+  const int dirfd = ::open(dir_.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dirfd >= 0) {
+    ::fsync(dirfd);
+    ::close(dirfd);
+  }
+  return Status::Ok();
+}
+
+StatusOr<SolverSnapshot> CheckpointStore::Load(uint64_t id) const {
+  const std::string path = PathFor(id);
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      return Status::NotFound("no checkpoint for job " + std::to_string(id));
+    }
+    return Status::Internal("open(" + path + "): " +
+                            std::string(std::strerror(errno)));
+  }
+  std::string bytes;
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int saved = errno;
+      ::close(fd);
+      return Status::Internal("read(" + path + "): " +
+                              std::string(std::strerror(saved)));
+    }
+    if (n == 0) break;
+    bytes.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return DecodeSnapshot(bytes);
+}
+
+Status CheckpointStore::Remove(uint64_t id) {
+  const std::string path = PathFor(id);
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return Status::Internal("unlink(" + path + "): " +
+                            std::string(std::strerror(errno)));
+  }
+  return Status::Ok();
+}
+
+Status CheckpointStore::Clear() {
+  for (const uint64_t id : List()) {
+    const Status status = Remove(id);
+    if (!status.ok()) return status;
+  }
+  return Status::Ok();
+}
+
+std::vector<uint64_t> CheckpointStore::List() const {
+  std::vector<uint64_t> ids;
+  DIR* dir = ::opendir(dir_.c_str());
+  if (dir == nullptr) return ids;
+  while (struct dirent* entry = ::readdir(dir)) {
+    const std::string name = entry->d_name;
+    if (name.size() <= 9 || name.compare(0, 4, "job_") != 0 ||
+        name.compare(name.size() - 5, 5, ".ckpt") != 0) {
+      continue;
+    }
+    const std::string digits = name.substr(4, name.size() - 9);
+    uint64_t id = 0;
+    bool valid = !digits.empty();
+    for (const char c : digits) {
+      if (c < '0' || c > '9') {
+        valid = false;
+        break;
+      }
+      id = id * 10 + static_cast<uint64_t>(c - '0');
+    }
+    if (valid) ids.push_back(id);
+  }
+  ::closedir(dir);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+}  // namespace kanon

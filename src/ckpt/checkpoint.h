@@ -1,0 +1,151 @@
+#ifndef KANON_CKPT_CHECKPOINT_H_
+#define KANON_CKPT_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/partition.h"
+#include "util/status.h"
+
+/// \file
+/// Durable solver snapshots: the wire format and the on-disk store.
+///
+/// The anytime solvers (local search, annealing, branch-and-bound, MDAV)
+/// periodically encode their in-flight state — an incumbent partition, a
+/// pass counter, an RNG state — and hand it to a `CheckpointSink` (see
+/// util/run_context.h). This file supplies the two halves below the
+/// sink: a tiny length-prefixed binary codec, and `CheckpointStore`, a
+/// directory of one-snapshot-per-job files written with the full
+/// fsync + atomic-rename discipline.
+///
+/// **Trust model.** A snapshot read back after a crash is *hostile*
+/// input: the write may have torn, the disk may have lied, a stray tool
+/// may have truncated the file. Decoding therefore never KANON_CHECKs on
+/// content; every violation comes back as a typed error —
+/// `kDataLoss` when the bytes themselves did not survive (short file,
+/// checksum mismatch), `kParseError` when intact bytes fail to decode
+/// (bad magic, unsupported version, inconsistent lengths). Callers fall
+/// back to a cold start on any non-OK load; a bad snapshot must never be
+/// silently restored.
+///
+/// **Format** (all integers little-endian):
+///
+///     magic   "KCKP"                      4 bytes
+///     version u32 (currently 1)           4 bytes
+///     length  u64 = len(body)             8 bytes
+///     body    solver name (len-prefixed), table fingerprint u64,
+///             k u64, sequence u64, payload (len-prefixed)
+///     check   u64 FNV-1a over everything above
+///
+/// The payload is the solver's own sub-encoding (same Writer/Reader
+/// helpers); the envelope's stamp fields (table fingerprint, k) let the
+/// service reject a snapshot that does not match the job it is being
+/// resumed for ("stale" in the journal-replay sense).
+
+namespace kanon {
+
+/// Appends fixed-width and length-prefixed fields to a byte string.
+/// Used for both the envelope and the solver payloads.
+class CheckpointWriter {
+ public:
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  /// Stores the exact bit pattern; round-trips NaNs and signed zeros.
+  void PutDouble(double v);
+  /// u64 length prefix, then the raw bytes.
+  void PutBytes(std::string_view bytes);
+  /// Group count, then each group as a length-prefixed RowId list.
+  void PutPartition(const Partition& partition);
+
+  const std::string& bytes() const { return bytes_; }
+  std::string TakeBytes() { return std::move(bytes_); }
+
+ private:
+  std::string bytes_;
+};
+
+/// Bounds-checked reader over an encoded byte string. Any out-of-range
+/// read sets `failed()` and returns a zero value; callers check once at
+/// the end instead of after every field. Sizes decoded from the input
+/// (group counts, byte lengths) are validated against the bytes that
+/// remain, so a hostile length can never drive a large allocation.
+class CheckpointReader {
+ public:
+  explicit CheckpointReader(std::string_view bytes) : bytes_(bytes) {}
+
+  uint32_t GetU32();
+  uint64_t GetU64();
+  double GetDouble();
+  std::string_view GetBytes();
+  Partition GetPartition();
+
+  /// True once any read ran past the input or saw an impossible length.
+  bool failed() const { return failed_; }
+  /// True when every byte has been consumed (trailing garbage is an
+  /// error for fixed-layout payloads).
+  bool AtEnd() const { return pos_ == bytes_.size(); }
+  size_t remaining() const { return bytes_.size() - pos_; }
+
+ private:
+  bool Need(size_t n);
+
+  std::string_view bytes_;
+  size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+/// One solver snapshot plus the stamp identifying the job it belongs to.
+struct SolverSnapshot {
+  std::string solver;  ///< Anonymizer name that produced the payload.
+  uint64_t table_fp = 0;  ///< Content fingerprint of the input table.
+  uint64_t k = 0;         ///< The job's k.
+  uint64_t seq = 0;       ///< Monotonic per-job snapshot sequence number.
+  std::string payload;    ///< Solver-private encoded state.
+};
+
+/// Serializes `snapshot` into the envelope format described above.
+std::string EncodeSnapshot(const SolverSnapshot& snapshot);
+
+/// Decodes and verifies an envelope. Returns typed errors only (see the
+/// trust model in the file comment) — never aborts on bad input.
+StatusOr<SolverSnapshot> DecodeSnapshot(std::string_view bytes);
+
+/// A directory of snapshot files, one per job id ("job_<id>.ckpt").
+/// Saves replace atomically (write temp, fsync, rename), so a reader —
+/// including a post-crash replay — observes either the previous complete
+/// snapshot or the new one, never a mix. Methods are thread-safe for
+/// distinct ids; per-id callers are expected to be serialized (one
+/// worker owns a job).
+class CheckpointStore {
+ public:
+  /// Creates `dir` if needed. Failures surface on the first Save.
+  explicit CheckpointStore(std::string dir);
+
+  /// Durably replaces job `id`'s snapshot.
+  Status Save(uint64_t id, const SolverSnapshot& snapshot);
+
+  /// Loads and verifies job `id`'s snapshot. kNotFound when absent;
+  /// kDataLoss / kParseError per the codec's trust model.
+  StatusOr<SolverSnapshot> Load(uint64_t id) const;
+
+  /// Removes job `id`'s snapshot, if any. Missing files are OK.
+  Status Remove(uint64_t id);
+
+  /// Removes every snapshot file in the directory.
+  Status Clear();
+
+  /// Ids that currently have a snapshot file, in ascending order.
+  std::vector<uint64_t> List() const;
+
+  const std::string& dir() const { return dir_; }
+  std::string PathFor(uint64_t id) const;
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace kanon
+
+#endif  // KANON_CKPT_CHECKPOINT_H_

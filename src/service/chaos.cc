@@ -6,15 +6,18 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <unordered_map>
 #include <utility>
 
+#include "ckpt/checkpoint.h"
 #include "data/csv_table.h"
 #include "data/generators/uniform.h"
 #include "fault/fault.h"
 #include "service/journal.h"
 #include "service/queue.h"
+#include "service/watchdog.h"
 #include "service/worker_pool.h"
 #include "util/fingerprint.h"
 #include "util/parallel.h"
@@ -31,11 +34,11 @@ const char* const kOverridableSites[] = {
     "branch_bound.node", "greedy_cover.alloc", "greedy_cover.family",
     "parallel.worker",  "queue.admit",         "worker.dispatch",
     "worker.deliver",   "cache.lookup",        "cache.poison",
-    "journal.append",
+    "journal.append",   "ckpt.save",           "ckpt.torn",
 };
 
 /// Derives the schedule's fault plan from the seed stream.
-FaultPlan DrawFaultPlan(uint64_t seed, Rng* rng) {
+FaultPlan DrawFaultPlan(uint64_t seed, bool allow_stall, Rng* rng) {
   FaultPlan plan;
   plan.seed = seed;
   // Every 4th schedule runs fault-free as a control.
@@ -54,6 +57,28 @@ FaultPlan DrawFaultPlan(uint64_t seed, Rng* rng) {
     }
     plan.sites.push_back(std::move(spec));
   }
+  // Stall/slow are drawn separately (never via the background
+  // probability): a stall wedges the worker until the watchdog breaks
+  // the loop, so it is only armed when a watchdog exists, and its
+  // first_n count is what invariant 6 reconciles against. The draws are
+  // always consumed so the downstream workload stream is identical
+  // whether or not the watchdog is enabled.
+  const bool stall = rng->Bernoulli(0.25);
+  const auto stall_n = static_cast<uint64_t>(rng->UniformInt(1, 2));
+  const bool slow = rng->Bernoulli(0.25);
+  const auto slow_n = static_cast<uint64_t>(rng->UniformInt(1, 2));
+  if (allow_stall && stall) {
+    FaultSiteSpec spec;
+    spec.site = "worker.stall";
+    spec.first_n = stall_n;
+    plan.sites.push_back(std::move(spec));
+  }
+  if (slow) {
+    FaultSiteSpec spec;
+    spec.site = "worker.slow";
+    spec.first_n = slow_n;
+    plan.sites.push_back(std::move(spec));
+  }
   return plan;
 }
 
@@ -63,6 +88,7 @@ AnonymizeRequest DrawRequest(Rng* rng) {
   static const char* const kAlgos[] = {
       "resilient", "resilient", "exact_dp", "branch_bound",
       "greedy_cover", "mondrian", "suppress_all",
+      "mdav", "mdav+annealing",
   };
   AnonymizeRequest request;
   request.algorithm =
@@ -121,6 +147,20 @@ uint64_t FoldOutcome(uint64_t fp, const AnonymizeResponse& response) {
   return fp;
 }
 
+/// Invariant 5 runner: re-executes `prepared` from `snapshot` on a
+/// fresh context. The node budget (no wall clock) keeps the re-run a
+/// pure function of the snapshot, and the chain contract still
+/// guarantees an answer if it trips.
+AnonymizeResponse ResumeOnce(const AnonymizeRequest& prepared,
+                             const SolverSnapshot& snapshot) {
+  AnonymizeRequest request = prepared;
+  request.resume_solver = snapshot.solver;
+  request.resume_payload = snapshot.payload;
+  RunContext ctx;
+  ctx.set_node_budget(200000);
+  return WorkerPool::Execute(request, &ctx, /*cache=*/nullptr);
+}
+
 /// Invariant 3: any byte prefix of the journal must replay cleanly
 /// (intact records plus at most one torn tail).
 void CheckCrashPrefixes(const std::string& path, Rng* rng,
@@ -164,13 +204,37 @@ ChaosReport RunChaosSchedule(const ChaosScheduleOptions& options) {
   const unsigned prev_parallelism = GetParallelism();
   SetParallelism(1);
 
-  const FaultPlan plan = DrawFaultPlan(options.seed, &rng);
-  ScopedFaultInjection injection(plan);
+  const FaultPlan plan =
+      DrawFaultPlan(options.seed, options.with_watchdog, &rng);
+  // Disarmed explicitly (reset) before the invariant 4/5 verification
+  // pass, so snapshot loads and resume re-runs see a quiet fault layer.
+  std::optional<ScopedFaultInjection> injection;
+  injection.emplace(plan);
 
-  const std::string journal_path =
-      options.scratch_dir + "/kanon_chaos_" +
+  const std::string scratch_tag =
       std::to_string(static_cast<unsigned long>(::getpid())) + "_" +
-      std::to_string(options.seed) + ".journal";
+      std::to_string(options.seed);
+  const std::string journal_path =
+      options.scratch_dir + "/kanon_chaos_" + scratch_tag + ".journal";
+
+  std::unique_ptr<CheckpointStore> store;
+  if (options.with_checkpoints) {
+    store = std::make_unique<CheckpointStore>(
+        options.scratch_dir + "/kanon_chaos_" + scratch_tag + ".ckpt");
+    (void)store->Clear();  // leftovers from a killed prior run
+  }
+  // Declared before the pool (below): workers Watch/Unwatch through it.
+  std::unique_ptr<Watchdog> watchdog;
+  if (options.with_watchdog) {
+    watchdog = std::make_unique<Watchdog>(
+        WatchdogOptions{.scan_interval_ms = 20.0, .stall_ms = 300.0});
+  }
+  // Prepared requests by ticket id: invariant 4 verifies snapshot
+  // stamps against them, invariant 5 re-executes them.
+  std::vector<AnonymizeRequest> admitted;
+  std::unordered_map<uint64_t, size_t> job_index;
+  uint64_t stall_fires = 0;
+  uint64_t preempted_responses = 0;
   std::unique_ptr<JobJournal> journal;
   if (options.with_journal) {
     ::unlink(journal_path.c_str());
@@ -196,6 +260,7 @@ ChaosReport RunChaosSchedule(const ChaosScheduleOptions& options) {
                                   prepared.message());
       continue;
     }
+    AnonymizeRequest keep = request;  // for invariant 4/5 verification
     StatusOr<JobQueue::Ticket> ticket =
         queue.Submit(std::move(request), &error);
     ++report.submitted;
@@ -211,6 +276,8 @@ ChaosReport RunChaosSchedule(const ChaosScheduleOptions& options) {
       continue;
     }
     fp = FingerprintInt(fp, ticket->id);
+    job_index[ticket->id] = admitted.size();
+    admitted.push_back(std::move(keep));
     tickets.push_back(*std::move(ticket));
     expected_k.push_back(k);
   }
@@ -228,6 +295,12 @@ ChaosReport RunChaosSchedule(const ChaosScheduleOptions& options) {
                                    .cap_ms = 0.1};
   pool_options.breaker =
       BreakerOptions{.failure_threshold = 3, .open_ms = 1e12};
+  // Tight poll cadence so short chaos jobs still emit snapshots; kept
+  // on completion so invariants 4/5 can examine them afterwards.
+  pool_options.checkpoints = store.get();
+  pool_options.checkpoint_every_polls = 2;
+  pool_options.keep_checkpoints = true;
+  pool_options.watchdog = watchdog.get();
   {
     WorkerPool pool(&queue, &cache, pool_options);
     queue.Close();
@@ -257,6 +330,9 @@ ChaosReport RunChaosSchedule(const ChaosScheduleOptions& options) {
         }
       } else {
         ++report.answered_error;
+        if (response.error == ServiceError::kWatchdogPreempted) {
+          ++preempted_responses;
+        }
         if (response.error == ServiceError::kNone) {
           report.violations.push_back(
               "job " + std::to_string(response.id) +
@@ -277,6 +353,9 @@ ChaosReport RunChaosSchedule(const ChaosScheduleOptions& options) {
     const WorkerPool::Counters workers = pool.counters();
     report.retries = workers.retries_attempted;
     report.retries_exhausted = workers.retries_exhausted;
+    report.checkpoints_written = workers.checkpoints_written;
+    report.checkpoint_failures = workers.checkpoint_failures;
+    report.watchdog_preempted = workers.watchdog_preempted;
   }
   report.shed = queue.counters().shed;
   report.cache_rejected = cache.stats().rejected;
@@ -289,7 +368,13 @@ ChaosReport RunChaosSchedule(const ChaosScheduleOptions& options) {
     fp = FingerprintInt(fp, site.hits);
     fp = FingerprintInt(fp, site.fires);
     report.fires += site.fires;
+    if (site.name == "worker.stall") stall_fires = site.fires;
   }
+  // Checkpoint emission is poll-counted and preemption counts are
+  // fault-plan driven, so both belong in the determinism digest.
+  fp = FingerprintInt(fp, report.checkpoints_written);
+  fp = FingerprintInt(fp, report.checkpoint_failures);
+  fp = FingerprintInt(fp, report.watchdog_preempted);
   report.outcome_fingerprint = fp;
 
   if (options.with_journal) {
@@ -302,6 +387,89 @@ ChaosReport RunChaosSchedule(const ChaosScheduleOptions& options) {
     }
     CheckCrashPrefixes(journal_path, &rng, &report.violations);
     ::unlink(journal_path.c_str());
+  }
+
+  // Everything below runs with faults disarmed: the verification pass
+  // itself must not be sabotaged by the plan it is auditing.
+  injection.reset();
+  if (watchdog != nullptr) watchdog->Stop();
+
+  // Invariant 6: preemptions reconcile exactly with injected stalls —
+  // one watchdog trip, one pool counter bump and one typed response per
+  // fire; slow-but-heartbeating jobs contribute nothing to any of them.
+  if (options.with_watchdog) {
+    const uint64_t preemptions =
+        watchdog != nullptr ? watchdog->preemptions() : 0;
+    if (preemptions != stall_fires ||
+        report.watchdog_preempted != stall_fires ||
+        preempted_responses != stall_fires) {
+      report.violations.push_back(
+          "watchdog reconciliation failed: stall fires=" +
+          std::to_string(stall_fires) +
+          " preemptions=" + std::to_string(preemptions) +
+          " pool counter=" + std::to_string(report.watchdog_preempted) +
+          " typed responses=" + std::to_string(preempted_responses));
+    }
+  }
+
+  // Invariants 4 and 5: audit what the schedule left in the store.
+  if (store != nullptr) {
+    for (const uint64_t id : store->List()) {
+      ++report.snapshots_checked;
+      StatusOr<SolverSnapshot> loaded = store->Load(id);
+      if (!loaded.ok()) {
+        // Injected torn writes leave garbage behind; the contract is a
+        // *typed* refusal, never a crash or a silent restore.
+        if (loaded.status().code() != StatusCode::kDataLoss &&
+            loaded.status().code() != StatusCode::kParseError &&
+            loaded.status().code() != StatusCode::kNotFound) {
+          report.violations.push_back(
+              "snapshot " + std::to_string(id) +
+              " failed untyped: " + loaded.status().ToString());
+        }
+        continue;
+      }
+      const auto found = job_index.find(id);
+      if (found == job_index.end()) {
+        report.violations.push_back("snapshot " + std::to_string(id) +
+                                    " does not belong to any job");
+        continue;
+      }
+      const AnonymizeRequest& request = admitted[found->second];
+      if (loaded->table_fp != TableFingerprint(*request.table) ||
+          loaded->k != request.k) {
+        report.violations.push_back(
+            "snapshot " + std::to_string(id) +
+            " carries a stamp for a different job");
+        continue;
+      }
+      // Invariant 5, on a budget (resumes re-solve, so cap the count):
+      // resuming twice from the same snapshot must agree bit-for-bit.
+      if (report.resumes_verified >= 4) continue;
+      ++report.resumes_verified;
+      const AnonymizeResponse first = ResumeOnce(request, *loaded);
+      const AnonymizeResponse second = ResumeOnce(request, *loaded);
+      std::string why;
+      if (!first.ok() || !second.ok()) {
+        report.violations.push_back(
+            "resume of snapshot " + std::to_string(id) + " failed: " +
+            (first.ok() ? second : first).status.ToString());
+      } else if (first.cost != second.cost ||
+                 first.anonymized_csv != second.anonymized_csv ||
+                 first.stage != second.stage ||
+                 first.termination != second.termination) {
+        report.violations.push_back(
+            "resume of snapshot " + std::to_string(id) +
+            " is nondeterministic (cost " + std::to_string(first.cost) +
+            " vs " + std::to_string(second.cost) + ")");
+      } else if (!OutputIsKAnonymous(first.anonymized_csv, request.k,
+                                     &why)) {
+        report.violations.push_back(
+            "resumed snapshot " + std::to_string(id) + ": " + why);
+      }
+    }
+    (void)store->Clear();
+    ::rmdir(store->dir().c_str());
   }
 
   SetParallelism(prev_parallelism);

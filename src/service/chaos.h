@@ -12,7 +12,7 @@
 /// plan (which sites misbehave, how often), a mixed workload (tables,
 /// algorithms, k, priorities, budgets, cancellations), and runs it
 /// end-to-end on a real JobQueue + WorkerPool + ResultCache (+ JobJournal),
-/// then checks the service layer's three robustness invariants:
+/// then checks the service layer's six robustness invariants:
 ///
 ///   1. every admitted job terminates — with a *valid* k-anonymous
 ///      answer (every distinct output row appears >= k times) or a
@@ -20,7 +20,19 @@
 ///   2. the cache never serves a fault-tainted result (a cache hit's
 ///      termination is always kNone or kBudget);
 ///   3. the job journal replays to a consistent state from *any* crash
-///      prefix (intact records + at most one torn tail line).
+///      prefix (intact records + at most one torn tail line);
+///   4. a crash never loses a checkpointed job's validity: every
+///      snapshot left in the store either loads as a stamp-matched
+///      state for its own job or fails with a typed kDataLoss /
+///      kParseError — even under injected save failures and torn
+///      writes, a bad snapshot is never silently restorable;
+///   5. resume is deterministic: re-running a job from its snapshot
+///      twice (fresh contexts, faults disarmed) yields bit-identical
+///      answers — same cost, same output CSV, same producing stage;
+///   6. the watchdog preempts exactly the stalled: every injected
+///      `worker.stall` fire is answered by exactly one preemption and
+///      one typed watchdog_preempted response, and jobs that are slow
+///      but heartbeating (`worker.slow`) are never preempted.
 ///
 /// Determinism: all jobs are submitted (and cancels issued) before the
 /// single worker starts, solver parallelism is pinned to 1, jobs carry
@@ -38,7 +50,13 @@ struct ChaosScheduleOptions {
   /// Journal the schedule and check invariant 3. Requires `scratch_dir`
   /// to be writable.
   bool with_journal = true;
-  /// Directory for the schedule's journal file.
+  /// Arm a durable CheckpointStore (cadence: every 2 polls) and check
+  /// invariants 4 and 5. Requires `scratch_dir` to be writable.
+  bool with_checkpoints = true;
+  /// Run a stall watchdog over the pool and check invariant 6 (injected
+  /// `worker.stall` faults are only drawn when this is on).
+  bool with_watchdog = true;
+  /// Directory for the schedule's journal file and checkpoint store.
   std::string scratch_dir = "/tmp";
   /// Echo per-job outcomes to stderr.
   bool verbose = false;
@@ -60,6 +78,14 @@ struct ChaosReport {
   uint64_t shed = 0;
   /// Tainted cache inserts refused by the guard.
   uint64_t cache_rejected = 0;
+  /// Checkpoint sink activity across the schedule.
+  uint64_t checkpoints_written = 0;
+  uint64_t checkpoint_failures = 0;
+  /// Jobs answered with the typed watchdog_preempted error.
+  uint64_t watchdog_preempted = 0;
+  /// Snapshots examined for invariant 4 / resumed twice for invariant 5.
+  uint64_t snapshots_checked = 0;
+  uint64_t resumes_verified = 0;
   /// Invariant violations; empty means the schedule passed.
   std::vector<std::string> violations;
   /// Deterministic digest of every per-job outcome plus the fault-site

@@ -159,6 +159,10 @@ void JobJournal::OnCancel(uint64_t id) {
   Append("cancel " + std::to_string(id));
 }
 
+void JobJournal::OnCheckpoint(uint64_t id, uint64_t seq) {
+  Append("ckpt " + std::to_string(id) + " " + std::to_string(seq));
+}
+
 uint64_t JobJournal::appends() const {
   std::lock_guard<std::mutex> lock(mu_);
   return appends_;
@@ -218,6 +222,18 @@ StatusOr<JournalReplay> JobJournal::ReplayFile(const std::string& path) {
       } else if (verb == "cancel") {
         const auto it = open.find(id);
         if (it != open.end()) it->second.cancelled = true;
+      } else if (verb == "ckpt") {
+        std::string seq_token;
+        long long seq = 0;
+        valid = static_cast<bool>(tokens >> seq_token) &&
+                ParseInt(seq_token, &seq) && seq > 0;
+        if (valid) {
+          const auto it = open.find(id);
+          if (it != open.end() &&
+              static_cast<uint64_t>(seq) > it->second.checkpoint_seq) {
+            it->second.checkpoint_seq = static_cast<uint64_t>(seq);
+          }
+        }
       } else if (verb == "done") {
         if (open.erase(id) > 0) ++replay.completed;
       } else {

@@ -28,8 +28,15 @@
 ///   <fnv64-hex16> admit <id> algo=<s> k=<n> deadline_ms=<f> budget=<n>
 ///                 priority=<n> emit=<0|1> csv=<inline-csv...>
 ///   <fnv64-hex16> start <id>
+///   <fnv64-hex16> ckpt <id> <seq>
 ///   <fnv64-hex16> cancel <id>
 ///   <fnv64-hex16> done <id> <ok|error-name>
+///
+/// `ckpt` records that snapshot `seq` of the job reached the checkpoint
+/// store durably *before* the record was appended, so replay may trust
+/// that a recorded checkpoint exists on disk (the converse tear — store
+/// write landed, record did not — only costs the resume, degrading to
+/// the typed `interrupted` path).
 ///
 /// The checksum covers the payload after the first space. A crash can
 /// tear at most the final line (appends are single write() calls);
@@ -49,6 +56,8 @@ struct ReplayedJob {
   bool started = false;
   /// True when a `cancel` record was found.
   bool cancelled = false;
+  /// Highest checkpoint sequence recorded for the job; 0 = none.
+  uint64_t checkpoint_seq = 0;
 };
 
 /// Outcome of replaying a journal file.
@@ -80,6 +89,7 @@ class JobJournal : public JobObserver {
   void OnStart(uint64_t id) override;
   void OnDone(uint64_t id, const AnonymizeResponse& response) override;
   void OnCancel(uint64_t id) override;
+  void OnCheckpoint(uint64_t id, uint64_t seq) override;
 
   /// Records appended since construction (fsync'd).
   uint64_t appends() const;

@@ -62,6 +62,15 @@ class JobObserver {
     (void)response;
   }
   virtual void OnCancel(uint64_t id) { (void)id; }
+  /// A snapshot of job `id` became durable; `seq` is the per-job
+  /// monotonic snapshot sequence number. Invoked by the worker pool's
+  /// checkpoint sink strictly *after* the store write succeeded, so a
+  /// journaled checkpoint record always points at bytes that reached
+  /// disk.
+  virtual void OnCheckpoint(uint64_t id, uint64_t seq) {
+    (void)id;
+    (void)seq;
+  }
 };
 
 /// Admission-control knobs. Shedding starts before the hard capacity

@@ -36,6 +36,8 @@ const char* ServiceErrorName(ServiceError error) {
       return "worker_failure";
     case ServiceError::kInterrupted:
       return "interrupted";
+    case ServiceError::kWatchdogPreempted:
+      return "watchdog_preempted";
   }
   KANON_CHECK(false) << "bad ServiceError " << static_cast<int>(error);
   return "";
@@ -62,6 +64,7 @@ StatusCode ServiceErrorCode(ServiceError error) {
       return StatusCode::kCancelled;
     case ServiceError::kWorkerFailure:
     case ServiceError::kInterrupted:
+    case ServiceError::kWatchdogPreempted:
       return StatusCode::kInternal;
   }
   KANON_CHECK(false) << "bad ServiceError " << static_cast<int>(error);

@@ -55,6 +55,10 @@ enum class ServiceError {
   /// The job was running when the daemon died; found in the journal at
   /// restart with no recorded outcome.
   kInterrupted,
+  /// The watchdog preempted the job's worker after it stopped making
+  /// observable progress (no heartbeat/checkpoint advance within the
+  /// stall bound).
+  kWatchdogPreempted,
 };
 
 /// Protocol-facing name: "queue_full", "unknown_algorithm", ...
@@ -95,6 +99,13 @@ struct AnonymizeRequest {
   std::string csv_text;
   /// The parsed relation; set by ValidateAndPrepare from `csv_text`.
   std::optional<Table> table;
+  /// Crash-resume state, set only by journal replay (never parsed from
+  /// the wire or serialized back to the journal): the solver name and
+  /// payload of the job's last durable checkpoint. The worker installs
+  /// it on the job's RunContext so the named solver continues instead of
+  /// starting cold.
+  std::string resume_solver;
+  std::string resume_payload;
 };
 
 /// Outcome of one request. `status.ok()` distinguishes answers from

@@ -3,10 +3,12 @@
 #include <istream>
 #include <ostream>
 #include <sstream>
+#include <unordered_map>
 #include <utility>
 
 #include "data/csv_table.h"
 #include "fault/fault.h"
+#include "util/build_info.h"
 #include "util/string_util.h"
 
 namespace kanon {
@@ -66,13 +68,19 @@ std::string FormatStats(const ServiceStats& stats) {
       << " retries=" << stats.retries_attempted
       << " retries_exhausted=" << stats.retries_exhausted
       << " journal_replays=" << stats.journal_replays
+      << " resumed=" << stats.resumed
+      << " resume_degraded=" << stats.resume_degraded
+      << " checkpoints=" << stats.checkpoints_written
+      << " checkpoint_failures=" << stats.checkpoint_failures
+      << " watchdog_preempted=" << stats.watchdog_preempted
       << " breakers=" << (stats.breakers.empty() ? "-" : stats.breakers)
       << " cache_hits=" << stats.cache.hits
       << " cache_misses=" << stats.cache.misses
       << " cache_evictions=" << stats.cache.evictions
       << " cache_rejected=" << stats.cache.rejected
       << " cache_size=" << stats.cache.size
-      << " cache_capacity=" << stats.cache.capacity;
+      << " cache_capacity=" << stats.cache.capacity
+      << " build=" << BuildInfoToken();
   return out.str();
 }
 
@@ -84,10 +92,21 @@ AnonymizationService::AnonymizationService(ServiceOptions options)
                           .shed_start_fraction = options.shed_start_fraction,
                           .shed_levels = options.shed_levels,
                           .observer = options.observer}),
+      watchdog_(options.watchdog_stall_ms > 0.0
+                    ? std::make_unique<Watchdog>(WatchdogOptions{
+                          .scan_interval_ms =
+                              options.watchdog_scan_interval_ms,
+                          .stall_ms = options.watchdog_stall_ms})
+                    : nullptr),
       pool_(&queue_, &cache_,
             {.workers = options.workers,
              .retry = options.retry,
-             .breaker = options.breaker}) {}
+             .breaker = options.breaker,
+             .checkpoints = options.checkpoints,
+             .checkpoint_every_polls = options.checkpoint_every_polls,
+             .checkpoint_every_ms = options.checkpoint_every_ms,
+             .keep_checkpoints = options.keep_checkpoints,
+             .watchdog = watchdog_.get()}) {}
 
 AnonymizationService::~AnonymizationService() { Shutdown(); }
 
@@ -128,6 +147,11 @@ ServiceStats AnonymizationService::Stats() const {
   stats.retries_attempted = pool.retries_attempted;
   stats.retries_exhausted = pool.retries_exhausted;
   stats.journal_replays = journal_replays_.load(std::memory_order_relaxed);
+  stats.resumed = resumed_.load(std::memory_order_relaxed);
+  stats.resume_degraded = resume_degraded_.load(std::memory_order_relaxed);
+  stats.checkpoints_written = pool.checkpoints_written;
+  stats.checkpoint_failures = pool.checkpoint_failures;
+  stats.watchdog_preempted = pool.watchdog_preempted;
   stats.breakers = pool_.breakers().Describe();
   stats.cache = cache_.stats();
   return stats;
@@ -135,6 +159,12 @@ ServiceStats AnonymizationService::Stats() const {
 
 void AnonymizationService::NoteJournalReplay(uint64_t jobs) {
   journal_replays_.fetch_add(jobs, std::memory_order_relaxed);
+}
+
+void AnonymizationService::NoteResumes(uint64_t resumed,
+                                       uint64_t degraded) {
+  resumed_.fetch_add(resumed, std::memory_order_relaxed);
+  resume_degraded_.fetch_add(degraded, std::memory_order_relaxed);
 }
 
 void AnonymizationService::Shutdown() { pool_.Join(); }
@@ -256,22 +286,100 @@ std::string HandleLine(AnonymizationService& service,
                                    "'; expected anonymize|stats|shutdown"));
 }
 
+namespace {
+
+/// Rewrites a live response line into its replay form.
+std::string ReplayLine(std::string line, uint64_t old_id, bool resumed) {
+  const std::string needle = "verb=anonymize";
+  const size_t at = line.find(needle);
+  if (at != std::string::npos) {
+    std::string verb = "verb=replay old_id=" + std::to_string(old_id);
+    if (resumed) verb += " resumed=1";
+    line.replace(at, needle.size(), verb);
+  }
+  return line;
+}
+
+}  // namespace
+
 JournalReplayReport ApplyReplayToService(JournalReplay replay,
-                                         AnonymizationService& service) {
+                                         AnonymizationService& service,
+                                         const ReplayOptions& options) {
   JournalReplayReport report;
   report.completed = replay.completed;
   report.torn_records = replay.torn_records;
+
+  // Load every snapshot a started job may resume from into memory *up
+  // front*, then clear the store: the new incarnation's job ids restart
+  // at 1 and its own checkpoints would otherwise collide with (or
+  // wrongly inherit) the dead incarnation's files.
+  std::unordered_map<uint64_t, SolverSnapshot> snapshots;
+  std::unordered_map<uint64_t, std::string> load_errors;
+  if (options.checkpoints != nullptr) {
+    for (const ReplayedJob& job : replay.pending) {
+      if (!job.started || job.cancelled || job.checkpoint_seq == 0) {
+        continue;
+      }
+      StatusOr<SolverSnapshot> loaded =
+          options.checkpoints->Load(job.old_id);
+      if (loaded.ok()) {
+        snapshots.emplace(job.old_id, *std::move(loaded));
+      } else {
+        // kNotFound / kDataLoss / kParseError: remember why so the
+        // degraded error line can say.
+        load_errors.emplace(job.old_id, loaded.status().ToString());
+      }
+    }
+    (void)options.checkpoints->Clear();
+  }
+
   for (ReplayedJob& job : replay.pending) {
     if (job.started || job.cancelled) {
-      // Re-running a job that was on a worker when the process died is
-      // unsafe — the input may be what killed it. Typed error instead.
+      // A checkpointed job continues from its snapshot; anything else
+      // that was on a worker when the process died is unsafe to re-run
+      // blindly (the input may be what killed it) — typed error.
+      std::string degrade_note;
+      if (options.checkpoints != nullptr && !job.cancelled &&
+          job.checkpoint_seq > 0) {
+        const auto found = snapshots.find(job.old_id);
+        if (found == snapshots.end()) {
+          const auto why = load_errors.find(job.old_id);
+          degrade_note = why != load_errors.end()
+                             ? why->second
+                             : "snapshot file missing";
+        } else {
+          ServiceError error = ServiceError::kNone;
+          const Status prepared = ValidateAndPrepare(job.request, &error);
+          if (!prepared.ok()) {
+            degrade_note = "request failed validation: " +
+                           prepared.ToString();
+          } else if (found->second.table_fp !=
+                         TableFingerprint(*job.request.table) ||
+                     found->second.k != job.request.k) {
+            degrade_note = "snapshot stale: table/k stamp mismatch";
+          } else {
+            job.request.resume_solver = found->second.solver;
+            job.request.resume_payload = std::move(found->second.payload);
+            ++report.resumed;
+            AnonymizeResponse response =
+                service.Handle(std::move(job.request));
+            report.lines.push_back(ReplayLine(
+                FormatAnonymizeResponse(response), job.old_id, true));
+            continue;
+          }
+        }
+        ++report.resume_degraded;
+      }
       ++report.interrupted;
       const ServiceError error = job.cancelled ? ServiceError::kCancelled
                                                : ServiceError::kInterrupted;
-      const Status status = MakeServiceStatus(
-          error, job.cancelled
-                     ? "cancelled before the crash; not re-run"
-                     : "was running when the daemon died; not re-run");
+      std::string message =
+          job.cancelled ? "cancelled before the crash; not re-run"
+                        : "was running when the daemon died; not re-run";
+      if (!degrade_note.empty()) {
+        message += "; checkpoint unusable: " + degrade_note;
+      }
+      const Status status = MakeServiceStatus(error, std::move(message));
       std::ostringstream line;
       line << "error verb=replay old_id=" << job.old_id
            << " code=" << StatusCodeName(status.code())
@@ -284,16 +392,12 @@ JournalReplayReport ApplyReplayToService(JournalReplay replay,
     AnonymizeResponse response = service.Handle(std::move(job.request));
     // Same shape as a live response, re-verbed so clients can tell a
     // recovered answer from one they asked this incarnation for.
-    std::string line = FormatAnonymizeResponse(response);
-    const std::string needle = "verb=anonymize";
-    const size_t at = line.find(needle);
-    if (at != std::string::npos) {
-      line.replace(at, needle.size(),
-                   "verb=replay old_id=" + std::to_string(job.old_id));
-    }
-    report.lines.push_back(std::move(line));
+    report.lines.push_back(
+        ReplayLine(FormatAnonymizeResponse(response), job.old_id, false));
   }
-  service.NoteJournalReplay(report.resubmitted + report.interrupted);
+  service.NoteJournalReplay(report.resubmitted + report.resumed +
+                            report.interrupted);
+  service.NoteResumes(report.resumed, report.resume_degraded);
   return report;
 }
 

@@ -63,6 +63,17 @@ struct ServiceOptions {
   /// Optional job-lifecycle observer, typically the crash journal (not
   /// owned; must outlive the service).
   JobObserver* observer = nullptr;
+  /// Durable snapshot store (not owned; null = checkpointing off) plus
+  /// the cadence forwarded to the worker pool.
+  CheckpointStore* checkpoints = nullptr;
+  uint64_t checkpoint_every_polls = 256;
+  double checkpoint_every_ms = 0.0;
+  bool keep_checkpoints = false;
+  /// Stuck-worker watchdog: a job whose progress counters flat-line for
+  /// `watchdog_stall_ms` is preempted with the typed watchdog_preempted
+  /// error. 0 disables the watchdog entirely.
+  double watchdog_stall_ms = 0.0;
+  double watchdog_scan_interval_ms = 10.0;
 };
 
 /// Counter snapshot across queue, pool and cache.
@@ -79,6 +90,15 @@ struct ServiceStats {
   uint64_t retries_exhausted = 0;
   /// Jobs recovered from a crash journal at startup.
   uint64_t journal_replays = 0;
+  /// Replayed jobs continued from a durable checkpoint / degraded to
+  /// the typed interrupted path because their snapshot was missing,
+  /// stale or corrupt.
+  uint64_t resumed = 0;
+  uint64_t resume_degraded = 0;
+  /// Checkpoint sink activity and watchdog preemptions (pool counters).
+  uint64_t checkpoints_written = 0;
+  uint64_t checkpoint_failures = 0;
+  uint64_t watchdog_preempted = 0;
   /// "stage:state,..." rendering of the breaker board ("-" when no
   /// stage has run yet).
   std::string breakers;
@@ -114,6 +134,9 @@ class AnonymizationService {
   /// Records `jobs` recovered from a crash journal (stats reporting).
   void NoteJournalReplay(uint64_t jobs);
 
+  /// Records checkpoint-resume outcomes of a replay (stats reporting).
+  void NoteResumes(uint64_t resumed, uint64_t degraded);
+
   /// Stops admission, drains in-flight jobs and joins the workers.
   /// Called by the destructor; safe to call early and repeatedly.
   void Shutdown();
@@ -121,14 +144,26 @@ class AnonymizationService {
  private:
   ResultCache cache_;
   JobQueue queue_;
+  /// Declared before pool_: workers Watch/Unwatch through it, so it
+  /// must outlive them (destruction runs in reverse order and ~WorkerPool
+  /// joins the workers first).
+  std::unique_ptr<Watchdog> watchdog_;
   WorkerPool pool_;
   std::atomic<uint64_t> journal_replays_{0};
+  std::atomic<uint64_t> resumed_{0};
+  std::atomic<uint64_t> resume_degraded_{0};
 };
 
 /// Summary of a crash-journal replay performed at daemon startup.
 struct JournalReplayReport {
   /// Pending jobs resubmitted and answered (they had not started).
   uint64_t resubmitted = 0;
+  /// Started jobs continued from their durable checkpoint.
+  uint64_t resumed = 0;
+  /// Started jobs with a journaled checkpoint whose snapshot turned out
+  /// missing, stale or corrupt; degraded to the interrupted path (also
+  /// counted in `interrupted`).
+  uint64_t resume_degraded = 0;
   /// Jobs that were running (or cancelled) at the crash; answered with
   /// the typed `interrupted` / `cancelled` error instead of re-running.
   uint64_t interrupted = 0;
@@ -141,14 +176,28 @@ struct JournalReplayReport {
   std::vector<std::string> lines;
 };
 
+/// Checkpoint wiring for a replay. When `checkpoints` is set, started
+/// jobs with a journaled checkpoint are *continued*: the snapshot is
+/// loaded and verified against the job's identity (table fingerprint +
+/// k), installed on the resubmitted request, and the job re-runs from
+/// where it left off. All needed snapshots are read into memory up
+/// front and the store is then cleared — the new incarnation's job ids
+/// restart at 1 and must not collide with the dead incarnation's files.
+struct ReplayOptions {
+  CheckpointStore* checkpoints = nullptr;
+};
+
 /// Applies an already-parsed replay: not-yet-started jobs are
 /// resubmitted (synchronously) and answered; started-but-unfinished
-/// ones are reported `interrupted`. When the service's observer is a
-/// fresh journal, resubmissions are re-journaled under new ids — which
-/// is why the daemon reads the old file, Reset()s it, and only then
-/// applies (old ids must not collide with the new incarnation's).
+/// ones continue from their checkpoint when one is recorded, usable and
+/// stamp-matched (see ReplayOptions), and are reported `interrupted`
+/// otherwise. When the service's observer is a fresh journal,
+/// resubmissions are re-journaled under new ids — which is why the
+/// daemon reads the old file, Reset()s it, and only then applies (old
+/// ids must not collide with the new incarnation's).
 JournalReplayReport ApplyReplayToService(JournalReplay replay,
-                                         AnonymizationService& service);
+                                         AnonymizationService& service,
+                                         const ReplayOptions& options = {});
 
 /// Convenience for tests and embedders whose service has no journal
 /// observer on `path`: ReplayFile + ApplyReplayToService. Fails with

@@ -1,0 +1,79 @@
+#include "service/watchdog.h"
+
+#include <chrono>
+#include <utility>
+
+namespace kanon {
+
+Watchdog::Watchdog(WatchdogOptions options) : options_(options) {
+  thread_ = std::thread([this] { Loop(); });
+}
+
+Watchdog::~Watchdog() { Stop(); }
+
+void Watchdog::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void Watchdog::Watch(uint64_t id, std::shared_ptr<RunContext> ctx) {
+  Entry entry;
+  entry.progress = Progress(*ctx);
+  entry.since = RunContext::Clock::now();
+  entry.ctx = std::move(ctx);
+  std::lock_guard<std::mutex> lock(mu_);
+  watched_[id] = std::move(entry);
+}
+
+void Watchdog::Unwatch(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  watched_.erase(id);
+}
+
+size_t Watchdog::watched() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return watched_.size();
+}
+
+void Watchdog::ScanOnce() {
+  const RunContext::Clock::time_point now = RunContext::Clock::now();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [id, entry] : watched_) {
+    if (entry.preempted) continue;
+    const uint64_t progress = Progress(*entry.ctx);
+    if (progress != entry.progress) {
+      // Moving: restart the stall clock from this observation.
+      entry.progress = progress;
+      entry.since = now;
+      continue;
+    }
+    const double flat_ms =
+        std::chrono::duration<double, std::milli>(now - entry.since)
+            .count();
+    if (flat_ms >= options_.stall_ms) {
+      entry.ctx->RequestPreempt();
+      entry.preempted = true;  // one-shot per watched job
+      preemptions_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+void Watchdog::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stopping_) {
+    cv_.wait_for(lock,
+                 std::chrono::duration<double, std::milli>(
+                     options_.scan_interval_ms));
+    if (stopping_) break;
+    lock.unlock();
+    ScanOnce();
+    lock.lock();
+  }
+}
+
+}  // namespace kanon

@@ -1,0 +1,103 @@
+#ifndef KANON_SERVICE_WATCHDOG_H_
+#define KANON_SERVICE_WATCHDOG_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "util/run_context.h"
+
+/// \file
+/// Stuck-worker detection for the worker pool.
+///
+/// Every solver in the chain polls ShouldStop() in its hot loop, and
+/// every poll (plus every emitted checkpoint) bumps the job context's
+/// heartbeat counter. A worker that is *slow* keeps bumping it; a worker
+/// that is *stuck* — wedged in a non-polling path, livelocked, lost to a
+/// runaway allocation — stops. The watchdog samples each watched job's
+/// progress counter on a fixed scan interval; once a job goes a full
+/// `stall_ms` with no advance it is preempted through the ordinary
+/// cancellation path (`RunContext::RequestPreempt`), which the pool
+/// surfaces as the typed `watchdog_preempted` error.
+///
+/// The invariant the chaos harness holds this to: a job whose heartbeat
+/// advances is NEVER preempted, no matter how slowly it runs — only
+/// flat-lined jobs are. Preemption is one-shot per watched job.
+
+namespace kanon {
+
+struct WatchdogOptions {
+  /// How often the scan thread samples progress counters.
+  double scan_interval_ms = 10.0;
+  /// A watched job with no progress advance for this long is preempted.
+  double stall_ms = 1000.0;
+};
+
+/// Watches running jobs' heartbeat counters and preempts flat-lined
+/// ones. Thread-safe; one instance serves the whole pool. Tests drive
+/// ScanOnce() directly (with a huge scan interval) for determinism.
+class Watchdog {
+ public:
+  explicit Watchdog(WatchdogOptions options);
+  ~Watchdog();
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// Registers job `id` (just dispatched to a worker) for monitoring.
+  /// The stall clock starts now.
+  void Watch(uint64_t id, std::shared_ptr<RunContext> ctx);
+
+  /// Unregisters a job (it completed or was handed back). Idempotent.
+  void Unwatch(uint64_t id);
+
+  /// One scan pass over the watched set; preempts any job whose
+  /// progress counter has not advanced within the stall bound. Called
+  /// by the background thread each interval; exposed for deterministic
+  /// tests.
+  void ScanOnce();
+
+  /// Stops the scan thread (also done by the destructor).
+  void Stop();
+
+  /// Jobs preempted since construction.
+  uint64_t preemptions() const {
+    return preemptions_.load(std::memory_order_relaxed);
+  }
+
+  /// Currently watched job count.
+  size_t watched() const;
+
+ private:
+  /// Progress metric: anything a live solver advances. Heartbeats cover
+  /// ShouldStop() polls and checkpoint emissions; nodes_charged covers
+  /// solvers that charge in bulk between polls.
+  static uint64_t Progress(const RunContext& ctx) {
+    return ctx.heartbeats() + ctx.nodes_charged();
+  }
+
+  struct Entry {
+    std::shared_ptr<RunContext> ctx;
+    uint64_t progress = 0;
+    RunContext::Clock::time_point since{};
+    bool preempted = false;
+  };
+
+  void Loop();
+
+  const WatchdogOptions options_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::unordered_map<uint64_t, Entry> watched_;
+  std::atomic<uint64_t> preemptions_{0};
+  bool stopping_ = false;
+  std::thread thread_;
+};
+
+}  // namespace kanon
+
+#endif  // KANON_SERVICE_WATCHDOG_H_

@@ -45,6 +45,53 @@ std::string ExtractChain(const std::string& notes) {
   return notes.substr(begin, end == std::string::npos ? end : end - begin);
 }
 
+/// Per-dispatch sink: stamps each solver payload with the job's
+/// identity, persists it durably, and only then journals the `ckpt`
+/// record — so a journaled checkpoint always points at bytes on disk
+/// (the reverse tear merely loses the resume).
+class JobCheckpointSink : public CheckpointSink {
+ public:
+  JobCheckpointSink(CheckpointStore* store, JobObserver* observer,
+                    uint64_t job_id, uint64_t table_fp, uint64_t k,
+                    std::atomic<uint64_t>* written,
+                    std::atomic<uint64_t>* failures)
+      : store_(store),
+        observer_(observer),
+        job_id_(job_id),
+        table_fp_(table_fp),
+        k_(k),
+        written_(written),
+        failures_(failures) {}
+
+  Status Persist(std::string_view solver,
+                 const std::string& payload) override {
+    SolverSnapshot snapshot;
+    snapshot.solver = std::string(solver);
+    snapshot.table_fp = table_fp_;
+    snapshot.k = k_;
+    snapshot.seq = ++seq_;
+    snapshot.payload = payload;
+    const Status status = store_->Save(job_id_, snapshot);
+    if (status.ok()) {
+      written_->fetch_add(1, std::memory_order_relaxed);
+      if (observer_ != nullptr) observer_->OnCheckpoint(job_id_, seq_);
+    } else {
+      failures_->fetch_add(1, std::memory_order_relaxed);
+    }
+    return status;
+  }
+
+ private:
+  CheckpointStore* const store_;
+  JobObserver* const observer_;
+  const uint64_t job_id_;
+  const uint64_t table_fp_;
+  const uint64_t k_;
+  std::atomic<uint64_t>* const written_;
+  std::atomic<uint64_t>* const failures_;
+  uint64_t seq_ = 0;
+};
+
 }  // namespace
 
 AnonymizeResponse WorkerPool::Execute(const AnonymizeRequest& request,
@@ -54,6 +101,14 @@ AnonymizeResponse WorkerPool::Execute(const AnonymizeRequest& request,
       << "Execute requires a prepared request (ValidateAndPrepare)";
   WallTimer timer;
   const Table& table = *request.table;
+
+  if (!request.resume_solver.empty()) {
+    // Journal replay recovered a durable snapshot for this job: install
+    // it so the named solver (running under this ctx or a chain child)
+    // continues from it. Solvers re-validate the payload themselves and
+    // start cold on any mismatch.
+    ctx->SetResume(request.resume_solver, request.resume_payload);
+  }
 
   AnonymizeResponse response;
   response.algorithm = request.algorithm;
@@ -138,7 +193,12 @@ WorkerPool::WorkerPool(JobQueue* queue, ResultCache* cache,
     : queue_(queue),
       cache_(cache),
       retry_(options.retry),
-      breakers_(options.breaker) {
+      breakers_(options.breaker),
+      checkpoints_(options.checkpoints),
+      checkpoint_every_polls_(options.checkpoint_every_polls),
+      checkpoint_every_ms_(options.checkpoint_every_ms),
+      keep_checkpoints_(options.keep_checkpoints),
+      watchdog_(options.watchdog) {
   KANON_CHECK(queue != nullptr);
   const unsigned n =
       options.workers > 0 ? options.workers : GetParallelism();
@@ -166,6 +226,12 @@ WorkerPool::Counters WorkerPool::counters() const {
       retries_attempted_.load(std::memory_order_relaxed);
   counters.retries_exhausted =
       retries_exhausted_.load(std::memory_order_relaxed);
+  counters.checkpoints_written =
+      checkpoints_written_.load(std::memory_order_relaxed);
+  counters.checkpoint_failures =
+      checkpoint_failures_.load(std::memory_order_relaxed);
+  counters.watchdog_preempted =
+      watchdog_preempted_.load(std::memory_order_relaxed);
   return counters;
 }
 
@@ -182,8 +248,42 @@ AnonymizeResponse WorkerPool::ExecuteWithRetry(const Job& job) {
     bool faulted = KANON_FAULT_POINT("worker.dispatch");
     AnonymizeResponse response;
     if (!faulted) {
+      // An injected *stall* wedges this worker with zero heartbeat
+      // advance until the watchdog preempts it — only armed when a
+      // watchdog exists to break the loop and the job is not already
+      // cancelled (so the fault fires at most once per job and every
+      // fire is answered by exactly one preemption).
+      if (watchdog_ != nullptr && !job.ctx->cancel_requested() &&
+          KANON_FAULT_POINT("worker.stall")) {
+        while (!job.ctx->cancel_requested()) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+      }
+      // An injected *slow* fault drags its feet but keeps polling —
+      // heartbeats advance, so the watchdog must leave it alone.
+      if (KANON_FAULT_POINT("worker.slow")) {
+        for (int i = 0; i < 5 && !job.ctx->cancel_requested(); ++i) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(10));
+          (void)job.ctx->ShouldStop();
+        }
+      }
       response = Execute(job.request, job.ctx.get(), cache_, &breakers_);
       faulted = KANON_FAULT_POINT("worker.deliver");
+    }
+    if (job.ctx->preempt_requested()) {
+      // A watchdog preemption is not retried in place: the job burned
+      // its stall bound once already, and the typed error tells the
+      // caller exactly what happened.
+      watchdog_preempted_.fetch_add(1, std::memory_order_relaxed);
+      AnonymizeResponse preempted;
+      preempted.algorithm = job.request.algorithm;
+      preempted.k = job.request.k;
+      preempted.error = ServiceError::kWatchdogPreempted;
+      preempted.status = MakeServiceStatus(
+          preempted.error,
+          "watchdog preempted job " + std::to_string(job.id) +
+              " after a progress stall");
+      return preempted;
     }
     if (!faulted) return response;
     if (attempt >= attempts) {
@@ -212,7 +312,25 @@ void WorkerPool::WorkerLoop() {
             RunContext::Clock::now() - job->enqueue_time)
             .count();
     if (observer != nullptr) observer->OnStart(job->id);
+    std::optional<JobCheckpointSink> sink;
+    if (checkpoints_ != nullptr && job->request.table.has_value()) {
+      sink.emplace(checkpoints_, observer, job->id,
+                   TableFingerprint(*job->request.table),
+                   job->request.k, &checkpoints_written_,
+                   &checkpoint_failures_);
+      job->ctx->ArmCheckpoints(&*sink, checkpoint_every_polls_,
+                               checkpoint_every_ms_);
+    }
+    if (watchdog_ != nullptr) watchdog_->Watch(job->id, job->ctx);
     AnonymizeResponse response = ExecuteWithRetry(*job);
+    if (watchdog_ != nullptr) watchdog_->Unwatch(job->id);
+    if (sink.has_value()) {
+      job->ctx->DisarmCheckpoints();
+      // The job is answered: its snapshot no longer buys anything (a
+      // crash from here replays it as done). Reclaim unless a test or
+      // operator asked to keep snapshots for inspection.
+      if (!keep_checkpoints_) (void)checkpoints_->Remove(job->id);
+    }
     response.id = job->id;
     response.queue_ms = queue_ms;
     completed_.fetch_add(1, std::memory_order_relaxed);

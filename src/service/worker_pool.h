@@ -6,10 +6,12 @@
 #include <thread>
 #include <vector>
 
+#include "ckpt/checkpoint.h"
 #include "service/breaker.h"
 #include "service/cache.h"
 #include "service/queue.h"
 #include "service/retry.h"
+#include "service/watchdog.h"
 
 /// \file
 /// Worker pool draining the job queue.
@@ -32,6 +34,22 @@ struct WorkerPoolOptions {
   RetryPolicy retry;
   /// Tuning for the per-stage circuit breakers (see service/breaker.h).
   BreakerOptions breaker;
+  /// Durable snapshot store (not owned; may be null = checkpointing
+  /// off). When set, each dispatched job's RunContext is armed with a
+  /// sink that stamps snapshots with the job's table fingerprint and k,
+  /// persists them here, and journals a `ckpt` record after each
+  /// durable write.
+  CheckpointStore* checkpoints = nullptr;
+  /// Snapshot cadence: every N solver cadence polls / every T ms
+  /// (whichever knob is non-zero; see RunContext::ArmCheckpoints).
+  uint64_t checkpoint_every_polls = 256;
+  double checkpoint_every_ms = 0.0;
+  /// Keep a completed job's snapshot instead of removing it (tests and
+  /// post-mortem inspection; the daemon removes by default).
+  bool keep_checkpoints = false;
+  /// Stuck-worker monitor (not owned; may be null = no watchdog).
+  /// Dispatched jobs are watched for the duration of execution.
+  Watchdog* watchdog = nullptr;
 };
 
 /// N threads executing jobs from a JobQueue. The pool does not own the
@@ -47,6 +65,11 @@ class WorkerPool {
     uint64_t retries_attempted = 0;
     /// Jobs answered with worker_failure after the retry budget ran out.
     uint64_t retries_exhausted = 0;
+    /// Snapshots durably written / failed-to-write by checkpoint sinks.
+    uint64_t checkpoints_written = 0;
+    uint64_t checkpoint_failures = 0;
+    /// Jobs answered with watchdog_preempted after a stall preemption.
+    uint64_t watchdog_preempted = 0;
   };
 
   /// Spawns the workers immediately. `cache` may be null (no caching).
@@ -92,12 +115,20 @@ class WorkerPool {
   ResultCache* const cache_;
   const RetryPolicy retry_;
   BreakerBoard breakers_;
+  CheckpointStore* const checkpoints_;
+  const uint64_t checkpoint_every_polls_;
+  const double checkpoint_every_ms_;
+  const bool keep_checkpoints_;
+  Watchdog* const watchdog_;
   std::vector<std::thread> threads_;
   std::atomic<uint64_t> completed_{0};
   std::atomic<uint64_t> cache_served_{0};
   std::atomic<uint64_t> cancelled_{0};
   std::atomic<uint64_t> retries_attempted_{0};
   std::atomic<uint64_t> retries_exhausted_{0};
+  std::atomic<uint64_t> checkpoints_written_{0};
+  std::atomic<uint64_t> checkpoint_failures_{0};
+  std::atomic<uint64_t> watchdog_preempted_{0};
 };
 
 }  // namespace kanon

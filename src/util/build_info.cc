@@ -1,0 +1,50 @@
+#include "util/build_info.h"
+
+namespace kanon {
+namespace {
+
+#ifndef KANON_GIT_HASH
+#define KANON_GIT_HASH "unknown"
+#endif
+#ifndef KANON_BUILD_TYPE
+#define KANON_BUILD_TYPE "unspecified"
+#endif
+#ifndef KANON_SANITIZE_NAME
+#define KANON_SANITIZE_NAME "none"
+#endif
+
+std::string NormalizeSanitizer(std::string name) {
+  // CMake hands through the raw -DKANON_SANITIZE value; the historical
+  // "off" spelling (and an empty value) both mean no sanitizer.
+  if (name.empty() || name == "OFF" || name == "off" || name == "0") {
+    return "none";
+  }
+  for (char& c : name) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  return name;
+}
+
+}  // namespace
+
+const BuildInfo& GetBuildInfo() {
+  static const BuildInfo* const info = new BuildInfo{
+      KANON_GIT_HASH,
+      KANON_BUILD_TYPE,
+      NormalizeSanitizer(KANON_SANITIZE_NAME),
+  };
+  return *info;
+}
+
+std::string BuildInfoString() {
+  const BuildInfo& info = GetBuildInfo();
+  return "git=" + info.git_hash + " build=" + info.build_type +
+         " sanitizer=" + info.sanitizer;
+}
+
+std::string BuildInfoToken() {
+  const BuildInfo& info = GetBuildInfo();
+  return info.git_hash + "/" + info.build_type + "/" + info.sanitizer;
+}
+
+}  // namespace kanon

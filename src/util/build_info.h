@@ -1,0 +1,35 @@
+#ifndef KANON_UTIL_BUILD_INFO_H_
+#define KANON_UTIL_BUILD_INFO_H_
+
+#include <string>
+
+/// \file
+/// Build provenance for crash-report and chaos-fingerprint triage.
+///
+/// When a chaos sweep or a SIGKILL drill fails, the first question is
+/// always "which build was that?" — the git revision, the CMake build
+/// type, and whether a sanitizer was baked in all change behavior and
+/// timing. The values are injected at compile time (see
+/// src/CMakeLists.txt) into this one translation unit so the rest of the
+/// library never recompiles when the hash moves.
+
+namespace kanon {
+
+struct BuildInfo {
+  std::string git_hash;    ///< Short revision, or "unknown" outside git.
+  std::string build_type;  ///< CMAKE_BUILD_TYPE, or "unspecified".
+  std::string sanitizer;   ///< "asan", "tsan", "ubsan", ... or "none".
+};
+
+/// The build this binary was produced from.
+const BuildInfo& GetBuildInfo();
+
+/// Human-readable one-liner: "git=<hash> build=<type> sanitizer=<san>".
+std::string BuildInfoString();
+
+/// Compact token for machine-parsed stats lines: "<hash>/<type>/<san>".
+std::string BuildInfoToken();
+
+}  // namespace kanon
+
+#endif  // KANON_UTIL_BUILD_INFO_H_

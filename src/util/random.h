@@ -61,6 +61,16 @@ class Rng {
   /// order. Requires count <= n.
   std::vector<uint32_t> SampleWithoutReplacement(uint32_t n, uint32_t count);
 
+  /// Raw generator state, exposed for checkpointing: restoring the pair
+  /// with Restore() resumes the exact output sequence from where it was
+  /// captured (PCG32 state is just these two words).
+  uint64_t state() const { return state_; }
+  uint64_t stream_inc() const { return inc_; }
+  void Restore(uint64_t state, uint64_t stream_inc) {
+    state_ = state;
+    inc_ = stream_inc;
+  }
+
  private:
   uint64_t state_;
   uint64_t inc_;

@@ -53,6 +53,7 @@ void RunContext::Latch(StopReason reason) {
 }
 
 bool RunContext::ShouldStop() {
+  Heartbeat();
   if (stop_reason() != StopReason::kNone) return true;
   if (cancel_requested()) {
     Latch(StopReason::kCancelled);
@@ -68,6 +69,105 @@ bool RunContext::ShouldStop() {
     return true;
   }
   return false;
+}
+
+void RunContext::Heartbeat() const {
+  for (const RunContext* c = this; c != nullptr; c = c->parent_) {
+    c->heartbeats_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+const RunContext* RunContext::CheckpointRoot() const {
+  for (const RunContext* c = this; c != nullptr; c = c->parent_) {
+    if (c->ckpt_armed_.load(std::memory_order_acquire)) return c;
+  }
+  return nullptr;
+}
+
+void RunContext::ArmCheckpoints(CheckpointSink* sink, uint64_t every_polls,
+                                double every_millis) {
+  const bool arm = sink != nullptr && (every_polls > 0 || every_millis > 0.0);
+  if (!arm) {
+    // Disarm first so a concurrent CheckpointDue() never observes a
+    // half-configured cadence.
+    ckpt_armed_.store(false, std::memory_order_release);
+    ckpt_sink_ = nullptr;
+    ckpt_every_polls_.store(0, std::memory_order_relaxed);
+    ckpt_every_ns_.store(0, std::memory_order_relaxed);
+    return;
+  }
+  ckpt_sink_ = sink;
+  ckpt_every_polls_.store(every_polls, std::memory_order_relaxed);
+  ckpt_every_ns_.store(
+      every_millis > 0.0
+          ? static_cast<int64_t>(every_millis * 1e6)
+          : 0,
+      std::memory_order_relaxed);
+  ckpt_polls_.store(0, std::memory_order_relaxed);
+  ckpt_last_ns_.store(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          Clock::now().time_since_epoch())
+          .count(),
+      std::memory_order_relaxed);
+  ckpt_armed_.store(true, std::memory_order_release);
+}
+
+bool RunContext::CheckpointDue() const {
+  const RunContext* root = CheckpointRoot();
+  if (root == nullptr) return false;
+  const uint64_t every =
+      root->ckpt_every_polls_.load(std::memory_order_relaxed);
+  if (every > 0) {
+    const uint64_t polls =
+        root->ckpt_polls_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (polls % every == 0) return true;
+  }
+  const int64_t every_ns =
+      root->ckpt_every_ns_.load(std::memory_order_relaxed);
+  if (every_ns > 0) {
+    const int64_t now_ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            Clock::now().time_since_epoch())
+            .count();
+    int64_t last = root->ckpt_last_ns_.load(std::memory_order_relaxed);
+    if (now_ns - last >= every_ns &&
+        root->ckpt_last_ns_.compare_exchange_strong(
+            last, now_ns, std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Status RunContext::EmitCheckpoint(std::string_view solver,
+                                  const std::string& payload) const {
+  const RunContext* root = CheckpointRoot();
+  if (root == nullptr || root->ckpt_sink_ == nullptr) {
+    return Status::Internal("no checkpoint sink armed");
+  }
+  const Status status = root->ckpt_sink_->Persist(solver, payload);
+  if (status.ok()) {
+    root->ckpt_emitted_.fetch_add(1, std::memory_order_relaxed);
+    // Emitting counts as liveness for the watchdog even if the solver
+    // never reaches another ShouldStop() between snapshots.
+    Heartbeat();
+  }
+  return status;
+}
+
+void RunContext::SetResume(std::string solver, std::string payload) {
+  std::lock_guard<std::mutex> lock(scratch_mu_);
+  resume_[std::move(solver)] = std::move(payload);
+}
+
+std::optional<std::string> RunContext::resume_payload(
+    std::string_view solver) const {
+  {
+    std::lock_guard<std::mutex> lock(scratch_mu_);
+    const auto it = resume_.find(std::string(solver));
+    if (it != resume_.end()) return it->second;
+  }
+  return parent_ != nullptr ? parent_->resume_payload(solver) : std::nullopt;
 }
 
 void RunContext::PutScratch(const void* key, std::shared_ptr<void> value) {

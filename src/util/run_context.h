@@ -7,6 +7,9 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
 #include <unordered_map>
 
 #include "util/status.h"
@@ -57,6 +60,21 @@ const char* StopReasonName(StopReason reason);
 
 /// Maps a stop reason onto the Status layer (kNone -> OK).
 Status StopReasonToStatus(StopReason reason);
+
+/// Destination for solver checkpoints. The util layer only defines the
+/// interface; the concrete sink (src/ckpt's durable store, a test's
+/// in-memory slot) lives above. Persist() is called from the solver's
+/// own thread at a cadence poll; implementations decide durability and
+/// must be safe to call repeatedly with the latest state.
+class CheckpointSink {
+ public:
+  virtual ~CheckpointSink() = default;
+  /// Persists `payload` as the newest snapshot of `solver`'s state.
+  /// Returning non-OK is not fatal to the run — the solver keeps going
+  /// and simply has an older (or no) snapshot on record.
+  virtual Status Persist(std::string_view solver,
+                         const std::string& payload) = 0;
+};
 
 /// Execution-control state for one anonymization run. Not copyable;
 /// share by pointer. All methods are thread-safe, so one context can be
@@ -121,6 +139,20 @@ class RunContext {
     return parent_ != nullptr && parent_->cancel_requested();
   }
 
+  /// Watchdog preemption: cancellation plus a marker distinguishing "the
+  /// service gave up on this worker" from a caller's own cancel, so the
+  /// response can carry the watchdog-specific typed error.
+  void RequestPreempt() {
+    preempted_.store(true, std::memory_order_release);
+    RequestCancel();
+  }
+
+  /// True if this context or any ancestor was preempted by a watchdog.
+  bool preempt_requested() const {
+    if (preempted_.load(std::memory_order_acquire)) return true;
+    return parent_ != nullptr && parent_->preempt_requested();
+  }
+
   // --- Cooperative checkpoints ---------------------------------------
 
   /// The checkpoint solvers poll in their hot loops. Latches and
@@ -147,6 +179,63 @@ class RunContext {
   /// High-water mark of the charged estimate over the context lifetime.
   size_t peak_memory_bytes() const {
     return peak_memory_.load(std::memory_order_relaxed);
+  }
+
+  // --- Checkpoint cadence and resume ----------------------------------
+  //
+  // Same discipline as KANON_FAULT_POINT: disarmed (the default) the
+  // whole feature costs a few relaxed loads per cadence poll, so the
+  // anytime solvers can poll unconditionally. The worker pool arms the
+  // *job root* context; solvers running under fallback-chain child
+  // contexts reach it through the parent walk, exactly like
+  // cancellation. Heartbeats ride along: every ShouldStop() poll bumps a
+  // counter on the whole ancestor chain, which is what the service
+  // watchdog reads to tell a slow-but-alive worker from a stuck one.
+
+  /// Arms checkpointing on THIS context (the job root). Solvers reach it
+  /// from descendant contexts. A snapshot becomes due every
+  /// `every_polls` CheckpointDue() calls (0 = never by count), or once
+  /// `every_millis` has elapsed since the last emission (0 = never by
+  /// time). `sink` must outlive the armed window.
+  void ArmCheckpoints(CheckpointSink* sink, uint64_t every_polls,
+                      double every_millis = 0.0);
+
+  /// Disarms; safe while no solver is concurrently polling.
+  void DisarmCheckpoints() { ArmCheckpoints(nullptr, 0, 0.0); }
+
+  /// Cadence poll, called by solvers at their natural save boundaries
+  /// (a pass, a search-node stride, an outer-loop head). Returns true
+  /// when a snapshot should be emitted now. False-and-cheap when no
+  /// ancestor is armed.
+  bool CheckpointDue() const;
+
+  /// Hands `payload` (the solver's encoded state) to the armed sink.
+  /// Returns the sink's status; kFailedPrecondition-style Internal when
+  /// nothing is armed. Solvers may ignore the result — a failed
+  /// persist only means the last good snapshot stays current.
+  Status EmitCheckpoint(std::string_view solver,
+                        const std::string& payload) const;
+
+  /// Snapshots successfully emitted through this (root) context.
+  uint64_t checkpoints_emitted() const {
+    return ckpt_emitted_.load(std::memory_order_relaxed);
+  }
+
+  /// Installs solver state to resume from: the named solver, on its next
+  /// run under this context (or a descendant), restores `payload`
+  /// instead of starting cold. One slot per solver name; the service
+  /// layer installs exactly the snapshot it loaded for the job.
+  void SetResume(std::string solver, std::string payload);
+
+  /// Resume payload for `solver`, looked up on this context then its
+  /// ancestors; nullopt when none was installed. Non-consuming (an
+  /// in-place retry re-resumes deterministically).
+  std::optional<std::string> resume_payload(std::string_view solver) const;
+
+  /// Liveness counter: bumped on this context and every ancestor by each
+  /// ShouldStop() poll and each emitted checkpoint.
+  uint64_t heartbeats() const {
+    return heartbeats_.load(std::memory_order_relaxed);
   }
 
   // --- Per-run scratch cache ------------------------------------------
@@ -195,10 +284,34 @@ class RunContext {
   bool lenient_ = false;
 
   std::atomic<bool> cancelled_{false};
+  std::atomic<bool> preempted_{false};
   std::atomic<uint64_t> nodes_{0};
   std::atomic<size_t> memory_{0};
   std::atomic<size_t> peak_memory_{0};
   std::atomic<int> stop_reason_{static_cast<int>(StopReason::kNone)};
+
+  /// Nearest ancestor (possibly this) with checkpoints armed; nullptr
+  /// when the whole chain is disarmed.
+  const RunContext* CheckpointRoot() const;
+
+  /// Bumps the liveness counter on this context and every ancestor.
+  void Heartbeat() const;
+
+  // Checkpoint cadence state. All mutable: cadence polling happens on
+  // logically-const paths (CheckpointDue/EmitCheckpoint are const so
+  // solvers holding a const ancestor pointer can reach them).
+  CheckpointSink* ckpt_sink_ = nullptr;
+  std::atomic<bool> ckpt_armed_{false};
+  std::atomic<uint64_t> ckpt_every_polls_{0};
+  std::atomic<int64_t> ckpt_every_ns_{0};
+  mutable std::atomic<uint64_t> ckpt_polls_{0};
+  mutable std::atomic<int64_t> ckpt_last_ns_{0};
+  mutable std::atomic<uint64_t> ckpt_emitted_{0};
+  mutable std::atomic<uint64_t> heartbeats_{0};
+
+  // Resume payloads by solver name; written once by the service layer
+  // before the run, read by solvers at run start. Guarded by scratch_mu_.
+  std::unordered_map<std::string, std::string> resume_;
 
   // Declared last so it is destroyed first: scratch values may release
   // charged memory on this context from their destructors.

@@ -40,6 +40,11 @@ enum class StatusCode {
   /// Unexpected internal failure surfaced as a value (rare; prefer
   /// KANON_CHECK for true invariants).
   kInternal,
+  /// Persisted state is unrecoverable: a torn write, a failed checksum.
+  /// Unlike kParseError (well-formed bytes that mean nothing) this says
+  /// the bytes themselves did not survive — callers should discard the
+  /// artifact and fall back, never retry the read.
+  kDataLoss,
 };
 
 /// Short upper-case tag ("OK", "INVALID_ARGUMENT", ...).
@@ -74,6 +79,9 @@ class Status {
   }
   static Status Internal(std::string m) {
     return Status(StatusCode::kInternal, std::move(m));
+  }
+  static Status DataLoss(std::string m) {
+    return Status(StatusCode::kDataLoss, std::move(m));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

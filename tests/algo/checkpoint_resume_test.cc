@@ -1,0 +1,184 @@
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algo/registry.h"
+#include "data/generators/uniform.h"
+#include "gtest/gtest.h"
+#include "util/fingerprint.h"
+#include "util/random.h"
+#include "util/run_context.h"
+
+/// \file
+/// Golden-hash proofs that checkpoint/resume is exact: for every anytime
+/// solver, a run interrupted by a node budget and resumed from its last
+/// snapshot on a fresh context produces the *bit-identical* final answer
+/// (same cost, same canonical partition hash) as the uninterrupted run.
+/// Also proves arming a sink is observation-only: an armed run that is
+/// never interrupted matches the unarmed golden exactly.
+
+namespace kanon {
+namespace {
+
+/// Latest-snapshot-wins sink — the same contract as the durable
+/// per-job store, minus the disk.
+class MemorySink : public CheckpointSink {
+ public:
+  Status Persist(std::string_view solver,
+                 const std::string& payload) override {
+    solver_ = std::string(solver);
+    payload_ = payload;
+    ++persists_;
+    return Status::Ok();
+  }
+
+  bool has_snapshot() const { return persists_ > 0; }
+  const std::string& solver() const { return solver_; }
+  const std::string& payload() const { return payload_; }
+  uint64_t persists() const { return persists_; }
+
+ private:
+  std::string solver_;
+  std::string payload_;
+  uint64_t persists_ = 0;
+};
+
+/// Canonical content hash: group order and within-group row order are
+/// presentation, not meaning, so both are sorted away first.
+uint64_t PartitionHash(const Partition& partition) {
+  std::vector<Group> groups = partition.groups;
+  for (Group& group : groups) std::sort(group.begin(), group.end());
+  std::sort(groups.begin(), groups.end());
+  uint64_t fp = kFingerprintSeed;
+  for (const Group& group : groups) {
+    fp = FingerprintInt(fp, group.size());
+    for (const RowId row : group) fp = FingerprintInt(fp, row);
+  }
+  return fp;
+}
+
+Table MakeTable(uint32_t rows, uint32_t columns, uint32_t alphabet,
+                uint64_t seed) {
+  UniformTableOptions options;
+  options.num_rows = rows;
+  options.num_columns = columns;
+  options.alphabet = alphabet;
+  Rng rng(seed);
+  return UniformTable(options, &rng);
+}
+
+AnonymizationResult RunAlgo(const std::string& algo, const Table& table,
+                            size_t k, RunContext* ctx) {
+  std::unique_ptr<Anonymizer> solver = MakeAnonymizer(algo);
+  EXPECT_NE(solver, nullptr) << algo;
+  return solver->Run(table, k, ctx);
+}
+
+/// The golden-hash drill: uninterrupted run, budget-interrupted run
+/// with an armed sink, then a resumed run from the captured snapshot.
+void CheckResumeMatchesGolden(const std::string& algo, const Table& table,
+                              size_t k, uint64_t budget,
+                              uint64_t every_polls) {
+  SCOPED_TRACE(algo + " budget=" + std::to_string(budget));
+
+  RunContext golden_ctx;
+  const AnonymizationResult golden = RunAlgo(algo, table, k, &golden_ctx);
+  ASSERT_TRUE(golden.completed());
+
+  MemorySink sink;
+  RunContext interrupted_ctx;
+  interrupted_ctx.set_node_budget(budget);
+  interrupted_ctx.ArmCheckpoints(&sink, every_polls);
+  const AnonymizationResult partial =
+      RunAlgo(algo, table, k, &interrupted_ctx);
+  interrupted_ctx.DisarmCheckpoints();
+  ASSERT_FALSE(partial.completed())
+      << "budget " << budget << " did not interrupt; notes: "
+      << partial.notes;
+  ASSERT_TRUE(sink.has_snapshot())
+      << "no snapshot before the budget tripped";
+
+  RunContext resume_ctx;
+  resume_ctx.SetResume(sink.solver(), sink.payload());
+  const AnonymizationResult resumed = RunAlgo(algo, table, k, &resume_ctx);
+  ASSERT_TRUE(resumed.completed());
+  EXPECT_EQ(resumed.cost, golden.cost);
+  EXPECT_EQ(PartitionHash(resumed.partition),
+            PartitionHash(golden.partition));
+}
+
+TEST(CheckpointResume, BranchBoundResumesBitIdentical) {
+  const Table table = MakeTable(16, 4, 3, 0xb0b5u);
+  for (const uint64_t budget : {100u, 300u, 1000u}) {
+    CheckResumeMatchesGolden("branch_bound", table, 3, budget,
+                             /*every_polls=*/1);
+  }
+}
+
+TEST(CheckpointResume, MdavResumesMidPhase) {
+  const Table table = MakeTable(36, 3, 4, 0x3dau);
+  CheckResumeMatchesGolden("mdav", table, 3, /*budget=*/3,
+                           /*every_polls=*/1);
+}
+
+TEST(CheckpointResume, LocalSearchResumesAtPassBoundary) {
+  const Table table = MakeTable(30, 3, 3, 0x10c5u);
+  CheckResumeMatchesGolden("mdav+local_search", table, 3, /*budget=*/20,
+                           /*every_polls=*/1);
+}
+
+TEST(CheckpointResume, AnnealingResumesWithRestoredRngState) {
+  const Table table = MakeTable(30, 3, 3, 0xa11eu);
+  CheckResumeMatchesGolden("mdav+annealing", table, 3, /*budget=*/3000,
+                           /*every_polls=*/4);
+}
+
+TEST(CheckpointResume, ArmedButUninterruptedRunMatchesUnarmedGolden) {
+  const Table table = MakeTable(18, 3, 3, 0x90dau);
+  for (const std::string algo :
+       {"branch_bound", "mdav", "mdav+local_search", "mdav+annealing"}) {
+    SCOPED_TRACE(algo);
+    RunContext golden_ctx;
+    const AnonymizationResult golden = RunAlgo(algo, table, 3, &golden_ctx);
+    ASSERT_TRUE(golden.completed());
+
+    MemorySink sink;
+    RunContext armed_ctx;
+    armed_ctx.ArmCheckpoints(&sink, /*every_polls=*/1);
+    const AnonymizationResult armed = RunAlgo(algo, table, 3, &armed_ctx);
+    armed_ctx.DisarmCheckpoints();
+    ASSERT_TRUE(armed.completed());
+    EXPECT_GT(sink.persists(), 0u);
+
+    // Observation-only: arming the sink must not perturb the answer.
+    EXPECT_EQ(armed.cost, golden.cost);
+    EXPECT_EQ(PartitionHash(armed.partition),
+              PartitionHash(golden.partition));
+  }
+}
+
+TEST(CheckpointResume, HostileResumePayloadFallsBackToColdStart) {
+  const Table table = MakeTable(12, 3, 3, 0xdeadu);
+  RunContext golden_ctx;
+  const AnonymizationResult golden =
+      RunAlgo("branch_bound", table, 3, &golden_ctx);
+
+  // Garbage, truncated and empty payloads must all be rejected and the
+  // run must come back as a clean cold start, never a crash.
+  for (const std::string& payload :
+       {std::string("not a checkpoint"), std::string(3, '\0'),
+        std::string()}) {
+    RunContext ctx;
+    ctx.SetResume("branch_bound", payload);
+    const AnonymizationResult result =
+        RunAlgo("branch_bound", table, 3, &ctx);
+    ASSERT_TRUE(result.completed());
+    EXPECT_EQ(result.cost, golden.cost);
+    EXPECT_EQ(PartitionHash(result.partition),
+              PartitionHash(golden.partition));
+  }
+}
+
+}  // namespace
+}  // namespace kanon

@@ -1,5 +1,7 @@
 #include "util/run_context.h"
 
+#include <string>
+#include <string_view>
 #include <thread>
 
 #include "gtest/gtest.h"
@@ -119,6 +121,113 @@ TEST(RunContextTest, CancelFromAnotherThreadIsObserved) {
   canceller.join();
   EXPECT_TRUE(ctx.ShouldStop());
   EXPECT_EQ(ctx.stop_reason(), StopReason::kCancelled);
+}
+
+class RecordingSink : public CheckpointSink {
+ public:
+  Status Persist(std::string_view solver,
+                 const std::string& payload) override {
+    solver_ = std::string(solver);
+    payload_ = payload;
+    ++persists_;
+    return fail_ ? Status::Internal("sink down") : Status::Ok();
+  }
+  void set_fail(bool fail) { fail_ = fail; }
+  uint64_t persists() const { return persists_; }
+  const std::string& solver() const { return solver_; }
+  const std::string& payload() const { return payload_; }
+
+ private:
+  bool fail_ = false;
+  uint64_t persists_ = 0;
+  std::string solver_;
+  std::string payload_;
+};
+
+TEST(RunContextCheckpointTest, DisarmedCadenceIsNeverDue) {
+  RunContext ctx;
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(ctx.CheckpointDue());
+  EXPECT_FALSE(ctx.EmitCheckpoint("solver", "state").ok());
+  EXPECT_EQ(ctx.checkpoints_emitted(), 0u);
+}
+
+TEST(RunContextCheckpointTest, PollCadenceFiresEveryNthPoll) {
+  RecordingSink sink;
+  RunContext ctx;
+  ctx.ArmCheckpoints(&sink, /*every_polls=*/4);
+  int due = 0;
+  for (int i = 0; i < 12; ++i) {
+    if (ctx.CheckpointDue()) ++due;
+  }
+  EXPECT_EQ(due, 3);
+
+  ASSERT_TRUE(ctx.EmitCheckpoint("solver", "state-1").ok());
+  EXPECT_EQ(sink.persists(), 1u);
+  EXPECT_EQ(sink.solver(), "solver");
+  EXPECT_EQ(sink.payload(), "state-1");
+  EXPECT_EQ(ctx.checkpoints_emitted(), 1u);
+
+  ctx.DisarmCheckpoints();
+  EXPECT_FALSE(ctx.CheckpointDue());
+  EXPECT_FALSE(ctx.EmitCheckpoint("solver", "state-2").ok());
+  EXPECT_EQ(sink.persists(), 1u);
+}
+
+TEST(RunContextCheckpointTest, ChildContextReachesTheArmedRoot) {
+  RecordingSink sink;
+  RunContext root;
+  root.ArmCheckpoints(&sink, /*every_polls=*/1);
+  RunContext child(&root);
+  RunContext grandchild(&child);
+
+  // Solvers run under fallback-chain child contexts; the cadence and
+  // the sink both live on the job root, like cancellation.
+  EXPECT_TRUE(grandchild.CheckpointDue());
+  ASSERT_TRUE(grandchild.EmitCheckpoint("solver", "deep").ok());
+  EXPECT_EQ(sink.payload(), "deep");
+  EXPECT_EQ(root.checkpoints_emitted(), 1u);
+}
+
+TEST(RunContextCheckpointTest, FailedPersistDoesNotCountAsEmitted) {
+  RecordingSink sink;
+  sink.set_fail(true);
+  RunContext ctx;
+  ctx.ArmCheckpoints(&sink, 1);
+  EXPECT_FALSE(ctx.EmitCheckpoint("solver", "state").ok());
+  EXPECT_EQ(sink.persists(), 1u);  // the sink was asked...
+  EXPECT_EQ(ctx.checkpoints_emitted(), 0u);  // ...but nothing landed
+}
+
+TEST(RunContextCheckpointTest, ResumePayloadIsSharedDownTheChain) {
+  RunContext root;
+  root.SetResume("annealing", "rng-and-partition");
+  RunContext child(&root);
+
+  ASSERT_TRUE(child.resume_payload("annealing").has_value());
+  EXPECT_EQ(*child.resume_payload("annealing"), "rng-and-partition");
+  // Non-consuming: an in-place retry re-resumes deterministically.
+  EXPECT_TRUE(child.resume_payload("annealing").has_value());
+  EXPECT_FALSE(child.resume_payload("local_search").has_value());
+}
+
+TEST(RunContextTest, HeartbeatsBumpTheWholeAncestorChain) {
+  RunContext root;
+  RunContext child(&root);
+  const uint64_t before = root.heartbeats();
+  for (int i = 0; i < 5; ++i) (void)child.ShouldStop();
+  EXPECT_EQ(child.heartbeats(), 5u);
+  EXPECT_EQ(root.heartbeats(), before + 5);
+}
+
+TEST(RunContextTest, PreemptImpliesCancelAndIsInherited) {
+  RunContext root;
+  RunContext child(&root);
+  EXPECT_FALSE(child.preempt_requested());
+  root.RequestPreempt();
+  EXPECT_TRUE(child.preempt_requested());
+  EXPECT_TRUE(child.cancel_requested());
+  EXPECT_TRUE(child.ShouldStop());
+  EXPECT_EQ(child.stop_reason(), StopReason::kCancelled);
 }
 
 TEST(StopReasonTest, NamesAndStatusMapping) {
