@@ -22,6 +22,103 @@ run_chaos() {
   rm -rf "${scratch}"
 }
 
+# Connection-fault chaos against the live TCP front end
+# (examples/chaos_net.cpp): same contract as run_chaos, with the
+# workload-fingerprint reproducibility gate built into the binary.
+# $1 = binary, $2 = base seed, $3 = schedule count.
+run_net_chaos() {
+  local scratch
+  scratch="$(mktemp -d)"
+  "$1" --chaos-seed="$2" --schedules="$3" --sessions=6 \
+    --scratch="${scratch}" | tail -3
+  rm -rf "${scratch}"
+}
+
+# Graceful-drain drill: SIGTERM a TCP kanond while kanon_load is
+# hammering it. The daemon must exit 0 with every admitted job
+# accounted for, and a journal restart must find *zero* pending jobs
+# (drain lost nothing). $1 = kanond binary, $2 = kanon_load binary.
+run_tcp_drain_drill() {
+  local dir
+  dir="$(mktemp -d)"
+  "$1" --tcp-port=0 --workers=2 --journal="${dir}/kanond.journal" \
+    2>"${dir}/kanond.err" &
+  local pid=$!
+  for _ in $(seq 1 100); do
+    grep -q 'tcp listening' "${dir}/kanond.err" 2>/dev/null && break
+    sleep 0.05
+  done
+  local port
+  port="$(grep -o '127.0.0.1:[0-9]*' "${dir}/kanond.err" | cut -d: -f2)"
+  [ -n "${port}" ] \
+    || { echo "drain drill FAIL: no listening port" >&2; exit 1; }
+  "$2" --connections=8 --requests=4000 --port="${port}" \
+    --out="${dir}/load.json" >/dev/null 2>&1 &
+  local load_pid=$!
+  sleep 1
+  kill -TERM "${pid}"
+  wait "${pid}" \
+    || { echo "drain drill FAIL: kanond exited nonzero on SIGTERM" >&2
+         exit 1; }
+  grep -q 'kanond: drained' "${dir}/kanond.err" \
+    || { echo "drain drill FAIL: no drain confirmation" >&2; exit 1; }
+  wait "${load_pid}" 2>/dev/null || true
+  # Restart on the same journal: a clean drain leaves no pending jobs,
+  # so the replay must not resubmit or interrupt anything.
+  local replay
+  replay="$(printf 'stats\nshutdown\n' \
+    | "$1" --once --workers=1 --journal="${dir}/kanond.journal")"
+  echo "${replay}" | grep -q 'verb=replay' \
+    && { echo "drain drill FAIL: drain left pending jobs in journal" >&2
+         exit 1; }
+  echo "drain drill: daemon drained under load, journal replay empty"
+  rm -rf "${dir}"
+}
+
+# TCP crash drill: SIGKILL a TCP kanond mid-load, restart on the same
+# journal, and demand the admitted-but-unanswered jobs are *recovered*
+# (replayed to an outcome and counted). $1 = kanond, $2 = kanon_load.
+run_tcp_crash_drill() {
+  local dir
+  dir="$(mktemp -d)"
+  "$1" --tcp-port=0 --workers=1 --queue-capacity=128 \
+    --journal="${dir}/kanond.journal" 2>"${dir}/kanond.err" &
+  local pid=$!
+  for _ in $(seq 1 100); do
+    grep -q 'tcp listening' "${dir}/kanond.err" 2>/dev/null && break
+    sleep 0.05
+  done
+  local port
+  port="$(grep -o '127.0.0.1:[0-9]*' "${dir}/kanond.err" | cut -d: -f2)"
+  [ -n "${port}" ] \
+    || { echo "tcp crash drill FAIL: no listening port" >&2; exit 1; }
+  "$2" --connections=8 --requests=4000 --port="${port}" \
+    --out="${dir}/load.json" >/dev/null 2>&1 &
+  local load_pid=$!
+  # Wait until the journal proves jobs were admitted, then pull the rug.
+  for _ in $(seq 1 200); do
+    grep -q ' admit ' "${dir}/kanond.journal" 2>/dev/null && break
+    sleep 0.05
+  done
+  grep -q ' admit ' "${dir}/kanond.journal" \
+    || { echo "tcp crash drill FAIL: no job journaled before kill" >&2
+         exit 1; }
+  kill -9 "${pid}"
+  wait "${pid}" 2>/dev/null || true
+  wait "${load_pid}" 2>/dev/null || true
+  local replay
+  replay="$(printf 'stats\nshutdown\n' \
+    | "$1" --once --workers=1 --journal="${dir}/kanond.journal")"
+  echo "${replay}" | grep -q 'verb=replay' \
+    || { echo "tcp crash drill FAIL: admitted jobs not replayed" >&2
+         exit 1; }
+  echo "${replay}" | grep -Eq ' journal_replays=[1-9]' \
+    || { echo "tcp crash drill FAIL: replays not counted in stats" >&2
+         exit 1; }
+  echo "tcp crash drill: killed under load, journal recovered admitted jobs"
+  rm -rf "${dir}"
+}
+
 # A branch_bound instance hard enough to run for seconds: the SIGKILL
 # drills kill the daemon mid-solve and must find checkpoints on disk.
 HARD_BB_CSV="$(python3 - <<'EOF'
@@ -95,6 +192,18 @@ echo "${SMOKE_OUT}" | sed -n 3p | grep -q 'error .*error=unknown_algorithm' \
 echo "${SMOKE_OUT}" | sed -n 4p | grep -q 'ok verb=stats .*cache_hits=1' \
   || { echo "smoke FAIL: daemon stopped serving after the error" >&2; exit 1; }
 
+echo "=== cli smoke: unknown flag is a usage error ==="
+# A typo'd flag must exit nonzero with a usage message, not run a
+# daemon silently misconfigured.
+if ./build/examples/kanond --workres=4 >/dev/null 2>"${TMPDIR:-/tmp}/kanond_flag.err"; then
+  echo "smoke FAIL: kanond accepted an unknown flag" >&2; exit 1
+fi
+grep -q 'unknown flag --workres' "${TMPDIR:-/tmp}/kanond_flag.err" \
+  || { echo "smoke FAIL: no unknown-flag diagnostic" >&2; exit 1; }
+grep -q 'usage: kanond' "${TMPDIR:-/tmp}/kanond_flag.err" \
+  || { echo "smoke FAIL: no usage message on unknown flag" >&2; exit 1; }
+rm -f "${TMPDIR:-/tmp}/kanond_flag.err"
+
 echo "=== robustness smoke: injected worker fault + stats counters ==="
 # A deterministic first:1 dispatch fault kills the worker on its first
 # attempt; the retry must answer the request anyway, and the stats line
@@ -159,6 +268,44 @@ run_ckpt_drill ./build/examples/kanond
 echo "=== chaos: 100 seeded schedules (default build) ==="
 run_chaos ./build/examples/chaos_service 1000 100
 
+echo "=== net chaos: 100 connection-fault schedules (default build) ==="
+run_net_chaos ./build/examples/chaos_net 1000 100
+
+echo "=== tcp drain drill: SIGTERM under load loses nothing ==="
+run_tcp_drain_drill ./build/examples/kanond ./build/examples/kanon_load
+
+echo "=== tcp crash drill: SIGKILL under load, journal recovers ==="
+run_tcp_crash_drill ./build/examples/kanond ./build/examples/kanon_load
+
+echo "=== perf smoke: TCP serving throughput vs committed baseline ==="
+# The closed-loop load harness against the in-process stack. The gate
+# is deliberately loose (4x) — shared-runner noise — but catches a
+# serializing regression in the event loop, and requires a clean
+# protocol ledger: every request answered, zero protocol errors.
+./build/examples/kanon_load --connections=16 --requests=400 \
+  --out=BENCH_service.json >/dev/null
+python3 - <<'EOF'
+import json
+
+with open("BENCH_service.json") as f:
+    run = json.load(f)
+with open("bench/BENCH_service_baseline.json") as f:
+    baseline = json.load(f)
+
+print(f"throughput {run['throughput_rps']:.1f} rps "
+      f"(baseline {baseline['throughput_rps']:.1f}), "
+      f"p50 {run['latency_ms']['p50']:.1f} ms, "
+      f"p99 {run['latency_ms']['p99']:.1f} ms, "
+      f"shed {run['shed']}")
+assert run["protocol_errors"] == 0, "protocol errors under load"
+assert run["transport_errors"] == 0, "transport errors under load"
+assert run["ok"] + run["typed_errors"] + run["shed"] == run["requests"], (
+    "request ledger does not reconcile")
+assert run["throughput_rps"] >= baseline["throughput_rps"] / 4, (
+    f"TCP throughput regressed: {run['throughput_rps']:.1f} rps vs "
+    f"baseline {baseline['throughput_rps']:.1f} (>4x)")
+EOF
+
 echo "=== perf smoke: tiled distance build vs scalar seed ==="
 # The columnar data plane's headline win: the tiled parallel matrix
 # fill must beat the seed's serial row-major double loop at n = 2048.
@@ -222,6 +369,10 @@ echo "=== chaos: 100 seeded schedules under ASan ==="
 ASAN_OPTIONS="abort_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
   run_chaos ./build-asan/examples/chaos_service 2000 100
 
+echo "=== net chaos: 100 connection-fault schedules under ASan ==="
+ASAN_OPTIONS="abort_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
+  run_net_chaos ./build-asan/examples/chaos_net 2000 100
+
 echo "=== concurrency tests under TSan ==="
 # The service stack is where threads actually interleave (queue, worker
 # pool, breakers, journal, cancellation) — run those suites plus the
@@ -230,10 +381,14 @@ cmake -B build-tsan -S . -DKANON_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j"${JOBS}"
 TSAN_OPTIONS="halt_on_error=1" \
   ctest --test-dir build-tsan --output-on-failure -j"${JOBS}" \
-    -R 'QueueTest|WorkerPoolTest|CancelRaceTest|ServerTest|ServerFuzzTest|BreakerTest|StageBreakerTest|JournalTest|JournalCheckpoint|WatchdogTest|WatchdogPoolTest|CheckpointStoreTest|FaultRegistryTest|ChaosTest|Parallel|DataPlaneEquivalenceTest|DistanceOracleTest|GroupStatsTest|PackedTableTest'
+    -R 'QueueTest|WorkerPoolTest|CancelRaceTest|ServerTest|ServerFuzzTest|BreakerTest|StageBreakerTest|JournalTest|JournalCheckpoint|WatchdogTest|WatchdogPoolTest|CheckpointStoreTest|FaultRegistryTest|ChaosTest|Parallel|DataPlaneEquivalenceTest|DistanceOracleTest|GroupStatsTest|PackedTableTest|TcpServerTest|NetChaosTest|FrameEnvelope|NetCodec|FrameFuzz'
 
 echo "=== chaos: 100 seeded schedules under TSan ==="
 TSAN_OPTIONS="halt_on_error=1" \
   run_chaos ./build-tsan/examples/chaos_service 3000 100
+
+echo "=== net chaos: 100 connection-fault schedules under TSan ==="
+TSAN_OPTIONS="halt_on_error=1" \
+  run_net_chaos ./build-tsan/examples/chaos_net 3000 100
 
 echo "=== ci.sh: all green ==="

@@ -1,0 +1,265 @@
+// kanon_load — closed-loop load generator for the kanond TCP front end.
+//
+// Opens N concurrent connections, each running a closed loop (send one
+// anonymize request, wait for its response, repeat) until the shared
+// request budget is spent, then reports throughput, the latency
+// distribution and the typed-error / shed breakdown as JSON.
+//
+// Two modes:
+//   - hermetic (default, no --port): spawns the full service stack +
+//     NetServer in-process on an ephemeral port — the CI benchmark path,
+//     no daemon required;
+//   - remote (--port=P [--host=H]): drives an already-running kanond.
+//
+// The request pool cycles through more table variants than the result
+// cache holds, so the measured path is the real queue -> worker ->
+// solver pipeline, not a cache echo.
+//
+// Usage:
+//   ./kanon_load [--connections=N] [--requests=N] [--rows=N] [--k=N]
+//                [--node-budget=N] [--host=H] [--port=P] [--out=FILE]
+//                [--version]
+//
+// Exit codes: 0 success, 1 usage/setup error, 2 protocol errors seen.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/csv_table.h"
+#include "data/generators/uniform.h"
+#include "net/client.h"
+#include "net/tcp_server.h"
+#include "service/server.h"
+#include "util/build_info.h"
+#include "util/cli.h"
+#include "util/random.h"
+#include "util/stats.h"
+
+namespace {
+
+using namespace kanon;
+
+double NowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Everything the worker threads fold into, merged under one lock at
+/// thread exit (per-thread locals while running: no contention inside
+/// the measured loop).
+struct Totals {
+  std::mutex mu;
+  std::vector<double> latencies_ms;
+  size_t ok = 0;
+  size_t typed_errors = 0;
+  size_t shed = 0;
+  size_t protocol_errors = 0;
+  size_t transport_errors = 0;
+};
+
+double Percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const size_t index = std::min(
+      sorted.size() - 1,
+      static_cast<size_t>(p * static_cast<double>(sorted.size())));
+  return sorted[index];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CommandLine cl = CommandLine::Parse(argc, argv);
+  if (cl.GetBool("version", false)) {
+    std::cout << "kanon_load " << BuildInfoString() << "\n";
+    return 0;
+  }
+
+  const StatusOr<long long> connections =
+      cl.GetValidatedInt("connections", 32, 1, 4096);
+  const StatusOr<long long> requests =
+      cl.GetValidatedInt("requests", 2000, 1,
+                         std::numeric_limits<long long>::max());
+  const StatusOr<long long> rows = cl.GetValidatedInt("rows", 24, 4, 4096);
+  const StatusOr<long long> k_flag = cl.GetValidatedInt("k", 3, 1, 64);
+  // Without a budget the resilient chain is allowed to run its exact
+  // stages to completion, which is exponential in the worst case — a
+  // benchmark wants the *serving* cost, so bound the solver and let the
+  // chain degrade the way production requests do.
+  const StatusOr<long long> node_budget =
+      cl.GetValidatedInt("node-budget", 2000, 0,
+                         std::numeric_limits<long long>::max());
+  const StatusOr<long long> port_flag =
+      cl.GetValidatedInt("port", 0, 0, 65535);
+  for (const auto* flag :
+       {&connections, &requests, &rows, &k_flag, &node_budget,
+        &port_flag}) {
+    if (!flag->ok()) {
+      std::cerr << "error: " << flag->status().message() << "\n";
+      return 1;
+    }
+  }
+  const std::string host = cl.GetString("host", "127.0.0.1");
+  const std::string out_path = cl.GetString("out", "BENCH_service.json");
+
+  // Pre-generate the request pool: 256 distinct tables > the default
+  // result-cache capacity, so cache hits stay a minority.
+  constexpr size_t kPoolSize = 256;
+  Rng rng(42, /*stream=*/0x6c6f6164ull);  // "load"
+  std::vector<std::string> pool;
+  pool.reserve(kPoolSize);
+  for (size_t i = 0; i < kPoolSize; ++i) {
+    UniformTableOptions table;
+    table.num_rows = static_cast<uint32_t>(*rows);
+    table.num_columns = 3;
+    table.alphabet = 4;
+    pool.push_back(TableToCsv(UniformTable(table, &rng)));
+  }
+
+  // Hermetic mode: the whole serving stack in-process.
+  std::unique_ptr<AnonymizationService> service;
+  std::unique_ptr<NetServer> server;
+  std::thread server_thread;
+  uint16_t port = static_cast<uint16_t>(*port_flag);
+  if (port == 0) {
+    ServiceOptions service_options;
+    service_options.workers =
+        std::max(2u, std::thread::hardware_concurrency());
+    service = std::make_unique<AnonymizationService>(service_options);
+    NetServerOptions server_options;
+    server_options.port = 0;
+    server_options.max_connections =
+        static_cast<size_t>(*connections) + 16;
+    NetServer* raw = new NetServer(*service, server_options);
+    server.reset(raw);
+    const Status started = server->Start();
+    if (!started.ok()) {
+      std::cerr << "error: server start failed: " << started.ToString()
+                << "\n";
+      return 1;
+    }
+    port = server->port();
+    server_thread = std::thread([raw] { raw->Run(); });
+  }
+
+  std::atomic<long long> budget{*requests};
+  Totals totals;
+  const double start_ms = NowMs();
+
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(*connections));
+  for (long long c = 0; c < *connections; ++c) {
+    workers.emplace_back([&, c] {
+      NetClient client;
+      if (!client.Connect(host, port, 5000.0).ok()) {
+        std::lock_guard<std::mutex> lock(totals.mu);
+        ++totals.transport_errors;
+        return;
+      }
+      std::vector<double> latencies;
+      size_t ok = 0, typed = 0, shed = 0, proto = 0, transport = 0;
+      uint64_t seq = 0;
+      size_t next = static_cast<size_t>(c);
+      while (budget.fetch_sub(1) > 0) {
+        NetRequest request;
+        request.verb = NetVerb::kAnonymize;
+        request.client_seq = ++seq;
+        request.request.algorithm = "resilient";
+        request.request.k = static_cast<size_t>(*k_flag);
+        request.request.node_budget = static_cast<uint64_t>(*node_budget);
+        request.request.csv_text = pool[next % kPoolSize];
+        next += static_cast<size_t>(*connections);
+        const double t0 = NowMs();
+        const StatusOr<NetResponse> response =
+            client.Call(request, 60000.0);
+        const double t1 = NowMs();
+        if (!response.ok()) {
+          if (response.status().code() == StatusCode::kParseError) {
+            ++proto;
+          } else {
+            ++transport;
+          }
+          break;  // connection is gone either way
+        }
+        latencies.push_back(t1 - t0);
+        if (response->ok()) {
+          ++ok;
+        } else if (response->error_name == "queue_full" ||
+                   response->error_name == "shed_low_priority") {
+          ++shed;
+        } else {
+          ++typed;
+        }
+      }
+      std::lock_guard<std::mutex> lock(totals.mu);
+      totals.latencies_ms.insert(totals.latencies_ms.end(),
+                                 latencies.begin(), latencies.end());
+      totals.ok += ok;
+      totals.typed_errors += typed;
+      totals.shed += shed;
+      totals.protocol_errors += proto;
+      totals.transport_errors += transport;
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  const double duration_ms = NowMs() - start_ms;
+
+  if (server) {
+    server->RequestDrain();
+    server_thread.join();
+  }
+  if (service) service->Shutdown();
+
+  std::sort(totals.latencies_ms.begin(), totals.latencies_ms.end());
+  const size_t answered = totals.latencies_ms.size();
+  const double throughput =
+      duration_ms > 0 ? 1000.0 * static_cast<double>(answered) / duration_ms
+                      : 0.0;
+  const double shed_rate =
+      answered > 0 ? static_cast<double>(totals.shed) /
+                         static_cast<double>(answered)
+                   : 0.0;
+
+  std::ostringstream json;
+  json.precision(3);
+  json << std::fixed;
+  json << "{\n"
+       << "  \"connections\": " << *connections << ",\n"
+       << "  \"requests\": " << answered << ",\n"
+       << "  \"duration_ms\": " << duration_ms << ",\n"
+       << "  \"throughput_rps\": " << throughput << ",\n"
+       << "  \"latency_ms\": {\n"
+       << "    \"p50\": " << Percentile(totals.latencies_ms, 0.50) << ",\n"
+       << "    \"p90\": " << Percentile(totals.latencies_ms, 0.90) << ",\n"
+       << "    \"p99\": " << Percentile(totals.latencies_ms, 0.99) << ",\n"
+       << "    \"max\": "
+       << (answered ? totals.latencies_ms.back() : 0.0) << "\n"
+       << "  },\n"
+       << "  \"ok\": " << totals.ok << ",\n"
+       << "  \"typed_errors\": " << totals.typed_errors << ",\n"
+       << "  \"shed\": " << totals.shed << ",\n"
+       << "  \"shed_rate\": " << shed_rate << ",\n"
+       << "  \"protocol_errors\": " << totals.protocol_errors << ",\n"
+       << "  \"transport_errors\": " << totals.transport_errors << "\n"
+       << "}\n";
+
+  std::cout << json.str();
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "error: cannot write " << out_path << "\n";
+    return 1;
+  }
+  out << json.str();
+  out.close();
+  std::cerr << "kanon_load: wrote " << out_path << "\n";
+  return totals.protocol_errors == 0 ? 0 : 2;
+}

@@ -9,11 +9,21 @@
 //   ./kanond [--workers=N] [--queue-capacity=N] [--cache-capacity=N]
 //            [--journal=PATH] [--checkpoint-dir=PATH]
 //            [--checkpoint-every=N] [--checkpoint-ms=F]
-//            [--watchdog-ms=F] [--faults=SPEC] [--once] [--version]
+//            [--watchdog-ms=F] [--faults=SPEC] [--once]
+//            [--tcp-port=N] [--tcp-max-conns=N] [--tcp-idle-ms=F]
+//            [--tcp-drain-ms=F] [--help] [--version]
 //
 //   --once suppresses the interactive banner: batch mode for piped
 //   scripts (the serving loop itself is identical — read lines until
 //   EOF or `shutdown`).
+//
+//   --tcp-port=N switches the transport from stdin/stdout lines to the
+//   binary TCP protocol (net/tcp_server.h): an epoll front end on
+//   127.0.0.1:N (0 picks an ephemeral port, announced on stderr as
+//   `kanond: tcp listening on 127.0.0.1:PORT`). SIGTERM/SIGINT trigger
+//   a graceful drain — stop accepting, deliver every admitted job's
+//   response (or a typed cancellation past --tcp-drain-ms), flush the
+//   journal, exit 0.
 //
 //   --journal=PATH arms the crash-consistent job journal: every
 //   admitted job is recorded (fsync'd) before it can run, and at
@@ -55,21 +65,63 @@
 // Exit codes: 0 clean shutdown/EOF, 1 usage error, 2 unreplayable
 // journal.
 
+#include <csignal>
 #include <iostream>
 #include <limits>
 #include <memory>
 
 #include "ckpt/checkpoint.h"
 #include "fault/fault.h"
+#include "net/tcp_server.h"
 #include "service/journal.h"
 #include "service/server.h"
 #include "util/build_info.h"
 #include "util/cli.h"
 
+namespace {
+
+// The signal handler must be async-signal-safe: RequestDrain is a
+// relaxed atomic store plus an eventfd write, nothing else.
+kanon::NetServer* g_tcp_server = nullptr;
+
+void HandleDrainSignal(int) {
+  if (g_tcp_server != nullptr) g_tcp_server->RequestDrain();
+}
+
+constexpr char kUsage[] =
+    "usage: kanond [--workers=N] [--queue-capacity=N] [--cache-capacity=N]\n"
+    "              [--journal=PATH] [--checkpoint-dir=PATH]\n"
+    "              [--checkpoint-every=N] [--checkpoint-ms=F]\n"
+    "              [--watchdog-ms=F] [--faults=SPEC] [--once]\n"
+    "              [--tcp-port=N] [--tcp-max-conns=N] [--tcp-idle-ms=F]\n"
+    "              [--tcp-drain-ms=F] [--help] [--version]\n";
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace kanon;
   const CommandLine cl = CommandLine::Parse(argc, argv);
 
+  // A typo'd flag must not silently run with defaults: a daemon started
+  // with --watchdog-sm=500 and no watchdog is a misconfiguration that
+  // only surfaces during the outage it was meant to contain.
+  const std::vector<std::string> unknown = cl.UnknownFlags({
+      "workers", "queue-capacity", "cache-capacity", "journal",
+      "checkpoint-dir", "checkpoint-every", "checkpoint-ms",
+      "watchdog-ms", "faults", "once", "tcp-port", "tcp-max-conns",
+      "tcp-idle-ms", "tcp-drain-ms", "help", "version",
+  });
+  if (!unknown.empty()) {
+    for (const std::string& flag : unknown) {
+      std::cerr << "kanond: unknown flag --" << flag << "\n";
+    }
+    std::cerr << kUsage;
+    return 1;
+  }
+  if (cl.GetBool("help", false)) {
+    std::cout << kUsage;
+    return 0;
+  }
   if (cl.GetBool("version", false)) {
     std::cout << "kanond " << BuildInfoString() << "\n";
     return 0;
@@ -177,6 +229,55 @@ int main(int argc, char** argv) {
               << " interrupted=" << report.interrupted
               << " completed=" << report.completed
               << " torn=" << report.torn_records << "\n";
+  }
+  if (cl.HasFlag("tcp-port")) {
+    const StatusOr<long long> tcp_port =
+        cl.GetValidatedInt("tcp-port", 0, 0, 65535);
+    const StatusOr<long long> tcp_max_conns =
+        cl.GetValidatedInt("tcp-max-conns", 1024, 1, 1 << 20);
+    if (!tcp_port.ok() || !tcp_max_conns.ok()) {
+      std::cerr << "error: "
+                << (tcp_port.ok() ? tcp_max_conns : tcp_port)
+                       .status()
+                       .message()
+                << "\n";
+      return 1;
+    }
+    NetServerOptions net;
+    net.port = static_cast<uint16_t>(*tcp_port);
+    net.max_connections = static_cast<size_t>(*tcp_max_conns);
+    net.idle_timeout_ms = cl.GetDouble("tcp-idle-ms", 0.0);
+    net.drain_grace_ms = cl.GetDouble("tcp-drain-ms", 2000.0);
+    if (net.idle_timeout_ms < 0.0 || net.drain_grace_ms < 0.0) {
+      std::cerr << "error: --tcp-idle-ms and --tcp-drain-ms must be >= 0\n";
+      return 1;
+    }
+    NetServer tcp(service, net);
+    const Status started = tcp.Start();
+    if (!started.ok()) {
+      std::cerr << "kanond: tcp start failed: " << started.ToString()
+                << "\n";
+      return 1;
+    }
+    g_tcp_server = &tcp;
+    std::signal(SIGTERM, HandleDrainSignal);
+    std::signal(SIGINT, HandleDrainSignal);
+    std::cerr << "kanond: tcp listening on 127.0.0.1:" << tcp.port()
+              << " (workers=" << service.Stats().workers
+              << ", queue=" << options.queue_capacity
+              << ", max_conns=" << net.max_connections
+              << (journal_path.empty() ? "" : ", journal=" + journal_path)
+              << ")\n";
+    const size_t connections = tcp.Run();
+    std::signal(SIGTERM, SIG_DFL);
+    std::signal(SIGINT, SIG_DFL);
+    g_tcp_server = nullptr;
+    // Run() returning means the drain finished: every admitted job's
+    // completion was observed. Shutdown flushes the workers + journal.
+    service.Shutdown();
+    std::cerr << "kanond: drained; served " << connections
+              << " connection(s)\n";
+    return 0;
   }
   if (!cl.GetBool("once", false)) {
     std::cerr << "kanond serving on stdin (workers="

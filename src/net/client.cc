@@ -1,0 +1,165 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+
+namespace kanon {
+
+namespace {
+
+double MonotonicMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Polls `fd` for `events` with a millisecond budget. Returns false on
+/// timeout.
+bool PollFor(int fd, short events, double timeout_ms) {
+  pollfd pfd{fd, events, 0};
+  const int n = poll(&pfd, 1, timeout_ms < 0 ? -1 : int(timeout_ms));
+  return n > 0;
+}
+
+}  // namespace
+
+NetClient::~NetClient() { Close(); }
+
+void NetClient::Close() {
+  if (fd_ >= 0) close(fd_);
+  fd_ = -1;
+  inbuf_.clear();
+}
+
+void NetClient::ShutdownWrite() {
+  if (fd_ >= 0) shutdown(fd_, SHUT_WR);
+}
+
+Status NetClient::Connect(const std::string& host, uint16_t port,
+                          double timeout_ms) {
+  Close();
+  fd_ = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) {
+    return Status::Internal(std::string("socket: ") + strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    return Status::InvalidArgument("bad address '" + host + "'");
+  }
+  // Nonblocking connect with a poll-bounded wait, then back to blocking
+  // writes (reads poll explicitly).
+  const int flags = fcntl(fd_, F_GETFL, 0);
+  fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+  const int rc =
+      connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS) {
+    Close();
+    return Status::Unavailable(std::string("connect: ") + strerror(errno));
+  }
+  if (rc != 0) {
+    if (!PollFor(fd_, POLLOUT, timeout_ms)) {
+      Close();
+      return Status::DeadlineExceeded("connect timed out");
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    getsockopt(fd_, SOL_SOCKET, SO_ERROR, &err, &len);
+    if (err != 0) {
+      Close();
+      return Status::Unavailable(std::string("connect: ") + strerror(err));
+    }
+  }
+  fcntl(fd_, F_SETFL, flags);
+  const int enable = 1;
+  setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
+  return Status::Ok();
+}
+
+Status NetClient::SendRaw(std::string_view bytes) {
+  if (fd_ < 0) return Status::Unavailable("not connected");
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable(std::string("send: ") + strerror(errno));
+    }
+    sent += size_t(n);
+  }
+  return Status::Ok();
+}
+
+Status NetClient::Send(const NetRequest& request) {
+  return SendRaw(EncodeNetRequest(request));
+}
+
+StatusOr<NetResponse> NetClient::Receive(double timeout_ms) {
+  if (fd_ < 0) return Status::Unavailable("not connected");
+  const double deadline = MonotonicMs() + timeout_ms;
+  char chunk[65536];
+  for (;;) {
+    std::string_view body;
+    size_t consumed = 0;
+    Status error;
+    switch (TryDecodeFrame(inbuf_, limits_, &body, &consumed, &error)) {
+      case FrameDecode::kFrame: {
+        StatusOr<NetResponse> response = DecodeNetResponse(body);
+        inbuf_.erase(0, consumed);
+        return response;
+      }
+      case FrameDecode::kBad:
+        // The server (not the network) sent non-protocol bytes.
+        return error;
+      case FrameDecode::kNeedMore:
+        break;
+    }
+    const double left = deadline - MonotonicMs();
+    if (left <= 0) return Status::DeadlineExceeded("receive timed out");
+    if (!PollFor(fd_, POLLIN, left)) {
+      return Status::DeadlineExceeded("receive timed out");
+    }
+    const ssize_t n = recv(fd_, chunk, sizeof(chunk), 0);
+    if (n == 0) {
+      // EOF. At a frame boundary it is a clean hangup; mid-frame the
+      // bytes were torn off the wire.
+      if (inbuf_.empty()) {
+        return Status::Unavailable("connection closed");
+      }
+      return Status::DataLoss("connection closed mid-frame (" +
+                              std::to_string(inbuf_.size()) +
+                              " bytes buffered)");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == ECONNRESET) {
+        return inbuf_.empty()
+                   ? Status::Unavailable("connection reset")
+                   : Status::DataLoss("connection reset mid-frame");
+      }
+      return Status::Unavailable(std::string("recv: ") + strerror(errno));
+    }
+    inbuf_.append(chunk, size_t(n));
+  }
+}
+
+StatusOr<NetResponse> NetClient::Call(const NetRequest& request,
+                                      double timeout_ms) {
+  const Status sent = Send(request);
+  if (!sent.ok()) return sent;
+  return Receive(timeout_ms);
+}
+
+}  // namespace kanon

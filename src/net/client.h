@@ -1,0 +1,73 @@
+#ifndef KANON_NET_CLIENT_H_
+#define KANON_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "net/frame.h"
+#include "util/status.h"
+
+/// \file
+/// A small blocking client for the binary protocol — the reference peer
+/// of net/tcp_server.h, used by the unit tests, the chaos harness and
+/// the load generator. One connection per object, no internal threads.
+///
+/// Error taxonomy on the receive path (what the chaos invariants key
+/// on):
+///   - kUnavailable   — the server closed cleanly *between* frames: a
+///                      legitimate end of conversation.
+///   - kDataLoss      — the connection died *mid* frame: bytes were
+///                      torn off the wire.
+///   - kParseError    — the server sent bytes that are not the
+///                      protocol (this one indicts the server).
+///   - kDeadlineExceeded — the receive timeout expired.
+
+namespace kanon {
+
+class NetClient {
+ public:
+  NetClient() = default;
+  ~NetClient();
+
+  NetClient(const NetClient&) = delete;
+  NetClient& operator=(const NetClient&) = delete;
+
+  /// Connects (blocking, with timeout) to host:port.
+  Status Connect(const std::string& host, uint16_t port,
+                 double timeout_ms = 5000.0);
+
+  /// True between a successful Connect and Close (or a fatal error).
+  bool connected() const { return fd_ >= 0; }
+
+  /// Writes one encoded request frame. kUnavailable if the server hung
+  /// up first.
+  Status Send(const NetRequest& request);
+
+  /// Writes raw bytes verbatim — the hostile-input path for tests and
+  /// chaos (garbage, truncations, bit flips).
+  Status SendRaw(std::string_view bytes);
+
+  /// Blocks for the next complete response frame.
+  StatusOr<NetResponse> Receive(double timeout_ms = 30000.0);
+
+  /// Convenience: Send + Receive.
+  StatusOr<NetResponse> Call(const NetRequest& request,
+                             double timeout_ms = 30000.0);
+
+  /// Half-closes the write side (the server observes EOF) while the
+  /// read side stays open for pending responses.
+  void ShutdownWrite();
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+  /// Bytes received but not yet consumed as frames.
+  std::string inbuf_;
+  FrameLimits limits_;
+};
+
+}  // namespace kanon
+
+#endif  // KANON_NET_CLIENT_H_

@@ -1,0 +1,557 @@
+#include "net/net_chaos.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <sstream>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "data/csv_table.h"
+#include "data/generators/uniform.h"
+#include "fault/fault.h"
+#include "net/client.h"
+#include "service/journal.h"
+#include "util/fingerprint.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace kanon {
+
+namespace {
+
+/// One step of a client session. Exactly one of the payloads applies.
+struct Op {
+  enum class Kind {
+    kAnonymize,    // one valid request, wait for its response
+    kBurst,        // `burst` pipelined valid requests, then collect all
+    kStats,        // stats probe
+    kGarbage,      // bytes that are not the protocol (terminal)
+    kBitFlip,      // a valid frame with one bit flipped (terminal)
+    kTruncate,     // a valid frame cut short, then EOF (terminal)
+    kOversized,    // an envelope declaring a too-large body (terminal)
+  };
+  Kind kind = Kind::kAnonymize;
+  std::vector<NetRequest> requests;  // kAnonymize/kBurst/kStats
+  std::string raw;                   // the hostile byte payloads
+  std::vector<size_t> expect_k;      // k per request, for validation
+};
+
+struct Session {
+  std::vector<Op> ops;
+};
+
+bool IsTerminal(Op::Kind kind) {
+  return kind == Op::Kind::kGarbage || kind == Op::Kind::kBitFlip ||
+         kind == Op::Kind::kTruncate || kind == Op::Kind::kOversized;
+}
+
+/// The transport fault plan: only net.* + queue.admit specs, never a
+/// background probability (worker/cache/ckpt sites belong to the
+/// service-layer harness).
+FaultPlan DrawNetFaultPlan(uint64_t seed, Rng* rng, bool* mid_write) {
+  FaultPlan plan;
+  plan.seed = seed;
+  *mid_write = false;
+  // Every 4th schedule runs fault-free as a control.
+  if (rng->Uniform(4) == 0) return plan;
+  static const char* const kSites[] = {
+      "net.accept", "net.read_torn", "net.write_stall",
+      "net.close_mid_frame", "queue.admit",
+  };
+  const int overrides = rng->UniformInt(1, 3);
+  for (int i = 0; i < overrides; ++i) {
+    FaultSiteSpec spec;
+    spec.site = kSites[rng->Uniform(sizeof(kSites) / sizeof(kSites[0]))];
+    if (rng->Bernoulli(0.5)) {
+      spec.first_n = static_cast<uint64_t>(rng->UniformInt(1, 3));
+    } else {
+      spec.probability = 0.02 + 0.18 * rng->UniformDouble();
+    }
+    if (spec.site == std::string("net.close_mid_frame") ||
+        spec.site == std::string("net.write_stall")) {
+      *mid_write = true;
+    }
+    plan.sites.push_back(std::move(spec));
+  }
+  return plan;
+}
+
+NetRequest DrawAnonymize(Rng* rng, uint64_t* next_seq) {
+  static const char* const kAlgos[] = {
+      "resilient", "resilient", "greedy_cover", "mondrian", "mdav",
+  };
+  NetRequest request;
+  request.verb = NetVerb::kAnonymize;
+  request.client_seq = (*next_seq)++;
+  request.request.algorithm =
+      kAlgos[rng->Uniform(sizeof(kAlgos) / sizeof(kAlgos[0]))];
+  UniformTableOptions table;
+  table.num_rows = static_cast<uint32_t>(rng->UniformInt(6, 14));
+  table.num_columns = static_cast<uint32_t>(rng->UniformInt(2, 4));
+  table.alphabet = static_cast<uint32_t>(rng->UniformInt(2, 4));
+  request.request.csv_text = TableToCsv(UniformTable(table, rng));
+  request.request.k = static_cast<size_t>(rng->UniformInt(2, 4));
+  request.request.priority = rng->UniformInt(-2, 2);
+  if (rng->Bernoulli(0.25)) {
+    request.request.node_budget =
+        static_cast<uint64_t>(rng->UniformInt(50, 5000));
+  }
+  request.request.emit_csv = true;
+  return request;
+}
+
+Op DrawOp(Rng* rng, uint64_t* next_seq) {
+  Op op;
+  const uint32_t pick = rng->Uniform(10);
+  if (pick < 4) {
+    op.kind = Op::Kind::kAnonymize;
+    op.requests.push_back(DrawAnonymize(rng, next_seq));
+    op.expect_k.push_back(op.requests.back().request.k);
+    return op;
+  }
+  if (pick < 6) {
+    op.kind = Op::Kind::kBurst;
+    const int burst = rng->UniformInt(2, 5);
+    for (int i = 0; i < burst; ++i) {
+      op.requests.push_back(DrawAnonymize(rng, next_seq));
+      op.expect_k.push_back(op.requests.back().request.k);
+    }
+    return op;
+  }
+  if (pick < 7) {
+    op.kind = Op::Kind::kStats;
+    NetRequest request;
+    request.verb = NetVerb::kStats;
+    request.client_seq = (*next_seq)++;
+    op.requests.push_back(std::move(request));
+    return op;
+  }
+  // Hostile payloads: all terminal for their session.
+  const uint32_t hostile = rng->Uniform(4);
+  if (hostile == 0) {
+    op.kind = Op::Kind::kGarbage;
+    const int len = rng->UniformInt(8, 64);
+    op.raw.reserve(static_cast<size_t>(len));
+    for (int i = 0; i < len; ++i) {
+      op.raw.push_back(static_cast<char>(rng->Uniform(256)));
+    }
+    op.raw[0] = 'X';  // never a valid magic prefix
+    return op;
+  }
+  std::string frame = EncodeNetRequest(DrawAnonymize(rng, next_seq));
+  if (hostile == 1) {
+    op.kind = Op::Kind::kBitFlip;
+    const size_t bit =
+        rng->Uniform(static_cast<uint32_t>(frame.size() * 8));
+    frame[bit / 8] = static_cast<char>(
+        static_cast<unsigned char>(frame[bit / 8]) ^ (1u << (bit % 8)));
+    op.raw = std::move(frame);
+    return op;
+  }
+  if (hostile == 2) {
+    op.kind = Op::Kind::kTruncate;
+    const size_t keep = 1 + static_cast<size_t>(rng->Uniform(
+                                static_cast<uint32_t>(frame.size() - 1)));
+    op.raw = frame.substr(0, keep);
+    return op;
+  }
+  op.kind = Op::Kind::kOversized;
+  // A syntactically perfect header announcing a body past the cap: the
+  // codec must reject it before buffering a byte of it.
+  std::string header = "KNET";
+  const uint32_t version = 1;
+  for (int i = 0; i < 4; ++i) {
+    header.push_back(static_cast<char>((version >> (8 * i)) & 0xff));
+  }
+  const uint64_t huge = (uint64_t{1} << 40) + rng->Uniform(1000);
+  for (int i = 0; i < 8; ++i) {
+    header.push_back(static_cast<char>((huge >> (8 * i)) & 0xff));
+  }
+  op.raw = std::move(header);
+  return op;
+}
+
+uint64_t FoldWorkload(uint64_t fp, const std::vector<Session>& sessions,
+                      const FaultPlan& plan) {
+  for (const FaultSiteSpec& spec : plan.sites) {
+    fp = FingerprintPiece(fp, spec.site);
+    fp = FingerprintInt(fp, spec.first_n);
+    fp = FingerprintInt(fp, static_cast<uint64_t>(spec.probability * 1e6));
+  }
+  for (const Session& session : sessions) {
+    for (const Op& op : session.ops) {
+      fp = FingerprintInt(fp, static_cast<uint64_t>(op.kind));
+      fp = FingerprintPiece(fp, op.raw);
+      for (const NetRequest& request : op.requests) {
+        fp = FingerprintPiece(fp, EncodeNetRequest(request));
+      }
+    }
+  }
+  return fp;
+}
+
+/// Invariant 7's k-anonymity predicate (same as the service harness).
+bool OutputIsKAnonymous(const std::string& csv, size_t k,
+                        std::string* why) {
+  std::istringstream in(csv);
+  std::string line;
+  if (!std::getline(in, line)) {
+    *why = "empty output CSV";
+    return false;
+  }
+  std::unordered_map<std::string, size_t> counts;
+  while (std::getline(in, line)) {
+    if (!Trim(line).empty()) ++counts[line];
+  }
+  for (const auto& [row, count] : counts) {
+    if (count < k) {
+      *why = "output row '" + row + "' appears " + std::to_string(count) +
+             " < k=" + std::to_string(k) + " times";
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Shared tallies the session threads fold into.
+struct Tally {
+  std::mutex mu;
+  size_t requests_sent = 0;
+  size_t hostile_sent = 0;
+  size_t ok_responses = 0;
+  size_t typed_errors = 0;
+  size_t transport_closes = 0;
+  std::vector<std::string> violations;
+
+  void Violation(std::string v) {
+    std::lock_guard<std::mutex> lock(mu);
+    violations.push_back(std::move(v));
+  }
+};
+
+/// Examines one Receive outcome. Returns false when the session's
+/// transport is gone (stop the session).
+bool NoteReceive(const StatusOr<NetResponse>& received, uint64_t want_seq,
+                 size_t want_k, bool mid_write_faults, bool any_faults,
+                 Tally* tally) {
+  if (!received.ok()) {
+    const StatusCode code = received.status().code();
+    std::lock_guard<std::mutex> lock(tally->mu);
+    ++tally->transport_closes;
+    if (code == StatusCode::kParseError) {
+      tally->violations.push_back("server sent non-protocol bytes: " +
+                                  received.status().ToString());
+    } else if (code == StatusCode::kDeadlineExceeded) {
+      tally->violations.push_back("interaction hung: " +
+                                  received.status().ToString());
+    } else if (code == StatusCode::kDataLoss && !mid_write_faults) {
+      tally->violations.push_back(
+          "frame torn with no mid-write fault armed: " +
+          received.status().ToString());
+    }
+    (void)any_faults;
+    return false;
+  }
+  const NetResponse& response = *received;
+  if (response.verb == NetVerb::kShutdown) {
+    // Connection-level farewell (limit, desync, drain): permitted; the
+    // close that follows is clean.
+    std::lock_guard<std::mutex> lock(tally->mu);
+    ++tally->typed_errors;
+    return false;
+  }
+  if (want_seq != 0 && response.client_seq != want_seq) {
+    tally->Violation("response seq " + std::to_string(response.client_seq) +
+                     " does not match request seq " +
+                     std::to_string(want_seq));
+    return true;
+  }
+  if (!response.ok()) {
+    if (response.error_name.empty()) {
+      tally->Violation("error response without a taxonomy name (code " +
+                       std::string(StatusCodeName(response.code)) + ")");
+    }
+    std::lock_guard<std::mutex> lock(tally->mu);
+    ++tally->typed_errors;
+    return true;
+  }
+  std::string why;
+  if (response.verb == NetVerb::kAnonymize && want_k > 0 &&
+      !response.csv.empty() &&
+      !OutputIsKAnonymous(response.csv, want_k, &why)) {
+    tally->Violation("anonymize response is not k-anonymous: " + why);
+  }
+  std::lock_guard<std::mutex> lock(tally->mu);
+  ++tally->ok_responses;
+  return true;
+}
+
+/// Runs one session's ops against the server. Each terminal hostile op
+/// ends the session; transport loss ends it early (permitted).
+void RunSession(const Session& session, uint16_t port,
+                bool mid_write_faults, bool any_faults, Tally* tally) {
+  NetClient client;
+  if (!client.Connect("127.0.0.1", port, 2000.0).ok()) {
+    // Listener gone (drain) or injected accept failure: clean refusal.
+    std::lock_guard<std::mutex> lock(tally->mu);
+    ++tally->transport_closes;
+    return;
+  }
+  for (const Op& op : session.ops) {
+    if (IsTerminal(op.kind)) {
+      {
+        std::lock_guard<std::mutex> lock(tally->mu);
+        ++tally->hostile_sent;
+      }
+      if (!client.SendRaw(op.raw).ok()) return;
+      if (op.kind == Op::Kind::kTruncate) {
+        // Tear the frame: the server must treat the EOF as a clean end
+        // of a conversation that never completed a request.
+        client.ShutdownWrite();
+        StatusOr<NetResponse> last = client.Receive(10000.0);
+        if (last.ok()) {
+          // A typed farewell is fine too; nothing further is owed.
+          std::lock_guard<std::mutex> lock(tally->mu);
+          ++tally->typed_errors;
+        } else if (last.status().code() == StatusCode::kParseError) {
+          tally->Violation("server answered a torn frame with garbage: " +
+                           last.status().ToString());
+        } else {
+          std::lock_guard<std::mutex> lock(tally->mu);
+          ++tally->transport_closes;
+        }
+        return;
+      }
+      // Garbage / bit flip / oversized: expect one typed bad_frame
+      // farewell or a straight close — never silence, never garbage.
+      StatusOr<NetResponse> answer = client.Receive(10000.0);
+      if (answer.ok()) {
+        std::lock_guard<std::mutex> lock(tally->mu);
+        ++tally->typed_errors;
+      } else if (answer.status().code() == StatusCode::kParseError) {
+        tally->Violation("server answered hostile bytes with garbage: " +
+                         answer.status().ToString());
+      } else if (answer.status().code() == StatusCode::kDeadlineExceeded) {
+        tally->Violation("hostile bytes hung the connection: " +
+                         answer.status().ToString());
+      } else {
+        std::lock_guard<std::mutex> lock(tally->mu);
+        ++tally->transport_closes;
+      }
+      return;
+    }
+
+    // Valid traffic: send everything, then collect one response per
+    // request (bursts pipeline, so responses may arrive out of order).
+    {
+      std::lock_guard<std::mutex> lock(tally->mu);
+      tally->requests_sent += op.requests.size();
+    }
+    for (const NetRequest& request : op.requests) {
+      if (!client.Send(request).ok()) {
+        std::lock_guard<std::mutex> lock(tally->mu);
+        ++tally->transport_closes;
+        return;
+      }
+    }
+    if (op.kind == Op::Kind::kBurst) {
+      std::unordered_map<uint64_t, size_t> want;  // seq -> k
+      for (size_t i = 0; i < op.requests.size(); ++i) {
+        want[op.requests[i].client_seq] = op.expect_k[i];
+      }
+      for (size_t i = 0; i < op.requests.size(); ++i) {
+        StatusOr<NetResponse> received = client.Receive(20000.0);
+        uint64_t seq = 0;
+        size_t k = 0;
+        if (received.ok()) {
+          const auto found = want.find(received->client_seq);
+          if (found != want.end()) {
+            seq = found->first;
+            k = found->second;
+            want.erase(found);
+          } else if (received->verb != NetVerb::kShutdown) {
+            tally->Violation("burst response seq " +
+                             std::to_string(received->client_seq) +
+                             " matches no outstanding request");
+          }
+        }
+        if (!NoteReceive(received, seq, k, mid_write_faults, any_faults,
+                         tally)) {
+          return;
+        }
+      }
+    } else {
+      const uint64_t seq = op.requests.front().client_seq;
+      const size_t k = op.expect_k.empty() ? 0 : op.expect_k.front();
+      if (!NoteReceive(client.Receive(20000.0), seq, k, mid_write_faults,
+                       any_faults, tally)) {
+        return;
+      }
+    }
+  }
+  client.Close();
+}
+
+}  // namespace
+
+NetChaosReport RunNetChaosSchedule(const NetChaosOptions& options) {
+  NetChaosReport report;
+  report.seed = options.seed;
+  Rng rng(options.seed, /*stream=*/0x6e657463ull);  // "netc"
+
+  bool mid_write_faults = false;
+  const FaultPlan plan =
+      DrawNetFaultPlan(options.seed, &rng, &mid_write_faults);
+  const bool any_faults = !plan.sites.empty();
+
+  // Workload first (pure function of the seed), then the live run.
+  uint64_t next_seq = 1;
+  std::vector<Session> sessions(std::max<size_t>(options.sessions, 1));
+  for (Session& session : sessions) {
+    const int ops = rng.UniformInt(2, 6);
+    for (int i = 0; i < ops; ++i) {
+      session.ops.push_back(DrawOp(&rng, &next_seq));
+      if (IsTerminal(session.ops.back().kind)) break;  // terminal ends it
+    }
+  }
+  report.sessions = sessions.size();
+  report.workload_fingerprint =
+      FoldWorkload(kFingerprintSeed, sessions, plan);
+
+  const std::string scratch_tag =
+      std::to_string(static_cast<unsigned long>(::getpid())) + "_" +
+      std::to_string(options.seed);
+  const std::string journal_path =
+      options.scratch_dir + "/kanon_netchaos_" + scratch_tag + ".journal";
+  std::unique_ptr<JobJournal> journal;
+  if (options.with_journal) {
+    ::unlink(journal_path.c_str());
+    journal = std::make_unique<JobJournal>(journal_path);
+  }
+
+  ServiceOptions service_options;
+  service_options.workers = 2;
+  service_options.queue_capacity =
+      static_cast<size_t>(rng.UniformInt(4, 32));
+  service_options.cache_capacity = 16;
+  service_options.observer = journal.get();
+  AnonymizationService service(service_options);
+
+  NetServerOptions server_options;
+  server_options.port = 0;
+  server_options.max_connections =
+      rng.Bernoulli(0.25) ? 2 : sessions.size() + 4;
+  server_options.max_inflight = static_cast<size_t>(rng.UniformInt(2, 8));
+  server_options.frame_timeout_ms = 250.0;
+  server_options.write_stall_ms = 2000.0;
+  server_options.drain_grace_ms = 500.0;
+  NetServer server(service, server_options);
+  const Status started = server.Start();
+  if (!started.ok()) {
+    report.violations.push_back("server failed to start: " +
+                                started.ToString());
+    return report;
+  }
+
+  // Arm the fault plan only for the live run.
+  std::optional<ScopedFaultInjection> injection;
+  injection.emplace(plan);
+
+  std::thread server_thread([&server] { server.Run(); });
+
+  Tally tally;
+  const uint16_t port = server.port();
+  std::vector<std::thread> threads;
+  threads.reserve(sessions.size());
+  for (const Session& session : sessions) {
+    threads.emplace_back([&session, port, mid_write_faults, any_faults,
+                          &tally] {
+      RunSession(session, port, mid_write_faults, any_faults, &tally);
+    });
+  }
+  if (options.with_drain) {
+    // The SIGTERM path, mid-flight: stop accepting, deliver what was
+    // admitted, cancel (typed) past the grace window.
+    std::this_thread::sleep_for(std::chrono::milliseconds(
+        static_cast<int>(rng.UniformInt(20, 120))));
+    server.RequestDrain();
+  }
+  for (std::thread& t : threads) t.join();
+  server.RequestDrain();
+  server_thread.join();
+  injection.reset();
+
+  // Everything the front end admitted must now drain through the
+  // workers; Shutdown blocks until the queue is empty and joined.
+  service.Shutdown();
+
+  report.requests_sent = tally.requests_sent;
+  report.hostile_sent = tally.hostile_sent;
+  report.ok_responses = tally.ok_responses;
+  report.typed_errors = tally.typed_errors;
+  report.transport_closes = tally.transport_closes;
+  report.violations = std::move(tally.violations);
+  report.server = server.stats();
+
+  for (const FaultSiteSnapshot& site :
+       FaultRegistry::Instance().Snapshot()) {
+    report.fault_fires += site.fires;
+  }
+
+  // Invariant 9: the front end accounts for every admitted job.
+  if (report.server.jobs_submitted !=
+      report.server.responses_delivered + report.server.responses_dropped) {
+    report.violations.push_back(
+        "admitted jobs leaked: submitted=" +
+        std::to_string(report.server.jobs_submitted) + " delivered=" +
+        std::to_string(report.server.responses_delivered) + " dropped=" +
+        std::to_string(report.server.responses_dropped));
+  }
+
+  // Invariant 8, ledger half: everything the queue admitted, the pool
+  // answered (hostile frames and drain included).
+  const ServiceStats stats = service.Stats();
+  if (stats.accepted != stats.completed) {
+    report.violations.push_back(
+        "queue/pool ledgers disagree: accepted=" +
+        std::to_string(stats.accepted) +
+        " completed=" + std::to_string(stats.completed));
+  }
+
+  // Invariant 8, journal half: the file replays, and no admitted job is
+  // left pending (every one has a durable outcome record).
+  if (options.with_journal) {
+    journal.reset();  // close the fd before reading
+    const StatusOr<JournalReplay> replay =
+        JobJournal::ReplayFile(journal_path);
+    if (!replay.ok()) {
+      report.violations.push_back("journal does not replay: " +
+                                  replay.status().message());
+    } else if (!replay->pending.empty()) {
+      report.violations.push_back(
+          "journal shows " + std::to_string(replay->pending.size()) +
+          " job(s) with no outcome after a clean drain");
+    }
+    ::unlink(journal_path.c_str());
+  }
+
+  if (options.verbose) {
+    std::cerr << "netchaos seed=" << options.seed
+              << " sent=" << report.requests_sent
+              << " hostile=" << report.hostile_sent
+              << " ok=" << report.ok_responses
+              << " typed=" << report.typed_errors
+              << " closes=" << report.transport_closes
+              << " fires=" << report.fault_fires << "\n";
+  }
+  return report;
+}
+
+}  // namespace kanon

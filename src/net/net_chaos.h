@@ -1,0 +1,91 @@
+#ifndef KANON_NET_NET_CHAOS_H_
+#define KANON_NET_NET_CHAOS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/tcp_server.h"
+
+/// \file
+/// Seeded connection-fault chaos against a live NetServer + service
+/// stack — the network extension of service/chaos.h.
+///
+/// One schedule = one seed. The seed derives a fault plan over the
+/// transport's injection sites (`net.accept`, `net.read_torn`,
+/// `net.write_stall`, `net.close_mid_frame`, plus `queue.admit`) and a
+/// client workload: concurrent sessions mixing valid requests,
+/// pipelined bursts, stats probes and hostile bytes (garbage, single
+/// bit flips of valid frames, truncated frames, oversized declared
+/// lengths). Optionally the schedule drains the server mid-flight, the
+/// way SIGTERM would.
+///
+/// Invariants checked (numbered after the service layer's six):
+///
+///   7. every client interaction terminates with a decodable, typed
+///      response or a clean connection close — the server never emits
+///      non-protocol bytes (client-side kParseError), never hangs a
+///      receive, and tears a frame (client-side kDataLoss) only when a
+///      mid-write fault site is actually armed; every OK anonymize
+///      response is a *valid* k-anonymization;
+///   8. hostile frames never corrupt shared state: after the schedule,
+///      the crash journal replays cleanly and shows no pending jobs,
+///      and the queue/pool ledgers reconcile (accepted == completed);
+///   9. drain loses nothing: every job the front end admitted is
+///      accounted for as delivered or (connection died first) dropped —
+///      jobs_submitted == responses_delivered + responses_dropped — and
+///      cancellations past the grace window still produced typed
+///      responses.
+///
+/// The wall-clock interleaving of sessions is *not* deterministic (real
+/// sockets, real threads); what is deterministic is the generated
+/// workload and fault plan, so `workload_fingerprint` is a pure
+/// function of the seed and is what the reproducibility gate compares.
+
+namespace kanon {
+
+struct NetChaosOptions {
+  uint64_t seed = 0;
+  /// Concurrent client sessions per schedule.
+  size_t sessions = 6;
+  /// Journal the schedule's jobs and check the replay half of
+  /// invariant 8. Requires `scratch_dir` to be writable.
+  bool with_journal = true;
+  /// Request a mid-schedule graceful drain (the SIGTERM path).
+  bool with_drain = true;
+  std::string scratch_dir = "/tmp";
+  bool verbose = false;
+};
+
+struct NetChaosReport {
+  uint64_t seed = 0;
+  size_t sessions = 0;
+  /// Valid requests sent (anonymize + stats + shutdown verbs).
+  size_t requests_sent = 0;
+  /// Hostile byte sequences sent.
+  size_t hostile_sent = 0;
+  size_t ok_responses = 0;
+  size_t typed_errors = 0;
+  /// Interactions that ended in a (permitted) connection close.
+  size_t transport_closes = 0;
+  /// Fault-site fires across the schedule.
+  uint64_t fault_fires = 0;
+  /// Final transport counters.
+  NetServerStats server;
+  /// Invariant violations; empty means the schedule passed.
+  std::vector<std::string> violations;
+  /// Deterministic digest of the generated workload + fault plan;
+  /// equal across runs with the same seed.
+  uint64_t workload_fingerprint = 0;
+
+  bool passed() const { return violations.empty(); }
+};
+
+/// Runs one seeded schedule. Arms the process-wide FaultRegistry for
+/// its duration (disarmed before verification), so do not run
+/// schedules concurrently in one process.
+NetChaosReport RunNetChaosSchedule(const NetChaosOptions& options);
+
+}  // namespace kanon
+
+#endif  // KANON_NET_NET_CHAOS_H_

@@ -39,8 +39,9 @@ JobQueue::JobQueue(QueueOptions options) : options_(options) {
 JobQueue::JobQueue(size_t capacity)
     : JobQueue(QueueOptions{.capacity = capacity}) {}
 
-StatusOr<JobQueue::Ticket> JobQueue::Submit(AnonymizeRequest request,
-                                            ServiceError* error) {
+StatusOr<JobQueue::Ticket> JobQueue::Submit(
+    AnonymizeRequest request, ServiceError* error,
+    std::function<void(const AnonymizeResponse&)> on_done) {
   KANON_CHECK(error != nullptr);
   *error = ServiceError::kNone;
   std::lock_guard<std::mutex> lock(mu_);
@@ -97,6 +98,7 @@ StatusOr<JobQueue::Ticket> JobQueue::Submit(AnonymizeRequest request,
     job.ctx->set_node_budget(request.node_budget);
   }
   job.request = std::move(request);
+  job.on_done = std::move(on_done);
 
   Ticket ticket;
   ticket.id = job.id;

@@ -3,6 +3,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -45,6 +46,12 @@ struct Job {
   int priority = 0;
   /// Fulfilled by the worker with the job's AnonymizeResponse.
   std::promise<AnonymizeResponse> promise;
+  /// Optional completion callback, invoked by the worker on its own
+  /// thread right before the promise is fulfilled. The TCP front end
+  /// uses it to push answers back into its event loop without parking a
+  /// thread per in-flight job. Must not block and must not call back
+  /// into the queue.
+  std::function<void(const AnonymizeResponse&)> on_done;
 };
 
 /// Lifecycle hooks for admitted jobs. The queue invokes OnAdmit under
@@ -118,7 +125,11 @@ class JobQueue {
     uint64_t id = 0;
     std::future<AnonymizeResponse> result;
   };
-  StatusOr<Ticket> Submit(AnonymizeRequest request, ServiceError* error);
+  /// `on_done`, when non-null, is stored on the job and invoked by the
+  /// worker with the final response (see Job::on_done).
+  StatusOr<Ticket> Submit(
+      AnonymizeRequest request, ServiceError* error,
+      std::function<void(const AnonymizeResponse&)> on_done = nullptr);
 
   /// Blocks for the best queued job (see file comment for the order);
   /// returns nullopt once the queue is closed and drained. The popped

@@ -38,6 +38,12 @@ const char* ServiceErrorName(ServiceError error) {
       return "interrupted";
     case ServiceError::kWatchdogPreempted:
       return "watchdog_preempted";
+    case ServiceError::kLineTooLong:
+      return "line_too_long";
+    case ServiceError::kBadFrame:
+      return "bad_frame";
+    case ServiceError::kConnectionLimit:
+      return "connection_limit";
   }
   KANON_CHECK(false) << "bad ServiceError " << static_cast<int>(error);
   return "";
@@ -66,6 +72,11 @@ StatusCode ServiceErrorCode(ServiceError error) {
     case ServiceError::kInterrupted:
     case ServiceError::kWatchdogPreempted:
       return StatusCode::kInternal;
+    case ServiceError::kLineTooLong:
+    case ServiceError::kBadFrame:
+      return StatusCode::kParseError;
+    case ServiceError::kConnectionLimit:
+      return StatusCode::kResourceExhausted;
   }
   KANON_CHECK(false) << "bad ServiceError " << static_cast<int>(error);
   return StatusCode::kInternal;

@@ -59,6 +59,15 @@ enum class ServiceError {
   /// observable progress (no heartbeat/checkpoint advance within the
   /// stall bound).
   kWatchdogPreempted,
+  /// A protocol line exceeded the transport's line-length cap; the line
+  /// was discarded unparsed (nothing was silently truncated).
+  kLineTooLong,
+  /// A binary-protocol frame failed envelope or body decoding (bad
+  /// magic/version, hostile length, checksum mismatch, torn body).
+  kBadFrame,
+  /// The TCP front end is at its connection limit; the new connection
+  /// was rejected with this typed response and closed.
+  kConnectionLimit,
 };
 
 /// Protocol-facing name: "queue_full", "unknown_algorithm", ...

@@ -57,7 +57,9 @@ std::string FormatAnonymizeResponse(const AnonymizeResponse& response) {
   return out.str();
 }
 
-std::string FormatStats(const ServiceStats& stats) {
+}  // namespace
+
+std::string FormatStatsLine(const ServiceStats& stats) {
   std::ostringstream out;
   out << "ok verb=stats workers=" << stats.workers
       << " queue_depth=" << stats.queue_depth
@@ -83,8 +85,6 @@ std::string FormatStats(const ServiceStats& stats) {
       << " build=" << BuildInfoToken();
   return out.str();
 }
-
-}  // namespace
 
 AnonymizationService::AnonymizationService(ServiceOptions options)
     : cache_(options.cache_capacity),
@@ -115,6 +115,19 @@ StatusOr<JobQueue::Ticket> AnonymizationService::Submit(
   const Status prepared = ValidateAndPrepare(request, error);
   if (!prepared.ok()) return prepared;
   return queue_.Submit(std::move(request), error);
+}
+
+StatusOr<uint64_t> AnonymizationService::SubmitAsync(
+    AnonymizeRequest request, ServiceError* error,
+    std::function<void(const AnonymizeResponse&)> on_done) {
+  const Status prepared = ValidateAndPrepare(request, error);
+  if (!prepared.ok()) return prepared;
+  StatusOr<JobQueue::Ticket> ticket =
+      queue_.Submit(std::move(request), error, std::move(on_done));
+  if (!ticket.ok()) return ticket.status();
+  // The future is deliberately dropped: the callback is the delivery
+  // path, and a promise fulfilled with no waiter is harmless.
+  return ticket->id;
 }
 
 AnonymizeResponse AnonymizationService::Handle(AnonymizeRequest request) {
@@ -273,7 +286,7 @@ std::string HandleLine(AnonymizationService& service,
     return FormatAnonymizeResponse(service.Handle(*std::move(request)));
   }
   if (verb == "stats") {
-    return FormatStats(service.Stats());
+    return FormatStatsLine(service.Stats());
   }
   if (verb == "shutdown") {
     *shutdown = true;
@@ -408,11 +421,56 @@ StatusOr<JournalReplayReport> ReplayJournalIntoService(
   return ApplyReplayToService(*std::move(replay), service);
 }
 
+namespace {
+
+/// getline with an allocation cap: reads through the next '\n' (or
+/// EOF), keeping at most `cap` bytes. Bytes past the cap are *consumed
+/// and dropped* — the stream stays line-synchronized — and *overflow is
+/// set so the caller can answer with the typed error instead of parsing
+/// a truncated request. Returns false once the stream is exhausted.
+bool GetLineBounded(std::istream& in, std::string* line, size_t cap,
+                    bool* overflow) {
+  line->clear();
+  *overflow = false;
+  std::streambuf* const buf = in.rdbuf();
+  bool any = false;
+  for (;;) {
+    const int c = buf->sbumpc();
+    if (c == std::char_traits<char>::eof()) {
+      in.setstate(std::ios::eofbit);
+      return any;
+    }
+    any = true;
+    if (c == '\n') return true;
+    if (line->size() >= cap) {
+      *overflow = true;
+      continue;  // keep draining to the newline, remember nothing
+    }
+    line->push_back(static_cast<char>(c));
+  }
+}
+
+}  // namespace
+
 size_t ServeLines(AnonymizationService& service, std::istream& in,
                   std::ostream& out) {
   size_t served = 0;
   std::string line;
-  while (std::getline(in, line)) {
+  bool overflow = false;
+  while (GetLineBounded(in, &line, kMaxProtocolLineBytes, &overflow)) {
+    if (overflow) {
+      const ServiceError error = ServiceError::kLineTooLong;
+      out << FormatErrorLine(
+                 "-", 0, error,
+                 MakeServiceStatus(
+                     error, "request line exceeds " +
+                                std::to_string(kMaxProtocolLineBytes) +
+                                " bytes; discarded unparsed"))
+          << '\n'
+          << std::flush;
+      ++served;
+      continue;
+    }
     const std::string_view trimmed = Trim(line);
     if (trimmed.empty() || trimmed.front() == '#') continue;
     bool shutdown = false;

@@ -121,6 +121,14 @@ class AnonymizationService {
   StatusOr<JobQueue::Ticket> Submit(AnonymizeRequest request,
                                     ServiceError* error);
 
+  /// Callback-style admission for event-loop callers (the TCP front
+  /// end): like Submit, but instead of a future the worker invokes
+  /// `on_done` with the final response on its own thread (see
+  /// Job::on_done for the contract). Returns the job id.
+  StatusOr<uint64_t> SubmitAsync(
+      AnonymizeRequest request, ServiceError* error,
+      std::function<void(const AnonymizeResponse&)> on_done);
+
   /// Synchronous convenience: Submit + wait. Rejections come back as a
   /// response with the non-OK status filled in, so callers always get
   /// one AnonymizeResponse per request.
@@ -223,6 +231,18 @@ StatusOr<AnonymizeRequest> ParseRequestLine(const std::string& tail,
                                             ServiceError* error);
 std::string HandleLine(AnonymizationService& service,
                        const std::string& line, bool* shutdown);
+
+/// The `ok verb=stats ...` key=value line for a stats snapshot. Shared
+/// by the line protocol and the binary protocol (which ships the same
+/// text as its stats payload), so counter names have one source of
+/// truth.
+std::string FormatStatsLine(const ServiceStats& stats);
+
+/// Upper bound on one protocol line, transport framing included. A line
+/// longer than this is *discarded unparsed* and answered with the typed
+/// `line_too_long` error — the serving loop never buffers unbounded
+/// input and never acts on a silently-truncated request.
+inline constexpr size_t kMaxProtocolLineBytes = size_t{1} << 20;  // 1 MiB
 
 }  // namespace kanon
 

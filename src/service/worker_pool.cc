@@ -345,6 +345,9 @@ void WorkerPool::WorkerLoop() {
     // client saw answered marked interrupted at replay — the safe
     // direction is the reverse.
     if (observer != nullptr) observer->OnDone(job->id, response);
+    // The completion callback fires after the journal append (the
+    // outcome is durable) and before set_value consumes the response.
+    if (job->on_done) job->on_done(response);
     queue_->Forget(job->id);
     job->promise.set_value(std::move(response));
   }

@@ -29,6 +29,22 @@ bool CommandLine::HasFlag(const std::string& name) const {
   return flags_.count(name) > 0;
 }
 
+std::vector<std::string> CommandLine::UnknownFlags(
+    const std::vector<std::string>& known) const {
+  std::vector<std::string> unknown;
+  for (const auto& [name, value] : flags_) {
+    bool found = false;
+    for (const std::string& k : known) {
+      if (name == k) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) unknown.push_back(name);
+  }
+  return unknown;  // flags_ is an ordered map, so this is sorted
+}
+
 std::string CommandLine::GetString(const std::string& name,
                                    const std::string& fallback) const {
   const auto it = flags_.find(name);

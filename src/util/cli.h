@@ -23,6 +23,13 @@ class CommandLine {
 
   bool HasFlag(const std::string& name) const;
 
+  /// Flags present on the command line but absent from `known`, in
+  /// sorted order. Binaries with a fixed flag set use this to reject a
+  /// typo (`--workres=4`) with a usage message and a non-zero exit
+  /// instead of silently running with the default.
+  std::vector<std::string> UnknownFlags(
+      const std::vector<std::string>& known) const;
+
   /// Typed accessors; return `fallback` when absent or unparsable.
   std::string GetString(const std::string& name,
                         const std::string& fallback) const;

@@ -45,6 +45,10 @@ enum class StatusCode {
   /// the bytes themselves did not survive — callers should discard the
   /// artifact and fall back, never retry the read.
   kDataLoss,
+  /// A peer or transport is gone (connection refused, closed, reset).
+  /// Distinct from kDataLoss: nothing was corrupted, the other side
+  /// simply is not there — callers may reconnect and retry.
+  kUnavailable,
 };
 
 /// Short upper-case tag ("OK", "INVALID_ARGUMENT", ...).
@@ -82,6 +86,9 @@ class Status {
   }
   static Status DataLoss(std::string m) {
     return Status(StatusCode::kDataLoss, std::move(m));
+  }
+  static Status Unavailable(std::string m) {
+    return Status(StatusCode::kUnavailable, std::move(m));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,195 @@
+#include <cstdint>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "net/frame.h"
+#include "util/random.h"
+
+/// \file
+/// Adversarial decoding drills for the binary wire codec, mirroring
+/// tests/ckpt/checkpoint_fuzz_test.cc: bytes off a socket are hostile
+/// input, so every truncated prefix, every single-bit flip and
+/// arbitrary garbage must come back as a *typed* kParseError (or an
+/// honest kNeedMore from the streaming decoder) — never a crash, never
+/// an allocation driven past FrameLimits.max_body by a wire-supplied
+/// length, and never a silently-accepted wrong payload.
+
+namespace kanon {
+namespace {
+
+std::string ValidRequestFrame() {
+  NetRequest request;
+  request.verb = NetVerb::kAnonymize;
+  request.client_seq = 11;
+  request.request.algorithm = "resilient";
+  request.request.k = 2;
+  request.request.csv_text = "age\n30\n30\n31\n31\n";
+  return EncodeNetRequest(request);
+}
+
+/// Full hostile-stream check: the exact-frame decoder must answer a
+/// typed error, and the streaming decoder must answer kBad or an honest
+/// kNeedMore — never a decoded frame, never anything untyped.
+void ExpectHostile(const std::string& bytes, const std::string& what) {
+  const StatusOr<std::string> exact = DecodeFrameExact(bytes);
+  if (exact.ok()) {
+    // The envelope survived (a flip inside the body can still checksum-
+    // collide only with 2^-64 probability; a flip that survives must be
+    // caught by the *body* decoder instead).
+    const StatusOr<NetRequest> decoded = DecodeNetRequest(*exact);
+    EXPECT_FALSE(decoded.ok()) << what << ": hostile bytes decoded";
+    if (!decoded.ok()) {
+      EXPECT_EQ(decoded.status().code(), StatusCode::kParseError) << what;
+    }
+    return;
+  }
+  EXPECT_EQ(exact.status().code(), StatusCode::kParseError)
+      << what << ": " << exact.status().ToString();
+}
+
+TEST(FrameFuzz, EveryStrictPrefixIsNeedMoreThenEofIsTyped) {
+  const std::string frame = ValidRequestFrame();
+  FrameLimits limits;
+  for (size_t cut = 0; cut < frame.size(); ++cut) {
+    const std::string prefix = frame.substr(0, cut);
+    // Streaming: an honest "read more".
+    std::string_view body;
+    size_t consumed = 0;
+    Status error;
+    EXPECT_EQ(TryDecodeFrame(prefix, limits, &body, &consumed, &error),
+              FrameDecode::kNeedMore)
+        << "prefix " << cut;
+    // At EOF the same prefix is a typed error, never a hang or crash.
+    const StatusOr<std::string> exact = DecodeFrameExact(prefix);
+    ASSERT_FALSE(exact.ok()) << "prefix " << cut << " decoded";
+    EXPECT_EQ(exact.status().code(), StatusCode::kParseError)
+        << "prefix " << cut;
+  }
+}
+
+TEST(FrameFuzz, EverySingleBitFlipIsATypedError) {
+  const std::string frame = ValidRequestFrame();
+  for (size_t byte = 0; byte < frame.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string flipped = frame;
+      flipped[byte] = static_cast<char>(
+          static_cast<unsigned char>(flipped[byte]) ^ (1u << bit));
+      ExpectHostile(flipped, "flip byte " + std::to_string(byte) +
+                                 " bit " + std::to_string(bit));
+    }
+  }
+}
+
+TEST(FrameFuzz, TrailingGarbageIsATypedError) {
+  const StatusOr<std::string> exact =
+      DecodeFrameExact(ValidRequestFrame() + "x");
+  ASSERT_FALSE(exact.ok());
+  EXPECT_EQ(exact.status().code(), StatusCode::kParseError);
+}
+
+TEST(FrameFuzz, RandomGarbageIsATypedErrorOrHonestNeedMore) {
+  Rng rng(0xfa22ull);
+  FrameLimits limits;
+  for (int round = 0; round < 300; ++round) {
+    std::string garbage(rng.Uniform(120), '\0');
+    for (char& c : garbage) c = static_cast<char>(rng.Uniform(256));
+
+    std::string_view body;
+    size_t consumed = 0;
+    Status error;
+    switch (TryDecodeFrame(garbage, limits, &body, &consumed, &error)) {
+      case FrameDecode::kFrame:
+        ADD_FAILURE() << "round " << round << ": garbage decoded";
+        break;
+      case FrameDecode::kBad:
+        EXPECT_EQ(error.code(), StatusCode::kParseError);
+        break;
+      case FrameDecode::kNeedMore:
+        // Only a true prefix of the envelope may claim this: random
+        // bytes must be empty or open with the magic to get here.
+        if (!garbage.empty()) {
+          EXPECT_EQ(garbage[0], 'K') << "round " << round;
+        }
+        break;
+    }
+  }
+}
+
+TEST(FrameFuzz, HostileLengthNeverDrivesAnAllocation) {
+  // Craft headers announcing absurd body lengths. The decoder must
+  // reject at the header — the assertion is that these return kBad
+  // immediately (would OOM or hang waiting for 2^60 bytes otherwise).
+  FrameLimits limits;
+  for (const uint64_t huge :
+       {uint64_t{1} << 23 | 1, uint64_t{1} << 32, uint64_t{1} << 60,
+        ~uint64_t{0}}) {
+    std::string header = "KNET";
+    const uint32_t version = 1;
+    for (int i = 0; i < 4; ++i) {
+      header.push_back(static_cast<char>((version >> (8 * i)) & 0xff));
+    }
+    for (int i = 0; i < 8; ++i) {
+      header.push_back(static_cast<char>((huge >> (8 * i)) & 0xff));
+    }
+    std::string_view body;
+    size_t consumed = 0;
+    Status error;
+    EXPECT_EQ(TryDecodeFrame(header, limits, &body, &consumed, &error),
+              FrameDecode::kBad)
+        << "announced length " << huge;
+    EXPECT_EQ(error.code(), StatusCode::kParseError);
+  }
+}
+
+TEST(FrameFuzz, WrongVersionIsATypedError) {
+  std::string frame = ValidRequestFrame();
+  frame[4] = 2;  // version field, little-endian low byte
+  std::string_view body;
+  size_t consumed = 0;
+  Status error;
+  FrameLimits limits;
+  EXPECT_EQ(TryDecodeFrame(frame, limits, &body, &consumed, &error),
+            FrameDecode::kBad);
+  EXPECT_EQ(error.code(), StatusCode::kParseError);
+}
+
+TEST(FrameFuzz, BodyFuzzUnknownVerbAndTornFieldsAreTyped) {
+  // Hostile *bodies* inside valid envelopes: the body decoder's own
+  // surface. Unknown verb, unknown status code, truncated fields.
+  {
+    std::string body;
+    const uint32_t bad_verb = 99;
+    for (int i = 0; i < 4; ++i) {
+      body.push_back(static_cast<char>((bad_verb >> (8 * i)) & 0xff));
+    }
+    const StatusOr<NetRequest> decoded = DecodeNetRequest(body);
+    ASSERT_FALSE(decoded.ok());
+    EXPECT_EQ(decoded.status().code(), StatusCode::kParseError);
+  }
+  const StatusOr<std::string> valid =
+      DecodeFrameExact(ValidRequestFrame());
+  ASSERT_TRUE(valid.ok());
+  for (size_t cut = 0; cut < valid->size(); ++cut) {
+    const StatusOr<NetRequest> decoded =
+        DecodeNetRequest(std::string_view(*valid).substr(0, cut));
+    ASSERT_FALSE(decoded.ok()) << "body prefix " << cut << " decoded";
+    EXPECT_EQ(decoded.status().code(), StatusCode::kParseError)
+        << "body prefix " << cut;
+  }
+  // Response bodies get the same treatment.
+  NetResponse response;
+  response.verb = NetVerb::kStats;
+  response.stats_line = "ok verb=stats";
+  const StatusOr<std::string> response_body =
+      DecodeFrameExact(EncodeNetResponse(response));
+  ASSERT_TRUE(response_body.ok());
+  for (size_t cut = 0; cut < response_body->size(); ++cut) {
+    const StatusOr<NetResponse> decoded = DecodeNetResponse(
+        std::string_view(*response_body).substr(0, cut));
+    ASSERT_FALSE(decoded.ok()) << "response prefix " << cut;
+    EXPECT_EQ(decoded.status().code(), StatusCode::kParseError);
+  }
+}
+
+}  // namespace
+}  // namespace kanon

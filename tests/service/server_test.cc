@@ -292,6 +292,57 @@ TEST(ServerTest, CorruptJournalIsATypedReplayRefusal) {
   ::unlink(path.c_str());
 }
 
+TEST(ServerTest, OversizedLineIsATypedErrorAndServingContinues) {
+  AnonymizationService service({.workers = 1});
+  // A line past kMaxProtocolLineBytes must be discarded *unparsed* and
+  // answered with the typed line_too_long error — acting on a silently
+  // truncated request would anonymize the wrong table.
+  std::string huge = "anonymize algo=resilient k=2 csv=a";
+  huge.append(kMaxProtocolLineBytes, ';');
+  std::istringstream in(huge + "\n" +
+                        "anonymize algo=resilient k=2 csv=a;1;1;2;2\n");
+  std::ostringstream out;
+  const size_t served = ServeLines(service, in, out);
+  EXPECT_EQ(served, 2u);
+  const std::vector<std::string> lines = Split(out.str(), '\n');
+  ASSERT_GE(lines.size(), 2u);
+  EXPECT_TRUE(StartsWith(lines[0], "error verb=-"));
+  EXPECT_EQ(Field(lines[0], "error"), "line_too_long");
+  EXPECT_EQ(Field(lines[0], "code"), "PARSE_ERROR");
+  // The loop survived and the next request was served normally.
+  EXPECT_TRUE(StartsWith(lines[1], "ok verb=anonymize"));
+}
+
+TEST(ServerTest, ExactlyCapSizedLineIsStillServed) {
+  AnonymizationService service({.workers = 1});
+  // Boundary: a line of exactly the cap parses; one byte over does not.
+  std::string line = "anonymize algo=resilient k=2 csv=a;1;1;2;2";
+  line.append(kMaxProtocolLineBytes - line.size() - 1, ' ');
+  ASSERT_EQ(line.size(), kMaxProtocolLineBytes - 1);
+  std::istringstream in(line + "\n");
+  std::ostringstream out;
+  EXPECT_EQ(ServeLines(service, in, out), 1u);
+  EXPECT_TRUE(StartsWith(out.str(), "ok verb=anonymize"));
+}
+
+TEST(ServerTest, CrlfLineEndingsAreTolerated) {
+  AnonymizationService service({.workers = 1});
+  // A Windows-side client (or a proxy normalizing newlines) terminates
+  // lines with \r\n; the \r must not poison the last key=value token.
+  std::istringstream in(
+      "anonymize algo=resilient k=2 csv=a;1;1;2;2\r\n"
+      "stats\r\n"
+      "shutdown\r\n");
+  std::ostringstream out;
+  const size_t served = ServeLines(service, in, out);
+  EXPECT_EQ(served, 3u);
+  const std::vector<std::string> lines = Split(out.str(), '\n');
+  ASSERT_GE(lines.size(), 3u);
+  EXPECT_TRUE(StartsWith(lines[0], "ok verb=anonymize"));
+  EXPECT_TRUE(StartsWith(lines[1], "ok verb=stats"));
+  EXPECT_TRUE(StartsWith(lines[2], "ok verb=shutdown"));
+}
+
 TEST(ServerTest, ShutdownStopsAdmission) {
   AnonymizationService service({.workers = 1});
   service.Shutdown();

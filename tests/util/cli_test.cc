@@ -69,5 +69,29 @@ TEST(CommandLineTest, DoubleParsing) {
   EXPECT_DOUBLE_EQ(cl.GetDouble("rate", 0.0), 0.25);
 }
 
+TEST(CommandLineTest, UnknownFlagsFindsTheTypo) {
+  const CommandLine cl =
+      ParseArgs({"--workers=4", "--workres=8", "--once"});
+  const std::vector<std::string> unknown =
+      cl.UnknownFlags({"workers", "once", "journal"});
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "workres");
+}
+
+TEST(CommandLineTest, UnknownFlagsEmptyWhenAllKnown) {
+  const CommandLine cl = ParseArgs({"--workers=4", "--once"});
+  EXPECT_TRUE(cl.UnknownFlags({"workers", "once"}).empty());
+  EXPECT_TRUE(ParseArgs({}).UnknownFlags({"anything"}).empty());
+}
+
+TEST(CommandLineTest, UnknownFlagsIgnoresPositionalsAndSorts) {
+  const CommandLine cl =
+      ParseArgs({"input.csv", "--zeta=1", "--alpha=2", "out.csv"});
+  const std::vector<std::string> unknown = cl.UnknownFlags({});
+  ASSERT_EQ(unknown.size(), 2u);
+  EXPECT_EQ(unknown[0], "alpha");
+  EXPECT_EQ(unknown[1], "zeta");
+}
+
 }  // namespace
 }  // namespace kanon
