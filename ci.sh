@@ -340,6 +340,32 @@ assert tiled <= 1.25 * ref, (
     f"baseline {ref:.1f} ms (>25%)")
 EOF
 
+echo "=== coreset quality gate: sample-solve-assign gap vs direct ==="
+# E16 at n = 2048: the coreset pipeline (sample at the default rate,
+# solve the weighted coreset, assign the full table) must stay within
+# 1.5x of the direct solver's cost, and every partition in the rate
+# sweep must be a valid k-anonymous partition of the FULL table. The
+# run is seeded end to end, so the gap is deterministic, not noise.
+./build/bench/exp_e16_coreset --n=2048 --k=5 --out=BENCH_coreset.json \
+  >/dev/null
+python3 - <<'EOF'
+import json
+
+with open("BENCH_coreset.json") as f:
+    run = json.load(f)
+
+print(f"n={run['n']} k={run['k']} inner={run['inner']}: "
+      f"direct cost {run['direct_cost']}, "
+      f"default-rate gap {run['default_gap']:.3f}x")
+for point in run["sweep"]:
+    print(f"  rate {point['rate']:.3f}: cost {point['cost']}, "
+          f"gap {point['gap']:.3f}x")
+assert run["all_valid"], "coreset sweep emitted an invalid partition"
+assert run["default_gap"] <= 1.5, (
+    f"coreset cost gap regressed: {run['default_gap']:.3f}x vs "
+    "direct (gate 1.5x)")
+EOF
+
 if [[ "${1:-}" == "--skip-sanitizers" ]]; then
   echo "=== sanitizer pass skipped ==="
   exit 0
@@ -381,7 +407,7 @@ cmake -B build-tsan -S . -DKANON_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j"${JOBS}"
 TSAN_OPTIONS="halt_on_error=1" \
   ctest --test-dir build-tsan --output-on-failure -j"${JOBS}" \
-    -R 'QueueTest|WorkerPoolTest|CancelRaceTest|ServerTest|ServerFuzzTest|BreakerTest|StageBreakerTest|JournalTest|JournalCheckpoint|WatchdogTest|WatchdogPoolTest|CheckpointStoreTest|FaultRegistryTest|ChaosTest|Parallel|DataPlaneEquivalenceTest|DistanceOracleTest|GroupStatsTest|PackedTableTest|TcpServerTest|NetChaosTest|FrameEnvelope|NetCodec|FrameFuzz'
+    -R 'QueueTest|WorkerPoolTest|CancelRaceTest|ServerTest|ServerFuzzTest|BreakerTest|StageBreakerTest|JournalTest|JournalCheckpoint|WatchdogTest|WatchdogPoolTest|CheckpointStoreTest|FaultRegistryTest|ChaosTest|Parallel|DataPlaneEquivalenceTest|DistanceOracleTest|GroupStatsTest|PackedTableTest|TcpServerTest|NetChaosTest|FrameEnvelope|NetCodec|FrameFuzz|CoresetSamplerTest|CoresetAssignTest|CoresetAnonymizerTest|WeightedGroupStatsTest'
 
 echo "=== chaos: 100 seeded schedules under TSan ==="
 TSAN_OPTIONS="halt_on_error=1" \

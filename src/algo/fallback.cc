@@ -17,7 +17,8 @@ FallbackAnonymizer::FallbackAnonymizer(FallbackOptions options)
   stages_.reserve(options_.stages.size());
   for (const std::string& stage : options_.stages) {
     KANON_CHECK(stage != "resilient") << "fallback chain cannot nest itself";
-    auto algo = MakeAnonymizer(stage);
+    auto algo = options_.make_stage ? options_.make_stage(stage)
+                                    : MakeAnonymizer(stage);
     KANON_CHECK(algo != nullptr) << "unknown chain stage: " << stage;
     stages_.push_back(std::move(algo));
   }

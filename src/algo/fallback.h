@@ -1,6 +1,7 @@
 #ifndef KANON_ALGO_FALLBACK_H_
 #define KANON_ALGO_FALLBACK_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -48,6 +49,13 @@ struct FallbackOptions {
   double non_final_deadline_fraction = 0.5;
   /// Optional per-stage admission gate (not owned; may be null).
   StageGate* gate = nullptr;
+  /// Optional stage factory; null = registry MakeAnonymizer. The seam
+  /// the service layer uses to thread per-request knobs (coreset sample
+  /// rate/seed) into stages the registry would build with defaults. A
+  /// factory returning nullptr for a stage name is a caller bug, same
+  /// as an unknown registry name.
+  std::function<std::unique_ptr<Anonymizer>(const std::string&)>
+      make_stage;
 };
 
 /// Anonymizer that degrades across `options.stages` until one produces

@@ -15,6 +15,7 @@
 #include "algo/mondrian.h"
 #include "algo/random_partition.h"
 #include "algo/suppress_all.h"
+#include "coreset/coreset_anonymizer.h"
 
 namespace kanon {
 
@@ -24,12 +25,26 @@ std::vector<std::string> KnownAnonymizers() {
       "ball_cover_pairwise", "exact_dp",   "branch_bound",
       "mondrian",         "cluster_greedy", "mdav",
       "random_partition",
+      "coreset_mdav",     "coreset_cluster_greedy",
       "suppress_all",     "attribute_greedy", "attribute_exact",
       "resilient",
   };
 }
 
 std::unique_ptr<Anonymizer> MakeAnonymizer(const std::string& name) {
+  constexpr std::string_view kCoresetPrefix = "coreset_";
+  if (name.size() > kCoresetPrefix.size() &&
+      name.starts_with(kCoresetPrefix)) {
+    const std::string inner_name = name.substr(kCoresetPrefix.size());
+    // The wrapper cannot nest itself or the fallback chain.
+    if (inner_name == "resilient" ||
+        inner_name.starts_with(kCoresetPrefix)) {
+      return nullptr;
+    }
+    auto inner = MakeAnonymizer(inner_name);
+    if (inner == nullptr) return nullptr;
+    return std::make_unique<CoresetAnonymizer>(std::move(inner));
+  }
   constexpr std::string_view kLocalSearchSuffix = "+local_search";
   if (name.size() > kLocalSearchSuffix.size() &&
       name.ends_with(kLocalSearchSuffix)) {
@@ -106,7 +121,8 @@ StatusOr<std::unique_ptr<Anonymizer>> MakeAnonymizerOr(
     message += " " + known;
   }
   message +=
-      " (composition suffixes: +local_search, +annealing)";
+      " (composition suffixes: +local_search, +annealing;"
+      " prefix: coreset_<inner>)";
   return Status::NotFound(std::move(message));
 }
 

@@ -31,8 +31,15 @@ ColId NumDisagreeingColumns(const Table& table,
   return count;
 }
 
+size_t GroupWeight(const Table& table, std::span<const RowId> rows) {
+  if (!table.is_weighted()) return rows.size();
+  size_t total = 0;
+  for (const RowId r : rows) total += table.row_weight(r);
+  return total;
+}
+
 size_t AnonCost(const Table& table, std::span<const RowId> rows) {
-  return rows.size() *
+  return GroupWeight(table, rows) *
          static_cast<size_t>(NumDisagreeingColumns(table, rows));
 }
 

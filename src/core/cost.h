@@ -14,6 +14,11 @@
 /// of columns on which S disagrees. The cost of a partition is the sum of
 /// its groups' ANON values, and OPT(V) = min over partitions with all
 /// groups >= k.
+///
+/// On a *weighted* instance (Table::is_weighted(), produced by coreset
+/// sampling) `|S|` generalizes to the sum of member weights: row r stands
+/// for row_weight(r) identical tuples, each of which would need the same
+/// stars. The weight-1 path is bit-identical to the unweighted one.
 
 namespace kanon {
 
@@ -26,7 +31,10 @@ std::vector<bool> DisagreeingColumns(const Table& table,
 /// Number of disagreeing columns of a group.
 ColId NumDisagreeingColumns(const Table& table, std::span<const RowId> rows);
 
-/// ANON(S) = |S| * NumDisagreeingColumns(S).
+/// Sum of member weights of a group (== rows.size() when unweighted).
+size_t GroupWeight(const Table& table, std::span<const RowId> rows);
+
+/// ANON(S) = GroupWeight(S) * NumDisagreeingColumns(S).
 size_t AnonCost(const Table& table, std::span<const RowId> rows);
 
 /// Sum of ANON over all groups; equals the number of stars inserted by

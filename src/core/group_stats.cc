@@ -37,6 +37,7 @@ void GroupStats::Add(RowId row) {
     }
   }
   ++size_;
+  weight_ += table_->row_weight(row);
 }
 
 void GroupStats::Remove(RowId row) {
@@ -56,11 +57,13 @@ void GroupStats::Remove(RowId row) {
     }
   }
   --size_;
+  weight_ -= table_->row_weight(row);
 }
 
 void GroupStats::Clear() {
   for (auto& col : counts_) col.clear();
   size_ = 0;
+  weight_ = 0;
   disagreeing_ = 0;
 }
 
@@ -72,7 +75,7 @@ size_t GroupStats::CostWith(RowId extra) const {
         counts_[c].size() + (CountOf(c, codes[c]) == 0 ? 1 : 0);
     d += static_cast<ColId>(distinct > 1);
   }
-  return (size_ + 1) * static_cast<size_t>(d);
+  return (weight_ + table_->row_weight(extra)) * static_cast<size_t>(d);
 }
 
 size_t GroupStats::CostWithout(RowId member) const {
@@ -85,7 +88,7 @@ size_t GroupStats::CostWithout(RowId member) const {
     const size_t distinct = counts_[c].size() - (count == 1 ? 1 : 0);
     d += static_cast<ColId>(distinct > 1);
   }
-  return (size_ - 1) * static_cast<size_t>(d);
+  return (weight_ - table_->row_weight(member)) * static_cast<size_t>(d);
 }
 
 size_t GroupStats::CostReplacing(RowId out, RowId in) const {
@@ -103,7 +106,8 @@ size_t GroupStats::CostReplacing(RowId out, RowId in) const {
     }
     d += static_cast<ColId>(distinct > 1);
   }
-  return size_ * static_cast<size_t>(d);
+  return (weight_ - table_->row_weight(out) + table_->row_weight(in)) *
+         static_cast<size_t>(d);
 }
 
 }  // namespace kanon

@@ -30,6 +30,10 @@
 /// bit-identical to the rescanning implementations they replace; the
 /// data-plane equivalence suite asserts this against random edit
 /// sequences.
+///
+/// On a weighted instance (coreset sampling) |S| generalizes to the sum
+/// of member weights, tracked incrementally alongside size_; on an
+/// unweighted table weight() == size() and every cost is unchanged.
 
 namespace kanon {
 
@@ -51,11 +55,15 @@ class GroupStats {
   void Clear();
 
   size_t size() const { return size_; }
+
+  /// Sum of member weights (== size() on an unweighted table).
+  size_t weight() const { return weight_; }
+
   ColId num_disagreeing() const { return disagreeing_; }
 
-  /// ANON(S) = |S| * #disagreeing columns.
+  /// ANON(S) = GroupWeight(S) * #disagreeing columns.
   size_t anon_cost() const {
-    return size_ * static_cast<size_t>(disagreeing_);
+    return weight_ * static_cast<size_t>(disagreeing_);
   }
 
   /// ANON(S + {extra}) without mutating. O(m).
@@ -73,6 +81,7 @@ class GroupStats {
 
   const Table* table_;
   size_t size_ = 0;
+  size_t weight_ = 0;
   ColId disagreeing_ = 0;
   /// counts_[c] lists (code, multiplicity) for the distinct codes the
   /// members take in column c. Flat and unsorted: groups hold O(k)

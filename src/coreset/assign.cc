@@ -1,0 +1,201 @@
+#include "coreset/assign.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <utility>
+
+#include "fault/fault.h"
+#include "util/logging.h"
+#include "util/parallel.h"
+
+namespace kanon {
+namespace {
+
+/// Weighted per-column mode of a sample group (ties -> lowest code); the
+/// same centroid MDAV uses, with row weights multiplying the counts.
+std::vector<ValueCode> WeightedModeCentroid(const Table& sample,
+                                            const Group& group) {
+  const ColId m = sample.num_columns();
+  std::vector<ValueCode> centroid(m);
+  std::vector<std::pair<ValueCode, uint64_t>> counts;
+  for (ColId c = 0; c < m; ++c) {
+    counts.clear();
+    for (const RowId r : group) {
+      const ValueCode code = sample.at(r, c);
+      bool found = false;
+      for (auto& [existing, count] : counts) {
+        if (existing == code) {
+          count += sample.row_weight(r);
+          found = true;
+          break;
+        }
+      }
+      if (!found) counts.emplace_back(code, sample.row_weight(r));
+    }
+    ValueCode best_code = 0;
+    uint64_t best_count = 0;
+    for (const auto& [code, count] : counts) {
+      if (count > best_count ||
+          (count == best_count && code < best_code)) {
+        best_code = code;
+        best_count = count;
+      }
+    }
+    centroid[c] = best_code;
+  }
+  return centroid;
+}
+
+/// Hamming distance from a row to a centroid, early-exiting once it can
+/// no longer beat `bound`.
+uint32_t BoundedDistance(std::span<const ValueCode> row,
+                         const std::vector<ValueCode>& centroid,
+                         uint32_t bound) {
+  uint32_t d = 0;
+  for (size_t c = 0; c < row.size(); ++c) {
+    d += (row[c] != centroid[c]);
+    if (d >= bound) return d;
+  }
+  return d;
+}
+
+/// Hamming distance between two centroids.
+uint32_t CentroidDistance(const std::vector<ValueCode>& a,
+                          const std::vector<ValueCode>& b) {
+  uint32_t d = 0;
+  for (size_t c = 0; c < a.size(); ++c) d += (a[c] != b[c]);
+  return d;
+}
+
+}  // namespace
+
+StatusOr<AssignmentOutcome> AssignToCoresetGroups(
+    const Table& full, const Table& sample_table,
+    const Partition& sample_partition, size_t k, RunContext* ctx) {
+  KANON_CHECK(ctx != nullptr);
+  const size_t n = full.num_rows();
+  const size_t g = sample_partition.num_groups();
+  if (g == 0) {
+    return Status::InvalidArgument("coreset assignment needs >= 1 group");
+  }
+  if (k > n) {
+    return Status::InvalidArgument("k exceeds the full row count");
+  }
+  KANON_CHECK_EQ(full.num_columns(), sample_table.num_columns());
+  if (KANON_FAULT_POINT("coreset.assign")) {
+    ctx->MarkStopped(StopReason::kDeadline);
+    return StopReasonToStatus(ctx->stop_reason());
+  }
+  if (ctx->ShouldStop()) return StopReasonToStatus(ctx->stop_reason());
+
+  std::vector<std::vector<ValueCode>> centroids(g);
+  for (size_t i = 0; i < g; ++i) {
+    KANON_CHECK(!sample_partition.groups[i].empty())
+        << "empty group in the coreset partition";
+    centroids[i] = WeightedModeCentroid(sample_table,
+                                        sample_partition.groups[i]);
+  }
+
+  const size_t owner_bytes = n * sizeof(uint32_t);
+  if (!ctx->TryChargeMemory(owner_bytes)) {
+    return Status::ResourceExhausted(
+        "coreset assignment owner array exceeds memory limit");
+  }
+  std::vector<uint32_t> owner(n);
+  ParallelFor(
+      0, n, 2048,
+      [&](size_t b, size_t e) {
+        for (size_t r = b; r < e; ++r) {
+          const std::span<const ValueCode> row =
+              full.row(static_cast<RowId>(r));
+          uint32_t best_g = 0;
+          uint32_t best_d = std::numeric_limits<uint32_t>::max();
+          for (size_t i = 0; i < g; ++i) {
+            const uint32_t d = BoundedDistance(row, centroids[i], best_d);
+            if (d < best_d) {
+              best_d = d;
+              best_g = static_cast<uint32_t>(i);
+            }
+          }
+          owner[r] = best_g;
+        }
+      },
+      ctx);
+  ctx->ChargeNodes(n);
+  if (ctx->ShouldStop()) {
+    ctx->ReleaseMemory(owner_bytes);
+    return StopReasonToStatus(ctx->stop_reason());
+  }
+
+  AssignmentOutcome outcome;
+  outcome.partition.groups.assign(g, Group());
+  for (size_t r = 0; r < n; ++r) {
+    outcome.partition.groups[owner[r]].push_back(static_cast<RowId>(r));
+  }
+  owner.clear();
+  owner.shrink_to_fit();
+  ctx->ReleaseMemory(owner_bytes);
+
+  // Drop groups no full-table row chose (a sample row need not be
+  // nearest to its own group's centroid), keeping centroids aligned.
+  {
+    size_t kept = 0;
+    for (size_t i = 0; i < outcome.partition.groups.size(); ++i) {
+      if (outcome.partition.groups[i].empty()) continue;
+      if (kept != i) {
+        outcome.partition.groups[kept] =
+            std::move(outcome.partition.groups[i]);
+        centroids[kept] = std::move(centroids[i]);
+      }
+      ++kept;
+    }
+    outcome.partition.groups.resize(kept);
+    centroids.resize(kept);
+  }
+
+  // Repair: merge every undersized group (smallest first, ties -> lowest
+  // id) into its nearest surviving neighbor by centroid distance. Each
+  // merge removes one group, so this terminates; with n >= k the final
+  // state — possibly a single group of all n rows — is always valid.
+  const bool multi_group_before_repair = outcome.partition.num_groups() > 1;
+  while (outcome.partition.num_groups() > 1) {
+    size_t victim = outcome.partition.num_groups();
+    for (size_t i = 0; i < outcome.partition.num_groups(); ++i) {
+      const size_t size = outcome.partition.groups[i].size();
+      if (size >= k) continue;
+      if (victim == outcome.partition.num_groups() ||
+          size < outcome.partition.groups[victim].size()) {
+        victim = i;
+      }
+    }
+    if (victim == outcome.partition.num_groups()) break;  // all >= k
+    size_t target = victim == 0 ? 1 : 0;
+    uint32_t best_d = CentroidDistance(centroids[victim],
+                                       centroids[target]);
+    for (size_t i = 0; i < outcome.partition.num_groups(); ++i) {
+      if (i == victim) continue;
+      const uint32_t d = CentroidDistance(centroids[victim], centroids[i]);
+      if (d < best_d || (d == best_d && i < target)) {
+        best_d = d;
+        target = i;
+      }
+    }
+    Group& dst = outcome.partition.groups[target];
+    Group& src = outcome.partition.groups[victim];
+    dst.insert(dst.end(), src.begin(), src.end());
+    outcome.partition.groups.erase(outcome.partition.groups.begin() +
+                                   static_cast<long>(victim));
+    centroids.erase(centroids.begin() + static_cast<long>(victim));
+    ++outcome.repair_merges;
+  }
+  outcome.repair_suppressed = outcome.repair_merges > 0 &&
+                              multi_group_before_repair &&
+                              outcome.partition.num_groups() == 1;
+  KANON_CHECK(IsValidPartition(outcome.partition, static_cast<RowId>(n), k,
+                               n))
+      << "coreset assignment produced an invalid partition";
+  return outcome;
+}
+
+}  // namespace kanon

@@ -1,0 +1,58 @@
+#ifndef KANON_CORESET_CORESET_ANONYMIZER_H_
+#define KANON_CORESET_CORESET_ANONYMIZER_H_
+
+#include <memory>
+#include <string>
+
+#include "algo/anonymizer.h"
+#include "coreset/sampler.h"
+
+/// \file
+/// `coreset_<inner>`: the million-row pipeline as a composable
+/// anonymizer. Three phases, each resumable and typed on failure:
+///
+///   1. **sample** — DrawCoresetSample produces a weighted instance
+///      (deterministic from the seed, so a resumed run regenerates the
+///      identical sample);
+///   2. **solve** — the inner anonymizer runs unmodified on the weighted
+///      SelectRows view under a lenient child context (GroupStats and
+///      the cost core are weight-aware, so its objective is the weighted
+///      suppression cost);
+///   3. **assign** — AssignToCoresetGroups maps every full-table row to
+///      its nearest coreset group and repairs undersized groups, so the
+///      output is always a valid k-anonymous partition of the full
+///      table; the reported cost is the real unweighted PartitionCost.
+///
+/// When the resolved sample size would not shrink the instance the inner
+/// solver runs directly on the full table. Any phase that stops (fault
+/// site, deadline, budget, cancel) returns a typed StoppedResult, which
+/// the resilient fallback chain turns into graceful degradation — a
+/// killed or faulted coreset job resumes or degrades typed, never emits
+/// an invalid partition. Wrapper snapshots (sampler state, then the
+/// weighted sample partition) ride the standard checkpoint cadence under
+/// the name "coreset_<inner>".
+
+namespace kanon {
+
+class CoresetAnonymizer : public Anonymizer {
+ public:
+  /// Wraps `inner` (must be non-null and not itself "resilient" or a
+  /// coreset_* wrapper).
+  explicit CoresetAnonymizer(std::unique_ptr<Anonymizer> inner,
+                             CoresetOptions options = {});
+
+  using Anonymizer::Run;
+  std::string name() const override;
+  AnonymizationResult Run(const Table& table, size_t k,
+                          RunContext* ctx) override;
+
+  const CoresetOptions& options() const { return options_; }
+
+ private:
+  std::unique_ptr<Anonymizer> inner_;
+  CoresetOptions options_;
+};
+
+}  // namespace kanon
+
+#endif  // KANON_CORESET_CORESET_ANONYMIZER_H_

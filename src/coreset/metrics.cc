@@ -1,0 +1,31 @@
+#include "coreset/metrics.h"
+
+namespace kanon {
+
+CoresetMetrics& CoresetMetrics::Instance() {
+  static CoresetMetrics* instance = new CoresetMetrics();
+  return *instance;
+}
+
+CoresetMetricsSnapshot CoresetMetrics::Snapshot() const {
+  CoresetMetricsSnapshot snap;
+  snap.sample_runs = sample_runs_.load(std::memory_order_relaxed);
+  snap.samples_drawn = samples_drawn_.load(std::memory_order_relaxed);
+  snap.assigned_rows = assigned_rows_.load(std::memory_order_relaxed);
+  snap.repair_merges = repair_merges_.load(std::memory_order_relaxed);
+  snap.repair_suppressed =
+      repair_suppressed_.load(std::memory_order_relaxed);
+  snap.resumed = resumed_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+void CoresetMetrics::Reset() {
+  sample_runs_.store(0, std::memory_order_relaxed);
+  samples_drawn_.store(0, std::memory_order_relaxed);
+  assigned_rows_.store(0, std::memory_order_relaxed);
+  repair_merges_.store(0, std::memory_order_relaxed);
+  repair_suppressed_.store(0, std::memory_order_relaxed);
+  resumed_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace kanon

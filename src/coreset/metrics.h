@@ -1,0 +1,60 @@
+#ifndef KANON_CORESET_METRICS_H_
+#define KANON_CORESET_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+
+/// \file
+/// Process-wide counters for the coreset subsystem, surfaced in kanond
+/// `stats` and folded into the chaos replay fingerprint (so a seed
+/// replay that samples or repairs differently is caught). Plain relaxed
+/// atomics: the counters are diagnostics, not synchronization.
+
+namespace kanon {
+
+struct CoresetMetricsSnapshot {
+  uint64_t sample_runs = 0;
+  uint64_t samples_drawn = 0;
+  uint64_t assigned_rows = 0;
+  uint64_t repair_merges = 0;
+  uint64_t repair_suppressed = 0;
+  uint64_t resumed = 0;
+};
+
+class CoresetMetrics {
+ public:
+  static CoresetMetrics& Instance();
+
+  void RecordSample(uint64_t rows_drawn) {
+    sample_runs_.fetch_add(1, std::memory_order_relaxed);
+    samples_drawn_.fetch_add(rows_drawn, std::memory_order_relaxed);
+  }
+  void RecordAssignment(uint64_t rows, uint64_t merges, bool suppressed) {
+    assigned_rows_.fetch_add(rows, std::memory_order_relaxed);
+    repair_merges_.fetch_add(merges, std::memory_order_relaxed);
+    if (suppressed) {
+      repair_suppressed_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  void RecordResume() { resumed_.fetch_add(1, std::memory_order_relaxed); }
+
+  CoresetMetricsSnapshot Snapshot() const;
+
+  /// Zeroes every counter; the chaos harness calls this at the start of
+  /// each schedule so fingerprints are per-schedule.
+  void Reset();
+
+ private:
+  CoresetMetrics() = default;
+
+  std::atomic<uint64_t> sample_runs_{0};
+  std::atomic<uint64_t> samples_drawn_{0};
+  std::atomic<uint64_t> assigned_rows_{0};
+  std::atomic<uint64_t> repair_merges_{0};
+  std::atomic<uint64_t> repair_suppressed_{0};
+  std::atomic<uint64_t> resumed_{0};
+};
+
+}  // namespace kanon
+
+#endif  // KANON_CORESET_METRICS_H_

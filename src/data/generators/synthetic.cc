@@ -1,0 +1,44 @@
+#include "data/generators/synthetic.h"
+
+#include <string>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace kanon {
+
+Table SyntheticTable(const SyntheticTableOptions& options) {
+  KANON_CHECK(!options.alphabet_sizes.empty())
+      << "SyntheticTable needs at least one alphabet size";
+  for (const uint32_t a : options.alphabet_sizes) {
+    KANON_CHECK_GT(a, 0u) << "alphabet sizes must be >= 1";
+  }
+  Schema schema;
+  for (uint32_t c = 0; c < options.num_columns; ++c) {
+    schema.AddAttribute("a" + std::to_string(c));
+  }
+  Table table(std::move(schema));
+  std::vector<uint32_t> alphabets(options.num_columns);
+  for (ColId c = 0; c < options.num_columns; ++c) {
+    alphabets[c] =
+        options.alphabet_sizes[c % options.alphabet_sizes.size()];
+    // Pre-intern so codes are stable regardless of draw order.
+    for (uint32_t v = 0; v < alphabets[c]; ++v) {
+      table.mutable_schema().Intern(c, "v" + std::to_string(v));
+    }
+  }
+  Rng rng(options.seed);
+  std::vector<ValueCode> codes(options.num_columns);
+  for (uint64_t r = 0; r < options.num_rows; ++r) {
+    for (ColId c = 0; c < options.num_columns; ++c) {
+      codes[c] = options.zipf_s > 0.0
+                     ? rng.Zipf(alphabets[c], options.zipf_s)
+                     : rng.Uniform(alphabets[c]);
+    }
+    table.AppendRow(codes);
+  }
+  return table;
+}
+
+}  // namespace kanon

@@ -1,0 +1,41 @@
+#ifndef KANON_DATA_GENERATORS_SYNTHETIC_H_
+#define KANON_DATA_GENERATORS_SYNTHETIC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/table.h"
+
+/// \file
+/// `kanon_gen`-style synthetic-table generator: the reproducible
+/// million-row workload. Unlike UniformTable (one alphabet size for all
+/// columns) each column draws from its own alphabet, sizes cycled from a
+/// caller-supplied list, with optional Zipf skew. Fully deterministic
+/// from the seed — benchmarks regenerate inputs instead of shipping data
+/// files, and the `bench/kanon_gen` CLI writes the same tables as CSV
+/// for external tools.
+
+namespace kanon {
+
+/// Parameters for SyntheticTable.
+struct SyntheticTableOptions {
+  uint64_t num_rows = 1024;
+  uint32_t num_columns = 8;
+  /// Per-column alphabet sizes, cycled when shorter than num_columns
+  /// (column c uses alphabet_sizes[c % size()]). Must be non-empty with
+  /// every entry >= 1.
+  std::vector<uint32_t> alphabet_sizes = {8, 4, 16, 2};
+  /// Zipf exponent for cell draws; 0 = uniform.
+  double zipf_s = 0.0;
+  /// Seed for the internal PCG32 stream.
+  uint64_t seed = 1;
+};
+
+/// Generates a table with attributes "a0".."a{m-1}" and values "v0".."vN"
+/// per column (codes pre-interned, so code i <=> "vi" everywhere).
+/// Deterministic: same options, same table.
+Table SyntheticTable(const SyntheticTableOptions& options);
+
+}  // namespace kanon
+
+#endif  // KANON_DATA_GENERATORS_SYNTHETIC_H_

@@ -13,6 +13,9 @@ Table::Table(Schema schema) : schema_(std::move(schema)) {}
 RowId Table::AppendRow(std::span<const ValueCode> codes) {
   KANON_CHECK_EQ(codes.size(), static_cast<size_t>(num_columns()));
   cells_.insert(cells_.end(), codes.begin(), codes.end());
+  // Keep explicit weights in sync: a freshly appended row stands for one
+  // tuple until SetRowWeights says otherwise.
+  if (!weights_.empty()) weights_.push_back(1);
   return static_cast<RowId>(num_rows_++);
 }
 
@@ -120,7 +123,33 @@ Table Table::SelectRows(const std::vector<RowId>& rows) const {
     KANON_CHECK_LT(r, num_rows());
     out.AppendRow(row(r));
   }
+  if (is_weighted()) {
+    std::vector<uint32_t> weights;
+    weights.reserve(rows.size());
+    for (const RowId r : rows) weights.push_back(weights_[r]);
+    out.SetRowWeights(std::move(weights));
+  }
   return out;
+}
+
+void Table::SetRowWeights(std::vector<uint32_t> weights) {
+  if (weights.empty()) {
+    weights_.clear();
+    return;
+  }
+  KANON_CHECK_EQ(weights.size(), num_rows_)
+      << "SetRowWeights needs one weight per row";
+  for (const uint32_t w : weights) {
+    KANON_CHECK_GT(w, 0u) << "row weights must be >= 1";
+  }
+  weights_ = std::move(weights);
+}
+
+size_t Table::total_weight() const {
+  if (weights_.empty()) return num_rows_;
+  size_t total = 0;
+  for (const uint32_t w : weights_) total += w;
+  return total;
 }
 
 size_t Table::CountSuppressedCells() const {

@@ -12,6 +12,13 @@
 /// `Table` is the library's relation type: the set V ⊆ Σ^m of the paper,
 /// stored row-major as dictionary codes. Duplicate rows are allowed
 /// (multiset semantics, as required by the k-anonymity definition).
+///
+/// A table may additionally carry per-row integer weights (a *weighted
+/// instance*): row r then stands for `row_weight(r)` identical tuples of
+/// the underlying relation. Coreset sampling produces such instances so
+/// solvers can run on a representative subsample whose weighted cost
+/// approximates the full table's. An unweighted table reports weight 1
+/// for every row and stores nothing.
 
 namespace kanon {
 
@@ -69,13 +76,31 @@ class Table {
 
   /// Row selection: returns a new table containing `rows` in the given
   /// order, sharing this table's schema (dictionaries copied). Duplicate
-  /// row ids are allowed (multiset semantics).
+  /// row ids are allowed (multiset semantics). Weights propagate: if this
+  /// table is weighted, each selected row keeps its weight.
   Table SelectRows(const std::vector<RowId>& rows) const;
+
+  /// True iff this table carries explicit per-row weights.
+  bool is_weighted() const { return !weights_.empty(); }
+
+  /// Multiplicity of row r: its explicit weight, or 1 when unweighted.
+  uint32_t row_weight(RowId r) const {
+    return weights_.empty() ? 1u : weights_[r];
+  }
+
+  /// Installs per-row weights; `weights` must have num_rows() entries,
+  /// all >= 1. Passing an empty vector clears back to unweighted.
+  void SetRowWeights(std::vector<uint32_t> weights);
+
+  /// Sum of row weights (== num_rows() when unweighted): the number of
+  /// tuples of the underlying relation this instance represents.
+  size_t total_weight() const;
 
  private:
   Schema schema_;
   size_t num_rows_ = 0;
   std::vector<ValueCode> cells_;  // row-major, num_rows_ * m
+  std::vector<uint32_t> weights_;  // empty, or one weight >= 1 per row
 };
 
 }  // namespace kanon

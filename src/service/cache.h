@@ -47,8 +47,9 @@ namespace kanon {
 uint64_t TableFingerprint(const Table& table);
 
 /// Identity of a solved instance. `knobs_fp` fingerprints any
-/// result-affecting algorithm options beyond the registry name (none
-/// today; the field future-proofs the key).
+/// result-affecting algorithm options beyond the registry name — the
+/// coreset sample rate/seed/strategy for `coreset_*` algorithms — so
+/// runs of the same table+k+name with different knobs never collide.
 struct CacheKey {
   uint64_t table_fp = 0;
   std::string algorithm;

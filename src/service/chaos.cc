@@ -12,6 +12,7 @@
 #include <utility>
 
 #include "ckpt/checkpoint.h"
+#include "coreset/metrics.h"
 #include "data/csv_table.h"
 #include "data/generators/uniform.h"
 #include "fault/fault.h"
@@ -35,6 +36,7 @@ const char* const kOverridableSites[] = {
     "parallel.worker",  "queue.admit",         "worker.dispatch",
     "worker.deliver",   "cache.lookup",        "cache.poison",
     "journal.append",   "ckpt.save",           "ckpt.torn",
+    "coreset.sample",   "coreset.assign",
 };
 
 /// Derives the schedule's fault plan from the seed stream.
@@ -89,15 +91,27 @@ AnonymizeRequest DrawRequest(Rng* rng) {
       "resilient", "resilient", "exact_dp", "branch_bound",
       "greedy_cover", "mondrian", "suppress_all",
       "mdav", "mdav+annealing",
+      "coreset_mdav", "coreset_cluster_greedy",
   };
   AnonymizeRequest request;
   request.algorithm =
       kAlgos[rng->Uniform(sizeof(kAlgos) / sizeof(kAlgos[0]))];
+  const bool coreset = request.algorithm.rfind("coreset_", 0) == 0;
   UniformTableOptions table;
-  table.num_rows = static_cast<uint32_t>(rng->UniformInt(6, 14));
+  // Coreset jobs need enough rows that the sampler's min_sample floor
+  // does not short-circuit to the direct path; other jobs stay tiny so
+  // exact solvers finish fast.
+  table.num_rows = coreset
+                       ? static_cast<uint32_t>(rng->UniformInt(72, 120))
+                       : static_cast<uint32_t>(rng->UniformInt(6, 14));
   table.num_columns = static_cast<uint32_t>(rng->UniformInt(2, 4));
   table.alphabet = static_cast<uint32_t>(rng->UniformInt(2, 4));
   request.csv_text = TableToCsv(UniformTable(table, rng));
+  if (coreset) {
+    request.coreset_rate = 0.25;
+    // +1 keeps the drawn seed nonzero (0 means "use the default seed").
+    request.coreset_seed = static_cast<uint64_t>(rng->Next()) + 1;
+  }
   request.k = static_cast<size_t>(rng->UniformInt(2, 4));
   request.priority = rng->UniformInt(-2, 2);
   // Node budgets stand in for wall-clock deadlines: they trip at the
@@ -203,6 +217,9 @@ ChaosReport RunChaosSchedule(const ChaosScheduleOptions& options) {
   // exists, breakers that never half-open mid-schedule.
   const unsigned prev_parallelism = GetParallelism();
   SetParallelism(1);
+  // Coreset counters are process-wide; reset so the replay fingerprint
+  // reflects only this schedule's sampling/assignment activity.
+  CoresetMetrics::Instance().Reset();
 
   const FaultPlan plan =
       DrawFaultPlan(options.seed, options.with_watchdog, &rng);
@@ -375,6 +392,18 @@ ChaosReport RunChaosSchedule(const ChaosScheduleOptions& options) {
   fp = FingerprintInt(fp, report.checkpoints_written);
   fp = FingerprintInt(fp, report.checkpoint_failures);
   fp = FingerprintInt(fp, report.watchdog_preempted);
+  // Coreset activity (samples drawn, rows assigned, repairs) is seed-
+  // deterministic under a pinned schedule, so it belongs in the digest:
+  // a schedule whose coreset jobs sampled or repaired differently is a
+  // different schedule.
+  const CoresetMetricsSnapshot coreset =
+      CoresetMetrics::Instance().Snapshot();
+  fp = FingerprintInt(fp, coreset.sample_runs);
+  fp = FingerprintInt(fp, coreset.samples_drawn);
+  fp = FingerprintInt(fp, coreset.assigned_rows);
+  fp = FingerprintInt(fp, coreset.repair_merges);
+  fp = FingerprintInt(fp, coreset.repair_suppressed);
+  fp = FingerprintInt(fp, coreset.resumed);
   report.outcome_fingerprint = fp;
 
   if (options.with_journal) {

@@ -134,6 +134,12 @@ Status ValidateAndPrepare(AnonymizeRequest& request, ServiceError* error) {
         *error, "k=" + std::to_string(request.k) +
                     " outside [1, rows=" + std::to_string(n) + "]");
   }
+  if (request.coreset_rate < 0.0 || request.coreset_rate > 1.0) {
+    *error = ServiceError::kBadParameter;
+    return MakeServiceStatus(
+        *error, "coreset_rate=" + std::to_string(request.coreset_rate) +
+                    " outside (0, 1] (0 = default)");
+  }
   return Status::Ok();
 }
 

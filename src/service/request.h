@@ -104,6 +104,12 @@ struct AnonymizeRequest {
   /// as soon as the job is admitted instead of blocking on the result.
   /// Embedded callers pick blocking vs. not by calling Handle vs Submit.
   bool wait = true;
+  /// Coreset knobs, honored only by `coreset_*` algorithms (and folded
+  /// into the result-cache key for them, so different knobs never share
+  /// an entry). Rate must lie in (0, 1]; 0 means the subsystem default.
+  double coreset_rate = 0.0;
+  /// Sampler seed; 0 means the subsystem default.
+  uint64_t coreset_seed = 0;
   /// Inline CSV text (ignored once `table` is set).
   std::string csv_text;
   /// The parsed relation; set by ValidateAndPrepare from `csv_text`.

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "coreset/metrics.h"
 #include "data/csv_table.h"
 #include "fault/fault.h"
 #include "util/build_info.h"
@@ -82,6 +83,12 @@ std::string FormatStatsLine(const ServiceStats& stats) {
       << " cache_rejected=" << stats.cache.rejected
       << " cache_size=" << stats.cache.size
       << " cache_capacity=" << stats.cache.capacity
+      << " coreset_samples=" << stats.coreset_samples
+      << " coreset_rows_sampled=" << stats.coreset_rows_sampled
+      << " coreset_assigned_rows=" << stats.coreset_assigned_rows
+      << " coreset_repairs=" << stats.coreset_repairs
+      << " coreset_repair_suppressed=" << stats.coreset_repair_suppressed
+      << " coreset_resumed=" << stats.coreset_resumed
       << " build=" << BuildInfoToken();
   return out.str();
 }
@@ -167,6 +174,14 @@ ServiceStats AnonymizationService::Stats() const {
   stats.watchdog_preempted = pool.watchdog_preempted;
   stats.breakers = pool_.breakers().Describe();
   stats.cache = cache_.stats();
+  const CoresetMetricsSnapshot coreset =
+      CoresetMetrics::Instance().Snapshot();
+  stats.coreset_samples = coreset.sample_runs;
+  stats.coreset_rows_sampled = coreset.samples_drawn;
+  stats.coreset_assigned_rows = coreset.assigned_rows;
+  stats.coreset_repairs = coreset.repair_merges;
+  stats.coreset_repair_suppressed = coreset.repair_suppressed;
+  stats.coreset_resumed = coreset.resumed;
   return stats;
 }
 
@@ -226,6 +241,21 @@ StatusOr<AnonymizeRequest> ParseRequestLine(const std::string& tail,
         return MakeServiceStatus(*error, "bad priority '" + value + "'");
       }
       request.priority = static_cast<int>(parsed);
+    } else if (key == "coreset_rate") {
+      double rate = 0.0;
+      if (!ParseDouble(value, &rate)) {
+        *error = ServiceError::kBadParameter;
+        return MakeServiceStatus(*error,
+                                 "bad coreset_rate '" + value + "'");
+      }
+      request.coreset_rate = rate;
+    } else if (key == "coreset_seed") {
+      if (!ParseInt(value, &parsed) || parsed < 0) {
+        *error = ServiceError::kBadParameter;
+        return MakeServiceStatus(*error,
+                                 "bad coreset_seed '" + value + "'");
+      }
+      request.coreset_seed = static_cast<uint64_t>(parsed);
     } else if (key == "emit") {
       request.emit_csv = value != "0" && value != "false";
     } else if (key == "wait") {

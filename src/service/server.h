@@ -103,6 +103,16 @@ struct ServiceStats {
   /// stage has run yet).
   std::string breakers;
   CacheStats cache;
+  /// Coreset subsystem counters (process-wide CoresetMetrics snapshot):
+  /// sampling runs, rows drawn, full-table rows assigned, undersized-
+  /// group repair merges, repairs that collapsed to one group, and
+  /// wrapper warm-starts from a checkpoint.
+  uint64_t coreset_samples = 0;
+  uint64_t coreset_rows_sampled = 0;
+  uint64_t coreset_assigned_rows = 0;
+  uint64_t coreset_repairs = 0;
+  uint64_t coreset_repair_suppressed = 0;
+  uint64_t coreset_resumed = 0;
 };
 
 /// Long-running multi-request engine. Thread-safe: any number of

@@ -7,6 +7,8 @@
 #include <utility>
 
 #include "algo/fallback.h"
+#include "algo/registry.h"
+#include "coreset/coreset_anonymizer.h"
 #include "data/csv_table.h"
 #include "fault/fault.h"
 #include "util/fingerprint.h"
@@ -18,12 +20,45 @@ namespace kanon {
 
 namespace {
 
+constexpr std::string_view kCoresetPrefix = "coreset_";
+
+bool IsCoresetAlgorithm(const std::string& name) {
+  return name.size() > kCoresetPrefix.size() &&
+         name.rfind(kCoresetPrefix, 0) == 0;
+}
+
+/// The coreset knobs a request resolves to (0-valued knobs fall back to
+/// the subsystem defaults).
+CoresetOptions CoresetOptionsFor(const AnonymizeRequest& request) {
+  CoresetOptions options;
+  if (request.coreset_rate > 0.0) options.sample_rate = request.coreset_rate;
+  if (request.coreset_seed != 0) options.seed = request.coreset_seed;
+  return options;
+}
+
 /// Wraps the requested algorithm in a degradation chain ending in the
 /// unconditionally-feasible suppress_all, so *every* job yields a valid
 /// partition. "resilient" keeps its own (already terminal) chain.
-FallbackOptions ChainFor(const std::string& algorithm, StageGate* gate) {
+/// Coreset stages are built through a stage factory carrying the
+/// request's sample-rate/seed knobs (the registry would use defaults).
+FallbackOptions ChainFor(const AnonymizeRequest& request, StageGate* gate) {
+  const std::string& algorithm = request.algorithm;
   FallbackOptions options;
   options.gate = gate;
+  if (IsCoresetAlgorithm(algorithm)) {
+    const CoresetOptions coreset = CoresetOptionsFor(request);
+    options.make_stage =
+        [coreset](const std::string& stage) -> std::unique_ptr<Anonymizer> {
+      if (IsCoresetAlgorithm(stage)) {
+        auto inner =
+            MakeAnonymizer(stage.substr(kCoresetPrefix.size()));
+        if (inner == nullptr) return nullptr;
+        return std::make_unique<CoresetAnonymizer>(std::move(inner),
+                                                   coreset);
+      }
+      return MakeAnonymizer(stage);
+    };
+  }
   if (algorithm == "resilient") return options;
   std::vector<std::string> stages = {algorithm};
   if (algorithm != "greedy_cover" && algorithm != "suppress_all") {
@@ -119,6 +154,11 @@ AnonymizeResponse WorkerPool::Execute(const AnonymizeRequest& request,
   key.table_fp = TableFingerprint(table);
   key.algorithm = request.algorithm;
   key.k = request.k;
+  if (IsCoresetAlgorithm(request.algorithm)) {
+    // Sample rate/seed change the answer; a knob-blind key would let a
+    // coreset run with one rate serve a request made with another.
+    key.knobs_fp = CoresetOptionsFor(request).Fingerprint();
+  }
   // An injected lookup fault forces a miss: the answer is recomputed,
   // which is always safe (degraded performance, never a wrong result).
   if (cache != nullptr && !KANON_FAULT_POINT("cache.lookup")) {
@@ -144,7 +184,7 @@ AnonymizeResponse WorkerPool::Execute(const AnonymizeRequest& request,
     return response;
   }
 
-  FallbackAnonymizer chain(ChainFor(request.algorithm, gate));
+  FallbackAnonymizer chain(ChainFor(request, gate));
   AnonymizationResult result = chain.Run(table, request.k, ctx);
   response.cost = result.cost;
   response.stage = result.stage;

@@ -151,6 +151,12 @@ constexpr GoldenCase kGolden[] = {
     {0, "mdav+annealing", 3, 39, 0x0cfae9b733d77f65ull},
     {0, "cluster_greedy+local_search", 2, 28, 0x4347083a363bf765ull},
     {0, "cluster_greedy+local_search", 3, 39, 0x0cfae9b733d77f65ull},
+    // n = 12 sits below the coreset min_sample floor, so coreset_<inner>
+    // takes the direct path and must match the inner solver bit for bit.
+    {0, "coreset_mdav", 2, 30, 0xb2680e8946fbae45ull},
+    {0, "coreset_mdav", 3, 54, 0xc0df28226f5dbc85ull},
+    {0, "coreset_cluster_greedy", 2, 28, 0x4347083a363bf765ull},
+    {0, "coreset_cluster_greedy", 3, 39, 0x0cfae9b733d77f65ull},
     {1, "greedy_cover", 2, 16, 0x0b24fe8e431409a5ull},
     {1, "greedy_cover", 3, 32, 0x2daf45f30ab18001ull},
     {1, "ball_cover", 2, 18, 0x8435662d4919c2a5ull},
@@ -185,6 +191,10 @@ constexpr GoldenCase kGolden[] = {
     {1, "mdav+annealing", 3, 32, 0x2daf45f30ab18001ull},
     {1, "cluster_greedy+local_search", 2, 16, 0xf8b307bbde2f4285ull},
     {1, "cluster_greedy+local_search", 3, 33, 0xfc9ee102f8825c25ull},
+    {1, "coreset_mdav", 2, 18, 0x8e3acac597cf2e25ull},
+    {1, "coreset_mdav", 3, 45, 0xa7a6d7164f295dc5ull},
+    {1, "coreset_cluster_greedy", 2, 20, 0xd513f467d2eaa345ull},
+    {1, "coreset_cluster_greedy", 3, 39, 0x13264845a7546485ull},
 };
 
 std::vector<Table> GoldenTables() {

@@ -1,0 +1,227 @@
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algo/registry.h"
+#include "core/cost.h"
+#include "core/group_stats.h"
+#include "core/partition.h"
+#include "data/generators/synthetic.h"
+#include "gtest/gtest.h"
+#include "util/fingerprint.h"
+#include "util/random.h"
+
+/// \file
+/// Weighted-instance proofs for the coreset solve layer.
+///
+/// 1. Semantics: a row of weight w must cost exactly what w identical
+///    tuples cost, so weighted AnonCost/GroupStats are checked against a
+///    physically replicated table.
+/// 2. Exactness: incremental GroupStats edits (Add/Remove and the
+///    what-if probes) match a from-scratch scalar recompute on weighted
+///    tables under randomized edit sequences.
+/// 3. Weight-1 equivalence: every solver run on a table whose weights
+///    are all 1 is bit-identical (cost + canonical partition hash) to
+///    the unweighted golden — the seed's behavior is provably untouched.
+
+namespace kanon {
+namespace {
+
+uint64_t PartitionHash(const Partition& partition) {
+  std::vector<Group> groups = partition.groups;
+  for (Group& group : groups) std::sort(group.begin(), group.end());
+  std::sort(groups.begin(), groups.end());
+  uint64_t fp = kFingerprintSeed;
+  for (const Group& group : groups) {
+    fp = FingerprintInt(fp, group.size());
+    for (const RowId row : group) fp = FingerprintInt(fp, row);
+  }
+  return fp;
+}
+
+Table WeightedTable(uint64_t rows, uint64_t seed,
+                    std::vector<uint32_t>* weights_out) {
+  SyntheticTableOptions options;
+  options.num_rows = rows;
+  options.num_columns = 5;
+  options.seed = seed;
+  Table table = SyntheticTable(options);
+  Rng rng(seed ^ 0xabcd);
+  std::vector<uint32_t> weights(rows);
+  for (auto& w : weights) w = 1 + rng.Uniform(4);
+  *weights_out = weights;
+  table.SetRowWeights(std::move(weights));
+  return table;
+}
+
+/// Physically replicates each row `weights[r]` times.
+Table Replicate(const Table& table, const std::vector<uint32_t>& weights) {
+  std::vector<RowId> rows;
+  for (RowId r = 0; r < table.num_rows(); ++r) {
+    for (uint32_t i = 0; i < weights[r]; ++i) rows.push_back(r);
+  }
+  return table.SelectRows(rows);
+}
+
+TEST(WeightedCostTest, WeightedGroupCostsEqualReplicatedCosts) {
+  std::vector<uint32_t> weights;
+  const Table weighted = WeightedTable(40, 3, &weights);
+  // Replicate from an unweighted copy of the same content.
+  SyntheticTableOptions options;
+  options.num_rows = 40;
+  options.num_columns = 5;
+  options.seed = 3;
+  const Table plain = SyntheticTable(options);
+  const Table replicated = Replicate(plain, weights);
+
+  // Map: weighted row r covers replicated rows [offset[r],
+  // offset[r] + weights[r]).
+  std::vector<RowId> offset(weights.size());
+  RowId at = 0;
+  for (size_t r = 0; r < weights.size(); ++r) {
+    offset[r] = at;
+    at += weights[r];
+  }
+
+  Rng rng(9);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<RowId> group, expanded;
+    for (RowId r = 0; r < weighted.num_rows(); ++r) {
+      if (rng.Uniform(3) != 0) continue;
+      group.push_back(r);
+      for (uint32_t i = 0; i < weights[r]; ++i) {
+        expanded.push_back(offset[r] + i);
+      }
+    }
+    if (group.empty()) continue;
+    EXPECT_EQ(GroupWeight(weighted, group), expanded.size());
+    EXPECT_EQ(AnonCost(weighted, group), AnonCost(replicated, expanded));
+  }
+}
+
+TEST(WeightedCostTest, UnweightedTablesKeepSeedSemantics) {
+  SyntheticTableOptions options;
+  options.num_rows = 30;
+  options.seed = 4;
+  const Table table = SyntheticTable(options);
+  ASSERT_FALSE(table.is_weighted());
+  const std::vector<RowId> group = {1, 4, 9, 16, 25};
+  EXPECT_EQ(GroupWeight(table, group), group.size());
+  EXPECT_EQ(AnonCost(table, group),
+            group.size() * NumDisagreeingColumns(table, group));
+  EXPECT_EQ(table.total_weight(), table.num_rows());
+  EXPECT_EQ(table.row_weight(0), 1u);
+}
+
+TEST(WeightedGroupStatsTest, RandomizedEditsMatchScalarRecompute) {
+  std::vector<uint32_t> weights;
+  const Table table = WeightedTable(30, 5, &weights);
+  Rng rng(6);
+  GroupStats stats(table);
+  std::vector<RowId> members;
+  for (int edit = 0; edit < 400; ++edit) {
+    if (members.empty() || (members.size() < 20 && rng.Uniform(2) == 0)) {
+      // Add a row not yet in the group.
+      RowId row;
+      do {
+        row = static_cast<RowId>(rng.Uniform(30));
+      } while (std::find(members.begin(), members.end(), row) !=
+               members.end());
+      members.push_back(row);
+      stats.Add(row);
+    } else {
+      const size_t i = rng.Uniform(static_cast<uint32_t>(members.size()));
+      stats.Remove(members[i]);
+      members.erase(members.begin() + static_cast<long>(i));
+    }
+    ASSERT_EQ(stats.size(), members.size());
+    ASSERT_EQ(stats.weight(), GroupWeight(table, members));
+    ASSERT_EQ(stats.anon_cost(), AnonCost(table, members));
+  }
+}
+
+TEST(WeightedGroupStatsTest, WhatIfProbesMatchScalarRecompute) {
+  std::vector<uint32_t> weights;
+  const Table table = WeightedTable(24, 7, &weights);
+  Rng rng(8);
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<RowId> group, outside;
+    for (RowId r = 0; r < table.num_rows(); ++r) {
+      (rng.Uniform(2) == 0 ? group : outside).push_back(r);
+    }
+    if (group.empty() || outside.empty()) continue;
+    const GroupStats stats(table, group);
+    const RowId extra = outside[rng.Uniform(
+        static_cast<uint32_t>(outside.size()))];
+    const RowId member =
+        group[rng.Uniform(static_cast<uint32_t>(group.size()))];
+
+    std::vector<RowId> with = group;
+    with.push_back(extra);
+    EXPECT_EQ(stats.CostWith(extra), AnonCost(table, with));
+
+    std::vector<RowId> without;
+    for (const RowId r : group) {
+      if (r != member) without.push_back(r);
+    }
+    EXPECT_EQ(stats.CostWithout(member), AnonCost(table, without));
+
+    std::vector<RowId> replaced = without;
+    replaced.push_back(extra);
+    EXPECT_EQ(stats.CostReplacing(member, extra),
+              AnonCost(table, replaced));
+  }
+}
+
+TEST(WeightedTableTest, WeightPlumbingOnAppendAndSelect) {
+  Table table{Schema({"a", "b"})};
+  table.AppendStringRow({"x", "y"});
+  table.AppendStringRow({"x", "z"});
+  table.SetRowWeights({3, 4});
+  ASSERT_TRUE(table.is_weighted());
+  EXPECT_EQ(table.total_weight(), 7u);
+  // Appending to a weighted table defaults the new row to weight 1.
+  table.AppendStringRow({"w", "w"});
+  EXPECT_EQ(table.row_weight(2), 1u);
+  EXPECT_EQ(table.total_weight(), 8u);
+  // SelectRows carries weights through (with repetition allowed).
+  const Table view = table.SelectRows({1, 1, 0});
+  ASSERT_TRUE(view.is_weighted());
+  EXPECT_EQ(view.row_weight(0), 4u);
+  EXPECT_EQ(view.row_weight(1), 4u);
+  EXPECT_EQ(view.row_weight(2), 3u);
+  // Clearing restores the unweighted fast path.
+  Table cleared = table;
+  cleared.SetRowWeights({});
+  EXPECT_FALSE(cleared.is_weighted());
+  EXPECT_EQ(cleared.total_weight(), cleared.num_rows());
+}
+
+TEST(WeightOneEquivalenceTest, SolversAreBitIdenticalUnderUnitWeights) {
+  SyntheticTableOptions options;
+  options.num_rows = 120;
+  options.num_columns = 4;
+  options.seed = 17;
+  const Table plain = SyntheticTable(options);
+  Table unit = plain;
+  unit.SetRowWeights(std::vector<uint32_t>(plain.num_rows(), 1));
+  ASSERT_TRUE(unit.is_weighted());
+
+  for (const std::string name :
+       {"mdav", "cluster_greedy", "mondrian", "suppress_all",
+        "mdav+local_search"}) {
+    std::unique_ptr<Anonymizer> golden_algo = MakeAnonymizer(name);
+    std::unique_ptr<Anonymizer> unit_algo = MakeAnonymizer(name);
+    ASSERT_NE(golden_algo, nullptr) << name;
+    const AnonymizationResult golden = golden_algo->Run(plain, 4);
+    const AnonymizationResult weighted = unit_algo->Run(unit, 4);
+    EXPECT_EQ(golden.cost, weighted.cost) << name;
+    EXPECT_EQ(PartitionHash(golden.partition),
+              PartitionHash(weighted.partition))
+        << name << ": unit weights changed the solve path";
+  }
+}
+
+}  // namespace
+}  // namespace kanon

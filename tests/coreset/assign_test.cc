@@ -1,0 +1,147 @@
+#include "coreset/assign.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/partition.h"
+#include "data/generators/synthetic.h"
+#include "fault/fault.h"
+#include "gtest/gtest.h"
+#include "util/run_context.h"
+
+/// \file
+/// Assignment-plane contract: the full-table partition is always valid
+/// and k-anonymous, undersized groups are repaired (and counted, with
+/// the collapse-to-one-group case flagged as the typed degradation),
+/// and stops/faults decline typed instead of emitting a partial result.
+
+namespace kanon {
+namespace {
+
+/// Builds the weighted SelectRows view the wrapper hands to assignment.
+Table SampleView(const Table& full, std::vector<RowId> rows,
+                 std::vector<uint32_t> weights) {
+  Table view = full.SelectRows(rows);
+  view.SetRowWeights(std::move(weights));
+  return view;
+}
+
+/// Two well-separated clusters: 6x "x x", then 6x "y y".
+Table TwoClusters() {
+  Table t{Schema({"a", "b"})};
+  for (int i = 0; i < 6; ++i) t.AppendStringRow({"x", "x"});
+  for (int i = 0; i < 6; ++i) t.AppendStringRow({"y", "y"});
+  return t;
+}
+
+TEST(CoresetAssignTest, MapsRowsToNearestGroupWithoutRepair) {
+  const Table full = TwoClusters();
+  const Table sample = SampleView(full, {0, 6}, {6, 6});
+  Partition sample_partition;
+  sample_partition.groups = {{0}, {1}};
+  RunContext ctx;
+  const auto outcome =
+      AssignToCoresetGroups(full, sample, sample_partition, 3, &ctx);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().message();
+  EXPECT_EQ(outcome->repair_merges, 0u);
+  EXPECT_FALSE(outcome->repair_suppressed);
+  ASSERT_EQ(outcome->partition.num_groups(), 2u);
+  EXPECT_TRUE(IsValidPartition(outcome->partition, 12, 3, 12));
+  const Group expected_a = {0, 1, 2, 3, 4, 5};
+  const Group expected_b = {6, 7, 8, 9, 10, 11};
+  Group got_a = outcome->partition.groups[0];
+  Group got_b = outcome->partition.groups[1];
+  std::sort(got_a.begin(), got_a.end());
+  std::sort(got_b.begin(), got_b.end());
+  if (got_a != expected_a) std::swap(got_a, got_b);
+  EXPECT_EQ(got_a, expected_a);
+  EXPECT_EQ(got_b, expected_b);
+}
+
+TEST(CoresetAssignTest, RepairsUndersizedGroupAndFlagsCollapse) {
+  // 8 identical rows plus one outlier; the outlier's group attracts a
+  // single full-table row, which is below k = 2, so repair must merge it
+  // away — collapsing to one group, the typed degradation.
+  Table full{Schema({"a", "b"})};
+  for (int i = 0; i < 8; ++i) full.AppendStringRow({"x", "x"});
+  full.AppendStringRow({"y", "z"});
+  const Table sample = SampleView(full, {0, 8}, {8, 1});
+  Partition sample_partition;
+  sample_partition.groups = {{0}, {1}};
+  RunContext ctx;
+  const auto outcome =
+      AssignToCoresetGroups(full, sample, sample_partition, 2, &ctx);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().message();
+  EXPECT_EQ(outcome->repair_merges, 1u);
+  EXPECT_TRUE(outcome->repair_suppressed);
+  ASSERT_EQ(outcome->partition.num_groups(), 1u);
+  EXPECT_TRUE(IsValidPartition(outcome->partition, 9, 2, 9));
+}
+
+TEST(CoresetAssignTest, AlwaysValidOnRandomInstances) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    SyntheticTableOptions gen;
+    gen.num_rows = 200;
+    gen.num_columns = 3;
+    gen.seed = seed;
+    const Table full = SyntheticTable(gen);
+    // A deliberately adversarial sample partition: singleton groups of
+    // the first 8 rows (all below any reasonable k).
+    std::vector<RowId> rows = {0, 1, 2, 3, 4, 5, 6, 7};
+    std::vector<uint32_t> weights(8, 25);
+    const Table sample = SampleView(full, rows, weights);
+    Partition sample_partition;
+    for (RowId r = 0; r < 8; ++r) sample_partition.groups.push_back({r});
+    RunContext ctx;
+    const size_t k = 1 + seed % 5;
+    const auto outcome =
+        AssignToCoresetGroups(full, sample, sample_partition, k, &ctx);
+    ASSERT_TRUE(outcome.ok()) << outcome.status().message();
+    EXPECT_TRUE(
+        IsValidPartition(outcome->partition, 200, k, 200))
+        << "seed " << seed;
+  }
+}
+
+TEST(CoresetAssignTest, NoGroupsIsInvalidArgument) {
+  const Table full = TwoClusters();
+  const Table sample = SampleView(full, {0}, {12});
+  RunContext ctx;
+  const auto outcome =
+      AssignToCoresetGroups(full, sample, Partition{}, 2, &ctx);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CoresetAssignTest, CancelledContextDeclinesTyped) {
+  const Table full = TwoClusters();
+  const Table sample = SampleView(full, {0, 6}, {6, 6});
+  Partition sample_partition;
+  sample_partition.groups = {{0}, {1}};
+  RunContext ctx;
+  ctx.RequestCancel();
+  const auto outcome =
+      AssignToCoresetGroups(full, sample, sample_partition, 3, &ctx);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kCancelled);
+}
+
+TEST(CoresetAssignTest, FaultSiteFiresTypedDeadline) {
+  const Table full = TwoClusters();
+  const Table sample = SampleView(full, {0, 6}, {6, 6});
+  Partition sample_partition;
+  sample_partition.groups = {{0}, {1}};
+  FaultPlan plan;
+  plan.seed = 3;
+  plan.sites.push_back({.site = "coreset.assign", .first_n = 1});
+  ScopedFaultInjection injection(plan);
+  RunContext ctx;
+  const auto outcome =
+      AssignToCoresetGroups(full, sample, sample_partition, 3, &ctx);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(ctx.stop_reason(), StopReason::kDeadline);
+}
+
+}  // namespace
+}  // namespace kanon

@@ -1,0 +1,85 @@
+#include "data/generators/synthetic.h"
+
+#include <set>
+#include <string>
+
+#include "data/csv_table.h"
+#include "gtest/gtest.h"
+
+/// \file
+/// Generator contract for the kanon_gen workload: exact shape, per-column
+/// alphabet bounds (cycled), seed determinism, and Zipf skew actually
+/// skewing.
+
+namespace kanon {
+namespace {
+
+TEST(SyntheticTableTest, ShapeAndAttributeNames) {
+  SyntheticTableOptions options;
+  options.num_rows = 64;
+  options.num_columns = 3;
+  const Table table = SyntheticTable(options);
+  ASSERT_EQ(table.num_rows(), 64u);
+  ASSERT_EQ(table.num_columns(), 3u);
+  EXPECT_EQ(table.schema().attribute_name(0), "a0");
+  EXPECT_EQ(table.schema().attribute_name(2), "a2");
+}
+
+TEST(SyntheticTableTest, AlphabetSizesCycleAcrossColumns) {
+  SyntheticTableOptions options;
+  options.num_rows = 2000;
+  options.num_columns = 5;
+  options.alphabet_sizes = {4, 2};  // columns use 4,2,4,2,4
+  const Table table = SyntheticTable(options);
+  for (ColId c = 0; c < table.num_columns(); ++c) {
+    const uint32_t limit = (c % 2 == 0) ? 4 : 2;
+    std::set<std::string> seen;
+    for (RowId r = 0; r < table.num_rows(); ++r) {
+      seen.insert(table.schema().Decode(c, table.at(r, c)));
+    }
+    EXPECT_LE(seen.size(), limit) << "column " << c;
+    // 2000 draws over <= 4 values: every value should appear.
+    EXPECT_EQ(seen.size(), limit) << "column " << c;
+  }
+}
+
+TEST(SyntheticTableTest, DeterministicFromSeed) {
+  SyntheticTableOptions options;
+  options.num_rows = 128;
+  options.seed = 9;
+  const std::string a = TableToCsv(SyntheticTable(options));
+  const std::string b = TableToCsv(SyntheticTable(options));
+  EXPECT_EQ(a, b);
+  options.seed = 10;
+  EXPECT_NE(a, TableToCsv(SyntheticTable(options)));
+}
+
+TEST(SyntheticTableTest, ZipfSkewConcentratesMass) {
+  SyntheticTableOptions uniform;
+  uniform.num_rows = 4000;
+  uniform.num_columns = 1;
+  uniform.alphabet_sizes = {16};
+  SyntheticTableOptions skewed = uniform;
+  skewed.zipf_s = 1.5;
+
+  const auto top_share = [](const Table& table) {
+    std::vector<size_t> counts;
+    for (RowId r = 0; r < table.num_rows(); ++r) {
+      const size_t code = table.at(r, 0);
+      if (code >= counts.size()) counts.resize(code + 1);
+      ++counts[code];
+    }
+    size_t top = 0;
+    for (const size_t c : counts) top = std::max(top, c);
+    return static_cast<double>(top) /
+           static_cast<double>(table.num_rows());
+  };
+  const double uniform_share = top_share(SyntheticTable(uniform));
+  const double skewed_share = top_share(SyntheticTable(skewed));
+  // Uniform: ~1/16 per value. Zipf 1.5: the head value dominates.
+  EXPECT_LT(uniform_share, 0.2);
+  EXPECT_GT(skewed_share, 0.3);
+}
+
+}  // namespace
+}  // namespace kanon

@@ -52,6 +52,23 @@ TEST(CacheTest, KeyDistinguishesAlgorithmKAndTable) {
   EXPECT_TRUE(cache.Lookup(KeyFor(1, "resilient", 3)).has_value());
 }
 
+TEST(CacheTest, KnobsFingerprintSeparatesCoresetConfigurations) {
+  // Same table, same algorithm name, same k — but different coreset
+  // knobs produce different answers and must occupy different entries.
+  ResultCache cache(8);
+  CacheKey defaults = KeyFor(1, "coreset_mdav", 3);
+  defaults.knobs_fp = 0x1111;
+  CacheKey reseeded = defaults;
+  reseeded.knobs_fp = 0x2222;
+
+  cache.Insert(defaults, ResultWithCost(10));
+  EXPECT_FALSE(cache.Lookup(reseeded).has_value());
+  cache.Insert(reseeded, ResultWithCost(20));
+  EXPECT_EQ(cache.Lookup(defaults)->cost, 10u);
+  EXPECT_EQ(cache.Lookup(reseeded)->cost, 20u);
+  EXPECT_EQ(cache.stats().size, 2u);
+}
+
 TEST(CacheTest, TaintGuardRejectsNonDeterministicOutcomes) {
   ResultCache cache(4);
   const CacheKey key = KeyFor(1, "resilient", 3);

@@ -101,6 +101,45 @@ TEST(WorkerPoolTest, RepeatRequestServedFromCache) {
   EXPECT_FALSE(other_k.cache_hit);
 }
 
+TEST(WorkerPoolTest, CoresetKnobsKeyTheCacheSeparately) {
+  JobQueue queue(8);
+  ResultCache cache(8);
+  WorkerPool pool(&queue, &cache, {.workers = 1});
+
+  // Large enough that the resolved sample (rate 0.5 -> 40 rows) is a
+  // real subsample, so different sampler seeds give different answers.
+  const Table table = SmallTable(5, /*rows=*/80);
+  const auto submit = [&](uint64_t coreset_seed) {
+    AnonymizeRequest request = RequestFor(table, 3, "coreset_mdav");
+    request.coreset_rate = 0.5;
+    request.coreset_seed = coreset_seed;
+    ServiceError error = ServiceError::kNone;
+    return queue.Submit(std::move(request), &error)->result.get();
+  };
+
+  const AnonymizeResponse cold = submit(1);
+  ASSERT_TRUE(cold.ok()) << cold.status;
+  EXPECT_FALSE(cold.cache_hit);
+  const StatusOr<Table> anonymized = ParseTableCsv(cold.anonymized_csv);
+  ASSERT_TRUE(anonymized.ok());
+  EXPECT_TRUE(IsKAnonymous(*anonymized, 3));
+
+  // Identical knobs: a repeat is served from the cache.
+  const AnonymizeResponse warm = submit(1);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm.cache_hit);
+  EXPECT_EQ(warm.anonymized_csv, cold.anonymized_csv);
+
+  // A different sampler seed is a different computation: it must miss
+  // even though table, algorithm name and k all match.
+  const AnonymizeResponse reseeded = submit(2);
+  ASSERT_TRUE(reseeded.ok());
+  EXPECT_FALSE(reseeded.cache_hit);
+
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 2u);
+}
+
 TEST(WorkerPoolTest, DeadlineArtifactsAreNotCachedStructuralOnesAre) {
   JobQueue queue(8);
   ResultCache cache(8);
