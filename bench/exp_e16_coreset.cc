@@ -12,6 +12,7 @@
 // The JSON written to --out is the CI gate input: `default_gap` must
 // stay under the quality threshold at n = 2048.
 
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -22,8 +23,11 @@
 #include "core/partition.h"
 #include "coreset/coreset_anonymizer.h"
 #include "coreset/sampler.h"
+#include "data/generators/adversarial.h"
+#include "data/generators/clustered.h"
 #include "data/generators/synthetic.h"
 #include "util/cli.h"
+#include "util/random.h"
 #include "util/report.h"
 #include "util/run_context.h"
 
@@ -37,6 +41,52 @@ struct SweepPoint {
   double seconds = 0.0;
   std::string notes;
 };
+
+struct ShapePoint {
+  std::string shape;
+  size_t rows = 0;
+  size_t direct_cost = 0;
+  size_t cost = 0;
+  double gap = 0.0;
+  bool valid = false;
+};
+
+/// Table-shape sweep workloads at roughly `n` rows: the favourable
+/// planted-cluster instance, a Zipf-skewed value distribution, and the
+/// decoy-cluster adversary that misleads greedy ball growth.
+Table ShapeTable(const std::string& shape, size_t n, uint64_t seed) {
+  if (shape == "clustered") {
+    ClusteredTableOptions options;
+    options.num_rows = static_cast<uint32_t>(n);
+    options.num_columns = 6;
+    options.alphabet = 8;
+    options.num_clusters = static_cast<uint32_t>(std::max<size_t>(n / 32, 2));
+    options.noise_flips = 1;
+    Rng rng(seed);
+    return ClusteredTable(options, &rng);
+  }
+  if (shape == "zipf") {
+    SyntheticTableOptions options;
+    options.num_rows = n;
+    options.seed = seed;
+    options.zipf_s = 1.2;
+    return SyntheticTable(options);
+  }
+  if (shape == "adversarial") {
+    DecoyClusterOptions options;
+    // num_clusters * (cluster_size + decoys_per_cluster) ~= n rows.
+    options.cluster_size = 8;
+    options.decoys_per_cluster = 4;
+    options.num_clusters =
+        static_cast<uint32_t>(std::max<size_t>(n / 12, 2));
+    Rng rng(seed);
+    return DecoyClusterTable(options, &rng);
+  }
+  SyntheticTableOptions options;
+  options.num_rows = n;
+  options.seed = seed;
+  return SyntheticTable(options);
+}
 
 AnonymizationResult RunCoreset(const Table& table, size_t k,
                                const std::string& inner, double rate,
@@ -124,6 +174,45 @@ int Main(int argc, char** argv) {
   std::cout << "\ndefault rate " << kDefaultCoresetRate << " gap: "
             << bench::ReportTable::Num(default_gap, 3) << "\n";
 
+  // Table-shape sweep at the default rate: the gap must stay finite and
+  // the partition valid on favourable, skewed, and adversarial shapes
+  // alike (the decoy instance is allowed a worse gap — it is built to
+  // mislead sampling — but never an invalid answer).
+  std::cout << "\nshape sweep (default rate):\n";
+  bench::ReportTable shape_report(
+      {"shape", "rows", "direct", "coreset", "gap", "valid"});
+  std::vector<ShapePoint> shapes;
+  bool shapes_valid = true;
+  for (const std::string shape : {"clustered", "zipf", "adversarial"}) {
+    const Table shaped = ShapeTable(shape, n, seed + 2);
+    const size_t rows = shaped.num_rows();
+    const AnonymizationResult shape_base = direct->Run(shaped, k);
+    const AnonymizationResult shape_run =
+        RunCoreset(shaped, k, inner, /*rate=*/0.0, seed, 0);
+    ShapePoint point;
+    point.shape = shape;
+    point.rows = rows;
+    point.direct_cost = shape_base.cost;
+    point.cost = shape_run.cost;
+    point.gap = shape_base.cost == 0
+                    ? (shape_run.cost == 0 ? 1.0 : 2.0)
+                    : static_cast<double>(shape_run.cost) /
+                          shape_base.cost;
+    point.valid =
+        shape_base.completed() && shape_run.completed() &&
+        IsValidPartition(shape_run.partition, static_cast<RowId>(rows),
+                         k, rows);
+    shapes_valid = shapes_valid && point.valid;
+    shapes.push_back(point);
+    shape_report.AddRow(
+        {shape, bench::ReportTable::Int(static_cast<long long>(rows)),
+         bench::ReportTable::Int(static_cast<long long>(shape_base.cost)),
+         bench::ReportTable::Int(static_cast<long long>(shape_run.cost)),
+         bench::ReportTable::Num(point.gap, 3),
+         point.valid ? "yes" : "NO"});
+  }
+  shape_report.Print();
+
   // Optional feasibility leg: n in the millions, fixed transient-memory
   // budget, validity asserted on the full-table partition.
   size_t big_cost = 0;
@@ -160,12 +249,23 @@ int Main(int argc, char** argv) {
          << ",\n  \"default_rate\": " << kDefaultCoresetRate
          << ",\n  \"default_gap\": " << default_gap
          << ",\n  \"all_valid\": " << (all_valid ? "true" : "false")
+         << ",\n  \"shapes_valid\": " << (shapes_valid ? "true" : "false")
          << ",\n  \"sweep\": [";
     for (size_t i = 0; i < sweep.size(); ++i) {
       json << (i == 0 ? "" : ",") << "\n    {\"rate\": " << sweep[i].rate
            << ", \"cost\": " << sweep[i].cost
            << ", \"gap\": " << sweep[i].gap
            << ", \"seconds\": " << sweep[i].seconds << "}";
+    }
+    json << "\n  ],\n  \"shapes\": [";
+    for (size_t i = 0; i < shapes.size(); ++i) {
+      json << (i == 0 ? "" : ",") << "\n    {\"shape\": \""
+           << shapes[i].shape << "\", \"rows\": " << shapes[i].rows
+           << ", \"direct_cost\": " << shapes[i].direct_cost
+           << ", \"cost\": " << shapes[i].cost
+           << ", \"gap\": " << shapes[i].gap
+           << ", \"valid\": " << (shapes[i].valid ? "true" : "false")
+           << "}";
     }
     json << "\n  ]";
     if (big_rows > 0) {
@@ -183,10 +283,10 @@ int Main(int argc, char** argv) {
   }
 
   const bool big_ok = big_rows == 0 || big_valid;
-  const bool ok = all_valid && big_ok && default_gap > 0.0;
+  const bool ok = all_valid && shapes_valid && big_ok && default_gap > 0.0;
   bench::PrintVerdict(
-      ok, "coreset partitions valid at every rate; cost gap reported "
-          "per rate (CI gates on default_gap)");
+      ok, "coreset partitions valid at every rate and table shape; cost "
+          "gap reported per rate (CI gates on default_gap)");
   return ok ? 0 : 1;
 }
 

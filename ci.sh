@@ -364,6 +364,38 @@ assert run["all_valid"], "coreset sweep emitted an invalid partition"
 assert run["default_gap"] <= 1.5, (
     f"coreset cost gap regressed: {run['default_gap']:.3f}x vs "
     "direct (gate 1.5x)")
+for shape in run["shapes"]:
+    print(f"  shape {shape['shape']}: rows {shape['rows']}, "
+          f"gap {shape['gap']:.3f}x, "
+          f"valid {shape['valid']}")
+assert run["shapes_valid"], (
+    "coreset shape sweep emitted an invalid partition")
+EOF
+
+echo "=== shard speedup gate: plan/solve/merge vs direct solve ==="
+# E17 at n = 65536: the shard pipeline (median-cut plan, per-shard inner
+# solve, merge-repair) must beat the unsharded inner on wall-clock —
+# MDAV is superlinear, so S solves of n/S rows win even run serially —
+# and stay within 1.5x of its suppression cost. Seeded end to end.
+./build/bench/exp_e17_shard --n=65536 --k=5 --shards=8 \
+  --out=BENCH_shard.json >/dev/null
+python3 - <<'EOF'
+import json
+
+with open("BENCH_shard.json") as f:
+    run = json.load(f)
+
+print(f"n={run['n']} k={run['k']} inner={run['inner']} "
+      f"shards={run['shards']}: direct {run['direct_seconds']:.2f}s "
+      f"cost {run['direct_cost']}, sharded {run['sharded_seconds']:.2f}s "
+      f"cost {run['sharded_cost']} -> speedup {run['speedup']:.2f}x, "
+      f"gap {run['gap']:.3f}x")
+assert run["valid"], "sharded pipeline emitted an invalid partition"
+assert run["sharded_seconds"] < run["direct_seconds"], (
+    f"sharded solve ({run['sharded_seconds']:.2f}s) did not beat the "
+    f"direct solve ({run['direct_seconds']:.2f}s)")
+assert run["gap"] <= 1.5, (
+    f"shard cost gap regressed: {run['gap']:.3f}x vs direct (gate 1.5x)")
 EOF
 
 if [[ "${1:-}" == "--skip-sanitizers" ]]; then
@@ -407,7 +439,7 @@ cmake -B build-tsan -S . -DKANON_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j"${JOBS}"
 TSAN_OPTIONS="halt_on_error=1" \
   ctest --test-dir build-tsan --output-on-failure -j"${JOBS}" \
-    -R 'QueueTest|WorkerPoolTest|CancelRaceTest|ServerTest|ServerFuzzTest|BreakerTest|StageBreakerTest|JournalTest|JournalCheckpoint|WatchdogTest|WatchdogPoolTest|CheckpointStoreTest|FaultRegistryTest|ChaosTest|Parallel|DataPlaneEquivalenceTest|DistanceOracleTest|GroupStatsTest|PackedTableTest|TcpServerTest|NetChaosTest|FrameEnvelope|NetCodec|FrameFuzz|CoresetSamplerTest|CoresetAssignTest|CoresetAnonymizerTest|WeightedGroupStatsTest'
+    -R 'QueueTest|WorkerPoolTest|CancelRaceTest|ServerTest|ServerFuzzTest|BreakerTest|StageBreakerTest|JournalTest|JournalCheckpoint|WatchdogTest|WatchdogPoolTest|CheckpointStoreTest|FaultRegistryTest|ChaosTest|Parallel|DataPlaneEquivalenceTest|DistanceOracleTest|GroupStatsTest|PackedTableTest|TcpServerTest|NetChaosTest|FrameEnvelope|NetCodec|FrameFuzz|CoresetSamplerTest|CoresetAssignTest|CoresetAnonymizerTest|WeightedGroupStatsTest|ShardPlanTest|ShardMergeTest|ShardedAnonymizerTest'
 
 echo "=== chaos: 100 seeded schedules under TSan ==="
 TSAN_OPTIONS="halt_on_error=1" \

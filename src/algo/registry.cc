@@ -14,6 +14,7 @@
 #include "algo/mdav.h"
 #include "algo/mondrian.h"
 #include "algo/random_partition.h"
+#include "algo/sharded_anonymizer.h"
 #include "algo/suppress_all.h"
 #include "coreset/coreset_anonymizer.h"
 
@@ -25,13 +26,30 @@ std::vector<std::string> KnownAnonymizers() {
       "ball_cover_pairwise", "exact_dp",   "branch_bound",
       "mondrian",         "cluster_greedy", "mdav",
       "random_partition",
-      "coreset_mdav",     "coreset_cluster_greedy",
+      "coreset_mdav",     "coreset_cluster_greedy", "coreset_ball_cover",
+      "sharded_mdav",     "sharded_cluster_greedy",
       "suppress_all",     "attribute_greedy", "attribute_exact",
       "resilient",
   };
 }
 
 std::unique_ptr<Anonymizer> MakeAnonymizer(const std::string& name) {
+  constexpr std::string_view kShardedPrefix = "sharded_";
+  if (name.size() > kShardedPrefix.size() &&
+      name.starts_with(kShardedPrefix)) {
+    const std::string inner_name = name.substr(kShardedPrefix.size());
+    // The wrapper cannot nest itself or the fallback chain (a coreset
+    // inner is fine: sharded_coreset_mdav shards, then samples).
+    if (inner_name == "resilient" ||
+        inner_name.starts_with(kShardedPrefix)) {
+      return nullptr;
+    }
+    // Probe once so an unknown inner fails here, not inside a factory
+    // call mid-run.
+    if (MakeAnonymizer(inner_name) == nullptr) return nullptr;
+    return std::make_unique<ShardedAnonymizer>(
+        [inner_name] { return MakeAnonymizer(inner_name); });
+  }
   constexpr std::string_view kCoresetPrefix = "coreset_";
   if (name.size() > kCoresetPrefix.size() &&
       name.starts_with(kCoresetPrefix)) {
@@ -122,7 +140,7 @@ StatusOr<std::unique_ptr<Anonymizer>> MakeAnonymizerOr(
   }
   message +=
       " (composition suffixes: +local_search, +annealing;"
-      " prefix: coreset_<inner>)";
+      " prefixes: coreset_<inner>, sharded_<inner>)";
   return Status::NotFound(std::move(message));
 }
 

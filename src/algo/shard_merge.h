@@ -1,0 +1,62 @@
+#ifndef KANON_ALGO_SHARD_MERGE_H_
+#define KANON_ALGO_SHARD_MERGE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "algo/shard_plan.h"
+#include "core/partition.h"
+#include "data/table.h"
+#include "util/run_context.h"
+#include "util/status.h"
+
+/// \file
+/// MergeRepair: the third stage of the sharded solve pipeline.
+///
+/// Each shard solver returns a partition in *shard-local* coordinates
+/// (indices into its shard's row list). `MergeShardPartitions` reindexes
+/// every group into table coordinates and concatenates them — the union
+/// of per-shard partitions over a disjoint cover is a partition of the
+/// whole table. Groups that arrive undersized (below k) are repaired
+/// smallest-first, ties -> lowest group id, by merging into the nearest
+/// surviving group by mode-centroid Hamming distance — the same repair
+/// discipline as the coreset assignment pass, so degradation is
+/// predictable across both pipelines. With n >= k the final state is
+/// always a valid k-anonymous partition; `repair_suppressed` flags the
+/// fully-collapsed worst case.
+///
+/// The quality contract is Lemma 4.1's sandwich: the merged partition's
+/// cost sits between HalfDiameterVolumeBound and
+/// DiameterVolumeUpperBound of its own diameter profile (see
+/// core/bounds.h), which the property tests assert on random instances.
+/// Fault site `shard.merge` fires a typed budget decline for chaos
+/// testing.
+
+namespace kanon {
+
+/// Outcome of the merge: a valid k-anonymous partition of the full
+/// table plus the repair ledger.
+struct ShardMergeOutcome {
+  Partition partition;
+  /// Undersized boundary groups folded into a neighbor.
+  uint64_t repair_merges = 0;
+  /// True when repair collapsed a multi-group merge to one group.
+  bool repair_suppressed = false;
+};
+
+/// Merges `shard_partitions[i]` (a partition of plan.shards[i] in
+/// shard-local indices, every group non-empty and no index out of
+/// range; groups may be undersized — that is what repair is for) into
+/// one table-coordinate partition. Typed failures:
+/// kInvalidArgument when a shard partition is not a partition of its
+/// shard's rows, kCancelled/kDeadlineExceeded/kResourceExhausted when
+/// `ctx` stops. Fault site `shard.merge` fires a typed budget decline.
+StatusOr<ShardMergeOutcome> MergeShardPartitions(
+    const Table& table, const ShardPlan& plan,
+    const std::vector<Partition>& shard_partitions, size_t k,
+    RunContext* ctx);
+
+}  // namespace kanon
+
+#endif  // KANON_ALGO_SHARD_MERGE_H_

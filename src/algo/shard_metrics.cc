@@ -1,0 +1,32 @@
+#include "algo/shard_metrics.h"
+
+namespace kanon {
+
+ShardMetrics& ShardMetrics::Instance() {
+  static ShardMetrics* instance = new ShardMetrics();
+  return *instance;
+}
+
+ShardMetricsSnapshot ShardMetrics::Snapshot() const {
+  ShardMetricsSnapshot snap;
+  snap.plans = plans_.load(std::memory_order_relaxed);
+  snap.shards_planned = shards_planned_.load(std::memory_order_relaxed);
+  snap.shard_solves = shard_solves_.load(std::memory_order_relaxed);
+  snap.shard_declines = shard_declines_.load(std::memory_order_relaxed);
+  snap.merges = merges_.load(std::memory_order_relaxed);
+  snap.repair_merges = repair_merges_.load(std::memory_order_relaxed);
+  snap.resumed = resumed_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+void ShardMetrics::Reset() {
+  plans_.store(0, std::memory_order_relaxed);
+  shards_planned_.store(0, std::memory_order_relaxed);
+  shard_solves_.store(0, std::memory_order_relaxed);
+  shard_declines_.store(0, std::memory_order_relaxed);
+  merges_.store(0, std::memory_order_relaxed);
+  repair_merges_.store(0, std::memory_order_relaxed);
+  resumed_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace kanon

@@ -1,0 +1,67 @@
+#ifndef KANON_ALGO_SHARD_METRICS_H_
+#define KANON_ALGO_SHARD_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+
+/// \file
+/// Process-wide counters for the sharded solve pipeline, surfaced in
+/// kanond `stats` (always present, zero when sharding is disabled) and
+/// folded into the chaos replay fingerprint — a seed replay that plans,
+/// solves or repairs shards differently is a different schedule. Plain
+/// relaxed atomics, mirroring CoresetMetrics: the counters are
+/// diagnostics, not synchronization.
+
+namespace kanon {
+
+struct ShardMetricsSnapshot {
+  uint64_t plans = 0;
+  uint64_t shards_planned = 0;
+  uint64_t shard_solves = 0;
+  uint64_t shard_declines = 0;
+  uint64_t merges = 0;
+  uint64_t repair_merges = 0;
+  uint64_t resumed = 0;
+};
+
+class ShardMetrics {
+ public:
+  static ShardMetrics& Instance();
+
+  void RecordPlan(uint64_t shards) {
+    plans_.fetch_add(1, std::memory_order_relaxed);
+    shards_planned_.fetch_add(shards, std::memory_order_relaxed);
+  }
+  void RecordShardSolve() {
+    shard_solves_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void RecordShardDecline() {
+    shard_declines_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void RecordMerge(uint64_t repair_merges) {
+    merges_.fetch_add(1, std::memory_order_relaxed);
+    repair_merges_.fetch_add(repair_merges, std::memory_order_relaxed);
+  }
+  void RecordResume() { resumed_.fetch_add(1, std::memory_order_relaxed); }
+
+  ShardMetricsSnapshot Snapshot() const;
+
+  /// Zeroes every counter; the chaos harness calls this at the start of
+  /// each schedule so fingerprints are per-schedule.
+  void Reset();
+
+ private:
+  ShardMetrics() = default;
+
+  std::atomic<uint64_t> plans_{0};
+  std::atomic<uint64_t> shards_planned_{0};
+  std::atomic<uint64_t> shard_solves_{0};
+  std::atomic<uint64_t> shard_declines_{0};
+  std::atomic<uint64_t> merges_{0};
+  std::atomic<uint64_t> repair_merges_{0};
+  std::atomic<uint64_t> resumed_{0};
+};
+
+}  // namespace kanon
+
+#endif  // KANON_ALGO_SHARD_METRICS_H_

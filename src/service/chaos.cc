@@ -11,6 +11,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "algo/shard_metrics.h"
 #include "ckpt/checkpoint.h"
 #include "coreset/metrics.h"
 #include "data/csv_table.h"
@@ -37,6 +38,7 @@ const char* const kOverridableSites[] = {
     "worker.deliver",   "cache.lookup",        "cache.poison",
     "journal.append",   "ckpt.save",           "ckpt.torn",
     "coreset.sample",   "coreset.assign",
+    "shard.plan",       "shard.solve",        "shard.merge",
 };
 
 /// Derives the schedule's fault plan from the seed stream.
@@ -92,18 +94,23 @@ AnonymizeRequest DrawRequest(Rng* rng) {
       "greedy_cover", "mondrian", "suppress_all",
       "mdav", "mdav+annealing",
       "coreset_mdav", "coreset_cluster_greedy",
+      "sharded_mdav", "sharded_cluster_greedy",
   };
   AnonymizeRequest request;
   request.algorithm =
       kAlgos[rng->Uniform(sizeof(kAlgos) / sizeof(kAlgos[0]))];
   const bool coreset = request.algorithm.rfind("coreset_", 0) == 0;
+  const bool sharded = request.algorithm.rfind("sharded_", 0) == 0;
   UniformTableOptions table;
   // Coreset jobs need enough rows that the sampler's min_sample floor
-  // does not short-circuit to the direct path; other jobs stay tiny so
+  // does not short-circuit to the direct path; sharded jobs need
+  // shards * (2k-1) rows so planning actually cuts (k <= 4 below, so
+  // 40 rows feed at least 2 shards of 7); other jobs stay tiny so
   // exact solvers finish fast.
-  table.num_rows = coreset
-                       ? static_cast<uint32_t>(rng->UniformInt(72, 120))
-                       : static_cast<uint32_t>(rng->UniformInt(6, 14));
+  table.num_rows =
+      coreset ? static_cast<uint32_t>(rng->UniformInt(72, 120))
+      : sharded ? static_cast<uint32_t>(rng->UniformInt(40, 80))
+                : static_cast<uint32_t>(rng->UniformInt(6, 14));
   table.num_columns = static_cast<uint32_t>(rng->UniformInt(2, 4));
   table.alphabet = static_cast<uint32_t>(rng->UniformInt(2, 4));
   request.csv_text = TableToCsv(UniformTable(table, rng));
@@ -111,6 +118,11 @@ AnonymizeRequest DrawRequest(Rng* rng) {
     request.coreset_rate = 0.25;
     // +1 keeps the drawn seed nonzero (0 means "use the default seed").
     request.coreset_seed = static_cast<uint64_t>(rng->Next()) + 1;
+  }
+  if (sharded) {
+    // Parallelism stays at the schedule's pin (1): shard solves run
+    // serially and the whole pipeline is a pure function of the seed.
+    request.shards = static_cast<size_t>(rng->UniformInt(2, 4));
   }
   request.k = static_cast<size_t>(rng->UniformInt(2, 4));
   request.priority = rng->UniformInt(-2, 2);
@@ -217,9 +229,10 @@ ChaosReport RunChaosSchedule(const ChaosScheduleOptions& options) {
   // exists, breakers that never half-open mid-schedule.
   const unsigned prev_parallelism = GetParallelism();
   SetParallelism(1);
-  // Coreset counters are process-wide; reset so the replay fingerprint
-  // reflects only this schedule's sampling/assignment activity.
+  // Coreset/shard counters are process-wide; reset so the replay
+  // fingerprint reflects only this schedule's activity.
   CoresetMetrics::Instance().Reset();
+  ShardMetrics::Instance().Reset();
 
   const FaultPlan plan =
       DrawFaultPlan(options.seed, options.with_watchdog, &rng);
@@ -404,6 +417,17 @@ ChaosReport RunChaosSchedule(const ChaosScheduleOptions& options) {
   fp = FingerprintInt(fp, coreset.repair_merges);
   fp = FingerprintInt(fp, coreset.repair_suppressed);
   fp = FingerprintInt(fp, coreset.resumed);
+  // Shard-pipeline activity (invariant 10's ledger): plans cut, shard
+  // solves/declines, merges and boundary repairs are seed-deterministic
+  // under the pinned schedule, so they belong in the digest too.
+  const ShardMetricsSnapshot shard = ShardMetrics::Instance().Snapshot();
+  fp = FingerprintInt(fp, shard.plans);
+  fp = FingerprintInt(fp, shard.shards_planned);
+  fp = FingerprintInt(fp, shard.shard_solves);
+  fp = FingerprintInt(fp, shard.shard_declines);
+  fp = FingerprintInt(fp, shard.merges);
+  fp = FingerprintInt(fp, shard.repair_merges);
+  fp = FingerprintInt(fp, shard.resumed);
   report.outcome_fingerprint = fp;
 
   if (options.with_journal) {

@@ -12,7 +12,8 @@
 /// plan (which sites misbehave, how often), a mixed workload (tables,
 /// algorithms, k, priorities, budgets, cancellations), and runs it
 /// end-to-end on a real JobQueue + WorkerPool + ResultCache (+ JobJournal),
-/// then checks the service layer's six robustness invariants:
+/// then checks the service layer's robustness invariants (1-6, plus 10;
+/// 7-9 belong to the network layer, see net/net_chaos.h):
 ///
 ///   1. every admitted job terminates — with a *valid* k-anonymous
 ///      answer (every distinct output row appears >= k times) or a
@@ -32,7 +33,14 @@
 ///   6. the watchdog preempts exactly the stalled: every injected
 ///      `worker.stall` fire is answered by exactly one preemption and
 ///      one typed watchdog_preempted response, and jobs that are slow
-///      but heartbeating (`worker.slow`) are never preempted.
+///      but heartbeating (`worker.slow`) are never preempted;
+///  10. a killed or faulted shard never corrupts the merged partition:
+///      `sharded_*` jobs hit by `shard.plan` / `shard.solve` /
+///      `shard.merge` faults either resume from a wrapper snapshot or
+///      degrade through the typed decline path — every OK answer they
+///      produce is still a valid k-anonymization (checked by the same
+///      invariant-1 predicate), and resumed sharded jobs stay
+///      bit-deterministic under invariant 5.
 ///
 /// Determinism: all jobs are submitted (and cancels issued) before the
 /// single worker starts, solver parallelism is pinned to 1, jobs carry

@@ -140,6 +140,20 @@ Status ValidateAndPrepare(AnonymizeRequest& request, ServiceError* error) {
         *error, "coreset_rate=" + std::to_string(request.coreset_rate) +
                     " outside (0, 1] (0 = default)");
   }
+  if (request.shards > kMaxRequestShards) {
+    *error = ServiceError::kBadParameter;
+    return MakeServiceStatus(
+        *error, "shards=" + std::to_string(request.shards) + " above " +
+                    std::to_string(kMaxRequestShards) + " (0 = default)");
+  }
+  if (request.shard_parallelism > kMaxRequestShardParallelism) {
+    *error = ServiceError::kBadParameter;
+    return MakeServiceStatus(
+        *error,
+        "shard_parallelism=" + std::to_string(request.shard_parallelism) +
+            " above " + std::to_string(kMaxRequestShardParallelism) +
+            " (0 = default)");
+  }
   return Status::Ok();
 }
 

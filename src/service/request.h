@@ -83,6 +83,11 @@ Status MakeServiceStatus(ServiceError error, std::string message);
 /// `table` or as CSV text in `csv_text` (header record first; `table`
 /// wins when both are set). ValidateAndPrepare parses/validates in
 /// place before the request is admitted.
+/// Domain caps for the shard knobs; requests outside them are rejected
+/// with kBadParameter rather than silently clamped.
+inline constexpr size_t kMaxRequestShards = 1024;
+inline constexpr size_t kMaxRequestShardParallelism = 256;
+
 struct AnonymizeRequest {
   /// Registry name (see KnownAnonymizers), run inside the resilient
   /// fallback chain so a too-hard instance degrades instead of failing.
@@ -110,6 +115,14 @@ struct AnonymizeRequest {
   double coreset_rate = 0.0;
   /// Sampler seed; 0 means the subsystem default.
   uint64_t coreset_seed = 0;
+  /// Shard knobs, honored only by `sharded_*` algorithms (and folded
+  /// into the result-cache key for them). `shards` is the target shard
+  /// count (0 = subsystem default; capped at kMaxRequestShards);
+  /// `shard_parallelism` caps concurrent shard solves (0 = the process
+  /// parallelism; capped at kMaxRequestShardParallelism and never above
+  /// the machine cap at run time).
+  size_t shards = 0;
+  size_t shard_parallelism = 0;
   /// Inline CSV text (ignored once `table` is set).
   std::string csv_text;
   /// The parsed relation; set by ValidateAndPrepare from `csv_text`.

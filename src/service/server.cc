@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "algo/shard_metrics.h"
 #include "coreset/metrics.h"
 #include "data/csv_table.h"
 #include "fault/fault.h"
@@ -89,6 +90,13 @@ std::string FormatStatsLine(const ServiceStats& stats) {
       << " coreset_repairs=" << stats.coreset_repairs
       << " coreset_repair_suppressed=" << stats.coreset_repair_suppressed
       << " coreset_resumed=" << stats.coreset_resumed
+      << " shard_plans=" << stats.shard_plans
+      << " shards_planned=" << stats.shards_planned
+      << " shard_solves=" << stats.shard_solves
+      << " shard_declines=" << stats.shard_declines
+      << " shard_merges=" << stats.shard_merges
+      << " shard_repairs=" << stats.shard_repairs
+      << " shard_resumed=" << stats.shard_resumed
       << " build=" << BuildInfoToken();
   return out.str();
 }
@@ -182,6 +190,14 @@ ServiceStats AnonymizationService::Stats() const {
   stats.coreset_repairs = coreset.repair_merges;
   stats.coreset_repair_suppressed = coreset.repair_suppressed;
   stats.coreset_resumed = coreset.resumed;
+  const ShardMetricsSnapshot shard = ShardMetrics::Instance().Snapshot();
+  stats.shard_plans = shard.plans;
+  stats.shards_planned = shard.shards_planned;
+  stats.shard_solves = shard.shard_solves;
+  stats.shard_declines = shard.shard_declines;
+  stats.shard_merges = shard.merges;
+  stats.shard_repairs = shard.repair_merges;
+  stats.shard_resumed = shard.resumed;
   return stats;
 }
 
@@ -256,6 +272,19 @@ StatusOr<AnonymizeRequest> ParseRequestLine(const std::string& tail,
                                  "bad coreset_seed '" + value + "'");
       }
       request.coreset_seed = static_cast<uint64_t>(parsed);
+    } else if (key == "shards") {
+      if (!ParseInt(value, &parsed) || parsed < 0) {
+        *error = ServiceError::kBadParameter;
+        return MakeServiceStatus(*error, "bad shards '" + value + "'");
+      }
+      request.shards = static_cast<size_t>(parsed);
+    } else if (key == "shard_parallelism") {
+      if (!ParseInt(value, &parsed) || parsed < 0) {
+        *error = ServiceError::kBadParameter;
+        return MakeServiceStatus(
+            *error, "bad shard_parallelism '" + value + "'");
+      }
+      request.shard_parallelism = static_cast<size_t>(parsed);
     } else if (key == "emit") {
       request.emit_csv = value != "0" && value != "false";
     } else if (key == "wait") {

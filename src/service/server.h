@@ -113,6 +113,18 @@ struct ServiceStats {
   uint64_t coreset_repairs = 0;
   uint64_t coreset_repair_suppressed = 0;
   uint64_t coreset_resumed = 0;
+  /// Sharded-pipeline counters (process-wide ShardMetrics snapshot):
+  /// plans cut, shards produced across them, per-shard solves, typed
+  /// per-shard declines, merges, boundary-group repair merges, and
+  /// wrapper warm-starts from a checkpoint. Always present in `stats`
+  /// output — zero when no sharded_* job has run.
+  uint64_t shard_plans = 0;
+  uint64_t shards_planned = 0;
+  uint64_t shard_solves = 0;
+  uint64_t shard_declines = 0;
+  uint64_t shard_merges = 0;
+  uint64_t shard_repairs = 0;
+  uint64_t shard_resumed = 0;
 };
 
 /// Long-running multi-request engine. Thread-safe: any number of

@@ -8,6 +8,7 @@
 
 #include "algo/fallback.h"
 #include "algo/registry.h"
+#include "algo/sharded_anonymizer.h"
 #include "coreset/coreset_anonymizer.h"
 #include "data/csv_table.h"
 #include "fault/fault.h"
@@ -21,10 +22,16 @@ namespace kanon {
 namespace {
 
 constexpr std::string_view kCoresetPrefix = "coreset_";
+constexpr std::string_view kShardedPrefix = "sharded_";
 
 bool IsCoresetAlgorithm(const std::string& name) {
   return name.size() > kCoresetPrefix.size() &&
          name.rfind(kCoresetPrefix, 0) == 0;
+}
+
+bool IsShardedAlgorithm(const std::string& name) {
+  return name.size() > kShardedPrefix.size() &&
+         name.rfind(kShardedPrefix, 0) == 0;
 }
 
 /// The coreset knobs a request resolves to (0-valued knobs fall back to
@@ -36,6 +43,44 @@ CoresetOptions CoresetOptionsFor(const AnonymizeRequest& request) {
   return options;
 }
 
+/// The shard knobs a request resolves to (0-valued knobs fall back to
+/// the subsystem defaults, see algo/shard_plan.h).
+ShardOptions ShardOptionsFor(const AnonymizeRequest& request) {
+  ShardOptions options;
+  options.shards = request.shards;
+  options.shard_parallelism = request.shard_parallelism;
+  return options;
+}
+
+/// Builds a `stage` anonymizer carrying the request's coreset/shard
+/// knobs (the plain registry would use subsystem defaults). Handles
+/// plain, coreset_*, sharded_* and sharded_coreset_* stage names.
+std::unique_ptr<Anonymizer> MakeKnobbedStage(
+    const std::string& stage, const CoresetOptions& coreset,
+    const ShardOptions& shard) {
+  if (IsShardedAlgorithm(stage)) {
+    const std::string inner_name =
+        stage.substr(kShardedPrefix.size());
+    if (inner_name == "resilient" || IsShardedAlgorithm(inner_name)) {
+      return nullptr;
+    }
+    if (MakeKnobbedStage(inner_name, coreset, shard) == nullptr) {
+      return nullptr;
+    }
+    return std::make_unique<ShardedAnonymizer>(
+        [inner_name, coreset, shard] {
+          return MakeKnobbedStage(inner_name, coreset, shard);
+        },
+        shard);
+  }
+  if (IsCoresetAlgorithm(stage)) {
+    auto inner = MakeAnonymizer(stage.substr(kCoresetPrefix.size()));
+    if (inner == nullptr) return nullptr;
+    return std::make_unique<CoresetAnonymizer>(std::move(inner), coreset);
+  }
+  return MakeAnonymizer(stage);
+}
+
 /// Wraps the requested algorithm in a degradation chain ending in the
 /// unconditionally-feasible suppress_all, so *every* job yields a valid
 /// partition. "resilient" keeps its own (already terminal) chain.
@@ -45,18 +90,13 @@ FallbackOptions ChainFor(const AnonymizeRequest& request, StageGate* gate) {
   const std::string& algorithm = request.algorithm;
   FallbackOptions options;
   options.gate = gate;
-  if (IsCoresetAlgorithm(algorithm)) {
+  if (IsCoresetAlgorithm(algorithm) || IsShardedAlgorithm(algorithm)) {
     const CoresetOptions coreset = CoresetOptionsFor(request);
+    const ShardOptions shard = ShardOptionsFor(request);
     options.make_stage =
-        [coreset](const std::string& stage) -> std::unique_ptr<Anonymizer> {
-      if (IsCoresetAlgorithm(stage)) {
-        auto inner =
-            MakeAnonymizer(stage.substr(kCoresetPrefix.size()));
-        if (inner == nullptr) return nullptr;
-        return std::make_unique<CoresetAnonymizer>(std::move(inner),
-                                                   coreset);
-      }
-      return MakeAnonymizer(stage);
+        [coreset,
+         shard](const std::string& stage) -> std::unique_ptr<Anonymizer> {
+      return MakeKnobbedStage(stage, coreset, shard);
     };
   }
   if (algorithm == "resilient") return options;
@@ -154,7 +194,17 @@ AnonymizeResponse WorkerPool::Execute(const AnonymizeRequest& request,
   key.table_fp = TableFingerprint(table);
   key.algorithm = request.algorithm;
   key.k = request.k;
-  if (IsCoresetAlgorithm(request.algorithm)) {
+  if (IsShardedAlgorithm(request.algorithm)) {
+    // Shard count/parallelism change the answer (a different cut merges
+    // differently); when the inner is itself a coreset wrapper the
+    // sample knobs change it too, so both fingerprints fold in.
+    uint64_t fp = ShardOptionsFor(request).Fingerprint();
+    if (IsCoresetAlgorithm(
+            request.algorithm.substr(kShardedPrefix.size()))) {
+      fp = FingerprintInt(fp, CoresetOptionsFor(request).Fingerprint());
+    }
+    key.knobs_fp = fp;
+  } else if (IsCoresetAlgorithm(request.algorithm)) {
     // Sample rate/seed change the answer; a knob-blind key would let a
     // coreset run with one rate serve a request made with another.
     key.knobs_fp = CoresetOptionsFor(request).Fingerprint();

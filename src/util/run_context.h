@@ -181,6 +181,11 @@ class RunContext {
     return peak_memory_.load(std::memory_order_relaxed);
   }
 
+  /// Bytes currently charged (TryChargeMemory minus ReleaseMemory).
+  size_t memory_charged_bytes() const {
+    return memory_.load(std::memory_order_relaxed);
+  }
+
   // --- Checkpoint cadence and resume ----------------------------------
   //
   // Same discipline as KANON_FAULT_POINT: disarmed (the default) the
@@ -317,6 +322,52 @@ class RunContext {
   // charged memory on this context from their destructors.
   mutable std::mutex scratch_mu_;
   std::unordered_map<const void*, std::shared_ptr<void>> scratch_;
+};
+
+/// RAII slice of a parent context's memory budget, for wrappers that
+/// fan one run out into concurrent child runs (the sharded pipeline).
+/// Construction charges `bytes` against the parent — so sibling slices
+/// can never collectively exceed the parent's ceiling — and caps the
+/// child at exactly that slice; destruction returns the slice to the
+/// parent. When the parent cannot cover the slice, `ok()` is false, the
+/// parent latches kBudget (TryChargeMemory semantics) and the child is
+/// left untouched — the caller declines typed instead of running.
+/// A zero `bytes` or a parent without a ceiling is a no-op slice: the
+/// child inherits the parent's (un)limitedness unchanged.
+class ScopedMemoryBudget {
+ public:
+  ScopedMemoryBudget(RunContext* parent, RunContext* child, size_t bytes)
+      : parent_(parent) {
+    if (parent == nullptr || child == nullptr || bytes == 0 ||
+        parent->memory_limit_bytes() == 0) {
+      ok_ = true;
+      return;
+    }
+    ok_ = parent->TryChargeMemory(bytes);
+    if (ok_) {
+      charged_ = bytes;
+      child->set_memory_limit_bytes(bytes);
+    }
+  }
+
+  ~ScopedMemoryBudget() {
+    if (charged_ > 0) parent_->ReleaseMemory(charged_);
+  }
+
+  ScopedMemoryBudget(const ScopedMemoryBudget&) = delete;
+  ScopedMemoryBudget& operator=(const ScopedMemoryBudget&) = delete;
+
+  /// False when the parent could not cover the slice (kBudget latched on
+  /// the parent); the caller must not run the child.
+  bool ok() const { return ok_; }
+
+  /// The slice actually charged against the parent (0 for no-op slices).
+  size_t charged_bytes() const { return charged_; }
+
+ private:
+  RunContext* parent_;
+  size_t charged_ = 0;
+  bool ok_ = false;
 };
 
 }  // namespace kanon

@@ -1,0 +1,200 @@
+#include "algo/shard_merge.h"
+
+#include <memory>
+#include <vector>
+
+#include "algo/anonymizer.h"
+#include "algo/registry.h"
+#include "algo/shard_plan.h"
+#include "core/bounds.h"
+#include "core/cost.h"
+#include "data/generators/uniform.h"
+#include "fault/fault.h"
+#include "gtest/gtest.h"
+#include "util/random.h"
+#include "util/run_context.h"
+
+/// \file
+/// MergeRepair contract, including the property test over random
+/// instances: plan + per-shard solve + merge always yields a *valid*
+/// k-anonymous partition of the full table whose suppression cost obeys
+/// the Lemma 4.1 diameter sandwich
+///   HalfDiameterVolumeBound <= PartitionCost <= DiameterVolumeUpperBound
+/// (both bounds evaluated on the merged partition's own diameter
+/// profile — the per-partition halves of the paper's Lemma 4.1).
+
+namespace kanon {
+namespace {
+
+TEST(ShardMergeTest, MergedPartitionIsValidOnRandomInstances) {
+  Rng rng(4242);
+  std::unique_ptr<Anonymizer> inner = MakeAnonymizer("mdav");
+  for (int trial = 0; trial < 12; ++trial) {
+    UniformTableOptions table_options;
+    table_options.num_rows =
+        static_cast<uint32_t>(rng.UniformInt(40, 160));
+    table_options.num_columns = static_cast<uint32_t>(rng.UniformInt(2, 5));
+    table_options.alphabet = static_cast<uint32_t>(rng.UniformInt(2, 5));
+    const Table table = UniformTable(table_options, &rng);
+    const size_t n = table.num_rows();
+    const size_t k = static_cast<size_t>(rng.UniformInt(2, 5));
+
+    ShardOptions options;
+    options.shards = static_cast<size_t>(rng.UniformInt(2, 5));
+    RunContext ctx;
+    StatusOr<ShardPlan> plan = PlanShards(table, k, options, &ctx);
+    ASSERT_TRUE(plan.ok()) << plan.status().message();
+
+    std::vector<Partition> locals;
+    for (const Group& rows : plan->shards) {
+      const Table shard = table.SelectRows(rows);
+      const AnonymizationResult solved = inner->Run(shard, k);
+      ASSERT_TRUE(solved.completed());
+      locals.push_back(solved.partition);
+    }
+
+    StatusOr<ShardMergeOutcome> merged =
+        MergeShardPartitions(table, *plan, locals, k, &ctx);
+    ASSERT_TRUE(merged.ok()) << merged.status().message();
+    EXPECT_TRUE(IsValidPartition(merged->partition,
+                                 static_cast<RowId>(n), k, n))
+        << "trial " << trial;
+    // Valid per-shard inputs need no boundary repair: the union of
+    // per-shard k-anonymous partitions is already k-anonymous.
+    EXPECT_EQ(merged->repair_merges, 0u);
+
+    // Lemma 4.1 sandwich on the merged partition's diameter profile.
+    const size_t cost = PartitionCost(table, merged->partition);
+    EXPECT_GE(cost, HalfDiameterVolumeBound(table, merged->partition))
+        << "trial " << trial;
+    EXPECT_LE(cost, DiameterVolumeUpperBound(table, merged->partition))
+        << "trial " << trial;
+  }
+}
+
+TEST(ShardMergeTest, RepairsUndersizedBoundaryGroupsSmallestFirst) {
+  Rng rng(7);
+  const Table table =
+      UniformTable({.num_rows = 60, .num_columns = 3, .alphabet = 3},
+                   &rng);
+  ShardOptions options;
+  options.shards = 3;
+  RunContext ctx;
+  StatusOr<ShardPlan> plan = PlanShards(table, 4, options, &ctx);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->num_shards(), 3u);
+
+  // Hand-build deliberately undersized shard partitions: shard 0 split
+  // into a singleton plus the rest, the others left whole. The merge
+  // must fold the undersized groups back to validity.
+  std::vector<Partition> locals(3);
+  for (size_t s = 0; s < 3; ++s) {
+    const size_t rows = plan->shards[s].size();
+    if (s == 0) {
+      Group rest;
+      for (RowId r = 1; r < static_cast<RowId>(rows); ++r) {
+        rest.push_back(r);
+      }
+      locals[s].groups = {Group{0}, rest};
+    } else {
+      Group all;
+      for (RowId r = 0; r < static_cast<RowId>(rows); ++r) {
+        all.push_back(r);
+      }
+      locals[s].groups = {all};
+    }
+  }
+  StatusOr<ShardMergeOutcome> merged =
+      MergeShardPartitions(table, *plan, locals, 4, &ctx);
+  ASSERT_TRUE(merged.ok()) << merged.status().message();
+  EXPECT_GE(merged->repair_merges, 1u);
+  EXPECT_TRUE(
+      IsValidPartition(merged->partition, table.num_rows(), 4,
+                       table.num_rows()));
+  const size_t cost = PartitionCost(table, merged->partition);
+  EXPECT_GE(cost, HalfDiameterVolumeBound(table, merged->partition));
+  EXPECT_LE(cost, DiameterVolumeUpperBound(table, merged->partition));
+}
+
+TEST(ShardMergeTest, RejectsNonPartitionInputsTyped) {
+  Rng rng(8);
+  const Table table =
+      UniformTable({.num_rows = 30, .num_columns = 2, .alphabet = 3},
+                   &rng);
+  ShardOptions options;
+  options.shards = 2;
+  RunContext ctx;
+  StatusOr<ShardPlan> plan = PlanShards(table, 3, options, &ctx);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->num_shards(), 2u);
+
+  // Wrong partition count.
+  std::vector<Partition> too_few(1);
+  EXPECT_EQ(MergeShardPartitions(table, *plan, too_few, 3, &ctx)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+
+  const auto full_local = [&](size_t s) {
+    Group all;
+    for (RowId r = 0; r < static_cast<RowId>(plan->shards[s].size());
+         ++r) {
+      all.push_back(r);
+    }
+    Partition p;
+    p.groups = {all};
+    return p;
+  };
+
+  // Duplicate local index.
+  std::vector<Partition> dup = {full_local(0), full_local(1)};
+  dup[0].groups[0][1] = dup[0].groups[0][0];
+  EXPECT_EQ(
+      MergeShardPartitions(table, *plan, dup, 3, &ctx).status().code(),
+      StatusCode::kInvalidArgument);
+
+  // Out-of-range local index.
+  std::vector<Partition> oob = {full_local(0), full_local(1)};
+  oob[1].groups[0][0] = static_cast<RowId>(plan->shards[1].size());
+  EXPECT_EQ(
+      MergeShardPartitions(table, *plan, oob, 3, &ctx).status().code(),
+      StatusCode::kInvalidArgument);
+
+  // Missing a row (does not cover the shard).
+  std::vector<Partition> uncovered = {full_local(0), full_local(1)};
+  uncovered[0].groups[0].pop_back();
+  EXPECT_EQ(MergeShardPartitions(table, *plan, uncovered, 3, &ctx)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ShardMergeTest, FaultSiteDeclinesTyped) {
+  Rng rng(9);
+  const Table table =
+      UniformTable({.num_rows = 30, .num_columns = 2, .alphabet = 3},
+                   &rng);
+  ShardOptions options;
+  options.shards = 2;
+  RunContext plan_ctx;
+  StatusOr<ShardPlan> plan = PlanShards(table, 3, options, &plan_ctx);
+  ASSERT_TRUE(plan.ok());
+  std::vector<Partition> locals;
+  std::unique_ptr<Anonymizer> inner = MakeAnonymizer("mdav");
+  for (const Group& rows : plan->shards) {
+    locals.push_back(inner->Run(table.SelectRows(rows), 3).partition);
+  }
+
+  FaultPlan fault_plan;
+  fault_plan.seed = 11;
+  fault_plan.sites.push_back({.site = "shard.merge", .first_n = 1});
+  ScopedFaultInjection injection(fault_plan);
+  RunContext ctx;
+  StatusOr<ShardMergeOutcome> merged =
+      MergeShardPartitions(table, *plan, locals, 3, &ctx);
+  EXPECT_FALSE(merged.ok());
+  EXPECT_EQ(ctx.stop_reason(), StopReason::kBudget);
+}
+
+}  // namespace
+}  // namespace kanon

@@ -1,0 +1,326 @@
+#include "algo/sharded_anonymizer.h"
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algo/fallback.h"
+#include "algo/registry.h"
+#include "core/partition.h"
+#include "data/generators/synthetic.h"
+#include "fault/fault.h"
+#include "gtest/gtest.h"
+#include "util/fingerprint.h"
+#include "util/parallel.h"
+#include "util/run_context.h"
+
+/// \file
+/// Wrapper contract: sharded_<inner> always emits a valid k-anonymous
+/// partition of the FULL table (or a typed decline — never an invalid
+/// partition), is bit-identical to the plain inner on the shards<=1
+/// direct path (golden cost + partition hash), independent of solve
+/// parallelism, resumes from a wrapper snapshot with the bit-identical
+/// answer, cold-starts on hostile snapshots, and degrades gracefully
+/// inside the fallback chain when a shard fault fires mid-pipeline.
+
+namespace kanon {
+namespace {
+
+/// Canonical content hash (group/row order is presentation).
+uint64_t PartitionHash(const Partition& partition) {
+  std::vector<Group> groups = partition.groups;
+  for (Group& group : groups) std::sort(group.begin(), group.end());
+  std::sort(groups.begin(), groups.end());
+  uint64_t fp = kFingerprintSeed;
+  for (const Group& group : groups) {
+    fp = FingerprintInt(fp, group.size());
+    for (const RowId row : group) fp = FingerprintInt(fp, row);
+  }
+  return fp;
+}
+
+/// Latest-snapshot-wins in-memory sink.
+class MemorySink : public CheckpointSink {
+ public:
+  Status Persist(std::string_view solver,
+                 const std::string& payload) override {
+    if (solver.rfind("sharded_", 0) == 0) {
+      solver_ = std::string(solver);
+      payload_ = payload;
+      ++persists_;
+    }
+    return Status::Ok();
+  }
+
+  const std::string& solver() const { return solver_; }
+  const std::string& payload() const { return payload_; }
+  uint64_t persists() const { return persists_; }
+
+ private:
+  std::string solver_;
+  std::string payload_;
+  uint64_t persists_ = 0;
+};
+
+Table TestTable(uint64_t rows, uint64_t seed = 11) {
+  SyntheticTableOptions options;
+  options.num_rows = rows;
+  options.num_columns = 4;
+  options.seed = seed;
+  return SyntheticTable(options);
+}
+
+ShardedAnonymizer MakeWrapper(const std::string& inner = "mdav",
+                              ShardOptions options = {}) {
+  return ShardedAnonymizer([inner] { return MakeAnonymizer(inner); },
+                           options);
+}
+
+TEST(ShardedAnonymizerTest, ProducesValidFullTablePartition) {
+  const Table table = TestTable(400);
+  ShardedAnonymizer algo = MakeWrapper();
+  RunContext ctx;
+  const AnonymizationResult result = algo.Run(table, 4, &ctx);
+  ASSERT_TRUE(result.completed());
+  EXPECT_TRUE(IsValidPartition(result.partition, 400, 4, 400));
+  EXPECT_NE(result.notes.find("sharded shards=8"), std::string::npos);
+  EXPECT_NE(result.notes.find("inner=mdav"), std::string::npos);
+}
+
+TEST(ShardedAnonymizerTest, DirectPathIsBitIdenticalToInner) {
+  // Both degenerate routes — an explicit shards=1 request and a table
+  // too small to feed two shards — must run the inner solver on the
+  // caller's own context, bit-identical by cost and partition hash.
+  std::unique_ptr<Anonymizer> plain = MakeAnonymizer("mdav");
+  {
+    const Table table = TestTable(200, 5);
+    ShardOptions options;
+    options.shards = 1;
+    ShardedAnonymizer algo = MakeWrapper("mdav", options);
+    RunContext ctx;
+    const AnonymizationResult sharded = algo.Run(table, 4, &ctx);
+    const AnonymizationResult direct = plain->Run(table, 4);
+    ASSERT_TRUE(sharded.completed());
+    EXPECT_NE(sharded.notes.find("sharded=direct(shards<=1)"),
+              std::string::npos);
+    EXPECT_EQ(sharded.cost, direct.cost);
+    EXPECT_EQ(PartitionHash(sharded.partition),
+              PartitionHash(direct.partition));
+  }
+  {
+    const Table table = TestTable(16, 6);  // 16 < 2*(2*5-1): one shard
+    ShardedAnonymizer algo = MakeWrapper("mdav");
+    RunContext ctx;
+    const AnonymizationResult sharded = algo.Run(table, 5, &ctx);
+    const AnonymizationResult direct = plain->Run(table, 5);
+    ASSERT_TRUE(sharded.completed());
+    EXPECT_NE(sharded.notes.find("sharded=direct"), std::string::npos);
+    EXPECT_EQ(sharded.cost, direct.cost);
+    EXPECT_EQ(PartitionHash(sharded.partition),
+              PartitionHash(direct.partition));
+  }
+}
+
+/// RAII guard restoring the global parallelism level.
+class ParallelismGuard {
+ public:
+  explicit ParallelismGuard(unsigned workers)
+      : previous_(GetParallelism()) {
+    SetParallelism(workers);
+  }
+  ~ParallelismGuard() { SetParallelism(previous_); }
+
+ private:
+  unsigned previous_;
+};
+
+TEST(ShardedAnonymizerTest, AnswerIndependentOfParallelism) {
+  // The serial run and a genuinely threaded run (global parallelism
+  // raised so worker threads actually spawn) must agree bit-for-bit:
+  // the answer is a function of the plan, never the schedule.
+  const Table table = TestTable(350, 21);
+  ShardOptions serial;
+  serial.shards = 6;
+  serial.shard_parallelism = 1;
+  ShardOptions wide = serial;
+  wide.shard_parallelism = 4;
+  ShardedAnonymizer a = MakeWrapper("mdav", serial);
+  RunContext ctx_a;
+  const AnonymizationResult ra = a.Run(table, 3, &ctx_a);
+
+  ParallelismGuard guard(4);
+  ShardedAnonymizer b = MakeWrapper("mdav", wide);
+  RunContext ctx_b;
+  const AnonymizationResult rb = b.Run(table, 3, &ctx_b);
+  ASSERT_TRUE(ra.completed() && rb.completed());
+  EXPECT_EQ(ra.cost, rb.cost);
+  EXPECT_EQ(PartitionHash(ra.partition), PartitionHash(rb.partition));
+}
+
+TEST(ShardedAnonymizerTest, RegistryBuildsShardedCompositions) {
+  for (const std::string name :
+       {"sharded_mdav", "sharded_cluster_greedy"}) {
+    std::unique_ptr<Anonymizer> algo = MakeAnonymizer(name);
+    ASSERT_NE(algo, nullptr) << name;
+    EXPECT_EQ(algo->name(), name);
+    const auto known = KnownAnonymizers();
+    EXPECT_NE(std::find(known.begin(), known.end(), name), known.end());
+  }
+  // Sharding a coreset pipeline is legal (shard, then sample inside).
+  std::unique_ptr<Anonymizer> nested = MakeAnonymizer("sharded_coreset_mdav");
+  ASSERT_NE(nested, nullptr);
+  EXPECT_EQ(nested->name(), "sharded_coreset_mdav");
+  // Nesting the chain or another sharded wrapper is rejected.
+  EXPECT_EQ(MakeAnonymizer("sharded_resilient"), nullptr);
+  EXPECT_EQ(MakeAnonymizer("sharded_sharded_mdav"), nullptr);
+  EXPECT_EQ(MakeAnonymizer("sharded_nope"), nullptr);
+}
+
+TEST(ShardedAnonymizerTest, EndToEndThroughRegistryNames) {
+  const Table table = TestTable(300, 21);
+  for (const std::string name :
+       {"sharded_mdav", "sharded_cluster_greedy",
+        "sharded_coreset_mdav"}) {
+    std::unique_ptr<Anonymizer> algo = MakeAnonymizer(name);
+    ASSERT_NE(algo, nullptr);
+    RunContext ctx;
+    const AnonymizationResult result = algo->Run(table, 4, &ctx);
+    EXPECT_TRUE(result.completed()) << name;
+    EXPECT_TRUE(IsValidPartition(result.partition, 300, 4, 300)) << name;
+  }
+}
+
+TEST(ShardedAnonymizerTest, ResumesFromWrapperSnapshotBitIdentical) {
+  const Table table = TestTable(400, 33);
+  ShardOptions options;
+  options.shards = 4;
+  options.shard_parallelism = 1;  // deterministic snapshot sequence
+
+  MemorySink sink;
+  ShardedAnonymizer golden_algo = MakeWrapper("mdav", options);
+  RunContext golden_ctx;
+  golden_ctx.ArmCheckpoints(&sink, /*every_polls=*/1, 0.0);
+  const AnonymizationResult golden = golden_algo.Run(table, 4, &golden_ctx);
+  ASSERT_TRUE(golden.completed());
+  ASSERT_GE(sink.persists(), 1u);
+  EXPECT_EQ(sink.solver(), "sharded_mdav");
+
+  // A fresh incarnation resuming from that snapshot must skip the
+  // completed shards and land on the bit-identical answer.
+  ShardedAnonymizer resumed_algo = MakeWrapper("mdav", options);
+  RunContext resumed_ctx;
+  resumed_ctx.SetResume("sharded_mdav", sink.payload());
+  const AnonymizationResult resumed =
+      resumed_algo.Run(table, 4, &resumed_ctx);
+  ASSERT_TRUE(resumed.completed());
+  EXPECT_EQ(resumed.cost, golden.cost);
+  EXPECT_EQ(PartitionHash(resumed.partition),
+            PartitionHash(golden.partition));
+  EXPECT_NE(resumed.notes.find("resumed=1"), std::string::npos);
+}
+
+TEST(ShardedAnonymizerTest, HostileSnapshotColdStartsInsteadOfTrusting) {
+  const Table table = TestTable(300, 33);
+  ShardOptions options;
+  options.shards = 4;
+  ShardedAnonymizer golden_algo = MakeWrapper("mdav", options);
+  RunContext golden_ctx;
+  const AnonymizationResult golden = golden_algo.Run(table, 4, &golden_ctx);
+  ASSERT_TRUE(golden.completed());
+
+  for (const std::string& payload :
+       {std::string(), std::string("garbage"),
+        std::string(200, '\xff')}) {
+    ShardedAnonymizer algo = MakeWrapper("mdav", options);
+    RunContext ctx;
+    ctx.SetResume("sharded_mdav", payload);
+    const AnonymizationResult result = algo.Run(table, 4, &ctx);
+    ASSERT_TRUE(result.completed());
+    EXPECT_EQ(result.cost, golden.cost);
+    EXPECT_EQ(PartitionHash(result.partition),
+              PartitionHash(golden.partition));
+    EXPECT_EQ(result.notes.find("resumed=1"), std::string::npos);
+  }
+
+  // A snapshot taken under a *different plan* (other shard count) must
+  // also cold-start: the plan fingerprint stamp catches it.
+  MemorySink sink;
+  ShardOptions other;
+  other.shards = 2;
+  ShardedAnonymizer other_algo = MakeWrapper("mdav", other);
+  RunContext other_ctx;
+  other_ctx.ArmCheckpoints(&sink, 1, 0.0);
+  ASSERT_TRUE(other_algo.Run(table, 4, &other_ctx).completed());
+  ASSERT_GE(sink.persists(), 1u);
+  ShardedAnonymizer algo = MakeWrapper("mdav", options);
+  RunContext ctx;
+  ctx.SetResume("sharded_mdav", sink.payload());
+  const AnonymizationResult result = algo.Run(table, 4, &ctx);
+  ASSERT_TRUE(result.completed());
+  EXPECT_EQ(result.cost, golden.cost);
+  EXPECT_EQ(result.notes.find("resumed=1"), std::string::npos);
+}
+
+TEST(ShardedAnonymizerTest, ShardFaultDeclinesTypedNeverInvalid) {
+  const Table table = TestTable(300);
+  for (const char* site : {"shard.plan", "shard.solve", "shard.merge"}) {
+    FaultPlan plan;
+    plan.seed = 5;
+    plan.sites.push_back({.site = site, .first_n = 1});
+    ScopedFaultInjection injection(plan);
+    ShardOptions options;
+    options.shard_parallelism = 1;
+    ShardedAnonymizer algo = MakeWrapper("mdav", options);
+    RunContext ctx;
+    const AnonymizationResult result = algo.Run(table, 3, &ctx);
+    EXPECT_FALSE(result.completed()) << site;
+    EXPECT_EQ(result.termination, StopReason::kBudget) << site;
+    EXPECT_TRUE(result.partition.groups.empty()) << site;
+    EXPECT_NE(result.notes.find("declined:"), std::string::npos) << site;
+  }
+}
+
+TEST(ShardedAnonymizerTest, FallbackChainDegradesPastFaultedShard) {
+  const Table table = TestTable(300);
+  FaultPlan plan;
+  plan.seed = 5;
+  plan.sites.push_back({.site = "shard.solve", .first_n = 1});
+  ScopedFaultInjection injection(plan);
+
+  FallbackOptions options;
+  options.stages = {"sharded_mdav", "suppress_all"};
+  FallbackAnonymizer chain(options);
+  RunContext ctx;
+  const AnonymizationResult result = chain.Run(table, 3, &ctx);
+  // The chain must absorb the shard decline and produce a valid answer
+  // from the terminal stage.
+  EXPECT_TRUE(IsValidPartition(result.partition, 300, 3, 300));
+  EXPECT_EQ(result.stage, "suppress_all");
+  EXPECT_NE(result.notes.find("sharded_mdav"), std::string::npos);
+}
+
+TEST(ShardedAnonymizerTest, CancelledContextDeclinesTyped) {
+  const Table table = TestTable(300);
+  ShardedAnonymizer algo = MakeWrapper();
+  RunContext ctx;
+  ctx.RequestCancel();
+  const AnonymizationResult result = algo.Run(table, 3, &ctx);
+  EXPECT_FALSE(result.completed());
+  EXPECT_EQ(result.termination, StopReason::kCancelled);
+  EXPECT_TRUE(result.partition.groups.empty());
+}
+
+TEST(ShardedAnonymizerTest, SplitsNodeBudgetAndBacksCharges) {
+  const Table table = TestTable(300);
+  ShardedAnonymizer algo = MakeWrapper();
+  RunContext ctx;
+  ctx.set_node_budget(10'000'000);
+  const AnonymizationResult result = algo.Run(table, 3, &ctx);
+  ASSERT_TRUE(result.completed());
+  // Shard-solve work is visible on the parent context (back-charged).
+  EXPECT_GT(ctx.nodes_charged(), 300u);
+}
+
+}  // namespace
+}  // namespace kanon

@@ -157,6 +157,15 @@ constexpr GoldenCase kGolden[] = {
     {0, "coreset_mdav", 3, 54, 0xc0df28226f5dbc85ull},
     {0, "coreset_cluster_greedy", 2, 28, 0x4347083a363bf765ull},
     {0, "coreset_cluster_greedy", 3, 39, 0x0cfae9b733d77f65ull},
+    {0, "coreset_ball_cover", 2, 44, 0x0c97a3b33aba3ce5ull},
+    {0, "coreset_ball_cover", 3, 48, 0xb8b5ecefe40cd025ull},
+    // n = 12 still feeds >= 2 shards at these k, so sharded_<inner>
+    // exercises the full plan/solve/merge pipeline here (the shards<=1
+    // direct path is golden-tested in tests/algo).
+    {0, "sharded_mdav", 2, 57, 0x2f0e1123bb189625ull},
+    {0, "sharded_mdav", 3, 51, 0x27c184a1deceebe5ull},
+    {0, "sharded_cluster_greedy", 2, 57, 0x2f0e1123bb189625ull},
+    {0, "sharded_cluster_greedy", 3, 54, 0xc526ef77922ff185ull},
     {1, "greedy_cover", 2, 16, 0x0b24fe8e431409a5ull},
     {1, "greedy_cover", 3, 32, 0x2daf45f30ab18001ull},
     {1, "ball_cover", 2, 18, 0x8435662d4919c2a5ull},
@@ -195,6 +204,12 @@ constexpr GoldenCase kGolden[] = {
     {1, "coreset_mdav", 3, 45, 0xa7a6d7164f295dc5ull},
     {1, "coreset_cluster_greedy", 2, 20, 0xd513f467d2eaa345ull},
     {1, "coreset_cluster_greedy", 3, 39, 0x13264845a7546485ull},
+    {1, "coreset_ball_cover", 2, 18, 0x8435662d4919c2a5ull},
+    {1, "coreset_ball_cover", 3, 32, 0x2daf45f30ab18001ull},
+    {1, "sharded_mdav", 2, 42, 0xefa9e9d8f67d0a65ull},
+    {1, "sharded_mdav", 3, 36, 0x712ea24ddb1ba225ull},
+    {1, "sharded_cluster_greedy", 2, 42, 0xefa9e9d8f67d0a65ull},
+    {1, "sharded_cluster_greedy", 3, 36, 0x712ea24ddb1ba225ull},
 };
 
 std::vector<Table> GoldenTables() {

@@ -117,7 +117,7 @@ TEST(CoresetAnonymizerTest, SmallTablesTakeTheDirectPath) {
 
 TEST(CoresetAnonymizerTest, RegistryBuildsCoresetCompositions) {
   for (const std::string name :
-       {"coreset_mdav", "coreset_cluster_greedy"}) {
+       {"coreset_mdav", "coreset_cluster_greedy", "coreset_ball_cover"}) {
     std::unique_ptr<Anonymizer> algo = MakeAnonymizer(name);
     ASSERT_NE(algo, nullptr) << name;
     EXPECT_EQ(algo->name(), name);
@@ -133,7 +133,7 @@ TEST(CoresetAnonymizerTest, RegistryBuildsCoresetCompositions) {
 TEST(CoresetAnonymizerTest, EndToEndThroughRegistryNames) {
   const Table table = TestTable(300, 21);
   for (const std::string name :
-       {"coreset_mdav", "coreset_cluster_greedy"}) {
+       {"coreset_mdav", "coreset_cluster_greedy", "coreset_ball_cover"}) {
     std::unique_ptr<Anonymizer> algo = MakeAnonymizer(name);
     ASSERT_NE(algo, nullptr);
     RunContext ctx;
@@ -141,6 +141,24 @@ TEST(CoresetAnonymizerTest, EndToEndThroughRegistryNames) {
     EXPECT_TRUE(result.completed()) << name;
     EXPECT_TRUE(IsValidPartition(result.partition, 300, 4, 300)) << name;
   }
+}
+
+TEST(CoresetAnonymizerTest, BallCoverInnerIsDeterministicAndDistinct) {
+  // The third registered inner wrapper: same contract as the others —
+  // deterministic from the sampler seed, valid on the full table, and a
+  // genuinely different inner (notes name it).
+  const Table table = TestTable(300, 9);
+  std::unique_ptr<Anonymizer> a = MakeAnonymizer("coreset_ball_cover");
+  std::unique_ptr<Anonymizer> b = MakeAnonymizer("coreset_ball_cover");
+  ASSERT_NE(a, nullptr);
+  RunContext ctx_a, ctx_b;
+  const AnonymizationResult ra = a->Run(table, 3, &ctx_a);
+  const AnonymizationResult rb = b->Run(table, 3, &ctx_b);
+  ASSERT_TRUE(ra.completed() && rb.completed());
+  EXPECT_TRUE(IsValidPartition(ra.partition, 300, 3, 300));
+  EXPECT_EQ(ra.cost, rb.cost);
+  EXPECT_EQ(PartitionHash(ra.partition), PartitionHash(rb.partition));
+  EXPECT_NE(ra.notes.find("inner=ball_cover"), std::string::npos);
 }
 
 TEST(CoresetAnonymizerTest, ResumesFromWrapperSnapshotBitIdentical) {

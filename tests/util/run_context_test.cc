@@ -230,6 +230,60 @@ TEST(RunContextTest, PreemptImpliesCancelAndIsInherited) {
   EXPECT_EQ(child.stop_reason(), StopReason::kCancelled);
 }
 
+TEST(ScopedMemoryBudgetTest, ChargesParentCapsChildAndReleases) {
+  RunContext parent;
+  parent.set_memory_limit_bytes(1000);
+  {
+    RunContext child(&parent);
+    ScopedMemoryBudget slice(&parent, &child, 400);
+    ASSERT_TRUE(slice.ok());
+    EXPECT_EQ(parent.memory_charged_bytes(), 400u);
+    EXPECT_EQ(child.memory_limit_bytes(), 400u);
+    // The child spends against its own slice, not the parent's ledger.
+    EXPECT_TRUE(child.TryChargeMemory(300));
+    EXPECT_FALSE(child.TryChargeMemory(200));
+    EXPECT_EQ(child.stop_reason(), StopReason::kBudget);
+    EXPECT_EQ(parent.memory_charged_bytes(), 400u);
+  }
+  // Destruction returns the slice to the parent.
+  EXPECT_EQ(parent.memory_charged_bytes(), 0u);
+  EXPECT_GE(parent.peak_memory_bytes(), 400u);
+}
+
+TEST(ScopedMemoryBudgetTest, OverdrawnParentLatchesBudgetAndNotOk) {
+  RunContext parent;
+  parent.set_memory_limit_bytes(100);
+  RunContext child(&parent);
+  ScopedMemoryBudget slice(&parent, &child, 400);
+  EXPECT_FALSE(slice.ok());
+  EXPECT_TRUE(parent.ShouldStop());
+  EXPECT_EQ(parent.stop_reason(), StopReason::kBudget);
+}
+
+TEST(ScopedMemoryBudgetTest, NoOpWhenParentIsUnlimitedOrAbsent) {
+  {
+    RunContext parent;  // no memory limit set
+    RunContext child(&parent);
+    ScopedMemoryBudget slice(&parent, &child, 400);
+    EXPECT_TRUE(slice.ok());
+    EXPECT_EQ(parent.memory_charged_bytes(), 0u);
+    EXPECT_EQ(child.memory_limit_bytes(), 0u);
+  }
+  {
+    RunContext child(nullptr);
+    ScopedMemoryBudget slice(nullptr, &child, 400);
+    EXPECT_TRUE(slice.ok());
+  }
+  {
+    RunContext parent;
+    parent.set_memory_limit_bytes(100);
+    RunContext child(&parent);
+    ScopedMemoryBudget slice(&parent, &child, 0);
+    EXPECT_TRUE(slice.ok());
+    EXPECT_EQ(parent.memory_charged_bytes(), 0u);
+  }
+}
+
 TEST(StopReasonTest, NamesAndStatusMapping) {
   EXPECT_STREQ(StopReasonName(StopReason::kNone), "completed");
   EXPECT_STREQ(StopReasonName(StopReason::kDeadline), "deadline");
