@@ -215,6 +215,13 @@ AnonymizationResult ShardedAnonymizer::Run(const Table& table, size_t k,
     Table shard_table = table.SelectRows(rows);
     RunContext child(ctx);
     child.set_lenient(true);
+    // Isolate the shard from the job's checkpoint/resume chain: the
+    // wrapper (under state_mu) is the single snapshot writer — shard
+    // threads must not race inner-solver snapshots into the job sink —
+    // and an inner solver must never restore a job-root payload, which
+    // on same-sized shards would pass its size validation while
+    // carrying another shard's (or the whole table's) grouping.
+    child.set_checkpoint_isolated(true);
     if (ctx->has_deadline()) {
       child.set_deadline_after_millis(ctx->remaining_millis() * 0.7);
     }
@@ -327,8 +334,10 @@ AnonymizationResult ShardedAnonymizer::Run(const Table& table, size_t k,
   result.partition = std::move(outcome.partition);
   FinalizeResult(table, &result);
   result.seconds = timer.Seconds();
+  // `extra + 1` is the concurrency the job actually ran with (its own
+  // thread plus the granted pool threads); `want` is only the request.
   std::ostringstream notes;
-  notes << "sharded shards=" << num_shards << " parallelism=" << want
+  notes << "sharded shards=" << num_shards << " parallelism=" << (extra + 1)
         << " inner=" << proto_->name()
         << " groups=" << result.partition.num_groups()
         << " repairs=" << outcome.repair_merges;

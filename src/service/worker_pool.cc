@@ -138,18 +138,25 @@ class JobCheckpointSink : public CheckpointSink {
         written_(written),
         failures_(failures) {}
 
+  /// Thread-safe: emissions normally arrive serialized (the sharded
+  /// wrapper checkpoint-isolates its shard threads and is the single
+  /// writer for the job), but the sink must not turn a future caller's
+  /// slip into UB — the sequence counter is atomic and captured locally
+  /// so the journaled seq matches the saved snapshot.
   Status Persist(std::string_view solver,
                  const std::string& payload) override {
     SolverSnapshot snapshot;
     snapshot.solver = std::string(solver);
     snapshot.table_fp = table_fp_;
     snapshot.k = k_;
-    snapshot.seq = ++seq_;
+    const uint64_t seq =
+        seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+    snapshot.seq = seq;
     snapshot.payload = payload;
     const Status status = store_->Save(job_id_, snapshot);
     if (status.ok()) {
       written_->fetch_add(1, std::memory_order_relaxed);
-      if (observer_ != nullptr) observer_->OnCheckpoint(job_id_, seq_);
+      if (observer_ != nullptr) observer_->OnCheckpoint(job_id_, seq);
     } else {
       failures_->fetch_add(1, std::memory_order_relaxed);
     }
@@ -164,7 +171,7 @@ class JobCheckpointSink : public CheckpointSink {
   const uint64_t k_;
   std::atomic<uint64_t>* const written_;
   std::atomic<uint64_t>* const failures_;
-  uint64_t seq_ = 0;
+  std::atomic<uint64_t> seq_{0};
 };
 
 }  // namespace

@@ -80,6 +80,9 @@ void RunContext::Heartbeat() const {
 const RunContext* RunContext::CheckpointRoot() const {
   for (const RunContext* c = this; c != nullptr; c = c->parent_) {
     if (c->ckpt_armed_.load(std::memory_order_acquire)) return c;
+    // An isolated context hides every armed ancestor from its subtree
+    // (its own arming, checked above, still counts).
+    if (c->ckpt_isolated_) return nullptr;
   }
   return nullptr;
 }
@@ -162,12 +165,18 @@ void RunContext::SetResume(std::string solver, std::string payload) {
 
 std::optional<std::string> RunContext::resume_payload(
     std::string_view solver) const {
-  {
-    std::lock_guard<std::mutex> lock(scratch_mu_);
-    const auto it = resume_.find(std::string(solver));
-    if (it != resume_.end()) return it->second;
+  const std::string key(solver);
+  for (const RunContext* c = this; c != nullptr; c = c->parent_) {
+    {
+      std::lock_guard<std::mutex> lock(c->scratch_mu_);
+      const auto it = c->resume_.find(key);
+      if (it != c->resume_.end()) return it->second;
+    }
+    // Same barrier as CheckpointRoot(): an isolated context's own slot
+    // is visible, its ancestors' slots are not.
+    if (c->ckpt_isolated_) return std::nullopt;
   }
-  return parent_ != nullptr ? parent_->resume_payload(solver) : std::nullopt;
+  return std::nullopt;
 }
 
 void RunContext::PutScratch(const void* key, std::shared_ptr<void> value) {

@@ -120,6 +120,19 @@ class RunContext {
   void set_lenient(bool lenient) { lenient_ = lenient; }
   bool lenient() const { return lenient_; }
 
+  /// Blocks the checkpoint/resume ancestor walk at this context: solvers
+  /// running under it (or any descendant) observe no armed sink above —
+  /// CheckpointDue() stays false, EmitCheckpoint() fails — and no resume
+  /// payloads installed above. Cancellation, preemption, heartbeats and
+  /// scratch still propagate. Parallel fan-out wrappers (the sharded
+  /// pipeline) set this on their per-shard child contexts so the wrapper
+  /// is the job's single snapshot writer and an inner solver can never
+  /// restore another shard's (same-sized, size-validated) partial state
+  /// through the job-root resume slot. Set before the child runs, like
+  /// the limits above.
+  void set_checkpoint_isolated(bool isolated) { ckpt_isolated_ = isolated; }
+  bool checkpoint_isolated() const { return ckpt_isolated_; }
+
   bool has_deadline() const {
     return has_deadline_.load(std::memory_order_acquire);
   }
@@ -233,8 +246,10 @@ class RunContext {
   void SetResume(std::string solver, std::string payload);
 
   /// Resume payload for `solver`, looked up on this context then its
-  /// ancestors; nullopt when none was installed. Non-consuming (an
-  /// in-place retry re-resumes deterministically).
+  /// ancestors; nullopt when none was installed. The walk stops at a
+  /// checkpoint-isolated context (own slot still visible, ancestors
+  /// not). Non-consuming (an in-place retry re-resumes
+  /// deterministically).
   std::optional<std::string> resume_payload(std::string_view solver) const;
 
   /// Liveness counter: bumped on this context and every ancestor by each
@@ -287,6 +302,7 @@ class RunContext {
   uint64_t node_budget_ = 0;
   size_t memory_limit_ = 0;
   bool lenient_ = false;
+  bool ckpt_isolated_ = false;
 
   std::atomic<bool> cancelled_{false};
   std::atomic<bool> preempted_{false};

@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
+
+#include "algo/shard_plan.h"
 
 #include "algo/fallback.h"
 #include "algo/registry.h"
@@ -40,27 +44,37 @@ uint64_t PartitionHash(const Partition& partition) {
   return fp;
 }
 
-/// Latest-snapshot-wins in-memory sink.
+/// Records every Persist in arrival order (thread-safe, so armed
+/// parallel runs can emit into it) plus the latest payload per solver
+/// name — tests assert both on snapshot contents and on *who* emitted.
 class MemorySink : public CheckpointSink {
  public:
   Status Persist(std::string_view solver,
                  const std::string& payload) override {
-    if (solver.rfind("sharded_", 0) == 0) {
-      solver_ = std::string(solver);
-      payload_ = payload;
-      ++persists_;
-    }
+    std::lock_guard<std::mutex> lock(mu_);
+    solvers_.emplace_back(solver);
+    latest_[std::string(solver)] = payload;
     return Status::Ok();
   }
 
-  const std::string& solver() const { return solver_; }
-  const std::string& payload() const { return payload_; }
-  uint64_t persists() const { return persists_; }
+  std::vector<std::string> solvers() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return solvers_;
+  }
+  std::string latest(const std::string& solver) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = latest_.find(solver);
+    return it != latest_.end() ? it->second : std::string();
+  }
+  uint64_t persists() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return solvers_.size();
+  }
 
  private:
-  std::string solver_;
-  std::string payload_;
-  uint64_t persists_ = 0;
+  mutable std::mutex mu_;
+  std::vector<std::string> solvers_;
+  std::unordered_map<std::string, std::string> latest_;
 };
 
 Table TestTable(uint64_t rows, uint64_t seed = 11) {
@@ -204,13 +218,17 @@ TEST(ShardedAnonymizerTest, ResumesFromWrapperSnapshotBitIdentical) {
   const AnonymizationResult golden = golden_algo.Run(table, 4, &golden_ctx);
   ASSERT_TRUE(golden.completed());
   ASSERT_GE(sink.persists(), 1u);
-  EXPECT_EQ(sink.solver(), "sharded_mdav");
+  // Shard children are checkpoint-isolated, so the wrapper is the only
+  // writer the job sink ever sees — never a bare inner-solver name.
+  for (const std::string& solver : sink.solvers()) {
+    EXPECT_EQ(solver, "sharded_mdav");
+  }
 
   // A fresh incarnation resuming from that snapshot must skip the
   // completed shards and land on the bit-identical answer.
   ShardedAnonymizer resumed_algo = MakeWrapper("mdav", options);
   RunContext resumed_ctx;
-  resumed_ctx.SetResume("sharded_mdav", sink.payload());
+  resumed_ctx.SetResume("sharded_mdav", sink.latest("sharded_mdav"));
   const AnonymizationResult resumed =
       resumed_algo.Run(table, 4, &resumed_ctx);
   ASSERT_TRUE(resumed.completed());
@@ -218,6 +236,72 @@ TEST(ShardedAnonymizerTest, ResumesFromWrapperSnapshotBitIdentical) {
   EXPECT_EQ(PartitionHash(resumed.partition),
             PartitionHash(golden.partition));
   EXPECT_NE(resumed.notes.find("resumed=1"), std::string::npos);
+}
+
+TEST(ShardedAnonymizerTest, WrapperIsTheOnlySnapshotWriter) {
+  // Shard child contexts are checkpoint-isolated, so with the job root
+  // armed at the tightest cadence and real worker threads running,
+  // every persisted snapshot comes from the wrapper itself, serialized
+  // under its state mutex. An inner-solver emission here would be a
+  // concurrent, shard-local write into the job's snapshot slot — the
+  // data race this test pins down (TSan catches the racing Persist).
+  const Table table = TestTable(400, 33);
+  ShardOptions options;
+  options.shards = 4;
+  options.shard_parallelism = 4;
+  ParallelismGuard guard(4);
+  MemorySink sink;
+  ShardedAnonymizer algo = MakeWrapper("mdav", options);
+  RunContext ctx;
+  ctx.ArmCheckpoints(&sink, /*every_polls=*/1, 0.0);
+  ASSERT_TRUE(algo.Run(table, 4, &ctx).completed());
+  const std::vector<std::string> solvers = sink.solvers();
+  ASSERT_GE(solvers.size(), 1u);
+  for (const std::string& solver : solvers) {
+    EXPECT_EQ(solver, "sharded_mdav");
+  }
+}
+
+TEST(ShardedAnonymizerTest, InnerSolverNeverSeesJobRootResumePayloads) {
+  // Median-cut shards routinely share sizes, and mdav validates a
+  // resume payload only by (n, k) — so a shard-sized snapshot installed
+  // at the job root (recovered for a different shard, or from an
+  // unrelated run) passes its validation while carrying foreign
+  // geometry. The isolation barrier keeps inner solvers blind to it:
+  // the answer must stay bit-identical to a run with no resume state.
+  const Table table = TestTable(400, 33);
+  ShardOptions options;
+  options.shards = 4;
+  options.shard_parallelism = 1;
+  ShardedAnonymizer golden_algo = MakeWrapper("mdav", options);
+  RunContext golden_ctx;
+  const AnonymizationResult golden = golden_algo.Run(table, 4, &golden_ctx);
+  ASSERT_TRUE(golden.completed());
+
+  // Replan the (deterministic) cut to learn a real shard size, then
+  // capture a partial mdav snapshot from a donor table of exactly that
+  // size but different geometry.
+  RunContext plan_ctx;
+  const StatusOr<ShardPlan> plan = PlanShards(table, 4, options, &plan_ctx);
+  ASSERT_TRUE(plan.ok());
+  const size_t shard_rows = plan.value().shards[0].size();
+  MemorySink donor_sink;
+  std::unique_ptr<Anonymizer> donor = MakeAnonymizer("mdav");
+  const Table donor_table = TestTable(shard_rows, 77);
+  RunContext donor_ctx;
+  donor_ctx.ArmCheckpoints(&donor_sink, /*every_polls=*/1, 0.0);
+  ASSERT_TRUE(donor->Run(donor_table, 4, &donor_ctx).completed());
+  const std::string poison = donor_sink.latest("mdav");
+  ASSERT_FALSE(poison.empty());
+
+  ShardedAnonymizer algo = MakeWrapper("mdav", options);
+  RunContext ctx;
+  ctx.SetResume("mdav", poison);
+  const AnonymizationResult result = algo.Run(table, 4, &ctx);
+  ASSERT_TRUE(result.completed());
+  EXPECT_EQ(result.cost, golden.cost);
+  EXPECT_EQ(PartitionHash(result.partition),
+            PartitionHash(golden.partition));
 }
 
 TEST(ShardedAnonymizerTest, HostileSnapshotColdStartsInsteadOfTrusting) {
@@ -255,7 +339,7 @@ TEST(ShardedAnonymizerTest, HostileSnapshotColdStartsInsteadOfTrusting) {
   ASSERT_GE(sink.persists(), 1u);
   ShardedAnonymizer algo = MakeWrapper("mdav", options);
   RunContext ctx;
-  ctx.SetResume("sharded_mdav", sink.payload());
+  ctx.SetResume("sharded_mdav", sink.latest("sharded_mdav"));
   const AnonymizationResult result = algo.Run(table, 4, &ctx);
   ASSERT_TRUE(result.completed());
   EXPECT_EQ(result.cost, golden.cost);

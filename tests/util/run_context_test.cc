@@ -210,6 +210,40 @@ TEST(RunContextCheckpointTest, ResumePayloadIsSharedDownTheChain) {
   EXPECT_FALSE(child.resume_payload("local_search").has_value());
 }
 
+TEST(RunContextCheckpointTest, IsolationBlocksTheAncestorWalk) {
+  // A parallel fan-out wrapper (the sharded pipeline) isolates its
+  // per-shard children: solvers under the barrier see neither the armed
+  // job-root sink (no concurrent snapshot writers) nor job-root resume
+  // payloads (no cross-shard state restoration) — while cancellation
+  // and heartbeats still flow through.
+  RecordingSink sink;
+  RunContext root;
+  root.ArmCheckpoints(&sink, /*every_polls=*/1);
+  root.SetResume("mdav", "whole-table-state");
+  RunContext shard(&root);
+  shard.set_checkpoint_isolated(true);
+  RunContext inner(&shard);
+
+  EXPECT_FALSE(shard.CheckpointDue());
+  EXPECT_FALSE(inner.CheckpointDue());
+  EXPECT_FALSE(inner.EmitCheckpoint("mdav", "shard-local").ok());
+  EXPECT_EQ(sink.persists(), 0u);
+  EXPECT_FALSE(shard.resume_payload("mdav").has_value());
+  EXPECT_FALSE(inner.resume_payload("mdav").has_value());
+
+  // The barrier context's own slot and arming stay visible below it.
+  shard.SetResume("mdav", "shard-scoped");
+  ASSERT_TRUE(inner.resume_payload("mdav").has_value());
+  EXPECT_EQ(*inner.resume_payload("mdav"), "shard-scoped");
+
+  // The rest of the ancestor chain is unaffected by the barrier.
+  const uint64_t before = root.heartbeats();
+  (void)inner.ShouldStop();
+  EXPECT_EQ(root.heartbeats(), before + 1);
+  root.RequestCancel();
+  EXPECT_TRUE(inner.cancel_requested());
+}
+
 TEST(RunContextTest, HeartbeatsBumpTheWholeAncestorChain) {
   RunContext root;
   RunContext child(&root);
