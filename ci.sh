@@ -34,6 +34,16 @@ run_net_chaos() {
   rm -rf "${scratch}"
 }
 
+# Overload-control chaos (examples/chaos_overload.cpp): seeded
+# schedules drilling invariants 11-13 — valid-or-typed under forced
+# sheds/brownouts/drained retry budget, bit-identical governor replay,
+# and goodput-monotone governor simulation. Reproducibility of the
+# first seed is built into the binary. $1 = binary, $2 = base seed,
+# $3 = schedule count.
+run_overload_chaos() {
+  "$1" --chaos-seed="$2" --schedules="$3" --jobs=16 | tail -3
+}
+
 # Graceful-drain drill: SIGTERM a TCP kanond while kanon_load is
 # hammering it. The daemon must exit 0 with every admitted job
 # accounted for, and a journal restart must find *zero* pending jobs
@@ -271,6 +281,9 @@ run_chaos ./build/examples/chaos_service 1000 100
 echo "=== net chaos: 100 connection-fault schedules (default build) ==="
 run_net_chaos ./build/examples/chaos_net 1000 100
 
+echo "=== overload chaos: 100 seeded schedules (default build) ==="
+run_overload_chaos ./build/examples/chaos_overload 1000 100
+
 echo "=== tcp drain drill: SIGTERM under load loses nothing ==="
 run_tcp_drain_drill ./build/examples/kanond ./build/examples/kanon_load
 
@@ -304,6 +317,44 @@ assert run["ok"] + run["typed_errors"] + run["shed"] == run["requests"], (
 assert run["throughput_rps"] >= baseline["throughput_rps"] / 4, (
     f"TCP throughput regressed: {run['throughput_rps']:.1f} rps vs "
     f"baseline {baseline['throughput_rps']:.1f} (>4x)")
+EOF
+
+echo "=== overload goodput gate: open-loop brownout vs committed baseline ==="
+# Open-loop Poisson arrivals push the in-process service past
+# saturation while the overload plane (CoDel admission + brownout
+# ladder) defends goodput: answers delivered inside the deadline. The
+# gate is loose (4x, shared-runner noise) but catches the plane
+# silently stopping to degrade — goodput under overload collapses
+# without it. The ledger must stay clean: every launched request is
+# answered ok or typed, zero protocol errors.
+./build/examples/kanon_load --connections=16 --requests=300 \
+  --target-rps=400 --deadline-ms=500 --overload-target-ms=25 \
+  --brownout=auto --out=BENCH_overload.json >/dev/null
+python3 - <<'EOF'
+import json
+
+with open("BENCH_overload.json") as f:
+    run = json.load(f)
+with open("bench/BENCH_overload_baseline.json") as f:
+    baseline = json.load(f)
+
+print(f"offered {run['offered_rps']:.0f} rps: "
+      f"goodput {run['goodput_rps']:.1f} rps "
+      f"(baseline {baseline['goodput_rps']:.1f}), "
+      f"good {run['good']}/{run['requests']}, shed {run['shed']}, "
+      f"browned_out {run['browned_out']}, "
+      f"p99 {run['latency_ms']['p99']:.1f} ms")
+assert run["mode"] == "open_loop", "expected an open-loop run"
+assert run["protocol_errors"] == 0, "protocol errors under overload"
+assert run["transport_errors"] == 0, "transport errors under overload"
+answered = (run["ok"] + run["typed_errors"] + run["shed"]
+            + run["deadline_infeasible"])
+assert answered == run["requests"], (
+    "overload request ledger does not reconcile")
+assert run["good"] > 0, "no request finished inside its deadline"
+assert run["goodput_rps"] >= baseline["goodput_rps"] / 4, (
+    f"goodput under overload regressed: {run['goodput_rps']:.1f} rps vs "
+    f"baseline {baseline['goodput_rps']:.1f} (>4x)")
 EOF
 
 echo "=== perf smoke: tiled distance build vs scalar seed ==="
@@ -431,6 +482,10 @@ echo "=== net chaos: 100 connection-fault schedules under ASan ==="
 ASAN_OPTIONS="abort_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
   run_net_chaos ./build-asan/examples/chaos_net 2000 100
 
+echo "=== overload chaos: 100 seeded schedules under ASan ==="
+ASAN_OPTIONS="abort_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
+  run_overload_chaos ./build-asan/examples/chaos_overload 2000 100
+
 echo "=== concurrency tests under TSan ==="
 # The service stack is where threads actually interleave (queue, worker
 # pool, breakers, journal, cancellation) — run those suites plus the
@@ -439,7 +494,7 @@ cmake -B build-tsan -S . -DKANON_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j"${JOBS}"
 TSAN_OPTIONS="halt_on_error=1" \
   ctest --test-dir build-tsan --output-on-failure -j"${JOBS}" \
-    -R 'QueueTest|WorkerPoolTest|CancelRaceTest|ServerTest|ServerFuzzTest|BreakerTest|StageBreakerTest|JournalTest|JournalCheckpoint|WatchdogTest|WatchdogPoolTest|CheckpointStoreTest|FaultRegistryTest|ChaosTest|Parallel|DataPlaneEquivalenceTest|DistanceOracleTest|GroupStatsTest|PackedTableTest|TcpServerTest|NetChaosTest|FrameEnvelope|NetCodec|FrameFuzz|CoresetSamplerTest|CoresetAssignTest|CoresetAnonymizerTest|WeightedGroupStatsTest|ShardPlanTest|ShardMergeTest|ShardedAnonymizerTest'
+    -R 'QueueTest|WorkerPoolTest|CancelRaceTest|ServerTest|ServerFuzzTest|BreakerTest|StageBreakerTest|JournalTest|JournalCheckpoint|WatchdogTest|WatchdogPoolTest|CheckpointStoreTest|FaultRegistryTest|ChaosTest|Parallel|DataPlaneEquivalenceTest|DistanceOracleTest|GroupStatsTest|PackedTableTest|TcpServerTest|NetChaosTest|FrameEnvelope|NetCodec|FrameFuzz|CoresetSamplerTest|CoresetAssignTest|CoresetAnonymizerTest|WeightedGroupStatsTest|ShardPlanTest|ShardMergeTest|ShardedAnonymizerTest|SolveTimeEstimatorTest|CoDelAdmissionTest|RetryBudgetTest|HealthGovernorTest|OverloadControlTest|OverloadIntegrationTest'
 
 echo "=== chaos: 100 seeded schedules under TSan ==="
 TSAN_OPTIONS="halt_on_error=1" \
@@ -448,5 +503,9 @@ TSAN_OPTIONS="halt_on_error=1" \
 echo "=== net chaos: 100 connection-fault schedules under TSan ==="
 TSAN_OPTIONS="halt_on_error=1" \
   run_net_chaos ./build-tsan/examples/chaos_net 3000 100
+
+echo "=== overload chaos: 100 seeded schedules under TSan ==="
+TSAN_OPTIONS="halt_on_error=1" \
+  run_overload_chaos ./build-tsan/examples/chaos_overload 3000 100
 
 echo "=== ci.sh: all green ==="

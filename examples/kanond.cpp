@@ -11,7 +11,9 @@
 //            [--checkpoint-every=N] [--checkpoint-ms=F]
 //            [--watchdog-ms=F] [--faults=SPEC] [--once]
 //            [--tcp-port=N] [--tcp-max-conns=N] [--tcp-idle-ms=F]
-//            [--tcp-drain-ms=F] [--help] [--version]
+//            [--tcp-drain-ms=F] [--overload-target-ms=F]
+//            [--retry-budget-ratio=F] [--brownout=off|auto]
+//            [--help] [--version]
 //
 //   --once suppresses the interactive banner: batch mode for piped
 //   scripts (the serving loop itself is identical — read lines until
@@ -44,6 +46,20 @@
 //   --watchdog-ms=F arms the stall watchdog: a job whose progress
 //   counters flat-line for F milliseconds is preempted and answered
 //   with the typed watchdog_preempted error.
+//
+//   --overload-target-ms=F arms the adaptive overload-control plane
+//   (service/overload/overload.h) with F as the CoDel queue-delay
+//   target: sustained delay above the target sheds arrivals with the
+//   typed shed_overload error, jobs whose deadline cannot fit even the
+//   optimistic solve estimate are rejected deadline_infeasible at
+//   dispatch, and worker retries draw from a pool-wide budget
+//   (--retry-budget-ratio=F, tokens refilled as a fraction of
+//   successes, default 0.1). --brownout=auto (the default once the
+//   plane is armed) additionally lets the health governor rewrite
+//   admissible jobs to cheaper sharded/coreset backends under
+//   pressure; --brownout=off keeps admission control without
+//   degradation. Responses carry `effective=`/`brownout=` when a job
+//   was degraded; `stats` reports the overload_* counters and level.
 //
 //   --version prints build provenance (git hash, build type,
 //   sanitizer) and exits; the same token rides in every stats reply.
@@ -94,7 +110,9 @@ constexpr char kUsage[] =
     "              [--checkpoint-every=N] [--checkpoint-ms=F]\n"
     "              [--watchdog-ms=F] [--faults=SPEC] [--once]\n"
     "              [--tcp-port=N] [--tcp-max-conns=N] [--tcp-idle-ms=F]\n"
-    "              [--tcp-drain-ms=F] [--help] [--version]\n";
+    "              [--tcp-drain-ms=F] [--overload-target-ms=F]\n"
+    "              [--retry-budget-ratio=F] [--brownout=off|auto]\n"
+    "              [--help] [--version]\n";
 
 }  // namespace
 
@@ -109,7 +127,8 @@ int main(int argc, char** argv) {
       "workers", "queue-capacity", "cache-capacity", "journal",
       "checkpoint-dir", "checkpoint-every", "checkpoint-ms",
       "watchdog-ms", "faults", "once", "tcp-port", "tcp-max-conns",
-      "tcp-idle-ms", "tcp-drain-ms", "help", "version",
+      "tcp-idle-ms", "tcp-drain-ms", "overload-target-ms",
+      "retry-budget-ratio", "brownout", "help", "version",
   });
   if (!unknown.empty()) {
     for (const std::string& flag : unknown) {
@@ -161,6 +180,33 @@ int main(int argc, char** argv) {
     std::cerr << "error: --checkpoint-ms and --watchdog-ms must be >= 0 "
                  "(0 disarms)\n";
     return 1;
+  }
+
+  // Overload plane: --overload-target-ms (or an explicit --brownout)
+  // arms it; --brownout=off keeps admission control but pins the
+  // governor so no job is ever rewritten.
+  const std::string brownout = cl.GetString("brownout", "");
+  if (!brownout.empty() && brownout != "off" && brownout != "auto") {
+    std::cerr << "error: --brownout must be off or auto\n";
+    return 1;
+  }
+  const double overload_target = cl.GetDouble("overload-target-ms", 0.0);
+  const double retry_ratio = cl.GetDouble("retry-budget-ratio", 0.1);
+  if (overload_target < 0.0) {
+    std::cerr << "error: --overload-target-ms must be >= 0 (0 disarms)\n";
+    return 1;
+  }
+  if (retry_ratio < 0.0 || retry_ratio > 1.0) {
+    std::cerr << "error: --retry-budget-ratio must be in [0, 1]\n";
+    return 1;
+  }
+  if (overload_target > 0.0 || !brownout.empty()) {
+    options.overload_enabled = true;
+    if (overload_target > 0.0) {
+      options.overload.codel.target_ms = overload_target;
+    }
+    options.overload.retry_budget.ratio = retry_ratio;
+    options.overload.governor_enabled = brownout != "off";
   }
 
   const std::string fault_spec = cl.GetString("faults", "");
@@ -290,6 +336,11 @@ int main(int argc, char** argv) {
                       ? ""
                       : ", checkpoints=" + checkpoint_dir)
               << (options.watchdog_stall_ms > 0.0 ? ", watchdog=on" : "")
+              << (options.overload_enabled
+                      ? (options.overload.governor_enabled
+                             ? ", overload=on brownout=auto"
+                             : ", overload=on brownout=off")
+                      : "")
               << "); verbs: anonymize stats shutdown\n";
   }
   const size_t served = ServeLines(service, std::cin, std::cout);

@@ -193,6 +193,8 @@ std::string EncodeNetResponse(const NetResponse& response) {
     w.PutDouble(response.queue_ms);
     w.PutDouble(response.run_ms);
     w.PutBytes(response.csv);
+    w.PutBytes(response.effective_algorithm);
+    w.PutU32(response.brownout);
   } else if (response.ok() && response.verb == NetVerb::kStats) {
     w.PutBytes(response.stats_line);
   }
@@ -228,6 +230,8 @@ StatusOr<NetResponse> DecodeNetResponse(std::string_view body) {
     resp.queue_ms = r.GetDouble();
     resp.run_ms = r.GetDouble();
     resp.csv = std::string(r.GetBytes());
+    resp.effective_algorithm = std::string(r.GetBytes());
+    resp.brownout = r.GetU32();
   } else if (resp.ok() && resp.verb == NetVerb::kStats) {
     resp.stats_line = std::string(r.GetBytes());
   }
@@ -261,6 +265,8 @@ NetResponse MakeNetResponse(NetVerb verb, uint64_t client_seq,
   out.queue_ms = response.queue_ms;
   out.run_ms = response.run_ms;
   out.csv = response.anonymized_csv;
+  out.effective_algorithm = response.effective_algorithm;
+  out.brownout = uint32_t(response.brownout);
   return out;
 }
 

@@ -48,7 +48,9 @@
 /// (len-prefixed), then for a successful kAnonymize: k u64, rows u64,
 /// cost u64, stage bytes, chain bytes, termination u32 (StopReason),
 /// flags u32 (bit0 = cache_hit), queue_ms double, run_ms double, csv
-/// bytes. A successful kStats carries the stats key=value line as one
+/// bytes, effective backend bytes (empty when the brownout ladder left
+/// the request untouched), brownout level u32 (0 = full fidelity).
+/// A successful kStats carries the stats key=value line as one
 /// len-prefixed payload (same text as the line protocol, one source of
 /// truth for the counter names).
 
@@ -137,6 +139,11 @@ struct NetResponse {
   double queue_ms = 0.0;
   double run_ms = 0.0;
   std::string csv;
+  /// Backend that actually produced the answer when the brownout ladder
+  /// rewrote the job; empty = the requested backend ran untouched.
+  std::string effective_algorithm;
+  /// Brownout level the job executed under (0 green / full fidelity).
+  uint32_t brownout = 0;
   // kStats success payload.
   std::string stats_line;
 

@@ -1,0 +1,53 @@
+#include "service/overload/codel.h"
+
+#include <cmath>
+
+namespace kanon {
+
+CoDelAdmission::CoDelAdmission(CoDelOptions options) : options_(options) {}
+
+void CoDelAdmission::OnSojourn(double sojourn_ms, double now_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sojourn_ms < options_.target_ms) {
+    // One good dequeue ends the episode: the standing backlog drained.
+    first_above_ms_ = 0.0;
+    shedding_ = false;
+    return;
+  }
+  if (first_above_ms_ == 0.0) {
+    first_above_ms_ = now_ms + options_.interval_ms;
+    return;
+  }
+  if (!shedding_ && now_ms >= first_above_ms_) {
+    // The minimum sojourn stayed above target for a whole interval:
+    // depth-based admission is not going to fix this — start shedding.
+    shedding_ = true;
+    ++shed_windows_;
+    count_ = 0;
+    shed_next_ms_ = now_ms;
+  }
+}
+
+bool CoDelAdmission::ShouldShed(double now_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!shedding_) return false;
+  if (now_ms < shed_next_ms_) return false;
+  ++count_;
+  ++sheds_;
+  // CoDel's control law: shed more often the longer the overload holds,
+  // closing in on the rate that actually balances the offered load.
+  shed_next_ms_ =
+      now_ms + options_.interval_ms / std::sqrt(static_cast<double>(count_));
+  return true;
+}
+
+CoDelAdmission::Snapshot CoDelAdmission::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot snap;
+  snap.shedding = shedding_;
+  snap.sheds = sheds_;
+  snap.shed_windows = shed_windows_;
+  return snap;
+}
+
+}  // namespace kanon

@@ -1,0 +1,75 @@
+#ifndef KANON_SERVICE_OVERLOAD_CODEL_H_
+#define KANON_SERVICE_OVERLOAD_CODEL_H_
+
+#include <cstdint>
+#include <mutex>
+
+/// \file
+/// CoDel-style queue-delay admission control.
+///
+/// The fixed occupancy bar sheds on queue *depth*, which conflates "many
+/// cheap jobs" with "few expensive ones". What clients actually feel is
+/// queue *delay* — so, following CoDel (Nichols & Jacobson), the signal
+/// here is the sojourn time of dequeued jobs: when the minimum sojourn
+/// observed over a full interval stays above the target, the queue has a
+/// *standing* backlog that depth-based admission would let persist at
+/// whatever the capacity allows. The controller then sheds arriving work
+/// on an increasing-frequency schedule (interval / sqrt(n), the same
+/// control law CoDel uses to find the drop rate that matches the load)
+/// until a dequeue again sees sojourn below target.
+///
+/// Time is an explicit parameter everywhere (milliseconds on any
+/// monotonic axis): production feeds a steady clock, the chaos harness
+/// feeds virtual time, making every decision a pure function of the
+/// call sequence — replayable from a seed.
+
+namespace kanon {
+
+struct CoDelOptions {
+  /// Acceptable standing queue delay. Sojourns persistently above this
+  /// for `interval_ms` put the controller in the shedding state.
+  double target_ms = 20.0;
+  /// Sliding window over which the *minimum* sojourn must exceed the
+  /// target before shedding starts; also the base of the shedding
+  /// schedule.
+  double interval_ms = 100.0;
+};
+
+class CoDelAdmission {
+ public:
+  struct Snapshot {
+    bool shedding = false;
+    /// Admissions refused while in the shedding state.
+    uint64_t sheds = 0;
+    /// Times the controller entered the shedding state.
+    uint64_t shed_windows = 0;
+  };
+
+  explicit CoDelAdmission(CoDelOptions options = {});
+
+  /// Feed one dequeue observation: the popped job waited `sojourn_ms`.
+  void OnSojourn(double sojourn_ms, double now_ms);
+
+  /// Admission-side check: true means shed this arrival (typed
+  /// shed_overload). Advances the shedding schedule on each shed.
+  bool ShouldShed(double now_ms);
+
+  Snapshot snapshot() const;
+
+ private:
+  const CoDelOptions options_;
+  mutable std::mutex mu_;
+  /// Time at which a persistently-above-target sojourn stream flips the
+  /// controller into shedding (0 = sojourn not currently above target).
+  double first_above_ms_ = 0.0;
+  bool shedding_ = false;
+  /// Sheds within the current shedding state (drives the schedule).
+  uint64_t count_ = 0;
+  double shed_next_ms_ = 0.0;
+  uint64_t sheds_ = 0;
+  uint64_t shed_windows_ = 0;
+};
+
+}  // namespace kanon
+
+#endif  // KANON_SERVICE_OVERLOAD_CODEL_H_

@@ -1,0 +1,76 @@
+#include "service/overload/estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace kanon {
+
+SolveTimeEstimator::SolveTimeEstimator(EstimatorOptions options)
+    : options_(options) {}
+
+int SolveTimeEstimator::BucketFor(double ms) {
+  if (!(ms > 1.0)) return 0;  // NaN and everything <= 1ms land in 0
+  int bucket = 0;
+  double edge = 1.0;
+  while (bucket < kBuckets - 1 && ms > edge) {
+    edge *= 2.0;
+    ++bucket;
+  }
+  return bucket;
+}
+
+void SolveTimeEstimator::Record(const std::string& backend, double ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Histogram& hist = histograms_[backend];
+  ++hist.counts[static_cast<size_t>(BucketFor(ms))];
+  ++hist.total;
+  if (++hist.since_decay >= options_.decay_window &&
+      options_.decay_window > 0) {
+    hist.since_decay = 0;
+    hist.total = 0;
+    for (uint64_t& count : hist.counts) {
+      count /= 2;
+      hist.total += count;
+    }
+  }
+}
+
+double SolveTimeEstimator::QuantileMillis(const std::string& backend,
+                                          double q) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = histograms_.find(backend);
+  if (it == histograms_.end() || it->second.total == 0) return 0.0;
+  const Histogram& hist = it->second;
+  const double clamped = std::clamp(q, 0.0, 1.0);
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(
+             std::ceil(clamped * static_cast<double>(hist.total))));
+  uint64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += hist.counts[static_cast<size_t>(b)];
+    if (seen >= rank) return std::ldexp(1.0, b);  // upper edge 2^b
+  }
+  return std::ldexp(1.0, kBuckets - 1);
+}
+
+double SolveTimeEstimator::OptimisticMillis(const std::string& backend) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = histograms_.find(backend);
+  if (it == histograms_.end() || it->second.total == 0) return 0.0;
+  const Histogram& hist = it->second;
+  for (int b = 0; b < kBuckets; ++b) {
+    if (hist.counts[static_cast<size_t>(b)] > 0) {
+      // Lower edge: bucket 0 starts at 0 (=> "no opinion" for callers).
+      return b == 0 ? 0.0 : std::ldexp(1.0, b - 1);
+    }
+  }
+  return 0.0;
+}
+
+uint64_t SolveTimeEstimator::Observations(const std::string& backend) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = histograms_.find(backend);
+  return it == histograms_.end() ? 0 : it->second.total;
+}
+
+}  // namespace kanon

@@ -1,0 +1,74 @@
+#ifndef KANON_SERVICE_OVERLOAD_ESTIMATOR_H_
+#define KANON_SERVICE_OVERLOAD_ESTIMATOR_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+/// \file
+/// Per-backend solve-time estimator backed by decaying histograms.
+///
+/// Deadline reconciliation needs an answer to "how long does backend X
+/// usually take?" that (a) adapts as the workload shifts, (b) never
+/// blocks the dispatch path, and (c) errs on the *optimistic* side — an
+/// estimate that is too high would reject jobs that could have finished,
+/// which would break the goodput-monotonicity invariant the overload
+/// plane promises. Each backend gets a small log2-bucketed histogram of
+/// observed run times; every `decay_window` observations all counts are
+/// halved, so the distribution tracks the recent past with O(1) memory
+/// and no timestamps (which keeps it usable under virtual time in the
+/// chaos harness).
+
+namespace kanon {
+
+struct EstimatorOptions {
+  /// Observations per backend between halvings of its bucket counts.
+  uint64_t decay_window = 256;
+};
+
+/// Thread-safe. Quantile queries on a backend with no observations
+/// return 0, which callers must treat as "no opinion" (never reject).
+class SolveTimeEstimator {
+ public:
+  explicit SolveTimeEstimator(EstimatorOptions options = {});
+
+  /// Records one completed solve of `backend` taking `ms` milliseconds.
+  void Record(const std::string& backend, double ms);
+
+  /// The upper edge of the bucket holding quantile `q` (in [0, 1]) of
+  /// the decayed observations; 0 when the backend has none.
+  double QuantileMillis(const std::string& backend, double q) const;
+
+  /// The *lower* edge of the fastest non-empty bucket — the most
+  /// optimistic defensible estimate. A job is declared infeasible only
+  /// when even this cannot fit its remaining deadline budget, so the
+  /// reconciliation path only ever rejects clearly-doomed work. 0 when
+  /// the backend has no observations (or its fastest observation was
+  /// sub-millisecond, where rejection would be absurd anyway).
+  double OptimisticMillis(const std::string& backend) const;
+
+  /// Total decayed observations for `backend` (0 = never seen).
+  uint64_t Observations(const std::string& backend) const;
+
+ private:
+  /// Bucket b >= 1 covers (2^(b-1), 2^b] ms; bucket 0 covers [0, 1] ms.
+  static constexpr int kBuckets = 32;
+
+  struct Histogram {
+    std::array<uint64_t, kBuckets> counts{};
+    uint64_t total = 0;
+    uint64_t since_decay = 0;
+  };
+
+  static int BucketFor(double ms);
+
+  const EstimatorOptions options_;
+  mutable std::mutex mu_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace kanon
+
+#endif  // KANON_SERVICE_OVERLOAD_ESTIMATOR_H_

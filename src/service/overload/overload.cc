@@ -1,0 +1,120 @@
+#include "service/overload/overload.h"
+
+#include <chrono>
+
+#include "fault/fault.h"
+
+namespace kanon {
+
+OverloadControl::OverloadControl(OverloadOptions options)
+    : options_(options),
+      estimator_(options.estimator),
+      codel_(options.codel),
+      retry_budget_(options.retry_budget),
+      governor_(options.governor) {}
+
+double OverloadControl::SteadyNowMillis() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+bool OverloadControl::ShouldShed(double now_ms) {
+  // The injected shed fires regardless of CoDel state so a chaos plan
+  // can exercise the typed rejection deterministically.
+  if (KANON_FAULT_POINT("overload.shed")) {
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  if (codel_.ShouldShed(now_ms)) {
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+void OverloadControl::OnDequeue(double sojourn_ms, double now_ms,
+                                int open_breakers) {
+  codel_.OnSojourn(sojourn_ms, now_ms);
+  if (!options_.governor_enabled) return;
+  GovernorSignals signals;
+  signals.queue_delay_ms = sojourn_ms;
+  signals.open_breakers = open_breakers;
+  // Consume one tick of any standing memory latch.
+  int latch = memory_latch_.load(std::memory_order_relaxed);
+  while (latch > 0 && !memory_latch_.compare_exchange_weak(
+                          latch, latch - 1, std::memory_order_relaxed)) {
+  }
+  signals.memory_latched = latch > 0;
+  governor_.Update(signals);
+}
+
+bool OverloadControl::DeadlineInfeasible(const std::string& backend,
+                                         double remaining_ms) {
+  if (remaining_ms < 0.0) {
+    // Already past the deadline: any solve work is wasted.
+    deadline_infeasible_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  const double optimistic = estimator_.OptimisticMillis(backend);
+  if (optimistic > 0.0 && remaining_ms < optimistic) {
+    deadline_infeasible_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+RewriteDecision OverloadControl::MaybeRewrite(
+    uint64_t job_id, const std::string& algorithm,
+    double requested_coreset_rate) {
+  if (!options_.governor_enabled) return RewriteDecision{};
+  // An injected brownout forces at least one rung of degradation even
+  // when the governor is green — the chaos harness uses it to exercise
+  // the rewrite path on a deterministic schedule.
+  const BrownoutLevel force = KANON_FAULT_POINT("overload.brownout")
+                                  ? BrownoutLevel::kYellow
+                                  : BrownoutLevel::kGreen;
+  RewriteDecision decision =
+      governor_.Decide(job_id, algorithm, requested_coreset_rate, force);
+  if (decision.rewritten) {
+    brownouts_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return decision;
+}
+
+bool OverloadControl::AllowRetry() {
+  if (retry_budget_.TryWithdraw()) return true;
+  retry_denied_.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+void OverloadControl::RecordOutcome(const std::string& backend,
+                                    double run_ms, bool ok,
+                                    StopReason termination,
+                                    bool cache_hit) {
+  if (ok) retry_budget_.OnSuccess();
+  if (termination == StopReason::kBudget) {
+    memory_latch_.store(options_.memory_latch_updates,
+                        std::memory_order_relaxed);
+  }
+  if (!cache_hit && ok) estimator_.Record(backend, run_ms);
+}
+
+OverloadCounters OverloadControl::counters() const {
+  OverloadCounters counters;
+  counters.shed = shed_.load(std::memory_order_relaxed);
+  counters.deadline_infeasible =
+      deadline_infeasible_.load(std::memory_order_relaxed);
+  counters.brownouts = brownouts_.load(std::memory_order_relaxed);
+  counters.retry_denied = retry_denied_.load(std::memory_order_relaxed);
+  const HealthGovernor::Snapshot governor = governor_.snapshot();
+  counters.transitions = governor.transitions;
+  counters.level = governor.level;
+  counters.shed_windows = codel_.snapshot().shed_windows;
+  counters.retry_tokens = retry_budget_.snapshot().tokens;
+  return counters;
+}
+
+BrownoutLevel OverloadControl::level() const { return governor_.level(); }
+
+}  // namespace kanon

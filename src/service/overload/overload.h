@@ -1,0 +1,135 @@
+#ifndef KANON_SERVICE_OVERLOAD_OVERLOAD_H_
+#define KANON_SERVICE_OVERLOAD_OVERLOAD_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "service/overload/codel.h"
+#include "service/overload/estimator.h"
+#include "service/overload/governor.h"
+#include "service/overload/retry_budget.h"
+#include "util/run_context.h"
+
+/// \file
+/// The adaptive overload-control plane, threaded from the TCP front end
+/// down to RunContext. One OverloadControl instance per service wires
+/// four coordinated mechanisms:
+///
+///   * **CoDel admission** (service/overload/codel.h): the queue asks
+///     ShouldShed() at Submit; the worker feeds dequeue sojourns back.
+///     Sustained above-target queue delay sheds arrivals with the typed
+///     `shed_overload` error on an increasing-frequency schedule.
+///   * **Deadline reconciliation** (service/overload/estimator.h): at
+///     dispatch, a job whose remaining deadline budget cannot fit even
+///     the *optimistic* solve-time estimate for its backend is answered
+///     `deadline_infeasible` before any solve work burns a worker.
+///   * **Retry budget** (service/overload/retry_budget.h): pool-wide
+///     token bucket refilled by successes; exhaustion degrades faulted
+///     jobs to the terminal stage instead of amplifying load.
+///   * **Brownout ladder** (service/overload/governor.h): green/yellow/
+///     red state machine rewriting admissible jobs to cheaper backends;
+///     the rewrite lands in the request *before* execution, so the
+///     result cache keys on the effective backend + knobs and a
+///     browned-out result can never answer a full-fidelity request.
+///
+/// Fault sites `overload.shed` and `overload.brownout` force the shed /
+/// rewrite paths deterministically under a chaos plan. Time is always an
+/// explicit now_ms parameter (SteadyNowMillis() in production, virtual
+/// time in the chaos harness), so every decision the plane makes is
+/// replayable from a seed.
+
+namespace kanon {
+
+struct OverloadOptions {
+  /// Master switch for the brownout governor ("--brownout=off|auto").
+  /// CoDel admission, deadline reconciliation and the retry budget are
+  /// active whenever an OverloadControl exists.
+  bool governor_enabled = true;
+  CoDelOptions codel;
+  EstimatorOptions estimator;
+  RetryBudgetOptions retry_budget;
+  GovernorOptions governor;
+  /// Dequeue observations a budget-trip latch keeps signalling red
+  /// pressure for after the latching job completed.
+  int memory_latch_updates = 16;
+};
+
+struct OverloadCounters {
+  uint64_t shed = 0;
+  uint64_t deadline_infeasible = 0;
+  /// Jobs rewritten to a cheaper backend.
+  uint64_t brownouts = 0;
+  /// Governor level transitions.
+  uint64_t transitions = 0;
+  /// Retries refused by the pool-wide budget.
+  uint64_t retry_denied = 0;
+  /// Shedding-state entries of the CoDel controller.
+  uint64_t shed_windows = 0;
+  BrownoutLevel level = BrownoutLevel::kGreen;
+  double retry_tokens = 0.0;
+};
+
+class OverloadControl {
+ public:
+  explicit OverloadControl(OverloadOptions options = {});
+
+  OverloadControl(const OverloadControl&) = delete;
+  OverloadControl& operator=(const OverloadControl&) = delete;
+
+  /// Milliseconds on the process steady clock (production time source).
+  static double SteadyNowMillis();
+
+  /// Queue admission consult: true = reject this arrival with the typed
+  /// shed_overload error. Consults the `overload.shed` fault site first
+  /// (a forced shed under a chaos plan), then the CoDel controller.
+  bool ShouldShed(double now_ms);
+
+  /// Worker-side dequeue report: `sojourn_ms` is the popped job's queue
+  /// wait, `open_breakers` the current count of open stage breakers.
+  /// Feeds both the CoDel controller and the governor.
+  void OnDequeue(double sojourn_ms, double now_ms, int open_breakers);
+
+  /// Deadline reconciliation: true = the job cannot finish inside
+  /// `remaining_ms` even optimistically and must be rejected typed.
+  /// Never true for jobs without a deadline (`remaining_ms` < 0 means
+  /// the deadline already passed — always infeasible).
+  bool DeadlineInfeasible(const std::string& backend, double remaining_ms);
+
+  /// Brownout consult for one admissible job. The `overload.brownout`
+  /// fault site forces at least a yellow-level decision; otherwise the
+  /// governor's current level applies. Counts rewrites.
+  RewriteDecision MaybeRewrite(uint64_t job_id, const std::string& algorithm,
+                               double requested_coreset_rate);
+
+  /// Pool-wide retry consult: false = budget exhausted, degrade instead.
+  bool AllowRetry();
+
+  /// Outcome report: feeds the estimator (skipped for cache hits, whose
+  /// near-zero times would poison the optimistic bound), refills the
+  /// retry budget on success, and latches the resource-pressure signal
+  /// when the job tripped its node budget (kBudget termination).
+  void RecordOutcome(const std::string& backend, double run_ms, bool ok,
+                     StopReason termination, bool cache_hit);
+
+  OverloadCounters counters() const;
+  BrownoutLevel level() const;
+  const SolveTimeEstimator& estimator() const { return estimator_; }
+  bool governor_enabled() const { return options_.governor_enabled; }
+
+ private:
+  const OverloadOptions options_;
+  SolveTimeEstimator estimator_;
+  CoDelAdmission codel_;
+  RetryBudget retry_budget_;
+  HealthGovernor governor_;
+  std::atomic<int> memory_latch_{0};
+  std::atomic<uint64_t> shed_{0};
+  std::atomic<uint64_t> deadline_infeasible_{0};
+  std::atomic<uint64_t> brownouts_{0};
+  std::atomic<uint64_t> retry_denied_{0};
+};
+
+}  // namespace kanon
+
+#endif  // KANON_SERVICE_OVERLOAD_OVERLOAD_H_

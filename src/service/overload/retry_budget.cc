@@ -1,0 +1,36 @@
+#include "service/overload/retry_budget.h"
+
+#include <algorithm>
+
+namespace kanon {
+
+RetryBudget::RetryBudget(RetryBudgetOptions options)
+    : options_(options),
+      tokens_(std::min(options.initial, options.cap)) {}
+
+bool RetryBudget::TryWithdraw() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tokens_ < 1.0) {
+    ++denied_;
+    return false;
+  }
+  tokens_ -= 1.0;
+  ++granted_;
+  return true;
+}
+
+void RetryBudget::OnSuccess() {
+  std::lock_guard<std::mutex> lock(mu_);
+  tokens_ = std::min(options_.cap, tokens_ + options_.ratio);
+}
+
+RetryBudget::Snapshot RetryBudget::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot snap;
+  snap.tokens = tokens_;
+  snap.granted = granted_;
+  snap.denied = denied_;
+  return snap;
+}
+
+}  // namespace kanon

@@ -1,0 +1,60 @@
+#ifndef KANON_SERVICE_OVERLOAD_RETRY_BUDGET_H_
+#define KANON_SERVICE_OVERLOAD_RETRY_BUDGET_H_
+
+#include <cstdint>
+#include <mutex>
+
+/// \file
+/// Pool-wide retry budget (token bucket refilled by successes).
+///
+/// Per-job retry policies are individually reasonable and collectively
+/// ruinous: during a fault storm every job retries, multiplying the very
+/// load that caused the faults. The budget makes retries proportional to
+/// *successful* work — each success refills `ratio` tokens, each retry
+/// withdraws one — so in steady state retries are capped at `ratio` of
+/// the success throughput, and during a storm the bucket drains and
+/// further failures degrade straight to the terminal stage (a valid,
+/// cheap answer) instead of amplifying.
+
+namespace kanon {
+
+struct RetryBudgetOptions {
+  /// Tokens refilled per successful job (0.1 = retries may consume up to
+  /// 10% of success throughput in steady state).
+  double ratio = 0.1;
+  /// Tokens available before any success (lets a cold pool retry at all).
+  double initial = 8.0;
+  /// Bucket cap: quiet periods cannot bank unlimited retry credit.
+  double cap = 64.0;
+};
+
+class RetryBudget {
+ public:
+  struct Snapshot {
+    double tokens = 0.0;
+    uint64_t granted = 0;
+    uint64_t denied = 0;
+  };
+
+  explicit RetryBudget(RetryBudgetOptions options = {});
+
+  /// Takes one token if a whole one is available; false = budget
+  /// exhausted, the caller must not retry.
+  bool TryWithdraw();
+
+  /// Refills `ratio` tokens (capped) after a successfully answered job.
+  void OnSuccess();
+
+  Snapshot snapshot() const;
+
+ private:
+  const RetryBudgetOptions options_;
+  mutable std::mutex mu_;
+  double tokens_;
+  uint64_t granted_ = 0;
+  uint64_t denied_ = 0;
+};
+
+}  // namespace kanon
+
+#endif  // KANON_SERVICE_OVERLOAD_RETRY_BUDGET_H_

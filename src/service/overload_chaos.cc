@@ -1,0 +1,573 @@
+#include "service/overload_chaos.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "data/csv_table.h"
+#include "data/generators/uniform.h"
+#include "fault/fault.h"
+#include "service/overload/overload.h"
+#include "service/queue.h"
+#include "service/worker_pool.h"
+#include "util/fingerprint.h"
+#include "util/parallel.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace kanon {
+
+namespace {
+
+/// Invariant 11's validity predicate (same as service/chaos.h's
+/// invariant 1): every distinct output row appears at least k times.
+bool OutputIsKAnonymous(const std::string& csv, size_t k,
+                        std::string* why) {
+  std::istringstream in(csv);
+  std::string line;
+  if (!std::getline(in, line)) {
+    *why = "empty output CSV";
+    return false;
+  }
+  std::unordered_map<std::string, size_t> counts;
+  while (std::getline(in, line)) {
+    if (!Trim(line).empty()) ++counts[line];
+  }
+  for (const auto& [row, count] : counts) {
+    if (count < k) {
+      *why = "output row '" + row + "' appears " + std::to_string(count) +
+             " < k=" + std::to_string(k) + " times";
+      return false;
+    }
+  }
+  return true;
+}
+
+uint64_t FoldDouble(uint64_t fp, double value) {
+  return FingerprintInt(
+      fp, static_cast<uint64_t>(std::llround(value * 1e6)));
+}
+
+uint64_t FoldDecision(uint64_t fp, const RewriteDecision& decision) {
+  fp = FingerprintInt(fp, static_cast<uint64_t>(decision.level));
+  fp = FingerprintInt(fp, decision.rewritten ? 1 : 0);
+  fp = FingerprintPiece(fp, decision.effective);
+  fp = FoldDouble(fp, decision.coreset_rate);
+  return fp;
+}
+
+// ---------------------------------------------------------------------
+// Leg A — invariant 12: brownout decisions replay bit-identically.
+// ---------------------------------------------------------------------
+
+void RunGovernorReplayLeg(const OverloadChaosOptions& options,
+                          OverloadChaosReport* report, uint64_t* fp) {
+  Rng rng(options.seed, /*stream=*/0x6f76676f76ull);  // "ovgov"
+  GovernorOptions gov;
+  // Half the schedules sample the per-job apply hash (the only place
+  // the seed enters a decision); the rest rewrite every eligible job.
+  gov.apply_fraction = rng.Bernoulli(0.5) ? 0.5 : 1.0;
+  gov.seed = options.seed ^ 0x6272776eull;
+  HealthGovernor first(gov);
+  HealthGovernor second(gov);
+
+  static const char* const kAlgos[] = {
+      "mdav",         "exact_dp",     "branch_bound", "cluster_greedy",
+      "ball_cover",   "sharded_mdav", "coreset_mdav", "mdav+annealing",
+      "resilient",    "suppress_all",
+  };
+  constexpr size_t kNumAlgos = sizeof(kAlgos) / sizeof(kAlgos[0]);
+
+  // Delay random walk with occasional bursts, so the ladder climbs,
+  // escalates under sustained red, and descends again.
+  double delay_ms = 5.0;
+  for (size_t i = 0; i < options.governor_signals; ++i) {
+    if (rng.Bernoulli(0.08)) {
+      delay_ms = rng.UniformDouble() * 400.0;
+    } else {
+      delay_ms =
+          std::max(0.0, delay_ms + (rng.UniformDouble() - 0.5) * 60.0);
+    }
+    GovernorSignals signals;
+    signals.queue_delay_ms = delay_ms;
+    signals.open_breakers = rng.Bernoulli(0.1) ? rng.UniformInt(1, 3) : 0;
+    signals.memory_latched = rng.Bernoulli(0.03);
+
+    const BrownoutLevel level_a = first.Update(signals);
+    const BrownoutLevel level_b = second.Update(signals);
+    const uint64_t job_id = rng.Next();
+    const std::string algorithm = kAlgos[rng.Uniform(kNumAlgos)];
+    const double rate = rng.Bernoulli(0.2) ? 0.3 : 0.0;
+    const RewriteDecision a = first.Decide(job_id, algorithm, rate);
+    const RewriteDecision b = second.Decide(job_id, algorithm, rate);
+    ++report->decisions_checked;
+    if (level_a != level_b || a.level != b.level ||
+        a.rewritten != b.rewritten || a.effective != b.effective ||
+        a.coreset_rate != b.coreset_rate) {
+      report->violations.push_back(
+          "invariant 12: governor replay diverged at observation " +
+          std::to_string(i) + " (" +
+          std::string(BrownoutLevelName(level_a)) + " vs " +
+          BrownoutLevelName(level_b) + ", effective '" + a.effective +
+          "' vs '" + b.effective + "')");
+    }
+    *fp = FingerprintInt(*fp, static_cast<uint64_t>(level_a));
+    *fp = FoldDecision(*fp, a);
+  }
+  const HealthGovernor::Snapshot snap_a = first.snapshot();
+  const HealthGovernor::Snapshot snap_b = second.snapshot();
+  if (snap_a.transitions != snap_b.transitions ||
+      snap_a.red_epochs != snap_b.red_epochs ||
+      snap_a.level != snap_b.level) {
+    report->violations.push_back(
+        "invariant 12: governor replay end-states diverged (" +
+        std::to_string(snap_a.transitions) + "/" +
+        std::to_string(snap_a.red_epochs) + " vs " +
+        std::to_string(snap_b.transitions) + "/" +
+        std::to_string(snap_b.red_epochs) + ")");
+  }
+  report->governor_transitions = snap_a.transitions;
+  *fp = FingerprintInt(*fp, snap_a.transitions);
+  *fp = FingerprintInt(*fp, snap_a.red_epochs);
+}
+
+// ---------------------------------------------------------------------
+// Leg B — invariant 13: goodput monotonically no worse governor-on.
+// ---------------------------------------------------------------------
+
+/// One virtual-time arrival. Service costs are a deterministic function
+/// of the backend *tier* alone — unit job size, so the estimator's
+/// optimistic bound (the lower bucket edge) is provably below every
+/// actual cost and deadline reconciliation can only reject doomed work.
+struct SimArrival {
+  double arrive_ms = 0.0;
+  double deadline_ms = 0.0;
+  std::string algorithm;
+};
+
+double SimCostOf(const std::string& algorithm) {
+  if (algorithm.rfind("coreset_", 0) == 0) return 2.0;
+  if (algorithm.rfind("sharded_", 0) == 0) return 5.0;
+  if (algorithm == "suppress_all") return 0.5;
+  return 10.0;
+}
+
+struct SimOutcome {
+  size_t goodput = 0;
+  size_t brownouts = 0;
+  size_t infeasible = 0;
+};
+
+/// Single FIFO server over the arrival sequence. With `governor_on`,
+/// each dispatch feeds the governor the job's virtual sojourn, applies
+/// the brownout rewrite, and rejects jobs whose remaining deadline
+/// budget cannot fit the estimator's optimistic bound for the
+/// effective backend. Every rewrite only cheapens the job and every
+/// rejection frees the server earlier, so goodput can only improve —
+/// which is exactly what invariant 13 asserts.
+SimOutcome RunGoodputSim(const std::vector<SimArrival>& arrivals,
+                         bool governor_on, uint64_t* fp) {
+  GovernorOptions gov;
+  gov.yellow_delay_ms = 40.0;
+  gov.red_delay_ms = 160.0;
+  HealthGovernor governor(gov);
+  SolveTimeEstimator estimator;
+  SimOutcome outcome;
+  double busy_until_ms = 0.0;
+  for (size_t i = 0; i < arrivals.size(); ++i) {
+    const SimArrival& job = arrivals[i];
+    const double start_ms = std::max(busy_until_ms, job.arrive_ms);
+    const double deadline_abs = job.arrive_ms + job.deadline_ms;
+    std::string effective = job.algorithm;
+    if (governor_on) {
+      GovernorSignals signals;
+      signals.queue_delay_ms = start_ms - job.arrive_ms;
+      governor.Update(signals);
+      const RewriteDecision decision =
+          governor.Decide(/*job_id=*/i, job.algorithm,
+                          /*requested_coreset_rate=*/0.0);
+      if (decision.rewritten) {
+        effective = decision.effective;
+        ++outcome.brownouts;
+      }
+      const double remaining_ms = deadline_abs - start_ms;
+      const double optimistic = estimator.OptimisticMillis(effective);
+      if (remaining_ms < 0.0 ||
+          (optimistic > 0.0 && remaining_ms < optimistic)) {
+        ++outcome.infeasible;
+        if (fp != nullptr) *fp = FingerprintInt(*fp, 2);
+        continue;  // rejected typed; the server stays free
+      }
+    }
+    const double cost_ms = SimCostOf(effective);
+    busy_until_ms = start_ms + cost_ms;
+    if (governor_on) estimator.Record(effective, cost_ms);
+    const bool good = busy_until_ms <= deadline_abs;
+    if (good) ++outcome.goodput;
+    if (fp != nullptr) {
+      *fp = FingerprintInt(*fp, good ? 1 : 0);
+      *fp = FingerprintPiece(*fp, effective);
+    }
+  }
+  return outcome;
+}
+
+void RunGoodputLeg(const OverloadChaosOptions& options,
+                   OverloadChaosReport* report, uint64_t* fp) {
+  Rng rng(options.seed, /*stream=*/0x676f6f64ull);  // "good"
+  static const char* const kAlgos[] = {
+      "mdav", "mdav", "exact_dp", "cluster_greedy",
+      "sharded_mdav", "coreset_mdav", "suppress_all",
+  };
+  constexpr size_t kNumAlgos = sizeof(kAlgos) / sizeof(kAlgos[0]);
+  std::vector<SimArrival> arrivals;
+  arrivals.reserve(options.sim_arrivals);
+  double clock_ms = 0.0;
+  for (size_t i = 0; i < options.sim_arrivals; ++i) {
+    // Poisson arrivals at ~1.4x the direct-tier service rate: the
+    // plain FIFO leg builds a standing queue, the governed leg browns
+    // out and keeps meeting deadlines.
+    const double u = std::min(rng.UniformDouble(), 0.999999);
+    clock_ms += -5.0 * std::log(1.0 - u);
+    SimArrival job;
+    job.arrive_ms = clock_ms;
+    job.deadline_ms = 30.0 + rng.UniformDouble() * 120.0;
+    job.algorithm = kAlgos[rng.Uniform(kNumAlgos)];
+    arrivals.push_back(std::move(job));
+  }
+  report->sim_arrivals = arrivals.size();
+  const SimOutcome off = RunGoodputSim(arrivals, /*governor_on=*/false,
+                                       /*fp=*/nullptr);
+  const SimOutcome on = RunGoodputSim(arrivals, /*governor_on=*/true, fp);
+  report->goodput_off = off.goodput;
+  report->goodput_on = on.goodput;
+  report->sim_brownouts = on.brownouts;
+  report->sim_infeasible = on.infeasible;
+  if (on.goodput < off.goodput) {
+    report->violations.push_back(
+        "invariant 13: goodput regressed governor-on (" +
+        std::to_string(on.goodput) + " < " + std::to_string(off.goodput) +
+        " of " + std::to_string(arrivals.size()) + " arrivals)");
+  }
+  *fp = FingerprintInt(*fp, off.goodput);
+  *fp = FingerprintInt(*fp, on.goodput);
+  *fp = FingerprintInt(*fp, on.brownouts);
+  *fp = FingerprintInt(*fp, on.infeasible);
+}
+
+// ---------------------------------------------------------------------
+// Leg C — invariant 11: valid-or-typed under forced overload.
+// ---------------------------------------------------------------------
+
+/// True when a forced yellow-level brownout rewrites `algorithm` (the
+/// ladder's direct entry points; composed names and wrappers are left
+/// alone at yellow).
+bool YellowRewritable(const std::string& algorithm) {
+  if (algorithm.find('+') != std::string::npos) return false;
+  return algorithm == "mdav" || algorithm == "cluster_greedy" ||
+         algorithm == "ball_cover" || algorithm == "exact_dp" ||
+         algorithm == "branch_bound";
+}
+
+AnonymizeRequest DrawOverloadRequest(Rng* rng) {
+  static const char* const kAlgos[] = {
+      "mdav", "mdav", "exact_dp", "branch_bound", "cluster_greedy",
+      "mdav+annealing", "resilient", "suppress_all",
+      "coreset_mdav", "sharded_mdav",
+  };
+  AnonymizeRequest request;
+  request.algorithm =
+      kAlgos[rng->Uniform(sizeof(kAlgos) / sizeof(kAlgos[0]))];
+  const bool coreset = request.algorithm.rfind("coreset_", 0) == 0;
+  const bool sharded = request.algorithm.rfind("sharded_", 0) == 0;
+  UniformTableOptions table;
+  // Coreset jobs need enough rows that the sampler's min_sample floor
+  // does not short-circuit; sharded jobs need shards * (2k-1) rows so
+  // planning cuts; everything else stays tiny so exact solvers finish.
+  table.num_rows =
+      coreset   ? static_cast<uint32_t>(rng->UniformInt(72, 120))
+      : sharded ? static_cast<uint32_t>(rng->UniformInt(40, 80))
+                : static_cast<uint32_t>(rng->UniformInt(6, 14));
+  table.num_columns = static_cast<uint32_t>(rng->UniformInt(2, 4));
+  table.alphabet = static_cast<uint32_t>(rng->UniformInt(2, 4));
+  request.csv_text = TableToCsv(UniformTable(table, rng));
+  if (coreset) {
+    request.coreset_rate = 0.25;
+    request.coreset_seed = static_cast<uint64_t>(rng->Next()) + 1;
+  }
+  if (sharded) {
+    request.shards = static_cast<size_t>(rng->UniformInt(2, 4));
+  }
+  request.k = static_cast<size_t>(rng->UniformInt(2, 4));
+  // Node budgets (not wall deadlines) keep degradation deterministic.
+  if (rng->Bernoulli(0.3)) {
+    request.node_budget =
+        static_cast<uint64_t>(rng->UniformInt(50, 5000));
+  }
+  request.emit_csv = true;
+  return request;
+}
+
+uint64_t FoldOutcome(uint64_t fp, const AnonymizeResponse& response) {
+  fp = FingerprintInt(fp, response.id);
+  fp = FingerprintInt(fp, response.ok() ? 1 : 0);
+  fp = FingerprintPiece(fp, ServiceErrorName(response.error));
+  fp = FingerprintInt(fp, response.cost);
+  fp = FingerprintPiece(fp, response.stage);
+  fp = FingerprintPiece(fp, response.chain);
+  fp = FingerprintPiece(fp, StopReasonName(response.termination));
+  fp = FingerprintInt(fp, response.cache_hit ? 1 : 0);
+  fp = FingerprintInt(fp, static_cast<uint64_t>(response.brownout));
+  fp = FingerprintPiece(fp, response.effective_algorithm);
+  return fp;
+}
+
+void RunServiceLeg(const OverloadChaosOptions& options,
+                   OverloadChaosReport* report, uint64_t* fp) {
+  Rng rng(options.seed, /*stream=*/0x6f766c64ull);  // "ovld"
+
+  // The schedule's overload fault plan: forced sheds at admission,
+  // forced brownouts at dispatch, dispatch faults draining the retry
+  // budget. `brownout_every_job` makes the rewrite count exactly
+  // reconcilable against the workload's rewritable algorithms.
+  FaultPlan plan;
+  plan.seed = options.seed;
+  const int shed_mode = rng.UniformInt(0, 2);
+  if (shed_mode == 1) {
+    FaultSiteSpec spec;
+    spec.site = "overload.shed";
+    spec.first_n = static_cast<uint64_t>(rng.UniformInt(1, 3));
+    plan.sites.push_back(std::move(spec));
+  } else if (shed_mode == 2) {
+    FaultSiteSpec spec;
+    spec.site = "overload.shed";
+    spec.probability = 0.2 + 0.4 * rng.UniformDouble();
+    plan.sites.push_back(std::move(spec));
+  }
+  const int brownout_mode = rng.UniformInt(0, 2);
+  const bool brownout_every_job = brownout_mode == 1;
+  if (brownout_mode == 1) {
+    FaultSiteSpec spec;
+    spec.site = "overload.brownout";
+    spec.probability = 1.0;
+    plan.sites.push_back(std::move(spec));
+  } else if (brownout_mode == 2) {
+    FaultSiteSpec spec;
+    spec.site = "overload.brownout";
+    spec.first_n = static_cast<uint64_t>(rng.UniformInt(2, 6));
+    plan.sites.push_back(std::move(spec));
+  }
+  const double initial_retry_tokens = rng.UniformInt(0, 2);
+  if (rng.Bernoulli(0.5)) {
+    FaultSiteSpec spec;
+    spec.site = "worker.dispatch";
+    spec.first_n = static_cast<uint64_t>(rng.UniformInt(1, 4));
+    plan.sites.push_back(std::move(spec));
+  }
+
+  // Pin every source of nondeterminism: one pool worker, one solver
+  // thread, all submissions issued before the worker exists, and
+  // *organic* overload thresholds pushed out of reach — the plane's
+  // behavior in this leg is driven purely by the seeded fault plan,
+  // never by wall-clock queue delay.
+  const unsigned prev_parallelism = GetParallelism();
+  SetParallelism(1);
+  std::optional<ScopedFaultInjection> injection;
+  injection.emplace(plan);
+
+  OverloadOptions overload_options;
+  overload_options.codel.target_ms = 1e12;
+  overload_options.governor.yellow_delay_ms = 1e12;
+  overload_options.governor.red_delay_ms = 1e12;
+  overload_options.governor.open_breakers_yellow = 0;
+  // Budget-tripped jobs would latch organic red pressure (and climb
+  // the ladder without a fault fire); keep the latch off so the
+  // rewrite count reconciles exactly against the forced schedule.
+  overload_options.memory_latch_updates = 0;
+  overload_options.retry_budget.ratio = 0.0;
+  overload_options.retry_budget.initial = initial_retry_tokens;
+  OverloadControl overload(overload_options);
+
+  QueueOptions queue_options;
+  queue_options.capacity = std::max<size_t>(4, options.jobs);
+  // This leg isolates the overload plane: the occupancy ramp (a
+  // depth-based backstop, exercised by service/chaos.h) stays out of
+  // the way so every shed here is a CoDel/fault-forced one.
+  queue_options.shed_start_fraction = 1.0;
+  queue_options.overload = &overload;
+  JobQueue queue(queue_options);
+  ResultCache cache(16);
+
+  std::vector<JobQueue::Ticket> tickets;
+  std::vector<size_t> expected_k;
+  size_t expected_brownouts = 0;
+  for (size_t i = 0; i < options.jobs; ++i) {
+    AnonymizeRequest request = DrawOverloadRequest(&rng);
+    const size_t k = request.k;
+    const std::string algorithm = request.algorithm;
+    ServiceError error = ServiceError::kNone;
+    const Status prepared = ValidateAndPrepare(request, &error);
+    if (!prepared.ok()) {
+      report->violations.push_back(
+          "generated request failed validation: " + prepared.message());
+      continue;
+    }
+    StatusOr<JobQueue::Ticket> ticket =
+        queue.Submit(std::move(request), &error);
+    ++report->submitted;
+    if (!ticket.ok()) {
+      ++report->rejected;
+      if (error == ServiceError::kNone) {
+        report->violations.push_back(
+            "invariant 11: admission rejection without a taxonomy "
+            "bucket: " +
+            ticket.status().message());
+      }
+      if (error == ServiceError::kShedOverload) ++report->shed_typed;
+      *fp = FingerprintPiece(*fp, "rejected");
+      *fp = FingerprintPiece(*fp, ServiceErrorName(error));
+      continue;
+    }
+    if (brownout_every_job && YellowRewritable(algorithm)) {
+      ++expected_brownouts;
+    }
+    *fp = FingerprintInt(*fp, ticket->id);
+    tickets.push_back(*std::move(ticket));
+    expected_k.push_back(k);
+  }
+
+  WorkerPoolOptions pool_options;
+  pool_options.workers = 1;
+  pool_options.retry =
+      RetryPolicy{.max_attempts = 3, .base_ms = 0.01, .cap_ms = 0.1};
+  pool_options.breaker =
+      BreakerOptions{.failure_threshold = 3, .open_ms = 1e12};
+  pool_options.overload = &overload;
+  {
+    WorkerPool pool(&queue, &cache, pool_options);
+    queue.Close();
+    for (size_t i = 0; i < tickets.size(); ++i) {
+      AnonymizeResponse response = tickets[i].result.get();
+      const size_t k = expected_k[i];
+      if (response.ok()) {
+        ++report->answered_ok;
+        std::string why;
+        if (response.error != ServiceError::kNone) {
+          report->violations.push_back(
+              "invariant 11: job " + std::to_string(response.id) +
+              ": ok response carries error bucket " +
+              ServiceErrorName(response.error));
+        }
+        if (!OutputIsKAnonymous(response.anonymized_csv, k, &why)) {
+          report->violations.push_back(
+              "invariant 11: job " + std::to_string(response.id) +
+              ": " + why);
+        }
+        if (response.brownout > 0) {
+          ++report->brownout_responses;
+          if (response.effective_algorithm.empty()) {
+            report->violations.push_back(
+                "invariant 11: job " + std::to_string(response.id) +
+                ": brownout stamp without an effective backend");
+          }
+        }
+      } else {
+        ++report->answered_error;
+        if (response.error == ServiceError::kNone) {
+          report->violations.push_back(
+              "invariant 11: job " + std::to_string(response.id) +
+              ": failed without a taxonomy bucket: " +
+              response.status.message());
+        }
+      }
+      if (options.verbose) {
+        std::cerr << "overload_chaos seed=" << options.seed
+                  << " job=" << response.id << " ok=" << response.ok()
+                  << " error=" << ServiceErrorName(response.error)
+                  << " brownout=" << response.brownout
+                  << " effective=" << response.effective_algorithm
+                  << "\n";
+      }
+      *fp = FoldOutcome(*fp, response);
+    }
+    pool.Join();
+    const WorkerPool::Counters workers = pool.counters();
+    report->pool_brownouts = workers.brownouts;
+    report->retry_degraded = workers.retry_budget_degraded;
+    *fp = FingerprintInt(*fp, workers.brownouts);
+    *fp = FingerprintInt(*fp, workers.retries_attempted);
+    *fp = FingerprintInt(*fp, workers.retries_exhausted);
+    *fp = FingerprintInt(*fp, workers.retry_budget_degraded);
+  }
+
+  // The fault ledger is part of the fingerprint, and the forced-shed
+  // fires must reconcile exactly with the typed rejections: the organic
+  // CoDel path is disabled (target 1e12), so every shed is an injected
+  // one and every injected one must have produced a typed rejection.
+  for (const FaultSiteSnapshot& site :
+       FaultRegistry::Instance().Snapshot()) {
+    *fp = FingerprintPiece(*fp, site.name);
+    *fp = FingerprintInt(*fp, site.hits);
+    *fp = FingerprintInt(*fp, site.fires);
+    report->fires += site.fires;
+    if (site.name == "overload.shed") {
+      report->forced_shed_fires = site.fires;
+    }
+  }
+  if (report->forced_shed_fires != report->shed_typed) {
+    report->violations.push_back(
+        "invariant 11: shed reconciliation failed: " +
+        std::to_string(report->forced_shed_fires) +
+        " forced fires vs " + std::to_string(report->shed_typed) +
+        " typed shed_overload rejections");
+  }
+  // With the brownout site firing on every hit, the rewrite count is a
+  // pure function of the admitted workload: exactly the rewritable
+  // direct algorithms, nothing else.
+  if (brownout_every_job &&
+      report->pool_brownouts != expected_brownouts) {
+    report->violations.push_back(
+        "invariant 11: brownout reconciliation failed: " +
+        std::to_string(report->pool_brownouts) + " rewrites vs " +
+        std::to_string(expected_brownouts) +
+        " rewritable admitted jobs");
+  }
+  if (report->brownout_responses > report->pool_brownouts) {
+    report->violations.push_back(
+        "invariant 11: more brownout-stamped responses (" +
+        std::to_string(report->brownout_responses) +
+        ") than pool rewrites (" +
+        std::to_string(report->pool_brownouts) + ")");
+  }
+  const OverloadCounters counters = overload.counters();
+  *fp = FingerprintInt(*fp, counters.shed);
+  *fp = FingerprintInt(*fp, counters.brownouts);
+  *fp = FingerprintInt(*fp, counters.retry_denied);
+
+  injection.reset();
+  SetParallelism(prev_parallelism);
+}
+
+}  // namespace
+
+OverloadChaosReport RunOverloadChaosSchedule(
+    const OverloadChaosOptions& options) {
+  OverloadChaosReport report;
+  report.seed = options.seed;
+  uint64_t fp = kFingerprintSeed;
+  RunGovernorReplayLeg(options, &report, &fp);
+  RunGoodputLeg(options, &report, &fp);
+  if (options.with_service) {
+    RunServiceLeg(options, &report, &fp);
+  }
+  report.outcome_fingerprint = fp;
+  return report;
+}
+
+}  // namespace kanon

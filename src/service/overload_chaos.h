@@ -1,0 +1,103 @@
+#ifndef KANON_SERVICE_OVERLOAD_CHAOS_H_
+#define KANON_SERVICE_OVERLOAD_CHAOS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+/// \file
+/// Seeded chaos schedules for the overload-control plane
+/// (service/overload/overload.h). One schedule = one seed, three legs,
+/// three invariants (numbered after service/chaos.h's 1-6/10 and
+/// net/net_chaos.h's 7-9):
+///
+///  11. **valid-or-typed under overload**: a live queue + worker pool
+///      run with the overload plane armed and a seeded fault plan
+///      forcing sheds (`overload.shed`), brownouts
+///      (`overload.brownout`) and worker faults (`worker.dispatch`,
+///      draining the retry budget) still answers every admitted job
+///      with a *valid* k-anonymous result or a typed error; every
+///      admission rejection carries a taxonomy bucket; forced sheds
+///      reconcile exactly with typed `shed_overload` rejections; and
+///      every browned-out answer is itself a valid k-anonymization.
+///  12. **brownout decisions replay bit-identically from the seed**:
+///      two HealthGovernor instances fed the same seeded synthetic
+///      signal stream (delay random walk with bursts, breaker
+///      openings, memory latches) produce identical level sequences,
+///      identical rewrite decisions and identical transition counts.
+///  13. **goodput is monotonically no worse governor-on vs off**: a
+///      virtual-time single-server simulation replays one seeded
+///      arrival sequence twice — once plain FIFO, once with the
+///      governor + deadline reconciliation — and the number of jobs
+///      finishing inside their deadline must not decrease. Service
+///      costs are a deterministic function of the backend tier
+///      (direct > sharded > coreset), so the win is attributable to
+///      the control plane alone.
+///
+/// Determinism: the service leg pins one pool worker, submits every
+/// job before the worker exists, disables the organic (wall-clock)
+/// CoDel and governor thresholds — overload behavior is driven only by
+/// the seeded fault plan — and the sim/governor legs use virtual time
+/// throughout. Same seed => same `outcome_fingerprint` on any machine.
+
+namespace kanon {
+
+struct OverloadChaosOptions {
+  uint64_t seed = 0;
+  /// Jobs submitted to the live service leg (invariant 11).
+  size_t jobs = 24;
+  /// Arrivals in the virtual-time goodput simulation (invariant 13).
+  size_t sim_arrivals = 400;
+  /// Observations in the governor replay leg (invariant 12).
+  size_t governor_signals = 256;
+  /// Run the live service leg (the sim/replay legs always run).
+  bool with_service = true;
+  /// Echo per-job outcomes to stderr.
+  bool verbose = false;
+};
+
+struct OverloadChaosReport {
+  uint64_t seed = 0;
+  /// Invariant 12 leg.
+  size_t decisions_checked = 0;
+  uint64_t governor_transitions = 0;
+  /// Invariant 13 leg.
+  size_t sim_arrivals = 0;
+  size_t goodput_off = 0;
+  size_t goodput_on = 0;
+  size_t sim_brownouts = 0;
+  size_t sim_infeasible = 0;
+  /// Invariant 11 leg.
+  size_t submitted = 0;
+  size_t rejected = 0;
+  size_t answered_ok = 0;
+  size_t answered_error = 0;
+  /// Typed shed_overload rejections / `overload.shed` fault fires
+  /// (must reconcile exactly).
+  uint64_t shed_typed = 0;
+  uint64_t forced_shed_fires = 0;
+  /// OK responses carrying a brownout stamp / pool rewrite counter.
+  uint64_t brownout_responses = 0;
+  uint64_t pool_brownouts = 0;
+  /// Jobs degraded to the terminal stage by retry-budget exhaustion.
+  uint64_t retry_degraded = 0;
+  /// Fault-site fires across the service leg.
+  uint64_t fires = 0;
+  /// Invariant violations; empty means the schedule passed.
+  std::vector<std::string> violations;
+  /// Deterministic digest over all three legs; equal across runs with
+  /// the same seed.
+  uint64_t outcome_fingerprint = 0;
+
+  bool passed() const { return violations.empty(); }
+};
+
+/// Runs one seeded schedule. The service leg arms the process-wide
+/// FaultRegistry for its duration (disarmed on return), so do not run
+/// schedules concurrently in one process.
+OverloadChaosReport RunOverloadChaosSchedule(
+    const OverloadChaosOptions& options);
+
+}  // namespace kanon
+
+#endif  // KANON_SERVICE_OVERLOAD_CHAOS_H_

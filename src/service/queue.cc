@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "fault/fault.h"
+#include "service/overload/overload.h"
 #include "util/logging.h"
 
 namespace kanon {
@@ -62,6 +63,15 @@ StatusOr<JobQueue::Ticket> JobQueue::Submit(
         *error,
         "job queue at capacity (" + std::to_string(options_.capacity) +
             " queued); retry with backoff");
+  }
+  if (options_.overload != nullptr &&
+      options_.overload->ShouldShed(OverloadControl::SteadyNowMillis())) {
+    ++counters_.rejected;
+    ++counters_.shed;
+    *error = ServiceError::kShedOverload;
+    return MakeServiceStatus(
+        *error,
+        "overload shed: queue delay above target; retry with backoff");
   }
   const double occupancy = static_cast<double>(jobs_.size()) /
                            static_cast<double>(options_.capacity);

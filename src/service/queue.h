@@ -95,6 +95,13 @@ struct QueueOptions {
   int shed_levels = 4;
   /// Optional lifecycle observer (not owned; may be null).
   JobObserver* observer = nullptr;
+  /// Optional overload-control plane (not owned; may be null). When
+  /// set, Submit consults its CoDel controller *before* the occupancy
+  /// bar: sustained above-target queue delay sheds arrivals with the
+  /// typed shed_overload error while the queue is still far from full —
+  /// delay-based admission replaces depth as the primary signal, and
+  /// the occupancy ramp remains only as the hard backstop.
+  class OverloadControl* overload = nullptr;
 };
 
 /// Thread-safe bounded queue; producers Submit, workers Pop.

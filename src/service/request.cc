@@ -44,6 +44,10 @@ const char* ServiceErrorName(ServiceError error) {
       return "bad_frame";
     case ServiceError::kConnectionLimit:
       return "connection_limit";
+    case ServiceError::kShedOverload:
+      return "shed_overload";
+    case ServiceError::kDeadlineInfeasible:
+      return "deadline_infeasible";
   }
   KANON_CHECK(false) << "bad ServiceError " << static_cast<int>(error);
   return "";
@@ -76,7 +80,10 @@ StatusCode ServiceErrorCode(ServiceError error) {
     case ServiceError::kBadFrame:
       return StatusCode::kParseError;
     case ServiceError::kConnectionLimit:
+    case ServiceError::kShedOverload:
       return StatusCode::kResourceExhausted;
+    case ServiceError::kDeadlineInfeasible:
+      return StatusCode::kDeadlineExceeded;
   }
   KANON_CHECK(false) << "bad ServiceError " << static_cast<int>(error);
   return StatusCode::kInternal;

@@ -68,6 +68,14 @@ enum class ServiceError {
   /// The TCP front end is at its connection limit; the new connection
   /// was rejected with this typed response and closed.
   kConnectionLimit,
+  /// CoDel admission control: queue delay stayed above target for a
+  /// full interval, and this arrival fell on the shedding schedule.
+  kShedOverload,
+  /// Deadline reconciliation at dispatch: the remaining deadline budget
+  /// (deadline minus queue delay) cannot fit even the optimistic
+  /// solve-time estimate for the job's backend — rejected before any
+  /// solve work.
+  kDeadlineInfeasible,
 };
 
 /// Protocol-facing name: "queue_full", "unknown_algorithm", ...
@@ -123,6 +131,12 @@ struct AnonymizeRequest {
   /// the machine cap at run time).
   size_t shards = 0;
   size_t shard_parallelism = 0;
+  /// Brownout stamp, set only by the worker pool when the overload
+  /// governor rewrote this job to a cheaper backend (never parsed from
+  /// the wire). Folded into the result-cache knobs fingerprint so a
+  /// browned-out entry can never collide with — and never answer — a
+  /// full-fidelity request, even one for the same effective backend.
+  int brownout_level = 0;
   /// Inline CSV text (ignored once `table` is set).
   std::string csv_text;
   /// The parsed relation; set by ValidateAndPrepare from `csv_text`.
@@ -159,6 +173,14 @@ struct AnonymizeResponse {
   std::string chain;
   /// Why the run ended (kNone = full-quality completion).
   StopReason termination = StopReason::kNone;
+  /// Backend that actually produced the answer after any overload
+  /// rewrite (brownout ladder or retry-budget degradation). Empty when
+  /// the requested algorithm ran unmodified.
+  std::string effective_algorithm;
+  /// Brownout ladder level the job was dispatched under (0 green,
+  /// 1 yellow, 2 red). Nonzero only when the overload governor rewrote
+  /// or could have rewritten the job.
+  int brownout = 0;
   /// True when the answer came from the result cache.
   bool cache_hit = false;
   /// Milliseconds spent queued before a worker picked the job up.

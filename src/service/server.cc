@@ -53,6 +53,13 @@ std::string FormatAnonymizeResponse(const AnonymizeResponse& response) {
       << " cache=" << (response.cache_hit ? "hit" : "miss")
       << " queue_ms=" << FormatDouble(response.queue_ms, 3)
       << " run_ms=" << FormatDouble(response.run_ms, 3);
+  if (!response.effective_algorithm.empty() &&
+      response.effective_algorithm != response.algorithm) {
+    out << " effective=" << response.effective_algorithm;
+  }
+  if (response.brownout > 0) {
+    out << " brownout=" << response.brownout;
+  }
   if (!response.anonymized_csv.empty()) {
     out << " csv=" << CsvToInline(response.anonymized_csv);
   }
@@ -97,16 +104,28 @@ std::string FormatStatsLine(const ServiceStats& stats) {
       << " shard_merges=" << stats.shard_merges
       << " shard_repairs=" << stats.shard_repairs
       << " shard_resumed=" << stats.shard_resumed
+      << " overload_shed=" << stats.overload_shed
+      << " overload_infeasible=" << stats.overload_infeasible
+      << " overload_brownouts=" << stats.overload_brownouts
+      << " overload_transitions=" << stats.overload_transitions
+      << " overload_retry_denied=" << stats.overload_retry_denied
+      << " overload_retry_degraded=" << stats.overload_retry_degraded
+      << " overload_level="
+      << (stats.overload_level.empty() ? "off" : stats.overload_level)
       << " build=" << BuildInfoToken();
   return out.str();
 }
 
 AnonymizationService::AnonymizationService(ServiceOptions options)
     : cache_(options.cache_capacity),
+      overload_(options.overload_enabled
+                    ? std::make_unique<OverloadControl>(options.overload)
+                    : nullptr),
       queue_(QueueOptions{.capacity = options.queue_capacity,
                           .shed_start_fraction = options.shed_start_fraction,
                           .shed_levels = options.shed_levels,
-                          .observer = options.observer}),
+                          .observer = options.observer,
+                          .overload = overload_.get()}),
       watchdog_(options.watchdog_stall_ms > 0.0
                     ? std::make_unique<Watchdog>(WatchdogOptions{
                           .scan_interval_ms =
@@ -121,7 +140,8 @@ AnonymizationService::AnonymizationService(ServiceOptions options)
              .checkpoint_every_polls = options.checkpoint_every_polls,
              .checkpoint_every_ms = options.checkpoint_every_ms,
              .keep_checkpoints = options.keep_checkpoints,
-             .watchdog = watchdog_.get()}) {}
+             .watchdog = watchdog_.get(),
+             .overload = overload_.get()}) {}
 
 AnonymizationService::~AnonymizationService() { Shutdown(); }
 
@@ -190,6 +210,18 @@ ServiceStats AnonymizationService::Stats() const {
   stats.coreset_repairs = coreset.repair_merges;
   stats.coreset_repair_suppressed = coreset.repair_suppressed;
   stats.coreset_resumed = coreset.resumed;
+  if (overload_ != nullptr) {
+    const OverloadCounters overload = overload_->counters();
+    stats.overload_shed = overload.shed;
+    stats.overload_infeasible = overload.deadline_infeasible;
+    stats.overload_brownouts = overload.brownouts;
+    stats.overload_transitions = overload.transitions;
+    stats.overload_retry_denied = overload.retry_denied;
+    stats.overload_retry_degraded = pool.retry_budget_degraded;
+    stats.overload_level = overload_->governor_enabled()
+                               ? BrownoutLevelName(overload.level)
+                               : "off";
+  }
   const ShardMetricsSnapshot shard = ShardMetrics::Instance().Snapshot();
   stats.shard_plans = shard.plans;
   stats.shards_planned = shard.shards_planned;

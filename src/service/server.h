@@ -9,6 +9,7 @@
 
 #include "service/cache.h"
 #include "service/journal.h"
+#include "service/overload/overload.h"
 #include "service/queue.h"
 #include "service/worker_pool.h"
 
@@ -74,6 +75,13 @@ struct ServiceOptions {
   /// error. 0 disables the watchdog entirely.
   double watchdog_stall_ms = 0.0;
   double watchdog_scan_interval_ms = 10.0;
+  /// Adaptive overload control (see service/overload/overload.h):
+  /// CoDel queue-delay admission, deadline reconciliation at dispatch,
+  /// a pool-wide retry budget and the brownout ladder. Off by default;
+  /// when enabled, `overload` tunes the plane (its `governor_enabled`
+  /// maps onto kanond's --brownout=off|auto).
+  bool overload_enabled = false;
+  OverloadOptions overload;
 };
 
 /// Counter snapshot across queue, pool and cache.
@@ -125,6 +133,17 @@ struct ServiceStats {
   uint64_t shard_merges = 0;
   uint64_t shard_repairs = 0;
   uint64_t shard_resumed = 0;
+  /// Overload-control plane counters. Always present in `stats` output —
+  /// zero with "off" level when the plane is disabled.
+  uint64_t overload_shed = 0;
+  uint64_t overload_infeasible = 0;
+  uint64_t overload_brownouts = 0;
+  uint64_t overload_transitions = 0;
+  uint64_t overload_retry_denied = 0;
+  uint64_t overload_retry_degraded = 0;
+  /// "off" when the plane is disabled, else the governor's level
+  /// ("green"/"yellow"/"red").
+  std::string overload_level = "off";
 };
 
 /// Long-running multi-request engine. Thread-safe: any number of
@@ -159,6 +178,9 @@ class AnonymizationService {
   /// Requests cooperative cancellation of an in-flight job.
   bool Cancel(uint64_t id) { return queue_.Cancel(id); }
 
+  /// The overload-control plane (null when overload_enabled was false).
+  const OverloadControl* overload() const { return overload_.get(); }
+
   ServiceStats Stats() const;
 
   /// Records `jobs` recovered from a crash journal (stats reporting).
@@ -173,6 +195,9 @@ class AnonymizationService {
 
  private:
   ResultCache cache_;
+  /// Declared before queue_/pool_: both consult it (admission shed,
+  /// dequeue signals) and destruction runs in reverse order.
+  std::unique_ptr<OverloadControl> overload_;
   JobQueue queue_;
   /// Declared before pool_: workers Watch/Unwatch through it, so it
   /// must outlive them (destruction runs in reverse order and ~WorkerPool

@@ -12,6 +12,7 @@
 #include "coreset/coreset_anonymizer.h"
 #include "data/csv_table.h"
 #include "fault/fault.h"
+#include "service/overload/overload.h"
 #include "util/fingerprint.h"
 #include "util/logging.h"
 #include "util/parallel.h"
@@ -216,6 +217,15 @@ AnonymizeResponse WorkerPool::Execute(const AnonymizeRequest& request,
     // coreset run with one rate serve a request made with another.
     key.knobs_fp = CoresetOptionsFor(request).Fingerprint();
   }
+  if (request.brownout_level > 0) {
+    // Brownout stamp: a degraded result must never answer a
+    // full-fidelity request — not even one for the same effective
+    // backend, so operators can flush browned-out entries by level.
+    key.knobs_fp = FingerprintInt(
+        FingerprintInt(key.knobs_fp, 0x62726f776eull),  // "brown"
+        static_cast<uint64_t>(request.brownout_level));
+  }
+  response.brownout = request.brownout_level;
   // An injected lookup fault forces a miss: the answer is recomputed,
   // which is always safe (degraded performance, never a wrong result).
   if (cache != nullptr && !KANON_FAULT_POINT("cache.lookup")) {
@@ -295,7 +305,8 @@ WorkerPool::WorkerPool(JobQueue* queue, ResultCache* cache,
       checkpoint_every_polls_(options.checkpoint_every_polls),
       checkpoint_every_ms_(options.checkpoint_every_ms),
       keep_checkpoints_(options.keep_checkpoints),
-      watchdog_(options.watchdog) {
+      watchdog_(options.watchdog),
+      overload_(options.overload) {
   KANON_CHECK(queue != nullptr);
   const unsigned n =
       options.workers > 0 ? options.workers : GetParallelism();
@@ -329,6 +340,11 @@ WorkerPool::Counters WorkerPool::counters() const {
       checkpoint_failures_.load(std::memory_order_relaxed);
   counters.watchdog_preempted =
       watchdog_preempted_.load(std::memory_order_relaxed);
+  counters.deadline_infeasible =
+      deadline_infeasible_.load(std::memory_order_relaxed);
+  counters.brownouts = brownouts_.load(std::memory_order_relaxed);
+  counters.retry_budget_degraded =
+      retry_budget_degraded_.load(std::memory_order_relaxed);
   return counters;
 }
 
@@ -394,6 +410,26 @@ AnonymizeResponse WorkerPool::ExecuteWithRetry(const Job& job) {
                              " times; retry budget exhausted");
       return failure;
     }
+    if (overload_ != nullptr && !overload_->AllowRetry()) {
+      // The pool-wide retry budget is dry: re-running the job would
+      // amplify whatever storm drained it. Degrade straight to the
+      // terminal stage — still a valid (maximally suppressed) answer,
+      // with the budget exhaustion recorded as a typed chain note.
+      retry_budget_degraded_.fetch_add(1, std::memory_order_relaxed);
+      AnonymizeRequest terminal = job.request;
+      terminal.algorithm = "suppress_all";
+      terminal.resume_solver.clear();
+      terminal.resume_payload.clear();
+      // Never cached: this outcome is an artifact of the pool's retry
+      // budget at this instant, not a property of the instance.
+      AnonymizeResponse degraded =
+          Execute(terminal, job.ctx.get(), /*cache=*/nullptr);
+      degraded.algorithm = job.request.algorithm;
+      degraded.effective_algorithm = "suppress_all";
+      degraded.chain = job.request.algorithm +
+                       "(declined:retry_budget)->suppress_all(ok)";
+      return degraded;
+    }
     retries_attempted_.fetch_add(1, std::memory_order_relaxed);
     prev_backoff_ms = NextBackoffMillis(retry_, prev_backoff_ms, rng);
     std::this_thread::sleep_for(
@@ -409,24 +445,94 @@ void WorkerPool::WorkerLoop() {
             RunContext::Clock::now() - job->enqueue_time)
             .count();
     if (observer != nullptr) observer->OnStart(job->id);
-    std::optional<JobCheckpointSink> sink;
-    if (checkpoints_ != nullptr && job->request.table.has_value()) {
-      sink.emplace(checkpoints_, observer, job->id,
-                   TableFingerprint(*job->request.table),
-                   job->request.k, &checkpoints_written_,
-                   &checkpoint_failures_);
-      job->ctx->ArmCheckpoints(&*sink, checkpoint_every_polls_,
-                               checkpoint_every_ms_);
+    const std::string requested_algorithm = job->request.algorithm;
+    RewriteDecision brownout;
+    bool infeasible = false;
+    if (overload_ != nullptr) {
+      // Dequeue sojourn is the overload plane's primary signal: it
+      // feeds the CoDel controller (admission) and, with the breaker
+      // board state, the brownout governor.
+      int open_breakers = 0;
+      for (const auto& [stage, state] : breakers_.Snapshot()) {
+        if (state == StageBreaker::State::kOpen) ++open_breakers;
+      }
+      overload_->OnDequeue(queue_ms, OverloadControl::SteadyNowMillis(),
+                           open_breakers);
+      // Deadline reconciliation: the remaining budget is the wire
+      // deadline minus the queue delay already burned. A job that
+      // cannot fit even the optimistic solve estimate is answered
+      // typed *now*, before it occupies this worker at full cost.
+      if (job->deadline != RunContext::Clock::time_point::max()) {
+        const double remaining_ms =
+            std::chrono::duration<double, std::milli>(
+                job->deadline - RunContext::Clock::now())
+                .count();
+        infeasible = overload_->DeadlineInfeasible(requested_algorithm,
+                                                   remaining_ms);
+      }
+      if (!infeasible) {
+        brownout = overload_->MaybeRewrite(job->id, requested_algorithm,
+                                           job->request.coreset_rate);
+        if (brownout.rewritten) {
+          brownouts_.fetch_add(1, std::memory_order_relaxed);
+          job->request.algorithm = brownout.effective;
+          if (brownout.coreset_rate > 0.0) {
+            job->request.coreset_rate = brownout.coreset_rate;
+          }
+          job->request.brownout_level = static_cast<int>(brownout.level);
+          // A snapshot of the full-fidelity backend must not warm-start
+          // the degraded one.
+          job->request.resume_solver.clear();
+          job->request.resume_payload.clear();
+        }
+      }
     }
-    if (watchdog_ != nullptr) watchdog_->Watch(job->id, job->ctx);
-    AnonymizeResponse response = ExecuteWithRetry(*job);
-    if (watchdog_ != nullptr) watchdog_->Unwatch(job->id);
-    if (sink.has_value()) {
-      job->ctx->DisarmCheckpoints();
-      // The job is answered: its snapshot no longer buys anything (a
-      // crash from here replays it as done). Reclaim unless a test or
-      // operator asked to keep snapshots for inspection.
-      if (!keep_checkpoints_) (void)checkpoints_->Remove(job->id);
+    AnonymizeResponse response;
+    if (infeasible) {
+      deadline_infeasible_.fetch_add(1, std::memory_order_relaxed);
+      response.algorithm = requested_algorithm;
+      response.k = job->request.k;
+      response.error = ServiceError::kDeadlineInfeasible;
+      response.status = MakeServiceStatus(
+          response.error,
+          "job " + std::to_string(job->id) +
+              " cannot finish inside its deadline (queue delay " +
+              std::to_string(queue_ms) + " ms ate the budget)");
+    } else {
+      std::optional<JobCheckpointSink> sink;
+      if (checkpoints_ != nullptr && job->request.table.has_value()) {
+        sink.emplace(checkpoints_, observer, job->id,
+                     TableFingerprint(*job->request.table),
+                     job->request.k, &checkpoints_written_,
+                     &checkpoint_failures_);
+        job->ctx->ArmCheckpoints(&*sink, checkpoint_every_polls_,
+                                 checkpoint_every_ms_);
+      }
+      if (watchdog_ != nullptr) watchdog_->Watch(job->id, job->ctx);
+      response = ExecuteWithRetry(*job);
+      if (watchdog_ != nullptr) watchdog_->Unwatch(job->id);
+      if (sink.has_value()) {
+        job->ctx->DisarmCheckpoints();
+        // The job is answered: its snapshot no longer buys anything (a
+        // crash from here replays it as done). Reclaim unless a test or
+        // operator asked to keep snapshots for inspection.
+        if (!keep_checkpoints_) (void)checkpoints_->Remove(job->id);
+      }
+      if (brownout.rewritten && response.ok()) {
+        // Answers report the *requested* algorithm plus the effective
+        // backend the ladder substituted (unless the retry-budget path
+        // already degraded further).
+        response.algorithm = requested_algorithm;
+        if (response.effective_algorithm.empty()) {
+          response.effective_algorithm = brownout.effective;
+        }
+        response.brownout = static_cast<int>(brownout.level);
+      }
+      if (overload_ != nullptr) {
+        overload_->RecordOutcome(job->request.algorithm, response.run_ms,
+                                 response.ok(), response.termination,
+                                 response.cache_hit);
+      }
     }
     response.id = job->id;
     response.queue_ms = queue_ms;

@@ -27,6 +27,8 @@
 
 namespace kanon {
 
+class OverloadControl;
+
 struct WorkerPoolOptions {
   /// Worker-thread count; 0 means GetParallelism() (util/parallel.h).
   unsigned workers = 0;
@@ -50,6 +52,15 @@ struct WorkerPoolOptions {
   /// Stuck-worker monitor (not owned; may be null = no watchdog).
   /// Dispatched jobs are watched for the duration of execution.
   Watchdog* watchdog = nullptr;
+  /// Overload-control plane (not owned; may be null = no overload
+  /// control). When set, each dequeue feeds the CoDel controller and
+  /// governor, jobs whose deadline cannot fit the backend's optimistic
+  /// solve-time estimate are rejected typed (deadline_infeasible)
+  /// before any solve work, admissible jobs may be rewritten to a
+  /// cheaper backend by the brownout ladder, and in-place retries draw
+  /// from the pool-wide retry budget (exhaustion degrades the job to
+  /// the terminal stage instead of amplifying load).
+  class OverloadControl* overload = nullptr;
 };
 
 /// N threads executing jobs from a JobQueue. The pool does not own the
@@ -70,6 +81,14 @@ class WorkerPool {
     uint64_t checkpoint_failures = 0;
     /// Jobs answered with watchdog_preempted after a stall preemption.
     uint64_t watchdog_preempted = 0;
+    /// Jobs rejected typed at dispatch because their remaining deadline
+    /// budget could not fit the backend's optimistic solve estimate.
+    uint64_t deadline_infeasible = 0;
+    /// Jobs the brownout ladder rewrote to a cheaper backend.
+    uint64_t brownouts = 0;
+    /// Faulted jobs degraded to the terminal stage because the
+    /// pool-wide retry budget was exhausted.
+    uint64_t retry_budget_degraded = 0;
   };
 
   /// Spawns the workers immediately. `cache` may be null (no caching).
@@ -120,6 +139,7 @@ class WorkerPool {
   const double checkpoint_every_ms_;
   const bool keep_checkpoints_;
   Watchdog* const watchdog_;
+  OverloadControl* const overload_;
   std::vector<std::thread> threads_;
   std::atomic<uint64_t> completed_{0};
   std::atomic<uint64_t> cache_served_{0};
@@ -129,6 +149,9 @@ class WorkerPool {
   std::atomic<uint64_t> checkpoints_written_{0};
   std::atomic<uint64_t> checkpoint_failures_{0};
   std::atomic<uint64_t> watchdog_preempted_{0};
+  std::atomic<uint64_t> deadline_infeasible_{0};
+  std::atomic<uint64_t> brownouts_{0};
+  std::atomic<uint64_t> retry_budget_degraded_{0};
 };
 
 }  // namespace kanon
